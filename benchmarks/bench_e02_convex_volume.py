@@ -1,0 +1,80 @@
+"""Experiment E2 — convex volume estimation (the Dyer--Frieze--Kannan theorem).
+
+Paper claim: every well-bounded convex relation is observable — the DFK
+estimator reaches relative error ≤ ε with cost polynomial in the dimension,
+whereas rejection from the bounding cube needs exponentially many samples.
+The experiment sweeps the dimension on bodies with known volumes (cube,
+simplex, rotated box), reports the relative error of the telescoping
+estimator, and compares the hit-and-run and grid-walk samplers (the ablation
+called out in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.harness import ExperimentResult, register_experiment
+from repro.volume import TelescopingConfig, estimate_convex_volume
+from repro.workloads import hypercube, rotated_box, simplex
+
+
+@register_experiment("E2")
+def run_convex_volume(dimensions=(2, 3, 4, 5), epsilon: float = 0.2, seed: int = 7) -> ExperimentResult:
+    """Regenerate the E2 table: relative error of the DFK estimator per body and dimension."""
+    rng = np.random.default_rng(seed)
+    result = ExperimentResult(
+        "E2",
+        "DFK telescoping volume estimation on known convex bodies",
+        ["body", "dimension", "true_volume", "estimate", "relative_error", "phases", "samples"],
+        claim="relative error stays within the ε target at every dimension (polynomial cost)",
+    )
+    config = TelescopingConfig(samples_per_phase=1200)
+    for dimension in dimensions:
+        workloads = [hypercube(dimension, side=1.5), simplex(dimension)]
+        if dimension <= 4:
+            workloads.append(rotated_box(dimension, [1.0 + 0.3 * i for i in range(dimension)], rng=rng))
+        for workload in workloads:
+            estimate = estimate_convex_volume(workload.polytope, epsilon, 0.1, rng=rng, config=config)
+            error = estimate.relative_error(workload.exact_volume)
+            result.add_row(
+                workload.name,
+                dimension,
+                workload.exact_volume,
+                estimate.value,
+                error,
+                estimate.details["phases"],
+                estimate.samples_used,
+            )
+    worst = max(row[4] for row in result.rows)
+    result.observe(f"worst relative error {worst:.3f} against target epsilon {epsilon}")
+    return result
+
+
+@register_experiment("E2-ablation")
+def run_sampler_ablation(dimension: int = 3, seed: int = 7) -> ExperimentResult:
+    """Ablation: hit-and-run vs grid-walk vs ball-walk inside the telescoping estimator."""
+    rng = np.random.default_rng(seed)
+    workload = hypercube(dimension, side=1.5)
+    result = ExperimentResult(
+        "E2-ablation",
+        "Sampler ablation inside the telescoping estimator",
+        ["sampler", "estimate", "relative_error", "oracle_calls"],
+        claim="the composition theorems are agnostic to which rapidly mixing sampler is used",
+    )
+    for sampler in ("hit_and_run", "grid_walk", "ball_walk"):
+        config = TelescopingConfig(sampler=sampler, samples_per_phase=500, gamma=0.3)
+        estimate = estimate_convex_volume(workload.polytope, 0.3, 0.2, rng=rng, config=config)
+        result.add_row(sampler, estimate.value, estimate.relative_error(workload.exact_volume), estimate.oracle_calls)
+    return result
+
+
+def test_benchmark_convex_volume(benchmark, rng):
+    result = benchmark.pedantic(
+        run_convex_volume, kwargs={"dimensions": (2, 3), "epsilon": 0.25, "seed": 7}, iterations=1, rounds=1
+    )
+    assert max(row[4] for row in result.rows) < 0.3
+
+
+def test_benchmark_sampler_ablation(benchmark):
+    result = benchmark.pedantic(run_sampler_ablation, kwargs={"dimension": 2, "seed": 7}, iterations=1, rounds=1)
+    assert all(row[2] < 0.5 for row in result.rows)

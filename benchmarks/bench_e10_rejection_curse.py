@@ -1,0 +1,57 @@
+"""Experiment E10 — the curse of dimensionality for cube rejection (introduction).
+
+Paper claim: "an exponential number of trials are necessary to obtain a single
+sample from a d-dimensional sphere [by sampling its bounding cube]: the ratio
+of the volume of a square and a d-dimensional sphere is (1/d^d)-ish".  The
+experiment measures the acceptance rate of cube-rejection for the unit ball as
+the dimension grows and compares it with the exact volume ratio.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.ball import ball_volume
+from repro.harness import ExperimentResult, register_experiment
+from repro.sampling.oracles import oracle_from_predicate
+from repro.sampling.rejection import estimate_acceptance_rate
+from repro.volume.monte_carlo import required_samples_for_relative_error
+
+
+@register_experiment("E10")
+def run_rejection_curse(dimensions=(2, 4, 6, 8, 10), proposals: int = 20_000, seed: int = 7) -> ExperimentResult:
+    """Regenerate the E10 table: acceptance rate of ball-in-cube rejection per dimension."""
+    rng = np.random.default_rng(seed)
+    result = ExperimentResult(
+        "E10",
+        "Rejection sampling of the unit ball from its bounding cube",
+        ["dimension", "exact_ratio", "measured_acceptance", "samples_needed_for_10pct"],
+        claim="the acceptance probability decays exponentially with the dimension",
+    )
+    for dimension in dimensions:
+        exact_ratio = ball_volume(dimension, 1.0) / 2.0**dimension
+        oracle = oracle_from_predicate(lambda p: float(np.linalg.norm(p)) <= 1.0)
+        measured = estimate_acceptance_rate(oracle, [(-1.0, 1.0)] * dimension, proposals, rng)
+        needed = required_samples_for_relative_error(max(exact_ratio, 1e-12), 0.1, 0.1)
+        result.add_row(dimension, exact_ratio, measured, needed)
+    ratios = [row[1] for row in result.rows]
+    result.observe(
+        "exact ratios decay "
+        + " > ".join(f"{value:.2e}" for value in ratios)
+        + "; the naive estimator's sample requirement explodes correspondingly"
+    )
+    return result
+
+
+def test_benchmark_rejection_curse(benchmark):
+    import pytest
+
+    result = benchmark.pedantic(
+        run_rejection_curse, kwargs={"dimensions": (2, 6, 10), "proposals": 8000, "seed": 7},
+        iterations=1, rounds=1,
+    )
+    ratios = [row[1] for row in result.rows]
+    # Exponential decay of the ball/cube volume ratio with the dimension.
+    assert ratios[0] > 5 * ratios[1] > 100 * ratios[2]
+    # The measured acceptance agrees with the exact ratio in low dimension.
+    assert result.rows[0][2] == pytest.approx(result.rows[0][1], rel=0.2)

@@ -1,0 +1,85 @@
+"""Experiment E12 — end-to-end reconstruction of the paper's example query
+(Algorithms 4--5, Theorem 4.4).
+
+Paper claim: for the positive existential query
+``∃z [(R1(x, z) ∧ R2(z, y)) ∨ R4(x, z)]`` the union of per-component convex
+hulls of uniformly generated points is an (ε, δ)-relation-estimate of the
+exact result; its symmetric difference against the Fourier--Motzkin result
+shrinks as the per-component sample count grows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constraints import ConstraintDatabase, parse_relation
+from repro.core import GeneratorParams, relation_membership, symmetric_difference_volume
+from repro.harness import ExperimentResult, register_experiment
+from repro.queries import QAnd, QExists, QOr, QRelation, QueryEngine
+
+
+def _database() -> ConstraintDatabase:
+    db = ConstraintDatabase()
+    db.set_relation("R1", parse_relation("0 <= a <= 1 and 0 <= b <= 1", ["a", "b"]))
+    db.set_relation("R2", parse_relation("0 <= a <= 1 and 0 <= b <= 2", ["a", "b"]))
+    db.set_relation("R4", parse_relation("2 <= a <= 3 and 0 <= b <= 1", ["a", "b"]))
+    return db
+
+
+def _query():
+    # The paper writes the second disjunct as R4(x, z); taken literally its
+    # projection onto (x, y) is an unbounded cylinder (y is unconstrained),
+    # which has no finite volume to compare against.  The experiment therefore
+    # uses the bounded variant R4(x, y), which exercises exactly the same code
+    # path (a one-atom component hulled directly) while keeping the exact
+    # result well-bounded.
+    return QExists(
+        ("z",),
+        QOr((
+            QAnd((QRelation("R1", ("x", "z")), QRelation("R2", ("z", "y")))),
+            QRelation("R4", ("x", "y")),
+        )),
+    )
+
+
+@register_experiment("E12")
+def run_query_reconstruction(samples_per_component=(100, 300, 600), seed: int = 7) -> ExperimentResult:
+    """Regenerate the E12 table: symmetric difference of the reconstruction vs samples."""
+    rng = np.random.default_rng(seed)
+    params = GeneratorParams(gamma=0.25, epsilon=0.3, delta=0.15)
+    database = _database()
+    engine = QueryEngine(database, params=params)
+    query = _query()
+    exact = engine.evaluate_exact(query)
+    from repro.geometry.volume import relation_volume_exact
+
+    exact_volume = relation_volume_exact(exact)
+    result = ExperimentResult(
+        "E12",
+        "Reconstruction of ∃z[(R1 ∧ R2) ∨ R4] as a union of convex hulls",
+        ["samples_per_component", "hulls", "estimate_hull_volume", "exact_volume", "symmetric_difference_ratio"],
+        claim="the symmetric difference against the exact (Fourier--Motzkin) result decreases with the sample count",
+    )
+    bounds = [(-0.5, 3.5), (-0.5, 2.5)]
+    for count in samples_per_component:
+        estimate = engine.reconstruct(query, samples_per_component=count, rng=rng)
+        sym_diff = symmetric_difference_volume(
+            relation_membership(estimate.relation),
+            relation_membership(exact),
+            bounds,
+            samples=5000,
+            rng=rng,
+        )
+        result.add_row(count, len(estimate.hulls), estimate.total_hull_volume, exact_volume, sym_diff / exact_volume)
+    ratios = [row[4] for row in result.rows]
+    result.observe(f"symmetric-difference ratios across the sweep: {[round(r, 3) for r in ratios]}")
+    return result
+
+
+def test_benchmark_query_reconstruction(benchmark):
+    result = benchmark.pedantic(
+        run_query_reconstruction, kwargs={"samples_per_component": (80, 400), "seed": 7},
+        iterations=1, rounds=1,
+    )
+    assert result.rows[-1][4] < result.rows[0][4] + 0.05
+    assert result.rows[-1][4] < 0.5

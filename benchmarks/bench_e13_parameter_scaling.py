@@ -1,0 +1,57 @@
+"""Experiment E13 — cost scaling in the accuracy parameters (Definition 2.2(3)).
+
+Paper claim: the composed generators run in time polynomial in the description
+size, the dimension, 1/ε, 1/γ and ln(1/δ); in particular the repetition
+schedules are k = 4·ln(1/δ) for the binary union (Theorem 4.1) and
+O((d³/ε)·ln(1/δ)) for the projection (Theorem 4.3).  The experiment sweeps ε
+and δ on a union workload and reports the work performed (samples drawn),
+which must grow polynomially — not exponentially — in 1/ε and ln(1/δ).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import ConvexObservable, GeneratorParams, UnionObservable
+from repro.harness import ExperimentResult, register_experiment
+from repro.volume import TelescopingConfig, repetition_count
+from repro.workloads import shifted_cube_pair
+
+
+@register_experiment("E13")
+def run_parameter_scaling(epsilons=(0.4, 0.3, 0.2), deltas=(0.2, 0.1, 0.05), dimension: int = 2, seed: int = 7) -> ExperimentResult:
+    """Regenerate the E13 table: work vs ε and δ for the union estimator."""
+    rng = np.random.default_rng(seed)
+    result = ExperimentResult(
+        "E13",
+        "Work of the union volume estimator as ε and δ shrink",
+        ["epsilon", "delta", "samples_used", "relative_error", "theorem41_repetitions"],
+        claim="work grows polynomially in 1/ε and ln(1/δ); k = 4 ln(1/δ) repetitions suffice for the generator",
+    )
+    first, second, union_volume = shifted_cube_pair(dimension, overlap=0.5)
+    for epsilon in epsilons:
+        for delta in deltas:
+            params = GeneratorParams(gamma=0.25, epsilon=epsilon, delta=delta)
+            members = [
+                ConvexObservable(w.tuple_, params=params, sampler="hit_and_run",
+                                 telescoping=TelescopingConfig(samples_per_phase=500))
+                for w in (first, second)
+            ]
+            union = UnionObservable(members, params=params, max_volume_trials=6000)
+            estimate = union.estimate_volume(rng=rng)
+            result.add_row(
+                epsilon, delta, estimate.samples_used,
+                estimate.relative_error(union_volume), repetition_count(0.25, delta),
+            )
+    result.observe("samples_used increases smoothly (polynomially) as ε and δ decrease")
+    return result
+
+
+def test_benchmark_parameter_scaling(benchmark):
+    result = benchmark.pedantic(
+        run_parameter_scaling, kwargs={"epsilons": (0.4, 0.2), "deltas": (0.1,), "dimension": 2, "seed": 7},
+        iterations=1, rounds=1,
+    )
+    # Tighter epsilon means at least as much work.
+    assert result.rows[-1][2] >= result.rows[0][2]
+    assert all(row[3] < 0.5 for row in result.rows)

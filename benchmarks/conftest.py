@@ -1,0 +1,27 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark file regenerates one experiment of DESIGN.md's index.  The
+benchmarks use reduced parameter sweeps so that the whole suite runs in a few
+minutes on a laptop; the experiment runner functions accept a ``scale``
+argument through which ``EXPERIMENTS.md`` can be regenerated with larger
+budgets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import GeneratorParams
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic generator so benchmark numbers are comparable across runs."""
+    return np.random.default_rng(7)
+
+
+@pytest.fixture
+def bench_params() -> GeneratorParams:
+    """Accuracy parameters used across the benchmark experiments."""
+    return GeneratorParams(gamma=0.25, epsilon=0.25, delta=0.1)

@@ -1,0 +1,51 @@
+"""Geometric #DNF: estimate the satisfying mass of a DNF formula by sampling.
+
+Section 4.1.3 of the paper encodes propositional formulas geometrically
+(literal x -> 3/4 < x < 1, literal ¬x -> 0 < x < 1/4).  A DNF formula becomes
+a union of boxes whose volume the union estimator (the geometric Karp--Luby
+scheme) recovers — the continuous analogue of approximate #DNF counting.
+
+Run with ``python examples/sat_model_counting.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import GeneratorParams
+from repro.queries.compiler import observable_from_relation
+from repro.workloads import (
+    dnf_geometric_volume,
+    dnf_satisfying_fraction,
+    dnf_to_relation,
+    random_dnf,
+)
+
+
+def main() -> None:
+    rng = np.random.default_rng(13)
+    params = GeneratorParams(epsilon=0.2, delta=0.1)
+
+    for variable_count, term_count in [(4, 4), (5, 6), (6, 8)]:
+        formula = random_dnf(variable_count, term_count, literals_per_term=3, rng=rng)
+        relation = dnf_to_relation(formula)
+
+        exact_volume = dnf_geometric_volume(formula)
+        exact_fraction = dnf_satisfying_fraction(formula)
+
+        plan = observable_from_relation(relation, params=params)
+        if hasattr(plan, "max_volume_trials"):
+            plan.max_volume_trials = 4000
+        estimate = plan.estimate_volume(rng=rng)
+
+        print(f"DNF with {variable_count} variables, {term_count} terms:")
+        print(f"  satisfying fraction (brute force): {exact_fraction:.4f}")
+        print(f"  geometric volume     exact: {exact_volume:.5f}   "
+              f"estimated: {estimate.value:.5f}   "
+              f"relative error {abs(estimate.value - exact_volume) / exact_volume:.1%}")
+        print(f"  sampling work: {estimate.samples_used} generated points")
+        print()
+
+
+if __name__ == "__main__":
+    main()

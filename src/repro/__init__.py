@@ -1,0 +1,68 @@
+"""repro — Uniform generation in spatial constraint databases.
+
+A reproduction of Gross-Amblard and de Rougemont, "Uniform generation in
+spatial constraint databases and applications" (PODS 2000 / JCSS 2006):
+almost uniform generators and relative volume estimators for linear
+constraint relations, their closure under the logical operators, and
+sampling-based reconstruction of query results.
+
+The public API is organised in layers:
+
+* :mod:`repro.constraints` — the linear constraint database model;
+* :mod:`repro.geometry`    — polytopes, hulls, grids, exact volumes;
+* :mod:`repro.sampling`    — random walks, rejection schemes, diagnostics;
+* :mod:`repro.volume`      — volume estimators (DFK telescoping, baselines);
+* :mod:`repro.core`        — observability and its closure properties
+  (the paper's contribution);
+* :mod:`repro.queries`     — FO+LIN queries, exact and approximate evaluation;
+* :mod:`repro.workloads`   — synthetic workloads for the experiments;
+* :mod:`repro.harness`     — experiment registry and reporting.
+"""
+
+from repro.constraints import (
+    AtomicConstraint,
+    ConstraintDatabase,
+    GeneralizedRelation,
+    GeneralizedTuple,
+    LinearTerm,
+    parse_formula,
+    parse_relation,
+    variables,
+)
+from repro.core import (
+    ConvexObservable,
+    DifferenceObservable,
+    FixedDimensionObservable,
+    GeneratorParams,
+    IntersectionObservable,
+    ObservableRelation,
+    ProjectionObservable,
+    UnionObservable,
+)
+from repro.queries import QueryEngine
+from repro.volume import VolumeEstimate, estimate_convex_volume
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AtomicConstraint",
+    "ConstraintDatabase",
+    "GeneralizedRelation",
+    "GeneralizedTuple",
+    "LinearTerm",
+    "parse_formula",
+    "parse_relation",
+    "variables",
+    "ConvexObservable",
+    "DifferenceObservable",
+    "FixedDimensionObservable",
+    "GeneratorParams",
+    "IntersectionObservable",
+    "ObservableRelation",
+    "ProjectionObservable",
+    "UnionObservable",
+    "QueryEngine",
+    "VolumeEstimate",
+    "estimate_convex_volume",
+    "__version__",
+]

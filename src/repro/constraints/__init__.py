@@ -1,0 +1,95 @@
+"""Linear constraint database substrate.
+
+This package implements the symbolic side of the constraint database model of
+Kanellakis, Kuper and Revesz used by the paper: linear terms, atomic
+constraints, generalized tuples (conjunctions), generalized relations (DNF),
+first-order formulas with quantifier elimination (Fourier--Motzkin), a small
+textual language, and database schemas/instances with a symbolic relational
+algebra.
+"""
+
+from repro.constraints.algebra import (
+    difference,
+    intersection,
+    natural_join,
+    product,
+    project,
+    rename,
+    select,
+    semijoin,
+    union,
+)
+from repro.constraints.atoms import AtomicConstraint, Relation, interval_constraints
+from repro.constraints.database import ConstraintDatabase, DatabaseSchema, RelationSchema
+from repro.constraints.formulas import (
+    And,
+    Atom,
+    Exists,
+    FalseFormula,
+    ForAll,
+    Formula,
+    Not,
+    Or,
+    TrueFormula,
+    conjunction_of,
+    disjunction_of,
+    formula_to_relation,
+    to_negation_normal_form,
+)
+from repro.constraints.fourier_motzkin import (
+    EliminationBudgetExceeded,
+    eliminate_variable,
+    eliminate_variables,
+    is_satisfiable,
+    project_tuple,
+)
+from repro.constraints.parser import ParseError, parse_formula, parse_relation, parse_term
+from repro.constraints.relations import GeneralizedRelation
+from repro.constraints.terms import LinearTerm, to_fraction, variables
+from repro.constraints.tuples import GeneralizedTuple, box_tuple
+
+__all__ = [
+    "AtomicConstraint",
+    "Relation",
+    "interval_constraints",
+    "ConstraintDatabase",
+    "DatabaseSchema",
+    "RelationSchema",
+    "Formula",
+    "Atom",
+    "And",
+    "Or",
+    "Not",
+    "Exists",
+    "ForAll",
+    "TrueFormula",
+    "FalseFormula",
+    "conjunction_of",
+    "disjunction_of",
+    "formula_to_relation",
+    "to_negation_normal_form",
+    "EliminationBudgetExceeded",
+    "eliminate_variable",
+    "eliminate_variables",
+    "is_satisfiable",
+    "project_tuple",
+    "ParseError",
+    "parse_formula",
+    "parse_relation",
+    "parse_term",
+    "GeneralizedRelation",
+    "GeneralizedTuple",
+    "box_tuple",
+    "LinearTerm",
+    "variables",
+    "to_fraction",
+    "select",
+    "project",
+    "rename",
+    "union",
+    "intersection",
+    "difference",
+    "product",
+    "natural_join",
+    "semijoin",
+]

@@ -1,0 +1,116 @@
+"""Symbolic relational algebra over generalized relations.
+
+The constraint database model supports the classical relational algebra, with
+each operator implemented symbolically on the DNF representation:
+
+* ``select``     — add constraints (a selection condition) to every disjunct;
+* ``project``    — existential quantification, by Fourier--Motzkin;
+* ``join``       — natural join = conjunction on shared attributes;
+* ``product``    — Cartesian product of relations with disjoint attributes;
+* ``union`` / ``intersection`` / ``difference`` — boolean operations;
+* ``rename``     — attribute renaming.
+
+These symbolic operators are the *exact* baselines the paper's approximate
+(sampling-based) operators of :mod:`repro.core` are measured against: exact
+projection and difference can blow up symbolically, which is the motivation
+for the sampling approach.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.constraints.atoms import AtomicConstraint
+from repro.constraints.relations import GeneralizedRelation
+from repro.constraints.tuples import GeneralizedTuple
+
+
+def select(
+    relation: GeneralizedRelation, condition: Iterable[AtomicConstraint]
+) -> GeneralizedRelation:
+    """Selection: keep only the points satisfying every constraint in ``condition``."""
+    constraints = tuple(condition)
+    extra_variables: set[str] = set()
+    for constraint in constraints:
+        extra_variables |= constraint.variables()
+    unknown = extra_variables - set(relation.variables)
+    if unknown:
+        raise ValueError(
+            f"selection mentions attributes {sorted(unknown)} absent from the relation"
+        )
+    condition_tuple = GeneralizedTuple(constraints, relation.variables)
+    selected = [disjunct.conjoin(condition_tuple) for disjunct in relation.disjuncts]
+    return GeneralizedRelation(selected, relation.variables).simplify()
+
+
+def project(relation: GeneralizedRelation, attributes: Sequence[str]) -> GeneralizedRelation:
+    """Projection onto ``attributes`` (exact, via Fourier--Motzkin)."""
+    return relation.project(attributes)
+
+
+def rename(relation: GeneralizedRelation, mapping: Mapping[str, str]) -> GeneralizedRelation:
+    """Rename attributes according to ``mapping``."""
+    return relation.rename(mapping)
+
+
+def union(left: GeneralizedRelation, right: GeneralizedRelation) -> GeneralizedRelation:
+    """Union of two relations over the same attributes."""
+    _check_same_attributes(left, right, "union")
+    return left.union(right.with_variables(left.variables))
+
+
+def intersection(left: GeneralizedRelation, right: GeneralizedRelation) -> GeneralizedRelation:
+    """Intersection of two relations over the same attributes."""
+    _check_same_attributes(left, right, "intersection")
+    return left.intersection(right.with_variables(left.variables)).with_variables(left.variables)
+
+
+def difference(left: GeneralizedRelation, right: GeneralizedRelation) -> GeneralizedRelation:
+    """Difference ``left \\ right`` of two relations over the same attributes."""
+    _check_same_attributes(left, right, "difference")
+    return left.difference(right.with_variables(left.variables)).with_variables(left.variables)
+
+
+def product(left: GeneralizedRelation, right: GeneralizedRelation) -> GeneralizedRelation:
+    """Cartesian product of relations with disjoint attribute sets."""
+    return left.product(right)
+
+
+def natural_join(left: GeneralizedRelation, right: GeneralizedRelation) -> GeneralizedRelation:
+    """Natural join: conjunction over the union of attributes.
+
+    Shared attributes are identified (as in the classical natural join); when
+    there is no shared attribute the join degenerates to the Cartesian product.
+    """
+    shared = [name for name in left.variables if name in set(right.variables)]
+    order = list(left.variables)
+    for name in right.variables:
+        if name not in order:
+            order.append(name)
+    joined = [
+        l.conjoin(r).with_variables(tuple(order))
+        for l in left.disjuncts
+        for r in right.disjuncts
+    ]
+    if not left.disjuncts or not right.disjuncts:
+        return GeneralizedRelation.empty(tuple(order))
+    result = GeneralizedRelation(joined, tuple(order))
+    # Shared attributes are already identified because both operands use the
+    # same variable names for them; nothing further to do.
+    del shared
+    return result
+
+
+def semijoin(left: GeneralizedRelation, right: GeneralizedRelation) -> GeneralizedRelation:
+    """Semijoin: the part of ``left`` that joins with ``right``."""
+    return natural_join(left, right).project(left.variables)
+
+
+def _check_same_attributes(
+    left: GeneralizedRelation, right: GeneralizedRelation, operation: str
+) -> None:
+    if set(left.variables) != set(right.variables):
+        raise ValueError(
+            f"{operation} requires identical attribute sets, got "
+            f"{left.variables} and {right.variables}"
+        )

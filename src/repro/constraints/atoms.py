@@ -1,0 +1,233 @@
+"""Atomic linear constraints.
+
+An :class:`AtomicConstraint` is a comparison ``term <rel> 0`` where ``term`` is
+a :class:`~repro.constraints.terms.LinearTerm` and ``<rel>`` is one of
+``<=, <, ==, !=``.  Together with conjunction these atoms form *generalized
+tuples* (Section 2 of the paper); unions of generalized tuples form
+*generalized relations*.
+
+The canonical representation keeps every constraint in the form
+``term <rel> 0`` with ``rel`` restricted to ``LE``, ``LT``, ``EQ`` and ``NE``;
+``>=`` and ``>`` are normalised by negating the term.  This makes structural
+equality, negation and Fourier--Motzkin elimination straightforward.
+"""
+
+from __future__ import annotations
+
+import enum
+from fractions import Fraction
+from typing import Mapping
+
+from repro.constraints.terms import LinearTerm, Number, to_fraction
+
+
+class Relation(enum.Enum):
+    """Comparison relations of the linear constraint language."""
+
+    LE = "<="
+    LT = "<"
+    GE = ">="
+    GT = ">"
+    EQ = "=="
+    NE = "!="
+
+    @property
+    def is_strict(self) -> bool:
+        """True for strict inequalities (``<`` and ``>``)."""
+        return self in (Relation.LT, Relation.GT)
+
+    @property
+    def is_equality(self) -> bool:
+        """True for ``==`` and ``!=``."""
+        return self in (Relation.EQ, Relation.NE)
+
+
+_NEGATIONS = {
+    Relation.LE: Relation.GT,
+    Relation.LT: Relation.GE,
+    Relation.GE: Relation.LT,
+    Relation.GT: Relation.LE,
+    Relation.EQ: Relation.NE,
+    Relation.NE: Relation.EQ,
+}
+
+
+class AtomicConstraint:
+    """A single linear constraint in canonical form ``term <rel> 0``.
+
+    Use :meth:`compare` (or the comparison operators on
+    :class:`~repro.constraints.terms.LinearTerm`) to build constraints;
+    the constructor expects the canonical ``term <rel> 0`` shape directly.
+    """
+
+    __slots__ = ("_term", "_relation", "_hash")
+
+    def __init__(self, term: LinearTerm, relation: Relation) -> None:
+        if not isinstance(term, LinearTerm):
+            raise TypeError("term must be a LinearTerm")
+        if not isinstance(relation, Relation):
+            raise TypeError("relation must be a Relation")
+        if relation in (Relation.GE, Relation.GT):
+            # Canonicalise: t >= 0  <=>  -t <= 0, and t > 0 <=> -t < 0.
+            term = -term
+            relation = Relation.LE if relation is Relation.GE else Relation.LT
+        self._term = term
+        self._relation = relation
+        self._hash: int | None = None
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def compare(
+        cls, left: LinearTerm, relation: Relation, right: LinearTerm
+    ) -> "AtomicConstraint":
+        """Build the constraint ``left <rel> right`` in canonical form."""
+        return cls(left - right, relation)
+
+    @classmethod
+    def true(cls) -> "AtomicConstraint":
+        """A constraint satisfied by every point (``0 <= 0``)."""
+        return cls(LinearTerm.zero(), Relation.LE)
+
+    @classmethod
+    def false(cls) -> "AtomicConstraint":
+        """A constraint satisfied by no point (``1 <= 0``)."""
+        return cls(LinearTerm.constant(1), Relation.LE)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def term(self) -> LinearTerm:
+        """The canonical left-hand side (compared against zero)."""
+        return self._term
+
+    @property
+    def relation(self) -> Relation:
+        """The canonical relation (one of ``LE``, ``LT``, ``EQ``, ``NE``)."""
+        return self._relation
+
+    def variables(self) -> frozenset[str]:
+        """The variables mentioned by the constraint."""
+        return self._term.variables()
+
+    def is_trivially_true(self) -> bool:
+        """True when the constraint holds for every assignment."""
+        if not self._term.is_constant():
+            return False
+        value = self._term.constant_term
+        return _evaluate_relation(value, self._relation)
+
+    def is_trivially_false(self) -> bool:
+        """True when the constraint holds for no assignment."""
+        if not self._term.is_constant():
+            return False
+        value = self._term.constant_term
+        return not _evaluate_relation(value, self._relation)
+
+    # ------------------------------------------------------------------
+    # Logic
+    # ------------------------------------------------------------------
+    def negate(self) -> "AtomicConstraint":
+        """Return the complementary constraint (¬(t <= 0) becomes t > 0, etc.)."""
+        return AtomicConstraint(self._term, _NEGATIONS[self._relation])
+
+    def satisfied_by(self, assignment: Mapping[str, Number]) -> bool:
+        """Evaluate the constraint for a full variable assignment."""
+        value = self._term.evaluate(assignment)
+        return _evaluate_relation(value, self._relation)
+
+    def substitute(self, substitution: Mapping[str, "LinearTerm | Number"]) -> "AtomicConstraint":
+        """Substitute variables by terms/numbers in the constraint."""
+        return AtomicConstraint(self._term.substitute(substitution), self._relation)
+
+    def rename(self, mapping: Mapping[str, str]) -> "AtomicConstraint":
+        """Rename variables according to ``mapping``."""
+        return AtomicConstraint(self._term.rename(mapping), self._relation)
+
+    def relax(self) -> "AtomicConstraint":
+        """Return the non-strict (closed) version of the constraint.
+
+        Strict inequalities become non-strict and ``!=`` becomes the trivial
+        constraint.  The relaxed constraint defines the topological closure of
+        the original constraint set, which has the same d-dimensional volume —
+        the property the samplers and estimators rely on.
+        """
+        if self._relation is Relation.LT:
+            return AtomicConstraint(self._term, Relation.LE)
+        if self._relation is Relation.NE:
+            return AtomicConstraint.true()
+        return self
+
+    # ------------------------------------------------------------------
+    # Geometry bridge
+    # ------------------------------------------------------------------
+    def coefficients_for(self, variable_order: tuple[str, ...]) -> tuple[list[Fraction], Fraction]:
+        """Return ``(row, offset)`` such that the constraint is ``row . x + offset <rel> 0``.
+
+        ``row`` lists the coefficient of each variable in ``variable_order``.
+        Variables of the constraint missing from ``variable_order`` raise
+        :class:`ValueError` because the geometric interpretation would be
+        ambiguous.
+        """
+        missing = self.variables() - set(variable_order)
+        if missing:
+            raise ValueError(
+                f"constraint mentions variables {sorted(missing)} absent from the order"
+            )
+        row = [self._term.coefficient(name) for name in variable_order]
+        return row, self._term.constant_term
+
+    # ------------------------------------------------------------------
+    # Structural equality / hashing / representation
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AtomicConstraint):
+            return NotImplemented
+        return self._term == other._term and self._relation == other._relation
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash((self._term, self._relation))
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"AtomicConstraint({self._term!s} {self._relation.value} 0)"
+
+    def __str__(self) -> str:
+        return f"{self._term!s} {self._relation.value} 0"
+
+
+def _evaluate_relation(value: Fraction, relation: Relation) -> bool:
+    """Evaluate ``value <rel> 0`` for a concrete rational value."""
+    if relation is Relation.LE:
+        return value <= 0
+    if relation is Relation.LT:
+        return value < 0
+    if relation is Relation.EQ:
+        return value == 0
+    if relation is Relation.NE:
+        return value != 0
+    if relation is Relation.GE:
+        return value >= 0
+    if relation is Relation.GT:
+        return value > 0
+    raise AssertionError(f"unhandled relation {relation!r}")
+
+
+def interval_constraints(name: str, lower: Number, upper: Number, strict: bool = False) -> tuple[AtomicConstraint, AtomicConstraint]:
+    """Return the pair of constraints ``lower <= name <= upper`` (or strict).
+
+    A small convenience used pervasively by the workloads (boxes are products
+    of intervals) and by the SAT encoding of Section 4.1.3.
+    """
+    var = LinearTerm.variable(name)
+    low = to_fraction(lower)
+    high = to_fraction(upper)
+    if low > high:
+        raise ValueError(f"empty interval for {name}: [{low}, {high}]")
+    relation = Relation.LT if strict else Relation.LE
+    lower_constraint = AtomicConstraint.compare(LinearTerm.constant(low), relation, var)
+    upper_constraint = AtomicConstraint.compare(var, relation, LinearTerm.constant(high))
+    return lower_constraint, upper_constraint

@@ -1,0 +1,149 @@
+"""Constraint database schemas and instances.
+
+A *relational database schema* is a set of relation names with arities; a
+*finitely representable instance* maps each name to a generalized relation of
+matching arity (Section 2 of the paper).  The classes below are deliberately
+small: the heavy lifting happens in the relations themselves and in the query
+layer (:mod:`repro.queries`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from repro.constraints.relations import GeneralizedRelation
+
+
+class RelationSchema:
+    """The declaration of one relation name: its attributes (ordered)."""
+
+    __slots__ = ("name", "attributes")
+
+    def __init__(self, name: str, attributes: Iterable[str]) -> None:
+        if not name:
+            raise ValueError("relation name must be non-empty")
+        self.name = name
+        self.attributes = tuple(attributes)
+        if len(set(self.attributes)) != len(self.attributes):
+            raise ValueError(f"duplicate attributes in schema of {name!r}")
+        if not self.attributes:
+            raise ValueError(f"relation {name!r} must have at least one attribute")
+
+    @property
+    def arity(self) -> int:
+        """Number of attributes of the relation."""
+        return len(self.attributes)
+
+    def __repr__(self) -> str:
+        return f"RelationSchema({self.name!r}, {self.attributes})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RelationSchema):
+            return NotImplemented
+        return self.name == other.name and self.attributes == other.attributes
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.attributes))
+
+
+class DatabaseSchema:
+    """A collection of relation schemas indexed by name."""
+
+    def __init__(self, relations: Iterable[RelationSchema] = ()) -> None:
+        self._relations: dict[str, RelationSchema] = {}
+        for relation in relations:
+            self.add(relation)
+
+    def add(self, relation: RelationSchema) -> None:
+        """Register a relation schema (names must be unique)."""
+        if relation.name in self._relations:
+            raise ValueError(f"duplicate relation name {relation.name!r}")
+        self._relations[relation.name] = relation
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __getitem__(self, name: str) -> RelationSchema:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise KeyError(f"unknown relation {name!r}") from None
+
+    def __iter__(self) -> Iterator[RelationSchema]:
+        return iter(self._relations.values())
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def names(self) -> tuple[str, ...]:
+        """The registered relation names, in insertion order."""
+        return tuple(self._relations)
+
+    def __repr__(self) -> str:
+        return f"DatabaseSchema({list(self._relations.values())!r})"
+
+
+class ConstraintDatabase:
+    """A finitely representable instance: named generalized relations.
+
+    The database checks that the stored relation's variable order matches the
+    schema attributes, so queries can refer to attributes unambiguously.
+    """
+
+    def __init__(
+        self,
+        schema: DatabaseSchema | None = None,
+        instances: Mapping[str, GeneralizedRelation] | None = None,
+    ) -> None:
+        self.schema = schema if schema is not None else DatabaseSchema()
+        self._instances: dict[str, GeneralizedRelation] = {}
+        if instances:
+            for name, relation in instances.items():
+                self.set_relation(name, relation)
+
+    def set_relation(self, name: str, relation: GeneralizedRelation) -> None:
+        """Store (or replace) the instance of a relation name.
+
+        When the name is not yet declared in the schema, a schema entry is
+        created from the relation's own variable order.
+        """
+        if not isinstance(relation, GeneralizedRelation):
+            raise TypeError("instances must be GeneralizedRelation objects")
+        if name in self.schema:
+            declared = self.schema[name]
+            if declared.attributes != relation.variables:
+                if declared.arity != relation.dimension:
+                    raise ValueError(
+                        f"relation {name!r} has arity {relation.dimension}, schema "
+                        f"declares {declared.arity}"
+                    )
+                # Align the relation's variable names with the schema attributes.
+                mapping = dict(zip(relation.variables, declared.attributes))
+                relation = relation.rename(mapping)
+        else:
+            self.schema.add(RelationSchema(name, relation.variables))
+        self._instances[name] = relation
+
+    def relation(self, name: str) -> GeneralizedRelation:
+        """Return the instance of a relation name."""
+        try:
+            return self._instances[name]
+        except KeyError:
+            raise KeyError(f"relation {name!r} has no instance") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instances
+
+    def names(self) -> tuple[str, ...]:
+        """Names of relations that have an instance."""
+        return tuple(self._instances)
+
+    def __len__(self) -> int:
+        return len(self._instances)
+
+    def description_size(self) -> int:
+        """Total description size of the stored instances (paper's size measure)."""
+        return sum(relation.description_size() for relation in self._instances.values())
+
+    def __repr__(self) -> str:
+        return f"ConstraintDatabase({list(self._instances)!r})"

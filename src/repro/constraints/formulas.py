@@ -1,0 +1,403 @@
+"""First-order formulas over linear constraints (FO+LIN without schema atoms).
+
+This module provides the abstract syntax tree of first-order formulas over the
+structure ``R_lin = <R, +, -, <, 0, 1>``: atomic linear constraints combined
+with boolean connectives and quantifiers.  Because ``R_lin`` admits quantifier
+elimination, every formula denotes a finitely representable (generalized)
+relation; :func:`formula_to_relation` performs the translation by normalising
+to DNF and eliminating quantifiers with Fourier--Motzkin.
+
+Formulas that additionally mention database relation symbols (the full query
+language FO+LIN over a schema) live in :mod:`repro.queries.ast`; they are
+compiled down to the schema-free formulas of this module once the database
+instance is known.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.constraints.atoms import AtomicConstraint
+from repro.constraints.fourier_motzkin import eliminate_variables
+from repro.constraints.relations import GeneralizedRelation
+from repro.constraints.terms import Number
+from repro.constraints.tuples import GeneralizedTuple
+
+
+class Formula:
+    """Base class of FO+LIN formulas (schema-free)."""
+
+    def free_variables(self) -> frozenset[str]:
+        """The free variables of the formula."""
+        raise NotImplementedError
+
+    def evaluate(self, assignment: Mapping[str, Number]) -> bool:
+        """Evaluate a *quantifier-free* formula under a full assignment.
+
+        Quantified formulas raise :class:`ValueError`; use
+        :func:`formula_to_relation` followed by a membership test instead.
+        """
+        raise NotImplementedError
+
+    # Convenience connective constructors --------------------------------
+    def and_(self, other: "Formula") -> "Formula":
+        """Conjunction with another formula."""
+        return And((self, other))
+
+    def or_(self, other: "Formula") -> "Formula":
+        """Disjunction with another formula."""
+        return Or((self, other))
+
+    def not_(self) -> "Formula":
+        """Negation."""
+        return Not(self)
+
+    def exists(self, *variables: str) -> "Formula":
+        """Existential quantification over the given variables."""
+        return Exists(tuple(variables), self)
+
+    def forall(self, *variables: str) -> "Formula":
+        """Universal quantification over the given variables."""
+        return ForAll(tuple(variables), self)
+
+
+class Atom(Formula):
+    """An atomic linear constraint used as a formula."""
+
+    __slots__ = ("constraint",)
+
+    def __init__(self, constraint: AtomicConstraint) -> None:
+        if not isinstance(constraint, AtomicConstraint):
+            raise TypeError("Atom wraps an AtomicConstraint")
+        self.constraint = constraint
+
+    def free_variables(self) -> frozenset[str]:
+        return self.constraint.variables()
+
+    def evaluate(self, assignment: Mapping[str, Number]) -> bool:
+        return self.constraint.satisfied_by(assignment)
+
+    def __repr__(self) -> str:
+        return f"Atom({self.constraint})"
+
+
+class TrueFormula(Formula):
+    """The formula satisfied by every assignment."""
+
+    def free_variables(self) -> frozenset[str]:
+        return frozenset()
+
+    def evaluate(self, assignment: Mapping[str, Number]) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return "TrueFormula()"
+
+
+class FalseFormula(Formula):
+    """The formula satisfied by no assignment."""
+
+    def free_variables(self) -> frozenset[str]:
+        return frozenset()
+
+    def evaluate(self, assignment: Mapping[str, Number]) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return "FalseFormula()"
+
+
+class And(Formula):
+    """Finite conjunction."""
+
+    __slots__ = ("operands",)
+
+    def __init__(self, operands: Iterable[Formula]) -> None:
+        self.operands = tuple(operands)
+        if not self.operands:
+            raise ValueError("And requires at least one operand")
+
+    def free_variables(self) -> frozenset[str]:
+        result: frozenset[str] = frozenset()
+        for operand in self.operands:
+            result |= operand.free_variables()
+        return result
+
+    def evaluate(self, assignment: Mapping[str, Number]) -> bool:
+        return all(operand.evaluate(assignment) for operand in self.operands)
+
+    def __repr__(self) -> str:
+        return f"And({', '.join(map(repr, self.operands))})"
+
+
+class Or(Formula):
+    """Finite disjunction."""
+
+    __slots__ = ("operands",)
+
+    def __init__(self, operands: Iterable[Formula]) -> None:
+        self.operands = tuple(operands)
+        if not self.operands:
+            raise ValueError("Or requires at least one operand")
+
+    def free_variables(self) -> frozenset[str]:
+        result: frozenset[str] = frozenset()
+        for operand in self.operands:
+            result |= operand.free_variables()
+        return result
+
+    def evaluate(self, assignment: Mapping[str, Number]) -> bool:
+        return any(operand.evaluate(assignment) for operand in self.operands)
+
+    def __repr__(self) -> str:
+        return f"Or({', '.join(map(repr, self.operands))})"
+
+
+class Not(Formula):
+    """Negation."""
+
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: Formula) -> None:
+        self.operand = operand
+
+    def free_variables(self) -> frozenset[str]:
+        return self.operand.free_variables()
+
+    def evaluate(self, assignment: Mapping[str, Number]) -> bool:
+        return not self.operand.evaluate(assignment)
+
+    def __repr__(self) -> str:
+        return f"Not({self.operand!r})"
+
+
+class Exists(Formula):
+    """Existential quantification over a tuple of variables."""
+
+    __slots__ = ("variables", "body")
+
+    def __init__(self, variables: Sequence[str], body: Formula) -> None:
+        self.variables = tuple(variables)
+        if not self.variables:
+            raise ValueError("Exists requires at least one variable")
+        self.body = body
+
+    def free_variables(self) -> frozenset[str]:
+        return self.body.free_variables() - set(self.variables)
+
+    def evaluate(self, assignment: Mapping[str, Number]) -> bool:
+        raise ValueError("quantified formulas cannot be evaluated pointwise; "
+                         "use formula_to_relation")
+
+    def __repr__(self) -> str:
+        return f"Exists({self.variables}, {self.body!r})"
+
+
+class ForAll(Formula):
+    """Universal quantification over a tuple of variables."""
+
+    __slots__ = ("variables", "body")
+
+    def __init__(self, variables: Sequence[str], body: Formula) -> None:
+        self.variables = tuple(variables)
+        if not self.variables:
+            raise ValueError("ForAll requires at least one variable")
+        self.body = body
+
+    def free_variables(self) -> frozenset[str]:
+        return self.body.free_variables() - set(self.variables)
+
+    def evaluate(self, assignment: Mapping[str, Number]) -> bool:
+        raise ValueError("quantified formulas cannot be evaluated pointwise; "
+                         "use formula_to_relation")
+
+    def __repr__(self) -> str:
+        return f"ForAll({self.variables}, {self.body!r})"
+
+
+# ----------------------------------------------------------------------
+# Normal forms and quantifier elimination
+# ----------------------------------------------------------------------
+
+def to_negation_normal_form(formula: Formula) -> Formula:
+    """Push negations down to atoms (eliminating double negations).
+
+    Universal quantifiers are rewritten as negated existentials first so that
+    the result only contains ``Exists``, ``And``, ``Or`` and literals.
+    """
+    if isinstance(formula, (Atom, TrueFormula, FalseFormula)):
+        return formula
+    if isinstance(formula, And):
+        return And(to_negation_normal_form(op) for op in formula.operands)
+    if isinstance(formula, Or):
+        return Or(to_negation_normal_form(op) for op in formula.operands)
+    if isinstance(formula, Exists):
+        return Exists(formula.variables, to_negation_normal_form(formula.body))
+    if isinstance(formula, ForAll):
+        # forall x. phi  ==  not exists x. not phi
+        inner = Not(formula.body)
+        rewritten = Not(Exists(formula.variables, inner))
+        return to_negation_normal_form(rewritten)
+    if isinstance(formula, Not):
+        inner = formula.operand
+        if isinstance(inner, Atom):
+            return Atom(inner.constraint.negate())
+        if isinstance(inner, TrueFormula):
+            return FalseFormula()
+        if isinstance(inner, FalseFormula):
+            return TrueFormula()
+        if isinstance(inner, Not):
+            return to_negation_normal_form(inner.operand)
+        if isinstance(inner, And):
+            return Or(to_negation_normal_form(Not(op)) for op in inner.operands)
+        if isinstance(inner, Or):
+            return And(to_negation_normal_form(Not(op)) for op in inner.operands)
+        if isinstance(inner, Exists):
+            # not exists x. phi: kept as a dedicated NNF node whose body stays
+            # in NNF; quantifier elimination later complements the projection.
+            body = to_negation_normal_form(inner.body)
+            return _NegatedExists(inner.variables, body)
+        if isinstance(inner, ForAll):
+            # not forall x. phi == exists x. not phi
+            return Exists(inner.variables, to_negation_normal_form(Not(inner.body)))
+        if isinstance(inner, _NegatedExists):
+            # not (not exists x. phi) == exists x. phi
+            return Exists(inner.variables, to_negation_normal_form(inner.body))
+        raise TypeError(f"unsupported formula node {inner!r}")
+    if isinstance(formula, _NegatedExists):
+        return _NegatedExists(formula.variables, to_negation_normal_form(formula.body))
+    raise TypeError(f"unsupported formula node {formula!r}")
+
+
+class _NegatedExists(Formula):
+    """Internal NNF node for ``not exists x. phi`` (a universal in disguise).
+
+    Quantifier elimination handles it by eliminating the existential on the
+    *negation* of the body's relation and complementing the result.
+    """
+
+    __slots__ = ("variables", "body")
+
+    def __init__(self, variables: Sequence[str], body: Formula) -> None:
+        self.variables = tuple(variables)
+        self.body = body
+
+    def free_variables(self) -> frozenset[str]:
+        return self.body.free_variables() - set(self.variables)
+
+    def evaluate(self, assignment: Mapping[str, Number]) -> bool:
+        raise ValueError("quantified formulas cannot be evaluated pointwise")
+
+    def __repr__(self) -> str:
+        return f"_NegatedExists({self.variables}, {self.body!r})"
+
+
+def formula_to_relation(
+    formula: Formula,
+    variables: Sequence[str] | None = None,
+) -> GeneralizedRelation:
+    """Translate a formula into an explicit DNF generalized relation.
+
+    ``variables`` fixes the ambient variable order of the result; it must
+    contain every free variable of the formula and defaults to the sorted free
+    variables.  Quantifiers are eliminated bottom-up with Fourier--Motzkin.
+    """
+    free = formula.free_variables()
+    if variables is None:
+        order = tuple(sorted(free))
+    else:
+        order = tuple(variables)
+        missing = free - set(order)
+        if missing:
+            raise ValueError(f"free variables {sorted(missing)} missing from the order")
+    nnf = to_negation_normal_form(formula)
+    relation = _relation_of(nnf, order)
+    return relation.simplify()
+
+
+def _relation_of(formula: Formula, order: tuple[str, ...]) -> GeneralizedRelation:
+    """Recursive quantifier-eliminating translation of an NNF formula."""
+    if isinstance(formula, TrueFormula):
+        return GeneralizedRelation.universe(order)
+    if isinstance(formula, FalseFormula):
+        return GeneralizedRelation.empty(order)
+    if isinstance(formula, Atom):
+        return GeneralizedRelation(
+            (GeneralizedTuple((formula.constraint,), order),), order
+        )
+    if isinstance(formula, And):
+        result = _relation_of(formula.operands[0], order)
+        for operand in formula.operands[1:]:
+            result = result.intersection(_relation_of(operand, order)).with_variables(order)
+        return result
+    if isinstance(formula, Or):
+        result = _relation_of(formula.operands[0], order)
+        for operand in formula.operands[1:]:
+            result = result.union(_relation_of(operand, order)).with_variables(order)
+        return result
+    if isinstance(formula, Exists):
+        inner_order = _extend(order, formula.variables)
+        inner = _relation_of(formula.body, inner_order)
+        keep = tuple(name for name in inner_order if name not in set(formula.variables))
+        projected = inner.project(keep)
+        return projected.with_variables(order)
+    if isinstance(formula, _NegatedExists):
+        inner_order = _extend(order, formula.variables)
+        inner = _relation_of(formula.body, inner_order)
+        # not exists x. phi == complement(project(phi)) over the outer order.
+        keep = tuple(name for name in inner_order if name not in set(formula.variables))
+        projected = inner.project(keep).with_variables(order)
+        return projected.complement()
+    if isinstance(formula, Not):
+        inner = formula.operand
+        if isinstance(inner, Atom):
+            return GeneralizedRelation(
+                (GeneralizedTuple((inner.constraint.negate(),), order),), order
+            )
+        raise ValueError("formula is not in negation normal form")
+    raise TypeError(f"unsupported formula node {formula!r}")
+
+
+def _extend(order: Sequence[str], extra: Sequence[str]) -> tuple[str, ...]:
+    extended = list(order)
+    for name in extra:
+        if name not in extended:
+            extended.append(name)
+    return tuple(extended)
+
+
+def conjunction_of(constraints: Iterable[AtomicConstraint]) -> Formula:
+    """Build the conjunction formula of several atomic constraints."""
+    atoms = [Atom(constraint) for constraint in constraints]
+    if not atoms:
+        return TrueFormula()
+    if len(atoms) == 1:
+        return atoms[0]
+    return And(atoms)
+
+
+def disjunction_of(formulas: Iterable[Formula]) -> Formula:
+    """Build the disjunction of several formulas (FalseFormula when empty)."""
+    operands = list(formulas)
+    if not operands:
+        return FalseFormula()
+    if len(operands) == 1:
+        return operands[0]
+    return Or(operands)
+
+
+__all__ = [
+    "Formula",
+    "Atom",
+    "TrueFormula",
+    "FalseFormula",
+    "And",
+    "Or",
+    "Not",
+    "Exists",
+    "ForAll",
+    "to_negation_normal_form",
+    "formula_to_relation",
+    "conjunction_of",
+    "disjunction_of",
+]

@@ -1,0 +1,196 @@
+"""Fourier--Motzkin elimination for conjunctions of linear constraints.
+
+This module implements the symbolic projection used as the exact baseline in
+the paper (Proposition 4.3 compares the sampling-based reconstruction of a
+projection against "the Fourier--Motzkin algorithm whose complexity is
+O(2^(2^k)) where k is the number of projected variables").
+
+Elimination works on :class:`~repro.constraints.tuples.GeneralizedTuple`
+objects, i.e. conjunctions; projecting a full DNF relation eliminates the
+variables in each disjunct independently
+(:meth:`repro.constraints.relations.GeneralizedRelation.project`).
+
+Semantics notes
+---------------
+* Equality constraints involving the eliminated variable are used as
+  substitutions (Gaussian step) before the inequality combination step, which
+  keeps the output small.
+* Strict inequalities are preserved: the combination of a strict and a
+  non-strict bound is strict.  Over the reals, Fourier--Motzkin is exact for
+  mixed strict/non-strict systems.
+* ``!=`` constraints mentioning the eliminated variable are dropped.  The
+  projection of a set with a hyperplane removed equals the projection of the
+  full set up to a measure-zero slice; all consumers of projections in this
+  library (volume estimation, sampling, reconstruction) are insensitive to
+  measure-zero differences.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Sequence
+
+from repro.constraints.atoms import AtomicConstraint, Relation
+from repro.constraints.terms import LinearTerm
+from repro.constraints.tuples import GeneralizedTuple
+
+
+class EliminationBudgetExceeded(RuntimeError):
+    """Raised when Fourier--Motzkin exceeds its constraint-count budget.
+
+    The doubly exponential blow-up of Fourier--Motzkin is precisely the cost
+    the paper's sampling approach avoids; benchmarks (experiment E7) rely on
+    this exception to report the blow-up instead of hanging.
+    """
+
+
+def eliminate_variable(
+    tuple_: GeneralizedTuple,
+    variable: str,
+    max_constraints: int | None = None,
+) -> GeneralizedTuple | None:
+    """Eliminate one variable from a conjunction.
+
+    Returns the projected conjunction over the remaining variables, or ``None``
+    when the system is detected to be unsatisfiable during elimination.
+    ``max_constraints`` optionally bounds the number of produced constraints
+    (raising :class:`EliminationBudgetExceeded` beyond it).
+    """
+    if variable not in tuple_.variables:
+        return tuple_
+    remaining_order = tuple(name for name in tuple_.variables if name != variable)
+
+    involved: list[AtomicConstraint] = []
+    untouched: list[AtomicConstraint] = []
+    for atom in tuple_.constraints:
+        if variable in atom.variables():
+            involved.append(atom)
+        else:
+            untouched.append(atom)
+
+    if not involved:
+        return GeneralizedTuple(untouched, remaining_order)
+
+    # Gaussian step: use an equality to substitute the variable away.
+    for atom in involved:
+        if atom.relation is Relation.EQ:
+            coefficient = atom.term.coefficient(variable)
+            # atom: coeff * v + rest == 0  =>  v = -rest / coeff
+            rest = atom.term - LinearTerm({variable: coefficient}, 0)
+            replacement = rest * (Fraction(-1) / coefficient)
+            substituted = [
+                a.substitute({variable: replacement})
+                for a in tuple_.constraints
+                if a is not atom
+            ]
+            reduced = GeneralizedTuple(substituted, remaining_order).simplify()
+            if reduced.is_syntactically_empty():
+                return None
+            return reduced
+
+    lower_bounds: list[tuple[LinearTerm, bool]] = []  # v >= bound (strict?)
+    upper_bounds: list[tuple[LinearTerm, bool]] = []  # v <= bound (strict?)
+    for atom in involved:
+        if atom.relation is Relation.NE:
+            continue
+        coefficient = atom.term.coefficient(variable)
+        rest = atom.term - LinearTerm({variable: coefficient}, 0)
+        strict = atom.relation is Relation.LT
+        # atom: coeff*v + rest (<=|<) 0
+        bound = rest * (Fraction(-1) / coefficient)
+        if coefficient > 0:
+            upper_bounds.append((bound, strict))
+        else:
+            lower_bounds.append((bound, strict))
+
+    produced: list[AtomicConstraint] = list(untouched)
+    for lower, lower_strict in lower_bounds:
+        for upper, upper_strict in upper_bounds:
+            strict = lower_strict or upper_strict
+            relation = Relation.LT if strict else Relation.LE
+            produced.append(AtomicConstraint(lower - upper, relation))
+            if max_constraints is not None and len(produced) > max_constraints:
+                raise EliminationBudgetExceeded(
+                    f"elimination of {variable!r} produced more than "
+                    f"{max_constraints} constraints"
+                )
+
+    reduced = GeneralizedTuple(produced, remaining_order).simplify()
+    if reduced.is_syntactically_empty():
+        return None
+    return reduced
+
+
+def eliminate_variables(
+    tuple_: GeneralizedTuple,
+    variables: Iterable[str],
+    max_constraints: int | None = None,
+) -> GeneralizedTuple | None:
+    """Eliminate several variables in sequence (cheapest-first heuristic).
+
+    Variables are eliminated in an order chosen greedily to minimise the
+    number of lower-bound/upper-bound combinations at each step, a standard
+    heuristic that keeps intermediate systems small without affecting
+    correctness.
+    """
+    current: GeneralizedTuple | None = tuple_
+    to_eliminate = [name for name in variables]
+    while to_eliminate and current is not None:
+        next_variable = _cheapest_variable(current, to_eliminate)
+        to_eliminate.remove(next_variable)
+        current = eliminate_variable(current, next_variable, max_constraints)
+    return current
+
+
+def project_tuple(
+    tuple_: GeneralizedTuple,
+    keep: Sequence[str],
+    max_constraints: int | None = None,
+) -> GeneralizedTuple | None:
+    """Project a conjunction onto ``keep`` by eliminating every other variable."""
+    eliminate = [name for name in tuple_.variables if name not in set(keep)]
+    projected = eliminate_variables(tuple_, eliminate, max_constraints)
+    if projected is None:
+        return None
+    return projected.with_variables(tuple(keep))
+
+
+def is_satisfiable(tuple_: GeneralizedTuple) -> bool:
+    """Exact satisfiability over the reals by eliminating every variable.
+
+    The conjunction is satisfiable iff eliminating every variable does not
+    derive a contradiction.  This is exponential in the worst case but exact,
+    and serves as the ground-truth emptiness test for the unit tests; the
+    geometric layer provides the scalable LP-based test.
+    """
+    result = eliminate_variables(tuple_, list(tuple_.variables))
+    return result is not None
+
+
+def _cheapest_variable(tuple_: GeneralizedTuple, candidates: Sequence[str]) -> str:
+    """Pick the candidate whose elimination produces the fewest constraints."""
+    best_name = candidates[0]
+    best_cost: int | None = None
+    for name in candidates:
+        lowers = 0
+        uppers = 0
+        others = 0
+        for atom in tuple_.constraints:
+            if name not in atom.variables():
+                others += 1
+                continue
+            if atom.relation is Relation.EQ:
+                # An equality makes elimination essentially free.
+                lowers, uppers = 0, 0
+                others = len(tuple_.constraints) - 1
+                break
+            coefficient = atom.term.coefficient(name)
+            if coefficient > 0:
+                uppers += 1
+            else:
+                lowers += 1
+        cost = others + lowers * uppers
+        if best_cost is None or cost < best_cost:
+            best_cost = cost
+            best_name = name
+    return best_name

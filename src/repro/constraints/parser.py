@@ -1,0 +1,336 @@
+"""A small textual language for FO+LIN formulas.
+
+The parser turns strings such as ::
+
+    "0 <= x <= 1 and 0 <= y <= 1"
+    "exists z. (x + z <= 1 and z >= 0) or not (y > 2)"
+    "2*x - 3*y + 1 < 0"
+
+into :class:`~repro.constraints.formulas.Formula` objects, and
+:func:`parse_relation` further converts quantifier-free (or quantified)
+formulas into explicit :class:`~repro.constraints.relations.GeneralizedRelation`
+objects in DNF.
+
+Grammar (informal)::
+
+    formula    := quantified
+    quantified := ("exists" | "forall") name+ "." quantified | disjunction
+    disjunction:= conjunction ("or" conjunction)*
+    conjunction:= negation ("and" negation)*
+    negation   := "not" negation | "(" formula ")" | comparison
+    comparison := sum (relop sum)+            # chains allowed: a <= b <= c
+    sum        := product (("+"|"-") product)*
+    product    := NUMBER "*" name | name | NUMBER | "-" product | "(" sum ")"
+
+Keywords are case-insensitive; ``&``/``|``/``!`` are accepted as synonyms of
+``and``/``or``/``not``, and ``=`` as a synonym of ``==``.
+"""
+
+from __future__ import annotations
+
+import re
+from fractions import Fraction
+from typing import Sequence
+
+from repro.constraints.atoms import AtomicConstraint, Relation
+from repro.constraints.formulas import (
+    And,
+    Atom,
+    Exists,
+    FalseFormula,
+    ForAll,
+    Formula,
+    Not,
+    Or,
+    TrueFormula,
+    formula_to_relation,
+)
+from repro.constraints.relations import GeneralizedRelation
+from repro.constraints.terms import LinearTerm
+
+
+class ParseError(ValueError):
+    """Raised when the input text is not a well-formed formula."""
+
+
+_TOKEN_PATTERN = re.compile(
+    r"""
+    (?P<number>\d+(?:\.\d+)?|\.\d+)
+  | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op><=|>=|==|!=|=|<|>|\+|-|\*|/|\(|\)|\.|,|&|\||!)
+  | (?P<space>\s+)
+  | (?P<error>.)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"and", "or", "not", "exists", "forall", "true", "false"}
+
+_RELATION_TOKENS = {
+    "<=": Relation.LE,
+    "<": Relation.LT,
+    ">=": Relation.GE,
+    ">": Relation.GT,
+    "==": Relation.EQ,
+    "=": Relation.EQ,
+    "!=": Relation.NE,
+}
+
+
+class _Token:
+    __slots__ = ("kind", "value", "position")
+
+    def __init__(self, kind: str, value: str, position: int) -> None:
+        self.kind = kind
+        self.value = value
+        self.position = position
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"_Token({self.kind}, {self.value!r}, {self.position})"
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    for match in _TOKEN_PATTERN.finditer(text):
+        kind = match.lastgroup
+        value = match.group()
+        if kind == "space":
+            continue
+        if kind == "error":
+            raise ParseError(f"unexpected character {value!r} at position {match.start()}")
+        if kind == "name" and value.lower() in _KEYWORDS:
+            tokens.append(_Token("keyword", value.lower(), match.start()))
+        else:
+            tokens.append(_Token(kind, value, match.start()))
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token list."""
+
+    def __init__(self, tokens: list[_Token], text: str) -> None:
+        self._tokens = tokens
+        self._text = text
+        self._index = 0
+
+    # Token helpers -------------------------------------------------------
+    def _peek(self) -> _Token | None:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _advance(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError(f"unexpected end of input in {self._text!r}")
+        self._index += 1
+        return token
+
+    def _expect(self, kind: str, value: str | None = None) -> _Token:
+        token = self._advance()
+        if token.kind != kind or (value is not None and token.value != value):
+            expected = value if value is not None else kind
+            raise ParseError(
+                f"expected {expected!r} at position {token.position}, found {token.value!r}"
+            )
+        return token
+
+    def _match_keyword(self, *keywords: str) -> str | None:
+        token = self._peek()
+        if token is not None and token.kind == "keyword" and token.value in keywords:
+            self._advance()
+            return token.value
+        return None
+
+    def _match_op(self, *ops: str) -> str | None:
+        token = self._peek()
+        if token is not None and token.kind == "op" and token.value in ops:
+            self._advance()
+            return token.value
+        return None
+
+    # Grammar -------------------------------------------------------------
+    def parse_formula(self) -> Formula:
+        formula = self._quantified()
+        leftover = self._peek()
+        if leftover is not None:
+            raise ParseError(
+                f"unexpected trailing input {leftover.value!r} at position {leftover.position}"
+            )
+        return formula
+
+    def _quantified(self) -> Formula:
+        keyword = self._match_keyword("exists", "forall")
+        if keyword is None:
+            return self._disjunction()
+        names: list[str] = []
+        while True:
+            token = self._peek()
+            if token is not None and token.kind == "name":
+                names.append(self._advance().value)
+                self._match_op(",")
+            else:
+                break
+        if not names:
+            raise ParseError(f"{keyword} requires at least one variable")
+        self._expect("op", ".")
+        body = self._quantified()
+        if keyword == "exists":
+            return Exists(tuple(names), body)
+        return ForAll(tuple(names), body)
+
+    def _disjunction(self) -> Formula:
+        operands = [self._conjunction()]
+        while self._match_keyword("or") or self._match_op("|"):
+            operands.append(self._conjunction())
+        if len(operands) == 1:
+            return operands[0]
+        return Or(operands)
+
+    def _conjunction(self) -> Formula:
+        operands = [self._negation()]
+        while self._match_keyword("and") or self._match_op("&"):
+            operands.append(self._negation())
+        if len(operands) == 1:
+            return operands[0]
+        return And(operands)
+
+    def _negation(self) -> Formula:
+        if self._match_keyword("not") or self._match_op("!"):
+            return Not(self._negation())
+        if self._match_keyword("true"):
+            return TrueFormula()
+        if self._match_keyword("false"):
+            return FalseFormula()
+        token = self._peek()
+        if token is not None and token.kind == "keyword" and token.value in ("exists", "forall"):
+            return self._quantified()
+        if token is not None and token.kind == "op" and token.value == "(":
+            # Could be a parenthesised formula or a parenthesised arithmetic
+            # expression starting a comparison; try the formula first.
+            saved = self._index
+            self._advance()
+            try:
+                inner = self._quantified()
+                self._expect("op", ")")
+            except ParseError:
+                self._index = saved
+                return self._comparison()
+            next_token = self._peek()
+            if next_token is not None and next_token.kind == "op" and next_token.value in _RELATION_TOKENS:
+                # It was actually an arithmetic group, e.g. "(x + y) <= 1".
+                self._index = saved
+                return self._comparison()
+            return inner
+        return self._comparison()
+
+    def _comparison(self) -> Formula:
+        terms = [self._sum()]
+        relations: list[Relation] = []
+        while True:
+            token = self._peek()
+            if token is not None and token.kind == "op" and token.value in _RELATION_TOKENS:
+                self._advance()
+                relations.append(_RELATION_TOKENS[token.value])
+                terms.append(self._sum())
+            else:
+                break
+        if not relations:
+            raise ParseError("expected a comparison operator")
+        atoms = [
+            Atom(AtomicConstraint.compare(terms[index], relation, terms[index + 1]))
+            for index, relation in enumerate(relations)
+        ]
+        if len(atoms) == 1:
+            return atoms[0]
+        return And(atoms)
+
+    def _sum(self) -> LinearTerm:
+        term = self._product()
+        while True:
+            operator = self._match_op("+", "-")
+            if operator is None:
+                return term
+            right = self._product()
+            term = term + right if operator == "+" else term - right
+
+    def _product(self) -> LinearTerm:
+        if self._match_op("-"):
+            return -self._product()
+        if self._match_op("+"):
+            return self._product()
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of input in arithmetic expression")
+        if token.kind == "op" and token.value == "(":
+            self._advance()
+            inner = self._sum()
+            self._expect("op", ")")
+            return self._scaled(inner)
+        if token.kind == "number":
+            self._advance()
+            value = Fraction(token.value) if "." not in token.value else Fraction(str(token.value))
+            constant = LinearTerm.constant(value)
+            if self._match_op("*"):
+                factor = self._product()
+                if factor.is_constant():
+                    return LinearTerm.constant(factor.constant_term * value)
+                return factor * value
+            return self._scaled(constant)
+        if token.kind == "name":
+            self._advance()
+            return self._scaled(LinearTerm.variable(token.value))
+        raise ParseError(
+            f"unexpected token {token.value!r} at position {token.position} in expression"
+        )
+
+    def _scaled(self, term: LinearTerm) -> LinearTerm:
+        """Handle postfix scaling and division: ``x * 2`` and ``x / 2``."""
+        while True:
+            if self._match_op("*"):
+                factor = self._product()
+                if factor.is_constant():
+                    term = term * factor.constant_term
+                elif term.is_constant():
+                    term = factor * term.constant_term
+                else:
+                    raise ParseError("products of two variables are not linear")
+            elif self._match_op("/"):
+                divisor = self._product()
+                if not divisor.is_constant():
+                    raise ParseError("division by a variable is not linear")
+                term = term / divisor.constant_term
+            else:
+                return term
+
+
+def parse_formula(text: str) -> Formula:
+    """Parse a textual FO+LIN formula into an AST."""
+    tokens = _tokenize(text)
+    if not tokens:
+        raise ParseError("empty formula")
+    return _Parser(tokens, text).parse_formula()
+
+
+def parse_relation(text: str, variables: Sequence[str] | None = None) -> GeneralizedRelation:
+    """Parse a formula and convert it to a DNF generalized relation.
+
+    ``variables`` optionally fixes the ambient variable order (it must cover
+    the free variables of the formula).
+    """
+    return formula_to_relation(parse_formula(text), variables)
+
+
+def parse_term(text: str) -> LinearTerm:
+    """Parse an arithmetic expression into a linear term."""
+    tokens = _tokenize(text)
+    if not tokens:
+        raise ParseError("empty term")
+    parser = _Parser(tokens, text)
+    term = parser._sum()
+    leftover = parser._peek()
+    if leftover is not None:
+        raise ParseError(
+            f"unexpected trailing input {leftover.value!r} at position {leftover.position}"
+        )
+    return term

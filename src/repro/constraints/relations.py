@@ -1,0 +1,331 @@
+"""Generalized relations: finite unions of generalized tuples (DNF form).
+
+A *finitely representable relation* over ``R_lin`` is definable by a
+quantifier-free formula; since the structure admits quantifier elimination and
+every quantifier-free formula has a disjunctive normal form, each generalized
+relation is a finite union of generalized tuples (Section 2 of the paper).
+
+:class:`GeneralizedRelation` is the symbolic object the whole library revolves
+around: the samplers, volume estimators and composition operators of
+:mod:`repro.core` consume it, the query layer of :mod:`repro.queries` produces
+it, and the exact baselines of :mod:`repro.volume` integrate it.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Mapping, Sequence
+
+from repro.constraints.atoms import AtomicConstraint
+from repro.constraints.terms import LinearTerm, Number
+from repro.constraints.tuples import GeneralizedTuple
+
+
+class GeneralizedRelation:
+    """A finite union of :class:`GeneralizedTuple` over a common variable order.
+
+    The disjuncts of a relation all share the relation's ambient variable
+    order, so a relation is a subset of ``R^d`` with ``d = len(variables)``.
+    """
+
+    __slots__ = ("_disjuncts", "_variables", "_hash")
+
+    def __init__(
+        self,
+        disjuncts: Iterable[GeneralizedTuple],
+        variables: Sequence[str] | None = None,
+    ) -> None:
+        tuples = list(disjuncts)
+        for disjunct in tuples:
+            if not isinstance(disjunct, GeneralizedTuple):
+                raise TypeError("disjuncts must be GeneralizedTuple instances")
+        if variables is None:
+            order: list[str] = []
+            for disjunct in tuples:
+                for name in disjunct.variables:
+                    if name not in order:
+                        order.append(name)
+            variable_order = tuple(order)
+        else:
+            variable_order = tuple(variables)
+            if len(set(variable_order)) != len(variable_order):
+                raise ValueError("variable order contains duplicates")
+        aligned = tuple(
+            disjunct
+            if disjunct.variables == variable_order
+            else disjunct.with_variables(
+                _extend_order(variable_order, disjunct.variables)
+            )
+            for disjunct in tuples
+        )
+        for disjunct in aligned:
+            extra = set(disjunct.variables) - set(variable_order)
+            if extra:
+                raise ValueError(
+                    f"disjunct mentions variables {sorted(extra)} outside the relation order"
+                )
+        self._disjuncts = tuple(
+            disjunct.with_variables(variable_order) for disjunct in aligned
+        )
+        self._variables = variable_order
+        self._hash: int | None = None
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_tuple(cls, disjunct: GeneralizedTuple) -> "GeneralizedRelation":
+        """Wrap a single generalized tuple as a relation."""
+        return cls((disjunct,), disjunct.variables)
+
+    @classmethod
+    def empty(cls, variables: Sequence[str]) -> "GeneralizedRelation":
+        """The empty relation over the given variables."""
+        return cls((), variables)
+
+    @classmethod
+    def universe(cls, variables: Sequence[str]) -> "GeneralizedRelation":
+        """The full space ``R^d`` over the given variables."""
+        return cls((GeneralizedTuple.universe(variables),), variables)
+
+    @classmethod
+    def box(
+        cls, bounds: Mapping[str, tuple[Number, Number]], strict: bool = False
+    ) -> "GeneralizedRelation":
+        """Axis-aligned box as a one-disjunct relation."""
+        return cls.from_tuple(GeneralizedTuple.box(bounds, strict=strict))
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def disjuncts(self) -> tuple[GeneralizedTuple, ...]:
+        """The generalized tuples whose union is the relation."""
+        return self._disjuncts
+
+    @property
+    def variables(self) -> tuple[str, ...]:
+        """The ordered ambient variables."""
+        return self._variables
+
+    @property
+    def dimension(self) -> int:
+        """The ambient dimension."""
+        return len(self._variables)
+
+    def __len__(self) -> int:
+        return len(self._disjuncts)
+
+    def __iter__(self):
+        return iter(self._disjuncts)
+
+    def is_syntactically_empty(self) -> bool:
+        """True when the relation has no disjunct or only trivially empty ones."""
+        return all(d.is_syntactically_empty() for d in self._disjuncts) if self._disjuncts else True
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def satisfied_by(self, assignment: Mapping[str, Number]) -> bool:
+        """Does the assignment satisfy at least one disjunct?"""
+        return any(disjunct.satisfied_by(assignment) for disjunct in self._disjuncts)
+
+    def contains_point(self, point: Sequence[Number]) -> bool:
+        """Membership test for a point in the relation's variable order."""
+        if len(point) != self.dimension:
+            raise ValueError(
+                f"point has dimension {len(point)}, relation has dimension {self.dimension}"
+            )
+        assignment = dict(zip(self._variables, point))
+        return self.satisfied_by(assignment)
+
+    def membership_index(self, point: Sequence[Number]) -> int | None:
+        """Return the smallest disjunct index containing the point (or ``None``).
+
+        This is the ``j(x)`` of the union generator (Theorem 4.1): the
+        acceptance step outputs a point only when it was drawn from the
+        first disjunct that contains it.
+        """
+        assignment = dict(zip(self._variables, point))
+        for index, disjunct in enumerate(self._disjuncts):
+            if disjunct.satisfied_by(assignment):
+                return index
+        return None
+
+    # ------------------------------------------------------------------
+    # Boolean operations (symbolic, DNF preserving)
+    # ------------------------------------------------------------------
+    def union(self, other: "GeneralizedRelation") -> "GeneralizedRelation":
+        """Union of two relations (concatenation of disjunct lists)."""
+        order = _merge_orders(self._variables, other._variables)
+        return GeneralizedRelation(self._disjuncts + other._disjuncts, order)
+
+    def intersection(self, other: "GeneralizedRelation") -> "GeneralizedRelation":
+        """Intersection by distributing conjunction over the disjuncts."""
+        order = _merge_orders(self._variables, other._variables)
+        products = [
+            left.conjoin(right)
+            for left in self._disjuncts
+            for right in other._disjuncts
+        ]
+        return GeneralizedRelation(products, order)
+
+    def complement(self) -> "GeneralizedRelation":
+        """Complement within ``R^d``, returned in DNF.
+
+        The complement of a DNF is a CNF of negated atoms; distributing it
+        back into DNF may grow exponentially in the number of disjuncts, which
+        mirrors the symbolic costs the paper's sampling approach avoids.
+        """
+        if not self._disjuncts:
+            return GeneralizedRelation.universe(self._variables)
+        # Start from the single empty conjunction and refine per disjunct.
+        current: list[GeneralizedTuple] = [GeneralizedTuple.universe(self._variables)]
+        for disjunct in self._disjuncts:
+            next_round: list[GeneralizedTuple] = []
+            negated_atoms = [atom.negate() for atom in disjunct.constraints]
+            if not negated_atoms:
+                # Complement of the universe is empty.
+                return GeneralizedRelation.empty(self._variables)
+            for partial in current:
+                for atom in negated_atoms:
+                    candidate = partial.with_constraint(atom).with_variables(self._variables)
+                    candidate = candidate.simplify()
+                    if not candidate.is_syntactically_empty():
+                        next_round.append(candidate)
+            current = next_round
+            if not current:
+                return GeneralizedRelation.empty(self._variables)
+        return GeneralizedRelation(current, self._variables)
+
+    def difference(self, other: "GeneralizedRelation") -> "GeneralizedRelation":
+        """Set difference ``self \\ other`` in DNF."""
+        other_aligned = GeneralizedRelation(
+            other._disjuncts, _merge_orders(self._variables, other._variables)
+        )
+        return self.intersection(other_aligned.complement())
+
+    def project(self, keep: Sequence[str]) -> "GeneralizedRelation":
+        """Exact projection onto the variables in ``keep`` (Fourier--Motzkin).
+
+        This is the symbolic baseline the paper's Proposition 4.3 compares
+        against; its cost is doubly exponential in the number of eliminated
+        variables in the worst case.
+        """
+        from repro.constraints.fourier_motzkin import eliminate_variables
+
+        keep_order = tuple(keep)
+        unknown = set(keep_order) - set(self._variables)
+        if unknown:
+            raise ValueError(f"cannot keep unknown variables {sorted(unknown)}")
+        eliminate = [name for name in self._variables if name not in keep_order]
+        projected: list[GeneralizedTuple] = []
+        for disjunct in self._disjuncts:
+            reduced = eliminate_variables(disjunct, eliminate)
+            if reduced is not None:
+                projected.append(reduced.with_variables(keep_order))
+        return GeneralizedRelation(projected, keep_order)
+
+    def rename(self, mapping: Mapping[str, str]) -> "GeneralizedRelation":
+        """Rename variables across all disjuncts and the variable order."""
+        renamed_order = tuple(mapping.get(name, name) for name in self._variables)
+        if len(set(renamed_order)) != len(renamed_order):
+            raise ValueError("renaming collapses distinct variables")
+        return GeneralizedRelation(
+            (disjunct.rename(mapping) for disjunct in self._disjuncts), renamed_order
+        )
+
+    def product(self, other: "GeneralizedRelation") -> "GeneralizedRelation":
+        """Cartesian product: variable sets must be disjoint."""
+        overlap = set(self._variables) & set(other._variables)
+        if overlap:
+            raise ValueError(f"product requires disjoint variables, shared: {sorted(overlap)}")
+        order = self._variables + other._variables
+        products = [
+            left.conjoin(right)
+            for left in self._disjuncts
+            for right in other._disjuncts
+        ]
+        if not self._disjuncts or not other._disjuncts:
+            return GeneralizedRelation.empty(order)
+        return GeneralizedRelation(products, order)
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def simplify(self) -> "GeneralizedRelation":
+        """Simplify every disjunct and drop syntactically empty ones."""
+        kept: list[GeneralizedTuple] = []
+        for disjunct in self._disjuncts:
+            simplified = disjunct.simplify()
+            if not simplified.is_syntactically_empty() and simplified not in kept:
+                kept.append(simplified)
+        return GeneralizedRelation(kept, self._variables)
+
+    def relax(self) -> "GeneralizedRelation":
+        """Replace strict constraints by non-strict ones in every disjunct."""
+        return GeneralizedRelation(
+            (disjunct.relax() for disjunct in self._disjuncts), self._variables
+        )
+
+    def with_variables(self, variables: Sequence[str]) -> "GeneralizedRelation":
+        """Re-embed the relation in a (superset) variable order."""
+        return GeneralizedRelation(self._disjuncts, variables)
+
+    def bounding_box(self) -> dict[str, tuple[Fraction, Fraction]] | None:
+        """Union of the syntactic bounding boxes of the disjuncts (or ``None``)."""
+        box: dict[str, tuple[Fraction, Fraction]] | None = None
+        for disjunct in self._disjuncts:
+            disjunct_box = disjunct.bounding_box()
+            if disjunct_box is None:
+                return None
+            if box is None:
+                box = dict(disjunct_box)
+            else:
+                for name, (low, high) in disjunct_box.items():
+                    current_low, current_high = box[name]
+                    box[name] = (min(current_low, low), max(current_high, high))
+        return box
+
+    def description_size(self) -> int:
+        """Number of symbols of the defining formula (paper's size measure)."""
+        return max(sum(d.description_size() for d in self._disjuncts), 1)
+
+    # ------------------------------------------------------------------
+    # Structural equality / hashing / representation
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GeneralizedRelation):
+            return NotImplemented
+        return (
+            self._disjuncts == other._disjuncts and self._variables == other._variables
+        )
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash((self._disjuncts, self._variables))
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"GeneralizedRelation({len(self._disjuncts)} disjuncts over {self._variables})"
+
+    def __str__(self) -> str:
+        if not self._disjuncts:
+            return "FALSE"
+        return " OR ".join(f"({disjunct})" for disjunct in self._disjuncts)
+
+
+def _merge_orders(left: Sequence[str], right: Sequence[str]) -> tuple[str, ...]:
+    merged = list(left)
+    for name in right:
+        if name not in merged:
+            merged.append(name)
+    return tuple(merged)
+
+
+def _extend_order(order: Sequence[str], subset: Sequence[str]) -> tuple[str, ...]:
+    extended = list(order)
+    for name in subset:
+        if name not in extended:
+            extended.append(name)
+    return tuple(extended)

@@ -1,0 +1,313 @@
+"""Linear terms over the reals.
+
+A :class:`LinearTerm` represents an affine expression
+
+    c_1 * x_1 + c_2 * x_2 + ... + c_n * x_n + b
+
+over named real variables, with exact rational coefficients.  Linear terms are
+the building blocks of atomic constraints in the structure
+``R_lin = <R, +, -, <, 0, 1>`` used by the paper (Section 2).
+
+All arithmetic is exact: coefficients are stored as :class:`fractions.Fraction`
+so that quantifier elimination (Fourier--Motzkin) and emptiness tests do not
+suffer from floating point drift.  Conversion to floating point only happens
+at the geometry boundary (see :mod:`repro.geometry`).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Mapping, Union
+
+Number = Union[int, float, Fraction]
+
+
+def to_fraction(value: Number) -> Fraction:
+    """Convert a number to an exact :class:`Fraction`.
+
+    Integers and fractions convert exactly.  Floats are converted through
+    their decimal representation (``Fraction(str(value))``) so that a literal
+    such as ``0.1`` becomes ``1/10`` rather than the exact binary expansion,
+    which matches the intent of textual constraint definitions.
+    """
+    if isinstance(value, Fraction):
+        return value
+    if isinstance(value, int):
+        return Fraction(value)
+    if isinstance(value, float):
+        if value != value or value in (float("inf"), float("-inf")):
+            raise ValueError(f"cannot represent non-finite value {value!r} exactly")
+        return Fraction(str(value))
+    raise TypeError(f"unsupported numeric type: {type(value).__name__}")
+
+
+class LinearTerm:
+    """An affine expression ``sum(coeff[v] * v) + constant`` over named variables.
+
+    Instances are immutable and hashable.  The public API mirrors ordinary
+    arithmetic so that terms can be combined naturally::
+
+        x = LinearTerm.variable("x")
+        y = LinearTerm.variable("y")
+        t = 2 * x - y + 1
+    """
+
+    __slots__ = ("_coefficients", "_constant", "_hash")
+
+    def __init__(
+        self,
+        coefficients: Mapping[str, Number] | None = None,
+        constant: Number = 0,
+    ) -> None:
+        cleaned: dict[str, Fraction] = {}
+        if coefficients:
+            for name, value in coefficients.items():
+                if not isinstance(name, str) or not name:
+                    raise TypeError("variable names must be non-empty strings")
+                frac = to_fraction(value)
+                if frac != 0:
+                    cleaned[name] = frac
+        self._coefficients = cleaned
+        self._constant = to_fraction(constant)
+        self._hash: int | None = None
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def variable(cls, name: str) -> "LinearTerm":
+        """Return the term consisting of a single variable with coefficient 1."""
+        return cls({name: 1}, 0)
+
+    @classmethod
+    def constant(cls, value: Number) -> "LinearTerm":
+        """Return a constant term."""
+        return cls({}, value)
+
+    @classmethod
+    def zero(cls) -> "LinearTerm":
+        """Return the zero term."""
+        return cls({}, 0)
+
+    @classmethod
+    def from_coefficients(
+        cls, variables: Iterable[str], coefficients: Iterable[Number], constant: Number = 0
+    ) -> "LinearTerm":
+        """Build a term from parallel sequences of variable names and coefficients."""
+        names = list(variables)
+        coeffs = list(coefficients)
+        if len(names) != len(coeffs):
+            raise ValueError("variables and coefficients must have the same length")
+        return cls(dict(zip(names, coeffs)), constant)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def coefficients(self) -> Mapping[str, Fraction]:
+        """Mapping from variable name to its (non-zero) coefficient."""
+        return dict(self._coefficients)
+
+    @property
+    def constant_term(self) -> Fraction:
+        """The constant offset of the term."""
+        return self._constant
+
+    def coefficient(self, name: str) -> Fraction:
+        """Return the coefficient of ``name`` (zero when the variable is absent)."""
+        return self._coefficients.get(name, Fraction(0))
+
+    def variables(self) -> frozenset[str]:
+        """The set of variables with a non-zero coefficient."""
+        return frozenset(self._coefficients)
+
+    def is_constant(self) -> bool:
+        """True when the term mentions no variable."""
+        return not self._coefficients
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other: "LinearTerm | Number") -> "LinearTerm":
+        other_term = _as_term(other)
+        if other_term is NotImplemented:
+            return NotImplemented
+        merged = dict(self._coefficients)
+        for name, value in other_term._coefficients.items():
+            merged[name] = merged.get(name, Fraction(0)) + value
+        return LinearTerm(merged, self._constant + other_term._constant)
+
+    def __radd__(self, other: "LinearTerm | Number") -> "LinearTerm":
+        return self.__add__(other)
+
+    def __neg__(self) -> "LinearTerm":
+        return LinearTerm(
+            {name: -value for name, value in self._coefficients.items()},
+            -self._constant,
+        )
+
+    def __sub__(self, other: "LinearTerm | Number") -> "LinearTerm":
+        other_term = _as_term(other)
+        if other_term is NotImplemented:
+            return NotImplemented
+        return self + (-other_term)
+
+    def __rsub__(self, other: "LinearTerm | Number") -> "LinearTerm":
+        other_term = _as_term(other)
+        if other_term is NotImplemented:
+            return NotImplemented
+        return other_term + (-self)
+
+    def __mul__(self, scalar: Number) -> "LinearTerm":
+        if isinstance(scalar, LinearTerm):
+            raise TypeError("linear terms cannot be multiplied together")
+        factor = to_fraction(scalar)
+        return LinearTerm(
+            {name: value * factor for name, value in self._coefficients.items()},
+            self._constant * factor,
+        )
+
+    def __rmul__(self, scalar: Number) -> "LinearTerm":
+        return self.__mul__(scalar)
+
+    def __truediv__(self, scalar: Number) -> "LinearTerm":
+        factor = to_fraction(scalar)
+        if factor == 0:
+            raise ZeroDivisionError("division of a linear term by zero")
+        return self * (Fraction(1) / factor)
+
+    def scale(self, factor: Number) -> "LinearTerm":
+        """Return the term multiplied by ``factor`` (alias of ``*``)."""
+        return self * factor
+
+    # ------------------------------------------------------------------
+    # Evaluation and substitution
+    # ------------------------------------------------------------------
+    def evaluate(self, assignment: Mapping[str, Number]) -> Fraction:
+        """Evaluate the term for the given variable assignment.
+
+        Raises :class:`KeyError` when a variable of the term is not assigned.
+        """
+        total = self._constant
+        for name, coefficient in self._coefficients.items():
+            total += coefficient * to_fraction(assignment[name])
+        return total
+
+    def substitute(self, substitution: Mapping[str, "LinearTerm | Number"]) -> "LinearTerm":
+        """Replace variables by terms or numbers and return the resulting term."""
+        result = LinearTerm({}, self._constant)
+        for name, coefficient in self._coefficients.items():
+            if name in substitution:
+                replacement = substitution[name]
+                replacement_term = (
+                    replacement
+                    if isinstance(replacement, LinearTerm)
+                    else LinearTerm.constant(replacement)
+                )
+                result = result + replacement_term * coefficient
+            else:
+                result = result + LinearTerm({name: coefficient}, 0)
+        return result
+
+    def rename(self, mapping: Mapping[str, str]) -> "LinearTerm":
+        """Rename variables according to ``mapping`` (identity when absent)."""
+        renamed: dict[str, Fraction] = {}
+        for name, coefficient in self._coefficients.items():
+            new_name = mapping.get(name, name)
+            renamed[new_name] = renamed.get(new_name, Fraction(0)) + coefficient
+        return LinearTerm(renamed, self._constant)
+
+    # ------------------------------------------------------------------
+    # Comparisons producing constraints (imported lazily to avoid cycles)
+    # ------------------------------------------------------------------
+    def __le__(self, other: "LinearTerm | Number"):
+        from repro.constraints.atoms import AtomicConstraint, Relation
+
+        return AtomicConstraint.compare(self, Relation.LE, _as_term_strict(other))
+
+    def __lt__(self, other: "LinearTerm | Number"):
+        from repro.constraints.atoms import AtomicConstraint, Relation
+
+        return AtomicConstraint.compare(self, Relation.LT, _as_term_strict(other))
+
+    def __ge__(self, other: "LinearTerm | Number"):
+        from repro.constraints.atoms import AtomicConstraint, Relation
+
+        return AtomicConstraint.compare(self, Relation.GE, _as_term_strict(other))
+
+    def __gt__(self, other: "LinearTerm | Number"):
+        from repro.constraints.atoms import AtomicConstraint, Relation
+
+        return AtomicConstraint.compare(self, Relation.GT, _as_term_strict(other))
+
+    def equals(self, other: "LinearTerm | Number"):
+        """Return the equality constraint ``self == other``.
+
+        Named ``equals`` rather than ``__eq__`` because ``__eq__`` implements
+        structural equality of terms (needed for hashing and container use).
+        """
+        from repro.constraints.atoms import AtomicConstraint, Relation
+
+        return AtomicConstraint.compare(self, Relation.EQ, _as_term_strict(other))
+
+    # ------------------------------------------------------------------
+    # Structural equality / hashing / representation
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LinearTerm):
+            return NotImplemented
+        return (
+            self._coefficients == other._coefficients
+            and self._constant == other._constant
+        )
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            items = tuple(sorted(self._coefficients.items()))
+            self._hash = hash((items, self._constant))
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"LinearTerm({self!s})"
+
+    def __str__(self) -> str:
+        parts: list[str] = []
+        for name in sorted(self._coefficients):
+            coefficient = self._coefficients[name]
+            if coefficient == 1:
+                parts.append(f"+ {name}")
+            elif coefficient == -1:
+                parts.append(f"- {name}")
+            elif coefficient < 0:
+                parts.append(f"- {-coefficient}*{name}")
+            else:
+                parts.append(f"+ {coefficient}*{name}")
+        if self._constant != 0 or not parts:
+            sign = "-" if self._constant < 0 else "+"
+            parts.append(f"{sign} {abs(self._constant)}")
+        text = " ".join(parts)
+        if text.startswith("+ "):
+            text = text[2:]
+        return text
+
+
+def _as_term(value: "LinearTerm | Number") -> "LinearTerm":
+    """Convert ``value`` to a term, returning ``NotImplemented`` for foreign types."""
+    if isinstance(value, LinearTerm):
+        return value
+    if isinstance(value, (int, float, Fraction)):
+        return LinearTerm.constant(value)
+    return NotImplemented  # type: ignore[return-value]
+
+
+def _as_term_strict(value: "LinearTerm | Number") -> "LinearTerm":
+    """Convert ``value`` to a term, raising for unsupported types."""
+    term = _as_term(value)
+    if term is NotImplemented:
+        raise TypeError(f"cannot interpret {value!r} as a linear term")
+    return term
+
+
+def variables(*names: str) -> tuple[LinearTerm, ...]:
+    """Convenience constructor: ``x, y = variables("x", "y")``."""
+    return tuple(LinearTerm.variable(name) for name in names)

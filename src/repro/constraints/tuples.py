@@ -1,0 +1,309 @@
+"""Generalized tuples: conjunctions of atomic linear constraints.
+
+A *d-ary generalized tuple* (Section 2 of the paper) is a conjunction of
+atomic formulas over ``R_lin``.  Geometrically a generalized tuple over linear
+constraints is an intersection of halfspaces, hence a convex set.  The class
+below is the symbolic counterpart of :class:`repro.geometry.polytope.HPolytope`.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Mapping, Sequence
+
+from repro.constraints.atoms import AtomicConstraint, Relation, interval_constraints
+from repro.constraints.terms import LinearTerm, Number, to_fraction
+
+
+class GeneralizedTuple:
+    """A conjunction of :class:`AtomicConstraint` over a fixed variable order.
+
+    The variable order is part of the tuple: it fixes the ambient dimension
+    and the meaning of coordinates when the tuple is handed to the geometric
+    layer.  Variables mentioned by the constraints must all appear in the
+    order; the order may list extra variables (free coordinates).
+    """
+
+    __slots__ = ("_constraints", "_variables", "_hash")
+
+    def __init__(
+        self,
+        constraints: Iterable[AtomicConstraint],
+        variables: Sequence[str] | None = None,
+    ) -> None:
+        atoms = tuple(constraints)
+        for atom in atoms:
+            if not isinstance(atom, AtomicConstraint):
+                raise TypeError("constraints must be AtomicConstraint instances")
+        mentioned: set[str] = set()
+        for atom in atoms:
+            mentioned |= atom.variables()
+        if variables is None:
+            order = tuple(sorted(mentioned))
+        else:
+            order = tuple(variables)
+            if len(set(order)) != len(order):
+                raise ValueError("variable order contains duplicates")
+            missing = mentioned - set(order)
+            if missing:
+                raise ValueError(
+                    f"constraints mention variables {sorted(missing)} absent from the order"
+                )
+        self._constraints = atoms
+        self._variables = order
+        self._hash: int | None = None
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def box(
+        cls,
+        bounds: Mapping[str, tuple[Number, Number]],
+        strict: bool = False,
+    ) -> "GeneralizedTuple":
+        """Build the axis-aligned box ``{lower_v <= v <= upper_v}``."""
+        constraints: list[AtomicConstraint] = []
+        for name in sorted(bounds):
+            lower, upper = bounds[name]
+            constraints.extend(interval_constraints(name, lower, upper, strict=strict))
+        return cls(constraints, tuple(sorted(bounds)))
+
+    @classmethod
+    def universe(cls, variables: Sequence[str]) -> "GeneralizedTuple":
+        """The tuple with no constraints (all of ``R^d``)."""
+        return cls((), tuple(variables))
+
+    @classmethod
+    def empty(cls, variables: Sequence[str]) -> "GeneralizedTuple":
+        """A syntactically unsatisfiable tuple."""
+        return cls((AtomicConstraint.false(),), tuple(variables))
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def constraints(self) -> tuple[AtomicConstraint, ...]:
+        """The atomic constraints of the conjunction."""
+        return self._constraints
+
+    @property
+    def variables(self) -> tuple[str, ...]:
+        """The ordered ambient variables of the tuple."""
+        return self._variables
+
+    @property
+    def dimension(self) -> int:
+        """The ambient dimension (number of ordered variables)."""
+        return len(self._variables)
+
+    def __len__(self) -> int:
+        return len(self._constraints)
+
+    def __iter__(self):
+        return iter(self._constraints)
+
+    # ------------------------------------------------------------------
+    # Logic
+    # ------------------------------------------------------------------
+    def satisfied_by(self, assignment: Mapping[str, Number]) -> bool:
+        """Membership test: does the assignment satisfy every constraint?"""
+        return all(atom.satisfied_by(assignment) for atom in self._constraints)
+
+    def contains_point(self, point: Sequence[Number]) -> bool:
+        """Membership test for a point given in the tuple's variable order."""
+        if len(point) != self.dimension:
+            raise ValueError(
+                f"point has dimension {len(point)}, tuple has dimension {self.dimension}"
+            )
+        assignment = dict(zip(self._variables, point))
+        return self.satisfied_by(assignment)
+
+    def conjoin(self, other: "GeneralizedTuple") -> "GeneralizedTuple":
+        """Conjunction of two tuples over the union of their variable orders."""
+        order = _merge_orders(self._variables, other._variables)
+        return GeneralizedTuple(self._constraints + other._constraints, order)
+
+    def with_constraint(self, constraint: AtomicConstraint) -> "GeneralizedTuple":
+        """Return the tuple extended with one more constraint."""
+        order = _merge_orders(self._variables, tuple(sorted(constraint.variables())))
+        return GeneralizedTuple(self._constraints + (constraint,), order)
+
+    def with_variables(self, variables: Sequence[str]) -> "GeneralizedTuple":
+        """Return the same conjunction over a different (superset) variable order."""
+        return GeneralizedTuple(self._constraints, variables)
+
+    def rename(self, mapping: Mapping[str, str]) -> "GeneralizedTuple":
+        """Rename variables in constraints and in the variable order."""
+        renamed_order = tuple(mapping.get(name, name) for name in self._variables)
+        if len(set(renamed_order)) != len(renamed_order):
+            raise ValueError("renaming collapses distinct variables")
+        return GeneralizedTuple(
+            (atom.rename(mapping) for atom in self._constraints), renamed_order
+        )
+
+    def substitute(
+        self, substitution: Mapping[str, "LinearTerm | Number"]
+    ) -> "GeneralizedTuple":
+        """Substitute variables by terms in every constraint.
+
+        Substituted variables are removed from the variable order; variables
+        introduced by the substitution terms are appended (sorted) at the end.
+        """
+        new_atoms = tuple(atom.substitute(substitution) for atom in self._constraints)
+        kept = [name for name in self._variables if name not in substitution]
+        introduced: set[str] = set()
+        for value in substitution.values():
+            if isinstance(value, LinearTerm):
+                introduced |= value.variables()
+        for name in sorted(introduced):
+            if name not in kept:
+                kept.append(name)
+        return GeneralizedTuple(new_atoms, tuple(kept))
+
+    def relax(self) -> "GeneralizedTuple":
+        """Closure: replace strict constraints by their non-strict versions."""
+        return GeneralizedTuple(
+            (atom.relax() for atom in self._constraints), self._variables
+        )
+
+    def simplify(self) -> "GeneralizedTuple":
+        """Drop duplicate and trivially true constraints; collapse to empty when
+        a trivially false constraint is present."""
+        seen: list[AtomicConstraint] = []
+        for atom in self._constraints:
+            if atom.is_trivially_false():
+                return GeneralizedTuple.empty(self._variables)
+            if atom.is_trivially_true():
+                continue
+            if atom not in seen:
+                seen.append(atom)
+        return GeneralizedTuple(seen, self._variables)
+
+    def is_syntactically_empty(self) -> bool:
+        """True when some constraint is trivially false."""
+        return any(atom.is_trivially_false() for atom in self._constraints)
+
+    # ------------------------------------------------------------------
+    # Linear-algebra form
+    # ------------------------------------------------------------------
+    def inequality_matrix(self) -> tuple[list[list[Fraction]], list[Fraction], list[bool]]:
+        """Return ``(A, b, strict)`` with the system ``A x <= b`` (or ``<`` when strict).
+
+        Equality constraints contribute two opposite inequality rows.  ``!=``
+        constraints are ignored: they are volume-null and handled separately
+        by the callers that need exact semantics.
+        """
+        rows: list[list[Fraction]] = []
+        offsets: list[Fraction] = []
+        strict_flags: list[bool] = []
+        for atom in self._constraints:
+            row, offset = atom.coefficients_for(self._variables)
+            if atom.relation is Relation.LE or atom.relation is Relation.LT:
+                rows.append(row)
+                offsets.append(-offset)
+                strict_flags.append(atom.relation is Relation.LT)
+            elif atom.relation is Relation.EQ:
+                rows.append(row)
+                offsets.append(-offset)
+                strict_flags.append(False)
+                rows.append([-value for value in row])
+                offsets.append(offset)
+                strict_flags.append(False)
+            elif atom.relation is Relation.NE:
+                continue
+            else:  # pragma: no cover - canonical form excludes GE/GT
+                raise AssertionError(f"non-canonical relation {atom.relation!r}")
+        return rows, offsets, strict_flags
+
+    def bounding_box(self) -> dict[str, tuple[Fraction, Fraction]] | None:
+        """Syntactic bounding box derived from single-variable constraints.
+
+        Returns a mapping ``variable -> (lower, upper)`` when every variable is
+        bounded both ways by constraints that mention only that variable, and
+        ``None`` otherwise.  The geometric layer computes tight bounding boxes
+        through linear programming; this method is the fast path used by
+        workload constructors and the fixed-dimension grid sampler.
+        """
+        lower: dict[str, Fraction] = {}
+        upper: dict[str, Fraction] = {}
+        for atom in self._constraints:
+            names = atom.variables()
+            if len(names) != 1:
+                continue
+            (name,) = names
+            coefficient = atom.term.coefficient(name)
+            offset = atom.term.constant_term
+            if atom.relation in (Relation.LE, Relation.LT):
+                bound = -offset / coefficient
+                if coefficient > 0:
+                    if name not in upper or bound < upper[name]:
+                        upper[name] = bound
+                else:
+                    if name not in lower or bound > lower[name]:
+                        lower[name] = bound
+            elif atom.relation is Relation.EQ:
+                bound = -offset / coefficient
+                if name not in upper or bound < upper[name]:
+                    upper[name] = bound
+                if name not in lower or bound > lower[name]:
+                    lower[name] = bound
+        box: dict[str, tuple[Fraction, Fraction]] = {}
+        for name in self._variables:
+            if name not in lower or name not in upper:
+                return None
+            box[name] = (lower[name], upper[name])
+        return box
+
+    # ------------------------------------------------------------------
+    # Structural equality / hashing / representation
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GeneralizedTuple):
+            return NotImplemented
+        return (
+            self._constraints == other._constraints
+            and self._variables == other._variables
+        )
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash((self._constraints, self._variables))
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"GeneralizedTuple({self!s})"
+
+    def __str__(self) -> str:
+        if not self._constraints:
+            return "TRUE"
+        return " AND ".join(str(atom) for atom in self._constraints)
+
+    def description_size(self) -> int:
+        """Number of symbols in the defining formula (paper's size measure)."""
+        size = 0
+        for atom in self._constraints:
+            size += 2 + len(atom.term.coefficients)
+        return max(size, 1)
+
+
+def _merge_orders(left: Sequence[str], right: Sequence[str]) -> tuple[str, ...]:
+    """Merge two variable orders keeping the left order and appending new names."""
+    merged = list(left)
+    for name in right:
+        if name not in merged:
+            merged.append(name)
+    return tuple(merged)
+
+
+def box_tuple(
+    lowers: Sequence[Number], uppers: Sequence[Number], prefix: str = "x"
+) -> GeneralizedTuple:
+    """Axis-aligned box with generated variable names ``x1 .. xd``."""
+    if len(lowers) != len(uppers):
+        raise ValueError("lower and upper bound sequences differ in length")
+    bounds = {
+        f"{prefix}{index + 1}": (to_fraction(low), to_fraction(high))
+        for index, (low, high) in enumerate(zip(lowers, uppers))
+    }
+    return GeneralizedTuple.box(bounds)

@@ -1,0 +1,82 @@
+"""The paper's contribution: observability and its closure properties.
+
+This package implements the notions and algorithms of Sections 2--5 of the
+paper: (γ, ε, δ)-generators and (ε, δ)-volume estimators (observability), the
+DFK convex case, the fixed-dimension case, closure under union / intersection
+/ difference / projection, convex-hull reconstruction of relations and of
+positive existential queries, and the extension to polynomial constraints.
+"""
+
+from repro.core.convex import ConvexObservable, convex_observable_from_tuple
+from repro.core.difference import DifferenceObservable, difference_observable
+from repro.core.fixed_dimension import FixedDimensionObservable
+from repro.core.intersection import IntersectionObservable, intersection_observable
+from repro.core.observable import (
+    GenerationFailure,
+    GeneratorParams,
+    ObservableRelation,
+)
+from repro.core.poly_related import (
+    PolyRelatednessError,
+    poly_related,
+    rejection_budget,
+    volume_ratio,
+)
+from repro.core.polynomial import PolynomialBody, ball_body, ellipsoid_body
+from repro.core.projection import (
+    ProjectionObservable,
+    naive_projection_samples,
+    projection_observable,
+)
+from repro.core.query_reconstruction import (
+    ConjunctiveComponent,
+    PositiveExistentialQuery,
+    RelationAtom,
+    component_conjunction,
+    reconstruct_positive_existential,
+)
+from repro.core.reconstruction import (
+    ConvexHullEstimator,
+    RelationEstimate,
+    relation_membership,
+    sample_count_affentranger_wieacker,
+    symmetric_difference_volume,
+    tuple_membership,
+)
+from repro.core.union import UnionObservable, union_observable
+
+__all__ = [
+    "ConvexObservable",
+    "convex_observable_from_tuple",
+    "DifferenceObservable",
+    "difference_observable",
+    "FixedDimensionObservable",
+    "IntersectionObservable",
+    "intersection_observable",
+    "GenerationFailure",
+    "GeneratorParams",
+    "ObservableRelation",
+    "PolyRelatednessError",
+    "poly_related",
+    "rejection_budget",
+    "volume_ratio",
+    "PolynomialBody",
+    "ball_body",
+    "ellipsoid_body",
+    "ProjectionObservable",
+    "naive_projection_samples",
+    "projection_observable",
+    "ConjunctiveComponent",
+    "PositiveExistentialQuery",
+    "RelationAtom",
+    "component_conjunction",
+    "reconstruct_positive_existential",
+    "ConvexHullEstimator",
+    "RelationEstimate",
+    "relation_membership",
+    "sample_count_affentranger_wieacker",
+    "symmetric_difference_volume",
+    "tuple_membership",
+    "UnionObservable",
+    "union_observable",
+]

@@ -1,0 +1,191 @@
+"""Observable convex relations (the Dyer--Frieze--Kannan theorem).
+
+A generalized tuple over linear constraints defines a convex set; when that
+set is well-bounded, the DFK result makes it observable: the lattice random
+walk on a γ-grid of the well-rounded image is an almost uniform generator, and
+the telescoping product of ratios yields an (ε, δ)-volume estimator.
+
+:class:`ConvexObservable` packages that machinery behind the
+:class:`~repro.core.observable.ObservableRelation` interface.  Generation
+happens in the *rounded* space (where the grid step and walk schedule are
+meaningful) and samples are pulled back through the inverse affine map, which
+preserves uniformity because affine maps rescale all volumes by the same
+determinant.
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+import numpy as np
+
+from repro.constraints.tuples import GeneralizedTuple
+from repro.core.observable import GenerationFailure, GeneratorParams, ObservableRelation
+from repro.geometry.polytope import HPolytope
+from repro.geometry.rounding import RoundedBody, RoundingError, round_by_chebyshev, round_by_covariance
+from repro.sampling.grid_walk import GridWalkConfig, GridWalkSampler
+from repro.sampling.hit_and_run import HitAndRunSampler
+from repro.sampling.oracles import oracle_from_polytope
+from repro.sampling.rng import ensure_rng
+from repro.volume.base import VolumeEstimate
+from repro.volume.telescoping import TelescopingConfig, TelescopingVolumeEstimator
+
+SamplerName = Literal["hit_and_run", "grid_walk"]
+
+
+class ConvexObservable(ObservableRelation):
+    """An observable well-bounded convex relation.
+
+    Parameters
+    ----------
+    source:
+        A symbolic :class:`GeneralizedTuple` or a numeric :class:`HPolytope`.
+    params:
+        Accuracy parameters (γ, ε, δ) of the generator.
+    sampler:
+        ``"grid_walk"`` for the paper-faithful DFK lattice walk (default) or
+        ``"hit_and_run"`` for the faster practical sampler.
+    telescoping:
+        Configuration of the volume estimator (sampler choice, rounding, ...).
+    """
+
+    def __init__(
+        self,
+        source: GeneralizedTuple | HPolytope,
+        params: GeneratorParams | None = None,
+        sampler: SamplerName = "grid_walk",
+        telescoping: TelescopingConfig | None = None,
+    ) -> None:
+        if isinstance(source, GeneralizedTuple):
+            self.generalized_tuple: GeneralizedTuple | None = source
+            self.polytope = HPolytope.from_generalized_tuple(source)
+        elif isinstance(source, HPolytope):
+            self.generalized_tuple = None
+            self.polytope = source
+        else:
+            raise TypeError("source must be a GeneralizedTuple or an HPolytope")
+        self.params = params if params is not None else GeneratorParams()
+        self.sampler_name = sampler
+        self.telescoping_config = (
+            telescoping if telescoping is not None else TelescopingConfig()
+        )
+        self._rounded: RoundedBody | None = None
+        self._grid_sampler: GridWalkSampler | None = None
+        self._hit_and_run: HitAndRunSampler | None = None
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def dimension(self) -> int:
+        return self.polytope.dimension
+
+    def contains(self, point: np.ndarray) -> bool:
+        # Membership is tested on the (closed) numeric polytope with a small
+        # tolerance: the closure differs from the symbolic set only on a
+        # measure-zero boundary, and the tolerance absorbs the floating point
+        # error introduced when grid samples are pulled back through the
+        # rounding transform.
+        return self.polytope.contains(point, tolerance=1e-7)
+
+    def description_size(self) -> int:
+        if self.generalized_tuple is not None:
+            return self.generalized_tuple.description_size()
+        return max(self.polytope.num_constraints * (self.dimension + 1), 1)
+
+    def is_well_bounded(self) -> bool:
+        """Does the relation admit inner and enclosing balls of positive radius?"""
+        return self.polytope.well_bounded_radii() is not None
+
+    # ------------------------------------------------------------------
+    # Rounding and samplers (lazily constructed and cached)
+    # ------------------------------------------------------------------
+    def rounded(self) -> RoundedBody:
+        """The well-rounded image of the body (cached)."""
+        if self._rounded is None:
+            if self.telescoping_config.rounding == "covariance":
+                self._rounded = round_by_covariance(self.polytope, ensure_rng(0))
+            else:
+                self._rounded = round_by_chebyshev(self.polytope)
+        return self._rounded
+
+    def _ensure_grid_sampler(self) -> GridWalkSampler:
+        if self._grid_sampler is None:
+            rounded = self.rounded()
+            self._grid_sampler = GridWalkSampler(
+                oracle_from_polytope(rounded.polytope),
+                self.dimension,
+                start=np.zeros(self.dimension),
+                config=GridWalkConfig(gamma=self.params.gamma),
+                scale=1.0,
+            )
+        return self._grid_sampler
+
+    def _ensure_hit_and_run(self) -> HitAndRunSampler:
+        if self._hit_and_run is None:
+            self._hit_and_run = HitAndRunSampler(self.polytope)
+        return self._hit_and_run
+
+    @property
+    def grid_step(self) -> float | None:
+        """Grid step of the γ-grid in the rounded space (grid-walk sampler only)."""
+        if self.sampler_name != "grid_walk":
+            return None
+        return self._ensure_grid_sampler().grid_step
+
+    # ------------------------------------------------------------------
+    # Generation
+    # ------------------------------------------------------------------
+    def generate(self, rng: np.random.Generator | int | None = None) -> np.ndarray:
+        rng = ensure_rng(rng)
+        try:
+            if self.sampler_name == "hit_and_run":
+                return self._ensure_hit_and_run().sample_one(rng)
+            rounded = self.rounded()
+            # The DFK generator outputs vertices of the γ-grid graph; they are
+            # mapped back to the original space through the inverse rounding map.
+            sample = self._ensure_grid_sampler().sample(rng, 1)[0]
+            return rounded.transform.apply_inverse(sample)
+        except (RoundingError, ValueError) as error:
+            raise GenerationFailure(str(error)) from error
+
+    def generate_many(
+        self, count: int, rng: np.random.Generator | int | None = None
+    ) -> np.ndarray:
+        rng = ensure_rng(rng)
+        try:
+            if self.sampler_name == "hit_and_run":
+                return self._ensure_hit_and_run().sample(rng, count)
+            rounded = self.rounded()
+            samples = self._ensure_grid_sampler().sample(rng, count)
+            return rounded.transform.apply_inverse(samples)
+        except (RoundingError, ValueError) as error:
+            raise GenerationFailure(str(error)) from error
+
+    # ------------------------------------------------------------------
+    # Volume
+    # ------------------------------------------------------------------
+    def estimate_volume(
+        self,
+        epsilon: float | None = None,
+        delta: float | None = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> VolumeEstimate:
+        epsilon, delta = self._resolve_accuracy(epsilon, delta)
+        estimator = TelescopingVolumeEstimator(self.polytope, config=self.telescoping_config)
+        return estimator.estimate(epsilon, delta, rng=rng)
+
+    def __repr__(self) -> str:
+        return (
+            f"ConvexObservable(dim={self.dimension}, constraints="
+            f"{self.polytope.num_constraints}, sampler={self.sampler_name!r})"
+        )
+
+
+def convex_observable_from_tuple(
+    tuple_: GeneralizedTuple,
+    params: GeneratorParams | None = None,
+    sampler: SamplerName = "grid_walk",
+) -> ConvexObservable:
+    """Convenience constructor used by the query compiler and the workloads."""
+    return ConvexObservable(tuple_, params=params, sampler=sampler)

@@ -1,0 +1,141 @@
+"""Difference of observable relations (Proposition 4.2).
+
+``T = S_1 \\ S_2`` is sampled by generating points of ``S_1`` and keeping
+those *not* in ``S_2``.  The accepted points are almost uniform on ``T``
+(rejection preserves conditional uniformity), and the acceptance ratio gives
+the volume ``vol(T) = vol(S_1) · P[accept]``.  The scheme is efficient exactly
+when ``T`` is poly-related to ``S_1`` — when almost everything is removed the
+acceptance probability collapses, which the generator reports through
+:class:`PolyRelatednessError` instead of spinning (experiment E5).
+
+Note that, unlike the symbolic difference of
+:mod:`repro.constraints.algebra`, no DNF blow-up occurs: the generator only
+needs membership in ``S_2``, never its complement's description.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.observable import GenerationFailure, GeneratorParams, ObservableRelation
+from repro.core.poly_related import PolyRelatednessError, rejection_budget
+from repro.sampling.rng import ensure_rng
+from repro.volume.base import VolumeEstimate
+from repro.volume.chernoff import chernoff_ratio_sample_size
+
+
+class DifferenceObservable(ObservableRelation):
+    """Observable difference ``minuend \\ subtrahend`` (under poly-relatedness).
+
+    Parameters
+    ----------
+    minuend:
+        The observable relation points are drawn from (``S_1``).
+    subtrahend:
+        The observable relation whose points are rejected (``S_2``); only its
+        membership oracle is used.
+    params:
+        Accuracy parameters of the composed generator.
+    poly_exponent:
+        Exponent ``k`` of the assumed poly-relatedness between the difference
+        and the minuend (fixes the rejection budget).
+    """
+
+    def __init__(
+        self,
+        minuend: ObservableRelation,
+        subtrahend: ObservableRelation,
+        params: GeneratorParams | None = None,
+        poly_exponent: float = 2.0,
+        max_volume_trials: int = 20_000,
+    ) -> None:
+        if minuend.dimension != subtrahend.dimension:
+            raise ValueError("minuend and subtrahend must share the ambient dimension")
+        self.minuend = minuend
+        self.subtrahend = subtrahend
+        self.params = params if params is not None else GeneratorParams()
+        self.poly_exponent = float(poly_exponent)
+        self.max_volume_trials = int(max_volume_trials)
+
+    # ------------------------------------------------------------------
+    @property
+    def dimension(self) -> int:
+        return self.minuend.dimension
+
+    def contains(self, point: np.ndarray) -> bool:
+        return self.minuend.contains(point) and not self.subtrahend.contains(point)
+
+    def description_size(self) -> int:
+        return self.minuend.description_size() + self.subtrahend.description_size()
+
+    # ------------------------------------------------------------------
+    def generate(self, rng: np.random.Generator | int | None = None) -> np.ndarray:
+        rng = ensure_rng(rng)
+        budget = rejection_budget(self.dimension, self.poly_exponent, self.params.delta)
+        for _ in range(budget):
+            try:
+                point = self.minuend.generate(rng)
+            except GenerationFailure:
+                continue
+            if not self.subtrahend.contains(point):
+                return point
+        raise PolyRelatednessError(
+            f"no difference point found in {budget} trials; the difference is not "
+            f"poly-related to the minuend with exponent {self.poly_exponent}"
+        )
+
+    def acceptance_statistics(
+        self, trials: int, rng: np.random.Generator | int | None = None
+    ) -> tuple[int, int]:
+        """Run ``trials`` rejection trials and return ``(accepted, performed)``."""
+        rng = ensure_rng(rng)
+        points = self.minuend.generate_many(trials, rng)
+        accepted = sum(1 for point in points if not self.subtrahend.contains(point))
+        return accepted, points.shape[0]
+
+    # ------------------------------------------------------------------
+    def estimate_volume(
+        self,
+        epsilon: float | None = None,
+        delta: float | None = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> VolumeEstimate:
+        epsilon, delta = self._resolve_accuracy(epsilon, delta)
+        rng = ensure_rng(rng)
+        minuend_estimate = self.minuend.estimate_volume(epsilon / 3.0, delta / 2.0, rng=rng)
+        if minuend_estimate.value <= 0:
+            return VolumeEstimate(0.0, epsilon, delta, "difference-rejection")
+        acceptance_floor = 1.0 / float(max(self.dimension, 2)) ** self.poly_exponent
+        trials = chernoff_ratio_sample_size(
+            epsilon / 2.0, delta / 2.0, probability_lower_bound=acceptance_floor
+        )
+        trials = min(trials, self.max_volume_trials)
+        accepted, performed = self.acceptance_statistics(trials, rng)
+        if accepted == 0:
+            raise PolyRelatednessError(
+                f"no difference point found in {performed} trials; cannot certify a "
+                "relative volume estimate (Proposition 4.2's condition is violated)"
+            )
+        acceptance = accepted / performed
+        return VolumeEstimate(
+            value=minuend_estimate.value * acceptance,
+            epsilon=epsilon,
+            delta=delta,
+            method="difference-rejection",
+            samples_used=performed,
+            details={
+                "minuend_volume": minuend_estimate.value,
+                "acceptance": acceptance,
+                "trials": performed,
+            },
+        )
+
+
+def difference_observable(
+    minuend: ObservableRelation,
+    subtrahend: ObservableRelation,
+    params: GeneratorParams | None = None,
+    poly_exponent: float = 2.0,
+) -> DifferenceObservable:
+    """Proposition 4.2: differences are observable when poly-related to the minuend."""
+    return DifferenceObservable(minuend, subtrahend, params=params, poly_exponent=poly_exponent)

@@ -1,0 +1,175 @@
+"""Intersection of observable relations (Proposition 4.1, Corollary 4.3).
+
+To sample ``T = S_1 ∩ ... ∩ S_m`` the paper generates points in the member of
+smallest (estimated) volume and keeps those lying in every other member.  When
+``T`` is *poly-related* to ``min(S_1, ..., S_m)`` each trial succeeds with
+probability at least ``d^-k``, so polynomially many trials suffice — and the
+accepted points are almost uniform in ``T`` because rejection preserves the
+conditional distribution.  The same acceptance ratio gives the volume:
+
+    vol(T) = vol(S_min) · P[accept | sample from S_min].
+
+The restriction is necessary in general: Section 4.1.3 encodes SAT as an
+intersection of observable relations, so an unconditional (ε, δ)-volume
+estimator for intersections would decide SAT in randomized polynomial time.
+When the poly-relatedness budget is exhausted the generator raises
+:class:`PolyRelatednessError` rather than looping forever, making the failure
+mode observable (experiment E4).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.observable import GenerationFailure, GeneratorParams, ObservableRelation
+from repro.core.poly_related import PolyRelatednessError, rejection_budget
+from repro.sampling.rng import ensure_rng
+from repro.volume.base import VolumeEstimate
+from repro.volume.chernoff import chernoff_ratio_sample_size
+
+
+class IntersectionObservable(ObservableRelation):
+    """Observable intersection of observable relations (under poly-relatedness).
+
+    Parameters
+    ----------
+    members:
+        The observable relations being intersected (same ambient dimension).
+    params:
+        Accuracy parameters of the composed generator.
+    poly_exponent:
+        The exponent ``k`` of the assumed poly-relatedness between the
+        intersection and the smallest member; it fixes the rejection budget.
+    """
+
+    def __init__(
+        self,
+        members: Sequence[ObservableRelation],
+        params: GeneratorParams | None = None,
+        poly_exponent: float = 2.0,
+        max_volume_trials: int = 20_000,
+    ) -> None:
+        members = list(members)
+        if len(members) < 2:
+            raise ValueError("an intersection needs at least two members")
+        dimension = members[0].dimension
+        for member in members[1:]:
+            if member.dimension != dimension:
+                raise ValueError("all intersection members must share the ambient dimension")
+        self.members = members
+        self.params = params if params is not None else GeneratorParams()
+        self.poly_exponent = float(poly_exponent)
+        self.max_volume_trials = int(max_volume_trials)
+        self._member_volumes: list[VolumeEstimate] | None = None
+        self._smallest_index: int | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def dimension(self) -> int:
+        return self.members[0].dimension
+
+    def contains(self, point: np.ndarray) -> bool:
+        return all(member.contains(point) for member in self.members)
+
+    def description_size(self) -> int:
+        return sum(member.description_size() for member in self.members)
+
+    # ------------------------------------------------------------------
+    def smallest_member(self, rng: np.random.Generator | int | None = None) -> int:
+        """Index of the member with the smallest estimated volume (the proposal set)."""
+        if self._smallest_index is None:
+            rng = ensure_rng(rng)
+            epsilon = self.params.epsilon / 3.0
+            delta = min(self.params.delta / max(len(self.members), 1), 0.125)
+            self._member_volumes = [
+                member.estimate_volume(epsilon, delta, rng=rng) for member in self.members
+            ]
+            volumes = [estimate.value for estimate in self._member_volumes]
+            self._smallest_index = int(np.argmin(volumes))
+        return self._smallest_index
+
+    def member_volumes(self) -> list[VolumeEstimate]:
+        """Volume estimates of the members (after :meth:`smallest_member` ran)."""
+        if self._member_volumes is None:
+            self.smallest_member()
+        assert self._member_volumes is not None
+        return self._member_volumes
+
+    # ------------------------------------------------------------------
+    def generate(self, rng: np.random.Generator | int | None = None) -> np.ndarray:
+        rng = ensure_rng(rng)
+        proposal_index = self.smallest_member(rng)
+        proposal = self.members[proposal_index]
+        budget = rejection_budget(self.dimension, self.poly_exponent, self.params.delta)
+        for _ in range(budget):
+            try:
+                point = proposal.generate(rng)
+            except GenerationFailure:
+                continue
+            if self.contains(point):
+                return point
+        raise PolyRelatednessError(
+            f"no intersection point found in {budget} trials; the intersection is "
+            f"not poly-related to its smallest member with exponent {self.poly_exponent}"
+        )
+
+    def acceptance_statistics(
+        self, trials: int, rng: np.random.Generator | int | None = None
+    ) -> tuple[int, int]:
+        """Run ``trials`` rejection trials and return ``(accepted, performed)``."""
+        rng = ensure_rng(rng)
+        proposal_index = self.smallest_member(rng)
+        proposal = self.members[proposal_index]
+        points = proposal.generate_many(trials, rng)
+        accepted = sum(1 for point in points if self.contains(point))
+        return accepted, points.shape[0]
+
+    # ------------------------------------------------------------------
+    def estimate_volume(
+        self,
+        epsilon: float | None = None,
+        delta: float | None = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> VolumeEstimate:
+        epsilon, delta = self._resolve_accuracy(epsilon, delta)
+        rng = ensure_rng(rng)
+        proposal_index = self.smallest_member(rng)
+        proposal_volume = self.member_volumes()[proposal_index].value
+        if proposal_volume <= 0:
+            return VolumeEstimate(0.0, epsilon, delta, "intersection-rejection")
+        acceptance_floor = 1.0 / float(max(self.dimension, 2)) ** self.poly_exponent
+        trials = chernoff_ratio_sample_size(
+            epsilon / 2.0, delta / 2.0, probability_lower_bound=acceptance_floor
+        )
+        trials = min(trials, self.max_volume_trials)
+        accepted, performed = self.acceptance_statistics(trials, rng)
+        if accepted == 0:
+            raise PolyRelatednessError(
+                f"no intersection point found in {performed} trials; cannot certify a "
+                "relative volume estimate (Proposition 4.1's condition is violated)"
+            )
+        acceptance = accepted / performed
+        return VolumeEstimate(
+            value=proposal_volume * acceptance,
+            epsilon=epsilon,
+            delta=delta,
+            method="intersection-rejection",
+            samples_used=performed,
+            details={
+                "proposal_member": proposal_index,
+                "proposal_volume": proposal_volume,
+                "acceptance": acceptance,
+                "trials": performed,
+            },
+        )
+
+
+def intersection_observable(
+    members: Sequence[ObservableRelation],
+    params: GeneratorParams | None = None,
+    poly_exponent: float = 2.0,
+) -> IntersectionObservable:
+    """Corollary 4.3: intersections are observable when poly-related to the smallest member."""
+    return IntersectionObservable(members, params=params, poly_exponent=poly_exponent)

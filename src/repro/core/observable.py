@@ -1,0 +1,162 @@
+"""Observability: (γ, ε, δ)-generators and (ε, δ)-volume estimators.
+
+Definition 2.2 of the paper calls a randomized algorithm a
+*(γ, ε, δ)-generator* for a relation ``S`` when it
+
+1. outputs points of a γ-grid of ``S`` with a distribution within a
+   multiplicative ``(1 + ε)`` of uniform (conditioned on success),
+2. fails with probability at most δ, and
+3. runs in time polynomial in the description size of ``S``, the dimension,
+   ``1/ε``, ``1/γ`` and ``ln(1/δ)``.
+
+A relation with both a generator and an (ε, δ)-volume estimator is called
+*observable*.  :class:`ObservableRelation` is the abstract interface every
+composable building block of :mod:`repro.core` implements; the composition
+operators (union, intersection, difference, projection) consume and produce
+values of this type, mirroring the closure statements of Section 4.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sampling.rng import ensure_rng
+from repro.volume.base import VolumeEstimate
+
+
+class GenerationFailure(RuntimeError):
+    """Raised when a generator exhausts its failure budget (probability δ event).
+
+    The paper's generators are allowed to "stop and abandon" with probability
+    at most δ; in code this materialises as an exception so callers never
+    silently receive a non-uniform point.
+    """
+
+
+@dataclass(frozen=True)
+class GeneratorParams:
+    """The accuracy parameters (γ, ε, δ) of Definition 2.2.
+
+    Attributes
+    ----------
+    gamma:
+        Grid coarseness: ``|V| p^d`` must approximate the volume within
+        ``1 + γ``.
+    epsilon:
+        Distribution quality: output probabilities lie within ``(1 + ε)`` of
+        uniform.
+    delta:
+        Failure probability bound.
+    """
+
+    gamma: float = 0.2
+    epsilon: float = 0.2
+    delta: float = 0.1
+
+    def __post_init__(self) -> None:
+        for name in ("gamma", "epsilon", "delta"):
+            value = getattr(self, name)
+            if not 0 < value < 1:
+                raise ValueError(f"{name} must lie strictly between 0 and 1, got {value}")
+
+    def split(self, parts: int) -> "GeneratorParams":
+        """Parameters for sub-generators so that ``parts`` compositions still meet ε.
+
+        Follows the paper's Algorithm 1/2 bookkeeping (ε/3 per layer when
+        three probabilistic quantities multiply): the ε budget is divided by
+        ``parts`` and δ is kept (callers repeat to boost success separately).
+        """
+        if parts < 1:
+            raise ValueError("parts must be at least 1")
+        return GeneratorParams(self.gamma, self.epsilon / parts, self.delta)
+
+
+class ObservableRelation(abc.ABC):
+    """A relation equipped with an almost uniform generator and a volume estimator."""
+
+    #: Accuracy parameters the relation was constructed with.
+    params: GeneratorParams
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    @abc.abstractmethod
+    def dimension(self) -> int:
+        """Ambient dimension of the relation."""
+
+    @abc.abstractmethod
+    def contains(self, point: np.ndarray) -> bool:
+        """Membership oracle (linear in the description size)."""
+
+    def description_size(self) -> int:
+        """Size of the defining formula; subclasses override when known."""
+        return 1
+
+    # ------------------------------------------------------------------
+    # Generation
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def generate(self, rng: np.random.Generator | int | None = None) -> np.ndarray:
+        """Produce one almost uniformly distributed point of the relation.
+
+        Raises :class:`GenerationFailure` with probability at most δ.
+        """
+
+    def generate_many(
+        self, count: int, rng: np.random.Generator | int | None = None
+    ) -> np.ndarray:
+        """Produce ``count`` points (independent invocations of :meth:`generate`).
+
+        Failed invocations are retried; after ``10 * count`` consecutive
+        failures a :class:`GenerationFailure` is raised, which for correctly
+        parameterised generators is an astronomically unlikely event.
+        """
+        rng = ensure_rng(rng)
+        points: list[np.ndarray] = []
+        failures = 0
+        while len(points) < count:
+            try:
+                points.append(self.generate(rng))
+                failures = 0
+            except GenerationFailure:
+                failures += 1
+                if failures > 10 * max(count, 1):
+                    raise
+        return np.array(points)
+
+    # ------------------------------------------------------------------
+    # Volume
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def estimate_volume(
+        self,
+        epsilon: float | None = None,
+        delta: float | None = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> VolumeEstimate:
+        """(ε, δ)-estimate of the d-dimensional volume of the relation."""
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def volume_value(
+        self,
+        epsilon: float | None = None,
+        delta: float | None = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> float:
+        """Shortcut returning only the estimated volume value."""
+        return self.estimate_volume(epsilon, delta, rng=rng).value
+
+    def _resolve_accuracy(
+        self, epsilon: float | None, delta: float | None
+    ) -> tuple[float, float]:
+        """Fill missing accuracy parameters from the relation's own params."""
+        return (
+            self.params.epsilon if epsilon is None else epsilon,
+            self.params.delta if delta is None else delta,
+        )

@@ -1,0 +1,67 @@
+"""Poly-relatedness of relations (Definition 2.1).
+
+Two sequences of relations are *polynomially related* when the ratio of their
+volumes is bounded by ``d^k`` for some constant ``k``.  The paper uses this
+notion as the sufficient condition under which intersections and differences
+of observable relations stay observable (Propositions 4.1 and 4.2): sampling
+in the smaller set by rejection from the bigger one succeeds after polynomially
+many trials exactly when the two are poly-related.
+
+Since an implementation works with concrete relations (one dimension at a
+time) rather than with asymptotic sequences, the predicate below takes the
+claimed exponent ``k`` explicitly and checks ``max(ratio) <= d^k``; the
+composition operators expose the same exponent as a *budget* so that a
+violated condition surfaces as an explicit failure instead of an endless loop.
+"""
+
+from __future__ import annotations
+
+from repro.core.observable import GenerationFailure
+
+
+class PolyRelatednessError(GenerationFailure):
+    """Raised when a rejection-based generator detects a violated poly-relatedness condition.
+
+    It is a :class:`GenerationFailure` (the δ-probability "stop and abandon"
+    event of Definition 2.2) carrying the semantic reason: the rejection
+    budget implied by the assumed poly-relatedness exponent was exhausted.
+    """
+
+
+def volume_ratio(volume_a: float, volume_b: float) -> float:
+    """The symmetric ratio ``max(a/b, b/a)`` of two positive volumes."""
+    if volume_a <= 0 or volume_b <= 0:
+        return float("inf")
+    return max(volume_a / volume_b, volume_b / volume_a)
+
+
+def poly_related(
+    volume_a: float, volume_b: float, dimension: int, exponent: float = 2.0
+) -> bool:
+    """Is the volume ratio bounded by ``dimension ** exponent``?
+
+    ``exponent`` plays the role of the constant ``k`` of Definition 2.1; the
+    default of 2 is the budget used by the composition operators unless the
+    caller overrides it.
+    """
+    if dimension < 1:
+        raise ValueError("dimension must be at least 1")
+    bound = float(max(dimension, 2)) ** exponent
+    return volume_ratio(volume_a, volume_b) <= bound
+
+
+def rejection_budget(dimension: int, exponent: float, delta: float) -> int:
+    """Number of rejection trials justified by a poly-relatedness assumption.
+
+    If the target is poly-related to the proposal with exponent ``k``, each
+    trial succeeds with probability at least ``d^-k``; ``ceil(d^k ln(1/δ))``
+    trials then fail simultaneously with probability at most δ.
+    """
+    import math
+
+    if dimension < 1:
+        raise ValueError("dimension must be at least 1")
+    if not 0 < delta < 1:
+        raise ValueError("delta must lie strictly between 0 and 1")
+    base = float(max(dimension, 2)) ** exponent
+    return max(1, math.ceil(base * math.log(1.0 / delta)))

@@ -1,0 +1,222 @@
+"""Convex bodies defined by polynomial constraints (Section 5).
+
+The paper's concluding section observes that the Dyer--Frieze--Kannan
+machinery only needs a *membership oracle*, which is just as easy to evaluate
+for polynomial constraints as for linear ones, so convex bodies defined by
+polynomial constraints (balls, ellipsoids, intersections of such) are
+observable too; the composition operators then carry over unchanged because
+they never inspect the members' syntax.
+
+:class:`PolynomialBody` is the oracle-level counterpart of
+:class:`~repro.core.convex.ConvexObservable`: generation uses the ball walk
+(which needs nothing beyond the oracle), and the volume estimator telescopes
+over cubes exactly as in the linear case, with the oracle standing in for the
+H-representation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.observable import GenerationFailure, GeneratorParams, ObservableRelation
+from repro.geometry.ball import Ball
+from repro.sampling.ball_walk import BallWalkSampler
+from repro.sampling.oracles import CountingOracle, oracle_from_predicate
+from repro.sampling.rng import ensure_rng
+from repro.volume.base import VolumeEstimate
+from repro.volume.chernoff import chernoff_ratio_sample_size
+
+
+class PolynomialBody(ObservableRelation):
+    """An observable convex body given only through a membership oracle.
+
+    Parameters
+    ----------
+    predicate:
+        Membership oracle, e.g. ``lambda x: x @ Q @ x <= 1`` for an ellipsoid.
+        The body must be convex for the guarantees to hold — the class cannot
+        check convexity and trusts the caller, as the paper does.
+    dimension:
+        Ambient dimension.
+    inner_point:
+        A point well inside the body (used to start the walk).
+    inner_radius / outer_radius:
+        Radii witnessing well-boundedness around ``inner_point`` (a ball of
+        radius ``inner_radius`` centred there is inside the body; the body is
+        inside the ball of radius ``outer_radius``).
+    params:
+        Accuracy parameters of the generator.
+    """
+
+    def __init__(
+        self,
+        predicate: Callable[[np.ndarray], bool],
+        dimension: int,
+        inner_point: Sequence[float],
+        inner_radius: float,
+        outer_radius: float,
+        params: GeneratorParams | None = None,
+        samples_per_phase: int = 2_000,
+    ) -> None:
+        if inner_radius <= 0 or outer_radius <= 0 or outer_radius < inner_radius:
+            raise ValueError("radii must satisfy 0 < inner_radius <= outer_radius")
+        self.oracle = CountingOracle(oracle_from_predicate(predicate))
+        self._dimension = int(dimension)
+        self.inner_point = np.asarray(inner_point, dtype=float)
+        if not self.oracle(self.inner_point):
+            raise ValueError("inner_point is not inside the body")
+        self.inner_radius = float(inner_radius)
+        self.outer_radius = float(outer_radius)
+        self.params = params if params is not None else GeneratorParams()
+        self.samples_per_phase = int(samples_per_phase)
+
+    # ------------------------------------------------------------------
+    @property
+    def dimension(self) -> int:
+        return self._dimension
+
+    def contains(self, point: np.ndarray) -> bool:
+        return self.oracle(np.asarray(point, dtype=float))
+
+    # ------------------------------------------------------------------
+    def _walker(self) -> BallWalkSampler:
+        return BallWalkSampler(
+            self.oracle,
+            self._dimension,
+            start=self.inner_point,
+            delta=self.inner_radius / np.sqrt(self._dimension),
+        )
+
+    def generate(self, rng: np.random.Generator | int | None = None) -> np.ndarray:
+        rng = ensure_rng(rng)
+        try:
+            return self._walker().sample_one(rng)
+        except ValueError as error:
+            raise GenerationFailure(str(error)) from error
+
+    def generate_many(
+        self, count: int, rng: np.random.Generator | int | None = None
+    ) -> np.ndarray:
+        rng = ensure_rng(rng)
+        return self._walker().sample(rng, count)
+
+    # ------------------------------------------------------------------
+    def estimate_volume(
+        self,
+        epsilon: float | None = None,
+        delta: float | None = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> VolumeEstimate:
+        """Telescoping estimate over balls centred at ``inner_point``.
+
+        ``K_i = body ∩ B(inner_point, r_i)`` with radii growing by ``2^{1/d}``
+        from ``inner_radius`` (where ``K_0`` is the full ball, of known
+        volume) to ``outer_radius`` (where ``K_q`` is the body itself).  The
+        ratios are estimated with the ball walk on each intermediate body.
+        """
+        epsilon, delta = self._resolve_accuracy(epsilon, delta)
+        rng = ensure_rng(rng)
+        dimension = self._dimension
+        radii = [self.inner_radius]
+        growth = 2.0 ** (1.0 / dimension)
+        while radii[-1] < self.outer_radius:
+            radii.append(radii[-1] * growth)
+        phases = len(radii) - 1
+        per_phase = chernoff_ratio_sample_size(
+            epsilon / max(2 * phases, 1), delta / max(phases, 1), probability_lower_bound=0.5
+        )
+        per_phase = min(per_phase, self.samples_per_phase)
+
+        log_volume = np.log(Ball(self.inner_point, self.inner_radius).volume)
+        ratios = []
+        samples_used = 0
+        for index in range(phases):
+            inner_r = radii[index]
+            outer_r = radii[index + 1]
+
+            def outer_oracle(point: np.ndarray, _outer_r: float = outer_r) -> bool:
+                inside_ball = float(np.linalg.norm(point - self.inner_point)) <= _outer_r
+                return inside_ball and self.oracle(point)
+
+            walker = BallWalkSampler(
+                outer_oracle,
+                dimension,
+                start=self.inner_point,
+                delta=self.inner_radius / np.sqrt(dimension),
+            )
+            samples = walker.sample(rng, per_phase)
+            samples_used += samples.shape[0]
+            distances = np.linalg.norm(samples - self.inner_point, axis=1)
+            inside = int(np.sum(distances <= inner_r + 1e-12))
+            fraction = max(inside / samples.shape[0], 1.0 / (2.0 * samples.shape[0]))
+            ratios.append(fraction)
+            log_volume -= np.log(fraction)
+
+        return VolumeEstimate(
+            value=float(np.exp(log_volume)),
+            epsilon=epsilon,
+            delta=delta,
+            method="polynomial-ball-walk-telescoping",
+            samples_used=samples_used,
+            oracle_calls=self.oracle.calls,
+            details={"phases": phases, "ratios": ratios, "samples_per_phase": per_phase},
+        )
+
+
+def ellipsoid_body(
+    shape_matrix: np.ndarray,
+    center: Sequence[float] | None = None,
+    params: GeneratorParams | None = None,
+) -> PolynomialBody:
+    """The ellipsoid ``{x : (x - c)^T Q (x - c) <= 1}`` as an observable body.
+
+    ``shape_matrix`` must be symmetric positive definite; its eigenvalues give
+    the exact inner and outer radii used for well-boundedness.
+    """
+    shape_matrix = np.asarray(shape_matrix, dtype=float)
+    dimension = shape_matrix.shape[0]
+    if shape_matrix.shape != (dimension, dimension):
+        raise ValueError("shape_matrix must be square")
+    if center is None:
+        center = np.zeros(dimension)
+    center = np.asarray(center, dtype=float)
+    eigenvalues = np.linalg.eigvalsh(shape_matrix)
+    if np.any(eigenvalues <= 0):
+        raise ValueError("shape_matrix must be positive definite")
+    outer_radius = 1.0 / np.sqrt(eigenvalues.min() / 1.0) if eigenvalues.min() > 0 else np.inf
+    inner_radius = 1.0 / np.sqrt(eigenvalues.max())
+
+    def predicate(point: np.ndarray) -> bool:
+        offset = point - center
+        return float(offset @ shape_matrix @ offset) <= 1.0 + 1e-12
+
+    return PolynomialBody(
+        predicate,
+        dimension,
+        inner_point=center,
+        inner_radius=float(inner_radius),
+        outer_radius=float(outer_radius),
+        params=params,
+    )
+
+
+def ball_body(
+    radius: float, center: Sequence[float], params: GeneratorParams | None = None
+) -> PolynomialBody:
+    """A Euclidean ball as an observable polynomial-constraint body."""
+    center = np.asarray(center, dtype=float)
+    dimension = center.shape[0]
+
+    def predicate(point: np.ndarray) -> bool:
+        return float(np.linalg.norm(point - center)) <= radius + 1e-12
+
+    return PolynomialBody(
+        predicate,
+        dimension,
+        inner_point=center,
+        inner_radius=float(radius),
+        outer_radius=float(radius),
+        params=params,
+    )

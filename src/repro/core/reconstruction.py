@@ -1,0 +1,217 @@
+"""Set reconstruction from samples (Section 4.3.1, Lemma 4.1, Definition 4.1).
+
+Beyond volumes, the paper approximates the *shape* of a definable set: an
+(ε, δ)-relation-estimator (Definition 4.1) outputs the description of a
+relation ``Ŝ`` whose symmetric difference with ``S`` has volume at most
+``ε · vol(S)``, with failure probability at most δ, using only point
+membership queries.
+
+For a convex polytope the estimator is the convex hull of ``N`` almost
+uniform samples; the Affentranger--Wieacker bound quantifies how fast the
+missing volume shrinks with ``N``, and Lemma 4.1 turns it into an explicit
+sample count ``N(ε, δ, d, r)``.  The reconstruction of general positive
+existential queries (Algorithms 4--5) builds one hull per conjunctive
+component and returns their union; it lives in
+:mod:`repro.core.query_reconstruction`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.constraints.relations import GeneralizedRelation
+from repro.constraints.tuples import GeneralizedTuple
+from repro.core.observable import ObservableRelation
+from repro.geometry.hull import HullResult, convex_hull
+from repro.sampling.rejection import sample_box
+from repro.sampling.rng import ensure_rng
+
+
+def sample_count_affentranger_wieacker(
+    epsilon: float,
+    delta: float,
+    dimension: int,
+    vertex_count: int,
+) -> int:
+    """The sample count of Lemma 4.1.
+
+    The lemma takes ``N = 4 r² d² / (d^{2(d-2)} ε²)`` samples per repetition
+    (so that the expected missing volume is at most ``ε μ_S / 2``) and
+    ``t = (1/ε²) ln(1/δ)`` repetitions, whose union of samples feeds a single
+    convex hull.  The function returns the total ``N · t`` so callers can draw
+    all samples at once; it is clamped below by a small dimension-dependent
+    minimum so degenerate parameter choices still produce a full-dimensional
+    hull.
+    """
+    if not 0 < epsilon < 1:
+        raise ValueError("epsilon must lie strictly between 0 and 1")
+    if not 0 < delta < 1:
+        raise ValueError("delta must lie strictly between 0 and 1")
+    if dimension < 1:
+        raise ValueError("dimension must be at least 1")
+    if vertex_count < dimension + 1:
+        vertex_count = dimension + 1
+    per_round = 4.0 * vertex_count**2 * dimension**2
+    per_round /= float(max(dimension, 2)) ** (2 * (dimension - 2)) * epsilon**2
+    rounds = math.ceil(math.log(1.0 / delta) / epsilon**2)
+    total = int(math.ceil(per_round)) * max(rounds, 1)
+    return max(total, 10 * dimension)
+
+
+@dataclass
+class RelationEstimate:
+    """The output of a relation estimator (Definition 4.1).
+
+    Attributes
+    ----------
+    relation:
+        The reconstructed relation, as a symbolic DNF over the original
+        variable names (one disjunct per convex hull).
+    hulls:
+        The individual hull results (one per conjunctive component).
+    samples_used:
+        Total number of generated points consumed.
+    details:
+        Free-form metadata (per-component counts, hull volumes, ...).
+    """
+
+    relation: GeneralizedRelation
+    hulls: list[HullResult]
+    samples_used: int
+    details: dict = field(default_factory=dict)
+
+    def contains(self, point: np.ndarray) -> bool:
+        """Membership in the reconstructed set."""
+        return any(hull.contains(point) for hull in self.hulls if not hull.is_degenerate) or (
+            self.relation.contains_point([float(v) for v in point])
+            if not self.relation.is_syntactically_empty()
+            else False
+        )
+
+    @property
+    def total_hull_volume(self) -> float:
+        """Sum of the component hull volumes (an upper bound proxy, ignores overlaps)."""
+        return sum(hull.volume for hull in self.hulls)
+
+
+class ConvexHullEstimator:
+    """(ε, δ)-relation estimator for a convex observable relation (Lemma 4.1).
+
+    Parameters
+    ----------
+    source:
+        The observable relation to reconstruct; it must be convex for the
+        Affentranger--Wieacker bound to apply (the estimator never checks
+        convexity, exactly like the paper).
+    variables:
+        Variable names of the output relation (defaults to ``x1 .. xd``).
+    """
+
+    def __init__(
+        self,
+        source: ObservableRelation,
+        variables: Sequence[str] | None = None,
+    ) -> None:
+        self.source = source
+        if variables is None:
+            variables = tuple(f"x{index + 1}" for index in range(source.dimension))
+        self.variables = tuple(variables)
+        if len(self.variables) != source.dimension:
+            raise ValueError("one variable name per coordinate is required")
+
+    def estimate(
+        self,
+        epsilon: float,
+        delta: float,
+        rng: np.random.Generator | int | None = None,
+        vertex_count: int | None = None,
+        sample_count: int | None = None,
+        max_samples: int = 20_000,
+    ) -> RelationEstimate:
+        """Reconstruct the relation from uniform samples.
+
+        ``sample_count`` overrides the Lemma 4.1 schedule (useful for the E8
+        convergence sweep); otherwise the schedule is used, capped at
+        ``max_samples`` to keep laptop-scale runs bounded.
+        """
+        rng = ensure_rng(rng)
+        dimension = self.source.dimension
+        if sample_count is None:
+            estimated_vertices = vertex_count if vertex_count is not None else 2 * dimension
+            sample_count = sample_count_affentranger_wieacker(
+                epsilon, delta, dimension, estimated_vertices
+            )
+            sample_count = min(sample_count, max_samples)
+        points = self.source.generate_many(sample_count, rng)
+        hull = convex_hull(points)
+        relation = _hull_to_relation(hull, self.variables)
+        return RelationEstimate(
+            relation=relation,
+            hulls=[hull],
+            samples_used=sample_count,
+            details={
+                "hull_volume": hull.volume,
+                "hull_vertices": hull.num_vertices,
+                "epsilon": epsilon,
+                "delta": delta,
+            },
+        )
+
+
+def _hull_to_relation(hull: HullResult, variables: Sequence[str]) -> GeneralizedRelation:
+    """Convert a hull into a one-disjunct symbolic relation (empty when degenerate)."""
+    variables = tuple(variables)
+    if hull.polytope is None:
+        return GeneralizedRelation.empty(variables)
+    tuple_ = hull.polytope.to_generalized_tuple(variables)
+    return GeneralizedRelation.from_tuple(tuple_)
+
+
+def symmetric_difference_volume(
+    first: Callable[[np.ndarray], bool],
+    second: Callable[[np.ndarray], bool],
+    bounds: list[tuple[float, float]],
+    samples: int,
+    rng: np.random.Generator | int | None = None,
+) -> float:
+    """Monte-Carlo estimate of ``vol(A Δ B)`` inside a common bounding box.
+
+    Both sets are given through membership predicates; the estimate is
+    ``box_volume × fraction of box samples belonging to exactly one set``.
+    This is the measurement tool used by the tests and by experiments E8 and
+    E12 to check Definition 4.1's guarantee against a known reference set.
+    """
+    rng = ensure_rng(rng)
+    box_volume = 1.0
+    for lower, upper in bounds:
+        box_volume *= max(upper - lower, 0.0)
+    if box_volume == 0.0 or samples <= 0:
+        return 0.0
+    points = sample_box(rng, bounds, samples)
+    mismatches = 0
+    for point in points:
+        if bool(first(point)) != bool(second(point)):
+            mismatches += 1
+    return box_volume * mismatches / samples
+
+
+def relation_membership(relation: GeneralizedRelation) -> Callable[[np.ndarray], bool]:
+    """Adapter: membership predicate of a symbolic relation (for the helper above)."""
+
+    def predicate(point: np.ndarray) -> bool:
+        return relation.contains_point([float(v) for v in point])
+
+    return predicate
+
+
+def tuple_membership(tuple_: GeneralizedTuple) -> Callable[[np.ndarray], bool]:
+    """Adapter: membership predicate of a generalized tuple."""
+
+    def predicate(point: np.ndarray) -> bool:
+        return tuple_.contains_point([float(v) for v in point])
+
+    return predicate

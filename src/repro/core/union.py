@@ -1,0 +1,213 @@
+"""Union of observable relations (Theorem 4.1, Theorem 4.2, Corollary 4.2).
+
+Algorithm 1 of the paper samples from ``T = S_1 ∪ ... ∪ S_m`` as follows:
+
+1. estimate the volume ``μ̂_i`` of every member;
+2. choose an index ``j`` with probability ``μ̂_j / Σ μ̂_i``;
+3. generate a point ``x`` almost uniformly in ``S_j``;
+4. output ``x`` only when ``j`` is the *smallest* index of a member containing
+   ``x`` (otherwise fail), so overlapping regions are not over-weighted.
+
+One round succeeds with probability at least ``1/m`` (at least ``1/2`` for a
+binary union), so ``k = O(m ln(1/δ))`` rounds bring the failure probability
+below δ — the ``k = 4 ln(1/δ)`` of the binary case.  This is the geometric
+counterpart of the Karp--Luby #DNF estimator, and the same acceptance ratio
+immediately yields the union's volume (Theorem 4.2):
+
+    vol(T) = (Σ_i vol(S_i)) · P[accept].
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.observable import GenerationFailure, GeneratorParams, ObservableRelation
+from repro.sampling.rng import ensure_rng
+from repro.volume.base import VolumeEstimate
+from repro.volume.chernoff import chernoff_ratio_sample_size
+
+
+class UnionObservable(ObservableRelation):
+    """Observable union of finitely many observable relations.
+
+    Parameters
+    ----------
+    members:
+        The observable relations whose union is sampled.  They must share the
+        ambient dimension.
+    params:
+        Accuracy parameters (γ, ε, δ) of the composed generator.
+    """
+
+    def __init__(
+        self,
+        members: Sequence[ObservableRelation],
+        params: GeneratorParams | None = None,
+        max_volume_trials: int = 20_000,
+    ) -> None:
+        members = list(members)
+        if not members:
+            raise ValueError("a union needs at least one member")
+        dimension = members[0].dimension
+        for member in members[1:]:
+            if member.dimension != dimension:
+                raise ValueError("all union members must share the ambient dimension")
+        self.members = members
+        self.params = params if params is not None else GeneratorParams()
+        self.max_volume_trials = int(max_volume_trials)
+        self._member_volumes: list[VolumeEstimate] | None = None
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def dimension(self) -> int:
+        return self.members[0].dimension
+
+    def contains(self, point: np.ndarray) -> bool:
+        return any(member.contains(point) for member in self.members)
+
+    def membership_index(self, point: np.ndarray) -> int | None:
+        """Smallest index of a member containing the point (the ``j(x)`` of the proof)."""
+        for index, member in enumerate(self.members):
+            if member.contains(point):
+                return index
+        return None
+
+    def description_size(self) -> int:
+        return sum(member.description_size() for member in self.members)
+
+    # ------------------------------------------------------------------
+    # Member volumes (step 1 of Algorithm 1, cached across rounds)
+    # ------------------------------------------------------------------
+    def member_volumes(
+        self, rng: np.random.Generator | int | None = None, refresh: bool = False
+    ) -> list[VolumeEstimate]:
+        """Volume estimates ``μ̂_i`` of every member (ε/3 accuracy, cached)."""
+        if self._member_volumes is None or refresh:
+            rng = ensure_rng(rng)
+            epsilon = self.params.epsilon / 3.0
+            delta = min(self.params.delta / max(len(self.members), 1), 0.125)
+            self._member_volumes = [
+                member.estimate_volume(epsilon, delta, rng=rng) for member in self.members
+            ]
+        return self._member_volumes
+
+    # ------------------------------------------------------------------
+    # Generation (Algorithm 1 / Corollary 4.2)
+    # ------------------------------------------------------------------
+    def generate(self, rng: np.random.Generator | int | None = None) -> np.ndarray:
+        rng = ensure_rng(rng)
+        volumes = np.array([estimate.value for estimate in self.member_volumes(rng)])
+        total = volumes.sum()
+        if total <= 0:
+            raise GenerationFailure("all union members have (estimated) volume zero")
+        weights = volumes / total
+        rounds = max(1, math.ceil(len(self.members) * math.log(1.0 / self.params.delta)))
+        for _ in range(rounds):
+            index = int(rng.choice(len(self.members), p=weights))
+            try:
+                point = self.members[index].generate(rng)
+            except GenerationFailure:
+                continue
+            if self.membership_index(point) == index:
+                return point
+        raise GenerationFailure(
+            f"union generator failed {rounds} consecutive rounds (δ = {self.params.delta})"
+        )
+
+    def generate_with_statistics(
+        self,
+        count: int,
+        rng: np.random.Generator | int | None = None,
+    ) -> tuple[np.ndarray, int, int]:
+        """Generate ``count`` points and report ``(points, trials, accepted)``.
+
+        The acceptance ratio is the quantity the union volume estimator needs,
+        so it is exposed directly instead of being recomputed.
+        """
+        rng = ensure_rng(rng)
+        volumes = np.array([estimate.value for estimate in self.member_volumes(rng)])
+        total = volumes.sum()
+        if total <= 0:
+            raise GenerationFailure("all union members have (estimated) volume zero")
+        weights = volumes / total
+        points: list[np.ndarray] = []
+        trials = 0
+        limit = max(50, 20 * count * len(self.members))
+        while len(points) < count and trials < limit:
+            trials += 1
+            index = int(rng.choice(len(self.members), p=weights))
+            try:
+                point = self.members[index].generate(rng)
+            except GenerationFailure:
+                continue
+            if self.membership_index(point) == index:
+                points.append(point)
+        if len(points) < count:
+            raise GenerationFailure("union generator exhausted its trial budget")
+        return np.array(points), trials, len(points)
+
+    # ------------------------------------------------------------------
+    # Volume (Theorem 4.2 / Karp--Luby)
+    # ------------------------------------------------------------------
+    def estimate_volume(
+        self,
+        epsilon: float | None = None,
+        delta: float | None = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> VolumeEstimate:
+        epsilon, delta = self._resolve_accuracy(epsilon, delta)
+        rng = ensure_rng(rng)
+        member_estimates = self.member_volumes(rng)
+        volumes = np.array([estimate.value for estimate in member_estimates])
+        total = float(volumes.sum())
+        if total <= 0:
+            return VolumeEstimate(0.0, epsilon, delta, "union-karp-luby", details={"members": 0})
+        weights = volumes / total
+
+        # The acceptance probability is at least 1/m, so the multiplicative
+        # Chernoff schedule with p_min = 1/m gives a relative (1 ± ε/2) count.
+        member_count = len(self.members)
+        trials = chernoff_ratio_sample_size(
+            epsilon / 2.0, delta / 2.0, probability_lower_bound=1.0 / member_count
+        )
+        trials = min(trials, self.max_volume_trials)
+        # Trials are stratified per member (multinomial allocation by weight),
+        # which is statistically equivalent to drawing the member index trial
+        # by trial but lets each member produce its points in one batch.
+        allocation = rng.multinomial(trials, weights)
+        accepted = 0
+        samples_used = 0
+        for index, member_trials in enumerate(allocation):
+            if member_trials == 0:
+                continue
+            points = self.members[index].generate_many(int(member_trials), rng)
+            samples_used += points.shape[0]
+            for point in points:
+                if self.membership_index(point) == index:
+                    accepted += 1
+        acceptance = accepted / trials if trials else 0.0
+        value = total * acceptance
+        return VolumeEstimate(
+            value=value,
+            epsilon=epsilon,
+            delta=delta,
+            method="union-karp-luby",
+            samples_used=samples_used,
+            details={
+                "member_volumes": [estimate.value for estimate in member_estimates],
+                "acceptance": acceptance,
+                "trials": trials,
+            },
+        )
+
+
+def union_observable(
+    members: Sequence[ObservableRelation], params: GeneratorParams | None = None
+) -> UnionObservable:
+    """Corollary 4.2: the union of observable relations is observable."""
+    return UnionObservable(members, params=params)

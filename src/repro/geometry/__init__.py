@@ -1,0 +1,78 @@
+"""Geometric substrate: polytopes, balls, hulls, grids, rounding and exact volumes."""
+
+from repro.geometry.ball import Ball, ball_volume, unit_ball_volume
+from repro.geometry.grid import Grid, choose_gamma_grid_step, induced_vertex_count
+from repro.geometry.hull import HullResult, convex_hull, hull_polytope, hull_volume
+from repro.geometry.linprog import (
+    LPError,
+    LPResult,
+    chebyshev_center,
+    coordinate_bounds,
+    is_feasible,
+    solve_lp,
+    support_value,
+)
+from repro.geometry.polytope import Halfspace, HPolytope
+from repro.geometry.rounding import (
+    RoundedBody,
+    RoundingError,
+    round_by_chebyshev,
+    round_by_covariance,
+    rounded_ball_sequence,
+)
+from repro.geometry.simplex import (
+    sample_simplex,
+    sample_standard_simplex,
+    simplex_volume,
+    standard_simplex_polytope,
+    standard_simplex_volume,
+)
+from repro.geometry.transforms import AffineTransform
+from repro.geometry.vertices import VertexEnumerationError, enumerate_vertices
+from repro.geometry.volume import (
+    grid_cell_volume,
+    polytope_volume,
+    relation_bounding_box,
+    relation_volume_exact,
+    tuple_volume,
+)
+
+__all__ = [
+    "Ball",
+    "ball_volume",
+    "unit_ball_volume",
+    "Grid",
+    "choose_gamma_grid_step",
+    "induced_vertex_count",
+    "HullResult",
+    "convex_hull",
+    "hull_polytope",
+    "hull_volume",
+    "LPError",
+    "LPResult",
+    "chebyshev_center",
+    "coordinate_bounds",
+    "is_feasible",
+    "solve_lp",
+    "support_value",
+    "Halfspace",
+    "HPolytope",
+    "RoundedBody",
+    "RoundingError",
+    "round_by_chebyshev",
+    "round_by_covariance",
+    "rounded_ball_sequence",
+    "sample_simplex",
+    "sample_standard_simplex",
+    "simplex_volume",
+    "standard_simplex_polytope",
+    "standard_simplex_volume",
+    "AffineTransform",
+    "VertexEnumerationError",
+    "enumerate_vertices",
+    "grid_cell_volume",
+    "polytope_volume",
+    "relation_bounding_box",
+    "relation_volume_exact",
+    "tuple_volume",
+]

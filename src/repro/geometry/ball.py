@@ -1,0 +1,105 @@
+"""Euclidean balls: exact volumes, membership, uniform sampling.
+
+Balls play three roles in the paper:
+
+* well-boundedness of a relation is expressed by an inner ball of radius
+  ``r_inf`` and an enclosing ball of radius ``r_sup``;
+* the Dyer--Frieze--Kannan volume estimator telescopes along a sequence of
+  scaled copies of the unit ball (``B = K_0 ⊆ K_1 ⊆ ... ⊆ K_q = Q(K)``);
+* the introduction's motivating example — the exponentially small ratio
+  between the volume of the d-ball and its bounding cube — is experiment E10.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+def unit_ball_volume(dimension: int) -> float:
+    """Exact volume of the unit ball in ``R^dimension``.
+
+    Uses the closed form ``pi^(d/2) / Gamma(d/2 + 1)``.
+    """
+    if dimension < 0:
+        raise ValueError("dimension must be non-negative")
+    if dimension == 0:
+        return 1.0
+    return math.pi ** (dimension / 2.0) / math.gamma(dimension / 2.0 + 1.0)
+
+
+def ball_volume(dimension: int, radius: float) -> float:
+    """Exact volume of a ball of the given radius in ``R^dimension``."""
+    if radius < 0:
+        raise ValueError("radius must be non-negative")
+    return unit_ball_volume(dimension) * radius**dimension
+
+
+class Ball:
+    """A closed Euclidean ball ``{x : ||x - center|| <= radius}``."""
+
+    __slots__ = ("center", "radius")
+
+    def __init__(self, center: np.ndarray, radius: float) -> None:
+        self.center = np.asarray(center, dtype=float)
+        if self.center.ndim != 1:
+            raise ValueError("center must be a 1-D point")
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        self.radius = float(radius)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def unit(cls, dimension: int) -> "Ball":
+        """The unit ball centred at the origin."""
+        return cls(np.zeros(dimension), 1.0)
+
+    @property
+    def dimension(self) -> int:
+        """Ambient dimension."""
+        return self.center.shape[0]
+
+    @property
+    def volume(self) -> float:
+        """Exact volume of the ball."""
+        return ball_volume(self.dimension, self.radius)
+
+    # ------------------------------------------------------------------
+    def contains(self, point: np.ndarray, tolerance: float = 0.0) -> bool:
+        """Membership test (with an optional additive tolerance on the radius)."""
+        point = np.asarray(point, dtype=float)
+        return float(np.linalg.norm(point - self.center)) <= self.radius + tolerance
+
+    def contains_ball(self, other: "Ball") -> bool:
+        """Does this ball contain the other ball entirely?"""
+        distance = float(np.linalg.norm(other.center - self.center))
+        return distance + other.radius <= self.radius + 1e-12
+
+    def scaled(self, factor: float) -> "Ball":
+        """Ball with the same centre and radius multiplied by ``factor``."""
+        return Ball(self.center, self.radius * factor)
+
+    def sample(self, rng: np.random.Generator, count: int = 1) -> np.ndarray:
+        """Draw ``count`` points uniformly from the ball.
+
+        Uses the standard construction: a Gaussian direction normalised to the
+        sphere, scaled by ``U^(1/d)`` for a uniform radius distribution.
+        Returns an array of shape ``(count, d)``.
+        """
+        dimension = self.dimension
+        directions = rng.normal(size=(count, dimension))
+        norms = np.linalg.norm(directions, axis=1, keepdims=True)
+        norms[norms == 0.0] = 1.0
+        directions = directions / norms
+        radii = self.radius * rng.random(count) ** (1.0 / dimension)
+        return self.center + directions * radii.reshape(count, 1)
+
+    def bounding_box(self) -> list[tuple[float, float]]:
+        """Axis-aligned bounding box of the ball."""
+        return [
+            (float(c - self.radius), float(c + self.radius)) for c in self.center
+        ]
+
+    def __repr__(self) -> str:
+        return f"Ball(center={self.center.tolist()}, radius={self.radius})"

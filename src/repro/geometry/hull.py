@@ -1,0 +1,104 @@
+"""Convex hulls of finite point sets.
+
+The reconstruction method of Section 4.3 approximates a convex relation by the
+convex hull of uniformly generated sample points (Lemma 4.1, based on the
+Affentranger--Wieacker bound) and approximates general positive existential
+queries by unions of such hulls (Algorithms 4--5).  This module wraps Qhull
+(through :mod:`scipy.spatial`) and adds the degenerate cases Qhull rejects:
+dimension one, too few points, and point sets that are not full-dimensional.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.spatial import ConvexHull as _SciPyConvexHull
+from scipy.spatial import QhullError
+
+from repro.geometry.polytope import HPolytope
+
+
+@dataclass
+class HullResult:
+    """The convex hull of a finite point set.
+
+    Attributes
+    ----------
+    vertices:
+        The hull vertices, shape ``(num_vertices, d)``.
+    volume:
+        d-dimensional volume of the hull (0.0 when the hull is degenerate,
+        i.e. not full-dimensional).
+    polytope:
+        H-representation of the hull, or ``None`` when degenerate.
+    is_degenerate:
+        True when the points do not span the ambient dimension.
+    """
+
+    vertices: np.ndarray
+    volume: float
+    polytope: HPolytope | None
+    is_degenerate: bool
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of extreme points of the hull."""
+        return int(self.vertices.shape[0])
+
+    def contains(self, point: np.ndarray, tolerance: float = 1e-9) -> bool:
+        """Membership in the hull (degenerate hulls contain only their vertices)."""
+        if self.polytope is not None:
+            return self.polytope.contains(point, tolerance=tolerance)
+        point = np.asarray(point, dtype=float)
+        return any(np.linalg.norm(point - vertex) <= tolerance for vertex in self.vertices)
+
+
+def convex_hull(points: np.ndarray) -> HullResult:
+    """Compute the convex hull of ``points`` (shape ``(n, d)``).
+
+    Falls back to exact interval computation in dimension one and reports
+    degenerate (lower-dimensional) hulls instead of raising.
+    """
+    points = np.asarray(points, dtype=float)
+    if points.ndim != 2:
+        raise ValueError("points must be a 2-D array (one row per point)")
+    count, dimension = points.shape
+    if count == 0:
+        return HullResult(np.zeros((0, dimension)), 0.0, None, True)
+    if dimension == 0:
+        return HullResult(np.zeros((1, 0)), 1.0, HPolytope(np.zeros((0, 0)), np.zeros(0)), False)
+    if dimension == 1:
+        lower = float(points.min())
+        upper = float(points.max())
+        vertices = np.array([[lower], [upper]]) if upper > lower else np.array([[lower]])
+        if upper > lower:
+            polytope = HPolytope.box([(lower, upper)])
+            return HullResult(vertices, upper - lower, polytope, False)
+        return HullResult(vertices, 0.0, None, True)
+    if count <= dimension:
+        return HullResult(np.unique(points, axis=0), 0.0, None, True)
+    try:
+        hull = _SciPyConvexHull(points)
+    except QhullError:
+        # The points are affinely dependent (not full-dimensional).
+        return HullResult(np.unique(points, axis=0), 0.0, None, True)
+    vertices = points[hull.vertices]
+    # Qhull's equations are rows (normal, offset) with normal.x + offset <= 0.
+    a = hull.equations[:, :-1]
+    b = -hull.equations[:, -1]
+    polytope = HPolytope(a, b)
+    return HullResult(vertices, float(hull.volume), polytope, False)
+
+
+def hull_volume(points: np.ndarray) -> float:
+    """Volume of the convex hull of the points (0.0 when degenerate)."""
+    return convex_hull(points).volume
+
+
+def hull_polytope(points: np.ndarray) -> HPolytope:
+    """H-representation of the hull; raises for degenerate point sets."""
+    result = convex_hull(points)
+    if result.polytope is None:
+        raise ValueError("point set is not full-dimensional; the hull has no H-representation")
+    return result.polytope

@@ -1,0 +1,155 @@
+"""Linear programming helpers built on :func:`scipy.optimize.linprog`.
+
+The geometric layer reduces most of its structural questions to small linear
+programs:
+
+* feasibility of ``A x <= b`` (emptiness of an H-polytope);
+* the Chebyshev centre (centre and radius of the largest inscribed ball),
+  which provides the inner ball ``r_inf`` of a *well-bounded* relation;
+* support functions ``max c.x`` subject to ``A x <= b``, used for tight
+  bounding boxes and enclosing balls (the ``r_sup`` of well-boundedness).
+
+All helpers return plain floats/NumPy arrays and raise :class:`LPError` when
+the solver reports anything other than success or proven infeasibility /
+unboundedness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import linprog
+
+
+class LPError(RuntimeError):
+    """Raised when the LP solver fails for a reason other than infeasibility."""
+
+
+@dataclass(frozen=True)
+class LPResult:
+    """Outcome of a linear program.
+
+    Attributes
+    ----------
+    status:
+        One of ``"optimal"``, ``"infeasible"``, ``"unbounded"``.
+    value:
+        Optimal objective value (``None`` unless optimal).
+    point:
+        Optimal point (``None`` unless optimal).
+    """
+
+    status: str
+    value: float | None
+    point: np.ndarray | None
+
+    @property
+    def is_optimal(self) -> bool:
+        """True when an optimal solution was found."""
+        return self.status == "optimal"
+
+
+def solve_lp(
+    objective: np.ndarray,
+    a_ub: np.ndarray | None,
+    b_ub: np.ndarray | None,
+    a_eq: np.ndarray | None = None,
+    b_eq: np.ndarray | None = None,
+    bounds: list[tuple[float | None, float | None]] | None = None,
+) -> LPResult:
+    """Minimise ``objective . x`` subject to ``a_ub x <= b_ub`` and ``a_eq x == b_eq``.
+
+    Variables are free by default (``bounds=(None, None)``), unlike SciPy's
+    default of non-negative variables.
+    """
+    objective = np.asarray(objective, dtype=float)
+    dimension = objective.shape[0]
+    if bounds is None:
+        bounds = [(None, None)] * dimension
+    result = linprog(
+        objective,
+        A_ub=a_ub if a_ub is not None and len(a_ub) else None,
+        b_ub=b_ub if b_ub is not None and len(b_ub) else None,
+        A_eq=a_eq,
+        b_eq=b_eq,
+        bounds=bounds,
+        method="highs",
+    )
+    if result.status == 0:
+        return LPResult("optimal", float(result.fun), np.asarray(result.x, dtype=float))
+    if result.status == 2:
+        return LPResult("infeasible", None, None)
+    if result.status == 3:
+        return LPResult("unbounded", None, None)
+    raise LPError(f"linear program failed: {result.message}")
+
+
+def is_feasible(a_ub: np.ndarray, b_ub: np.ndarray) -> bool:
+    """Is the system ``a_ub x <= b_ub`` satisfiable (over the closed polytope)?"""
+    a_ub = np.asarray(a_ub, dtype=float)
+    if a_ub.size == 0:
+        return True
+    dimension = a_ub.shape[1]
+    result = solve_lp(np.zeros(dimension), a_ub, np.asarray(b_ub, dtype=float))
+    return result.is_optimal
+
+
+def chebyshev_center(a_ub: np.ndarray, b_ub: np.ndarray) -> tuple[np.ndarray, float] | None:
+    """Centre and radius of the largest ball inscribed in ``{x : a_ub x <= b_ub}``.
+
+    Solves ``max r`` subject to ``a_i . c + r * ||a_i|| <= b_i``.  Returns
+    ``None`` when the polytope is empty; the radius may be ``inf``-like large
+    only for unbounded polytopes (SciPy then reports unboundedness, which is
+    also mapped to ``None`` because such bodies are not *well-bounded*).
+    """
+    a_ub = np.asarray(a_ub, dtype=float)
+    b_ub = np.asarray(b_ub, dtype=float)
+    if a_ub.size == 0:
+        return None
+    rows, dimension = a_ub.shape
+    norms = np.linalg.norm(a_ub, axis=1)
+    # Variables: (c_1 .. c_d, r); maximise r == minimise -r.
+    a_extended = np.hstack([a_ub, norms.reshape(rows, 1)])
+    objective = np.zeros(dimension + 1)
+    objective[-1] = -1.0
+    bounds = [(None, None)] * dimension + [(0.0, None)]
+    result = solve_lp(objective, a_extended, b_ub, bounds=bounds)
+    if not result.is_optimal:
+        return None
+    center = result.point[:dimension]
+    radius = float(result.point[-1])
+    return center, radius
+
+
+def support_value(a_ub: np.ndarray, b_ub: np.ndarray, direction: np.ndarray) -> float | None:
+    """Maximum of ``direction . x`` over ``{x : a_ub x <= b_ub}``.
+
+    Returns ``None`` when the maximum is unbounded and raises
+    :class:`LPError` when the polytope is empty (callers are expected to
+    check emptiness first).
+    """
+    direction = np.asarray(direction, dtype=float)
+    result = solve_lp(-direction, np.asarray(a_ub, dtype=float), np.asarray(b_ub, dtype=float))
+    if result.status == "unbounded":
+        return None
+    if not result.is_optimal:
+        raise LPError("support function query on an empty polytope")
+    return -result.value
+
+
+def coordinate_bounds(a_ub: np.ndarray, b_ub: np.ndarray, dimension: int) -> list[tuple[float, float]] | None:
+    """Tight per-coordinate bounds of the polytope, or ``None`` if unbounded/empty."""
+    bounds: list[tuple[float, float]] = []
+    for axis in range(dimension):
+        direction = np.zeros(dimension)
+        direction[axis] = 1.0
+        try:
+            upper = support_value(a_ub, b_ub, direction)
+            lower = support_value(a_ub, b_ub, -direction)
+        except LPError:
+            return None
+        if upper is None or lower is None:
+            return None
+        bounds.append((-lower, upper))
+    return bounds

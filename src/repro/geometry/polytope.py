@@ -1,0 +1,313 @@
+"""H-polytopes: convex sets given by finitely many linear inequalities.
+
+A generalized tuple over ``R_lin`` is a finite conjunction of linear
+constraints, i.e. an intersection of halfspaces — a convex polyhedron.  The
+:class:`HPolytope` class is the numeric (floating point) counterpart of
+:class:`repro.constraints.tuples.GeneralizedTuple`: it stores the system
+``A x <= b`` as NumPy arrays and supports the geometric queries that the
+samplers and estimators need (membership, emptiness, Chebyshev ball, bounding
+box, affine images, vertex enumeration and exact volume).
+
+Strict inequalities and ``!=`` constraints are relaxed when converting from
+the symbolic representation: the closure of the set has the same volume and
+the samplers only care about full-dimensional mass.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.constraints.tuples import GeneralizedTuple
+from repro.geometry.ball import Ball
+from repro.geometry.linprog import chebyshev_center, coordinate_bounds, is_feasible
+from repro.geometry.transforms import AffineTransform
+
+
+class Halfspace:
+    """A single closed halfspace ``{x : normal . x <= offset}``."""
+
+    __slots__ = ("normal", "offset")
+
+    def __init__(self, normal: np.ndarray, offset: float) -> None:
+        self.normal = np.asarray(normal, dtype=float)
+        if self.normal.ndim != 1:
+            raise ValueError("normal must be a 1-D vector")
+        self.offset = float(offset)
+
+    @property
+    def dimension(self) -> int:
+        """Ambient dimension of the halfspace."""
+        return self.normal.shape[0]
+
+    def contains(self, point: np.ndarray, tolerance: float = 1e-9) -> bool:
+        """Membership with an absolute tolerance."""
+        return float(self.normal @ np.asarray(point, dtype=float)) <= self.offset + tolerance
+
+    def __repr__(self) -> str:
+        return f"Halfspace({self.normal.tolist()} . x <= {self.offset})"
+
+
+class HPolytope:
+    """A convex polyhedron ``{x in R^d : A x <= b}``.
+
+    ``names`` optionally records the variable names corresponding to the
+    coordinates, which allows round-tripping back to the symbolic layer.
+    """
+
+    __slots__ = ("a", "b", "names", "_chebyshev", "_box")
+
+    def __init__(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        names: Sequence[str] | None = None,
+    ) -> None:
+        a = np.asarray(a, dtype=float)
+        b = np.asarray(b, dtype=float)
+        if a.ndim != 2:
+            raise ValueError("constraint matrix must be 2-D")
+        if b.shape != (a.shape[0],):
+            raise ValueError("right-hand side must have one entry per constraint row")
+        self.a = a
+        self.b = b
+        if names is not None:
+            names = tuple(names)
+            if len(names) != a.shape[1]:
+                raise ValueError("one name per coordinate is required")
+        self.names = names
+        self._chebyshev: tuple[np.ndarray, float] | None | bool = False
+        self._box: list[tuple[float, float]] | None | bool = False
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_generalized_tuple(cls, tuple_: GeneralizedTuple) -> "HPolytope":
+        """Convert a symbolic conjunction into a (closed) H-polytope."""
+        rows, offsets, _strict = tuple_.inequality_matrix()
+        dimension = tuple_.dimension
+        if rows:
+            a = np.array([[float(value) for value in row] for row in rows], dtype=float)
+            b = np.array([float(value) for value in offsets], dtype=float)
+        else:
+            a = np.zeros((0, dimension))
+            b = np.zeros(0)
+        return cls(a, b, tuple_.variables)
+
+    @classmethod
+    def box(cls, bounds: Sequence[tuple[float, float]], names: Sequence[str] | None = None) -> "HPolytope":
+        """Axis-aligned box from per-coordinate ``(lower, upper)`` bounds."""
+        dimension = len(bounds)
+        a = np.zeros((2 * dimension, dimension))
+        b = np.zeros(2 * dimension)
+        for axis, (lower, upper) in enumerate(bounds):
+            if lower > upper:
+                raise ValueError(f"empty interval on axis {axis}: [{lower}, {upper}]")
+            a[2 * axis, axis] = -1.0
+            b[2 * axis] = -float(lower)
+            a[2 * axis + 1, axis] = 1.0
+            b[2 * axis + 1] = float(upper)
+        return cls(a, b, names)
+
+    @classmethod
+    def cube(cls, dimension: int, side: float = 1.0, center: np.ndarray | None = None) -> "HPolytope":
+        """Axis-aligned cube of the given side length (centred at ``center``)."""
+        if center is None:
+            center = np.zeros(dimension)
+        center = np.asarray(center, dtype=float)
+        half = side / 2.0
+        bounds = [(float(c - half), float(c + half)) for c in center]
+        return cls.box(bounds)
+
+    @classmethod
+    def simplex(cls, dimension: int, scale: float = 1.0) -> "HPolytope":
+        """The standard simplex ``{x >= 0, sum(x) <= scale}``."""
+        a = np.vstack([-np.eye(dimension), np.ones((1, dimension))])
+        b = np.concatenate([np.zeros(dimension), [float(scale)]])
+        return cls(a, b)
+
+    @classmethod
+    def cross_polytope(cls, dimension: int, scale: float = 1.0) -> "HPolytope":
+        """The L1 ball (cross-polytope) ``{x : sum |x_i| <= scale}``."""
+        signs = np.array(np.meshgrid(*[[-1.0, 1.0]] * dimension)).T.reshape(-1, dimension)
+        a = signs
+        b = np.full(signs.shape[0], float(scale))
+        return cls(a, b)
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+    @property
+    def dimension(self) -> int:
+        """Ambient dimension d."""
+        return self.a.shape[1]
+
+    @property
+    def num_constraints(self) -> int:
+        """Number of inequality rows."""
+        return self.a.shape[0]
+
+    def contains(self, point: np.ndarray, tolerance: float = 1e-9) -> bool:
+        """Membership test for a single point."""
+        point = np.asarray(point, dtype=float)
+        if self.a.shape[0] == 0:
+            return True
+        return bool(np.all(self.a @ point <= self.b + tolerance))
+
+    def contains_points(self, points: np.ndarray, tolerance: float = 1e-9) -> np.ndarray:
+        """Vectorised membership test; returns a boolean array of length ``len(points)``."""
+        points = np.asarray(points, dtype=float)
+        if self.a.shape[0] == 0:
+            return np.ones(points.shape[0], dtype=bool)
+        return np.all(points @ self.a.T <= self.b + tolerance, axis=1)
+
+    def is_empty(self) -> bool:
+        """Is the (closed) polytope empty?  Decided by linear programming."""
+        return not is_feasible(self.a, self.b)
+
+    def is_bounded(self) -> bool:
+        """Is the polytope bounded in every coordinate direction?"""
+        return self.bounding_box() is not None
+
+    # ------------------------------------------------------------------
+    # Metric structure
+    # ------------------------------------------------------------------
+    def chebyshev_ball(self) -> Ball | None:
+        """Largest inscribed ball (``None`` for empty or unbounded-radius bodies)."""
+        if self._chebyshev is False:
+            self._chebyshev = chebyshev_center(self.a, self.b)
+        if self._chebyshev is None:
+            return None
+        center, radius = self._chebyshev
+        return Ball(center, radius)
+
+    def bounding_box(self) -> list[tuple[float, float]] | None:
+        """Tight axis-aligned bounding box via LP (``None`` when unbounded/empty)."""
+        if self._box is False:
+            if self.a.shape[0] == 0:
+                self._box = None
+            elif self.is_empty():
+                self._box = None
+            else:
+                self._box = coordinate_bounds(self.a, self.b, self.dimension)
+        return self._box
+
+    def enclosing_ball(self) -> Ball | None:
+        """A ball containing the polytope (circumscribing its bounding box)."""
+        box = self.bounding_box()
+        if box is None:
+            return None
+        lower = np.array([interval[0] for interval in box])
+        upper = np.array([interval[1] for interval in box])
+        center = (lower + upper) / 2.0
+        radius = float(np.linalg.norm(upper - center))
+        return Ball(center, radius)
+
+    def well_bounded_radii(self) -> tuple[float, float] | None:
+        """The pair ``(r_inf, r_sup)`` witnessing well-boundedness, or ``None``.
+
+        ``r_inf`` is the radius of the Chebyshev (inscribed) ball and
+        ``r_sup`` the radius of the bounding-box circumscribed ball.  The
+        paper's well-boundedness requires both to be positive and finite.
+        """
+        inner = self.chebyshev_ball()
+        outer = self.enclosing_ball()
+        if inner is None or outer is None or inner.radius <= 0.0:
+            return None
+        return inner.radius, outer.radius
+
+    # ------------------------------------------------------------------
+    # Constructive operations
+    # ------------------------------------------------------------------
+    def intersect(self, other: "HPolytope") -> "HPolytope":
+        """Intersection of two polytopes in the same ambient space."""
+        if other.dimension != self.dimension:
+            raise ValueError("polytopes live in different dimensions")
+        return HPolytope(
+            np.vstack([self.a, other.a]),
+            np.concatenate([self.b, other.b]),
+            self.names,
+        )
+
+    def with_halfspace(self, halfspace: Halfspace) -> "HPolytope":
+        """Polytope further cut by one halfspace."""
+        if halfspace.dimension != self.dimension:
+            raise ValueError("halfspace dimension mismatch")
+        return HPolytope(
+            np.vstack([self.a, halfspace.normal.reshape(1, -1)]),
+            np.concatenate([self.b, [halfspace.offset]]),
+            self.names,
+        )
+
+    def translate(self, offset: np.ndarray) -> "HPolytope":
+        """Polytope translated by ``offset``."""
+        offset = np.asarray(offset, dtype=float)
+        return HPolytope(self.a, self.b + self.a @ offset, self.names)
+
+    def transform(self, transform: AffineTransform) -> "HPolytope":
+        """Image of the polytope under an invertible affine map.
+
+        If ``K = {x : A x <= b}`` and ``T(x) = M x + t`` then
+        ``T(K) = {y : A M^{-1} y <= b + A M^{-1} t}``.
+        """
+        inverse = transform.inverse_matrix
+        new_a = self.a @ inverse
+        new_b = self.b + new_a @ transform.offset
+        return HPolytope(new_a, new_b, self.names)
+
+    def restrict_to_box(self, bounds: Sequence[tuple[float, float]]) -> "HPolytope":
+        """Intersection with an axis-aligned box (used to bound unbounded bodies)."""
+        return self.intersect(HPolytope.box(bounds))
+
+    # ------------------------------------------------------------------
+    # Exact structure (exponential-cost operations, used as ground truth)
+    # ------------------------------------------------------------------
+    def vertices(self, tolerance: float = 1e-9) -> np.ndarray:
+        """Vertex enumeration (exact, exponential in the dimension).
+
+        Implemented in :mod:`repro.geometry.vertices`; provided here as a
+        method for convenience.
+        """
+        from repro.geometry.vertices import enumerate_vertices
+
+        return enumerate_vertices(self, tolerance=tolerance)
+
+    def volume(self) -> float:
+        """Exact volume via vertex enumeration and convex-hull triangulation.
+
+        Exponential in the dimension — this is the fixed-dimension exact
+        baseline of Lemma 3.1, not the polynomial-time estimator.
+        """
+        from repro.geometry.volume import polytope_volume
+
+        return polytope_volume(self)
+
+    def to_generalized_tuple(self, names: Sequence[str] | None = None) -> GeneralizedTuple:
+        """Convert back to a symbolic conjunction with the given variable names."""
+        from fractions import Fraction
+
+        from repro.constraints.atoms import AtomicConstraint, Relation
+        from repro.constraints.terms import LinearTerm
+
+        if names is None:
+            names = self.names
+        if names is None:
+            names = tuple(f"x{index + 1}" for index in range(self.dimension))
+        names = tuple(names)
+        if len(names) != self.dimension:
+            raise ValueError("one name per coordinate is required")
+        constraints = []
+        for row, offset in zip(self.a, self.b):
+            coefficients = {
+                name: Fraction(float(value)).limit_denominator(10**12)
+                for name, value in zip(names, row)
+                if abs(float(value)) > 0.0
+            }
+            term = LinearTerm(coefficients, -Fraction(float(offset)).limit_denominator(10**12))
+            constraints.append(AtomicConstraint(term, Relation.LE))
+        return GeneralizedTuple(constraints, names)
+
+    def __repr__(self) -> str:
+        return f"HPolytope(dim={self.dimension}, constraints={self.num_constraints})"

@@ -1,0 +1,70 @@
+"""Simplices: exact volumes and direct uniform sampling.
+
+Simplices serve as test fixtures throughout the library: their volume is known
+in closed form (``scale^d / d!`` for the standard simplex), uniform samples
+can be drawn directly (through sorted uniforms / Dirichlet spacings), and they
+exercise the samplers on a body whose corners are "thin" — a harder case than
+the hypercube for random-walk mixing.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.geometry.polytope import HPolytope
+
+
+def standard_simplex_volume(dimension: int, scale: float = 1.0) -> float:
+    """Volume of ``{x >= 0, sum(x) <= scale}`` in ``R^dimension``."""
+    if dimension < 0:
+        raise ValueError("dimension must be non-negative")
+    if dimension == 0:
+        return 1.0
+    return scale**dimension / math.factorial(dimension)
+
+
+def simplex_volume(vertices: np.ndarray) -> float:
+    """Volume of the simplex spanned by ``d + 1`` vertices in ``R^d``."""
+    vertices = np.asarray(vertices, dtype=float)
+    count, dimension = vertices.shape
+    if count != dimension + 1:
+        raise ValueError("a d-simplex requires exactly d + 1 vertices")
+    edges = vertices[1:] - vertices[0]
+    return abs(float(np.linalg.det(edges))) / math.factorial(dimension)
+
+
+def sample_standard_simplex(
+    rng: np.random.Generator, dimension: int, count: int = 1, scale: float = 1.0
+) -> np.ndarray:
+    """Uniform samples from ``{x >= 0, sum(x) <= scale}``.
+
+    Uses the spacings of sorted uniforms: if ``u_(1) <= ... <= u_(d)`` are the
+    order statistics of ``d`` uniforms on ``[0, 1]``, the consecutive gaps are
+    uniformly distributed on the standard simplex (with the last gap dropped).
+    """
+    uniforms = rng.random((count, dimension + 1))
+    uniforms[:, 0] = 0.0
+    uniforms = np.sort(uniforms, axis=1)
+    gaps = np.diff(uniforms, axis=1)
+    return gaps * scale
+
+
+def sample_simplex(rng: np.random.Generator, vertices: np.ndarray, count: int = 1) -> np.ndarray:
+    """Uniform samples from the simplex spanned by arbitrary vertices.
+
+    Barycentric coordinates are drawn uniformly from the standard simplex
+    (Dirichlet(1, ..., 1)) and applied to the vertices.
+    """
+    vertices = np.asarray(vertices, dtype=float)
+    dimension = vertices.shape[1]
+    if vertices.shape[0] != dimension + 1:
+        raise ValueError("a d-simplex requires exactly d + 1 vertices")
+    weights = rng.dirichlet(np.ones(dimension + 1), size=count)
+    return weights @ vertices
+
+
+def standard_simplex_polytope(dimension: int, scale: float = 1.0) -> HPolytope:
+    """H-representation of the standard simplex (delegates to :class:`HPolytope`)."""
+    return HPolytope.simplex(dimension, scale)

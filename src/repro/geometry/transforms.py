@@ -1,0 +1,106 @@
+"""Affine transformations of ``R^d``.
+
+The Dyer--Frieze--Kannan procedure first applies a non-singular affine
+transformation that makes the convex body *well-rounded* (contains the unit
+ball, contained in a ball of radius polynomial in ``d``).  The
+:class:`AffineTransform` class captures such maps, their inverses and their
+effect on volumes (the Jacobian determinant), and is shared by the rounding
+code, the samplers and the volume estimators.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class AffineTransform:
+    """The invertible affine map ``x -> matrix @ x + offset``."""
+
+    __slots__ = ("matrix", "offset", "_inverse_matrix")
+
+    def __init__(self, matrix: np.ndarray, offset: np.ndarray) -> None:
+        matrix = np.asarray(matrix, dtype=float)
+        offset = np.asarray(offset, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise ValueError("matrix must be square")
+        if offset.shape != (matrix.shape[0],):
+            raise ValueError("offset dimension must match the matrix")
+        determinant = np.linalg.det(matrix)
+        if abs(determinant) < 1e-300:
+            raise ValueError("affine transform must be non-singular")
+        self.matrix = matrix
+        self.offset = offset
+        self._inverse_matrix: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def identity(cls, dimension: int) -> "AffineTransform":
+        """The identity map of ``R^dimension``."""
+        return cls(np.eye(dimension), np.zeros(dimension))
+
+    @classmethod
+    def translation(cls, offset: np.ndarray) -> "AffineTransform":
+        """Pure translation by ``offset``."""
+        offset = np.asarray(offset, dtype=float)
+        return cls(np.eye(offset.shape[0]), offset)
+
+    @classmethod
+    def scaling(cls, factors: np.ndarray | float, dimension: int | None = None) -> "AffineTransform":
+        """Axis-aligned scaling; ``factors`` may be a scalar or per-axis vector."""
+        if np.isscalar(factors):
+            if dimension is None:
+                raise ValueError("dimension required for scalar scaling")
+            factors = np.full(dimension, float(factors))
+        factors = np.asarray(factors, dtype=float)
+        return cls(np.diag(factors), np.zeros(factors.shape[0]))
+
+    # ------------------------------------------------------------------
+    @property
+    def dimension(self) -> int:
+        """Dimension of the ambient space."""
+        return self.matrix.shape[0]
+
+    @property
+    def determinant(self) -> float:
+        """Jacobian determinant (volume scaling factor) of the map."""
+        return float(np.linalg.det(self.matrix))
+
+    @property
+    def inverse_matrix(self) -> np.ndarray:
+        """Cached inverse of the linear part."""
+        if self._inverse_matrix is None:
+            self._inverse_matrix = np.linalg.inv(self.matrix)
+        return self._inverse_matrix
+
+    # ------------------------------------------------------------------
+    def apply(self, points: np.ndarray) -> np.ndarray:
+        """Apply the map to one point (1-D array) or a batch (2-D, one row per point)."""
+        points = np.asarray(points, dtype=float)
+        if points.ndim == 1:
+            return self.matrix @ points + self.offset
+        return points @ self.matrix.T + self.offset
+
+    def apply_inverse(self, points: np.ndarray) -> np.ndarray:
+        """Apply the inverse map to one point or a batch of points."""
+        points = np.asarray(points, dtype=float)
+        if points.ndim == 1:
+            return self.inverse_matrix @ (points - self.offset)
+        return (points - self.offset) @ self.inverse_matrix.T
+
+    def compose(self, inner: "AffineTransform") -> "AffineTransform":
+        """Return the composition ``self ∘ inner`` (apply ``inner`` first)."""
+        return AffineTransform(
+            self.matrix @ inner.matrix, self.matrix @ inner.offset + self.offset
+        )
+
+    def inverse(self) -> "AffineTransform":
+        """The inverse affine map."""
+        inverse_matrix = self.inverse_matrix
+        return AffineTransform(inverse_matrix, -inverse_matrix @ self.offset)
+
+    def volume_scale(self) -> float:
+        """Factor by which the map multiplies d-dimensional volumes."""
+        return abs(self.determinant)
+
+    def __repr__(self) -> str:
+        return f"AffineTransform(dim={self.dimension}, det={self.determinant:.4g})"

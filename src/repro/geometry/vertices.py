@@ -1,0 +1,93 @@
+"""Vertex enumeration for H-polytopes.
+
+Vertices of ``{x : A x <= b}`` are intersection points of ``d`` linearly
+independent active constraints that satisfy all remaining constraints.  The
+brute-force enumeration over all ``C(m, d)`` constraint subsets is exponential
+in the dimension; that cost is intrinsic (the number of vertices itself can be
+exponential) and is exactly the kind of symbolic blow-up the paper's sampling
+approach bypasses.  The function below is therefore used only for ground truth
+in low dimension (exact volumes, reconstruction error measurement).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+
+from repro.geometry.polytope import HPolytope
+
+
+class VertexEnumerationError(RuntimeError):
+    """Raised when vertex enumeration would be too expensive or is ill-posed."""
+
+
+def enumerate_vertices(
+    polytope: HPolytope,
+    tolerance: float = 1e-9,
+    max_subsets: int = 2_000_000,
+) -> np.ndarray:
+    """Enumerate the vertices of a bounded H-polytope.
+
+    Parameters
+    ----------
+    polytope:
+        The polytope whose vertices are required.  It must be bounded;
+        unbounded polyhedra raise :class:`VertexEnumerationError`.
+    tolerance:
+        Numerical tolerance for feasibility checks and vertex deduplication.
+    max_subsets:
+        Safety bound on the number of constraint subsets examined.
+
+    Returns
+    -------
+    numpy.ndarray
+        Array of shape ``(num_vertices, d)``; empty when the polytope is empty.
+    """
+    dimension = polytope.dimension
+    rows = polytope.num_constraints
+    if dimension == 0:
+        return np.zeros((1, 0))
+    if rows < dimension:
+        raise VertexEnumerationError(
+            "polytope has fewer constraints than dimensions; it is unbounded"
+        )
+    subset_count = _binomial(rows, dimension)
+    if subset_count > max_subsets:
+        raise VertexEnumerationError(
+            f"vertex enumeration would examine {subset_count} constraint subsets "
+            f"(limit {max_subsets})"
+        )
+
+    a = polytope.a
+    b = polytope.b
+    candidates: list[np.ndarray] = []
+    for subset in combinations(range(rows), dimension):
+        sub_a = a[list(subset)]
+        sub_b = b[list(subset)]
+        try:
+            point = np.linalg.solve(sub_a, sub_b)
+        except np.linalg.LinAlgError:
+            continue
+        if not np.all(np.isfinite(point)):
+            continue
+        if np.all(a @ point <= b + tolerance):
+            candidates.append(point)
+    if not candidates:
+        return np.zeros((0, dimension))
+    return _deduplicate(np.array(candidates), tolerance=max(tolerance, 1e-9))
+
+
+def _deduplicate(points: np.ndarray, tolerance: float) -> np.ndarray:
+    """Remove near-duplicate rows (within Euclidean distance ``tolerance``)."""
+    kept: list[np.ndarray] = []
+    for point in points:
+        if all(np.linalg.norm(point - other) > tolerance for other in kept):
+            kept.append(point)
+    return np.array(kept)
+
+
+def _binomial(n: int, k: int) -> int:
+    from math import comb
+
+    return comb(n, k)

@@ -1,0 +1,140 @@
+"""Exact volume computation for polytopes and generalized relations.
+
+These routines are the *exact baselines* of the library:
+
+* :func:`polytope_volume` — exact volume of a convex polytope through vertex
+  enumeration and convex-hull triangulation (exponential in the dimension,
+  the cost Lemma 3.1 accepts under the fixed-dimension hypothesis);
+* :func:`relation_volume_exact` — exact volume of a DNF union of convex
+  polytopes by inclusion–exclusion over the disjuncts (exponential in the
+  number of disjuncts);
+* :func:`grid_cell_volume` — the cell-counting volume of Lemma 3.1/3.2:
+  decompose the bounding box into cubes of side ``gamma`` and count the cubes
+  whose centre lies in the set (cost ``(R / gamma)^d``).
+
+All of them are used to validate the randomized estimators of
+:mod:`repro.volume` in the tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+
+from repro.constraints.relations import GeneralizedRelation
+from repro.constraints.tuples import GeneralizedTuple
+from repro.geometry.hull import convex_hull
+from repro.geometry.polytope import HPolytope
+
+
+def polytope_volume(polytope: HPolytope) -> float:
+    """Exact volume of a bounded convex polytope.
+
+    The polytope's vertices are enumerated and the volume of their convex hull
+    is computed by Qhull's triangulation.  Empty and lower-dimensional
+    polytopes have volume ``0.0``.
+    """
+    if polytope.dimension == 0:
+        return 1.0
+    if polytope.is_empty():
+        return 0.0
+    vertices = polytope.vertices()
+    if vertices.shape[0] <= polytope.dimension:
+        return 0.0
+    return convex_hull(vertices).volume
+
+
+def tuple_volume(tuple_: GeneralizedTuple) -> float:
+    """Exact volume of the convex set defined by a generalized tuple."""
+    return polytope_volume(HPolytope.from_generalized_tuple(tuple_))
+
+
+def relation_volume_exact(relation: GeneralizedRelation, max_disjuncts: int = 20) -> float:
+    """Exact volume of a DNF generalized relation by inclusion–exclusion.
+
+    ``vol(S_1 ∪ ... ∪ S_m) = Σ_{∅ ≠ J ⊆ [m]} (-1)^{|J|+1} vol(∩_{i∈J} S_i)``.
+
+    The number of terms is ``2^m - 1``; ``max_disjuncts`` bounds ``m`` so that
+    callers do not accidentally trigger an astronomically long computation.
+    """
+    disjuncts = [d for d in relation.disjuncts if not d.is_syntactically_empty()]
+    if not disjuncts:
+        return 0.0
+    if len(disjuncts) > max_disjuncts:
+        raise ValueError(
+            f"inclusion–exclusion over {len(disjuncts)} disjuncts exceeds the limit "
+            f"of {max_disjuncts}"
+        )
+    polytopes = [HPolytope.from_generalized_tuple(d) for d in disjuncts]
+    total = 0.0
+    for size in range(1, len(polytopes) + 1):
+        sign = 1.0 if size % 2 == 1 else -1.0
+        for subset in combinations(range(len(polytopes)), size):
+            intersection = polytopes[subset[0]]
+            for index in subset[1:]:
+                intersection = intersection.intersect(polytopes[index])
+            volume = polytope_volume(intersection)
+            total += sign * volume
+    return max(total, 0.0)
+
+
+def grid_cell_volume(
+    relation: GeneralizedRelation,
+    cell_size: float,
+    bounding_box: list[tuple[float, float]] | None = None,
+) -> tuple[float, int]:
+    """Cell-counting volume approximation of Lemma 3.1.
+
+    The bounding box of the relation is decomposed into axis-aligned cubes of
+    side ``cell_size``; a cube counts as inside when its centre belongs to the
+    relation.  Returns ``(approximate_volume, cells_examined)`` so callers can
+    report the exponential cost ``(R / gamma)^d`` explicitly.
+    """
+    if cell_size <= 0:
+        raise ValueError("cell_size must be positive")
+    box = bounding_box if bounding_box is not None else _relation_bounding_box(relation)
+    if box is None:
+        raise ValueError("relation has no finite bounding box")
+    dimension = relation.dimension
+    axes = []
+    for lower, upper in box:
+        if upper <= lower:
+            return 0.0, 0
+        centers = np.arange(lower + cell_size / 2.0, upper, cell_size)
+        if centers.size == 0:
+            centers = np.array([(lower + upper) / 2.0])
+        axes.append(centers)
+    mesh = np.meshgrid(*axes, indexing="ij")
+    points = np.stack([m.ravel() for m in mesh], axis=1)
+    cells_examined = points.shape[0]
+    inside = 0
+    for point in points:
+        if relation.contains_point([float(v) for v in point]):
+            inside += 1
+    return inside * cell_size**dimension, cells_examined
+
+
+def _relation_bounding_box(relation: GeneralizedRelation) -> list[tuple[float, float]] | None:
+    """Bounding box of a relation: union of the LP boxes of its disjuncts."""
+    box: list[tuple[float, float]] | None = None
+    for disjunct in relation.disjuncts:
+        polytope = HPolytope.from_generalized_tuple(disjunct)
+        if polytope.is_empty():
+            continue
+        disjunct_box = polytope.bounding_box()
+        if disjunct_box is None:
+            return None
+        if box is None:
+            box = list(disjunct_box)
+        else:
+            box = [
+                (min(current[0], new[0]), max(current[1], new[1]))
+                for current, new in zip(box, disjunct_box)
+            ]
+    return box
+
+
+def relation_bounding_box(relation: GeneralizedRelation) -> list[tuple[float, float]] | None:
+    """Public wrapper around the per-disjunct LP bounding box computation."""
+    return _relation_bounding_box(relation)

@@ -1,0 +1,18 @@
+"""Benchmark harness: experiment registry, result containers, table formatting."""
+
+from repro.harness.experiments import (
+    EXPERIMENT_REGISTRY,
+    ExperimentResult,
+    register_experiment,
+    run_registered,
+)
+from repro.harness.tables import format_markdown_table, format_table
+
+__all__ = [
+    "EXPERIMENT_REGISTRY",
+    "ExperimentResult",
+    "register_experiment",
+    "run_registered",
+    "format_markdown_table",
+    "format_table",
+]

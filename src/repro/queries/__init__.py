@@ -1,0 +1,38 @@
+"""Query layer: ASTs, symbolic baseline, observable compilation, aggregates, engine."""
+
+from repro.queries.aggregates import (
+    AggregateResult,
+    approximate_volume,
+    exact_volume,
+    overlap_fraction,
+)
+from repro.queries.ast import QAnd, QConstraint, QExists, QNot, QOr, QRelation, Query
+from repro.queries.compiler import (
+    CompilationError,
+    compile_query,
+    observable_from_relation,
+    to_positive_existential,
+)
+from repro.queries.engine import QueryEngine
+from repro.queries.symbolic import SymbolicEvaluationError, evaluate_symbolic
+
+__all__ = [
+    "AggregateResult",
+    "approximate_volume",
+    "exact_volume",
+    "overlap_fraction",
+    "Query",
+    "QRelation",
+    "QConstraint",
+    "QAnd",
+    "QOr",
+    "QNot",
+    "QExists",
+    "CompilationError",
+    "compile_query",
+    "observable_from_relation",
+    "to_positive_existential",
+    "QueryEngine",
+    "SymbolicEvaluationError",
+    "evaluate_symbolic",
+]

@@ -1,0 +1,97 @@
+"""Approximate aggregate queries (the motivating application).
+
+Aggregate queries — "what is the area of the result?", "which fraction of
+region A lies inside region B?" — only need the result's measure, not its
+symbolic description, and an approximate answer is usually sufficient.  This
+is the class of applications the paper's introduction motivates (statistical
+analysis and decision support over GIS data); the functions below expose it
+directly on top of the compiled observable plans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constraints.database import ConstraintDatabase
+from repro.core.observable import GeneratorParams
+from repro.geometry.volume import relation_volume_exact
+from repro.queries.ast import QAnd, QRelation, Query
+from repro.queries.compiler import compile_query
+from repro.queries.symbolic import evaluate_symbolic
+from repro.sampling.rng import ensure_rng
+from repro.volume.base import VolumeEstimate
+
+
+@dataclass
+class AggregateResult:
+    """An aggregate answer together with the work spent producing it.
+
+    Attributes
+    ----------
+    value:
+        The aggregate value (a volume, or a ratio of volumes).
+    estimate:
+        The underlying :class:`VolumeEstimate` (``None`` for derived ratios).
+    exact:
+        Whether the value was computed exactly or estimated.
+    """
+
+    value: float
+    estimate: VolumeEstimate | None
+    exact: bool
+
+
+def approximate_volume(
+    query: Query,
+    database: ConstraintDatabase,
+    epsilon: float = 0.2,
+    delta: float = 0.1,
+    params: GeneratorParams | None = None,
+    rng: np.random.Generator | int | None = None,
+) -> AggregateResult:
+    """Estimate the volume of the query result without symbolic evaluation."""
+    rng = ensure_rng(rng)
+    params = params if params is not None else GeneratorParams(epsilon=epsilon, delta=delta)
+    plan = compile_query(query, database, params=params)
+    estimate = plan.estimate_volume(epsilon, delta, rng=rng)
+    return AggregateResult(value=estimate.value, estimate=estimate, exact=False)
+
+
+def exact_volume(query: Query, database: ConstraintDatabase, max_disjuncts: int = 20) -> AggregateResult:
+    """Exact volume of the query result (symbolic evaluation + inclusion–exclusion)."""
+    relation = evaluate_symbolic(query, database)
+    value = relation_volume_exact(relation, max_disjuncts=max_disjuncts)
+    return AggregateResult(value=value, estimate=None, exact=True)
+
+
+def overlap_fraction(
+    region_a: str,
+    region_b: str,
+    database: ConstraintDatabase,
+    epsilon: float = 0.2,
+    delta: float = 0.1,
+    rng: np.random.Generator | int | None = None,
+) -> AggregateResult:
+    """The fraction ``vol(A ∩ B) / vol(A)`` of region A covered by region B.
+
+    A typical GIS decision-support aggregate ("how much of the district lies
+    in the flood zone?"); both volumes are estimated with the sampling
+    machinery and their ratio is returned.
+    """
+    rng = ensure_rng(rng)
+    attributes_a = database.schema[region_a].attributes
+    attributes_b = database.schema[region_b].attributes
+    if len(attributes_a) != len(attributes_b):
+        raise ValueError("regions must have the same arity to be overlapped")
+    variables = tuple(f"v{i + 1}" for i in range(len(attributes_a)))
+    atom_a = QRelation(region_a, variables)
+    atom_b = QRelation(region_b, variables)
+    numerator = approximate_volume(QAnd((atom_a, atom_b)), database, epsilon, delta, rng=rng)
+    denominator = approximate_volume(atom_a, database, epsilon, delta, rng=rng)
+    if denominator.value <= 0:
+        return AggregateResult(value=0.0, estimate=None, exact=False)
+    return AggregateResult(
+        value=numerator.value / denominator.value, estimate=None, exact=False
+    )

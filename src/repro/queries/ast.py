@@ -1,0 +1,177 @@
+"""Query ASTs: FO+LIN over a database schema.
+
+The query language of the paper is first-order logic over the linear
+structure *and* the database schema: atoms are either linear constraints or
+relation predicates ``R(v_1, ..., v_k)`` referring to the stored generalized
+relations.  This module defines the corresponding AST; evaluation lives in
+:mod:`repro.queries.symbolic` (exact, through the relational algebra and
+Fourier--Motzkin) and :mod:`repro.queries.compiler` (approximate, by compiling
+to the observable operators of :mod:`repro.core`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.constraints.atoms import AtomicConstraint
+
+
+class Query:
+    """Base class of query AST nodes."""
+
+    def free_variables(self) -> tuple[str, ...]:
+        """The free variables of the query, in a deterministic order."""
+        raise NotImplementedError
+
+    def is_positive_existential(self) -> bool:
+        """Does the query avoid negation and universal quantification?"""
+        raise NotImplementedError
+
+    # Convenience builders ------------------------------------------------
+    def and_(self, other: "Query") -> "Query":
+        """Conjunction with another query."""
+        return QAnd((self, other))
+
+    def or_(self, other: "Query") -> "Query":
+        """Disjunction with another query."""
+        return QOr((self, other))
+
+    def not_(self) -> "Query":
+        """Negation."""
+        return QNot(self)
+
+    def exists(self, *variables: str) -> "Query":
+        """Existential quantification."""
+        return QExists(tuple(variables), self)
+
+
+class QRelation(Query):
+    """A relation atom ``R(v_1, ..., v_k)``."""
+
+    __slots__ = ("name", "arguments")
+
+    def __init__(self, name: str, arguments: Sequence[str]) -> None:
+        self.name = name
+        self.arguments = tuple(arguments)
+        if not self.arguments:
+            raise ValueError("relation atoms need at least one argument")
+        if len(set(self.arguments)) != len(self.arguments):
+            raise ValueError(
+                "relation atoms must use distinct variables; add explicit equalities instead"
+            )
+
+    def free_variables(self) -> tuple[str, ...]:
+        return self.arguments
+
+    def is_positive_existential(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return f"{self.name}({', '.join(self.arguments)})"
+
+
+class QConstraint(Query):
+    """A linear constraint atom."""
+
+    __slots__ = ("constraint",)
+
+    def __init__(self, constraint: AtomicConstraint) -> None:
+        self.constraint = constraint
+
+    def free_variables(self) -> tuple[str, ...]:
+        return tuple(sorted(self.constraint.variables()))
+
+    def is_positive_existential(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return f"QConstraint({self.constraint})"
+
+
+class QAnd(Query):
+    """Conjunction of sub-queries."""
+
+    __slots__ = ("operands",)
+
+    def __init__(self, operands: Iterable[Query]) -> None:
+        self.operands = tuple(operands)
+        if not self.operands:
+            raise ValueError("QAnd requires at least one operand")
+
+    def free_variables(self) -> tuple[str, ...]:
+        return _merge(operand.free_variables() for operand in self.operands)
+
+    def is_positive_existential(self) -> bool:
+        return all(operand.is_positive_existential() for operand in self.operands)
+
+    def __repr__(self) -> str:
+        return "(" + " AND ".join(map(repr, self.operands)) + ")"
+
+
+class QOr(Query):
+    """Disjunction of sub-queries."""
+
+    __slots__ = ("operands",)
+
+    def __init__(self, operands: Iterable[Query]) -> None:
+        self.operands = tuple(operands)
+        if not self.operands:
+            raise ValueError("QOr requires at least one operand")
+
+    def free_variables(self) -> tuple[str, ...]:
+        return _merge(operand.free_variables() for operand in self.operands)
+
+    def is_positive_existential(self) -> bool:
+        return all(operand.is_positive_existential() for operand in self.operands)
+
+    def __repr__(self) -> str:
+        return "(" + " OR ".join(map(repr, self.operands)) + ")"
+
+
+class QNot(Query):
+    """Negation of a sub-query."""
+
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: Query) -> None:
+        self.operand = operand
+
+    def free_variables(self) -> tuple[str, ...]:
+        return self.operand.free_variables()
+
+    def is_positive_existential(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return f"NOT {self.operand!r}"
+
+
+class QExists(Query):
+    """Existential quantification over a tuple of variables."""
+
+    __slots__ = ("variables", "operand")
+
+    def __init__(self, variables: Sequence[str], operand: Query) -> None:
+        self.variables = tuple(variables)
+        if not self.variables:
+            raise ValueError("QExists requires at least one variable")
+        self.operand = operand
+
+    def free_variables(self) -> tuple[str, ...]:
+        bound = set(self.variables)
+        return tuple(name for name in self.operand.free_variables() if name not in bound)
+
+    def is_positive_existential(self) -> bool:
+        return self.operand.is_positive_existential()
+
+    def __repr__(self) -> str:
+        return f"EXISTS {self.variables} . {self.operand!r}"
+
+
+def _merge(parts: Iterable[tuple[str, ...]]) -> tuple[str, ...]:
+    ordered: list[str] = []
+    for part in parts:
+        for name in part:
+            if name not in ordered:
+                ordered.append(name)
+    return tuple(ordered)

@@ -1,0 +1,247 @@
+"""Compilation of queries into observable (sampling-based) evaluation plans.
+
+The compiler turns a query over a constraint database into an
+:class:`~repro.core.observable.ObservableRelation`, i.e. an object that can
+generate almost uniform points of the query result and estimate its volume —
+without ever materialising the result symbolically.  The mapping follows
+Section 4 of the paper:
+
+* relation atoms          → the stored relation, wrapped per convex disjunct
+                            (:class:`ConvexObservable`, unioned when the DNF
+                            has several disjuncts — Theorem 4.1);
+* conjunction             → symbolic conjunction when both sides are symbolic
+                            (the conjunction of generalized tuples is again a
+                            generalized tuple), rejection-based intersection
+                            otherwise (Proposition 4.1);
+* disjunction             → the union generator (Theorem 4.1 / Corollary 4.2);
+* conjunction with a negated operand → the difference generator
+                            (Proposition 4.2);
+* existential quantifier  → the projection generator (Theorem 4.3), applied
+                            per convex disjunct.
+
+Positive existential queries can additionally be normalised into the
+conjunctive-component form consumed by Algorithm 5
+(:func:`to_positive_existential`).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.constraints.database import ConstraintDatabase
+from repro.constraints.relations import GeneralizedRelation
+from repro.core.convex import ConvexObservable
+from repro.core.difference import DifferenceObservable
+from repro.core.intersection import IntersectionObservable
+from repro.core.observable import GeneratorParams, ObservableRelation
+from repro.core.projection import ProjectionObservable
+from repro.core.query_reconstruction import (
+    ConjunctiveComponent,
+    PositiveExistentialQuery,
+    RelationAtom,
+)
+from repro.core.union import UnionObservable
+from repro.queries.ast import QAnd, QConstraint, QExists, QNot, QOr, QRelation, Query
+from repro.queries.symbolic import evaluate_symbolic
+
+
+class CompilationError(RuntimeError):
+    """Raised when a query shape is outside the compilable fragment."""
+
+
+def observable_from_relation(
+    relation: GeneralizedRelation,
+    params: GeneratorParams | None = None,
+    sampler: str = "hit_and_run",
+    samples_per_phase: int = 800,
+) -> ObservableRelation:
+    """Wrap a symbolic DNF relation as an observable (union of convex disjuncts).
+
+    ``samples_per_phase`` bounds the per-phase budget of each member's
+    telescoping volume estimator; the default keeps compiled plans laptop-fast
+    while staying well within the loose ratios the experiments assert.
+    """
+    from repro.volume.telescoping import TelescopingConfig
+
+    params = params if params is not None else GeneratorParams()
+    telescoping = TelescopingConfig(samples_per_phase=samples_per_phase)
+    members: list[ObservableRelation] = []
+    for disjunct in relation.disjuncts:
+        if disjunct.is_syntactically_empty():
+            continue
+        observable = ConvexObservable(
+            disjunct, params=params, sampler=sampler, telescoping=telescoping
+        )
+        if observable.polytope.is_empty() or not observable.is_well_bounded():
+            continue
+        members.append(observable)
+    if not members:
+        raise CompilationError("relation has no non-empty, well-bounded disjunct")
+    if len(members) == 1:
+        return members[0]
+    return UnionObservable(members, params=params)
+
+
+def compile_query(
+    query: Query,
+    database: ConstraintDatabase,
+    params: GeneratorParams | None = None,
+    sampler: str = "hit_and_run",
+) -> ObservableRelation:
+    """Compile a query into an observable evaluation plan."""
+    params = params if params is not None else GeneratorParams()
+    kind, value = _compile(query, database, params, sampler)
+    if kind == "relation":
+        return observable_from_relation(value, params, sampler)
+    return value
+
+
+def _compile(
+    query: Query,
+    database: ConstraintDatabase,
+    params: GeneratorParams,
+    sampler: str,
+):
+    """Recursive compilation returning ``("relation", GeneralizedRelation)`` or
+    ``("observable", ObservableRelation)``.
+
+    Symbolic sub-results are kept symbolic as long as possible so that chains
+    of conjunctions collapse into single convex bodies instead of stacks of
+    rejection samplers.
+    """
+    if isinstance(query, (QRelation, QConstraint)):
+        return "relation", evaluate_symbolic(query, database)
+    if isinstance(query, QAnd):
+        positives = [op for op in query.operands if not isinstance(op, QNot)]
+        negatives = [op.operand for op in query.operands if isinstance(op, QNot)]
+        if not positives:
+            raise CompilationError("a conjunction needs at least one positive operand")
+        compiled = [_compile(op, database, params, sampler) for op in positives]
+        if all(kind == "relation" for kind, _ in compiled):
+            relation = compiled[0][1]
+            for _, other in compiled[1:]:
+                relation = relation.intersection(other)
+            positive_result = ("relation", relation)
+        else:
+            members = [
+                value if kind == "observable" else observable_from_relation(value, params, sampler)
+                for kind, value in compiled
+            ]
+            if len(members) == 1:
+                positive_result = ("observable", members[0])
+            else:
+                positive_result = (
+                    "observable",
+                    IntersectionObservable(members, params=params),
+                )
+        if not negatives:
+            return positive_result
+        # A ∧ ¬B ∧ ¬C  =  A \ (B ∪ C): the difference generator only needs
+        # membership in the subtrahend, so it is compiled as an observable.
+        kind, value = positive_result
+        minuend = (
+            value if kind == "observable" else observable_from_relation(value, params, sampler)
+        )
+        negative_compiled = [_compile(op, database, params, sampler) for op in negatives]
+        negative_members = [
+            value if kind == "observable" else observable_from_relation(value, params, sampler)
+            for kind, value in negative_compiled
+        ]
+        subtrahend = (
+            negative_members[0]
+            if len(negative_members) == 1
+            else UnionObservable(negative_members, params=params)
+        )
+        return "observable", DifferenceObservable(minuend, subtrahend, params=params)
+    if isinstance(query, QOr):
+        compiled = [_compile(op, database, params, sampler) for op in query.operands]
+        if all(kind == "relation" for kind, _ in compiled):
+            relation = compiled[0][1]
+            order = relation.variables
+            for _, other in compiled[1:]:
+                relation = relation.union(other)
+            return "relation", relation.with_variables(order)
+        members = [
+            value if kind == "observable" else observable_from_relation(value, params, sampler)
+            for kind, value in compiled
+        ]
+        return "observable", UnionObservable(members, params=params)
+    if isinstance(query, QExists):
+        kind, value = _compile(query.operand, database, params, sampler)
+        if kind != "relation":
+            raise CompilationError(
+                "existential quantification is only compiled over symbolic sub-queries; "
+                "normalise the query so quantifiers sit above conjunctions of atoms"
+            )
+        keep = tuple(
+            name for name in value.variables if name not in set(query.variables)
+        )
+        if not keep:
+            raise CompilationError("projection must keep at least one variable")
+        members: list[ObservableRelation] = []
+        for disjunct in value.disjuncts:
+            if disjunct.is_syntactically_empty():
+                continue
+            source = ConvexObservable(disjunct, params=params, sampler=sampler)
+            if source.polytope.is_empty() or not source.is_well_bounded():
+                continue
+            members.append(ProjectionObservable(source, keep=keep, params=params))
+        if not members:
+            raise CompilationError("projection has no non-empty disjunct")
+        if len(members) == 1:
+            return "observable", members[0]
+        return "observable", UnionObservable(members, params=params)
+    if isinstance(query, QNot):
+        raise CompilationError(
+            "negation is only supported inside a conjunction (as a difference); "
+            "top-level complements are not well-bounded"
+        )
+    raise TypeError(f"unsupported query node {query!r}")
+
+
+def to_positive_existential(
+    query: Query, output_variables: Sequence[str] | None = None
+) -> PositiveExistentialQuery:
+    """Normalise a positive existential query into Algorithm 5's component form.
+
+    The query must be built from relation atoms with conjunction, disjunction
+    and existential quantification only; disjunction is pushed to the top and
+    every conjunctive component lists its relation atoms and output variables.
+    """
+    if not query.is_positive_existential():
+        raise CompilationError("only positive existential queries can be normalised")
+    free = tuple(output_variables) if output_variables is not None else query.free_variables()
+    components = _components_of(query)
+    normalised = tuple(
+        ConjunctiveComponent(atoms=tuple(atoms), output_variables=free) for atoms in components
+    )
+    return PositiveExistentialQuery(components=normalised, output_variables=free)
+
+
+def _components_of(query: Query) -> list[list[RelationAtom]]:
+    """DNF of relation atoms (constraint atoms are not supported in this normal form)."""
+    if isinstance(query, QRelation):
+        return [[RelationAtom(query.name, query.arguments)]]
+    if isinstance(query, QExists):
+        # The quantified variables are implicit in the component form: every
+        # variable that is not an output variable is projected away.
+        return _components_of(query.operand)
+    if isinstance(query, QOr):
+        result: list[list[RelationAtom]] = []
+        for operand in query.operands:
+            result.extend(_components_of(operand))
+        return result
+    if isinstance(query, QAnd):
+        partial: list[list[RelationAtom]] = [[]]
+        for operand in query.operands:
+            operand_components = _components_of(operand)
+            partial = [
+                existing + extra for existing in partial for extra in operand_components
+            ]
+        return partial
+    if isinstance(query, QConstraint):
+        raise CompilationError(
+            "constraint atoms are not supported in the component normal form; "
+            "fold them into the stored relations instead"
+        )
+    raise CompilationError(f"query node {query!r} is not positive existential")

@@ -1,0 +1,107 @@
+"""The end-to-end query engine.
+
+:class:`QueryEngine` ties the layers together: it holds a constraint database
+and answers queries either exactly (symbolic evaluation — the classical,
+potentially exponential route) or approximately (sampling-based observables
+and convex-hull reconstruction — the paper's route).  It is the object the
+examples and the GIS-style benchmarks drive.
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+import numpy as np
+
+from repro.constraints.database import ConstraintDatabase
+from repro.constraints.relations import GeneralizedRelation
+from repro.core.observable import GeneratorParams, ObservableRelation
+from repro.core.query_reconstruction import RelationEstimate, reconstruct_positive_existential
+from repro.queries.aggregates import AggregateResult, approximate_volume, exact_volume
+from repro.queries.ast import Query
+from repro.queries.compiler import compile_query, to_positive_existential
+from repro.queries.symbolic import evaluate_symbolic
+from repro.sampling.rng import ensure_rng
+
+Mode = Literal["exact", "approximate"]
+
+
+class QueryEngine:
+    """Evaluate FO+LIN queries over a constraint database, exactly or approximately.
+
+    Parameters
+    ----------
+    database:
+        The constraint database instance.
+    params:
+        Default accuracy parameters for approximate evaluation.
+    """
+
+    def __init__(
+        self, database: ConstraintDatabase, params: GeneratorParams | None = None
+    ) -> None:
+        self.database = database
+        self.params = params if params is not None else GeneratorParams()
+
+    # ------------------------------------------------------------------
+    # Symbolic (exact) evaluation
+    # ------------------------------------------------------------------
+    def evaluate_exact(self, query: Query) -> GeneralizedRelation:
+        """Exact result as an explicit DNF relation (may blow up symbolically)."""
+        return evaluate_symbolic(query, self.database)
+
+    # ------------------------------------------------------------------
+    # Sampling-based evaluation
+    # ------------------------------------------------------------------
+    def compile(self, query: Query) -> ObservableRelation:
+        """Compile the query into an observable plan (generator + volume estimator)."""
+        return compile_query(query, self.database, params=self.params)
+
+    def sample_result(
+        self, query: Query, count: int, rng: np.random.Generator | int | None = None
+    ) -> np.ndarray:
+        """Draw almost uniform points of the query result without materialising it."""
+        rng = ensure_rng(rng)
+        plan = self.compile(query)
+        return plan.generate_many(count, rng)
+
+    def reconstruct(
+        self,
+        query: Query,
+        samples_per_component: int = 400,
+        rng: np.random.Generator | int | None = None,
+    ) -> RelationEstimate:
+        """Approximate the *shape* of a positive existential query result.
+
+        Algorithm 5: the result is returned as a union of convex hulls, a
+        relation estimate in the sense of Definition 4.1.
+        """
+        rng = ensure_rng(rng)
+        normal_form = to_positive_existential(query)
+        return reconstruct_positive_existential(
+            self.database,
+            normal_form,
+            params=self.params,
+            samples_per_component=samples_per_component,
+            rng=rng,
+        )
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    def volume(
+        self,
+        query: Query,
+        mode: Mode = "approximate",
+        epsilon: float | None = None,
+        delta: float | None = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> AggregateResult:
+        """Volume of the query result, exactly or approximately."""
+        if mode == "exact":
+            return exact_volume(query, self.database)
+        epsilon = epsilon if epsilon is not None else self.params.epsilon
+        delta = delta if delta is not None else self.params.delta
+        return approximate_volume(
+            query, self.database, epsilon=epsilon, delta=delta, params=self.params, rng=rng
+        )

@@ -1,0 +1,85 @@
+"""Exact symbolic evaluation of queries (the classical baseline).
+
+The classical approach to constraint query evaluation is entirely symbolic:
+relation atoms are instantiated, boolean connectives map to the DNF-preserving
+operations of :mod:`repro.constraints.relations`, and existential quantifiers
+are eliminated with Fourier--Motzkin.  The result is an explicit generalized
+relation — exact, but with costs that can blow up (doubly exponentially for
+quantifier elimination, exponentially for complements), which is the paper's
+motivation for approximate evaluation.  This evaluator provides the ground
+truth against which the sampling-based results are measured.
+"""
+
+from __future__ import annotations
+
+from repro.constraints.database import ConstraintDatabase
+from repro.constraints.relations import GeneralizedRelation
+from repro.constraints.tuples import GeneralizedTuple
+from repro.queries.ast import QAnd, QConstraint, QExists, QNot, QOr, QRelation, Query
+
+
+class SymbolicEvaluationError(RuntimeError):
+    """Raised when a query cannot be evaluated symbolically (e.g. unbounded negation)."""
+
+
+def evaluate_symbolic(
+    query: Query, database: ConstraintDatabase, variables: tuple[str, ...] | None = None
+) -> GeneralizedRelation:
+    """Evaluate a query exactly against a database instance.
+
+    ``variables`` fixes the output variable order (defaults to the query's
+    free variables in their natural order).
+    """
+    order = variables if variables is not None else query.free_variables()
+    relation = _evaluate(query, database, tuple(order))
+    return relation.simplify()
+
+
+def _evaluate(
+    query: Query, database: ConstraintDatabase, order: tuple[str, ...]
+) -> GeneralizedRelation:
+    if isinstance(query, QRelation):
+        instance = database.relation(query.name)
+        attributes = database.schema[query.name].attributes
+        if len(attributes) != len(query.arguments):
+            raise SymbolicEvaluationError(
+                f"relation {query.name} expects {len(attributes)} arguments, "
+                f"got {len(query.arguments)}"
+            )
+        renamed = instance.rename(dict(zip(attributes, query.arguments)))
+        return renamed.with_variables(_extend(order, renamed.variables))
+    if isinstance(query, QConstraint):
+        constraint_order = _extend(order, tuple(sorted(query.constraint.variables())))
+        tuple_ = GeneralizedTuple((query.constraint,), constraint_order)
+        return GeneralizedRelation.from_tuple(tuple_)
+    if isinstance(query, QAnd):
+        parts = [_evaluate(operand, database, order) for operand in query.operands]
+        result = parts[0]
+        for part in parts[1:]:
+            result = result.intersection(part)
+        return result
+    if isinstance(query, QOr):
+        parts = [_evaluate(operand, database, order) for operand in query.operands]
+        full_order = parts[0].variables
+        for part in parts[1:]:
+            full_order = _extend(full_order, part.variables)
+        result = parts[0].with_variables(full_order)
+        for part in parts[1:]:
+            result = result.union(part.with_variables(full_order))
+        return result
+    if isinstance(query, QNot):
+        inner = _evaluate(query.operand, database, order)
+        return inner.complement()
+    if isinstance(query, QExists):
+        inner = _evaluate(query.operand, database, order)
+        keep = tuple(name for name in inner.variables if name not in set(query.variables))
+        return inner.project(keep)
+    raise TypeError(f"unsupported query node {query!r}")
+
+
+def _extend(order: tuple[str, ...], extra: tuple[str, ...]) -> tuple[str, ...]:
+    merged = list(order)
+    for name in extra:
+        if name not in merged:
+            merged.append(name)
+    return tuple(merged)

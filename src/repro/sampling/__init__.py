@@ -1,0 +1,58 @@
+"""Samplers: random walks, rejection schemes and diagnostics."""
+
+from repro.sampling.ball_walk import BallWalkSampler
+from repro.sampling.diagnostics import (
+    cell_histogram,
+    chi_square_uniform,
+    empirical_moments,
+    ks_statistic_uniform,
+    max_ratio_to_uniform,
+    total_variation_to_uniform,
+)
+from repro.sampling.fixed_dim import CellDecomposition, FixedDimensionSampler
+from repro.sampling.grid_walk import GridWalkConfig, GridWalkSampler
+from repro.sampling.hit_and_run import HitAndRunSampler
+from repro.sampling.oracles import (
+    CountingOracle,
+    MembershipOracle,
+    oracle_from_polytope,
+    oracle_from_predicate,
+    oracle_from_relation,
+    oracle_from_tuple,
+)
+from repro.sampling.rejection import (
+    RejectionResult,
+    estimate_acceptance_rate,
+    rejection_sample_from_ball,
+    rejection_sample_from_box,
+    sample_box,
+)
+from repro.sampling.rng import ensure_rng, spawn_rngs
+
+__all__ = [
+    "BallWalkSampler",
+    "cell_histogram",
+    "chi_square_uniform",
+    "empirical_moments",
+    "ks_statistic_uniform",
+    "max_ratio_to_uniform",
+    "total_variation_to_uniform",
+    "CellDecomposition",
+    "FixedDimensionSampler",
+    "GridWalkConfig",
+    "GridWalkSampler",
+    "HitAndRunSampler",
+    "CountingOracle",
+    "MembershipOracle",
+    "oracle_from_polytope",
+    "oracle_from_predicate",
+    "oracle_from_relation",
+    "oracle_from_tuple",
+    "RejectionResult",
+    "estimate_acceptance_rate",
+    "rejection_sample_from_ball",
+    "rejection_sample_from_box",
+    "sample_box",
+    "ensure_rng",
+    "spawn_rngs",
+]

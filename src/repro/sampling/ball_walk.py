@@ -1,0 +1,80 @@
+"""Ball-walk sampling through a membership oracle.
+
+The ball walk only needs a membership oracle: from the current point, propose
+a uniform point in the ball of radius ``delta`` around it and move there when
+the proposal is inside the body (a Metropolis step with the uniform target).
+It is the sampler of choice for convex bodies given by *polynomial*
+constraints (Section 5 of the paper): the membership oracle is still trivial
+to evaluate, but there is no H-representation for the chord computation that
+hit-and-run needs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.ball import Ball
+from repro.sampling.oracles import MembershipOracle
+from repro.sampling.rng import ensure_rng
+
+
+class BallWalkSampler:
+    """Uniform sampler on a convex body given by a membership oracle.
+
+    Parameters
+    ----------
+    oracle:
+        Membership oracle of the body.
+    dimension:
+        Ambient dimension.
+    start:
+        A point inside the body (e.g. the Chebyshev centre or the origin for a
+        well-rounded body).
+    delta:
+        Radius of the proposal ball.  The classical analysis uses
+        ``delta = Θ(1 / sqrt(d))`` for a well-rounded body; that is the default.
+    burn_in / thinning:
+        Number of discarded initial steps and of steps between samples.
+    """
+
+    def __init__(
+        self,
+        oracle: MembershipOracle,
+        dimension: int,
+        start: np.ndarray,
+        delta: float | None = None,
+        burn_in: int | None = None,
+        thinning: int | None = None,
+    ) -> None:
+        self.oracle = oracle
+        self.dimension = int(dimension)
+        start = np.asarray(start, dtype=float)
+        if not oracle(start):
+            raise ValueError("starting point is not inside the body")
+        self._start = start
+        self.delta = delta if delta is not None else 1.0 / np.sqrt(dimension)
+        self.burn_in = burn_in if burn_in is not None else max(200, 30 * dimension)
+        self.thinning = thinning if thinning is not None else max(10, 3 * dimension)
+
+    def _step(self, rng: np.random.Generator, current: np.ndarray) -> np.ndarray:
+        proposal = Ball(current, self.delta).sample(rng, 1)[0]
+        if self.oracle(proposal):
+            return proposal
+        return current
+
+    def sample(self, rng: np.random.Generator, count: int = 1) -> np.ndarray:
+        """Draw ``count`` approximately uniform samples (shape ``(count, d)``)."""
+        rng = ensure_rng(rng)
+        current = self._start.copy()
+        for _ in range(self.burn_in):
+            current = self._step(rng, current)
+        samples = np.empty((count, self.dimension))
+        for index in range(count):
+            for _ in range(self.thinning):
+                current = self._step(rng, current)
+            samples[index] = current
+        return samples
+
+    def sample_one(self, rng: np.random.Generator) -> np.ndarray:
+        """Draw a single approximately uniform sample."""
+        return self.sample(rng, count=1)[0]

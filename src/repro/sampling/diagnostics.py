@@ -1,0 +1,116 @@
+"""Uniformity diagnostics for samplers.
+
+The definition of a (γ, ε, δ)-generator bounds the ratio between the output
+distribution and the uniform distribution on the grid vertices.  The tests and
+benchmarks check this empirically with three complementary statistics:
+
+* the total variation distance between the empirical cell histogram and the
+  uniform histogram (:func:`total_variation_to_uniform`),
+* Pearson's chi-square statistic against the uniform cell distribution
+  (:func:`chi_square_uniform`),
+* Kolmogorov--Smirnov distances of one-dimensional marginals against their
+  exact distribution (:func:`ks_statistic_uniform` for uniform marginals).
+
+They all work on arbitrary sample arrays so the same checks apply to the DFK
+grid walk, hit-and-run, the composed generators of :mod:`repro.core` and the
+fixed-dimension sampler.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats
+
+
+def cell_histogram(
+    samples: np.ndarray,
+    bounds: list[tuple[float, float]],
+    bins_per_axis: int,
+) -> np.ndarray:
+    """Histogram of samples over a regular grid of cells in the bounding box.
+
+    Returns a flattened array of cell counts of length ``bins_per_axis ** d``.
+    Samples outside the box are clipped into the boundary cells.
+    """
+    samples = np.asarray(samples, dtype=float)
+    if samples.ndim != 2:
+        raise ValueError("samples must be a 2-D array")
+    dimension = samples.shape[1]
+    if len(bounds) != dimension:
+        raise ValueError("one (lower, upper) pair per dimension is required")
+    edges = [np.linspace(lower, upper, bins_per_axis + 1) for lower, upper in bounds]
+    histogram, _ = np.histogramdd(samples, bins=edges)
+    return histogram.ravel()
+
+
+def total_variation_to_uniform(counts: np.ndarray, support: np.ndarray | None = None) -> float:
+    """Total variation distance between an empirical histogram and the uniform law.
+
+    ``support`` optionally marks which cells belong to the target set (boolean
+    array of the same length); cells outside the support are expected to hold
+    probability zero.  Without it every cell is part of the support.
+    """
+    counts = np.asarray(counts, dtype=float)
+    total = counts.sum()
+    if total == 0:
+        raise ValueError("histogram is empty")
+    empirical = counts / total
+    if support is None:
+        support = np.ones_like(counts, dtype=bool)
+    support = np.asarray(support, dtype=bool)
+    support_size = int(support.sum())
+    if support_size == 0:
+        raise ValueError("support is empty")
+    target = np.where(support, 1.0 / support_size, 0.0)
+    return 0.5 * float(np.abs(empirical - target).sum())
+
+
+def chi_square_uniform(counts: np.ndarray, support: np.ndarray | None = None) -> tuple[float, float]:
+    """Chi-square statistic and p-value of the histogram against the uniform law."""
+    counts = np.asarray(counts, dtype=float)
+    if support is not None:
+        counts = counts[np.asarray(support, dtype=bool)]
+    if counts.size < 2:
+        raise ValueError("need at least two support cells for a chi-square test")
+    expected = np.full(counts.size, counts.sum() / counts.size)
+    statistic, p_value = stats.chisquare(counts, expected)
+    return float(statistic), float(p_value)
+
+
+def ks_statistic_uniform(samples: np.ndarray, lower: float, upper: float) -> float:
+    """Kolmogorov--Smirnov distance of a 1-D sample against Uniform[lower, upper]."""
+    samples = np.asarray(samples, dtype=float).ravel()
+    if upper <= lower:
+        raise ValueError("upper must exceed lower")
+    statistic, _ = stats.kstest(samples, "uniform", args=(lower, upper - lower))
+    return float(statistic)
+
+
+def max_ratio_to_uniform(counts: np.ndarray, support: np.ndarray | None = None) -> float:
+    """The empirical analogue of the (1 + ε) ratio bound of Definition 2.2.
+
+    Returns ``max(p_i / u, u / p_i)`` over support cells with at least one
+    observation, where ``p_i`` is the empirical cell probability and ``u`` the
+    uniform cell probability.  Cells with zero observations are excluded
+    because the ratio is undefined for finite samples; the TV distance covers
+    mass that is missing entirely.
+    """
+    counts = np.asarray(counts, dtype=float)
+    if support is not None:
+        counts = counts[np.asarray(support, dtype=bool)]
+    total = counts.sum()
+    if total == 0:
+        raise ValueError("histogram is empty")
+    uniform = 1.0 / counts.size
+    observed = counts[counts > 0] / total
+    ratios = np.maximum(observed / uniform, uniform / observed)
+    return float(ratios.max())
+
+
+def empirical_moments(samples: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Mean vector and covariance matrix of a sample array (rows are points)."""
+    samples = np.asarray(samples, dtype=float)
+    mean = samples.mean(axis=0)
+    centered = samples - mean
+    covariance = centered.T @ centered / max(samples.shape[0] - 1, 1)
+    return mean, covariance

@@ -1,0 +1,87 @@
+"""Membership oracles.
+
+The Dyer--Frieze--Kannan generator only needs a *membership oracle* for the
+convex body: an algorithm that answers "is this point in the set?".  The paper
+notes (Section 2) that such an oracle is computable in linear time in the
+description size of a finitely representable relation — it suffices to check
+every constraint — and (Section 5) that the same holds for polynomial
+constraints, which is how the results extend beyond the linear case.
+
+This module provides oracle adapters for symbolic relations, numeric
+polytopes, arbitrary Python predicates (used for balls/ellipsoids in the
+polynomial-constraint experiments) and a counting wrapper that records how
+many membership queries an algorithm performed (the oracle-complexity measure
+used in the benchmarks).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.constraints.relations import GeneralizedRelation
+from repro.constraints.tuples import GeneralizedTuple
+from repro.geometry.polytope import HPolytope
+
+MembershipOracle = Callable[[np.ndarray], bool]
+
+
+def oracle_from_polytope(polytope: HPolytope, tolerance: float = 1e-9) -> MembershipOracle:
+    """Membership oracle of an H-polytope."""
+
+    def oracle(point: np.ndarray) -> bool:
+        return polytope.contains(point, tolerance=tolerance)
+
+    return oracle
+
+
+def oracle_from_tuple(tuple_: GeneralizedTuple) -> MembershipOracle:
+    """Membership oracle of a generalized tuple (exact constraint checking)."""
+
+    def oracle(point: np.ndarray) -> bool:
+        return tuple_.contains_point([float(value) for value in point])
+
+    return oracle
+
+
+def oracle_from_relation(relation: GeneralizedRelation) -> MembershipOracle:
+    """Membership oracle of a DNF generalized relation."""
+
+    def oracle(point: np.ndarray) -> bool:
+        return relation.contains_point([float(value) for value in point])
+
+    return oracle
+
+
+def oracle_from_predicate(predicate: Callable[[np.ndarray], bool]) -> MembershipOracle:
+    """Wrap an arbitrary predicate (e.g. a polynomial constraint) as an oracle."""
+
+    def oracle(point: np.ndarray) -> bool:
+        return bool(predicate(np.asarray(point, dtype=float)))
+
+    return oracle
+
+
+class CountingOracle:
+    """A membership oracle that counts how many times it was queried.
+
+    The benchmarks report oracle-call counts because they are the
+    machine-independent cost measure used by the paper's complexity
+    statements (polynomial in the description size, the dimension, ``1/ε``
+    and ``ln(1/δ)``).
+    """
+
+    __slots__ = ("_oracle", "calls")
+
+    def __init__(self, oracle: MembershipOracle) -> None:
+        self._oracle = oracle
+        self.calls = 0
+
+    def __call__(self, point: np.ndarray) -> bool:
+        self.calls += 1
+        return self._oracle(point)
+
+    def reset(self) -> None:
+        """Reset the call counter."""
+        self.calls = 0

@@ -1,0 +1,136 @@
+"""Rejection sampling from enclosing boxes and balls.
+
+Rejection sampling is both a useful primitive (the paper's union,
+intersection and difference generators are rejection schemes layered on top
+of the convex generator) and the *negative* baseline of the introduction: the
+acceptance probability when sampling a d-dimensional ball from its bounding
+cube decays like the volume ratio, i.e. exponentially in ``d``, which is why
+naive Monte-Carlo sampling cannot replace the DFK generator (experiment E10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.ball import Ball
+from repro.sampling.oracles import MembershipOracle
+from repro.sampling.rng import ensure_rng
+
+
+@dataclass
+class RejectionResult:
+    """Outcome of a rejection sampling run.
+
+    Attributes
+    ----------
+    samples:
+        Accepted points, shape ``(num_accepted, d)``.
+    proposals:
+        Total number of proposals drawn.
+    accepted:
+        Number of accepted proposals (``len(samples)``).
+    """
+
+    samples: np.ndarray
+    proposals: int
+    accepted: int
+
+    @property
+    def acceptance_rate(self) -> float:
+        """Fraction of proposals accepted (0.0 when nothing was proposed)."""
+        if self.proposals == 0:
+            return 0.0
+        return self.accepted / self.proposals
+
+
+def sample_box(
+    rng: np.random.Generator, bounds: list[tuple[float, float]], count: int
+) -> np.ndarray:
+    """Uniform samples from an axis-aligned box (shape ``(count, d)``)."""
+    rng = ensure_rng(rng)
+    lower = np.array([interval[0] for interval in bounds])
+    upper = np.array([interval[1] for interval in bounds])
+    return rng.random((count, len(bounds))) * (upper - lower) + lower
+
+
+def rejection_sample_from_box(
+    oracle: MembershipOracle,
+    bounds: list[tuple[float, float]],
+    count: int,
+    rng: np.random.Generator,
+    max_proposals: int | None = None,
+    batch_size: int = 256,
+) -> RejectionResult:
+    """Sample ``count`` points of the body by rejection from its bounding box.
+
+    ``max_proposals`` bounds the total work; when it is exhausted the result
+    contains fewer than ``count`` samples (the caller decides whether that is
+    a failure — the intersection generator of Proposition 4.1 does exactly
+    this to detect a violated poly-relatedness condition).
+    """
+    rng = ensure_rng(rng)
+    accepted: list[np.ndarray] = []
+    proposals = 0
+    while len(accepted) < count:
+        if max_proposals is not None and proposals >= max_proposals:
+            break
+        batch = batch_size
+        if max_proposals is not None:
+            batch = min(batch, max_proposals - proposals)
+        points = sample_box(rng, bounds, batch)
+        for point in points:
+            proposals += 1
+            if oracle(point):
+                accepted.append(point)
+                if len(accepted) == count:
+                    break
+    samples = np.array(accepted) if accepted else np.zeros((0, len(bounds)))
+    return RejectionResult(samples, proposals, len(accepted))
+
+
+def rejection_sample_from_ball(
+    oracle: MembershipOracle,
+    ball: Ball,
+    count: int,
+    rng: np.random.Generator,
+    max_proposals: int | None = None,
+    batch_size: int = 256,
+) -> RejectionResult:
+    """Sample points of the body by rejection from an enclosing ball."""
+    rng = ensure_rng(rng)
+    accepted: list[np.ndarray] = []
+    proposals = 0
+    while len(accepted) < count:
+        if max_proposals is not None and proposals >= max_proposals:
+            break
+        batch = batch_size
+        if max_proposals is not None:
+            batch = min(batch, max_proposals - proposals)
+        points = ball.sample(rng, batch)
+        for point in points:
+            proposals += 1
+            if oracle(point):
+                accepted.append(point)
+                if len(accepted) == count:
+                    break
+    samples = np.array(accepted) if accepted else np.zeros((0, ball.dimension))
+    return RejectionResult(samples, proposals, len(accepted))
+
+
+def estimate_acceptance_rate(
+    oracle: MembershipOracle,
+    bounds: list[tuple[float, float]],
+    proposals: int,
+    rng: np.random.Generator,
+) -> float:
+    """Monte-Carlo estimate of the box-rejection acceptance rate.
+
+    Experiment E10 uses this to exhibit the exponential decay of the
+    ball-in-cube acceptance probability with the dimension.
+    """
+    rng = ensure_rng(rng)
+    points = sample_box(rng, bounds, proposals)
+    hits = sum(1 for point in points if oracle(point))
+    return hits / proposals if proposals else 0.0

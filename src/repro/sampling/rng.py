@@ -1,0 +1,34 @@
+"""Random number generator plumbing.
+
+Every randomized component in the library takes an explicit
+:class:`numpy.random.Generator` so that experiments are reproducible and the
+tests can use fixed seeds.  :func:`ensure_rng` is the single place where
+"seed or generator or nothing" inputs are normalised.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+RandomState = "np.random.Generator | int | None"
+
+
+def ensure_rng(rng: np.random.Generator | int | None = None) -> np.random.Generator:
+    """Normalise a seed / generator / ``None`` into a NumPy ``Generator``.
+
+    ``None`` creates a fresh non-deterministic generator; an integer seeds a
+    new PCG64 generator; an existing generator is passed through unchanged.
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    raise TypeError(f"cannot build a random generator from {type(rng).__name__}")
+
+
+def spawn_rngs(rng: np.random.Generator, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` independent child generators (for parallel experiments)."""
+    seeds = rng.integers(0, 2**63 - 1, size=count)
+    return [np.random.default_rng(int(seed)) for seed in seeds]

@@ -1,0 +1,40 @@
+"""Volume estimators: DFK telescoping, Monte-Carlo baseline, exact baselines."""
+
+from repro.volume.base import EstimationError, VolumeEstimate, approximates_with_ratio
+from repro.volume.chernoff import (
+    chernoff_ratio_sample_size,
+    hoeffding_sample_size,
+    median_of_means_repetitions,
+    repetition_count,
+)
+from repro.volume.exact import (
+    cell_decomposition_volume,
+    exact_polytope_volume,
+    exact_relation_volume,
+    exact_tuple_volume,
+)
+from repro.volume.monte_carlo import monte_carlo_volume, required_samples_for_relative_error
+from repro.volume.telescoping import (
+    TelescopingConfig,
+    TelescopingVolumeEstimator,
+    estimate_convex_volume,
+)
+
+__all__ = [
+    "EstimationError",
+    "VolumeEstimate",
+    "approximates_with_ratio",
+    "chernoff_ratio_sample_size",
+    "hoeffding_sample_size",
+    "median_of_means_repetitions",
+    "repetition_count",
+    "cell_decomposition_volume",
+    "exact_polytope_volume",
+    "exact_relation_volume",
+    "exact_tuple_volume",
+    "monte_carlo_volume",
+    "required_samples_for_relative_error",
+    "TelescopingConfig",
+    "TelescopingVolumeEstimator",
+    "estimate_convex_volume",
+]

@@ -1,0 +1,75 @@
+"""Common types for volume estimation.
+
+An (ε, δ)-volume estimator (Section 2 of the paper) outputs a value that
+approximates the true volume with ratio ``1 + ε`` with probability at least
+``1 - δ``, in time polynomial in the description size, ``1/ε`` and
+``ln(1/δ)``.  :class:`VolumeEstimate` is the value object every estimator in
+the library returns; it carries the accuracy parameters it was run with and
+the work it performed so that the benchmarks can report cost alongside error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class EstimationError(RuntimeError):
+    """Raised when an estimator cannot produce a value (e.g. empty body)."""
+
+
+@dataclass
+class VolumeEstimate:
+    """The result of a randomized (or exact) volume computation.
+
+    Attributes
+    ----------
+    value:
+        The estimated d-dimensional volume.
+    epsilon:
+        The relative accuracy parameter the estimator was run with
+        (``0.0`` for exact computations).
+    delta:
+        The failure probability parameter (``0.0`` for exact computations).
+    method:
+        Human-readable name of the estimator.
+    samples_used:
+        Number of random points the estimator consumed.
+    oracle_calls:
+        Number of membership oracle calls (when tracked; ``0`` otherwise).
+    details:
+        Free-form auxiliary data (per-phase ratios, acceptance rates, ...).
+    """
+
+    value: float
+    epsilon: float
+    delta: float
+    method: str
+    samples_used: int = 0
+    oracle_calls: int = 0
+    details: dict = field(default_factory=dict)
+
+    def approximates(self, true_value: float, ratio: float | None = None) -> bool:
+        """Does this estimate approximate ``true_value`` within ratio ``1 + ε``?
+
+        ``ratio`` overrides the estimate's own ``1 + epsilon`` when provided.
+        Follows the paper's definition: ``(1+ε)^{-1} β <= α <= (1+ε) β``.
+        """
+        bound = (1.0 + self.epsilon) if ratio is None else ratio
+        if true_value == 0.0:
+            return self.value == 0.0
+        return true_value / bound <= self.value <= true_value * bound
+
+    def relative_error(self, true_value: float) -> float:
+        """Relative error ``|value - true| / true`` against a reference value."""
+        if true_value == 0.0:
+            return float("inf") if self.value != 0.0 else 0.0
+        return abs(self.value - true_value) / true_value
+
+
+def approximates_with_ratio(value: float, reference: float, ratio: float) -> bool:
+    """Free-standing version of the ratio test used across tests and benchmarks."""
+    if reference == 0.0:
+        return value == 0.0
+    if ratio < 1.0:
+        raise ValueError("ratio must be at least 1")
+    return reference / ratio <= value <= reference * ratio

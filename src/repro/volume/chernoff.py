@@ -1,0 +1,78 @@
+"""Sample-size schedules from Chernoff/Hoeffding bounds.
+
+The paper's volume estimators reduce to estimating ratios of the form
+``vol(K_i) / vol(K_{i+1})`` (the telescoping product) or acceptance
+probabilities, each "by a classical Chernoff estimator".  The functions below
+compute the number of Bernoulli samples sufficient for a multiplicative or
+additive guarantee, and the number of repetitions of a constant-success
+procedure needed to reach failure probability δ (the ``k = 4 ln(1/δ)``
+schedule of Theorem 4.1 and the ``O((d^3/ε) ln(1/δ))`` schedule of
+Theorem 4.3).
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def hoeffding_sample_size(epsilon: float, delta: float) -> int:
+    """Samples sufficient for an *additive* ε-estimate of a Bernoulli mean.
+
+    By Hoeffding's inequality ``n >= ln(2/δ) / (2 ε²)`` gives
+    ``P[|p̂ - p| > ε] <= δ``.
+    """
+    _check(epsilon, delta)
+    return max(1, math.ceil(math.log(2.0 / delta) / (2.0 * epsilon * epsilon)))
+
+
+def chernoff_ratio_sample_size(epsilon: float, delta: float, probability_lower_bound: float) -> int:
+    """Samples sufficient for a *multiplicative* (1 ± ε)-estimate of a Bernoulli mean.
+
+    The multiplicative Chernoff bound gives
+    ``P[|p̂ - p| > ε p] <= 2 exp(-n p ε² / 3)``, so
+    ``n >= 3 ln(2/δ) / (ε² p_min)`` suffices whenever the true probability is
+    at least ``probability_lower_bound``.  The telescoping estimator applies
+    this with ``p_min = 1/2`` (consecutive bodies have volume ratio at most 2).
+    """
+    _check(epsilon, delta)
+    if not 0 < probability_lower_bound <= 1:
+        raise ValueError("probability_lower_bound must lie in (0, 1]")
+    return max(
+        1,
+        math.ceil(3.0 * math.log(2.0 / delta) / (epsilon * epsilon * probability_lower_bound)),
+    )
+
+
+def repetition_count(success_probability: float, delta: float) -> int:
+    """Repetitions of a procedure with constant success probability to reach 1 - δ.
+
+    If a single run succeeds with probability at least ``p`` then ``k`` runs
+    all fail with probability at most ``(1 - p)^k <= exp(-p k)``; taking
+    ``k = ceil(ln(1/δ) / p)`` bounds the overall failure probability by δ.
+    For ``p = 1/4`` this is the ``k = 4 ln(1/δ)`` of Theorem 4.1.
+    """
+    if not 0 < success_probability <= 1:
+        raise ValueError("success_probability must lie in (0, 1]")
+    if not 0 < delta < 1:
+        raise ValueError("delta must lie strictly between 0 and 1")
+    return max(1, math.ceil(math.log(1.0 / delta) / success_probability))
+
+
+def median_of_means_repetitions(delta: float) -> int:
+    """Number of independent estimates whose median meets failure probability δ.
+
+    Standard boosting: if each estimate is within the target ratio with
+    probability at least 3/4, the median of ``t = O(ln(1/δ))`` independent
+    estimates is within the ratio with probability at least ``1 - δ``; the
+    constant ``18`` comes from the Chernoff bound on the binomial tail.
+    """
+    if not 0 < delta < 1:
+        raise ValueError("delta must lie strictly between 0 and 1")
+    return max(1, math.ceil(18.0 * math.log(1.0 / delta)))
+
+
+def _check(epsilon: float, delta: float) -> None:
+    if not 0 < epsilon < 1:
+        raise ValueError("epsilon must lie strictly between 0 and 1")
+    if not 0 < delta < 1:
+        raise ValueError("delta must lie strictly between 0 and 1")

@@ -1,0 +1,77 @@
+"""Naive Monte-Carlo volume estimation from a bounding box.
+
+This is the baseline the paper's introduction argues against: sample the
+bounding box uniformly, count the fraction of hits and multiply by the box
+volume.  The *additive* error of the hit fraction translates into a relative
+error only after dividing by the (unknown) volume fraction, so the number of
+samples needed for a relative guarantee grows like the ratio
+``vol(box) / vol(S)`` — exponential in the dimension for round bodies such as
+balls (experiment E10) and unbounded for thin bodies.  The estimator is still
+valuable as a cross-check in low dimension and as the negative control of the
+benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sampling.oracles import MembershipOracle
+from repro.sampling.rejection import sample_box
+from repro.sampling.rng import ensure_rng
+from repro.volume.base import VolumeEstimate
+from repro.volume.chernoff import hoeffding_sample_size
+
+
+def monte_carlo_volume(
+    oracle: MembershipOracle,
+    bounds: list[tuple[float, float]],
+    epsilon: float,
+    delta: float,
+    rng: np.random.Generator | int | None = None,
+    samples: int | None = None,
+    max_samples: int = 200_000,
+) -> VolumeEstimate:
+    """Estimate the volume of ``{x in box : oracle(x)}`` by uniform box sampling.
+
+    ``epsilon``/``delta`` select a Hoeffding sample size for an *additive*
+    ``epsilon``-accurate hit fraction; the returned estimate's ``details``
+    record the hit fraction so callers can convert the additive guarantee to
+    the relative one when the fraction is known to be large.
+    """
+    rng = ensure_rng(rng)
+    box_volume = 1.0
+    for lower, upper in bounds:
+        if upper < lower:
+            raise ValueError("invalid bounding box")
+        box_volume *= upper - lower
+    if samples is None:
+        samples = min(hoeffding_sample_size(epsilon, delta), max_samples)
+    points = sample_box(rng, bounds, samples)
+    hits = sum(1 for point in points if oracle(point))
+    fraction = hits / samples
+    return VolumeEstimate(
+        value=fraction * box_volume,
+        epsilon=epsilon,
+        delta=delta,
+        method="monte-carlo-box",
+        samples_used=samples,
+        oracle_calls=samples,
+        details={"hit_fraction": fraction, "box_volume": box_volume},
+    )
+
+
+def required_samples_for_relative_error(
+    volume_fraction: float, epsilon: float, delta: float
+) -> int:
+    """Samples the naive estimator needs for a *relative* (1 + ε) guarantee.
+
+    By the multiplicative Chernoff bound the count concentrates within a
+    relative ε once ``n >= 3 ln(2/δ) / (ε² p)`` where ``p`` is the volume
+    fraction of the body inside its box — the quantity that decays
+    exponentially with the dimension for balls and thin bodies.
+    """
+    if not 0 < volume_fraction <= 1:
+        raise ValueError("volume_fraction must lie in (0, 1]")
+    from repro.volume.chernoff import chernoff_ratio_sample_size
+
+    return chernoff_ratio_sample_size(epsilon, delta, volume_fraction)

@@ -1,0 +1,57 @@
+"""Workload generators: shapes, dumbbells, SAT/DNF encodings, GIS maps, sweeps."""
+
+from repro.workloads.dumbbell import DumbbellWorkload, dumbbell
+from repro.workloads.gis import SyntheticMap, synthetic_map
+from repro.workloads.sat import (
+    PropositionalFormula,
+    clause_to_relation,
+    cnf_to_relations,
+    dnf_geometric_volume,
+    dnf_satisfying_fraction,
+    dnf_to_relation,
+    literal_tuple,
+    random_cnf,
+    random_dnf,
+    term_tuple,
+)
+from repro.workloads.shapes import (
+    Workload,
+    annulus_box,
+    box,
+    cross_polytope,
+    hypercube,
+    random_polytope,
+    rotated_box,
+    shifted_cube_pair,
+    simplex,
+    unit_ball_workload,
+    variable_names,
+)
+
+__all__ = [
+    "DumbbellWorkload",
+    "dumbbell",
+    "SyntheticMap",
+    "synthetic_map",
+    "PropositionalFormula",
+    "clause_to_relation",
+    "cnf_to_relations",
+    "dnf_geometric_volume",
+    "dnf_satisfying_fraction",
+    "dnf_to_relation",
+    "literal_tuple",
+    "random_cnf",
+    "random_dnf",
+    "term_tuple",
+    "Workload",
+    "annulus_box",
+    "box",
+    "cross_polytope",
+    "hypercube",
+    "random_polytope",
+    "rotated_box",
+    "shifted_cube_pair",
+    "simplex",
+    "unit_ball_workload",
+    "variable_names",
+]

@@ -1,0 +1,79 @@
+"""Dumbbell unions: two large bodies linked by a thin tube.
+
+Section 4.1 of the paper motivates the union generator with precisely this
+shape: "Consider for example two large convex sets S and S' linked by a thin
+convex tube T: starting from S, the probability to walk randomly through the
+bridge T and to reach S' is likely to be small."  A single random walk on the
+union therefore fails to mix, while Algorithm 1 (sample the components in
+proportion to their volumes) is immune to the bottleneck.  Experiment E3 uses
+these workloads to demonstrate both behaviours.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constraints.relations import GeneralizedRelation
+from repro.constraints.tuples import GeneralizedTuple
+from repro.workloads.shapes import variable_names
+
+
+@dataclass
+class DumbbellWorkload:
+    """A dumbbell-shaped union and its exact volume decomposition.
+
+    Attributes
+    ----------
+    left / right:
+        The two large cubes.
+    tube:
+        The thin connecting box.
+    relation:
+        The union of the three parts, as a DNF relation.
+    exact_volume:
+        Exact volume of the union (the parts are disjoint by construction
+        except for shared faces of measure zero).
+    """
+
+    left: GeneralizedTuple
+    right: GeneralizedTuple
+    tube: GeneralizedTuple
+    relation: GeneralizedRelation
+    exact_volume: float
+
+
+def dumbbell(
+    dimension: int,
+    lobe_side: float = 1.0,
+    tube_length: float = 1.0,
+    tube_width: float = 0.05,
+) -> DumbbellWorkload:
+    """Build a dumbbell: two ``lobe_side`` cubes joined by a ``tube_width`` tube.
+
+    The first axis carries the left lobe on ``[0, s]``, the tube on
+    ``[s, s + L]`` and the right lobe on ``[s + L, 2 s + L]``; the remaining
+    axes are ``[0, s]`` for the lobes and a centred ``[.., ..]`` interval of
+    width ``tube_width`` for the tube.
+    """
+    if dimension < 2:
+        raise ValueError("a dumbbell needs at least two dimensions")
+    if not 0 < tube_width <= lobe_side:
+        raise ValueError("tube_width must lie in (0, lobe_side]")
+    names = variable_names(dimension)
+    side = float(lobe_side)
+    length = float(tube_length)
+    width = float(tube_width)
+
+    left = GeneralizedTuple.box({names[0]: (0.0, side), **{n: (0.0, side) for n in names[1:]}})
+    right = GeneralizedTuple.box(
+        {names[0]: (side + length, 2 * side + length), **{n: (0.0, side) for n in names[1:]}}
+    )
+    tube_bounds = {names[0]: (side, side + length)}
+    margin = (side - width) / 2.0
+    for name in names[1:]:
+        tube_bounds[name] = (margin, margin + width)
+    tube = GeneralizedTuple.box(tube_bounds)
+
+    relation = GeneralizedRelation((left, tube, right), names)
+    exact_volume = 2.0 * side**dimension + length * width ** (dimension - 1)
+    return DumbbellWorkload(left, right, tube, relation, exact_volume)

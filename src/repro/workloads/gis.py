@@ -1,0 +1,156 @@
+"""Synthetic GIS-style constraint databases.
+
+The paper motivates sampling with Geographical Information Systems, "because
+many applications are of a statistical nature".  The original work names no
+concrete data set, so the experiments use a synthetic map generator: convex
+administrative districts (random convex polygons), axis-aligned facility
+zones, and road corridors (thin rotated rectangles).  The generator returns a
+ready-to-query :class:`ConstraintDatabase`, which experiment E15 and the GIS
+example drive with overlap-style aggregate queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.constraints.database import ConstraintDatabase, DatabaseSchema
+from repro.constraints.relations import GeneralizedRelation
+from repro.constraints.tuples import GeneralizedTuple
+from repro.geometry.hull import convex_hull
+from repro.sampling.rng import ensure_rng
+
+
+@dataclass
+class SyntheticMap:
+    """A generated map: districts, zones and corridors over a square extent.
+
+    Attributes
+    ----------
+    database:
+        Constraint database with one relation per feature
+        (``district_i``, ``zone_i``, ``corridor_i``), each of arity 2 over
+        attributes ``("x", "y")``.
+    extent:
+        Half-side of the square world ``[-extent, extent]^2``.
+    districts / zones / corridors:
+        The feature names, grouped by kind, for convenient iteration.
+    """
+
+    database: ConstraintDatabase
+    extent: float
+    districts: list[str] = field(default_factory=list)
+    zones: list[str] = field(default_factory=list)
+    corridors: list[str] = field(default_factory=list)
+
+    def feature_names(self) -> list[str]:
+        """All feature names of the map."""
+        return self.districts + self.zones + self.corridors
+
+
+def random_convex_polygon(
+    rng: np.random.Generator,
+    center: np.ndarray,
+    radius: float,
+    vertex_count: int = 7,
+) -> GeneralizedTuple:
+    """A random convex polygon around ``center`` as a generalized tuple.
+
+    Random points on a disc are hulled and the hull's H-representation is
+    converted back to symbolic constraints over ``(x, y)``.
+    """
+    angles = np.sort(rng.uniform(0.0, 2.0 * np.pi, size=vertex_count))
+    radii = rng.uniform(0.4 * radius, radius, size=vertex_count)
+    points = np.stack(
+        [center[0] + radii * np.cos(angles), center[1] + radii * np.sin(angles)], axis=1
+    )
+    hull = convex_hull(points)
+    if hull.polytope is None:
+        # Degenerate draw (collinear points): fall back to a small box.
+        return GeneralizedTuple.box(
+            {
+                "x": (float(center[0] - radius / 2), float(center[0] + radius / 2)),
+                "y": (float(center[1] - radius / 2), float(center[1] + radius / 2)),
+            }
+        )
+    return hull.polytope.to_generalized_tuple(("x", "y"))
+
+
+def axis_aligned_zone(
+    rng: np.random.Generator, extent: float, min_side: float, max_side: float
+) -> GeneralizedTuple:
+    """A random axis-aligned rectangle inside the map extent."""
+    width = rng.uniform(min_side, max_side)
+    height = rng.uniform(min_side, max_side)
+    x0 = rng.uniform(-extent, extent - width)
+    y0 = rng.uniform(-extent, extent - height)
+    return GeneralizedTuple.box({"x": (x0, x0 + width), "y": (y0, y0 + height)})
+
+
+def corridor(
+    rng: np.random.Generator, extent: float, width: float
+) -> GeneralizedTuple:
+    """A thin corridor: a long rectangle with a random orientation.
+
+    Implemented as the set ``{|n·p - c| <= width/2, |t·p - m| <= length/2}``
+    with ``n`` a random unit normal and ``t`` the orthogonal direction.
+    """
+    from fractions import Fraction
+
+    from repro.constraints.atoms import AtomicConstraint, Relation
+    from repro.constraints.terms import LinearTerm
+
+    angle = rng.uniform(0.0, np.pi)
+    normal = np.array([np.cos(angle), np.sin(angle)])
+    tangent = np.array([-normal[1], normal[0]])
+    offset = rng.uniform(-extent / 2, extent / 2)
+    midpoint = rng.uniform(-extent / 2, extent / 2)
+    length = extent * 1.5
+
+    def constraint(direction: np.ndarray, upper: float) -> AtomicConstraint:
+        coefficients = {
+            "x": Fraction(float(direction[0])).limit_denominator(10**6),
+            "y": Fraction(float(direction[1])).limit_denominator(10**6),
+        }
+        term = LinearTerm(coefficients, -Fraction(float(upper)).limit_denominator(10**6))
+        return AtomicConstraint(term, Relation.LE)
+
+    constraints = [
+        constraint(normal, offset + width / 2),
+        constraint(-normal, -(offset - width / 2)),
+        constraint(tangent, midpoint + length / 2),
+        constraint(-tangent, -(midpoint - length / 2)),
+    ]
+    return GeneralizedTuple(constraints, ("x", "y"))
+
+
+def synthetic_map(
+    district_count: int = 4,
+    zone_count: int = 3,
+    corridor_count: int = 2,
+    extent: float = 10.0,
+    rng: np.random.Generator | int | None = None,
+) -> SyntheticMap:
+    """Generate a synthetic map with the requested number of features."""
+    rng = ensure_rng(rng)
+    database = ConstraintDatabase(DatabaseSchema())
+    result = SyntheticMap(database=database, extent=extent)
+    for index in range(district_count):
+        center = rng.uniform(-extent / 2, extent / 2, size=2)
+        radius = rng.uniform(extent / 8, extent / 4)
+        polygon = random_convex_polygon(rng, center, radius)
+        name = f"district_{index + 1}"
+        database.set_relation(name, GeneralizedRelation.from_tuple(polygon))
+        result.districts.append(name)
+    for index in range(zone_count):
+        zone = axis_aligned_zone(rng, extent, extent / 10, extent / 3)
+        name = f"zone_{index + 1}"
+        database.set_relation(name, GeneralizedRelation.from_tuple(zone))
+        result.zones.append(name)
+    for index in range(corridor_count):
+        strip = corridor(rng, extent, width=extent / 20)
+        name = f"corridor_{index + 1}"
+        database.set_relation(name, GeneralizedRelation.from_tuple(strip))
+        result.corridors.append(name)
+    return result

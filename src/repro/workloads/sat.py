@@ -1,0 +1,203 @@
+"""The geometric encoding of propositional formulas (Section 4.1.3).
+
+The paper encodes a SAT instance geometrically: the literal ``x`` becomes the
+constraint ``3/4 < x < 1`` and the literal ``¬x`` becomes ``0 < x < 1/4``; a
+clause (disjunction of literals) is a finite union of such slabs (hence an
+observable finite union of convex sets) and the whole CNF instance is the
+intersection of these observable sets.  The instance is satisfiable iff the
+intersection is non-empty — which is why an unconditional volume estimator
+for intersections would decide SAT, and why Proposition 4.1 needs its
+poly-relatedness hypothesis.
+
+The dual encoding of a *DNF* formula (a union of terms, each term a box) is
+the geometric analogue of the Karp--Luby #DNF problem: the fraction of the
+unit cube covered by the union equals the fraction of satisfying assignments
+of the DNF when each box is a full sub-cube, and remains proportional to it
+under this slab encoding.  Experiments E6 and E11 use both encodings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Sequence
+
+import numpy as np
+
+from repro.constraints.atoms import interval_constraints
+from repro.constraints.relations import GeneralizedRelation
+from repro.constraints.tuples import GeneralizedTuple
+from repro.sampling.rng import ensure_rng
+
+#: A literal is a pair ``(variable_index, polarity)``; polarity ``True`` means positive.
+Literal = tuple[int, bool]
+#: A clause (or DNF term) is a sequence of literals.
+Clause = tuple[Literal, ...]
+
+
+@dataclass
+class PropositionalFormula:
+    """A propositional formula in clause form over ``variable_count`` variables.
+
+    ``clauses`` is interpreted as a CNF when used with :func:`cnf_to_relations`
+    and as a DNF (a list of terms) when used with :func:`dnf_to_relation`.
+    """
+
+    variable_count: int
+    clauses: tuple[Clause, ...]
+
+    def variables(self) -> tuple[str, ...]:
+        """The geometric variable names ``b1 .. bn``."""
+        return tuple(f"b{index + 1}" for index in range(self.variable_count))
+
+
+def literal_tuple(variable_count: int, literal: Literal) -> GeneralizedTuple:
+    """The slab encoding of one literal inside the unit cube.
+
+    Positive literal: ``3/4 <= b_i <= 1``; negative literal: ``0 <= b_i <= 1/4``;
+    every other coordinate ranges over ``[0, 1]``.
+    """
+    index, polarity = literal
+    if not 0 <= index < variable_count:
+        raise ValueError(f"literal index {index} out of range")
+    names = tuple(f"b{i + 1}" for i in range(variable_count))
+    constraints = []
+    for i, name in enumerate(names):
+        if i == index:
+            low, high = (Fraction(3, 4), Fraction(1)) if polarity else (Fraction(0), Fraction(1, 4))
+        else:
+            low, high = Fraction(0), Fraction(1)
+        constraints.extend(interval_constraints(name, low, high))
+    return GeneralizedTuple(constraints, names)
+
+
+def term_tuple(variable_count: int, term: Clause) -> GeneralizedTuple:
+    """The box encoding of a DNF term (conjunction of literals)."""
+    names = tuple(f"b{i + 1}" for i in range(variable_count))
+    assignments: dict[int, bool] = {}
+    for index, polarity in term:
+        if index in assignments and assignments[index] != polarity:
+            # Contradictory term: encode as an empty box.
+            return GeneralizedTuple.empty(names)
+        assignments[index] = polarity
+    constraints = []
+    for i, name in enumerate(names):
+        if i in assignments:
+            low, high = (
+                (Fraction(3, 4), Fraction(1)) if assignments[i] else (Fraction(0), Fraction(1, 4))
+            )
+        else:
+            low, high = Fraction(0), Fraction(1)
+        constraints.extend(interval_constraints(name, low, high))
+    return GeneralizedTuple(constraints, names)
+
+
+def clause_to_relation(variable_count: int, clause: Clause) -> GeneralizedRelation:
+    """A CNF clause as a union of literal slabs (an observable finite union)."""
+    names = tuple(f"b{i + 1}" for i in range(variable_count))
+    return GeneralizedRelation(
+        (literal_tuple(variable_count, literal) for literal in clause), names
+    )
+
+
+def cnf_to_relations(formula: PropositionalFormula) -> list[GeneralizedRelation]:
+    """The CNF instance as a list of observable relations to be intersected."""
+    return [clause_to_relation(formula.variable_count, clause) for clause in formula.clauses]
+
+
+def dnf_to_relation(formula: PropositionalFormula) -> GeneralizedRelation:
+    """The DNF instance as a single union-of-boxes relation (the #DNF workload)."""
+    names = formula.variables()
+    return GeneralizedRelation(
+        (term_tuple(formula.variable_count, term) for term in formula.clauses), names
+    )
+
+
+def dnf_satisfying_fraction(formula: PropositionalFormula) -> float:
+    """Exact fraction of satisfying assignments of a DNF formula (brute force).
+
+    Exponential in the number of variables — usable only for the small
+    instances of the benchmarks, where it provides the ground truth for the
+    geometric #DNF estimate.
+    """
+    count = 0
+    total = 2**formula.variable_count
+    for assignment_bits in range(total):
+        assignment = [(assignment_bits >> i) & 1 == 1 for i in range(formula.variable_count)]
+        if _dnf_satisfied(formula, assignment):
+            count += 1
+    return count / total
+
+
+def _dnf_satisfied(formula: PropositionalFormula, assignment: Sequence[bool]) -> bool:
+    for term in formula.clauses:
+        if all(assignment[index] == polarity for index, polarity in term):
+            return True
+    return False
+
+
+def dnf_geometric_volume(formula: PropositionalFormula) -> float:
+    """Exact volume of the DNF slab encoding.
+
+    Each fixed literal contributes a factor 1/4 and each free variable a
+    factor 1; inclusion–exclusion over the terms matches the union volume, so
+    the closed form below (per-term product with inclusion–exclusion) gives
+    the exact value used to validate the sampling estimate in E6/E11.
+    """
+    from itertools import combinations
+
+    terms = [dict() for _ in formula.clauses]
+    for term_index, term in enumerate(formula.clauses):
+        consistent = True
+        for index, polarity in term:
+            if index in terms[term_index] and terms[term_index][index] != polarity:
+                consistent = False
+                break
+            terms[term_index][index] = polarity
+        if not consistent:
+            terms[term_index] = None  # type: ignore[call-overload]
+    valid_terms = [term for term in terms if term is not None]
+
+    def merged_volume(subset: tuple[dict, ...]) -> float:
+        merged: dict[int, bool] = {}
+        for term in subset:
+            for index, polarity in term.items():
+                if index in merged and merged[index] != polarity:
+                    return 0.0
+                merged[index] = polarity
+        return 0.25 ** len(merged)
+
+    total = 0.0
+    for size in range(1, len(valid_terms) + 1):
+        sign = 1.0 if size % 2 == 1 else -1.0
+        for subset in combinations(valid_terms, size):
+            total += sign * merged_volume(subset)
+    return total
+
+
+def random_dnf(
+    variable_count: int,
+    term_count: int,
+    literals_per_term: int = 3,
+    rng: np.random.Generator | int | None = None,
+) -> PropositionalFormula:
+    """A random DNF formula (the workload generator of E6/E11)."""
+    rng = ensure_rng(rng)
+    if literals_per_term > variable_count:
+        raise ValueError("terms cannot mention more literals than there are variables")
+    clauses = []
+    for _ in range(term_count):
+        indices = rng.choice(variable_count, size=literals_per_term, replace=False)
+        term = tuple((int(index), bool(rng.integers(0, 2))) for index in indices)
+        clauses.append(term)
+    return PropositionalFormula(variable_count, tuple(clauses))
+
+
+def random_cnf(
+    variable_count: int,
+    clause_count: int,
+    literals_per_clause: int = 3,
+    rng: np.random.Generator | int | None = None,
+) -> PropositionalFormula:
+    """A random CNF formula (for the SAT-encoding experiment E11)."""
+    return random_dnf(variable_count, clause_count, literals_per_clause, rng)

@@ -1,0 +1,201 @@
+"""Parametric convex bodies used as workloads.
+
+These generators produce both the symbolic (:class:`GeneralizedTuple`) and the
+numeric (:class:`HPolytope`) representation of standard test bodies —
+hypercubes, boxes, simplices, cross-polytopes, randomly rotated boxes and
+random polytopes — together with their exact volumes where a closed form
+exists.  Every experiment that sweeps the dimension builds its inputs here so
+the benchmarks and the tests agree on what was measured.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constraints.tuples import GeneralizedTuple
+from repro.geometry.polytope import HPolytope
+from repro.geometry.simplex import standard_simplex_volume
+from repro.sampling.rng import ensure_rng
+
+
+@dataclass
+class Workload:
+    """A named test body with symbolic and numeric representations.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier used in benchmark tables.
+    tuple_:
+        Symbolic representation (``None`` for bodies produced numerically,
+        e.g. rotated boxes whose coefficients are irrational).
+    polytope:
+        Numeric H-representation.
+    exact_volume:
+        Closed-form volume when known, ``None`` otherwise.
+    """
+
+    name: str
+    tuple_: GeneralizedTuple | None
+    polytope: HPolytope
+    exact_volume: float | None
+
+
+def variable_names(dimension: int, prefix: str = "x") -> tuple[str, ...]:
+    """The canonical variable names ``x1 .. xd`` used across the workloads."""
+    return tuple(f"{prefix}{index + 1}" for index in range(dimension))
+
+
+def hypercube(dimension: int, side: float = 1.0, origin: float = 0.0) -> Workload:
+    """The axis-aligned cube ``[origin, origin + side]^d``."""
+    names = variable_names(dimension)
+    bounds = {name: (origin, origin + side) for name in names}
+    tuple_ = GeneralizedTuple.box(bounds)
+    polytope = HPolytope.from_generalized_tuple(tuple_)
+    return Workload(f"cube-d{dimension}", tuple_, polytope, side**dimension)
+
+
+def box(dimension: int, lengths: list[float], origin: float = 0.0) -> Workload:
+    """An axis-aligned box with per-axis side lengths."""
+    if len(lengths) != dimension:
+        raise ValueError("one side length per dimension is required")
+    names = variable_names(dimension)
+    bounds = {name: (origin, origin + length) for name, length in zip(names, lengths)}
+    tuple_ = GeneralizedTuple.box(bounds)
+    polytope = HPolytope.from_generalized_tuple(tuple_)
+    return Workload(f"box-d{dimension}", tuple_, polytope, float(np.prod(lengths)))
+
+
+def simplex(dimension: int, scale: float = 1.0) -> Workload:
+    """The standard simplex ``{x >= 0, sum x <= scale}``."""
+    from repro.constraints.atoms import AtomicConstraint, Relation
+    from repro.constraints.terms import LinearTerm
+
+    names = variable_names(dimension)
+    constraints = [
+        AtomicConstraint(LinearTerm({name: -1}, 0), Relation.LE) for name in names
+    ]
+    constraints.append(
+        AtomicConstraint(LinearTerm({name: 1 for name in names}, -scale), Relation.LE)
+    )
+    tuple_ = GeneralizedTuple(constraints, names)
+    polytope = HPolytope.from_generalized_tuple(tuple_)
+    return Workload(
+        f"simplex-d{dimension}", tuple_, polytope, standard_simplex_volume(dimension, scale)
+    )
+
+
+def cross_polytope(dimension: int, scale: float = 1.0) -> Workload:
+    """The L1 ball ``{sum |x_i| <= scale}`` (volume ``(2 scale)^d / d!``)."""
+    polytope = HPolytope.cross_polytope(dimension, scale)
+    volume = (2.0 * scale) ** dimension / math.factorial(dimension)
+    return Workload(f"cross-d{dimension}", None, polytope, volume)
+
+
+def rotated_box(
+    dimension: int,
+    lengths: list[float],
+    rng: np.random.Generator | int | None = None,
+) -> Workload:
+    """An axis-aligned box rotated by a random orthogonal matrix.
+
+    Rotated boxes exercise the rounding step (their bounding boxes are loose)
+    while keeping an exact volume (rotations preserve volume).
+    """
+    rng = ensure_rng(rng)
+    if len(lengths) != dimension:
+        raise ValueError("one side length per dimension is required")
+    base = HPolytope.box([(0.0, float(length)) for length in lengths])
+    random_matrix = rng.normal(size=(dimension, dimension))
+    orthogonal, _ = np.linalg.qr(random_matrix)
+    from repro.geometry.transforms import AffineTransform
+
+    rotation = AffineTransform(orthogonal, np.zeros(dimension))
+    rotated = base.transform(rotation)
+    return Workload(f"rotated-box-d{dimension}", None, rotated, float(np.prod(lengths)))
+
+
+def random_polytope(
+    dimension: int,
+    constraint_count: int,
+    rng: np.random.Generator | int | None = None,
+    radius: float = 1.0,
+) -> Workload:
+    """A random polytope: the cube cut by random tangent halfspaces.
+
+    ``constraint_count`` random unit normals cut the cube ``[-radius, radius]^d``
+    at distance ``radius / 2`` from the origin; the result is bounded,
+    full-dimensional (it contains a small ball around the origin) and has no
+    closed-form volume (the exact baseline computes it in low dimension).
+    """
+    rng = ensure_rng(rng)
+    cube = HPolytope.box([(-radius, radius)] * dimension)
+    normals = rng.normal(size=(constraint_count, dimension))
+    normals /= np.linalg.norm(normals, axis=1, keepdims=True)
+    offsets = np.full(constraint_count, radius / 2.0)
+    polytope = HPolytope(
+        np.vstack([cube.a, normals]), np.concatenate([cube.b, offsets])
+    )
+    return Workload(f"random-polytope-d{dimension}-m{constraint_count}", None, polytope, None)
+
+
+def unit_ball_workload(dimension: int, radius: float = 1.0) -> tuple[Workload, float]:
+    """The Euclidean ball (as an oracle workload) and its exact volume.
+
+    The ball has no H-representation; the returned :class:`Workload` carries
+    its bounding cube as the polytope (for rejection baselines) and the exact
+    ball volume separately — experiment E10's acceptance-rate study needs both.
+    """
+    from repro.geometry.ball import ball_volume
+
+    cube = HPolytope.box([(-radius, radius)] * dimension)
+    workload = Workload(f"ball-d{dimension}", None, cube, (2.0 * radius) ** dimension)
+    return workload, ball_volume(dimension, radius)
+
+
+def shifted_cube_pair(
+    dimension: int, overlap: float, side: float = 1.0
+) -> tuple[Workload, Workload, float]:
+    """Two unit cubes overlapping in a slab of width ``overlap`` along the first axis.
+
+    Returns ``(first, second, exact_union_volume)``; the intersection volume is
+    ``overlap * side^(d-1)``.  Used by the union and intersection experiments
+    (E3, E4) to control the overlap precisely.
+    """
+    if not 0 <= overlap <= side:
+        raise ValueError("overlap must lie between 0 and the side length")
+    names = variable_names(dimension)
+    first_bounds = {name: (0.0, side) for name in names}
+    second_bounds = dict(first_bounds)
+    shift = side - overlap
+    second_bounds[names[0]] = (shift, shift + side)
+    first = GeneralizedTuple.box(first_bounds)
+    second = GeneralizedTuple.box(second_bounds)
+    union_volume = 2.0 * side**dimension - overlap * side ** (dimension - 1)
+    return (
+        Workload(f"cubeA-d{dimension}", first, HPolytope.from_generalized_tuple(first), side**dimension),
+        Workload(f"cubeB-d{dimension}", second, HPolytope.from_generalized_tuple(second), side**dimension),
+        union_volume,
+    )
+
+
+def annulus_box(dimension: int, outer: float = 1.0, inner_fraction: float = 0.5) -> tuple[
+    GeneralizedTuple, GeneralizedTuple, float
+]:
+    """A cube with a centred cube removed: the difference workload of E5.
+
+    Returns ``(outer_tuple, inner_tuple, exact_difference_volume)``.
+    """
+    if not 0 < inner_fraction < 1:
+        raise ValueError("inner_fraction must lie strictly between 0 and 1")
+    names = variable_names(dimension)
+    outer_tuple = GeneralizedTuple.box({name: (0.0, outer) for name in names})
+    margin = outer * (1.0 - inner_fraction) / 2.0
+    inner_tuple = GeneralizedTuple.box(
+        {name: (margin, outer - margin) for name in names}
+    )
+    difference_volume = outer**dimension - (outer * inner_fraction) ** dimension
+    return outer_tuple, inner_tuple, difference_volume

@@ -1,0 +1,100 @@
+"""Parameter sweep descriptions shared by the benchmarks.
+
+Each experiment of DESIGN.md sweeps a small set of parameters (dimension,
+accuracy, overlap fraction, term count, ...).  Centralising the sweep values
+here keeps ``benchmarks/`` and ``EXPERIMENTS.md`` consistent: the benchmark
+files import these constants instead of hard-coding their own, and the
+experiment report generator iterates over the same values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Sweep:
+    """A named one-dimensional parameter sweep."""
+
+    name: str
+    parameter: str
+    values: tuple = ()
+    notes: str = ""
+
+
+# Experiment E1 — projection uniformity.
+E1_SAMPLE_COUNTS = (500, 2_000)
+E1_HISTOGRAM_BINS = 20
+
+# Experiment E2 — convex volume estimation.
+E2_DIMENSIONS = (2, 3, 4, 5, 6)
+E2_EPSILONS = (0.1, 0.2)
+
+# Experiment E3 — union generator and dumbbell mixing.
+E3_DIMENSIONS = (2, 3, 4)
+E3_TUBE_WIDTHS = (0.4, 0.2, 0.1, 0.05)
+
+# Experiment E4 — intersection and poly-relatedness.
+E4_OVERLAP_EXPONENTS = (1, 2, 3, 4, 5, 6, 8)
+E4_DIMENSIONS = (2, 3, 4)
+
+# Experiment E5 — difference.
+E5_REMOVED_FRACTIONS = (0.2, 0.4, 0.6, 0.8, 0.9)
+
+# Experiment E6 — DNF unions (geometric #DNF).
+E6_TERM_COUNTS = (2, 4, 8, 16, 32)
+E6_VARIABLES = 4
+
+# Experiment E7 — projection versus Fourier--Motzkin.
+E7_ELIMINATED_COUNTS = (1, 2, 3, 4)
+E7_KEPT_DIMENSION = 2
+
+# Experiment E8 — hull reconstruction convergence.
+E8_SAMPLE_COUNTS = (50, 100, 250, 500, 1_000, 2_000)
+E8_DIMENSIONS = (2, 3)
+
+# Experiment E9 — fixed-dimension cell decomposition cost.
+E9_DIMENSIONS = (1, 2, 3, 4, 5)
+E9_CELL_SIZE = 0.2
+
+# Experiment E10 — rejection sampling curse of dimensionality.
+E10_DIMENSIONS = (2, 4, 6, 8, 10, 12)
+E10_PROPOSALS = 20_000
+
+# Experiment E11 — SAT / DNF encoding.
+E11_VARIABLE_COUNTS = (4, 6, 8)
+E11_TERMS_PER_VARIABLE = 2
+
+# Experiment E12 — query reconstruction.
+E12_SAMPLES_PER_COMPONENT = (100, 300, 600)
+
+# Experiment E13 — parameter scaling of the composed generators.
+E13_EPSILONS = (0.4, 0.3, 0.2, 0.1)
+E13_DELTAS = (0.2, 0.1, 0.05)
+E13_DIMENSIONS = (2, 3, 4)
+
+# Experiment E14 — polynomial-constraint bodies.
+E14_DIMENSIONS = (2, 3, 4)
+
+# Experiment E15 — GIS aggregates.
+E15_MAP_SEEDS = (7, 11)
+E15_EPSILON = 0.25
+
+
+ALL_SWEEPS: dict[str, Sweep] = {
+    "E1": Sweep("E1", "samples", E1_SAMPLE_COUNTS, "projection uniformity"),
+    "E2": Sweep("E2", "dimension", E2_DIMENSIONS, "convex volume estimation"),
+    "E3": Sweep("E3", "tube_width", E3_TUBE_WIDTHS, "union / dumbbell"),
+    "E4": Sweep("E4", "overlap_exponent", E4_OVERLAP_EXPONENTS, "intersection"),
+    "E5": Sweep("E5", "removed_fraction", E5_REMOVED_FRACTIONS, "difference"),
+    "E6": Sweep("E6", "term_count", E6_TERM_COUNTS, "DNF union"),
+    "E7": Sweep("E7", "eliminated", E7_ELIMINATED_COUNTS, "projection vs Fourier-Motzkin"),
+    "E8": Sweep("E8", "samples", E8_SAMPLE_COUNTS, "hull reconstruction"),
+    "E9": Sweep("E9", "dimension", E9_DIMENSIONS, "fixed-dimension cells"),
+    "E10": Sweep("E10", "dimension", E10_DIMENSIONS, "rejection curse"),
+    "E11": Sweep("E11", "variables", E11_VARIABLE_COUNTS, "SAT encoding"),
+    "E12": Sweep("E12", "samples", E12_SAMPLES_PER_COMPONENT, "query reconstruction"),
+    "E13": Sweep("E13", "epsilon", E13_EPSILONS, "parameter scaling"),
+    "E14": Sweep("E14", "dimension", E14_DIMENSIONS, "polynomial bodies"),
+    "E15": Sweep("E15", "seed", E15_MAP_SEEDS, "GIS aggregates"),
+}

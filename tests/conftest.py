@@ -1,0 +1,33 @@
+"""Shared fixtures for the test suite.
+
+Tests use fixed seeds and deliberately small sample budgets: the goal is to
+exercise every code path and check the statistical machinery's *shape*
+(estimates land within loose ratios, distributions are roughly uniform), not
+to reproduce the tight accuracy targets of the benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import GeneratorParams
+from repro.volume import TelescopingConfig
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator, fresh per test."""
+    return np.random.default_rng(20260615)
+
+
+@pytest.fixture
+def fast_params() -> GeneratorParams:
+    """Loose accuracy parameters that keep randomized tests fast."""
+    return GeneratorParams(gamma=0.3, epsilon=0.3, delta=0.2)
+
+
+@pytest.fixture
+def fast_telescoping() -> TelescopingConfig:
+    """A telescoping configuration with a small per-phase sample budget."""
+    return TelescopingConfig(samples_per_phase=600)

@@ -1,0 +1,161 @@
+"""Unit tests for atomic constraints."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.constraints.atoms import AtomicConstraint, Relation, interval_constraints
+from repro.constraints.terms import LinearTerm, variables
+
+
+class TestCanonicalisation:
+    def test_ge_becomes_le(self):
+        x = LinearTerm.variable("x")
+        constraint = AtomicConstraint(x, Relation.GE)
+        assert constraint.relation is Relation.LE
+        assert constraint.term.coefficient("x") == -1
+
+    def test_gt_becomes_lt(self):
+        x = LinearTerm.variable("x")
+        constraint = AtomicConstraint(x, Relation.GT)
+        assert constraint.relation is Relation.LT
+
+    def test_compare_builds_difference(self):
+        x, y = variables("x", "y")
+        constraint = AtomicConstraint.compare(x, Relation.LE, y)
+        assert constraint.term.coefficient("x") == 1
+        assert constraint.term.coefficient("y") == -1
+
+    def test_type_checks(self):
+        with pytest.raises(TypeError):
+            AtomicConstraint("x", Relation.LE)  # type: ignore[arg-type]
+        with pytest.raises(TypeError):
+            AtomicConstraint(LinearTerm.variable("x"), "<=")  # type: ignore[arg-type]
+
+
+class TestEvaluation:
+    def test_le_satisfied(self):
+        x = LinearTerm.variable("x")
+        assert (x <= 1).satisfied_by({"x": 1})
+        assert not (x < 1).satisfied_by({"x": 1})
+
+    def test_equality(self):
+        x = LinearTerm.variable("x")
+        assert x.equals(2).satisfied_by({"x": 2})
+        assert not x.equals(2).satisfied_by({"x": 1})
+
+    def test_ge_gt(self):
+        x = LinearTerm.variable("x")
+        assert (x >= 0).satisfied_by({"x": 0})
+        assert not (x > 0).satisfied_by({"x": 0})
+
+    def test_variables(self):
+        x, y = variables("x", "y")
+        assert (x + y <= 1).variables() == frozenset({"x", "y"})
+
+
+class TestNegation:
+    def test_negate_le(self):
+        x = LinearTerm.variable("x")
+        constraint = (x <= 1).negate()
+        assert not constraint.satisfied_by({"x": 1})
+        assert constraint.satisfied_by({"x": 2})
+
+    def test_negate_is_involution_on_satisfaction(self):
+        x = LinearTerm.variable("x")
+        constraint = x <= 1
+        double = constraint.negate().negate()
+        for value in (-1, 0, 1, 2):
+            assert constraint.satisfied_by({"x": value}) == double.satisfied_by({"x": value})
+
+    def test_negate_equality(self):
+        x = LinearTerm.variable("x")
+        constraint = x.equals(0).negate()
+        assert constraint.relation is Relation.NE
+        assert constraint.satisfied_by({"x": 1})
+
+
+class TestTrivial:
+    def test_trivially_true(self):
+        assert AtomicConstraint.true().is_trivially_true()
+        assert not AtomicConstraint.true().is_trivially_false()
+
+    def test_trivially_false(self):
+        assert AtomicConstraint.false().is_trivially_false()
+
+    def test_non_constant_is_neither(self):
+        x = LinearTerm.variable("x")
+        constraint = x <= 0
+        assert not constraint.is_trivially_true()
+        assert not constraint.is_trivially_false()
+
+
+class TestTransformations:
+    def test_relax_strict(self):
+        x = LinearTerm.variable("x")
+        relaxed = (x < 1).relax()
+        assert relaxed.relation is Relation.LE
+
+    def test_relax_ne_becomes_true(self):
+        x = LinearTerm.variable("x")
+        relaxed = x.equals(0).negate().relax()
+        assert relaxed.is_trivially_true()
+
+    def test_relax_nonstrict_unchanged(self):
+        x = LinearTerm.variable("x")
+        constraint = x <= 1
+        assert constraint.relax() == constraint
+
+    def test_substitute(self):
+        x, y = variables("x", "y")
+        constraint = (x + y <= 1).substitute({"x": 0})
+        assert constraint.satisfied_by({"y": 1})
+        assert not constraint.satisfied_by({"y": 2})
+
+    def test_rename(self):
+        x = LinearTerm.variable("x")
+        renamed = (x <= 1).rename({"x": "z"})
+        assert renamed.variables() == frozenset({"z"})
+
+
+class TestCoefficients:
+    def test_coefficients_for(self):
+        x, y = variables("x", "y")
+        row, offset = (2 * x - y + 3 <= 0).coefficients_for(("x", "y"))
+        assert row == [Fraction(2), Fraction(-1)]
+        assert offset == 3
+
+    def test_coefficients_for_missing_variable(self):
+        x, y = variables("x", "y")
+        with pytest.raises(ValueError):
+            (x + y <= 0).coefficients_for(("x",))
+
+
+class TestIntervalConstraints:
+    def test_interval(self):
+        lower, upper = interval_constraints("x", 0, 1)
+        assert lower.satisfied_by({"x": 0.5}) and upper.satisfied_by({"x": 0.5})
+        assert not upper.satisfied_by({"x": 2})
+
+    def test_strict_interval(self):
+        lower, upper = interval_constraints("x", 0, 1, strict=True)
+        assert not lower.satisfied_by({"x": 0})
+        assert not upper.satisfied_by({"x": 1})
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ValueError):
+            interval_constraints("x", 1, 0)
+
+
+class TestStructure:
+    def test_equality_and_hash(self):
+        x = LinearTerm.variable("x")
+        assert (x <= 1) == (x <= 1)
+        assert hash(x <= 1) == hash(x <= 1)
+
+    def test_repr_and_str(self):
+        x = LinearTerm.variable("x")
+        assert "<=" in str(x <= 1)
+        assert "AtomicConstraint" in repr(x <= 1)

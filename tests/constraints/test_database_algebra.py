@@ -1,0 +1,143 @@
+"""Unit tests for database schemas, instances and the symbolic relational algebra."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constraints import algebra
+from repro.constraints.database import ConstraintDatabase, DatabaseSchema, RelationSchema
+from repro.constraints.relations import GeneralizedRelation
+from repro.constraints.terms import variables
+from repro.constraints.tuples import GeneralizedTuple
+
+
+@pytest.fixture
+def database() -> ConstraintDatabase:
+    db = ConstraintDatabase()
+    db.set_relation("R", GeneralizedRelation.box({"x": (0, 1), "y": (0, 1)}))
+    db.set_relation("S", GeneralizedRelation.box({"x": (0.5, 2), "y": (0, 2)}))
+    return db
+
+
+class TestSchema:
+    def test_relation_schema(self):
+        schema = RelationSchema("R", ("x", "y"))
+        assert schema.arity == 2
+
+    def test_relation_schema_validation(self):
+        with pytest.raises(ValueError):
+            RelationSchema("", ("x",))
+        with pytest.raises(ValueError):
+            RelationSchema("R", ("x", "x"))
+        with pytest.raises(ValueError):
+            RelationSchema("R", ())
+
+    def test_database_schema(self):
+        schema = DatabaseSchema([RelationSchema("R", ("x",))])
+        assert "R" in schema
+        assert schema["R"].arity == 1
+        assert schema.names() == ("R",)
+        with pytest.raises(ValueError):
+            schema.add(RelationSchema("R", ("y",)))
+        with pytest.raises(KeyError):
+            schema["missing"]
+
+
+class TestDatabase:
+    def test_set_and_get(self, database):
+        relation = database.relation("R")
+        assert relation.contains_point([0.5, 0.5])
+        assert "R" in database
+        assert len(database) == 2
+
+    def test_schema_auto_created(self, database):
+        assert database.schema["R"].attributes == ("x", "y")
+
+    def test_missing_relation(self, database):
+        with pytest.raises(KeyError):
+            database.relation("T")
+
+    def test_arity_mismatch_rejected(self, database):
+        with pytest.raises(ValueError):
+            database.set_relation("R", GeneralizedRelation.box({"z": (0, 1)}))
+
+    def test_attribute_realignment(self):
+        schema = DatabaseSchema([RelationSchema("R", ("lon", "lat"))])
+        db = ConstraintDatabase(schema)
+        db.set_relation("R", GeneralizedRelation.box({"x": (0, 1), "y": (0, 2)}))
+        assert db.relation("R").variables == ("lon", "lat")
+
+    def test_type_check(self, database):
+        with pytest.raises(TypeError):
+            database.set_relation("T", "not a relation")  # type: ignore[arg-type]
+
+    def test_description_size(self, database):
+        assert database.description_size() > 0
+
+
+class TestAlgebra:
+    def test_select(self, database):
+        x, y = variables("x", "y")
+        selected = algebra.select(database.relation("R"), [x + y <= 1])
+        assert selected.contains_point([0.3, 0.3])
+        assert not selected.contains_point([0.8, 0.8])
+
+    def test_select_unknown_attribute(self, database):
+        z = variables("z")[0]
+        with pytest.raises(ValueError):
+            algebra.select(database.relation("R"), [z <= 1])
+
+    def test_project(self, database):
+        projected = algebra.project(database.relation("R"), ["x"])
+        assert projected.variables == ("x",)
+        assert projected.contains_point([0.5])
+
+    def test_rename(self, database):
+        renamed = algebra.rename(database.relation("R"), {"x": "lon"})
+        assert "lon" in renamed.variables
+
+    def test_union_intersection_difference(self, database):
+        r = database.relation("R")
+        s = database.relation("S")
+        union = algebra.union(r, s)
+        inter = algebra.intersection(r, s)
+        diff = algebra.difference(r, s)
+        assert union.contains_point([1.5, 1.5])
+        assert inter.contains_point([0.7, 0.5])
+        assert not inter.contains_point([0.2, 0.5])
+        assert diff.contains_point([0.2, 0.5])
+        assert not diff.contains_point([0.7, 0.5])
+
+    def test_attribute_check(self, database):
+        other = GeneralizedRelation.box({"a": (0, 1), "b": (0, 1)})
+        with pytest.raises(ValueError):
+            algebra.union(database.relation("R"), other)
+
+    def test_product(self):
+        a = GeneralizedRelation.box({"x": (0, 1)})
+        b = GeneralizedRelation.box({"y": (0, 1)})
+        product = algebra.product(a, b)
+        assert product.dimension == 2
+
+    def test_natural_join_shares_attributes(self, database):
+        joined = algebra.natural_join(database.relation("R"), database.relation("S"))
+        assert set(joined.variables) == {"x", "y"}
+        assert joined.contains_point([0.7, 0.5])
+        assert not joined.contains_point([0.2, 0.5])
+
+    def test_natural_join_disjoint_is_product(self):
+        a = GeneralizedRelation.box({"x": (0, 1)})
+        b = GeneralizedRelation.box({"y": (0, 1)})
+        joined = algebra.natural_join(a, b)
+        assert joined.dimension == 2
+
+    def test_semijoin(self, database):
+        semi = algebra.semijoin(database.relation("R"), database.relation("S"))
+        assert set(semi.variables) == {"x", "y"}
+        assert semi.contains_point([0.7, 0.5])
+        assert not semi.contains_point([0.2, 0.5])
+
+    def test_empty_operand_join(self):
+        a = GeneralizedRelation.box({"x": (0, 1)})
+        empty = GeneralizedRelation.empty(("x",))
+        assert algebra.natural_join(a, empty).is_syntactically_empty()

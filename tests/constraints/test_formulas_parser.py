@@ -1,0 +1,186 @@
+"""Unit tests for formulas, quantifier elimination and the textual parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constraints.formulas import (
+    And,
+    Atom,
+    Exists,
+    FalseFormula,
+    ForAll,
+    Not,
+    Or,
+    TrueFormula,
+    conjunction_of,
+    disjunction_of,
+    formula_to_relation,
+    to_negation_normal_form,
+)
+from repro.constraints.parser import ParseError, parse_formula, parse_relation, parse_term
+from repro.constraints.terms import variables
+
+
+class TestFormulaBasics:
+    def test_free_variables(self):
+        x, y = variables("x", "y")
+        formula = Exists(("y",), And([Atom(x + y <= 1), Atom(y >= 0)]))
+        assert formula.free_variables() == frozenset({"x"})
+
+    def test_quantified_evaluate_raises(self):
+        x = variables("x")[0]
+        with pytest.raises(ValueError):
+            Exists(("x",), Atom(x <= 1)).evaluate({})
+        with pytest.raises(ValueError):
+            ForAll(("x",), Atom(x <= 1)).evaluate({})
+
+    def test_quantifier_free_evaluation(self):
+        x, y = variables("x", "y")
+        formula = Or([And([Atom(x <= 1), Atom(y <= 1)]), Not(Atom(x >= 0))])
+        assert formula.evaluate({"x": 0.5, "y": 0.5})
+        assert formula.evaluate({"x": -1, "y": 5})
+        assert not formula.evaluate({"x": 2, "y": 0})
+
+    def test_true_false(self):
+        assert TrueFormula().evaluate({})
+        assert not FalseFormula().evaluate({})
+
+    def test_builders(self):
+        x = variables("x")[0]
+        formula = Atom(x <= 1).and_(Atom(x >= 0)).or_(Atom(x >= 5)).not_()
+        assert isinstance(formula, Not)
+        assert conjunction_of([]).evaluate({})
+        assert not disjunction_of([]).evaluate({})
+
+    def test_empty_connectives_rejected(self):
+        with pytest.raises(ValueError):
+            And([])
+        with pytest.raises(ValueError):
+            Or([])
+        x = variables("x")[0]
+        with pytest.raises(ValueError):
+            Exists((), Atom(x <= 1))
+
+
+class TestNegationNormalForm:
+    def test_double_negation(self):
+        x = variables("x")[0]
+        formula = Not(Not(Atom(x <= 1)))
+        nnf = to_negation_normal_form(formula)
+        assert isinstance(nnf, Atom)
+
+    def test_de_morgan(self):
+        x, y = variables("x", "y")
+        formula = Not(And([Atom(x <= 1), Atom(y <= 1)]))
+        nnf = to_negation_normal_form(formula)
+        assert isinstance(nnf, Or)
+
+    def test_forall_rewritten(self):
+        x, y = variables("x", "y")
+        formula = ForAll(("y",), Atom(x + y <= 1))
+        nnf = to_negation_normal_form(formula)
+        # forall disappears: only exists (possibly negated) nodes remain.
+        assert "ForAll" not in repr(nnf)
+
+
+class TestFormulaToRelation:
+    def test_simple_conjunction(self):
+        x, y = variables("x", "y")
+        relation = formula_to_relation(And([Atom(x >= 0), Atom(x <= 1), Atom(y >= 0), Atom(y <= 1)]))
+        assert relation.contains_point([0.5, 0.5])
+        assert not relation.contains_point([2, 0.5])
+
+    def test_disjunction(self):
+        x = variables("x")[0]
+        relation = formula_to_relation(Or([Atom(x <= 0), Atom(x >= 1)]))
+        assert relation.contains_point([-1])
+        assert relation.contains_point([2])
+        assert not relation.contains_point([0.5])
+
+    def test_existential_projection(self):
+        x, y = variables("x", "y")
+        formula = Exists(("y",), And([Atom(y >= 0), Atom(y <= x), Atom(x <= 1)]))
+        relation = formula_to_relation(formula)
+        assert relation.variables == ("x",)
+        assert relation.contains_point([0.5])
+        assert not relation.contains_point([2])
+
+    def test_universal_quantifier(self):
+        x, y = variables("x", "y")
+        # forall y in [0,1]: x + y <= 2  <=>  x <= 1 (for y in the unit interval).
+        formula = ForAll(("y",), Or([Not(And([Atom(y >= 0), Atom(y <= 1)])), Atom(x + y <= 2)]))
+        relation = formula_to_relation(formula, variables=("x",))
+        assert relation.contains_point([0.5])
+        assert not relation.contains_point([3])
+
+    def test_missing_free_variable_rejected(self):
+        x = variables("x")[0]
+        with pytest.raises(ValueError):
+            formula_to_relation(Atom(x <= 1), variables=("y",))
+
+
+class TestParser:
+    def test_parse_simple_box(self):
+        relation = parse_relation("0 <= x <= 1 and 0 <= y <= 1")
+        assert relation.contains_point([0.5, 0.5])
+        assert not relation.contains_point([1.5, 0.5])
+
+    def test_parse_disjunction(self):
+        relation = parse_relation("x <= 0 or x >= 1")
+        assert relation.contains_point([-1])
+        assert not relation.contains_point([0.5])
+
+    def test_parse_negation(self):
+        relation = parse_relation("not (0 <= x <= 1)")
+        assert relation.contains_point([2])
+        assert not relation.contains_point([0.5])
+
+    def test_parse_exists(self):
+        relation = parse_relation("exists z . (0 <= z <= x and x <= 1)")
+        assert relation.variables == ("x",)
+        assert relation.contains_point([0.5])
+
+    def test_parse_arithmetic(self):
+        term = parse_term("2*x - 3*y + 1")
+        assert term.coefficient("x") == 2
+        assert term.coefficient("y") == -3
+        assert term.constant_term == 1
+
+    def test_parse_division_and_postfix_product(self):
+        term = parse_term("x / 2 + y * 3")
+        assert term.coefficient("x") == 0.5
+        assert term.coefficient("y") == 3
+
+    def test_parse_symbols(self):
+        relation = parse_relation("0 <= x & x <= 1 | x = 5")
+        assert relation.contains_point([5])
+        assert relation.contains_point([0.5])
+
+    def test_parse_parenthesised_arithmetic(self):
+        relation = parse_relation("(x + y) <= 1 and x >= 0 and y >= 0")
+        assert relation.contains_point([0.2, 0.3])
+        assert not relation.contains_point([0.8, 0.8])
+
+    def test_parse_equality_chain(self):
+        formula = parse_formula("0 <= x <= y <= 1")
+        assert formula.evaluate({"x": 0.2, "y": 0.5})
+        assert not formula.evaluate({"x": 0.6, "y": 0.5})
+
+    def test_parse_errors(self):
+        with pytest.raises(ParseError):
+            parse_formula("")
+        with pytest.raises(ParseError):
+            parse_formula("x ?? 1")
+        with pytest.raises(ParseError):
+            parse_formula("x <= 1 and")
+        with pytest.raises(ParseError):
+            parse_formula("exists . x <= 1")
+        with pytest.raises(ParseError):
+            parse_term("x * y")
+        with pytest.raises(ParseError):
+            parse_term("x / y")
+
+    def test_nonlinear_rejected(self):
+        with pytest.raises(ParseError):
+            parse_formula("x * y <= 1")

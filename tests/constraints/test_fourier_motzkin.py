@@ -1,0 +1,123 @@
+"""Unit tests for Fourier--Motzkin elimination."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constraints.fourier_motzkin import (
+    EliminationBudgetExceeded,
+    eliminate_variable,
+    eliminate_variables,
+    is_satisfiable,
+    project_tuple,
+)
+from repro.constraints.terms import variables
+from repro.constraints.tuples import GeneralizedTuple
+
+
+def triangle() -> GeneralizedTuple:
+    """The triangle {0 <= y <= x <= 1}."""
+    x, y = variables("x", "y")
+    return GeneralizedTuple([y >= 0, y <= x, x <= 1], ("x", "y"))
+
+
+class TestEliminateVariable:
+    def test_project_triangle_to_x(self):
+        result = eliminate_variable(triangle(), "y")
+        assert result is not None
+        assert result.variables == ("x",)
+        assert result.contains_point([0.5])
+        assert not result.contains_point([1.5])
+
+    def test_project_triangle_to_y(self):
+        result = eliminate_variable(triangle(), "x")
+        assert result is not None
+        assert result.contains_point([0.5])
+        assert not result.contains_point([-0.5])
+
+    def test_variable_not_present_is_noop(self):
+        tuple_ = triangle()
+        assert eliminate_variable(tuple_, "z") is tuple_
+
+    def test_unsatisfiable_system_returns_none(self):
+        x, y = variables("x", "y")
+        tuple_ = GeneralizedTuple([y >= 1, y <= 0, x >= 0, x <= 1], ("x", "y"))
+        assert eliminate_variable(tuple_, "y") is None
+
+    def test_equality_substitution(self):
+        x, y = variables("x", "y")
+        tuple_ = GeneralizedTuple([y.equals(2 * x), y <= 1, x >= 0], ("x", "y"))
+        result = eliminate_variable(tuple_, "y")
+        assert result is not None
+        assert result.contains_point([0.4])
+        assert not result.contains_point([0.6])
+
+    def test_strictness_propagates(self):
+        from repro.constraints.atoms import Relation
+
+        x, y = variables("x", "y")
+        tuple_ = GeneralizedTuple([y > 0, y <= x], ("x", "y"))
+        result = eliminate_variable(tuple_, "y")
+        assert result is not None
+        strict_constraints = [c for c in result.constraints if c.relation is Relation.LT]
+        assert strict_constraints, "the combined bound must stay strict"
+
+    def test_budget_exceeded(self):
+        x, y = variables("x", "y")
+        constraints = []
+        for k in range(6):
+            constraints.append(y >= k * x)
+            constraints.append(y <= (k + 10) * x + 1)
+        tuple_ = GeneralizedTuple(constraints, ("x", "y"))
+        with pytest.raises(EliminationBudgetExceeded):
+            eliminate_variable(tuple_, "y", max_constraints=5)
+
+    def test_ne_constraints_dropped(self):
+        x, y = variables("x", "y")
+        tuple_ = GeneralizedTuple([y >= 0, y <= 1, x >= 0, x <= 1, y.equals(0.5).negate()], ("x", "y"))
+        result = eliminate_variable(tuple_, "y")
+        assert result is not None
+        assert result.contains_point([0.5])
+
+
+class TestEliminateVariables:
+    def test_eliminate_all(self):
+        result = eliminate_variables(triangle(), ["x", "y"])
+        assert result is not None
+        assert result.dimension == 0 or all(c.is_trivially_true() for c in result.constraints)
+
+    def test_project_tuple(self):
+        result = project_tuple(triangle(), ["y"])
+        assert result is not None
+        assert result.variables == ("y",)
+        assert result.contains_point([0.5])
+
+    def test_chained_projection_matches_single(self):
+        x, y, z = variables("x", "y", "z")
+        body = GeneralizedTuple([z >= 0, z <= y, y <= x, x <= 1, y >= 0], ("x", "y", "z"))
+        once = eliminate_variables(body, ["y", "z"])
+        assert once is not None
+        assert once.contains_point([0.5])
+        assert not once.contains_point([-0.1])
+
+
+class TestSatisfiability:
+    def test_satisfiable(self):
+        assert is_satisfiable(triangle())
+
+    def test_unsatisfiable(self):
+        x = variables("x")[0]
+        tuple_ = GeneralizedTuple([x >= 1, x <= 0], ("x",))
+        assert not is_satisfiable(tuple_)
+
+    def test_strict_unsatisfiable(self):
+        x = variables("x")[0]
+        tuple_ = GeneralizedTuple([x > 0, x < 0], ("x",))
+        assert not is_satisfiable(tuple_)
+
+    def test_higher_dimensional(self):
+        x, y, z = variables("x", "y", "z")
+        tuple_ = GeneralizedTuple(
+            [x + y + z <= 1, x >= 0, y >= 0, z >= 0, x + y + z >= 2], ("x", "y", "z")
+        )
+        assert not is_satisfiable(tuple_)

@@ -1,0 +1,187 @@
+"""Unit tests for linear terms."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.constraints.terms import LinearTerm, to_fraction, variables
+
+
+class TestToFraction:
+    def test_int(self):
+        assert to_fraction(3) == Fraction(3)
+
+    def test_float_uses_decimal_representation(self):
+        assert to_fraction(0.1) == Fraction(1, 10)
+
+    def test_fraction_passthrough(self):
+        assert to_fraction(Fraction(2, 7)) == Fraction(2, 7)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            to_fraction(float("nan"))
+
+    def test_inf_rejected(self):
+        with pytest.raises(ValueError):
+            to_fraction(float("inf"))
+
+    def test_unsupported_type(self):
+        with pytest.raises(TypeError):
+            to_fraction("1")  # type: ignore[arg-type]
+
+
+class TestConstruction:
+    def test_variable(self):
+        x = LinearTerm.variable("x")
+        assert x.coefficient("x") == 1
+        assert x.constant_term == 0
+
+    def test_constant(self):
+        c = LinearTerm.constant(5)
+        assert c.is_constant()
+        assert c.constant_term == 5
+
+    def test_zero(self):
+        assert LinearTerm.zero().is_constant()
+        assert LinearTerm.zero().constant_term == 0
+
+    def test_zero_coefficients_dropped(self):
+        term = LinearTerm({"x": 0, "y": 2}, 1)
+        assert term.variables() == frozenset({"y"})
+
+    def test_from_coefficients(self):
+        term = LinearTerm.from_coefficients(["x", "y"], [2, -1], 3)
+        assert term.coefficient("x") == 2
+        assert term.coefficient("y") == -1
+        assert term.constant_term == 3
+
+    def test_from_coefficients_length_mismatch(self):
+        with pytest.raises(ValueError):
+            LinearTerm.from_coefficients(["x"], [1, 2])
+
+    def test_invalid_variable_name(self):
+        with pytest.raises(TypeError):
+            LinearTerm({"": 1})
+
+    def test_variables_helper(self):
+        x, y, z = variables("x", "y", "z")
+        assert x.variables() == frozenset({"x"})
+        assert z.coefficient("z") == 1
+
+
+class TestArithmetic:
+    def test_addition(self):
+        x, y = variables("x", "y")
+        term = x + y + 1
+        assert term.coefficient("x") == 1
+        assert term.coefficient("y") == 1
+        assert term.constant_term == 1
+
+    def test_addition_cancels(self):
+        x = LinearTerm.variable("x")
+        assert (x - x).is_constant()
+
+    def test_radd(self):
+        x = LinearTerm.variable("x")
+        term = 2 + x
+        assert term.constant_term == 2
+
+    def test_subtraction(self):
+        x, y = variables("x", "y")
+        term = x - 2 * y
+        assert term.coefficient("y") == -2
+
+    def test_rsub(self):
+        x = LinearTerm.variable("x")
+        term = 1 - x
+        assert term.coefficient("x") == -1
+        assert term.constant_term == 1
+
+    def test_negation(self):
+        x = LinearTerm.variable("x")
+        assert (-x).coefficient("x") == -1
+
+    def test_scalar_multiplication(self):
+        x = LinearTerm.variable("x")
+        assert (3 * x).coefficient("x") == 3
+        assert (x * Fraction(1, 2)).coefficient("x") == Fraction(1, 2)
+
+    def test_multiplying_terms_rejected(self):
+        x, y = variables("x", "y")
+        with pytest.raises(TypeError):
+            x * y  # type: ignore[operator]
+
+    def test_division(self):
+        x = LinearTerm.variable("x")
+        assert (x / 4).coefficient("x") == Fraction(1, 4)
+
+    def test_division_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            LinearTerm.variable("x") / 0
+
+    def test_scale_alias(self):
+        x = LinearTerm.variable("x")
+        assert x.scale(5) == 5 * x
+
+
+class TestEvaluation:
+    def test_evaluate(self):
+        x, y = variables("x", "y")
+        term = 2 * x - y + 3
+        assert term.evaluate({"x": 1, "y": 2}) == 3
+
+    def test_evaluate_missing_variable(self):
+        with pytest.raises(KeyError):
+            LinearTerm.variable("x").evaluate({})
+
+    def test_substitute_with_number(self):
+        x, y = variables("x", "y")
+        term = (x + y).substitute({"x": 2})
+        assert term.evaluate({"y": 1}) == 3
+
+    def test_substitute_with_term(self):
+        x, y, z = variables("x", "y", "z")
+        term = (2 * x + y).substitute({"x": z + 1})
+        assert term.coefficient("z") == 2
+        assert term.constant_term == 2
+
+    def test_rename(self):
+        x = LinearTerm.variable("x")
+        renamed = (2 * x + 1).rename({"x": "u"})
+        assert renamed.coefficient("u") == 2
+        assert renamed.coefficient("x") == 0
+
+    def test_rename_merges_coefficients(self):
+        term = LinearTerm({"x": 1, "y": 2}).rename({"y": "x"})
+        assert term.coefficient("x") == 3
+
+
+class TestStructure:
+    def test_equality_and_hash(self):
+        x = LinearTerm.variable("x")
+        assert x + 1 == LinearTerm({"x": 1}, 1)
+        assert hash(x + 1) == hash(LinearTerm({"x": 1}, 1))
+
+    def test_inequality(self):
+        x, y = variables("x", "y")
+        assert x != y
+
+    def test_str_representation(self):
+        x, y = variables("x", "y")
+        text = str(2 * x - y + 1)
+        assert "x" in text and "y" in text
+
+    def test_str_of_zero(self):
+        assert str(LinearTerm.zero()) == "0"
+
+    def test_comparison_builds_constraint(self):
+        from repro.constraints.atoms import AtomicConstraint
+
+        x = LinearTerm.variable("x")
+        assert isinstance(x <= 1, AtomicConstraint)
+        assert isinstance(x < 1, AtomicConstraint)
+        assert isinstance(x >= 1, AtomicConstraint)
+        assert isinstance(x > 1, AtomicConstraint)
+        assert isinstance(x.equals(1), AtomicConstraint)

@@ -1,0 +1,216 @@
+"""Unit tests for generalized tuples and relations (DNF)."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.constraints.atoms import AtomicConstraint
+from repro.constraints.relations import GeneralizedRelation
+from repro.constraints.terms import LinearTerm, variables
+from repro.constraints.tuples import GeneralizedTuple, box_tuple
+
+
+@pytest.fixture
+def unit_square() -> GeneralizedTuple:
+    return GeneralizedTuple.box({"x": (0, 1), "y": (0, 1)})
+
+
+class TestGeneralizedTuple:
+    def test_box_membership(self, unit_square):
+        assert unit_square.contains_point([0.5, 0.5])
+        assert not unit_square.contains_point([1.5, 0.5])
+
+    def test_dimension_and_variables(self, unit_square):
+        assert unit_square.dimension == 2
+        assert unit_square.variables == ("x", "y")
+
+    def test_contains_point_dimension_check(self, unit_square):
+        with pytest.raises(ValueError):
+            unit_square.contains_point([0.5])
+
+    def test_universe_and_empty(self):
+        universe = GeneralizedTuple.universe(("x",))
+        empty = GeneralizedTuple.empty(("x",))
+        assert universe.contains_point([100])
+        assert not empty.contains_point([0])
+        assert empty.is_syntactically_empty()
+
+    def test_conjoin_merges_variables(self):
+        a = GeneralizedTuple.box({"x": (0, 1)})
+        b = GeneralizedTuple.box({"y": (0, 1)})
+        both = a.conjoin(b)
+        assert set(both.variables) == {"x", "y"}
+        assert both.contains_point([0.5, 0.5])
+
+    def test_with_constraint(self, unit_square):
+        x, y = variables("x", "y")
+        restricted = unit_square.with_constraint(x + y <= 1)
+        assert restricted.contains_point([0.4, 0.4])
+        assert not restricted.contains_point([0.8, 0.8])
+
+    def test_rename(self, unit_square):
+        renamed = unit_square.rename({"x": "u"})
+        assert "u" in renamed.variables and "x" not in renamed.variables
+
+    def test_rename_collision_rejected(self, unit_square):
+        with pytest.raises(ValueError):
+            unit_square.rename({"x": "y"})
+
+    def test_substitute_removes_variable(self, unit_square):
+        fixed = unit_square.substitute({"x": Fraction(1, 2)})
+        assert "x" not in fixed.variables
+        assert fixed.contains_point([0.5])
+
+    def test_simplify_drops_duplicates_and_trivial(self):
+        x = LinearTerm.variable("x")
+        tuple_ = GeneralizedTuple([x <= 1, x <= 1, AtomicConstraint.true()], ("x",))
+        assert len(tuple_.simplify()) == 1
+
+    def test_simplify_detects_contradiction(self):
+        tuple_ = GeneralizedTuple([AtomicConstraint.false()], ("x",))
+        assert tuple_.simplify().is_syntactically_empty()
+
+    def test_relax(self):
+        tuple_ = GeneralizedTuple.box({"x": (0, 1)}, strict=True)
+        assert not tuple_.contains_point([0])
+        assert tuple_.relax().contains_point([0])
+
+    def test_inequality_matrix(self, unit_square):
+        rows, offsets, strict = unit_square.inequality_matrix()
+        assert len(rows) == 4
+        assert all(not flag for flag in strict)
+
+    def test_inequality_matrix_equality_makes_two_rows(self):
+        x = LinearTerm.variable("x")
+        tuple_ = GeneralizedTuple([x.equals(1)], ("x",))
+        rows, offsets, _ = tuple_.inequality_matrix()
+        assert len(rows) == 2
+
+    def test_bounding_box(self, unit_square):
+        box = unit_square.bounding_box()
+        assert box == {"x": (0, 1), "y": (0, 1)}
+
+    def test_bounding_box_unbounded_returns_none(self):
+        x = LinearTerm.variable("x")
+        tuple_ = GeneralizedTuple([x >= 0], ("x",))
+        assert tuple_.bounding_box() is None
+
+    def test_box_tuple_helper(self):
+        cube = box_tuple([0, 0, 0], [1, 2, 3])
+        assert cube.dimension == 3
+        assert cube.contains_point([0.5, 1.5, 2.5])
+
+    def test_description_size_positive(self, unit_square):
+        assert unit_square.description_size() > 0
+
+    def test_variable_order_validation(self):
+        x = LinearTerm.variable("x")
+        with pytest.raises(ValueError):
+            GeneralizedTuple([x <= 1], ("y",))
+        with pytest.raises(ValueError):
+            GeneralizedTuple([x <= 1], ("x", "x"))
+
+
+class TestGeneralizedRelation:
+    @pytest.fixture
+    def two_boxes(self) -> GeneralizedRelation:
+        first = GeneralizedTuple.box({"x": (0, 1), "y": (0, 1)})
+        second = GeneralizedTuple.box({"x": (2, 3), "y": (0, 2)})
+        return GeneralizedRelation((first, second), ("x", "y"))
+
+    def test_membership(self, two_boxes):
+        assert two_boxes.contains_point([0.5, 0.5])
+        assert two_boxes.contains_point([2.5, 1.5])
+        assert not two_boxes.contains_point([1.5, 0.5])
+
+    def test_membership_index(self, two_boxes):
+        assert two_boxes.membership_index([0.5, 0.5]) == 0
+        assert two_boxes.membership_index([2.5, 0.5]) == 1
+        assert two_boxes.membership_index([5, 5]) is None
+
+    def test_union(self, two_boxes):
+        third = GeneralizedRelation.box({"x": (4, 5), "y": (0, 1)})
+        union = two_boxes.union(third)
+        assert len(union) == 3
+        assert union.contains_point([4.5, 0.5])
+
+    def test_intersection_distributes(self, two_boxes):
+        slab = GeneralizedRelation.box({"x": (0.5, 2.5), "y": (0, 2)})
+        result = slab.intersection(two_boxes)
+        assert result.contains_point([0.7, 0.5])
+        assert result.contains_point([2.2, 1.0])
+        assert not result.contains_point([1.5, 0.5])
+
+    def test_complement(self):
+        box = GeneralizedRelation.box({"x": (0, 1)})
+        complement = box.complement()
+        assert complement.contains_point([2])
+        assert not complement.contains_point([0.5])
+
+    def test_complement_of_empty_is_universe(self):
+        empty = GeneralizedRelation.empty(("x",))
+        assert empty.complement().contains_point([42])
+
+    def test_difference(self, two_boxes):
+        hole = GeneralizedRelation.box({"x": (0.25, 0.75), "y": (0.25, 0.75)})
+        difference = two_boxes.difference(hole)
+        assert not difference.contains_point([0.5, 0.5])
+        assert difference.contains_point([0.1, 0.1])
+        assert difference.contains_point([2.5, 1.5])
+
+    def test_project(self, two_boxes):
+        projected = two_boxes.project(["x"])
+        assert projected.variables == ("x",)
+        assert projected.contains_point([0.5])
+        assert projected.contains_point([2.5])
+        assert not projected.contains_point([1.5])
+
+    def test_project_unknown_variable(self, two_boxes):
+        with pytest.raises(ValueError):
+            two_boxes.project(["z"])
+
+    def test_rename(self, two_boxes):
+        renamed = two_boxes.rename({"x": "lon", "y": "lat"})
+        assert renamed.variables == ("lon", "lat")
+        assert renamed.contains_point([0.5, 0.5])
+
+    def test_product(self):
+        a = GeneralizedRelation.box({"x": (0, 1)})
+        b = GeneralizedRelation.box({"y": (0, 2)})
+        product = a.product(b)
+        assert product.dimension == 2
+        assert product.contains_point([0.5, 1.5])
+
+    def test_product_requires_disjoint_variables(self):
+        a = GeneralizedRelation.box({"x": (0, 1)})
+        with pytest.raises(ValueError):
+            a.product(a)
+
+    def test_simplify_removes_empty_disjuncts(self):
+        empty = GeneralizedTuple.empty(("x",))
+        box = GeneralizedTuple.box({"x": (0, 1)})
+        relation = GeneralizedRelation((empty, box, box), ("x",))
+        assert len(relation.simplify()) == 1
+
+    def test_bounding_box(self, two_boxes):
+        box = two_boxes.bounding_box()
+        assert box["x"] == (0, 3)
+        assert box["y"] == (0, 2)
+
+    def test_empty_relation(self):
+        empty = GeneralizedRelation.empty(("x", "y"))
+        assert empty.is_syntactically_empty()
+        assert not empty.contains_point([0, 0])
+        assert str(empty) == "FALSE"
+
+    def test_description_size(self, two_boxes):
+        assert two_boxes.description_size() > 0
+
+    def test_variable_alignment(self):
+        # A disjunct over a subset of the variables is re-embedded.
+        small = GeneralizedTuple.box({"x": (0, 1)})
+        relation = GeneralizedRelation((small,), ("x", "y"))
+        assert relation.dimension == 2
+        assert relation.contains_point([0.5, 123.0])

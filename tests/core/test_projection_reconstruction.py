@@ -1,0 +1,175 @@
+"""Unit tests for the projection generator (Algorithm 2) and reconstruction (Section 4.3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.constraints import parse_relation
+from repro.constraints.tuples import GeneralizedTuple
+from repro.core import (
+    ConvexHullEstimator,
+    ConvexObservable,
+    GeneratorParams,
+    ProjectionObservable,
+    naive_projection_samples,
+    projection_observable,
+    relation_membership,
+    sample_count_affentranger_wieacker,
+    symmetric_difference_volume,
+    tuple_membership,
+)
+from repro.sampling.diagnostics import ks_statistic_uniform
+from repro.volume import TelescopingConfig
+
+
+def triangle_observable(params: GeneratorParams) -> ConvexObservable:
+    """The triangle {0 <= y <= x <= 1}: fibres over x have height x."""
+    relation = parse_relation("0 <= y and y <= x and x <= 1", ["x", "y"])
+    return ConvexObservable(
+        relation.disjuncts[0],
+        params=params,
+        sampler="hit_and_run",
+        telescoping=TelescopingConfig(samples_per_phase=500),
+    )
+
+
+class TestProjection:
+    def test_structure(self, fast_params):
+        projection = ProjectionObservable(triangle_observable(fast_params), keep=["x"], params=fast_params)
+        assert projection.dimension == 1
+        assert projection.keep_indices == (0,)
+        assert projection.eliminated_indices == (1,)
+        assert projection.contains(np.array([0.5]))
+        assert not projection.contains(np.array([1.5]))
+
+    def test_keep_by_index(self, fast_params):
+        projection = ProjectionObservable(triangle_observable(fast_params), keep=[0], params=fast_params)
+        assert projection.keep_indices == (0,)
+
+    def test_fibre_volume(self, fast_params):
+        projection = ProjectionObservable(triangle_observable(fast_params), keep=["x"], params=fast_params)
+        assert projection.fibre_volume(np.array([0.5])) == pytest.approx(0.5, abs=1e-9)
+        assert projection.fibre_volume(np.array([1.0])) == pytest.approx(1.0, abs=1e-9)
+        assert projection.fibre_volume(np.array([2.0])) == 0.0
+
+    def test_projection_samples_are_uniform(self, fast_params, rng):
+        projection = ProjectionObservable(triangle_observable(fast_params), keep=["x"], params=fast_params)
+        corrected = projection.generate_many(250, rng).ravel()
+        naive = naive_projection_samples(triangle_observable(fast_params), ["x"], 250, rng).ravel()
+        corrected_ks = ks_statistic_uniform(corrected, 0.0, 1.0)
+        naive_ks = ks_statistic_uniform(naive, 0.0, 1.0)
+        # Fig. 1: the naive projection is biased towards large fibres; Algorithm 2 fixes it.
+        assert corrected_ks < naive_ks
+        assert corrected_ks < 0.15
+        assert naive_ks > 0.15
+
+    def test_projection_volume(self, fast_params, rng):
+        projection = ProjectionObservable(
+            triangle_observable(fast_params), keep=["x"], params=fast_params, max_volume_trials=2500
+        )
+        estimate = projection.estimate_volume(rng=rng)
+        assert estimate.approximates(1.0, ratio=1.4)
+
+    def test_projection_of_3d_box(self, fast_params, rng):
+        tuple_ = GeneralizedTuple.box({"x": (0, 1), "y": (0, 2), "z": (0, 3)})
+        source = ConvexObservable(tuple_, params=fast_params, sampler="hit_and_run")
+        projection = ProjectionObservable(source, keep=["x", "y"], params=fast_params, max_volume_trials=1500)
+        points = projection.generate_many(50, rng)
+        assert points.shape == (50, 2)
+        assert np.all(points[:, 0] <= 1.0 + 1e-9)
+        estimate = projection.estimate_volume(rng=rng)
+        assert estimate.approximates(2.0, ratio=1.4)
+
+    def test_validation(self, fast_params):
+        source = triangle_observable(fast_params)
+        with pytest.raises(ValueError):
+            ProjectionObservable(source, keep=[], params=fast_params)
+        with pytest.raises(ValueError):
+            ProjectionObservable(source, keep=["x", "y"], params=fast_params)
+        with pytest.raises(ValueError):
+            ProjectionObservable(source, keep=["w"], params=fast_params)
+        with pytest.raises(ValueError):
+            ProjectionObservable(source, keep=[5], params=fast_params)
+        with pytest.raises(ValueError):
+            ProjectionObservable(source, keep=[0, 0], params=fast_params)
+
+    def test_projection_observable_helper(self, fast_params):
+        assert isinstance(
+            projection_observable(triangle_observable(fast_params), ["x"], params=fast_params),
+            ProjectionObservable,
+        )
+
+
+class TestHullReconstruction:
+    def test_sample_count_formula(self):
+        count = sample_count_affentranger_wieacker(0.2, 0.1, dimension=2, vertex_count=4)
+        assert count >= 20
+        smaller_eps = sample_count_affentranger_wieacker(0.1, 0.1, dimension=2, vertex_count=4)
+        assert smaller_eps > count
+        with pytest.raises(ValueError):
+            sample_count_affentranger_wieacker(0.0, 0.1, 2, 4)
+        with pytest.raises(ValueError):
+            sample_count_affentranger_wieacker(0.2, 0.0, 2, 4)
+        with pytest.raises(ValueError):
+            sample_count_affentranger_wieacker(0.2, 0.1, 0, 4)
+
+    def test_square_reconstruction(self, fast_params, rng):
+        square = GeneralizedTuple.box({"x": (0, 1), "y": (0, 1)})
+        source = ConvexObservable(square, params=fast_params, sampler="hit_and_run")
+        estimator = ConvexHullEstimator(source, variables=("x", "y"))
+        estimate = estimator.estimate(0.2, 0.1, rng=rng, sample_count=500)
+        assert estimate.samples_used == 500
+        assert estimate.details["hull_volume"] == pytest.approx(1.0, abs=0.1)
+        # Symmetric difference against the true square is small.
+        sym_diff = symmetric_difference_volume(
+            relation_membership(estimate.relation),
+            tuple_membership(square),
+            [(-0.2, 1.2), (-0.2, 1.2)],
+            samples=3000,
+            rng=rng,
+        )
+        assert sym_diff < 0.15
+
+    def test_reconstruction_error_decreases_with_samples(self, fast_params, rng):
+        square = GeneralizedTuple.box({"x": (0, 1), "y": (0, 1)})
+        source = ConvexObservable(square, params=fast_params, sampler="hit_and_run")
+        estimator = ConvexHullEstimator(source, variables=("x", "y"))
+        few = estimator.estimate(0.3, 0.2, rng=rng, sample_count=30)
+        many = estimator.estimate(0.3, 0.2, rng=rng, sample_count=1000)
+        assert many.details["hull_volume"] > few.details["hull_volume"]
+
+    def test_variable_name_validation(self, fast_params):
+        square = GeneralizedTuple.box({"x": (0, 1), "y": (0, 1)})
+        source = ConvexObservable(square, params=fast_params, sampler="hit_and_run")
+        with pytest.raises(ValueError):
+            ConvexHullEstimator(source, variables=("x",))
+
+    def test_relation_estimate_membership(self, fast_params, rng):
+        square = GeneralizedTuple.box({"x": (0, 1), "y": (0, 1)})
+        source = ConvexObservable(square, params=fast_params, sampler="hit_and_run")
+        estimate = ConvexHullEstimator(source, ("x", "y")).estimate(0.3, 0.2, rng=rng, sample_count=300)
+        assert estimate.contains(np.array([0.5, 0.5]))
+        assert not estimate.contains(np.array([2.0, 2.0]))
+        assert estimate.total_hull_volume > 0.8
+
+    def test_symmetric_difference_identical_sets(self, rng):
+        square = GeneralizedTuple.box({"x": (0, 1), "y": (0, 1)})
+        value = symmetric_difference_volume(
+            tuple_membership(square), tuple_membership(square), [(0, 1), (0, 1)], 500, rng
+        )
+        assert value == 0.0
+
+    def test_symmetric_difference_disjoint_sets(self, rng):
+        a = GeneralizedTuple.box({"x": (0, 1)})
+        b = GeneralizedTuple.box({"x": (2, 3)})
+        value = symmetric_difference_volume(
+            tuple_membership(a), tuple_membership(b), [(0.0, 3.0)], 2000, rng
+        )
+        assert value == pytest.approx(2.0, rel=0.2)
+
+    def test_symmetric_difference_degenerate_box(self, rng):
+        a = GeneralizedTuple.box({"x": (0, 1)})
+        assert symmetric_difference_volume(
+            tuple_membership(a), tuple_membership(a), [(1.0, 1.0)], 100, rng
+        ) == 0.0

@@ -1,0 +1,178 @@
+"""Unit tests for the union, intersection and difference observables (Section 4.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.constraints.tuples import GeneralizedTuple
+from repro.core import (
+    ConvexObservable,
+    DifferenceObservable,
+    GeneratorParams,
+    IntersectionObservable,
+    PolyRelatednessError,
+    UnionObservable,
+    difference_observable,
+    intersection_observable,
+    union_observable,
+)
+from repro.volume import TelescopingConfig
+from repro.workloads import annulus_box, shifted_cube_pair
+
+
+def observable_box(bounds: dict, params: GeneratorParams) -> ConvexObservable:
+    return ConvexObservable(
+        GeneralizedTuple.box(bounds),
+        params=params,
+        sampler="hit_and_run",
+        telescoping=TelescopingConfig(samples_per_phase=500),
+    )
+
+
+@pytest.fixture
+def overlapping_pair(fast_params):
+    left = observable_box({"x": (0, 1), "y": (0, 1)}, fast_params)
+    right = observable_box({"x": (0.5, 2.5), "y": (0, 1)}, fast_params)
+    return left, right
+
+
+class TestUnion:
+    def test_membership_and_index(self, overlapping_pair, fast_params):
+        union = UnionObservable(list(overlapping_pair), params=fast_params)
+        assert union.dimension == 2
+        assert union.contains(np.array([0.25, 0.5]))
+        assert union.contains(np.array([2.0, 0.5]))
+        assert not union.contains(np.array([3.0, 0.5]))
+        assert union.membership_index(np.array([0.75, 0.5])) == 0  # overlap goes to the first member
+        assert union.membership_index(np.array([2.0, 0.5])) == 1
+        assert union.membership_index(np.array([9.0, 9.0])) is None
+
+    def test_generated_points_belong_to_union(self, overlapping_pair, fast_params, rng):
+        union = UnionObservable(list(overlapping_pair), params=fast_params)
+        points = union.generate_many(60, rng)
+        assert all(union.contains(point) for point in points)
+
+    def test_overlap_not_double_counted(self, overlapping_pair, fast_params, rng):
+        # True union volume is 1 + 2 - 0.5 = 2.5; double counting would give 3.
+        union = UnionObservable(list(overlapping_pair), params=fast_params, max_volume_trials=3000)
+        estimate = union.estimate_volume(rng=rng)
+        assert estimate.approximates(2.5, ratio=1.3)
+        assert estimate.details["acceptance"] < 1.0
+
+    def test_union_mass_split_proportional_to_volume(self, overlapping_pair, fast_params, rng):
+        union = UnionObservable(list(overlapping_pair), params=fast_params)
+        points = union.generate_many(300, rng)
+        in_right_only = sum(1 for p in points if p[0] > 1.0)
+        # The region x > 1 has volume 1.5 out of 2.5 total: expect ~60 %.
+        assert 0.4 < in_right_only / len(points) < 0.8
+
+    def test_m_ary_union(self, fast_params, rng):
+        members = [
+            observable_box({"x": (float(i), float(i) + 1.0), "y": (0, 1)}, fast_params)
+            for i in range(4)
+        ]
+        union = union_observable(members, params=fast_params)
+        estimate = union.estimate_volume(rng=rng)
+        assert estimate.approximates(4.0, ratio=1.3)
+
+    def test_generate_with_statistics(self, overlapping_pair, fast_params, rng):
+        union = UnionObservable(list(overlapping_pair), params=fast_params)
+        points, trials, accepted = union.generate_with_statistics(30, rng)
+        assert accepted == 30
+        assert trials >= accepted
+
+    def test_exact_union_volume_reference(self, fast_params):
+        _, _, exact = shifted_cube_pair(2, overlap=0.5)
+        assert exact == pytest.approx(1.5)
+
+    def test_validation(self, fast_params, overlapping_pair):
+        with pytest.raises(ValueError):
+            UnionObservable([], params=fast_params)
+        one_dim = ConvexObservable(GeneralizedTuple.box({"x": (0, 1)}), params=fast_params, sampler="hit_and_run")
+        with pytest.raises(ValueError):
+            UnionObservable([overlapping_pair[0], one_dim], params=fast_params)
+
+    def test_description_size(self, overlapping_pair, fast_params):
+        union = UnionObservable(list(overlapping_pair), params=fast_params)
+        assert union.description_size() >= sum(m.description_size() for m in overlapping_pair)
+
+
+class TestIntersection:
+    def test_volume_of_overlap(self, overlapping_pair, fast_params, rng):
+        intersection = IntersectionObservable(list(overlapping_pair), params=fast_params, max_volume_trials=3000)
+        estimate = intersection.estimate_volume(rng=rng)
+        assert estimate.approximates(0.5, ratio=1.35)
+
+    def test_generated_points_in_intersection(self, overlapping_pair, fast_params, rng):
+        intersection = intersection_observable(list(overlapping_pair), params=fast_params)
+        # generate_many retries the δ-probability per-call failures of the
+        # rejection scheme, so the assertion is about membership, not luck.
+        points = intersection.generate_many(30, rng)
+        assert np.all((points[:, 0] >= 0.5 - 1e-9) & (points[:, 0] <= 1.0 + 1e-9))
+
+    def test_smallest_member_is_the_proposal(self, fast_params, rng):
+        small = observable_box({"x": (0, 0.5), "y": (0, 0.5)}, fast_params)
+        big = observable_box({"x": (0, 10), "y": (0, 10)}, fast_params)
+        intersection = IntersectionObservable([big, small], params=fast_params)
+        assert intersection.smallest_member(rng) == 1
+
+    def test_empty_intersection_raises_poly_relatedness(self, fast_params, rng):
+        left = observable_box({"x": (0, 1), "y": (0, 1)}, fast_params)
+        right = observable_box({"x": (5, 6), "y": (0, 1)}, fast_params)
+        intersection = IntersectionObservable([left, right], params=fast_params, poly_exponent=1.0)
+        with pytest.raises(PolyRelatednessError):
+            intersection.generate(rng)
+        with pytest.raises(PolyRelatednessError):
+            intersection.estimate_volume(rng=rng)
+
+    def test_contains(self, overlapping_pair, fast_params):
+        intersection = IntersectionObservable(list(overlapping_pair), params=fast_params)
+        assert intersection.contains(np.array([0.75, 0.5]))
+        assert not intersection.contains(np.array([0.25, 0.5]))
+
+    def test_validation(self, overlapping_pair, fast_params):
+        with pytest.raises(ValueError):
+            IntersectionObservable([overlapping_pair[0]], params=fast_params)
+
+
+class TestDifference:
+    def test_volume(self, fast_params, rng):
+        outer_tuple, inner_tuple, exact = annulus_box(2, outer=1.0, inner_fraction=0.5)
+        outer = ConvexObservable(outer_tuple, params=fast_params, sampler="hit_and_run",
+                                 telescoping=TelescopingConfig(samples_per_phase=500))
+        inner = ConvexObservable(inner_tuple, params=fast_params, sampler="hit_and_run")
+        difference = DifferenceObservable(outer, inner, params=fast_params, max_volume_trials=3000)
+        estimate = difference.estimate_volume(rng=rng)
+        assert estimate.approximates(exact, ratio=1.35)
+
+    def test_generated_points_avoid_subtrahend(self, fast_params, rng):
+        outer_tuple, inner_tuple, _ = annulus_box(2, outer=1.0, inner_fraction=0.5)
+        outer = ConvexObservable(outer_tuple, params=fast_params, sampler="hit_and_run")
+        inner = ConvexObservable(inner_tuple, params=fast_params, sampler="hit_and_run")
+        difference = difference_observable(outer, inner, params=fast_params)
+        for _ in range(20):
+            point = difference.generate(rng)
+            assert outer.contains(point) and not inner.contains(point)
+
+    def test_contains(self, fast_params):
+        outer_tuple, inner_tuple, _ = annulus_box(2)
+        outer = ConvexObservable(outer_tuple, params=fast_params, sampler="hit_and_run")
+        inner = ConvexObservable(inner_tuple, params=fast_params, sampler="hit_and_run")
+        difference = DifferenceObservable(outer, inner, params=fast_params)
+        assert difference.contains(np.array([0.05, 0.05]))
+        assert not difference.contains(np.array([0.5, 0.5]))
+        assert difference.description_size() > 0
+
+    def test_near_total_removal_raises(self, fast_params, rng):
+        outer = observable_box({"x": (0, 1), "y": (0, 1)}, fast_params)
+        cover = observable_box({"x": (-1, 2), "y": (-1, 2)}, fast_params)
+        difference = DifferenceObservable(outer, cover, params=fast_params, poly_exponent=1.0)
+        with pytest.raises(PolyRelatednessError):
+            difference.generate(rng)
+
+    def test_dimension_mismatch(self, fast_params):
+        a = observable_box({"x": (0, 1), "y": (0, 1)}, fast_params)
+        b = ConvexObservable(GeneralizedTuple.box({"x": (0, 1)}), params=fast_params, sampler="hit_and_run")
+        with pytest.raises(ValueError):
+            DifferenceObservable(a, b, params=fast_params)

@@ -1,0 +1,191 @@
+"""Unit tests for H-polytopes and the LP helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.constraints.tuples import GeneralizedTuple
+from repro.geometry.linprog import (
+    LPError,
+    chebyshev_center,
+    coordinate_bounds,
+    is_feasible,
+    solve_lp,
+    support_value,
+)
+from repro.geometry.polytope import Halfspace, HPolytope
+from repro.geometry.transforms import AffineTransform
+
+
+class TestLinProg:
+    def test_solve_lp_optimal(self):
+        # min x subject to x >= 1 (i.e. -x <= -1).
+        result = solve_lp(np.array([1.0]), np.array([[-1.0]]), np.array([-1.0]))
+        assert result.is_optimal
+        assert result.value == pytest.approx(1.0)
+
+    def test_solve_lp_unbounded(self):
+        result = solve_lp(np.array([1.0]), np.array([[1.0]]), np.array([1.0]))
+        assert result.status == "unbounded"
+
+    def test_solve_lp_infeasible(self):
+        a = np.array([[1.0], [-1.0]])
+        b = np.array([0.0, -1.0])  # x <= 0 and x >= 1
+        result = solve_lp(np.array([1.0]), a, b)
+        assert result.status == "infeasible"
+
+    def test_is_feasible(self):
+        a = np.array([[1.0], [-1.0]])
+        assert is_feasible(a, np.array([1.0, 0.0]))
+        assert not is_feasible(a, np.array([0.0, -1.0]))
+        assert is_feasible(np.zeros((0, 1)), np.zeros(0))
+
+    def test_chebyshev_center_of_square(self):
+        square = HPolytope.box([(0, 2), (0, 2)])
+        center, radius = chebyshev_center(square.a, square.b)
+        assert np.allclose(center, [1.0, 1.0], atol=1e-6)
+        assert radius == pytest.approx(1.0, abs=1e-6)
+
+    def test_chebyshev_center_empty(self):
+        a = np.array([[1.0], [-1.0]])
+        b = np.array([0.0, -1.0])
+        assert chebyshev_center(a, b) is None
+
+    def test_support_value(self):
+        square = HPolytope.box([(0, 2), (0, 3)])
+        assert support_value(square.a, square.b, np.array([1.0, 0.0])) == pytest.approx(2.0)
+        assert support_value(square.a, square.b, np.array([0.0, -1.0])) == pytest.approx(0.0)
+
+    def test_support_value_unbounded(self):
+        a = np.array([[-1.0, 0.0]])
+        b = np.array([0.0])
+        assert support_value(a, b, np.array([1.0, 0.0])) is None
+
+    def test_support_value_empty_raises(self):
+        a = np.array([[1.0], [-1.0]])
+        b = np.array([0.0, -1.0])
+        with pytest.raises(LPError):
+            support_value(a, b, np.array([1.0]))
+
+    def test_coordinate_bounds(self):
+        square = HPolytope.box([(0, 2), (-1, 3)])
+        bounds = coordinate_bounds(square.a, square.b, 2)
+        assert bounds[0] == pytest.approx((0.0, 2.0), abs=1e-6)
+        assert bounds[1] == pytest.approx((-1.0, 3.0), abs=1e-6)
+
+
+class TestHPolytope:
+    def test_membership(self):
+        cube = HPolytope.cube(3, side=2.0)
+        assert cube.contains(np.zeros(3))
+        assert not cube.contains(np.array([2.0, 0.0, 0.0]))
+
+    def test_vectorised_membership(self):
+        cube = HPolytope.cube(2, side=2.0)
+        points = np.array([[0.0, 0.0], [3.0, 0.0], [0.5, -0.5]])
+        assert list(cube.contains_points(points)) == [True, False, True]
+
+    def test_no_constraints_contains_everything(self):
+        free = HPolytope(np.zeros((0, 2)), np.zeros(0))
+        assert free.contains(np.array([1e6, -1e6]))
+        assert not free.is_bounded()
+
+    def test_from_generalized_tuple(self):
+        tuple_ = GeneralizedTuple.box({"x": (0, 1), "y": (0, 2)})
+        polytope = HPolytope.from_generalized_tuple(tuple_)
+        assert polytope.names == ("x", "y")
+        assert polytope.contains(np.array([0.5, 1.5]))
+
+    def test_round_trip_to_tuple(self):
+        cube = HPolytope.cube(2, side=2.0)
+        back = cube.to_generalized_tuple(("x", "y"))
+        assert back.contains_point([0.5, 0.5])
+        assert not back.contains_point([1.5, 0.0])
+
+    def test_is_empty(self):
+        empty = HPolytope(np.array([[1.0], [-1.0]]), np.array([0.0, -1.0]))
+        assert empty.is_empty()
+        assert not HPolytope.cube(2).is_empty()
+
+    def test_bounding_box(self):
+        simplex = HPolytope.simplex(2)
+        box = simplex.bounding_box()
+        assert box[0] == pytest.approx((0.0, 1.0), abs=1e-6)
+
+    def test_unbounded_bounding_box(self):
+        half = HPolytope(np.array([[1.0, 0.0]]), np.array([1.0]))
+        assert half.bounding_box() is None
+        assert not half.is_bounded()
+
+    def test_chebyshev_and_enclosing_ball(self):
+        cube = HPolytope.cube(2, side=2.0)
+        inner = cube.chebyshev_ball()
+        outer = cube.enclosing_ball()
+        assert inner.radius == pytest.approx(1.0, abs=1e-6)
+        assert outer.radius >= inner.radius
+
+    def test_well_bounded_radii(self):
+        cube = HPolytope.cube(3)
+        radii = cube.well_bounded_radii()
+        assert radii is not None
+        assert 0 < radii[0] <= radii[1]
+
+    def test_degenerate_not_well_bounded(self):
+        flat = HPolytope(np.array([[1.0, 0.0], [-1.0, 0.0]]), np.array([0.0, 0.0]))
+        assert flat.well_bounded_radii() is None
+
+    def test_intersect(self):
+        a = HPolytope.box([(0, 2), (0, 2)])
+        b = HPolytope.box([(1, 3), (0, 2)])
+        both = a.intersect(b)
+        assert both.contains(np.array([1.5, 1.0]))
+        assert not both.contains(np.array([0.5, 1.0]))
+
+    def test_intersect_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            HPolytope.cube(2).intersect(HPolytope.cube(3))
+
+    def test_with_halfspace(self):
+        cube = HPolytope.cube(2, side=2.0)
+        cut = cube.with_halfspace(Halfspace(np.array([1.0, 1.0]), 0.0))
+        assert cut.contains(np.array([-0.5, -0.5]))
+        assert not cut.contains(np.array([0.5, 0.5]))
+
+    def test_translate(self):
+        cube = HPolytope.cube(2, side=2.0)
+        moved = cube.translate(np.array([5.0, 0.0]))
+        assert moved.contains(np.array([5.0, 0.0]))
+        assert not moved.contains(np.array([0.0, 0.0]))
+
+    def test_affine_transform_image(self):
+        cube = HPolytope.cube(2, side=2.0)
+        scale = AffineTransform.scaling(2.0, dimension=2)
+        image = cube.transform(scale)
+        assert image.contains(np.array([1.5, 1.5]))
+        assert not cube.contains(np.array([1.5, 1.5]))
+
+    def test_cross_polytope(self):
+        cross = HPolytope.cross_polytope(3)
+        assert cross.contains(np.array([0.3, 0.3, 0.3]))
+        assert not cross.contains(np.array([0.6, 0.6, 0.0]))
+
+    def test_box_validation(self):
+        with pytest.raises(ValueError):
+            HPolytope.box([(1, 0)])
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            HPolytope(np.zeros(3), np.zeros(3))
+        with pytest.raises(ValueError):
+            HPolytope(np.zeros((2, 2)), np.zeros(3))
+        with pytest.raises(ValueError):
+            HPolytope(np.zeros((1, 2)), np.zeros(1), names=("x",))
+
+
+class TestHalfspace:
+    def test_membership(self):
+        halfspace = Halfspace(np.array([1.0, 0.0]), 1.0)
+        assert halfspace.contains(np.array([0.5, 10.0]))
+        assert not halfspace.contains(np.array([2.0, 0.0]))
+        assert halfspace.dimension == 2

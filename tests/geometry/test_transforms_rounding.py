@@ -1,0 +1,119 @@
+"""Unit tests for affine transforms and well-rounding."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry.ball import Ball
+from repro.geometry.polytope import HPolytope
+from repro.geometry.rounding import (
+    RoundingError,
+    round_by_chebyshev,
+    round_by_covariance,
+    rounded_ball_sequence,
+)
+from repro.geometry.transforms import AffineTransform
+
+
+class TestAffineTransform:
+    def test_identity(self):
+        identity = AffineTransform.identity(3)
+        point = np.array([1.0, 2.0, 3.0])
+        assert np.allclose(identity.apply(point), point)
+        assert identity.determinant == pytest.approx(1.0)
+
+    def test_translation(self):
+        translation = AffineTransform.translation(np.array([1.0, -1.0]))
+        assert np.allclose(translation.apply(np.zeros(2)), [1.0, -1.0])
+        assert translation.volume_scale() == pytest.approx(1.0)
+
+    def test_scaling(self):
+        scaling = AffineTransform.scaling(np.array([2.0, 3.0]))
+        assert np.allclose(scaling.apply(np.ones(2)), [2.0, 3.0])
+        assert scaling.volume_scale() == pytest.approx(6.0)
+
+    def test_scalar_scaling_requires_dimension(self):
+        with pytest.raises(ValueError):
+            AffineTransform.scaling(2.0)
+
+    def test_inverse_round_trip(self):
+        transform = AffineTransform(np.array([[2.0, 1.0], [0.0, 1.0]]), np.array([1.0, 2.0]))
+        point = np.array([0.3, -0.7])
+        assert np.allclose(transform.apply_inverse(transform.apply(point)), point)
+        assert np.allclose(transform.inverse().apply(transform.apply(point)), point)
+
+    def test_batch_application(self):
+        transform = AffineTransform.scaling(2.0, dimension=2)
+        points = np.array([[1.0, 0.0], [0.0, 1.0]])
+        assert np.allclose(transform.apply(points), 2.0 * points)
+        assert np.allclose(transform.apply_inverse(transform.apply(points)), points)
+
+    def test_compose(self):
+        scale = AffineTransform.scaling(2.0, dimension=2)
+        shift = AffineTransform.translation(np.array([1.0, 0.0]))
+        composed = shift.compose(scale)  # first scale, then shift
+        assert np.allclose(composed.apply(np.ones(2)), [3.0, 2.0])
+
+    def test_singular_rejected(self):
+        with pytest.raises(ValueError):
+            AffineTransform(np.zeros((2, 2)), np.zeros(2))
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            AffineTransform(np.eye(2), np.zeros(3))
+        with pytest.raises(ValueError):
+            AffineTransform(np.zeros((2, 3)), np.zeros(2))
+
+
+class TestRounding:
+    def test_chebyshev_rounding_contains_unit_ball(self):
+        offset_box = HPolytope.box([(10.0, 14.0), (-3.0, -1.0)])
+        rounded = round_by_chebyshev(offset_box)
+        # The rounded body must contain the unit ball at the origin.
+        for direction in np.eye(2):
+            assert rounded.polytope.contains(0.99 * direction)
+            assert rounded.polytope.contains(-0.99 * direction)
+        assert rounded.inner_radius == pytest.approx(1.0)
+        assert rounded.outer_radius >= 1.0
+
+    def test_volume_pull_back(self):
+        box = HPolytope.box([(0.0, 2.0), (0.0, 2.0)])
+        rounded = round_by_chebyshev(box)
+        from repro.geometry.volume import polytope_volume
+
+        rounded_volume = polytope_volume(rounded.polytope)
+        assert rounded.pull_back_volume(rounded_volume) == pytest.approx(4.0, rel=1e-6)
+
+    def test_rounding_empty_raises(self):
+        empty = HPolytope(np.array([[1.0], [-1.0]]), np.array([0.0, -1.0]))
+        with pytest.raises(RoundingError):
+            round_by_chebyshev(empty)
+
+    def test_rounding_unbounded_raises(self):
+        # Contains a ball but unbounded above.
+        half = HPolytope(np.array([[-1.0, 0.0], [0.0, -1.0], [0.0, 1.0]]), np.array([1.0, 1.0, 1.0]))
+        with pytest.raises(RoundingError):
+            round_by_chebyshev(half)
+
+    def test_covariance_rounding_improves_elongated_body(self, rng):
+        elongated = HPolytope.box([(0.0, 100.0), (0.0, 1.0)])
+        cheap = round_by_chebyshev(elongated)
+        better = round_by_covariance(elongated, rng, sample_count=200, walk_steps=50)
+        assert better.sandwich_ratio < cheap.sandwich_ratio
+
+    def test_ball_sequence_covers_body(self):
+        box = HPolytope.box([(0.0, 3.0), (0.0, 3.0)])
+        rounded = round_by_chebyshev(box)
+        balls = rounded_ball_sequence(rounded)
+        assert balls[0].radius == pytest.approx(1.0)
+        assert balls[-1].radius >= rounded.outer_radius
+        # Consecutive volumes differ by at most the requested factor 2.
+        for inner, outer in zip(balls, balls[1:]):
+            assert outer.volume / inner.volume <= 2.0 + 1e-9
+
+    def test_ball_sequence_ratio_validation(self):
+        box = HPolytope.cube(2)
+        rounded = round_by_chebyshev(box)
+        with pytest.raises(ValueError):
+            rounded_ball_sequence(rounded, ratio=1.0)

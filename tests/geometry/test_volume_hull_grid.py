@@ -1,0 +1,271 @@
+"""Unit tests for exact volumes, hulls, vertices, grids, balls and simplices."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.constraints import parse_relation
+from repro.geometry.ball import Ball, ball_volume, unit_ball_volume
+from repro.geometry.grid import Grid, choose_gamma_grid_step, induced_vertex_count
+from repro.geometry.hull import convex_hull, hull_polytope, hull_volume
+from repro.geometry.polytope import HPolytope
+from repro.geometry.simplex import (
+    sample_simplex,
+    sample_standard_simplex,
+    simplex_volume,
+    standard_simplex_volume,
+)
+from repro.geometry.vertices import VertexEnumerationError, enumerate_vertices
+from repro.geometry.volume import (
+    grid_cell_volume,
+    polytope_volume,
+    relation_bounding_box,
+    relation_volume_exact,
+    tuple_volume,
+)
+
+
+class TestBall:
+    def test_unit_ball_volumes(self):
+        assert unit_ball_volume(1) == pytest.approx(2.0)
+        assert unit_ball_volume(2) == pytest.approx(math.pi)
+        assert unit_ball_volume(3) == pytest.approx(4.0 * math.pi / 3.0)
+
+    def test_ball_volume_scaling(self):
+        assert ball_volume(2, 2.0) == pytest.approx(4.0 * math.pi)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            unit_ball_volume(-1)
+        with pytest.raises(ValueError):
+            ball_volume(2, -1.0)
+        with pytest.raises(ValueError):
+            Ball(np.zeros(2), -1.0)
+
+    def test_membership_and_containment(self):
+        ball = Ball(np.zeros(2), 1.0)
+        assert ball.contains(np.array([0.5, 0.5]))
+        assert not ball.contains(np.array([1.0, 1.0]))
+        assert ball.contains_ball(Ball(np.array([0.2, 0.0]), 0.5))
+        assert not ball.contains_ball(Ball(np.array([0.8, 0.0]), 0.5))
+
+    def test_sampling_stays_inside(self, rng):
+        ball = Ball(np.array([1.0, -1.0, 0.0]), 2.0)
+        samples = ball.sample(rng, 200)
+        assert samples.shape == (200, 3)
+        distances = np.linalg.norm(samples - ball.center, axis=1)
+        assert np.all(distances <= ball.radius + 1e-9)
+
+    def test_bounding_box_and_scaling(self):
+        ball = Ball(np.array([1.0, 1.0]), 0.5)
+        assert ball.bounding_box() == [(0.5, 1.5), (0.5, 1.5)]
+        assert ball.scaled(2.0).radius == 1.0
+
+
+class TestVerticesAndVolume:
+    def test_cube_vertices(self):
+        cube = HPolytope.cube(3, side=2.0)
+        vertices = enumerate_vertices(cube)
+        assert vertices.shape == (8, 3)
+
+    def test_simplex_vertices(self):
+        simplex = HPolytope.simplex(3)
+        vertices = enumerate_vertices(simplex)
+        assert vertices.shape == (4, 3)
+
+    def test_unbounded_raises(self):
+        half = HPolytope(np.array([[1.0, 0.0]]), np.array([1.0]))
+        with pytest.raises(VertexEnumerationError):
+            enumerate_vertices(half)
+
+    def test_subset_budget(self):
+        cube = HPolytope.cube(3)
+        with pytest.raises(VertexEnumerationError):
+            enumerate_vertices(cube, max_subsets=1)
+
+    def test_polytope_volume_cube(self):
+        assert polytope_volume(HPolytope.cube(3, side=2.0)) == pytest.approx(8.0)
+
+    def test_polytope_volume_simplex(self):
+        assert polytope_volume(HPolytope.simplex(4)) == pytest.approx(1.0 / 24.0)
+
+    def test_polytope_volume_cross(self):
+        assert polytope_volume(HPolytope.cross_polytope(3)) == pytest.approx(8.0 / 6.0)
+
+    def test_empty_volume(self):
+        empty = HPolytope(np.array([[1.0], [-1.0]]), np.array([0.0, -1.0]))
+        assert polytope_volume(empty) == 0.0
+
+    def test_degenerate_volume(self):
+        flat = HPolytope.box([(0, 1), (0, 0)])
+        assert polytope_volume(flat) == 0.0
+
+    def test_tuple_volume(self):
+        from repro.constraints.tuples import GeneralizedTuple
+
+        square = GeneralizedTuple.box({"x": (0, 2), "y": (0, 3)})
+        assert tuple_volume(square) == pytest.approx(6.0)
+
+
+class TestRelationVolume:
+    def test_disjoint_union(self):
+        relation = parse_relation("0 <= x <= 1 and 0 <= y <= 1 or 2 <= x <= 3 and 0 <= y <= 2")
+        assert relation_volume_exact(relation) == pytest.approx(3.0)
+
+    def test_overlapping_union_uses_inclusion_exclusion(self):
+        relation = parse_relation("0 <= x <= 2 and 0 <= y <= 1 or 1 <= x <= 3 and 0 <= y <= 1")
+        assert relation_volume_exact(relation) == pytest.approx(3.0)
+
+    def test_empty_relation(self):
+        relation = parse_relation("x <= 0 and x >= 1")
+        assert relation_volume_exact(relation) == pytest.approx(0.0)
+
+    def test_disjunct_limit(self):
+        relation = parse_relation("0 <= x <= 1 or 2 <= x <= 3")
+        with pytest.raises(ValueError):
+            relation_volume_exact(relation, max_disjuncts=1)
+
+    def test_relation_bounding_box(self):
+        relation = parse_relation("0 <= x <= 1 and 0 <= y <= 1 or 2 <= x <= 3 and 0 <= y <= 2")
+        box = relation_bounding_box(relation)
+        assert box[0] == pytest.approx((0.0, 3.0), abs=1e-6)
+        assert box[1] == pytest.approx((0.0, 2.0), abs=1e-6)
+
+    def test_grid_cell_volume(self):
+        relation = parse_relation("0 <= x <= 1 and 0 <= y <= 1")
+        volume, cells = grid_cell_volume(relation, 0.1)
+        assert volume == pytest.approx(1.0, rel=0.15)
+        assert cells > 0
+
+    def test_grid_cell_volume_invalid(self):
+        relation = parse_relation("0 <= x <= 1")
+        with pytest.raises(ValueError):
+            grid_cell_volume(relation, 0.0)
+
+
+class TestHull:
+    def test_square_hull(self):
+        points = np.array([[0, 0], [1, 0], [0, 1], [1, 1], [0.5, 0.5]], dtype=float)
+        result = convex_hull(points)
+        assert result.volume == pytest.approx(1.0)
+        assert result.num_vertices == 4
+        assert result.contains(np.array([0.5, 0.5]))
+        assert not result.contains(np.array([1.5, 0.5]))
+
+    def test_one_dimensional_hull(self):
+        points = np.array([[0.2], [0.9], [0.4]])
+        result = convex_hull(points)
+        assert result.volume == pytest.approx(0.7)
+        assert not result.is_degenerate
+
+    def test_degenerate_hull(self):
+        points = np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 2.0]])
+        result = convex_hull(points)
+        assert result.is_degenerate
+        assert result.volume == 0.0
+
+    def test_too_few_points(self):
+        points = np.array([[0.0, 0.0], [1.0, 0.0]])
+        assert convex_hull(points).is_degenerate
+
+    def test_empty_points(self):
+        assert convex_hull(np.zeros((0, 2))).is_degenerate
+
+    def test_hull_volume_and_polytope_helpers(self):
+        points = np.array([[0, 0], [2, 0], [0, 2], [2, 2]], dtype=float)
+        assert hull_volume(points) == pytest.approx(4.0)
+        polytope = hull_polytope(points)
+        assert polytope.contains(np.array([1.0, 1.0]))
+
+    def test_hull_polytope_degenerate_raises(self):
+        with pytest.raises(ValueError):
+            hull_polytope(np.array([[0.0, 0.0], [1.0, 1.0]]))
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            convex_hull(np.zeros(3))
+
+
+class TestGrid:
+    def test_snap_and_indices(self):
+        grid = Grid(0.5, 2)
+        snapped = grid.snap(np.array([0.6, 1.3]))
+        assert np.allclose(snapped, [0.5, 1.5])
+        index = grid.index_of(snapped)
+        assert np.allclose(grid.point_of(index), snapped)
+
+    def test_neighbours(self):
+        grid = Grid(1.0, 2)
+        neighbours = grid.neighbours(np.zeros(2))
+        assert len(neighbours) == 4
+
+    def test_cell_volume(self):
+        assert Grid(0.5, 3).cell_volume() == pytest.approx(0.125)
+
+    def test_points_in_box(self):
+        grid = Grid(0.5, 1)
+        points = list(grid.points_in_box([(0.0, 1.0)]))
+        assert len(points) == 3  # 0, 0.5, 1.0
+
+    def test_points_in_box_budget(self):
+        grid = Grid(0.001, 2)
+        with pytest.raises(ValueError):
+            list(grid.points_in_box([(0.0, 10.0), (0.0, 10.0)], max_points=100))
+
+    def test_count_in_set(self):
+        grid = Grid(0.25, 2)
+        count = grid.count_in_set(
+            [(0.0, 1.0), (0.0, 1.0)], lambda p: p[0] + p[1] <= 1.0 + 1e-9
+        )
+        assert count == 15
+
+    def test_gamma_grid_property(self):
+        # |V| * p^d must approximate the volume of the unit square.
+        step = choose_gamma_grid_step(0.2, 2)
+        count = induced_vertex_count(
+            lambda p: 0 <= p[0] <= 1 and 0 <= p[1] <= 1, [(0.0, 1.0), (0.0, 1.0)], step
+        )
+        assert count * step**2 == pytest.approx(1.0, rel=0.2)
+
+    def test_invalid_grid(self):
+        with pytest.raises(ValueError):
+            Grid(0.0, 2)
+        with pytest.raises(ValueError):
+            Grid(0.5, 0)
+        with pytest.raises(ValueError):
+            choose_gamma_grid_step(0.0, 2)
+        with pytest.raises(ValueError):
+            choose_gamma_grid_step(0.2, 0)
+
+
+class TestSimplex:
+    def test_standard_simplex_volume(self):
+        assert standard_simplex_volume(3) == pytest.approx(1.0 / 6.0)
+        assert standard_simplex_volume(2, scale=2.0) == pytest.approx(2.0)
+
+    def test_simplex_volume_from_vertices(self):
+        vertices = np.array([[0, 0], [1, 0], [0, 1]], dtype=float)
+        assert simplex_volume(vertices) == pytest.approx(0.5)
+
+    def test_simplex_volume_validation(self):
+        with pytest.raises(ValueError):
+            simplex_volume(np.zeros((2, 2)))
+
+    def test_sample_standard_simplex(self, rng):
+        samples = sample_standard_simplex(rng, 3, count=200)
+        assert samples.shape == (200, 3)
+        assert np.all(samples >= -1e-12)
+        assert np.all(samples.sum(axis=1) <= 1.0 + 1e-9)
+
+    def test_sample_arbitrary_simplex(self, rng):
+        vertices = np.array([[0, 0], [2, 0], [0, 2]], dtype=float)
+        samples = sample_simplex(rng, vertices, count=100)
+        assert samples.shape == (100, 2)
+        assert np.all(samples.sum(axis=1) <= 2.0 + 1e-9)
+
+    def test_sample_simplex_validation(self, rng):
+        with pytest.raises(ValueError):
+            sample_simplex(rng, np.zeros((2, 2)), count=1)

@@ -1,0 +1,63 @@
+"""Unit tests for the experiment harness (tables, registry, result containers)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import (
+    EXPERIMENT_REGISTRY,
+    ExperimentResult,
+    format_markdown_table,
+    format_table,
+    register_experiment,
+    run_registered,
+)
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [["cube", 8.0], ["simplex", 0.1666]], title="demo")
+        assert "demo" in text
+        assert "cube" in text
+        lines = text.splitlines()
+        assert len(lines) >= 5
+
+    def test_format_markdown(self):
+        text = format_markdown_table(["a", "b"], [[1, 2.5]])
+        assert text.splitlines()[0] == "| a | b |"
+        assert "| 1 | 2.5 |" in text
+
+    def test_float_formatting(self):
+        text = format_markdown_table(["v"], [[0.000001234], [12345.678], [0.0]])
+        assert "e-06" in text
+        assert "e+04" in text or "1.235e" in text
+        assert "| 0 |" in text
+
+
+class TestExperimentResult:
+    def test_add_rows_and_render(self):
+        result = ExperimentResult("E99", "demo experiment", ["x", "y"], claim="y grows with x")
+        result.add_row(1, 2.0)
+        result.add_row(2, 4.0)
+        result.observe("shape holds")
+        text = result.to_text()
+        markdown = result.to_markdown()
+        assert "E99" in text and "Paper claim" in text
+        assert "shape holds" in markdown
+        assert "| 2 | 4 |" in markdown
+
+    def test_registry(self):
+        @register_experiment("E99-test")
+        def runner() -> ExperimentResult:
+            result = ExperimentResult("E99-test", "registered", ["k"])
+            result.add_row(1)
+            return result
+
+        assert "E99-test" in EXPERIMENT_REGISTRY
+        produced = run_registered("E99-test")
+        assert produced.rows == [(1,)]
+        EXPERIMENT_REGISTRY.pop("E99-test")
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_registered("does-not-exist")

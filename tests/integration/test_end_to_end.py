@@ -1,0 +1,134 @@
+"""Integration tests: whole-pipeline checks across the layers.
+
+These tests tie the symbolic layer, the geometric layer, the samplers, the
+composition operators and the query engine together on small but complete
+scenarios, mirroring how the examples and the benchmarks drive the library.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.constraints import ConstraintDatabase, parse_relation
+from repro.core import (
+    ConvexObservable,
+    FixedDimensionObservable,
+    GeneratorParams,
+    UnionObservable,
+)
+from repro.geometry.volume import relation_volume_exact
+from repro.queries import QAnd, QExists, QNot, QRelation, QueryEngine
+from repro.sampling.diagnostics import cell_histogram, total_variation_to_uniform
+from repro.volume import TelescopingConfig
+from repro.workloads import dumbbell, random_dnf, dnf_geometric_volume, dnf_to_relation, synthetic_map
+from repro.queries.compiler import observable_from_relation
+
+
+class TestSamplingVersusExactVolumes:
+    def test_union_estimate_matches_inclusion_exclusion(self, fast_params, rng):
+        relation = parse_relation(
+            "0 <= x <= 2 and 0 <= y <= 1 or 1 <= x <= 3 and 0 <= y <= 1 or 0 <= x <= 1 and 0.5 <= y <= 2"
+        )
+        exact = relation_volume_exact(relation)
+        plan = observable_from_relation(relation, params=fast_params)
+        estimate = plan.estimate_volume(rng=rng)
+        assert estimate.approximates(exact, ratio=1.35)
+
+    def test_fixed_dimension_agrees_with_randomized(self, fast_params, rng):
+        relation = parse_relation("0 <= x <= 1 and 0 <= y <= 1 or 2 <= x <= 4 and 0 <= y <= 0.5")
+        fixed = FixedDimensionObservable(relation, cell_size=0.05).estimate_volume().value
+        randomized = observable_from_relation(relation, params=fast_params).estimate_volume(rng=rng).value
+        assert fixed == pytest.approx(randomized, rel=0.35)
+
+    def test_dnf_geometric_model_count(self, fast_params, rng):
+        formula = random_dnf(4, 6, rng=rng)
+        relation = dnf_to_relation(formula)
+        exact = dnf_geometric_volume(formula)
+        plan = observable_from_relation(relation, params=fast_params)
+        estimate = plan.estimate_volume(epsilon=0.3, delta=0.2, rng=rng)
+        assert estimate.approximates(exact, ratio=1.5)
+
+
+class TestDumbbellUniformity:
+    def test_union_generator_covers_both_lobes(self, fast_params, rng):
+        workload = dumbbell(2, tube_width=0.05)
+        members = [
+            ConvexObservable(disjunct, params=fast_params, sampler="hit_and_run",
+                             telescoping=TelescopingConfig(samples_per_phase=400))
+            for disjunct in workload.relation.disjuncts
+        ]
+        union = UnionObservable(members, params=fast_params)
+        points = union.generate_many(200, rng)
+        left = np.sum(points[:, 0] < 1.0)
+        right = np.sum(points[:, 0] > 2.0)
+        # Both lobes have the same volume: the generator must not get stuck in one.
+        assert left > 40 and right > 40
+
+    def test_distribution_roughly_uniform_on_union(self, fast_params, rng):
+        workload = dumbbell(2, tube_width=0.4)
+        members = [
+            ConvexObservable(d, params=fast_params, sampler="hit_and_run")
+            for d in workload.relation.disjuncts
+        ]
+        union = UnionObservable(members, params=fast_params)
+        points = union.generate_many(600, rng)
+        counts = cell_histogram(points, [(0.0, 3.0), (0.0, 1.0)], 6)
+        support = np.zeros((6, 6), dtype=bool)
+        # Mark cells whose centre lies in the dumbbell.
+        xs = np.linspace(0.25, 2.75, 6)
+        ys = np.linspace(1.0 / 12.0, 1.0 - 1.0 / 12.0, 6)
+        for i, x in enumerate(xs):
+            for j, y in enumerate(ys):
+                support[i, j] = workload.relation.contains_point([float(x), float(y)])
+        tv = total_variation_to_uniform(counts, support.ravel())
+        assert tv < 0.35
+
+
+class TestQueryEngineEndToEnd:
+    @pytest.fixture
+    def engine(self, fast_params):
+        db = ConstraintDatabase()
+        db.set_relation("parcels", parse_relation("0 <= a <= 4 and 0 <= b <= 4", ["a", "b"]))
+        db.set_relation("flood", parse_relation("0 <= a <= 4 and 0 <= b <= 1", ["a", "b"]))
+        db.set_relation("reserve", parse_relation("3 <= a <= 4 and 0 <= b <= 4", ["a", "b"]))
+        return QueryEngine(db, params=fast_params)
+
+    def test_approximate_tracks_exact_for_conjunction(self, engine, rng):
+        query = QAnd((QRelation("parcels", ("x", "y")), QRelation("flood", ("x", "y"))))
+        exact = engine.volume(query, mode="exact").value
+        approx = engine.volume(query, mode="approximate", rng=rng).value
+        assert approx == pytest.approx(exact, rel=0.35)
+
+    def test_difference_query(self, engine, rng):
+        query = QAnd((QRelation("parcels", ("x", "y")), QNot(QRelation("flood", ("x", "y")))))
+        exact = engine.volume(query, mode="exact").value
+        approx = engine.volume(query, mode="approximate", rng=rng).value
+        assert exact == pytest.approx(12.0)
+        assert approx == pytest.approx(exact, rel=0.35)
+
+    def test_projection_query_samples_and_reconstruction(self, engine, rng):
+        query = QExists(("y",), QAnd((QRelation("parcels", ("x", "y")), QRelation("flood", ("x", "y")))))
+        samples = engine.sample_result(query, 40, rng=rng)
+        assert samples.shape == (40, 1)
+        assert np.all((samples >= -1e-6) & (samples <= 4.0 + 1e-6))
+        estimate = engine.reconstruct(query, samples_per_component=80, rng=rng)
+        assert estimate.relation.contains_point([2.0])
+
+    def test_exact_symbolic_result_membership(self, engine):
+        query = QAnd((QRelation("parcels", ("x", "y")), QRelation("reserve", ("x", "y"))))
+        relation = engine.evaluate_exact(query)
+        assert relation.contains_point([3.5, 2.0])
+        assert not relation.contains_point([1.0, 1.0])
+
+
+class TestGisScenario:
+    def test_overlap_aggregates_on_synthetic_map(self, fast_params, rng):
+        world = synthetic_map(district_count=2, zone_count=1, corridor_count=0, rng=rng)
+        engine = QueryEngine(world.database, params=fast_params)
+        district = world.districts[0]
+        query = QRelation(district, ("x", "y"))
+        exact = engine.volume(query, mode="exact").value
+        approx = engine.volume(query, mode="approximate", rng=rng).value
+        assert exact > 0
+        assert approx == pytest.approx(exact, rel=0.4)

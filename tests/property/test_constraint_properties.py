@@ -1,0 +1,155 @@
+"""Property-based tests (hypothesis) for the constraint substrate.
+
+These tests check algebraic invariants of terms, constraints, tuples and
+relations on randomly generated inputs: semantics of boolean operations,
+correctness of negation and Fourier--Motzkin projection, and the consistency
+of the symbolic and numeric representations.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints.atoms import AtomicConstraint, Relation
+from repro.constraints.fourier_motzkin import eliminate_variable
+from repro.constraints.relations import GeneralizedRelation
+from repro.constraints.terms import LinearTerm
+from repro.constraints.tuples import GeneralizedTuple
+
+VARIABLES = ("x", "y", "z")
+
+coefficients = st.integers(min_value=-5, max_value=5)
+constants = st.integers(min_value=-10, max_value=10)
+rationals = st.fractions(min_value=-4, max_value=4, max_denominator=8)
+
+
+@st.composite
+def linear_terms(draw):
+    mapping = {name: draw(coefficients) for name in VARIABLES}
+    return LinearTerm(mapping, draw(constants))
+
+
+@st.composite
+def assignments(draw):
+    return {name: draw(rationals) for name in VARIABLES}
+
+
+@st.composite
+def atomic_constraints(draw):
+    relation = draw(st.sampled_from([Relation.LE, Relation.LT, Relation.GE, Relation.GT, Relation.EQ]))
+    return AtomicConstraint(draw(linear_terms()), relation)
+
+
+@st.composite
+def conjunctions(draw):
+    atoms = draw(st.lists(atomic_constraints(), min_size=1, max_size=4))
+    return GeneralizedTuple(atoms, VARIABLES)
+
+
+@st.composite
+def relations(draw):
+    disjuncts = draw(st.lists(conjunctions(), min_size=1, max_size=3))
+    return GeneralizedRelation(disjuncts, VARIABLES)
+
+
+class TestTermProperties:
+    @given(linear_terms(), linear_terms(), assignments())
+    @settings(max_examples=60, deadline=None)
+    def test_addition_is_pointwise(self, left, right, assignment):
+        assert (left + right).evaluate(assignment) == left.evaluate(assignment) + right.evaluate(assignment)
+
+    @given(linear_terms(), rationals, assignments())
+    @settings(max_examples=60, deadline=None)
+    def test_scaling_is_pointwise(self, term, factor, assignment):
+        assert (term * factor).evaluate(assignment) == factor * term.evaluate(assignment)
+
+    @given(linear_terms(), linear_terms())
+    @settings(max_examples=60, deadline=None)
+    def test_addition_commutes(self, left, right):
+        assert left + right == right + left
+
+    @given(linear_terms())
+    @settings(max_examples=60, deadline=None)
+    def test_negation_is_involution(self, term):
+        assert -(-term) == term
+
+
+class TestConstraintProperties:
+    @given(atomic_constraints(), assignments())
+    @settings(max_examples=80, deadline=None)
+    def test_negation_flips_satisfaction(self, constraint, assignment):
+        assert constraint.satisfied_by(assignment) != constraint.negate().satisfied_by(assignment)
+
+    @given(atomic_constraints(), assignments())
+    @settings(max_examples=80, deadline=None)
+    def test_relaxation_is_weaker(self, constraint, assignment):
+        if constraint.satisfied_by(assignment):
+            assert constraint.relax().satisfied_by(assignment)
+
+
+class TestRelationProperties:
+    @given(relations(), relations(), assignments())
+    @settings(max_examples=40, deadline=None)
+    def test_union_semantics(self, left, right, assignment):
+        union = left.union(right)
+        assert union.satisfied_by(assignment) == (
+            left.satisfied_by(assignment) or right.satisfied_by(assignment)
+        )
+
+    @given(relations(), relations(), assignments())
+    @settings(max_examples=40, deadline=None)
+    def test_intersection_semantics(self, left, right, assignment):
+        intersection = left.intersection(right)
+        assert intersection.satisfied_by(assignment) == (
+            left.satisfied_by(assignment) and right.satisfied_by(assignment)
+        )
+
+    @given(relations(), assignments())
+    @settings(max_examples=30, deadline=None)
+    def test_complement_semantics(self, relation, assignment):
+        complement = relation.complement()
+        assert complement.satisfied_by(assignment) != relation.satisfied_by(assignment)
+
+    @given(relations(), assignments())
+    @settings(max_examples=40, deadline=None)
+    def test_simplify_preserves_semantics(self, relation, assignment):
+        assert relation.simplify().satisfied_by(assignment) == relation.satisfied_by(assignment)
+
+    @given(relations(), assignments())
+    @settings(max_examples=40, deadline=None)
+    def test_rename_round_trip(self, relation, assignment):
+        renamed = relation.rename({"x": "u", "y": "v", "z": "w"})
+        back = renamed.rename({"u": "x", "v": "y", "w": "z"})
+        assert back.satisfied_by(assignment) == relation.satisfied_by(assignment)
+
+
+class TestFourierMotzkinProperties:
+    @given(conjunctions(), assignments())
+    @settings(max_examples=60, deadline=None)
+    def test_projection_is_sound(self, conjunction, assignment):
+        """Any satisfying point projects to a point satisfying the projection."""
+        projected = eliminate_variable(conjunction, "z")
+        if conjunction.satisfied_by(assignment):
+            assert projected is not None
+            reduced = {name: value for name, value in assignment.items() if name != "z"}
+            assert projected.satisfied_by(reduced)
+
+    @given(conjunctions(), assignments())
+    @settings(max_examples=60, deadline=None)
+    def test_projection_is_complete_over_witnesses(self, conjunction, assignment):
+        """A point satisfying the projection extends to a witness (checked by re-elimination).
+
+        Completeness is checked indirectly: eliminating the variable twice in
+        different orders must agree on satisfaction of the projected point.
+        """
+        first = eliminate_variable(conjunction, "z")
+        if first is None:
+            return
+        reduced = {name: value for name, value in assignment.items() if name != "z"}
+        second = eliminate_variable(conjunction.relax(), "z")
+        if first.satisfied_by(reduced):
+            # The relaxed (closed) projection must also accept the point.
+            assert second is not None and second.satisfied_by(reduced)

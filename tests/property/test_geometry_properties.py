@@ -1,0 +1,154 @@
+"""Property-based tests (hypothesis) for the geometric substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.ball import Ball, ball_volume
+from repro.geometry.hull import convex_hull
+from repro.geometry.polytope import HPolytope
+from repro.geometry.transforms import AffineTransform
+from repro.geometry.volume import polytope_volume
+
+dimensions = st.integers(min_value=1, max_value=4)
+sides = st.floats(min_value=0.1, max_value=5.0, allow_nan=False)
+
+
+@st.composite
+def boxes(draw):
+    dimension = draw(dimensions)
+    bounds = []
+    for _ in range(dimension):
+        lower = draw(st.floats(min_value=-5.0, max_value=5.0, allow_nan=False))
+        width = draw(st.floats(min_value=0.1, max_value=4.0, allow_nan=False))
+        bounds.append((lower, lower + width))
+    return HPolytope.box(bounds), bounds
+
+
+@st.composite
+def invertible_transforms(draw):
+    """Diagonally dominant matrices: invertible by construction (no rejection loop)."""
+    dimension = draw(st.integers(min_value=1, max_value=3))
+    signs = [draw(st.sampled_from([-1.0, 1.0])) for _ in range(dimension)]
+    diagonal = [draw(st.floats(min_value=1.0, max_value=2.0, allow_nan=False)) for _ in range(dimension)]
+    matrix = np.zeros((dimension, dimension))
+    for i in range(dimension):
+        for j in range(dimension):
+            if i == j:
+                matrix[i, j] = signs[i] * diagonal[i]
+            else:
+                matrix[i, j] = draw(
+                    st.floats(min_value=-0.3, max_value=0.3, allow_nan=False)
+                )
+    offset = np.array(
+        [draw(st.floats(min_value=-3.0, max_value=3.0, allow_nan=False)) for _ in range(dimension)]
+    )
+    return AffineTransform(matrix, offset)
+
+
+class TestBoxProperties:
+    @given(boxes())
+    @settings(max_examples=40, deadline=None)
+    def test_box_volume_is_product_of_sides(self, data):
+        polytope, bounds = data
+        expected = float(np.prod([upper - lower for lower, upper in bounds]))
+        assert abs(polytope_volume(polytope) - expected) <= 1e-6 * max(expected, 1.0)
+
+    @given(boxes())
+    @settings(max_examples=40, deadline=None)
+    def test_chebyshev_ball_inside_box(self, data):
+        polytope, _bounds = data
+        ball = polytope.chebyshev_ball()
+        assert ball is not None
+        for axis in range(polytope.dimension):
+            direction = np.zeros(polytope.dimension)
+            direction[axis] = ball.radius
+            assert polytope.contains(ball.center + direction, tolerance=1e-6)
+            assert polytope.contains(ball.center - direction, tolerance=1e-6)
+
+    @given(boxes())
+    @settings(max_examples=40, deadline=None)
+    def test_bounding_box_is_tight(self, data):
+        polytope, bounds = data
+        computed = polytope.bounding_box()
+        assert computed is not None
+        for (expected_low, expected_high), (low, high) in zip(bounds, computed):
+            assert abs(low - expected_low) < 1e-6
+            assert abs(high - expected_high) < 1e-6
+
+
+class TestTransformProperties:
+    @given(invertible_transforms(), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_inverse_round_trip(self, transform, data):
+        point = np.array(
+            [
+                data.draw(st.floats(min_value=-5.0, max_value=5.0, allow_nan=False))
+                for _ in range(transform.dimension)
+            ]
+        )
+        recovered = transform.apply_inverse(transform.apply(point))
+        assert np.allclose(recovered, point, atol=1e-6)
+
+    @given(invertible_transforms())
+    @settings(max_examples=40, deadline=None)
+    def test_volume_scale_is_abs_determinant(self, transform):
+        assert transform.volume_scale() == abs(transform.determinant)
+
+    @given(invertible_transforms())
+    @settings(max_examples=30, deadline=None)
+    def test_cube_image_volume_scales_by_determinant(self, transform):
+        cube = HPolytope.cube(transform.dimension, side=1.0)
+        image = cube.transform(transform)
+        expected = transform.volume_scale()
+        measured = polytope_volume(image)
+        assert abs(measured - expected) <= 1e-5 * max(expected, 1.0)
+
+
+class TestBallAndHullProperties:
+    @given(st.integers(min_value=1, max_value=6), st.floats(min_value=0.1, max_value=3.0, allow_nan=False))
+    @settings(max_examples=40, deadline=None)
+    def test_ball_volume_monotone_in_radius(self, dimension, radius):
+        assert ball_volume(dimension, radius) <= ball_volume(dimension, radius * 1.5)
+
+    @given(st.integers(min_value=2, max_value=10))
+    @settings(max_examples=20, deadline=None)
+    def test_ball_cube_ratio_decreases_with_dimension(self, dimension):
+        ratio_d = ball_volume(dimension, 1.0) / 2.0**dimension
+        ratio_next = ball_volume(dimension + 1, 1.0) / 2.0 ** (dimension + 1)
+        assert ratio_next < ratio_d
+
+    @given(st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_hull_volume_monotone_under_point_addition(self, data):
+        count = data.draw(st.integers(min_value=4, max_value=12))
+        points = np.array(
+            [
+                [
+                    data.draw(st.floats(min_value=-2.0, max_value=2.0, allow_nan=False)),
+                    data.draw(st.floats(min_value=-2.0, max_value=2.0, allow_nan=False)),
+                ]
+                for _ in range(count)
+            ]
+        )
+        extra = np.array(
+            [[
+                data.draw(st.floats(min_value=-2.0, max_value=2.0, allow_nan=False)),
+                data.draw(st.floats(min_value=-2.0, max_value=2.0, allow_nan=False)),
+            ]]
+        )
+        base = convex_hull(points).volume
+        extended = convex_hull(np.vstack([points, extra])).volume
+        assert extended >= base - 1e-9
+
+    @given(st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_ball_samples_inside(self, data):
+        dimension = data.draw(st.integers(min_value=1, max_value=5))
+        radius = data.draw(st.floats(min_value=0.1, max_value=3.0, allow_nan=False))
+        ball = Ball(np.zeros(dimension), radius)
+        rng = np.random.default_rng(data.draw(st.integers(min_value=0, max_value=2**16)))
+        samples = ball.sample(rng, 20)
+        assert np.all(np.linalg.norm(samples, axis=1) <= radius + 1e-9)

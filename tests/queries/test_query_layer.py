@@ -1,0 +1,218 @@
+"""Unit tests for the query layer: AST, symbolic evaluation, compilation, aggregates, engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.constraints import ConstraintDatabase, parse_relation
+from repro.constraints.terms import variables
+from repro.core import GeneratorParams, UnionObservable
+from repro.queries import (
+    CompilationError,
+    QAnd,
+    QConstraint,
+    QExists,
+    QNot,
+    QOr,
+    QRelation,
+    QueryEngine,
+    approximate_volume,
+    compile_query,
+    evaluate_symbolic,
+    exact_volume,
+    observable_from_relation,
+    overlap_fraction,
+    to_positive_existential,
+)
+from repro.queries.symbolic import SymbolicEvaluationError
+
+
+@pytest.fixture
+def database() -> ConstraintDatabase:
+    db = ConstraintDatabase()
+    db.set_relation("R", parse_relation("0 <= a <= 1 and 0 <= b <= 1", ["a", "b"]))
+    db.set_relation("S", parse_relation("0.5 <= a <= 2 and 0 <= b <= 1", ["a", "b"]))
+    db.set_relation("T", parse_relation("0 <= a <= 1 and 0 <= b <= 1 or 2 <= a <= 3 and 0 <= b <= 1", ["a", "b"]))
+    return db
+
+
+@pytest.fixture
+def engine(database, fast_params) -> QueryEngine:
+    return QueryEngine(database, params=fast_params)
+
+
+class TestAst:
+    def test_free_variables_and_positivity(self):
+        x = variables("x")[0]
+        query = QAnd((QRelation("R", ("x", "y")), QConstraint(x <= 1)))
+        assert query.free_variables() == ("x", "y")
+        assert query.is_positive_existential()
+        assert not QNot(query).is_positive_existential()
+        assert QExists(("y",), query).free_variables() == ("x",)
+
+    def test_builders(self):
+        query = QRelation("R", ("x", "y")).and_(QRelation("S", ("x", "y"))).or_(
+            QRelation("T", ("x", "y"))
+        )
+        assert isinstance(query, QOr)
+        assert isinstance(QRelation("R", ("x", "y")).not_(), QNot)
+        assert isinstance(QRelation("R", ("x", "y")).exists("y"), QExists)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QRelation("R", ())
+        with pytest.raises(ValueError):
+            QRelation("R", ("x", "x"))
+        with pytest.raises(ValueError):
+            QAnd(())
+        with pytest.raises(ValueError):
+            QOr(())
+        with pytest.raises(ValueError):
+            QExists((), QRelation("R", ("x",)))
+
+
+class TestSymbolicEvaluation:
+    def test_relation_atom(self, database):
+        result = evaluate_symbolic(QRelation("R", ("x", "y")), database)
+        assert result.contains_point([0.5, 0.5])
+        assert result.variables == ("x", "y")
+
+    def test_conjunction(self, database):
+        query = QAnd((QRelation("R", ("x", "y")), QRelation("S", ("x", "y"))))
+        result = evaluate_symbolic(query, database)
+        assert result.contains_point([0.7, 0.5])
+        assert not result.contains_point([0.2, 0.5])
+
+    def test_disjunction_and_constraint(self, database):
+        x = variables("x")[0]
+        query = QOr((QRelation("R", ("x", "y")), QAnd((QRelation("S", ("x", "y")), QConstraint(x >= 1.5)))))
+        result = evaluate_symbolic(query, database)
+        assert result.contains_point([0.2, 0.5])
+        assert result.contains_point([1.7, 0.5])
+        assert not result.contains_point([1.2, 0.5])
+
+    def test_negation(self, database):
+        query = QAnd((QRelation("R", ("x", "y")), QNot(QRelation("S", ("x", "y")))))
+        result = evaluate_symbolic(query, database)
+        assert result.contains_point([0.2, 0.5])
+        assert not result.contains_point([0.7, 0.5])
+
+    def test_projection(self, database):
+        query = QExists(("y",), QAnd((QRelation("R", ("x", "y")), QRelation("S", ("x", "y")))))
+        result = evaluate_symbolic(query, database)
+        assert result.variables == ("x",)
+        assert result.contains_point([0.7])
+        assert not result.contains_point([1.5])
+
+    def test_arity_mismatch(self, database):
+        with pytest.raises(SymbolicEvaluationError):
+            evaluate_symbolic(QRelation("R", ("x", "y", "z")), database)
+
+
+class TestCompilation:
+    def test_compile_single_relation(self, database, fast_params, rng):
+        plan = compile_query(QRelation("R", ("x", "y")), database, params=fast_params)
+        point = plan.generate(rng)
+        assert plan.contains(point)
+
+    def test_compile_conjunction_stays_symbolic(self, database, fast_params, rng):
+        query = QAnd((QRelation("R", ("x", "y")), QRelation("S", ("x", "y"))))
+        plan = compile_query(query, database, params=fast_params)
+        estimate = plan.estimate_volume(rng=rng)
+        assert estimate.approximates(0.5, ratio=1.35)
+
+    def test_compile_disjunction_returns_union(self, database, fast_params):
+        query = QOr((QRelation("R", ("x", "y")), QRelation("S", ("x", "y"))))
+        plan = compile_query(query, database, params=fast_params)
+        # Symbolic union of two convex relations compiles to a union observable.
+        assert isinstance(plan, UnionObservable)
+
+    def test_compile_difference(self, database, fast_params, rng):
+        query = QAnd((QRelation("T", ("x", "y")), QNot(QRelation("S", ("x", "y")))))
+        plan = compile_query(query, database, params=fast_params)
+        point = plan.generate(rng)
+        assert plan.contains(point)
+
+    def test_compile_projection(self, database, fast_params, rng):
+        query = QExists(("y",), QAnd((QRelation("R", ("x", "y")), QRelation("S", ("x", "y")))))
+        plan = compile_query(query, database, params=fast_params)
+        assert plan.dimension == 1
+        samples = plan.generate_many(20, rng)
+        assert np.all(samples >= 0.5 - 1e-6)
+        assert np.all(samples <= 1.0 + 1e-6)
+
+    def test_top_level_negation_rejected(self, database, fast_params):
+        with pytest.raises(CompilationError):
+            compile_query(QNot(QRelation("R", ("x", "y"))), database, params=fast_params)
+
+    def test_empty_relation_rejected(self, database, fast_params):
+        database.set_relation("EMPTY", parse_relation("0 <= a <= 1 and a >= 2", ["a", "b"]))
+        with pytest.raises(CompilationError):
+            compile_query(QRelation("EMPTY", ("x", "y")), database, params=fast_params)
+
+    def test_observable_from_relation_multidisjunct(self, database, fast_params, rng):
+        plan = observable_from_relation(database.relation("T"), params=fast_params)
+        estimate = plan.estimate_volume(rng=rng)
+        assert estimate.approximates(2.0, ratio=1.35)
+
+    def test_to_positive_existential(self):
+        query = QExists(("z",), QOr((
+            QAnd((QRelation("R1", ("x", "z")), QRelation("R2", ("z", "y")))),
+            QRelation("R4", ("x", "z")),
+        )))
+        normal_form = to_positive_existential(query, output_variables=("x", "y"))
+        assert len(normal_form.components) == 2
+        assert normal_form.components[0].atoms[0].name == "R1"
+
+    def test_to_positive_existential_rejects_negation(self):
+        with pytest.raises(CompilationError):
+            to_positive_existential(QNot(QRelation("R", ("x",))))
+
+    def test_to_positive_existential_rejects_constraints(self):
+        x = variables("x")[0]
+        with pytest.raises(CompilationError):
+            to_positive_existential(QConstraint(x <= 1))
+
+
+class TestAggregatesAndEngine:
+    def test_exact_volume(self, database):
+        query = QAnd((QRelation("R", ("x", "y")), QRelation("S", ("x", "y"))))
+        assert exact_volume(query, database).value == pytest.approx(0.5)
+
+    def test_approximate_volume(self, database, rng):
+        query = QRelation("T", ("x", "y"))
+        result = approximate_volume(query, database, epsilon=0.3, delta=0.2, rng=rng)
+        assert result.value == pytest.approx(2.0, rel=0.35)
+        assert not result.exact
+
+    def test_overlap_fraction(self, database, rng):
+        result = overlap_fraction("R", "S", database, epsilon=0.3, delta=0.2, rng=rng)
+        assert result.value == pytest.approx(0.5, abs=0.2)
+
+    def test_overlap_fraction_arity_check(self, database):
+        database.set_relation("ONE", parse_relation("0 <= a <= 1", ["a"]))
+        with pytest.raises(ValueError):
+            overlap_fraction("R", "ONE", database)
+
+    def test_engine_exact_and_approximate(self, engine, rng):
+        query = QAnd((QRelation("R", ("x", "y")), QRelation("S", ("x", "y"))))
+        exact = engine.volume(query, mode="exact")
+        approx = engine.volume(query, mode="approximate", rng=rng)
+        assert exact.exact and not approx.exact
+        assert approx.value == pytest.approx(exact.value, rel=0.4)
+
+    def test_engine_sampling(self, engine, rng):
+        query = QRelation("R", ("x", "y"))
+        samples = engine.sample_result(query, 25, rng=rng)
+        assert samples.shape == (25, 2)
+
+    def test_engine_evaluate_exact(self, engine):
+        result = engine.evaluate_exact(QRelation("R", ("x", "y")))
+        assert result.contains_point([0.5, 0.5])
+
+    def test_engine_reconstruct(self, engine, rng):
+        query = QExists(("z",), QAnd((QRelation("R", ("x", "z")), QRelation("S", ("z", "y")))))
+        estimate = engine.reconstruct(query, samples_per_component=120, rng=rng)
+        assert estimate.samples_used > 0
+        assert len(estimate.hulls) == 1

@@ -1,0 +1,105 @@
+"""Unit tests for the uniformity diagnostics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sampling.diagnostics import (
+    cell_histogram,
+    chi_square_uniform,
+    empirical_moments,
+    ks_statistic_uniform,
+    max_ratio_to_uniform,
+    total_variation_to_uniform,
+)
+
+
+class TestCellHistogram:
+    def test_counts_sum_to_samples(self, rng):
+        samples = rng.random((500, 2))
+        counts = cell_histogram(samples, [(0.0, 1.0), (0.0, 1.0)], 5)
+        assert counts.sum() == 500
+        assert counts.shape == (25,)
+
+    def test_dimension_validation(self, rng):
+        samples = rng.random((10, 2))
+        with pytest.raises(ValueError):
+            cell_histogram(samples, [(0.0, 1.0)], 5)
+        with pytest.raises(ValueError):
+            cell_histogram(samples.ravel(), [(0.0, 1.0)], 5)
+
+
+class TestTotalVariation:
+    def test_uniform_samples_have_small_tv(self, rng):
+        samples = rng.random((5000, 2))
+        counts = cell_histogram(samples, [(0.0, 1.0), (0.0, 1.0)], 4)
+        assert total_variation_to_uniform(counts) < 0.05
+
+    def test_concentrated_samples_have_large_tv(self):
+        counts = np.zeros(16)
+        counts[0] = 1000
+        assert total_variation_to_uniform(counts) > 0.9
+
+    def test_support_restriction(self):
+        counts = np.array([10.0, 10.0, 0.0, 0.0])
+        support = np.array([True, True, False, False])
+        assert total_variation_to_uniform(counts, support) == pytest.approx(0.0)
+
+    def test_empty_histogram_rejected(self):
+        with pytest.raises(ValueError):
+            total_variation_to_uniform(np.zeros(4))
+        with pytest.raises(ValueError):
+            total_variation_to_uniform(np.ones(4), np.zeros(4, dtype=bool))
+
+
+class TestChiSquare:
+    def test_uniform_passes(self, rng):
+        counts = rng.multinomial(5000, np.full(10, 0.1)).astype(float)
+        statistic, p_value = chi_square_uniform(counts)
+        assert p_value > 0.001
+
+    def test_biased_fails(self):
+        counts = np.array([100.0, 1.0, 1.0, 1.0])
+        _, p_value = chi_square_uniform(counts)
+        assert p_value < 1e-6
+
+    def test_needs_two_cells(self):
+        with pytest.raises(ValueError):
+            chi_square_uniform(np.array([5.0]))
+
+
+class TestKolmogorovSmirnov:
+    def test_uniform_marginal(self, rng):
+        samples = rng.uniform(2.0, 5.0, size=2000)
+        assert ks_statistic_uniform(samples, 2.0, 5.0) < 0.05
+
+    def test_non_uniform_marginal(self, rng):
+        samples = rng.beta(5, 1, size=2000)
+        assert ks_statistic_uniform(samples, 0.0, 1.0) > 0.2
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            ks_statistic_uniform(np.zeros(10), 1.0, 0.0)
+
+
+class TestMaxRatio:
+    def test_uniform_ratio_close_to_one(self, rng):
+        counts = rng.multinomial(20000, np.full(10, 0.1)).astype(float)
+        assert max_ratio_to_uniform(counts) < 1.1
+
+    def test_biased_ratio_large(self):
+        counts = np.array([400.0, 100.0, 100.0, 100.0])
+        assert max_ratio_to_uniform(counts) > 1.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            max_ratio_to_uniform(np.zeros(4))
+
+
+class TestMoments:
+    def test_mean_and_covariance(self, rng):
+        samples = rng.normal(size=(2000, 2)) @ np.diag([1.0, 2.0]) + np.array([3.0, -1.0])
+        mean, covariance = empirical_moments(samples)
+        assert np.allclose(mean, [3.0, -1.0], atol=0.2)
+        assert covariance[1, 1] > covariance[0, 0]

@@ -1,0 +1,234 @@
+"""Unit tests for the samplers (grid walk, hit-and-run, ball walk, rejection, fixed-dim)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.constraints import parse_relation
+from repro.geometry.ball import Ball
+from repro.geometry.polytope import HPolytope
+from repro.sampling.ball_walk import BallWalkSampler
+from repro.sampling.fixed_dim import FixedDimensionSampler
+from repro.sampling.grid_walk import GridWalkConfig, GridWalkSampler
+from repro.sampling.hit_and_run import HitAndRunSampler
+from repro.sampling.oracles import (
+    CountingOracle,
+    oracle_from_polytope,
+    oracle_from_predicate,
+    oracle_from_relation,
+    oracle_from_tuple,
+)
+from repro.sampling.rejection import (
+    estimate_acceptance_rate,
+    rejection_sample_from_ball,
+    rejection_sample_from_box,
+    sample_box,
+)
+from repro.sampling.rng import ensure_rng, spawn_rngs
+
+
+class TestRng:
+    def test_ensure_rng_from_seed(self):
+        a = ensure_rng(7)
+        b = ensure_rng(7)
+        assert a.random() == b.random()
+
+    def test_ensure_rng_passthrough(self, rng):
+        assert ensure_rng(rng) is rng
+
+    def test_ensure_rng_none(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_ensure_rng_invalid(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")  # type: ignore[arg-type]
+
+    def test_spawn(self, rng):
+        children = spawn_rngs(rng, 3)
+        assert len(children) == 3
+        values = {child.random() for child in children}
+        assert len(values) == 3
+
+
+class TestOracles:
+    def test_polytope_oracle(self):
+        oracle = oracle_from_polytope(HPolytope.cube(2, side=2.0))
+        assert oracle(np.zeros(2))
+        assert not oracle(np.array([2.0, 0.0]))
+
+    def test_tuple_and_relation_oracles(self):
+        relation = parse_relation("0 <= x <= 1 and 0 <= y <= 1 or 2 <= x <= 3 and 0 <= y <= 1")
+        relation_oracle = oracle_from_relation(relation)
+        tuple_oracle = oracle_from_tuple(relation.disjuncts[0])
+        assert relation_oracle(np.array([2.5, 0.5]))
+        assert not tuple_oracle(np.array([2.5, 0.5]))
+
+    def test_predicate_oracle(self):
+        oracle = oracle_from_predicate(lambda p: float(np.linalg.norm(p)) <= 1.0)
+        assert oracle(np.array([0.5, 0.5]))
+        assert not oracle(np.array([1.0, 1.0]))
+
+    def test_counting_oracle(self):
+        oracle = CountingOracle(oracle_from_polytope(HPolytope.cube(2)))
+        oracle(np.zeros(2))
+        oracle(np.ones(2))
+        assert oracle.calls == 2
+        oracle.reset()
+        assert oracle.calls == 0
+
+
+class TestHitAndRun:
+    def test_samples_stay_inside(self, rng):
+        cube = HPolytope.cube(3, side=2.0)
+        sampler = HitAndRunSampler(cube, burn_in=50, thinning=3)
+        samples = sampler.sample(rng, 100)
+        assert samples.shape == (100, 3)
+        assert np.all(cube.contains_points(samples))
+
+    def test_mean_is_near_center(self, rng):
+        cube = HPolytope.box([(0.0, 1.0), (0.0, 1.0)])
+        sampler = HitAndRunSampler(cube, burn_in=100, thinning=5)
+        samples = sampler.sample(rng, 500)
+        assert np.allclose(samples.mean(axis=0), [0.5, 0.5], atol=0.08)
+
+    def test_requires_interior_start(self):
+        cube = HPolytope.cube(2)
+        with pytest.raises(ValueError):
+            HitAndRunSampler(cube, start=np.array([5.0, 5.0]))
+
+    def test_empty_polytope_rejected(self):
+        empty = HPolytope(np.array([[1.0], [-1.0]]), np.array([0.0, -1.0]))
+        with pytest.raises(ValueError):
+            HitAndRunSampler(empty)
+
+    def test_sample_one(self, rng):
+        cube = HPolytope.cube(2)
+        point = HitAndRunSampler(cube, burn_in=20, thinning=2).sample_one(rng)
+        assert cube.contains(point)
+
+
+class TestGridWalk:
+    def test_samples_stay_inside(self, rng):
+        cube = HPolytope.box([(-1.0, 1.0)] * 2)
+        oracle = oracle_from_polytope(cube)
+        sampler = GridWalkSampler(oracle, 2, config=GridWalkConfig(gamma=0.3, steps=200))
+        samples = sampler.sample(rng, 50)
+        assert np.all(cube.contains_points(samples))
+
+    def test_grid_points_are_on_the_grid(self, rng):
+        cube = HPolytope.box([(-1.0, 1.0)] * 2)
+        sampler = GridWalkSampler(oracle_from_polytope(cube), 2, config=GridWalkConfig(gamma=0.3, steps=100))
+        point = sampler.walk(rng)
+        assert np.allclose(point / sampler.grid_step, np.round(point / sampler.grid_step))
+
+    def test_continuous_samples_jitter_within_cell(self, rng):
+        cube = HPolytope.box([(-1.0, 1.0)] * 2)
+        sampler = GridWalkSampler(oracle_from_polytope(cube), 2, config=GridWalkConfig(gamma=0.3, steps=100))
+        samples = sampler.sample_continuous(rng, 20)
+        assert samples.shape == (20, 2)
+
+    def test_start_outside_rejected(self):
+        cube = HPolytope.box([(1.0, 2.0)] * 2)
+        with pytest.raises(ValueError):
+            GridWalkSampler(oracle_from_polytope(cube), 2)
+
+    def test_default_step_schedule(self):
+        config = GridWalkConfig(gamma=0.2)
+        assert config.resolved_steps(3) > 0
+        assert GridWalkConfig(gamma=0.2, steps=17).resolved_steps(3) == 17
+
+    def test_roughly_uniform_on_square(self, rng):
+        cube = HPolytope.box([(0.0, 1.0), (0.0, 1.0)])
+        sampler = GridWalkSampler(
+            oracle_from_polytope(cube), 2, start=np.array([0.5, 0.5]),
+            config=GridWalkConfig(gamma=0.3, steps=400),
+        )
+        samples = sampler.sample_continuous(rng, 300)
+        assert np.allclose(samples.mean(axis=0), [0.5, 0.5], atol=0.12)
+
+
+class TestBallWalk:
+    def test_samples_stay_inside(self, rng):
+        ball = Ball(np.zeros(2), 1.0)
+        oracle = oracle_from_predicate(lambda p: float(np.linalg.norm(p)) <= 1.0)
+        sampler = BallWalkSampler(oracle, 2, start=np.zeros(2), burn_in=50, thinning=3)
+        samples = sampler.sample(rng, 100)
+        assert np.all(np.linalg.norm(samples, axis=1) <= 1.0 + 1e-9)
+        assert ball.contains(sampler.sample_one(rng))
+
+    def test_start_outside_rejected(self):
+        oracle = oracle_from_predicate(lambda p: float(np.linalg.norm(p)) <= 1.0)
+        with pytest.raises(ValueError):
+            BallWalkSampler(oracle, 2, start=np.array([5.0, 0.0]))
+
+
+class TestRejection:
+    def test_sample_box_shape(self, rng):
+        samples = sample_box(rng, [(0.0, 1.0), (2.0, 3.0)], 50)
+        assert samples.shape == (50, 2)
+        assert np.all(samples[:, 1] >= 2.0)
+
+    def test_rejection_from_box(self, rng):
+        oracle = oracle_from_predicate(lambda p: float(np.linalg.norm(p)) <= 1.0)
+        result = rejection_sample_from_box(oracle, [(-1.0, 1.0)] * 2, 50, rng)
+        assert result.accepted == 50
+        assert result.acceptance_rate > 0.5  # pi/4 ≈ 0.785
+
+    def test_rejection_budget_exhaustion(self, rng):
+        oracle = oracle_from_predicate(lambda p: False)
+        result = rejection_sample_from_box(oracle, [(0.0, 1.0)], 5, rng, max_proposals=100)
+        assert result.accepted == 0
+        assert result.proposals == 100
+        assert result.acceptance_rate == 0.0
+
+    def test_rejection_from_ball(self, rng):
+        oracle = oracle_from_predicate(lambda p: bool(np.all(np.abs(p) <= 0.5)))
+        result = rejection_sample_from_ball(oracle, Ball(np.zeros(2), 1.0), 20, rng)
+        assert result.accepted == 20
+
+    def test_acceptance_rate_estimate_matches_volume_ratio(self, rng):
+        oracle = oracle_from_predicate(lambda p: float(np.linalg.norm(p)) <= 1.0)
+        rate = estimate_acceptance_rate(oracle, [(-1.0, 1.0)] * 2, 4000, rng)
+        assert rate == pytest.approx(np.pi / 4.0, abs=0.05)
+
+
+class TestFixedDimensionSampler:
+    def test_volume_and_samples(self, rng):
+        relation = parse_relation("0 <= x <= 1 and 0 <= y <= 1 or 2 <= x <= 3 and 0 <= y <= 2")
+        sampler = FixedDimensionSampler(relation, cell_size=0.1)
+        assert sampler.volume() == pytest.approx(3.0, rel=0.1)
+        samples = sampler.sample(rng, 100)
+        assert all(relation.contains_point(list(map(float, p))) or True for p in samples)
+        inside = sum(relation.contains_point([float(v) for v in p]) for p in samples)
+        assert inside >= 95  # jitter may step just over a face
+
+    def test_cells_examined_reported(self):
+        relation = parse_relation("0 <= x <= 1 and 0 <= y <= 1")
+        sampler = FixedDimensionSampler(relation, cell_size=0.25)
+        decomposition = sampler.decomposition()
+        assert decomposition.cells_examined == 16
+        assert decomposition.num_cells == 16
+
+    def test_centres_without_jitter(self, rng):
+        relation = parse_relation("0 <= x <= 1")
+        sampler = FixedDimensionSampler(relation, cell_size=0.5)
+        points = sampler.sample(rng, 10, jitter=False)
+        assert set(np.round(points.ravel(), 2)) <= {0.25, 0.75}
+
+    def test_empty_relation_raises(self, rng):
+        relation = parse_relation("0 <= x <= 1 and x >= 2")
+        sampler = FixedDimensionSampler(relation, cell_size=0.1)
+        with pytest.raises(ValueError):
+            sampler.sample(rng, 1)
+
+    def test_cell_budget(self):
+        relation = parse_relation("0 <= x <= 1 and 0 <= y <= 1")
+        sampler = FixedDimensionSampler(relation, cell_size=0.001, max_cells=100)
+        with pytest.raises(ValueError):
+            sampler.decomposition()
+
+    def test_invalid_cell_size(self):
+        relation = parse_relation("0 <= x <= 1")
+        with pytest.raises(ValueError):
+            FixedDimensionSampler(relation, cell_size=0.0)

@@ -1,0 +1,189 @@
+"""Unit tests for the volume estimators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.constraints import parse_relation
+from repro.constraints.tuples import GeneralizedTuple
+from repro.geometry.polytope import HPolytope
+from repro.sampling.oracles import oracle_from_predicate
+from repro.volume import (
+    EstimationError,
+    TelescopingConfig,
+    TelescopingVolumeEstimator,
+    VolumeEstimate,
+    approximates_with_ratio,
+    cell_decomposition_volume,
+    chernoff_ratio_sample_size,
+    estimate_convex_volume,
+    exact_polytope_volume,
+    exact_relation_volume,
+    exact_tuple_volume,
+    hoeffding_sample_size,
+    median_of_means_repetitions,
+    monte_carlo_volume,
+    repetition_count,
+    required_samples_for_relative_error,
+)
+
+
+class TestVolumeEstimate:
+    def test_approximates_ratio(self):
+        estimate = VolumeEstimate(value=1.1, epsilon=0.2, delta=0.1, method="test")
+        assert estimate.approximates(1.0)
+        assert not estimate.approximates(2.0)
+
+    def test_approximates_zero(self):
+        zero = VolumeEstimate(value=0.0, epsilon=0.2, delta=0.1, method="test")
+        assert zero.approximates(0.0)
+        assert not VolumeEstimate(0.5, 0.2, 0.1, "test").approximates(0.0)
+
+    def test_relative_error(self):
+        estimate = VolumeEstimate(value=1.2, epsilon=0.2, delta=0.1, method="test")
+        assert estimate.relative_error(1.0) == pytest.approx(0.2)
+        assert VolumeEstimate(0.0, 0.2, 0.1, "t").relative_error(0.0) == 0.0
+        assert VolumeEstimate(1.0, 0.2, 0.1, "t").relative_error(0.0) == float("inf")
+
+    def test_free_standing_ratio(self):
+        assert approximates_with_ratio(1.1, 1.0, 1.2)
+        assert not approximates_with_ratio(2.0, 1.0, 1.2)
+        assert approximates_with_ratio(0.0, 0.0, 1.2)
+        with pytest.raises(ValueError):
+            approximates_with_ratio(1.0, 1.0, 0.5)
+
+
+class TestChernoffSchedules:
+    def test_hoeffding_monotone(self):
+        assert hoeffding_sample_size(0.1, 0.1) > hoeffding_sample_size(0.2, 0.1)
+        assert hoeffding_sample_size(0.1, 0.01) > hoeffding_sample_size(0.1, 0.1)
+
+    def test_chernoff_ratio_scales_with_probability(self):
+        assert chernoff_ratio_sample_size(0.1, 0.1, 0.01) > chernoff_ratio_sample_size(0.1, 0.1, 0.5)
+
+    def test_repetition_count(self):
+        # The k = 4 ln(1/δ) schedule of Theorem 4.1 (success probability 1/4).
+        assert repetition_count(0.25, 0.05) == int(np.ceil(4 * np.log(20)))
+
+    def test_median_of_means(self):
+        assert median_of_means_repetitions(0.1) >= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hoeffding_sample_size(0.0, 0.1)
+        with pytest.raises(ValueError):
+            hoeffding_sample_size(0.1, 1.5)
+        with pytest.raises(ValueError):
+            chernoff_ratio_sample_size(0.1, 0.1, 0.0)
+        with pytest.raises(ValueError):
+            repetition_count(0.0, 0.1)
+        with pytest.raises(ValueError):
+            repetition_count(0.5, 2.0)
+        with pytest.raises(ValueError):
+            median_of_means_repetitions(0.0)
+
+
+class TestExactEstimators:
+    def test_exact_polytope(self):
+        estimate = exact_polytope_volume(HPolytope.cube(3, side=2.0))
+        assert estimate.value == pytest.approx(8.0)
+        assert estimate.epsilon == 0.0
+
+    def test_exact_tuple(self):
+        square = GeneralizedTuple.box({"x": (0, 2), "y": (0, 2)})
+        assert exact_tuple_volume(square).value == pytest.approx(4.0)
+
+    def test_exact_relation(self):
+        relation = parse_relation("0 <= x <= 1 and 0 <= y <= 1 or 2 <= x <= 3 and 0 <= y <= 1")
+        assert exact_relation_volume(relation).value == pytest.approx(2.0)
+
+    def test_cell_decomposition(self):
+        relation = parse_relation("0 <= x <= 1 and 0 <= y <= 1")
+        estimate = cell_decomposition_volume(relation, 0.1)
+        assert estimate.value == pytest.approx(1.0, rel=0.15)
+        assert estimate.details["cells_examined"] > 0
+
+
+class TestMonteCarlo:
+    def test_box_fraction(self, rng):
+        oracle = oracle_from_predicate(lambda p: bool(np.all(p <= 0.5)))
+        estimate = monte_carlo_volume(oracle, [(0.0, 1.0), (0.0, 1.0)], 0.05, 0.1, rng=rng)
+        assert estimate.value == pytest.approx(0.25, abs=0.05)
+        assert estimate.details["box_volume"] == pytest.approx(1.0)
+
+    def test_explicit_sample_count(self, rng):
+        oracle = oracle_from_predicate(lambda p: True)
+        estimate = monte_carlo_volume(oracle, [(0.0, 2.0)], 0.1, 0.1, rng=rng, samples=100)
+        assert estimate.samples_used == 100
+        assert estimate.value == pytest.approx(2.0)
+
+    def test_invalid_box(self, rng):
+        oracle = oracle_from_predicate(lambda p: True)
+        with pytest.raises(ValueError):
+            monte_carlo_volume(oracle, [(1.0, 0.0)], 0.1, 0.1, rng=rng)
+
+    def test_required_samples_grows_with_shrinking_fraction(self):
+        assert required_samples_for_relative_error(0.001, 0.1, 0.1) > required_samples_for_relative_error(0.5, 0.1, 0.1)
+        with pytest.raises(ValueError):
+            required_samples_for_relative_error(0.0, 0.1, 0.1)
+
+
+class TestTelescoping:
+    @pytest.mark.parametrize(
+        "polytope, true_volume",
+        [
+            (HPolytope.cube(2, side=2.0), 4.0),
+            (HPolytope.simplex(3), 1.0 / 6.0),
+            (HPolytope.box([(5.0, 7.0), (-1.0, 0.0), (0.0, 3.0)]), 6.0),
+        ],
+    )
+    def test_accuracy_on_known_bodies(self, polytope, true_volume, rng, fast_telescoping):
+        estimate = estimate_convex_volume(polytope, 0.25, 0.2, rng=rng, config=fast_telescoping)
+        assert estimate.approximates(true_volume, ratio=1.3)
+
+    def test_result_metadata(self, rng, fast_telescoping):
+        estimate = estimate_convex_volume(HPolytope.cube(2), 0.3, 0.2, rng=rng, config=fast_telescoping)
+        assert estimate.samples_used > 0
+        assert estimate.details["phases"] >= 1
+        assert "dfk-telescoping" in estimate.method
+
+    def test_grid_walk_sampler_variant(self, rng):
+        config = TelescopingConfig(sampler="grid_walk", samples_per_phase=300, gamma=0.3)
+        estimate = estimate_convex_volume(HPolytope.cube(2, side=2.0), 0.3, 0.2, rng=rng, config=config)
+        assert estimate.approximates(4.0, ratio=1.6)
+
+    def test_ball_walk_sampler_variant(self, rng):
+        config = TelescopingConfig(sampler="ball_walk", samples_per_phase=300)
+        estimate = estimate_convex_volume(HPolytope.cube(2, side=2.0), 0.3, 0.2, rng=rng, config=config)
+        assert estimate.approximates(4.0, ratio=1.6)
+
+    def test_unknown_sampler_rejected(self, rng):
+        config = TelescopingConfig(sampler="bogus", samples_per_phase=100)  # type: ignore[arg-type]
+        estimator = TelescopingVolumeEstimator(HPolytope.cube(2), config=config)
+        with pytest.raises(ValueError):
+            estimator.estimate(0.3, 0.2, rng=rng)
+
+    def test_empty_body_raises(self, rng):
+        empty = HPolytope(np.array([[1.0], [-1.0]]), np.array([0.0, -1.0]))
+        with pytest.raises(EstimationError):
+            estimate_convex_volume(empty, 0.3, 0.2, rng=rng)
+
+    def test_parameter_validation(self, rng):
+        estimator = TelescopingVolumeEstimator(HPolytope.cube(2))
+        with pytest.raises(ValueError):
+            estimator.estimate(0.0, 0.1, rng=rng)
+        with pytest.raises(ValueError):
+            estimator.estimate(0.2, 1.0, rng=rng)
+
+    def test_cube_ratio_validation(self, rng):
+        config = TelescopingConfig(cube_ratio=1.0, samples_per_phase=100)
+        estimator = TelescopingVolumeEstimator(HPolytope.cube(2), config=config)
+        with pytest.raises(ValueError):
+            estimator.estimate(0.3, 0.2, rng=rng)
+
+    def test_offset_body_rounding(self, rng, fast_telescoping):
+        # A body far from the origin exercises the translation in the rounding step.
+        shifted = HPolytope.box([(100.0, 101.0), (50.0, 52.0)])
+        estimate = estimate_convex_volume(shifted, 0.25, 0.2, rng=rng, config=fast_telescoping)
+        assert estimate.approximates(2.0, ratio=1.3)

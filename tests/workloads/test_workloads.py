@@ -1,0 +1,188 @@
+"""Unit tests for the workload generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry.volume import polytope_volume, relation_volume_exact
+from repro.workloads import (
+    annulus_box,
+    box,
+    cross_polytope,
+    dnf_geometric_volume,
+    dnf_satisfying_fraction,
+    dnf_to_relation,
+    dumbbell,
+    hypercube,
+    literal_tuple,
+    random_cnf,
+    random_dnf,
+    random_polytope,
+    rotated_box,
+    shifted_cube_pair,
+    simplex,
+    synthetic_map,
+    term_tuple,
+    unit_ball_workload,
+    variable_names,
+)
+from repro.workloads.sat import PropositionalFormula, clause_to_relation, cnf_to_relations
+from repro.workloads.sweeps import ALL_SWEEPS
+
+
+class TestShapes:
+    def test_variable_names(self):
+        assert variable_names(3) == ("x1", "x2", "x3")
+
+    def test_hypercube(self):
+        workload = hypercube(3, side=2.0)
+        assert workload.exact_volume == pytest.approx(8.0)
+        assert polytope_volume(workload.polytope) == pytest.approx(8.0)
+        assert workload.tuple_.contains_point([1.0, 1.0, 1.0])
+
+    def test_box(self):
+        workload = box(2, [2.0, 3.0])
+        assert workload.exact_volume == pytest.approx(6.0)
+        with pytest.raises(ValueError):
+            box(2, [1.0])
+
+    def test_simplex(self):
+        workload = simplex(3)
+        assert workload.exact_volume == pytest.approx(1.0 / 6.0)
+        assert polytope_volume(workload.polytope) == pytest.approx(1.0 / 6.0)
+
+    def test_cross_polytope(self):
+        workload = cross_polytope(3)
+        assert polytope_volume(workload.polytope) == pytest.approx(workload.exact_volume)
+
+    def test_rotated_box_preserves_volume(self, rng):
+        workload = rotated_box(3, [1.0, 2.0, 0.5], rng=rng)
+        assert polytope_volume(workload.polytope) == pytest.approx(workload.exact_volume, rel=1e-6)
+        with pytest.raises(ValueError):
+            rotated_box(2, [1.0], rng=rng)
+
+    def test_random_polytope_is_bounded_and_nonempty(self, rng):
+        workload = random_polytope(3, 10, rng=rng)
+        assert workload.polytope.is_bounded()
+        assert not workload.polytope.is_empty()
+        assert workload.exact_volume is None
+
+    def test_unit_ball_workload(self):
+        workload, ball_volume = unit_ball_workload(4)
+        assert workload.exact_volume == pytest.approx(16.0)
+        assert ball_volume < workload.exact_volume
+
+    def test_shifted_cube_pair(self):
+        first, second, union_volume = shifted_cube_pair(3, overlap=0.25)
+        assert union_volume == pytest.approx(2.0 - 0.25)
+        assert first.tuple_.contains_point([0.5, 0.5, 0.5])
+        assert second.tuple_.contains_point([1.5, 0.5, 0.5])
+        with pytest.raises(ValueError):
+            shifted_cube_pair(2, overlap=2.0)
+
+    def test_annulus_box(self):
+        outer, inner, difference_volume = annulus_box(2, outer=2.0, inner_fraction=0.5)
+        assert difference_volume == pytest.approx(4.0 - 1.0)
+        assert outer.contains_point([0.1, 0.1])
+        assert inner.contains_point([1.0, 1.0])
+        with pytest.raises(ValueError):
+            annulus_box(2, inner_fraction=1.5)
+
+
+class TestDumbbell:
+    def test_volume_decomposition(self):
+        workload = dumbbell(2, lobe_side=1.0, tube_length=1.0, tube_width=0.1)
+        assert workload.exact_volume == pytest.approx(2.0 + 0.1)
+        assert relation_volume_exact(workload.relation) == pytest.approx(workload.exact_volume)
+
+    def test_geometry(self):
+        workload = dumbbell(3, tube_width=0.2)
+        assert workload.relation.contains_point([0.5, 0.5, 0.5])       # left lobe
+        assert workload.relation.contains_point([2.5, 0.5, 0.5])       # right lobe
+        assert workload.relation.contains_point([1.5, 0.45, 0.45])     # tube
+        assert not workload.relation.contains_point([1.5, 0.9, 0.9])   # outside the tube
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            dumbbell(1)
+        with pytest.raises(ValueError):
+            dumbbell(2, tube_width=0.0)
+
+
+class TestSatEncoding:
+    def test_literal_tuple(self):
+        positive = literal_tuple(2, (0, True))
+        negative = literal_tuple(2, (0, False))
+        assert positive.contains_point([0.9, 0.5])
+        assert not positive.contains_point([0.5, 0.5])
+        assert negative.contains_point([0.1, 0.5])
+        with pytest.raises(ValueError):
+            literal_tuple(2, (5, True))
+
+    def test_term_tuple_contradiction_is_empty(self):
+        term = term_tuple(2, ((0, True), (0, False)))
+        assert term.is_syntactically_empty()
+
+    def test_clause_relation(self):
+        relation = clause_to_relation(2, ((0, True), (1, False)))
+        assert relation.contains_point([0.9, 0.5])
+        assert relation.contains_point([0.5, 0.1])
+        assert not relation.contains_point([0.5, 0.5])
+
+    def test_cnf_to_relations(self):
+        formula = PropositionalFormula(2, (((0, True),), ((1, False),)))
+        relations = cnf_to_relations(formula)
+        assert len(relations) == 2
+
+    def test_dnf_volume_matches_inclusion_exclusion(self, rng):
+        formula = random_dnf(4, 5, rng=rng)
+        relation = dnf_to_relation(formula)
+        closed_form = dnf_geometric_volume(formula)
+        exact = relation_volume_exact(relation)
+        assert closed_form == pytest.approx(exact, rel=1e-6, abs=1e-9)
+
+    def test_dnf_satisfying_fraction(self):
+        formula = PropositionalFormula(2, (((0, True),),))
+        assert dnf_satisfying_fraction(formula) == pytest.approx(0.5)
+
+    def test_dnf_fraction_proportional_to_geometric_volume(self):
+        # A term fixing k literals covers 2^-k of assignments and (1/4)^k of volume.
+        formula = PropositionalFormula(3, (((0, True), (1, False)),))
+        assert dnf_satisfying_fraction(formula) == pytest.approx(0.25)
+        assert dnf_geometric_volume(formula) == pytest.approx(1.0 / 16.0)
+
+    def test_random_generators(self, rng):
+        dnf = random_dnf(5, 4, literals_per_term=2, rng=rng)
+        cnf = random_cnf(5, 4, literals_per_clause=2, rng=rng)
+        assert dnf.variable_count == 5 and len(dnf.clauses) == 4
+        assert all(len(term) == 2 for term in cnf.clauses)
+        with pytest.raises(ValueError):
+            random_dnf(2, 2, literals_per_term=3, rng=rng)
+
+
+class TestGis:
+    def test_synthetic_map_structure(self, rng):
+        world = synthetic_map(district_count=3, zone_count=2, corridor_count=1, rng=rng)
+        assert len(world.districts) == 3
+        assert len(world.zones) == 2
+        assert len(world.corridors) == 1
+        assert len(world.feature_names()) == 6
+        for name in world.feature_names():
+            relation = world.database.relation(name)
+            assert relation.dimension == 2
+            assert relation_volume_exact(relation) > 0.0
+
+    def test_features_are_bounded(self, rng):
+        world = synthetic_map(district_count=2, zone_count=1, corridor_count=1, rng=rng)
+        from repro.geometry.volume import relation_bounding_box
+
+        for name in world.feature_names():
+            assert relation_bounding_box(world.database.relation(name)) is not None
+
+
+class TestSweeps:
+    def test_registry_covers_all_experiments(self):
+        assert set(ALL_SWEEPS) == {f"E{i}" for i in range(1, 16)}
+        for sweep in ALL_SWEEPS.values():
+            assert sweep.values, f"sweep {sweep.name} has no values"
