@@ -1,0 +1,140 @@
+"""Experiment E16 — serving throughput of the `repro.service` subsystem.
+
+The seed evaluated every query cold: one `QueryEngine` call compiles the
+query, builds its samplers and runs the telescoping estimator from scratch.
+E16 measures what the serving layer buys on a *repeated-query* workload — the
+traffic shape of the motivating GIS decision-support setting, where many
+users ask the same handful of area/overlap aggregates:
+
+* **baseline** — loop bare ``QueryEngine.volume(mode="approximate")`` calls,
+  one per request (the seed's behaviour);
+* **service** — ``ServiceSession.submit_batch``: canonical cache keys
+  collapse repeats, the planner picks the cheapest estimator per unique
+  query, and misses fan out across worker threads.
+
+The experiment also checks the determinism contract of the batch executor:
+for a fixed seed the served values are bit-identical with 1 and 4 workers.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.constraints.relations import GeneralizedRelation
+from repro.core import GeneratorParams
+from repro.harness import ExperimentResult, register_experiment
+from repro.queries import QRelation, QueryEngine
+from repro.service import BatchRequest, ServiceSession
+from repro.workloads import synthetic_map
+
+
+def _workload(map_seed: int = 7):
+    """A GIS database plus the unique queries of the serving workload.
+
+    A five-dimensional cube relation rides along so that the workload
+    exercises the telescoping route next to the planner's exact route.
+    """
+    world = synthetic_map(
+        district_count=2, zone_count=1, corridor_count=0,
+        rng=np.random.default_rng(map_seed),
+    )
+    database = world.database
+    database.set_relation(
+        "cube5", GeneralizedRelation.box({f"z{i}": (0, 1) for i in range(5)})
+    )
+    queries = [QRelation(name, ("x", "y")) for name in world.feature_names()]
+    queries.append(QRelation("cube5", tuple(f"z{i}" for i in range(5))))
+    return database, queries
+
+
+@register_experiment("E16")
+def run_service_throughput(
+    repeats: int = 4, workers: int = 4, seed: int = 7
+) -> ExperimentResult:
+    """Regenerate the E16 table: repeated-query throughput, service vs seed loop."""
+    result = ExperimentResult(
+        "E16",
+        "Serving throughput: cached/planned/parallel service vs bare engine loop",
+        ["configuration", "requests", "seconds", "requests_per_second"],
+        claim=(
+            "result caching, plan selection and batched execution give >= 5x "
+            "throughput on repeated-query workloads, without giving up "
+            "determinism (fixed seed => bit-identical results for any worker count)"
+        ),
+    )
+    params = GeneratorParams(gamma=0.25, epsilon=0.25, delta=0.15)
+    database, unique_queries = _workload(seed)
+    requests = [BatchRequest(query) for query in unique_queries] * repeats
+
+    # Baseline: the seed's behaviour — one cold engine call per request.
+    engine = QueryEngine(database, params=params)
+    rng = np.random.default_rng(seed)
+    start = time.perf_counter()
+    baseline_values = [
+        engine.volume(request.query, mode="approximate", rng=rng).value
+        for request in requests
+    ]
+    baseline_seconds = time.perf_counter() - start
+
+    # Service: batched, planned, cached.
+    session = ServiceSession(database, params=params)
+    start = time.perf_counter()
+    outcomes = session.submit_batch(requests, workers=workers, rng=seed)
+    service_seconds = time.perf_counter() - start
+
+    # Determinism: fresh sessions, same seed, 1 vs 4 workers.
+    single = ServiceSession(database, params=params)
+    quad = ServiceSession(database, params=params)
+    single_values = [
+        outcome.result.value
+        for outcome in single.submit_batch(requests, workers=1, rng=seed)
+    ]
+    quad_values = [
+        outcome.result.value
+        for outcome in quad.submit_batch(requests, workers=4, rng=seed)
+    ]
+    deterministic = single_values == quad_values
+
+    count = len(requests)
+    result.add_row(
+        "bare QueryEngine loop", count, round(baseline_seconds, 4),
+        round(count / baseline_seconds, 2),
+    )
+    result.add_row(
+        f"ServiceSession.submit_batch(workers={workers})", count,
+        round(service_seconds, 4), round(count / service_seconds, 2),
+    )
+    speedup = baseline_seconds / service_seconds
+    snapshot = session.metrics.snapshot()
+    result.observe(f"speedup: {speedup:.1f}x (threshold 5x)")
+    result.observe(
+        f"cache: {snapshot['cache_hits']} hits / {snapshot['cache_misses']} misses, "
+        f"{snapshot['coalesced']} coalesced in-batch; plans: {snapshot['plan_choices']}"
+    )
+    result.observe(
+        "1-vs-4-worker results bit-identical: " + ("yes" if deterministic else "NO")
+    )
+    result.details = {  # type: ignore[attr-defined]
+        "speedup": speedup,
+        "deterministic": deterministic,
+        "baseline_values": baseline_values,
+        "service_values": [outcome.result.value for outcome in outcomes],
+    }
+    return result
+
+
+def test_benchmark_service_throughput(benchmark):
+    result = benchmark.pedantic(
+        run_service_throughput,
+        kwargs={"repeats": 4, "workers": 4, "seed": 7},
+        iterations=1,
+        rounds=1,
+    )
+    assert result.details["speedup"] >= 5.0
+    assert result.details["deterministic"]
+
+
+if __name__ == "__main__":
+    print(run_service_throughput().to_text())

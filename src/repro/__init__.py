@@ -15,6 +15,8 @@ The public API is organised in layers:
 * :mod:`repro.core`        — observability and its closure properties
   (the paper's contribution);
 * :mod:`repro.queries`     — FO+LIN queries, exact and approximate evaluation;
+* :mod:`repro.service`     — the serving layer: canonical cache keys, cost-based
+  plan selection, an LRU/TTL result cache and deterministic batch execution;
 * :mod:`repro.workloads`   — synthetic workloads for the experiments;
 * :mod:`repro.harness`     — experiment registry and reporting.
 """
@@ -40,6 +42,7 @@ from repro.core import (
     UnionObservable,
 )
 from repro.queries import QueryEngine
+from repro.service import Planner, ResultCache, ServiceMetrics, ServiceSession
 from repro.volume import VolumeEstimate, estimate_convex_volume
 
 __version__ = "1.0.0"
@@ -62,6 +65,10 @@ __all__ = [
     "ProjectionObservable",
     "UnionObservable",
     "QueryEngine",
+    "Planner",
+    "ResultCache",
+    "ServiceMetrics",
+    "ServiceSession",
     "VolumeEstimate",
     "estimate_convex_volume",
     "__version__",

@@ -5,6 +5,7 @@ from repro.harness.experiments import (
     ExperimentResult,
     register_experiment,
     run_registered,
+    service_metrics_result,
 )
 from repro.harness.tables import format_markdown_table, format_table
 
@@ -13,6 +14,7 @@ __all__ = [
     "ExperimentResult",
     "register_experiment",
     "run_registered",
+    "service_metrics_result",
     "format_markdown_table",
     "format_table",
 ]

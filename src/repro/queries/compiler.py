@@ -87,12 +87,18 @@ def compile_query(
     database: ConstraintDatabase,
     params: GeneratorParams | None = None,
     sampler: str = "hit_and_run",
+    samples_per_phase: int = 800,
 ) -> ObservableRelation:
-    """Compile a query into an observable evaluation plan."""
+    """Compile a query into an observable evaluation plan.
+
+    ``samples_per_phase`` is forwarded to every convex member's telescoping
+    estimator; the service planner uses it to enforce per-query sample
+    budgets.
+    """
     params = params if params is not None else GeneratorParams()
-    kind, value = _compile(query, database, params, sampler)
+    kind, value = _compile(query, database, params, sampler, samples_per_phase)
     if kind == "relation":
-        return observable_from_relation(value, params, sampler)
+        return observable_from_relation(value, params, sampler, samples_per_phase)
     return value
 
 
@@ -101,6 +107,7 @@ def _compile(
     database: ConstraintDatabase,
     params: GeneratorParams,
     sampler: str,
+    samples_per_phase: int = 800,
 ):
     """Recursive compilation returning ``("relation", GeneralizedRelation)`` or
     ``("observable", ObservableRelation)``.
@@ -116,7 +123,7 @@ def _compile(
         negatives = [op.operand for op in query.operands if isinstance(op, QNot)]
         if not positives:
             raise CompilationError("a conjunction needs at least one positive operand")
-        compiled = [_compile(op, database, params, sampler) for op in positives]
+        compiled = [_compile(op, database, params, sampler, samples_per_phase) for op in positives]
         if all(kind == "relation" for kind, _ in compiled):
             relation = compiled[0][1]
             for _, other in compiled[1:]:
@@ -124,7 +131,7 @@ def _compile(
             positive_result = ("relation", relation)
         else:
             members = [
-                value if kind == "observable" else observable_from_relation(value, params, sampler)
+                value if kind == "observable" else observable_from_relation(value, params, sampler, samples_per_phase)
                 for kind, value in compiled
             ]
             if len(members) == 1:
@@ -140,11 +147,11 @@ def _compile(
         # membership in the subtrahend, so it is compiled as an observable.
         kind, value = positive_result
         minuend = (
-            value if kind == "observable" else observable_from_relation(value, params, sampler)
+            value if kind == "observable" else observable_from_relation(value, params, sampler, samples_per_phase)
         )
-        negative_compiled = [_compile(op, database, params, sampler) for op in negatives]
+        negative_compiled = [_compile(op, database, params, sampler, samples_per_phase) for op in negatives]
         negative_members = [
-            value if kind == "observable" else observable_from_relation(value, params, sampler)
+            value if kind == "observable" else observable_from_relation(value, params, sampler, samples_per_phase)
             for kind, value in negative_compiled
         ]
         subtrahend = (
@@ -154,7 +161,7 @@ def _compile(
         )
         return "observable", DifferenceObservable(minuend, subtrahend, params=params)
     if isinstance(query, QOr):
-        compiled = [_compile(op, database, params, sampler) for op in query.operands]
+        compiled = [_compile(op, database, params, sampler, samples_per_phase) for op in query.operands]
         if all(kind == "relation" for kind, _ in compiled):
             relation = compiled[0][1]
             order = relation.variables
@@ -162,12 +169,12 @@ def _compile(
                 relation = relation.union(other)
             return "relation", relation.with_variables(order)
         members = [
-            value if kind == "observable" else observable_from_relation(value, params, sampler)
+            value if kind == "observable" else observable_from_relation(value, params, sampler, samples_per_phase)
             for kind, value in compiled
         ]
         return "observable", UnionObservable(members, params=params)
     if isinstance(query, QExists):
-        kind, value = _compile(query.operand, database, params, sampler)
+        kind, value = _compile(query.operand, database, params, sampler, samples_per_phase)
         if kind != "relation":
             raise CompilationError(
                 "existential quantification is only compiled over symbolic sub-queries; "

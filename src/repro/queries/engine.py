@@ -23,7 +23,7 @@ from repro.queries.compiler import compile_query, to_positive_existential
 from repro.queries.symbolic import evaluate_symbolic
 from repro.sampling.rng import ensure_rng
 
-Mode = Literal["exact", "approximate"]
+Mode = Literal["exact", "approximate", "auto"]
 
 
 class QueryEngine:
@@ -97,11 +97,24 @@ class QueryEngine:
         delta: float | None = None,
         rng: np.random.Generator | int | None = None,
     ) -> AggregateResult:
-        """Volume of the query result, exactly or approximately."""
+        """Volume of the query result, exactly or approximately.
+
+        ``mode="auto"`` delegates estimator choice to the service planner
+        (:class:`repro.service.planner.Planner`), which weighs the query's
+        dimension, atom count and the requested accuracy against the cost of
+        each route.
+        """
         if mode == "exact":
             return exact_volume(query, self.database)
         epsilon = epsilon if epsilon is not None else self.params.epsilon
         delta = delta if delta is not None else self.params.delta
+        if mode == "auto":
+            # Imported lazily: repro.service builds on the query layer.
+            from repro.service.planner import Planner
+            from repro.service.session import run_plan
+
+            plan = Planner().plan(query, self.database, epsilon=epsilon, delta=delta)
+            return run_plan(plan, query, self.database, params=self.params, rng=rng)
         return approximate_volume(
             query, self.database, epsilon=epsilon, delta=delta, params=self.params, rng=rng
         )

@@ -27,7 +27,7 @@ from repro.sampling.rejection import (
     rejection_sample_from_box,
     sample_box,
 )
-from repro.sampling.rng import ensure_rng, spawn_rngs
+from repro.sampling.rng import RandomState, ensure_rng, spawn_rngs
 
 __all__ = [
     "BallWalkSampler",
@@ -53,6 +53,7 @@ __all__ = [
     "rejection_sample_from_ball",
     "rejection_sample_from_box",
     "sample_box",
+    "RandomState",
     "ensure_rng",
     "spawn_rngs",
 ]

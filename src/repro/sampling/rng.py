@@ -8,12 +8,16 @@ tests can use fixed seeds.  :func:`ensure_rng` is the single place where
 
 from __future__ import annotations
 
+from typing import TypeAlias, Union
+
 import numpy as np
 
-RandomState = "np.random.Generator | int | None"
+#: Anything the library accepts where randomness is needed: an existing
+#: generator, an integer seed, or ``None`` for a fresh non-deterministic one.
+RandomState: TypeAlias = Union[np.random.Generator, int, None]
 
 
-def ensure_rng(rng: np.random.Generator | int | None = None) -> np.random.Generator:
+def ensure_rng(rng: RandomState = None) -> np.random.Generator:
     """Normalise a seed / generator / ``None`` into a NumPy ``Generator``.
 
     ``None`` creates a fresh non-deterministic generator; an integer seeds a

@@ -1,0 +1,40 @@
+"""repro.service — the cached, planned, parallel query-serving subsystem.
+
+The modules compose into one serving pipeline (see
+:class:`~repro.service.session.ServiceSession`):
+
+* :mod:`repro.service.canonical` — structural cache keys for queries and
+  database fingerprints;
+* :mod:`repro.service.planner`   — the cost model choosing between exact,
+  Monte-Carlo and telescoping volume routes;
+* :mod:`repro.service.cache`     — LRU/TTL result cache with ε-dominance;
+* :mod:`repro.service.executor`  — deterministic parallel batch execution;
+* :mod:`repro.service.metrics`   — hit/miss, plan-choice and latency
+  counters;
+* :mod:`repro.service.session`   — the facade tying the above together.
+"""
+
+from repro.service.cache import CacheEntry, ResultCache
+from repro.service.canonical import canonical_query, database_fingerprint, request_key
+from repro.service.executor import BatchOutcome, BatchRequest, execute_batch
+from repro.service.metrics import ServiceMetrics
+from repro.service.planner import Plan, Planner, QueryProfile, profile_query
+from repro.service.session import ServiceSession, run_plan
+
+__all__ = [
+    "CacheEntry",
+    "ResultCache",
+    "canonical_query",
+    "database_fingerprint",
+    "request_key",
+    "BatchOutcome",
+    "BatchRequest",
+    "execute_batch",
+    "ServiceMetrics",
+    "Plan",
+    "Planner",
+    "QueryProfile",
+    "profile_query",
+    "ServiceSession",
+    "run_plan",
+]

@@ -1,0 +1,172 @@
+"""Result cache: LRU + TTL + ε-dominance.
+
+Entries are keyed by the *structural* request key of
+:mod:`repro.service.canonical` — accuracy parameters are deliberately not
+part of the key.  Instead the cache applies a **dominance rule** on lookup: a
+stored answer computed at accuracy ``(ε', δ')`` satisfies a request for
+``(ε, δ)`` whenever ``ε' <= ε`` and ``δ' <= δ`` — a tighter estimate is also a
+valid looser estimate, and an exact answer (``ε' = δ' = 0``) satisfies every
+request.  On store, a looser result never overwrites a tighter one that is
+still fresh.
+
+Eviction is least-recently-used above ``capacity``; every entry additionally
+carries a time-to-live, checked lazily on access.  The clock is injectable so
+tests can drive TTL expiry deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.queries.aggregates import AggregateResult
+from repro.volume.base import accuracy_dominates
+
+
+@dataclass
+class CacheEntry:
+    """One cached aggregate answer and its accuracy/lifetime metadata."""
+
+    result: AggregateResult
+    epsilon: float
+    delta: float
+    expires_at: float
+    hits: int = 0
+
+    def dominates(self, epsilon: float, delta: float) -> bool:
+        """Does this entry satisfy a request at accuracy ``(epsilon, delta)``?"""
+        return accuracy_dominates(self.epsilon, self.delta, epsilon, delta)
+
+    def strictly_dominates(self, epsilon: float, delta: float) -> bool:
+        """Is this entry strictly tighter than the request on some axis?"""
+        return self.dominates(epsilon, delta) and (
+            self.epsilon < epsilon or self.delta < delta
+        )
+
+
+class ResultCache:
+    """An LRU result cache with TTL expiry and ε-dominance reuse.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of live entries; the least recently used entry is
+        evicted first.
+    ttl:
+        Lifetime of an entry in seconds (``None`` disables expiry).
+    clock:
+        Monotonic time source, injectable for tests.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 1024,
+        ttl: float | None = 300.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        if ttl is not None and ttl <= 0:
+            raise ValueError("ttl must be positive (or None to disable)")
+        self.capacity = capacity
+        self.ttl = ttl
+        self._clock = clock
+        self._entries: OrderedDict[str, CacheEntry] = OrderedDict()
+        # The session is meant to be shared by server threads; every method
+        # that touches the OrderedDict or the counters takes this lock.
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.expirations = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            entry = self._entries.get(key)
+            return entry is not None and not self._expired(entry)
+
+    def get(
+        self, key: str, epsilon: float = float("inf"), delta: float = float("inf")
+    ) -> AggregateResult | None:
+        """Look up a request; ``None`` on miss, expiry, or insufficient accuracy."""
+        return self.lookup(key, epsilon, delta)[0]
+
+    def lookup(
+        self, key: str, epsilon: float = float("inf"), delta: float = float("inf")
+    ) -> tuple[AggregateResult | None, bool]:
+        """Like :meth:`get`, plus whether a *strictly* tighter entry served.
+
+        The second component lets callers count ε-dominance reuse from the
+        entry's own stored accuracy — the values the admission decision was
+        actually made on.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None, False
+            if self._expired(entry):
+                del self._entries[key]
+                self.expirations += 1
+                self.misses += 1
+                return None, False
+            if not entry.dominates(epsilon, delta):
+                self.misses += 1
+                return None, False
+            self._entries.move_to_end(key)
+            entry.hits += 1
+            self.hits += 1
+            return entry.result, entry.strictly_dominates(epsilon, delta)
+
+    def put(
+        self, key: str, result: AggregateResult, epsilon: float, delta: float
+    ) -> bool:
+        """Store an answer; returns ``False`` when a fresher, tighter entry wins."""
+        with self._lock:
+            now = self._clock()
+            existing = self._entries.get(key)
+            if existing is not None and not self._expired(existing):
+                if existing.dominates(epsilon, delta):
+                    # The stored answer is at least as accurate: keep it (but
+                    # refresh recency, the key is evidently hot).
+                    self._entries.move_to_end(key)
+                    return False
+            expires_at = float("inf") if self.ttl is None else now + self.ttl
+            self._entries[key] = CacheEntry(
+                result=result, epsilon=epsilon, delta=delta, expires_at=expires_at
+            )
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+            return True
+
+    def purge_expired(self) -> int:
+        """Drop every expired entry eagerly; returns the number removed."""
+        with self._lock:
+            dead = [key for key, entry in self._entries.items() if self._expired(entry)]
+            for key in dead:
+                del self._entries[key]
+            self.expirations += len(dead)
+            return len(dead)
+
+    def clear(self) -> None:
+        """Drop all entries (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def _expired(self, entry: CacheEntry) -> bool:
+        return entry.expires_at < self._clock()
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultCache(size={len(self._entries)}/{self.capacity}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

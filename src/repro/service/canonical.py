@@ -1,0 +1,109 @@
+"""Canonicalization of queries and databases for cache keying.
+
+Two requests should share a cache entry exactly when they denote the same
+set over the same data.  Deciding semantic equivalence of FO+LIN queries is
+as hard as evaluating them, so the service settles for a *structural*
+canonical form that normalises the cheap, common sources of syntactic
+variation:
+
+* nested conjunctions/disjunctions are flattened (``(a AND b) AND c`` and
+  ``a AND (b AND c)`` agree),
+* operands of ``AND``/``OR`` are sorted and de-duplicated (commutativity and
+  idempotence),
+* double negation is eliminated,
+* the bound-variable tuple of an existential quantifier is sorted
+  (``EXISTS x, y`` = ``EXISTS y, x``),
+* constraint atoms rely on :class:`~repro.constraints.atoms.AtomicConstraint`'s
+  canonical ``term <rel> 0`` form with exact rational coefficients.
+
+The canonical form is rendered to a string and hashed with SHA-256, so keys
+are stable across processes and can be shared by external caches.  A database
+*fingerprint* — a hash of every stored relation's name, variable order and
+defining DNF formula — is folded into each request key so that mutating the
+database invalidates all of its entries at once.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable
+
+from repro.constraints.database import ConstraintDatabase
+from repro.queries.ast import QAnd, QConstraint, QExists, QNot, QOr, QRelation, Query
+
+
+def canonical_query(query: Query) -> str:
+    """A stable, structurally canonical serialization of a query AST."""
+    if isinstance(query, QRelation):
+        return f"R:{query.name}({','.join(query.arguments)})"
+    if isinstance(query, QConstraint):
+        return f"C:{query.constraint}"
+    if isinstance(query, QNot):
+        inner = query.operand
+        if isinstance(inner, QNot):
+            return canonical_query(inner.operand)
+        if isinstance(inner, QConstraint):
+            # Push negation into the atom: ¬(t <= 0) canonicalises to t > 0,
+            # which AtomicConstraint renders back in term-relation-zero form.
+            return f"C:{inner.constraint.negate()}"
+        return f"NOT({canonical_query(inner)})"
+    if isinstance(query, (QAnd, QOr)):
+        tag = "AND" if isinstance(query, QAnd) else "OR"
+        parts = sorted(set(_flatten(query, type(query))))
+        if len(parts) == 1:
+            return parts[0]
+        return f"{tag}({';'.join(parts)})"
+    if isinstance(query, QExists):
+        variables = ",".join(sorted(query.variables))
+        return f"EX[{variables}]({canonical_query(query.operand)})"
+    raise TypeError(f"unsupported query node {query!r}")
+
+
+def _flatten(query: Query, node_type: type) -> Iterable[str]:
+    """Canonical operand strings of a (possibly nested) AND/OR chain."""
+    for operand in query.operands:
+        if isinstance(operand, node_type):
+            yield from _flatten(operand, node_type)
+        else:
+            yield canonical_query(operand)
+
+
+def database_fingerprint(database: ConstraintDatabase) -> str:
+    """A hash of the database contents, stable across processes.
+
+    Relation names, their schema variable order and the exact textual DNF of
+    every instance feed the digest; the rendering uses exact rational
+    coefficients, so the fingerprint never suffers floating point drift.
+    """
+    digest = hashlib.sha256()
+    for name in sorted(database.names()):
+        relation = database.relation(name)
+        digest.update(name.encode())
+        digest.update(b"|")
+        digest.update(",".join(relation.variables).encode())
+        digest.update(b"|")
+        digest.update(str(relation).encode())
+        digest.update(b"#")
+    return digest.hexdigest()
+
+
+def request_key(
+    query: Query,
+    database: ConstraintDatabase | str,
+    kind: str = "volume",
+    extra: tuple = (),
+) -> str:
+    """The cache key of one request: query structure + data + request kind.
+
+    ``database`` accepts a precomputed fingerprint string so batch callers can
+    amortise the fingerprint over many keys.  ``extra`` folds in any further
+    discriminating parameters (*not* ε/δ — accuracy is handled by the cache's
+    dominance rule, see :mod:`repro.service.cache`).
+    """
+    fingerprint = (
+        database if isinstance(database, str) else database_fingerprint(database)
+    )
+    payload = "\x1f".join(
+        (kind, fingerprint, canonical_query(query), *map(str, extra))
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()

@@ -1,0 +1,150 @@
+"""Deterministic parallel batch execution.
+
+:func:`execute_batch` serves a list of requests in three phases:
+
+1. **resolve** (sequential) — every request gets a cache key and a dedicated
+   child generator derived upfront with
+   :func:`repro.sampling.rng.spawn_rngs`.  Cache lookups run against the
+   cache state *at batch start*, so which requests hit is independent of
+   worker scheduling.
+2. **compute** (parallel) — cache misses are de-duplicated by key (the first
+   occurrence's generator is used, later duplicates share its answer) and
+   fanned out over a thread pool.  Each unique miss consumes only its own
+   generator, so the produced numbers are bit-identical for any worker
+   count.
+3. **commit** (sequential) — results are stored into the cache in first-
+   occurrence order and the outcomes are assembled in request order.
+
+Threads (not processes) are the right pool here: the hot loops live in NumPy
+and SciPy, which release the GIL, and thread workers can share the session's
+compiled-plan cache and metrics without serialisation.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.queries.aggregates import AggregateResult
+from repro.queries.ast import Query
+from repro.sampling.rng import RandomState, ensure_rng, spawn_rngs
+from repro.service.planner import Plan
+
+
+@dataclass(frozen=True)
+class BatchRequest:
+    """One volume request of a batch (accuracy defaults to the session's)."""
+
+    query: Query
+    epsilon: float | None = None
+    delta: float | None = None
+
+
+@dataclass
+class BatchOutcome:
+    """The served answer for one batch position.
+
+    Attributes
+    ----------
+    index:
+        Position of the request in the submitted batch.
+    key:
+        The structural cache key the request resolved to.
+    result:
+        The aggregate answer.
+    cached:
+        ``True`` when the answer came from the pre-batch cache state.
+    plan:
+        The plan executed for the *unique* computation of this key
+        (``None`` for cache hits).
+    """
+
+    index: int
+    key: str
+    result: AggregateResult
+    cached: bool
+    plan: Plan | None
+
+
+def execute_batch(
+    session,
+    requests: Sequence[BatchRequest | Query],
+    workers: int = 1,
+    rng: RandomState = None,
+) -> list[BatchOutcome]:
+    """Serve a batch of volume requests, deterministically, on ``workers`` threads.
+
+    Bare :class:`~repro.queries.ast.Query` values are accepted and wrapped in
+    default-accuracy :class:`BatchRequest` objects.  With a fixed ``rng``
+    seed the returned values are bit-identical for every choice of
+    ``workers``.
+    """
+    if workers < 1:
+        raise ValueError("workers must be at least 1")
+    normalized = [
+        request if isinstance(request, BatchRequest) else BatchRequest(request)
+        for request in requests
+    ]
+    if not normalized:
+        return []
+    root = ensure_rng(rng)
+    streams = spawn_rngs(root, len(normalized))
+    session.metrics.record_batch(len(normalized))
+
+    # Phase 1 — resolve keys and consult the pre-batch cache state.
+    resolved = []  # (index, key, epsilon, delta, cached_result | None)
+    unique: dict[str, tuple[int, float, float]] = {}
+    for index, request in enumerate(normalized):
+        epsilon, delta = session._resolve_accuracy(request.epsilon, request.delta)
+        key = session.key_for(request.query)
+        cached, dominance = session.cache.lookup(key, epsilon, delta)
+        if cached is not None:
+            session.metrics.record_cache_hit(dominance=dominance)
+        else:
+            session.metrics.record_cache_miss()
+            if key not in unique:
+                unique[key] = (index, epsilon, delta)
+            else:
+                session.metrics.record_coalesced()
+                # A duplicate miss still wants the *tightest* accuracy asked
+                # for in this batch, so one computation satisfies all copies.
+                first_index, best_eps, best_delta = unique[key]
+                unique[key] = (first_index, min(best_eps, epsilon), min(best_delta, delta))
+        resolved.append((index, key, epsilon, delta, cached))
+
+    # Phase 2 — plan and compute each unique miss with its own stream.
+    def compute(key: str) -> tuple[AggregateResult, Plan]:
+        first_index, epsilon, delta = unique[key]
+        request = normalized[first_index]
+        plan = session.planner.plan(
+            request.query, session.database, epsilon=epsilon, delta=delta
+        )
+        result = session._execute(plan, request.query, key, streams[first_index])
+        return result, plan
+
+    computed: dict[str, tuple[AggregateResult, Plan]] = {}
+    if unique:
+        if workers == 1:
+            for key in unique:
+                computed[key] = compute(key)
+        else:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                for key, outcome in zip(unique, pool.map(compute, unique)):
+                    computed[key] = outcome
+
+    # Phase 3 — commit to the cache (first-occurrence order) and assemble.
+    for key, (result, plan) in computed.items():
+        session.cache.put(key, result, plan.epsilon, plan.delta)
+    outcomes: list[BatchOutcome] = []
+    for index, key, epsilon, delta, cached in resolved:
+        if cached is not None:
+            outcomes.append(
+                BatchOutcome(index=index, key=key, result=cached, cached=True, plan=None)
+            )
+        else:
+            result, plan = computed[key]
+            outcomes.append(
+                BatchOutcome(index=index, key=key, result=result, cached=False, plan=plan)
+            )
+    return outcomes

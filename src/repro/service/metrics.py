@@ -1,0 +1,135 @@
+"""Service metrics: cache, plan-choice and latency counters.
+
+The counters are deliberately plain (no external dependency): benchmarks read
+them through :meth:`ServiceMetrics.snapshot` and the harness renders them as
+experiment tables.  All methods are cheap enough to sit on the hot path, and
+mutation is guarded by a lock so the batch executor's worker threads can
+record concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter
+
+
+class ServiceMetrics:
+    """Counters a :class:`~repro.service.session.ServiceSession` maintains.
+
+    Tracked quantities:
+
+    * cache traffic — ``cache_hits`` / ``cache_misses`` (dominance hits are
+      counted separately as ``dominance_hits`` when the stored entry was
+      tighter than requested);
+    * plan choices — one counter per estimator name;
+    * latency — total seconds and request count per estimator, from which
+      :meth:`snapshot` derives means;
+    * budget overruns — requests whose wall-clock exceeded the plan's soft
+      time budget.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.dominance_hits = 0
+        self.coalesced = 0
+        self.plan_choices: Counter[str] = Counter()
+        self.latency_totals: Counter[str] = Counter()
+        self.request_counts: Counter[str] = Counter()
+        self.budget_overruns = 0
+        self.batches = 0
+        self.batch_requests = 0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_cache_hit(self, dominance: bool = False) -> None:
+        """Count a cache hit (``dominance=True`` when a tighter entry served)."""
+        with self._lock:
+            self.cache_hits += 1
+            if dominance:
+                self.dominance_hits += 1
+
+    def record_cache_miss(self) -> None:
+        """Count a cache miss."""
+        with self._lock:
+            self.cache_misses += 1
+
+    def record_coalesced(self) -> None:
+        """Count a batch request that shared another request's computation."""
+        with self._lock:
+            self.coalesced += 1
+
+    def record_plan(self, estimator: str) -> None:
+        """Count one plan choice."""
+        with self._lock:
+            self.plan_choices[estimator] += 1
+
+    def record_latency(
+        self, estimator: str, seconds: float, over_budget: bool = False
+    ) -> None:
+        """Record the wall-clock cost of one executed request."""
+        with self._lock:
+            self.latency_totals[estimator] += seconds
+            self.request_counts[estimator] += 1
+            if over_budget:
+                self.budget_overruns += 1
+
+    def record_batch(self, size: int) -> None:
+        """Count a submitted batch and its request count."""
+        with self._lock:
+            self.batches += 1
+            self.batch_requests += size
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def hit_rate(self) -> float:
+        """Cache hit fraction over all lookups (``0.0`` before any traffic)."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def snapshot(self) -> dict:
+        """A plain-dict copy of every counter (plus derived means)."""
+        with self._lock:
+            mean_latency = {
+                name: self.latency_totals[name] / count
+                for name, count in self.request_counts.items()
+                if count
+            }
+            return {
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
+                "dominance_hits": self.dominance_hits,
+                "coalesced": self.coalesced,
+                "hit_rate": self.hit_rate(),
+                "plan_choices": dict(self.plan_choices),
+                "mean_latency": mean_latency,
+                "total_latency": dict(self.latency_totals),
+                "budget_overruns": self.budget_overruns,
+                "batches": self.batches,
+                "batch_requests": self.batch_requests,
+            }
+
+    def rows(self) -> list[tuple[str, object]]:
+        """The snapshot flattened into (metric, value) rows for the harness."""
+        snap = self.snapshot()
+        rows: list[tuple[str, object]] = []
+        for name in ("cache_hits", "cache_misses", "dominance_hits", "coalesced"):
+            rows.append((name, snap[name]))
+        rows.append(("hit_rate", round(snap["hit_rate"], 4)))
+        for estimator, count in sorted(snap["plan_choices"].items()):
+            rows.append((f"plan[{estimator}]", count))
+        for estimator, latency in sorted(snap["mean_latency"].items()):
+            rows.append((f"mean_latency[{estimator}]", round(latency, 6)))
+        rows.append(("budget_overruns", snap["budget_overruns"]))
+        rows.append(("batches", snap["batches"]))
+        rows.append(("batch_requests", snap["batch_requests"]))
+        return rows
+
+    def __repr__(self) -> str:
+        return (
+            f"ServiceMetrics(hits={self.cache_hits}, misses={self.cache_misses}, "
+            f"plans={dict(self.plan_choices)!r})"
+        )

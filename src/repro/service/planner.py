@@ -1,0 +1,276 @@
+"""Cost-based plan selection for aggregate queries.
+
+The library offers three routes to a volume:
+
+* **exact** — symbolic evaluation plus inclusion–exclusion
+  (:func:`repro.queries.aggregates.exact_volume`).  Exponential in the
+  dimension (vertex enumeration) and in the number of disjuncts
+  (inclusion–exclusion), but unbeatable when both are tiny: no sampling, no
+  error, and the answer dominates every ε in the cache.
+* **monte_carlo** — uniform sampling of the bounding box
+  (:func:`repro.volume.monte_carlo.monte_carlo_volume`).  Cheap per sample
+  and insensitive to the disjunct count, but the sample size for a relative
+  guarantee grows with ``vol(box)/vol(S)`` — only viable in low dimension
+  with loose accuracy requirements.
+* **telescoping** — the paper's route: compile to an observable plan and run
+  the DFK telescoping estimator.  Polynomial in the dimension and the only
+  route that supports projection and negation without materialising the
+  result.
+
+:class:`Planner` inspects a cheap structural profile of the query (dimension,
+atom counts, a syntactic disjunct estimate, the description size of the
+referenced stored relations) together with the requested ε/δ and picks a
+route plus per-query sample/time budgets.  The decision rules are ordered and
+deliberately simple — each is stated in the plan's ``reason`` so benchmarks
+and tests can assert on *why* a route was chosen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.constraints.database import ConstraintDatabase
+from repro.queries.ast import QAnd, QConstraint, QExists, QNot, QOr, QRelation, Query
+from repro.volume.chernoff import chernoff_ratio_sample_size
+
+
+def telescoping_samples_per_phase(
+    epsilon: float, base_samples: int = 800
+) -> int:
+    """Per-phase telescoping budget, scaled quadratically from the ε=0.2 default."""
+    scaled = int(base_samples * (0.2 / max(epsilon, 1e-3)) ** 2)
+    return max(200, min(scaled, 20_000))
+
+
+@dataclass(frozen=True)
+class QueryProfile:
+    """A cheap structural summary of a query over a concrete database.
+
+    Attributes
+    ----------
+    dimension:
+        Number of free variables of the query (the ambient dimension of the
+        result).
+    relation_atoms / constraint_atoms:
+        Counts of the two atom kinds.
+    has_negation / has_projection:
+        Whether the query uses ``NOT`` / ``EXISTS`` anywhere.
+    disjunct_estimate:
+        Syntactic upper bound on the DNF size of the result: stored relations
+        contribute their disjunct counts, ``AND`` multiplies, ``OR`` adds.
+    description_size:
+        Total description size of the stored relations the query references
+        (the paper's input-size measure).
+    """
+
+    dimension: int
+    relation_atoms: int
+    constraint_atoms: int
+    has_negation: bool
+    has_projection: bool
+    disjunct_estimate: int
+    description_size: int
+
+    @property
+    def atom_count(self) -> int:
+        """Total number of atoms (relation + constraint)."""
+        return self.relation_atoms + self.constraint_atoms
+
+
+def profile_query(query: Query, database: ConstraintDatabase) -> QueryProfile:
+    """Compute the structural profile the planner's cost model consumes."""
+    state = {
+        "relation_atoms": 0,
+        "constraint_atoms": 0,
+        "has_negation": False,
+        "has_projection": False,
+        "description_size": 0,
+    }
+    disjuncts = _scan(query, database, state)
+    return QueryProfile(
+        dimension=len(query.free_variables()),
+        relation_atoms=state["relation_atoms"],
+        constraint_atoms=state["constraint_atoms"],
+        has_negation=state["has_negation"],
+        has_projection=state["has_projection"],
+        disjunct_estimate=disjuncts,
+        description_size=state["description_size"],
+    )
+
+
+def _scan(query: Query, database: ConstraintDatabase, state: dict) -> int:
+    """Accumulate atom statistics and return the node's disjunct estimate."""
+    if isinstance(query, QRelation):
+        state["relation_atoms"] += 1
+        if query.name in database:
+            relation = database.relation(query.name)
+            state["description_size"] += relation.description_size()
+            return max(len(relation.disjuncts), 1)
+        return 1
+    if isinstance(query, QConstraint):
+        state["constraint_atoms"] += 1
+        state["description_size"] += 1
+        return 1
+    if isinstance(query, QNot):
+        state["has_negation"] = True
+        return _scan(query.operand, database, state)
+    if isinstance(query, QExists):
+        state["has_projection"] = True
+        return _scan(query.operand, database, state)
+    if isinstance(query, QAnd):
+        product = 1
+        for operand in query.operands:
+            product *= _scan(operand, database, state)
+        return product
+    if isinstance(query, QOr):
+        return sum(_scan(operand, database, state) for operand in query.operands)
+    raise TypeError(f"unsupported query node {query!r}")
+
+
+@dataclass(frozen=True)
+class Plan:
+    """The planner's verdict for one request.
+
+    Attributes
+    ----------
+    estimator:
+        ``"exact"``, ``"monte_carlo"`` or ``"telescoping"``.
+    epsilon / delta:
+        The accuracy the plan was selected for.
+    sample_budget:
+        Upper bound on random samples the executor should spend (``0`` for
+        the exact route).
+    time_budget:
+        Soft wall-clock budget in seconds; overruns are recorded in the
+        service metrics, not enforced by interruption.
+    reason:
+        Human-readable statement of the decisive rule.
+    min_hit_fraction:
+        Monte-Carlo only: the volume fraction ``vol(S)/vol(box)`` the sample
+        size was dimensioned for.  The executor must verify the observed hit
+        fraction reaches it — below the floor the relative guarantee does not
+        hold and the answer must not be served (see
+        :func:`repro.service.session.run_plan`).
+    profile:
+        The structural profile the decision was based on.
+    """
+
+    estimator: str
+    epsilon: float
+    delta: float
+    sample_budget: int
+    time_budget: float
+    reason: str
+    min_hit_fraction: float = 0.0
+    profile: QueryProfile = field(repr=False, default=None)  # type: ignore[assignment]
+
+
+class Planner:
+    """Rule-ordered cost model choosing between the three volume routes.
+
+    Parameters bound the regime of each route; the defaults favour the exact
+    route only where it is effectively free and fall back to the paper's
+    telescoping estimator everywhere else.
+    """
+
+    def __init__(
+        self,
+        exact_dimension_limit: int = 3,
+        exact_disjunct_limit: int = 8,
+        monte_carlo_dimension_limit: int = 4,
+        monte_carlo_min_epsilon: float = 0.15,
+        monte_carlo_min_fraction: float = 0.05,
+        monte_carlo_sample_cap: int = 60_000,
+        telescoping_base_samples: int = 800,
+        time_budget_per_unit: float = 0.02,
+    ) -> None:
+        self.exact_dimension_limit = exact_dimension_limit
+        self.exact_disjunct_limit = exact_disjunct_limit
+        self.monte_carlo_dimension_limit = monte_carlo_dimension_limit
+        self.monte_carlo_min_epsilon = monte_carlo_min_epsilon
+        self.monte_carlo_min_fraction = monte_carlo_min_fraction
+        self.monte_carlo_sample_cap = monte_carlo_sample_cap
+        self.telescoping_base_samples = telescoping_base_samples
+        self.time_budget_per_unit = time_budget_per_unit
+
+    def plan(
+        self,
+        query: Query,
+        database: ConstraintDatabase,
+        epsilon: float = 0.2,
+        delta: float = 0.1,
+    ) -> Plan:
+        """Select the estimator and budgets for one volume request."""
+        profile = profile_query(query, database)
+        time_budget = self.time_budget_per_unit * max(
+            profile.description_size * max(profile.dimension, 1), 1
+        )
+        symbolic_friendly = not profile.has_negation and not profile.has_projection
+        if (
+            symbolic_friendly
+            and profile.dimension <= self.exact_dimension_limit
+            and profile.disjunct_estimate <= self.exact_disjunct_limit
+        ):
+            return Plan(
+                estimator="exact",
+                epsilon=0.0,
+                delta=0.0,
+                sample_budget=0,
+                time_budget=time_budget,
+                reason=(
+                    f"dimension {profile.dimension} <= {self.exact_dimension_limit} and "
+                    f"{profile.disjunct_estimate} disjunct(s) <= {self.exact_disjunct_limit}: "
+                    "inclusion-exclusion is cheap and its answer dominates every epsilon"
+                ),
+                profile=profile,
+            )
+        if (
+            symbolic_friendly
+            and profile.dimension <= self.monte_carlo_dimension_limit
+            and epsilon >= self.monte_carlo_min_epsilon
+        ):
+            # Dimension the sample count for a *relative* (1 + ε) guarantee
+            # under the assumption vol(S)/vol(box) >= min_fraction; the
+            # executor verifies the observed hit fraction and falls back to
+            # telescoping when the assumption fails (the naive estimator's
+            # known failure mode, experiment E10).  When the required count
+            # exceeds the cap the guarantee cannot be met at this accuracy,
+            # so the route is not taken at all — a capped run would be
+            # cached at an accuracy it does not have.
+            samples = chernoff_ratio_sample_size(
+                epsilon, delta, self.monte_carlo_min_fraction
+            )
+            if samples <= self.monte_carlo_sample_cap:
+                return Plan(
+                    estimator="monte_carlo",
+                    epsilon=epsilon,
+                    delta=delta,
+                    sample_budget=samples,
+                    time_budget=time_budget,
+                    reason=(
+                        f"dimension {profile.dimension} <= {self.monte_carlo_dimension_limit} "
+                        f"with loose epsilon {epsilon:g} but {profile.disjunct_estimate} "
+                        "disjuncts: box sampling beats 2^disjuncts inclusion-exclusion"
+                    ),
+                    min_hit_fraction=self.monte_carlo_min_fraction,
+                    profile=profile,
+                )
+        samples = self._telescoping_samples(epsilon)
+        reason = (
+            "projection/negation requires the observable route"
+            if not symbolic_friendly
+            else f"dimension {profile.dimension} needs the polynomial-time telescoping estimator"
+        )
+        return Plan(
+            estimator="telescoping",
+            epsilon=epsilon,
+            delta=delta,
+            sample_budget=samples,
+            time_budget=time_budget,
+            reason=reason,
+            profile=profile,
+        )
+
+    def _telescoping_samples(self, epsilon: float) -> int:
+        """Per-phase sample budget for the telescoping route."""
+        return telescoping_samples_per_phase(epsilon, self.telescoping_base_samples)

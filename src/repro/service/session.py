@@ -1,0 +1,305 @@
+"""The serving facade: plan, cache, execute, measure.
+
+:class:`ServiceSession` is the object a server process holds per database.
+Every request flows through the same pipeline:
+
+1. **canonicalize** — the query and database fingerprint become a structural
+   cache key (:mod:`repro.service.canonical`);
+2. **cache lookup** — subject to the ε-dominance rule of
+   :mod:`repro.service.cache`;
+3. **plan** — on a miss, the cost model of :mod:`repro.service.planner`
+   chooses between exact evaluation, box Monte-Carlo and the telescoping
+   estimator, with sample/time budgets;
+4. **execute** — :func:`run_plan` carries the plan out;
+5. **record** — plan choice, latency and cache traffic land in
+   :class:`~repro.service.metrics.ServiceMetrics`.
+
+Batches go through :func:`repro.service.executor.execute_batch`, which
+de-duplicates requests and fans misses out across a worker pool with
+deterministic per-request random streams.
+"""
+
+from __future__ import annotations
+
+import time
+from threading import Lock
+from typing import Callable
+
+import numpy as np
+
+from repro.constraints.database import ConstraintDatabase
+from repro.core.observable import GeneratorParams, ObservableRelation
+from repro.queries.aggregates import AggregateResult, exact_volume
+from repro.queries.ast import Query
+from repro.queries.compiler import compile_query
+from repro.queries.symbolic import evaluate_symbolic
+from repro.sampling.rng import RandomState, ensure_rng
+from repro.service.cache import ResultCache
+from repro.service.canonical import database_fingerprint, request_key
+from repro.service.metrics import ServiceMetrics
+from repro.service.planner import Plan, Planner, telescoping_samples_per_phase
+from repro.volume.monte_carlo import monte_carlo_volume
+
+
+def run_plan(
+    plan: Plan,
+    query: Query,
+    database: ConstraintDatabase,
+    params: GeneratorParams | None = None,
+    rng: RandomState = None,
+    compiled: ObservableRelation | None = None,
+    compile_fn: Callable[[int], ObservableRelation] | None = None,
+) -> AggregateResult:
+    """Execute a planner verdict and return the aggregate answer.
+
+    ``compiled`` lets callers reuse a previously compiled observable plan for
+    the telescoping route; ``compile_fn`` (samples-per-phase → observable)
+    lets them keep control of compilation for the *fallback* paths too — the
+    session passes its memoising ``compile_cached`` so fallbacks share the
+    compiled-plan cache and the session's gamma.  The Monte-Carlo route falls
+    back to telescoping when the query result has no syntactic bounding box
+    or fills too little of it.
+    """
+    if plan.estimator == "exact":
+        return exact_volume(query, database)
+    rng = ensure_rng(rng)
+    if plan.estimator == "monte_carlo":
+        relation = evaluate_symbolic(query, database)
+        box = relation.bounding_box()
+        if box is not None and all(name in box for name in relation.variables):
+            bounds = [
+                (float(box[name][0]), float(box[name][1]))
+                for name in relation.variables
+            ]
+            from repro.sampling.oracles import oracle_from_relation
+
+            estimate = monte_carlo_volume(
+                oracle_from_relation(relation),
+                bounds,
+                plan.epsilon,
+                plan.delta,
+                rng=rng,
+                samples=plan.sample_budget or None,
+            )
+            fraction = estimate.details.get("hit_fraction", 0.0)
+            if fraction >= plan.min_hit_fraction:
+                return AggregateResult(
+                    value=estimate.value, estimate=estimate, exact=False
+                )
+            # The body fills too little of its box: the sample size was
+            # dimensioned for vol(S)/vol(box) >= min_hit_fraction, so the
+            # relative guarantee does not hold — fall through to the
+            # telescoping route instead of serving (and caching) a value
+            # whose error is unbounded.
+        # No finite box, or the hit-fraction floor failed: only the
+        # observable route carries the relative guarantee.
+    if compiled is None:
+        if plan.estimator == "telescoping" and plan.sample_budget:
+            samples_per_phase = plan.sample_budget
+        else:
+            # Fallbacks from the Monte-Carlo route must not inherit its
+            # box-sampling budget; size the phases for the requested ε.
+            samples_per_phase = telescoping_samples_per_phase(plan.epsilon)
+        if compile_fn is not None:
+            compiled = compile_fn(samples_per_phase)
+        else:
+            accuracy = params if params is not None else GeneratorParams(
+                epsilon=plan.epsilon, delta=plan.delta
+            )
+            compiled = compile_query(
+                query,
+                database,
+                params=accuracy,
+                samples_per_phase=samples_per_phase,
+            )
+    estimate = compiled.estimate_volume(plan.epsilon, plan.delta, rng=rng)
+    return AggregateResult(value=estimate.value, estimate=estimate, exact=False)
+
+
+def _executed_route(plan: Plan, result: AggregateResult) -> str:
+    """The estimator that actually produced ``result`` (fallbacks included)."""
+    if result.exact:
+        return "exact"
+    estimate = result.estimate
+    if estimate is not None and estimate.method.startswith("monte-carlo"):
+        return "monte_carlo"
+    if plan.estimator == "monte_carlo":
+        return "telescoping"
+    return plan.estimator
+
+
+class ServiceSession:
+    """A cached, planned, metered query-serving session over one database.
+
+    Parameters
+    ----------
+    database:
+        The constraint database to serve.
+    params:
+        Default accuracy parameters (ε/δ defaults for requests that omit
+        them).
+    planner / cache / metrics:
+        Injectable collaborators; fresh defaults are created when omitted.
+    compiled_capacity:
+        Size of the compiled-plan cache (observable plans are reusable
+        across requests with different accuracy, so they are cached
+        separately from results).
+    """
+
+    def __init__(
+        self,
+        database: ConstraintDatabase,
+        params: GeneratorParams | None = None,
+        planner: Planner | None = None,
+        cache: ResultCache | None = None,
+        metrics: ServiceMetrics | None = None,
+        compiled_capacity: int = 64,
+    ) -> None:
+        self.database = database
+        self.params = params if params is not None else GeneratorParams()
+        self.planner = planner if planner is not None else Planner()
+        self.cache = cache if cache is not None else ResultCache()
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self._fingerprint = database_fingerprint(database)
+        self._compiled: dict[str, ObservableRelation] = {}
+        self._compiled_capacity = compiled_capacity
+        self._lock = Lock()
+
+    # ------------------------------------------------------------------
+    # Keys and plans
+    # ------------------------------------------------------------------
+    @property
+    def fingerprint(self) -> str:
+        """The database fingerprint baked into every cache key."""
+        return self._fingerprint
+
+    def refresh_fingerprint(self) -> str:
+        """Recompute the fingerprint after a database mutation.
+
+        Old cache entries become unreachable (their keys embed the stale
+        fingerprint) and age out through LRU/TTL.
+        """
+        self._fingerprint = database_fingerprint(self.database)
+        return self._fingerprint
+
+    def key_for(self, query: Query, kind: str = "volume") -> str:
+        """The structural cache key of a request."""
+        return request_key(query, self._fingerprint, kind)
+
+    def explain(
+        self, query: Query, epsilon: float | None = None, delta: float | None = None
+    ) -> Plan:
+        """The plan the session would execute for this request (no execution)."""
+        epsilon, delta = self._resolve_accuracy(epsilon, delta)
+        return self.planner.plan(query, self.database, epsilon=epsilon, delta=delta)
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def volume(
+        self,
+        query: Query,
+        epsilon: float | None = None,
+        delta: float | None = None,
+        rng: RandomState = None,
+        use_cache: bool = True,
+    ) -> AggregateResult:
+        """Serve one volume request through the cache → plan → execute pipeline."""
+        epsilon, delta = self._resolve_accuracy(epsilon, delta)
+        key = self.key_for(query)
+        if use_cache:
+            cached, dominance = self.cache.lookup(key, epsilon, delta)
+            if cached is not None:
+                self.metrics.record_cache_hit(dominance=dominance)
+                return cached
+            self.metrics.record_cache_miss()
+        plan = self.planner.plan(query, self.database, epsilon=epsilon, delta=delta)
+        result = self._execute(plan, query, key, rng)
+        if use_cache:
+            self.cache.put(key, result, plan.epsilon, plan.delta)
+        return result
+
+    def sample(
+        self, query: Query, count: int, rng: RandomState = None
+    ) -> np.ndarray:
+        """Almost uniform points of the query result, via a cached compiled plan."""
+        compiled = self.compile_cached(query)
+        return compiled.generate_many(count, ensure_rng(rng))
+
+    def submit_batch(self, requests, workers: int = 1, rng: RandomState = None):
+        """Serve a batch of requests; see :func:`repro.service.executor.execute_batch`."""
+        from repro.service.executor import execute_batch
+
+        return execute_batch(self, requests, workers=workers, rng=rng)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def compile_cached(
+        self, query: Query, samples_per_phase: int = 800
+    ) -> ObservableRelation:
+        """Compile a query to an observable plan, memoised on the structural key."""
+        key = self.key_for(query, kind=f"compiled:{samples_per_phase}")
+        with self._lock:
+            compiled = self._compiled.get(key)
+        if compiled is not None:
+            return compiled
+        compiled = compile_query(
+            query, self.database, params=self.params, samples_per_phase=samples_per_phase
+        )
+        with self._lock:
+            if len(self._compiled) >= self._compiled_capacity:
+                # Drop the oldest insertion; plans are cheap to rebuild.
+                self._compiled.pop(next(iter(self._compiled)))
+            self._compiled[key] = compiled
+        return compiled
+
+    def _execute(
+        self, plan: Plan, query: Query, key: str, rng: RandomState
+    ) -> AggregateResult:
+        compiled = None
+        if plan.estimator == "telescoping":
+            compiled = self.compile_cached(
+                query, samples_per_phase=plan.sample_budget or 800
+            )
+        start = time.perf_counter()
+        result = run_plan(
+            plan,
+            query,
+            self.database,
+            params=None,
+            rng=rng,
+            compiled=compiled,
+            # Fallback compilations (Monte-Carlo route without a usable box)
+            # go through the memoising compile_cached as well, keeping the
+            # session's gamma and avoiding recompiles on repeat misses.
+            compile_fn=lambda spp: self.compile_cached(query, samples_per_phase=spp),
+        )
+        elapsed = time.perf_counter() - start
+        # Record the route that actually ran: the Monte-Carlo plan falls back
+        # to telescoping when the result has no box or fills too little of it.
+        executed = _executed_route(plan, result)
+        self.metrics.record_plan(executed)
+        self.metrics.record_latency(
+            executed, elapsed, over_budget=elapsed > plan.time_budget
+        )
+        return result
+
+    def _resolve_accuracy(
+        self, epsilon: float | None, delta: float | None
+    ) -> tuple[float, float]:
+        epsilon = self.params.epsilon if epsilon is None else epsilon
+        delta = self.params.delta if delta is None else delta
+        # Validate at the serving surface so out-of-range requests fail the
+        # same way on every route (the estimators require (0, 1); 0 is
+        # allowed here because the exact route satisfies it).
+        if not 0.0 <= epsilon < 1.0:
+            raise ValueError(f"epsilon must lie in [0, 1), got {epsilon}")
+        if not 0.0 <= delta < 1.0:
+            raise ValueError(f"delta must lie in [0, 1), got {delta}")
+        return epsilon, delta
+
+    def __repr__(self) -> str:
+        return (
+            f"ServiceSession(relations={len(self.database)}, cache={self.cache!r})"
+        )

@@ -1,6 +1,11 @@
 """Volume estimators: DFK telescoping, Monte-Carlo baseline, exact baselines."""
 
-from repro.volume.base import EstimationError, VolumeEstimate, approximates_with_ratio
+from repro.volume.base import (
+    EstimationError,
+    VolumeEstimate,
+    accuracy_dominates,
+    approximates_with_ratio,
+)
 from repro.volume.chernoff import (
     chernoff_ratio_sample_size,
     hoeffding_sample_size,
@@ -23,6 +28,7 @@ from repro.volume.telescoping import (
 __all__ = [
     "EstimationError",
     "VolumeEstimate",
+    "accuracy_dominates",
     "approximates_with_ratio",
     "chernoff_ratio_sample_size",
     "hoeffding_sample_size",

@@ -59,11 +59,32 @@ class VolumeEstimate:
             return self.value == 0.0
         return true_value / bound <= self.value <= true_value * bound
 
+    def satisfies(self, epsilon: float, delta: float) -> bool:
+        """Does this estimate's accuracy satisfy a request for ``(ε, δ)``?
+
+        Delegates to :func:`accuracy_dominates`, the dominance rule the
+        service cache (:mod:`repro.service.cache`) reuses results under.
+        """
+        return accuracy_dominates(self.epsilon, self.delta, epsilon, delta)
+
     def relative_error(self, true_value: float) -> float:
         """Relative error ``|value - true| / true`` against a reference value."""
         if true_value == 0.0:
             return float("inf") if self.value != 0.0 else 0.0
         return abs(self.value - true_value) / true_value
+
+
+def accuracy_dominates(
+    epsilon: float, delta: float, requested_epsilon: float, requested_delta: float
+) -> bool:
+    """Does accuracy ``(ε, δ)`` satisfy a request for ``(ε', δ')``?
+
+    An answer computed at a tighter (smaller or equal) ε *and* δ is also a
+    valid answer for the looser request; an exact answer (``ε = δ = 0``)
+    satisfies everything.  This is the single definition of the dominance
+    rule shared by :meth:`VolumeEstimate.satisfies` and the service cache.
+    """
+    return epsilon <= requested_epsilon and delta <= requested_delta
 
 
 def approximates_with_ratio(value: float, reference: float, ratio: float) -> bool:

@@ -1,0 +1,125 @@
+"""Result cache behaviour: LRU eviction, TTL expiry, ε-dominance reuse."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.queries.aggregates import AggregateResult
+from repro.service.cache import ResultCache
+from repro.volume.base import VolumeEstimate
+
+
+def _result(value: float, epsilon: float = 0.2, delta: float = 0.1, exact: bool = False):
+    if exact:
+        return AggregateResult(value=value, estimate=None, exact=True)
+    estimate = VolumeEstimate(value=value, epsilon=epsilon, delta=delta, method="test")
+    return AggregateResult(value=value, estimate=estimate, exact=False)
+
+
+class FakeClock:
+    """A manually advanced monotonic clock for TTL tests."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestLRU:
+    def test_store_and_retrieve(self):
+        cache = ResultCache(capacity=4, ttl=None)
+        cache.put("k", _result(1.0), epsilon=0.2, delta=0.1)
+        assert cache.get("k", 0.2, 0.1).value == 1.0
+        assert cache.hits == 1 and cache.misses == 0
+
+    def test_capacity_evicts_least_recently_used(self):
+        cache = ResultCache(capacity=2, ttl=None)
+        cache.put("a", _result(1.0), 0.2, 0.1)
+        cache.put("b", _result(2.0), 0.2, 0.1)
+        assert cache.get("a", 0.2, 0.1) is not None  # refresh "a"
+        cache.put("c", _result(3.0), 0.2, 0.1)  # evicts "b"
+        assert cache.get("b", 0.2, 0.1) is None
+        assert cache.get("a", 0.2, 0.1) is not None
+        assert cache.get("c", 0.2, 0.1) is not None
+        assert cache.evictions == 1
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ResultCache(capacity=0)
+        with pytest.raises(ValueError):
+            ResultCache(ttl=0.0)
+
+
+class TestTTL:
+    def test_entry_expires(self):
+        clock = FakeClock()
+        cache = ResultCache(capacity=4, ttl=10.0, clock=clock)
+        cache.put("k", _result(1.0), 0.2, 0.1)
+        clock.advance(5.0)
+        assert cache.get("k", 0.2, 0.1) is not None
+        clock.advance(6.0)
+        assert cache.get("k", 0.2, 0.1) is None
+        assert cache.expirations == 1
+
+    def test_purge_expired(self):
+        clock = FakeClock()
+        cache = ResultCache(capacity=8, ttl=10.0, clock=clock)
+        cache.put("a", _result(1.0), 0.2, 0.1)
+        clock.advance(11.0)
+        cache.put("b", _result(2.0), 0.2, 0.1)
+        assert cache.purge_expired() == 1
+        assert len(cache) == 1 and "b" in cache
+
+    def test_expired_entry_can_be_replaced_by_looser(self):
+        clock = FakeClock()
+        cache = ResultCache(capacity=4, ttl=10.0, clock=clock)
+        cache.put("k", _result(1.0, epsilon=0.05), 0.05, 0.05)
+        clock.advance(11.0)
+        assert cache.put("k", _result(2.0, epsilon=0.3), 0.3, 0.1) is True
+        assert cache.get("k", 0.3, 0.1).value == 2.0
+
+
+class TestDominance:
+    def test_estimate_satisfies_mirrors_dominance(self):
+        estimate = VolumeEstimate(value=1.0, epsilon=0.1, delta=0.05, method="test")
+        assert estimate.satisfies(0.2, 0.1)
+        assert estimate.satisfies(0.1, 0.05)
+        assert not estimate.satisfies(0.05, 0.1)
+        assert not estimate.satisfies(0.2, 0.01)
+
+    def test_tighter_entry_serves_looser_request(self):
+        cache = ResultCache(capacity=4, ttl=None)
+        cache.put("k", _result(1.0, epsilon=0.05, delta=0.01), 0.05, 0.01)
+        assert cache.get("k", 0.3, 0.1) is not None
+
+    def test_looser_entry_rejected_for_tighter_request(self):
+        cache = ResultCache(capacity=4, ttl=None)
+        cache.put("k", _result(1.0, epsilon=0.3), 0.3, 0.1)
+        assert cache.get("k", 0.05, 0.1) is None
+        assert cache.misses == 1
+
+    def test_delta_participates_in_dominance(self):
+        cache = ResultCache(capacity=4, ttl=None)
+        cache.put("k", _result(1.0, epsilon=0.1, delta=0.2), 0.1, 0.2)
+        assert cache.get("k", 0.2, 0.1) is None
+
+    def test_exact_answer_serves_every_accuracy(self):
+        cache = ResultCache(capacity=4, ttl=None)
+        cache.put("k", _result(1.0, exact=True), 0.0, 0.0)
+        assert cache.get("k", 0.01, 0.001) is not None
+
+    def test_looser_put_does_not_overwrite_fresh_tighter_entry(self):
+        cache = ResultCache(capacity=4, ttl=None)
+        cache.put("k", _result(1.0, epsilon=0.05), 0.05, 0.05)
+        assert cache.put("k", _result(2.0, epsilon=0.3), 0.3, 0.1) is False
+        assert cache.get("k", 0.3, 0.1).value == 1.0
+
+    def test_tighter_put_replaces_looser_entry(self):
+        cache = ResultCache(capacity=4, ttl=None)
+        cache.put("k", _result(1.0, epsilon=0.3), 0.3, 0.1)
+        assert cache.put("k", _result(2.0, epsilon=0.05), 0.05, 0.05) is True
+        assert cache.get("k", 0.1, 0.1).value == 2.0

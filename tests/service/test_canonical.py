@@ -1,0 +1,102 @@
+"""Canonicalization: structurally equivalent queries share cache keys."""
+
+from __future__ import annotations
+
+from repro.constraints.atoms import AtomicConstraint, Relation
+from repro.constraints.database import ConstraintDatabase
+from repro.constraints.relations import GeneralizedRelation
+from repro.constraints.terms import LinearTerm
+from repro.queries.ast import QAnd, QConstraint, QNot, QOr, QRelation
+from repro.service.canonical import canonical_query, database_fingerprint, request_key
+
+
+def _atom(name: str) -> QRelation:
+    return QRelation(name, ("x", "y"))
+
+
+class TestCanonicalQuery:
+    def test_conjunction_commutes(self):
+        left = QAnd((_atom("A"), _atom("B")))
+        right = QAnd((_atom("B"), _atom("A")))
+        assert canonical_query(left) == canonical_query(right)
+
+    def test_disjunction_commutes(self):
+        assert canonical_query(QOr((_atom("A"), _atom("B")))) == canonical_query(
+            QOr((_atom("B"), _atom("A")))
+        )
+
+    def test_nested_conjunctions_flatten(self):
+        nested = QAnd((QAnd((_atom("A"), _atom("B"))), _atom("C")))
+        flat = QAnd((_atom("A"), _atom("B"), _atom("C")))
+        assert canonical_query(nested) == canonical_query(flat)
+
+    def test_duplicate_operands_collapse(self):
+        assert canonical_query(QAnd((_atom("A"), _atom("A")))) == canonical_query(
+            _atom("A")
+        )
+
+    def test_double_negation_eliminated(self):
+        assert canonical_query(QNot(QNot(_atom("A")))) == canonical_query(_atom("A"))
+
+    def test_negated_constraint_pushed_into_atom(self):
+        x = LinearTerm.variable("x")
+        le = QConstraint(AtomicConstraint(x, Relation.LE))
+        gt = QConstraint(AtomicConstraint(x, Relation.GT))
+        assert canonical_query(QNot(le)) == canonical_query(gt)
+
+    def test_exists_variable_order_irrelevant(self):
+        body = QRelation("A", ("x", "y", "z"))
+        assert canonical_query(body.exists("x", "y")) == canonical_query(
+            body.exists("y", "x")
+        )
+
+    def test_and_or_distinguished(self):
+        assert canonical_query(QAnd((_atom("A"), _atom("B")))) != canonical_query(
+            QOr((_atom("A"), _atom("B")))
+        )
+
+    def test_different_relations_distinguished(self):
+        assert canonical_query(_atom("A")) != canonical_query(_atom("B"))
+
+    def test_argument_order_distinguished(self):
+        assert canonical_query(QRelation("A", ("x", "y"))) != canonical_query(
+            QRelation("A", ("y", "x"))
+        )
+
+
+class TestFingerprintAndKeys:
+    def _database(self, upper: float = 1.0) -> ConstraintDatabase:
+        database = ConstraintDatabase()
+        database.set_relation("A", GeneralizedRelation.box({"x": (0, upper), "y": (0, 1)}))
+        return database
+
+    def test_fingerprint_stable(self):
+        assert database_fingerprint(self._database()) == database_fingerprint(
+            self._database()
+        )
+
+    def test_fingerprint_tracks_data(self):
+        assert database_fingerprint(self._database(1.0)) != database_fingerprint(
+            self._database(2.0)
+        )
+
+    def test_request_key_accepts_precomputed_fingerprint(self):
+        database = self._database()
+        fingerprint = database_fingerprint(database)
+        query = _atom("A")
+        assert request_key(query, database) == request_key(query, fingerprint)
+
+    def test_request_key_separates_kinds(self):
+        database = self._database()
+        query = _atom("A")
+        assert request_key(query, database, kind="volume") != request_key(
+            query, database, kind="sample"
+        )
+
+    def test_equivalent_queries_share_keys(self):
+        database = ConstraintDatabase()
+        database.set_relation("A", GeneralizedRelation.box({"x": (0, 1), "y": (0, 1)}))
+        database.set_relation("B", GeneralizedRelation.box({"x": (0, 2), "y": (0, 2)}))
+        left = QAnd((_atom("A"), _atom("B")))
+        right = QAnd((_atom("B"), _atom("A")))
+        assert request_key(left, database) == request_key(right, database)

@@ -1,0 +1,113 @@
+"""Planner decisions: route choice tracks dimension, disjuncts and accuracy."""
+
+from __future__ import annotations
+
+from repro.constraints.database import ConstraintDatabase
+from repro.constraints.relations import GeneralizedRelation
+from repro.constraints.tuples import GeneralizedTuple
+from repro.queries.ast import QAnd, QNot, QRelation
+from repro.service.planner import Planner, profile_query
+
+
+def box_database(name: str = "A", dimension: int = 2) -> ConstraintDatabase:
+    database = ConstraintDatabase()
+    bounds = {f"x{i}": (0, 1) for i in range(dimension)}
+    database.set_relation(name, GeneralizedRelation.box(bounds))
+    return database
+
+
+def atom(name: str = "A", dimension: int = 2) -> QRelation:
+    return QRelation(name, tuple(f"x{i}" for i in range(dimension)))
+
+
+def striped_database(disjuncts: int) -> ConstraintDatabase:
+    tiles = [
+        GeneralizedTuple.box({"x0": (i, i + 0.9), "x1": (0, 1)})
+        for i in range(disjuncts)
+    ]
+    database = ConstraintDatabase()
+    database.set_relation("S", GeneralizedRelation(tiles, ("x0", "x1")))
+    return database
+
+
+class TestProfile:
+    def test_counts_atoms_and_dimension(self):
+        database = box_database()
+        query = QAnd((atom(), atom()))
+        profile = profile_query(query, database)
+        assert profile.relation_atoms == 2
+        assert profile.dimension == 2
+        assert not profile.has_negation and not profile.has_projection
+
+    def test_disjunct_estimate_multiplies_under_and(self):
+        database = striped_database(3)
+        query = QAnd((QRelation("S", ("x0", "x1")), QRelation("S", ("x0", "x1"))))
+        # Duplicate atoms are a degenerate query but the syntactic estimate
+        # must still multiply: 3 * 3.
+        assert profile_query(query, database).disjunct_estimate == 9
+
+    def test_projection_and_negation_flagged(self):
+        database = box_database()
+        projected = atom().exists("x0")
+        assert profile_query(projected, database).has_projection
+        negated = QAnd((atom(), QNot(atom())))
+        assert profile_query(negated, database).has_negation
+
+
+class TestPlanSelection:
+    def test_small_low_dimension_goes_exact(self):
+        plan = Planner().plan(atom(), box_database(), epsilon=0.2, delta=0.1)
+        assert plan.estimator == "exact"
+        assert plan.epsilon == 0.0 and plan.delta == 0.0
+        assert plan.sample_budget == 0
+
+    def test_high_dimension_goes_telescoping(self):
+        database = box_database(dimension=6)
+        plan = Planner().plan(atom(dimension=6), database, epsilon=0.2, delta=0.1)
+        assert plan.estimator == "telescoping"
+        assert plan.sample_budget > 0
+
+    def test_many_disjuncts_low_dimension_goes_monte_carlo(self):
+        database = striped_database(10)
+        plan = Planner().plan(
+            QRelation("S", ("x0", "x1")), database, epsilon=0.3, delta=0.1
+        )
+        assert plan.estimator == "monte_carlo"
+        assert 0 < plan.sample_budget <= Planner().monte_carlo_sample_cap
+
+    def test_tight_delta_over_sample_cap_disqualifies_monte_carlo(self):
+        # chernoff_ratio_sample_size(0.15, 1e-12, 0.05) ~ 75k > the 60k cap:
+        # a capped run could not honour delta, so the route must not be taken.
+        database = striped_database(10)
+        plan = Planner().plan(
+            QRelation("S", ("x0", "x1")), database, epsilon=0.15, delta=1e-12
+        )
+        assert plan.estimator == "telescoping"
+
+    def test_tight_epsilon_disqualifies_monte_carlo(self):
+        database = striped_database(10)
+        plan = Planner().plan(
+            QRelation("S", ("x0", "x1")), database, epsilon=0.05, delta=0.1
+        )
+        assert plan.estimator == "telescoping"
+
+    def test_projection_forces_telescoping(self):
+        database = box_database()
+        plan = Planner().plan(atom().exists("x0"), database, epsilon=0.2, delta=0.1)
+        assert plan.estimator == "telescoping"
+        assert "projection" in plan.reason or "negation" in plan.reason
+
+    def test_negation_forces_telescoping(self):
+        database = box_database()
+        query = QAnd((atom(), QNot(atom())))
+        plan = Planner().plan(query, database, epsilon=0.2, delta=0.1)
+        assert plan.estimator == "telescoping"
+
+    def test_tighter_epsilon_raises_telescoping_budget(self):
+        planner = Planner()
+        assert planner._telescoping_samples(0.05) > planner._telescoping_samples(0.3)
+
+    def test_plan_carries_profile_and_reason(self):
+        plan = Planner().plan(atom(), box_database(), epsilon=0.2, delta=0.1)
+        assert plan.profile.dimension == 2
+        assert plan.reason

@@ -1,0 +1,208 @@
+"""ServiceSession end to end: caching, batching, determinism, metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.constraints.database import ConstraintDatabase
+from repro.constraints.relations import GeneralizedRelation
+from repro.core.observable import GeneratorParams
+from repro.queries.ast import QAnd, QRelation
+from repro.queries.engine import QueryEngine
+from repro.service import BatchRequest, ResultCache, ServiceSession
+
+
+@pytest.fixture
+def database() -> ConstraintDatabase:
+    db = ConstraintDatabase()
+    db.set_relation("A", GeneralizedRelation.box({"x": (0, 2), "y": (0, 1)}))
+    db.set_relation("B", GeneralizedRelation.box({"x": (1, 3), "y": (0, 1)}))
+    db.set_relation(
+        "C4", GeneralizedRelation.box({f"z{i}": (0, 1) for i in range(5)})
+    )
+    return db
+
+
+@pytest.fixture
+def session(database) -> ServiceSession:
+    return ServiceSession(
+        database, params=GeneratorParams(gamma=0.3, epsilon=0.3, delta=0.2)
+    )
+
+
+def q(name: str) -> QRelation:
+    return QRelation(name, ("x", "y"))
+
+
+class TestServing:
+    def test_repeat_request_hits_cache(self, session):
+        first = session.volume(q("A"), rng=1)
+        second = session.volume(q("A"), rng=2)
+        assert second is first
+        assert session.metrics.cache_hits == 1
+        assert session.metrics.cache_misses == 1
+
+    def test_structurally_equivalent_requests_share_entry(self, session):
+        left = QAnd((q("A"), q("B")))
+        right = QAnd((q("B"), q("A")))
+        first = session.volume(left, rng=1)
+        second = session.volume(right, rng=2)
+        assert second is first
+
+    def test_exact_answer_dominates_looser_request(self, session):
+        session.volume(q("A"), epsilon=0.1, delta=0.05, rng=1)  # planned exact
+        session.volume(q("A"), epsilon=0.3, delta=0.2, rng=2)
+        assert session.metrics.dominance_hits == 1
+
+    def test_cache_opt_out(self, session):
+        first = session.volume(q("A"), use_cache=False, rng=1)
+        second = session.volume(q("A"), use_cache=False, rng=2)
+        assert first is not second
+        assert session.metrics.cache_hits == 0
+
+    def test_exact_plan_matches_engine(self, session, database):
+        engine = QueryEngine(database)
+        served = session.volume(q("A"), rng=1)
+        assert served.exact
+        assert served.value == engine.volume(q("A"), mode="exact").value
+
+    def test_engine_auto_mode_delegates_to_planner(self, database):
+        engine = QueryEngine(database)
+        result = engine.volume(q("A"), mode="auto")
+        assert result.exact  # small 2D query plans to the exact route
+        assert result.value == pytest.approx(2.0)
+
+    def test_metrics_rows_render(self, session):
+        session.volume(q("A"), rng=1)
+        rows = dict(session.metrics.rows())
+        assert rows["cache_misses"] == 1
+        assert rows["plan[exact]"] == 1
+
+
+class TestBatching:
+    def test_batch_deterministic_across_worker_counts(self, database):
+        params = GeneratorParams(gamma=0.3, epsilon=0.3, delta=0.2)
+        requests = [
+            BatchRequest(q("A")),
+            BatchRequest(QAnd((q("A"), q("B")))),
+            BatchRequest(QRelation("C4", tuple(f"z{i}" for i in range(5)))),
+            BatchRequest(q("B")),
+        ]
+        values = []
+        for workers in (1, 4):
+            fresh = ServiceSession(database, params=params)
+            outcomes = fresh.submit_batch(requests, workers=workers, rng=99)
+            values.append([outcome.result.value for outcome in outcomes])
+        assert values[0] == values[1]
+
+    def test_duplicate_requests_computed_once(self, session):
+        outcomes = session.submit_batch(
+            [BatchRequest(q("A")), BatchRequest(q("A")), BatchRequest(q("A"))],
+            workers=2,
+            rng=7,
+        )
+        assert len(outcomes) == 3
+        assert len({id(outcome.result) for outcome in outcomes}) == 1
+        assert session.metrics.plan_choices["exact"] == 1
+        assert session.metrics.coalesced == 2
+
+    def test_warm_cache_served_from_prebatch_state(self, session):
+        session.volume(q("A"), rng=1)
+        outcomes = session.submit_batch([BatchRequest(q("A"))], workers=2, rng=7)
+        assert outcomes[0].cached and outcomes[0].plan is None
+
+    def test_bare_queries_accepted(self, session):
+        outcomes = session.submit_batch([q("A"), q("B")], workers=1, rng=7)
+        assert [outcome.index for outcome in outcomes] == [0, 1]
+        assert session.metrics.batches == 1
+        assert session.metrics.batch_requests == 2
+
+    def test_rejects_out_of_range_accuracy(self, session):
+        with pytest.raises(ValueError):
+            session.volume(q("A"), epsilon=1.5)
+        with pytest.raises(ValueError):
+            session.volume(q("A"), delta=-0.1)
+
+    def test_rejects_invalid_worker_count(self, session):
+        with pytest.raises(ValueError):
+            session.submit_batch([q("A")], workers=0, rng=7)
+
+    def test_empty_batch(self, session):
+        assert session.submit_batch([], workers=2, rng=7) == []
+
+
+class TestMonteCarloGuard:
+    def _sparse_database(self) -> ConstraintDatabase:
+        """Nine unit boxes on a diagonal: bounding box 89x89, hit fraction ~0.001."""
+        from repro.constraints.tuples import GeneralizedTuple
+
+        tiles = [
+            GeneralizedTuple.box({"x": (11 * i, 11 * i + 1), "y": (11 * i, 11 * i + 1)})
+            for i in range(9)
+        ]
+        db = ConstraintDatabase()
+        db.set_relation("sparse", GeneralizedRelation(tiles, ("x", "y")))
+        return db
+
+    def test_low_hit_fraction_falls_back_to_telescoping(self):
+        # The naive box estimator's failure mode (experiment E10): the body
+        # fills almost none of its bounding box, so the additive guarantee on
+        # the hit fraction says nothing about the relative error.  The plan
+        # still says monte_carlo, but execution must detect the fraction
+        # floor violation and serve the telescoping answer instead.
+        db = self._sparse_database()
+        session = ServiceSession(
+            db, params=GeneratorParams(gamma=0.3, epsilon=0.3, delta=0.2)
+        )
+        query = QRelation("sparse", ("x", "y"))
+        assert session.explain(query).estimator == "monte_carlo"
+        result = session.volume(query, rng=11)
+        assert not result.estimate.method.startswith("monte-carlo")
+        assert result.value == pytest.approx(9.0, rel=0.6)
+        assert session.metrics.plan_choices == {"telescoping": 1}
+
+    def test_sufficient_hit_fraction_serves_monte_carlo(self):
+        from repro.constraints.tuples import GeneralizedTuple
+
+        tiles = [
+            GeneralizedTuple.box({"x": (i, i + 0.9), "y": (0, 1)})
+            for i in range(10)
+        ]
+        db = ConstraintDatabase()
+        db.set_relation("strips", GeneralizedRelation(tiles, ("x", "y")))
+        session = ServiceSession(
+            db, params=GeneratorParams(gamma=0.3, epsilon=0.3, delta=0.2)
+        )
+        result = session.volume(QRelation("strips", ("x", "y")), rng=11)
+        assert result.estimate.method == "monte-carlo-box"
+        assert result.value == pytest.approx(9.0, rel=0.3)
+        assert session.metrics.plan_choices == {"monte_carlo": 1}
+
+
+class TestSessionInternals:
+    def test_sample_reuses_compiled_plan(self, session):
+        points = session.sample(q("A"), 32, rng=3)
+        assert points.shape == (32, 2)
+        assert len(session._compiled) == 1
+        session.sample(q("A"), 8, rng=4)
+        assert len(session._compiled) == 1
+
+    def test_sample_deterministic(self, session):
+        first = session.sample(q("A"), 16, rng=5)
+        second = session.sample(q("A"), 16, rng=5)
+        assert np.array_equal(first, second)
+
+    def test_fingerprint_refresh_invalidates_keys(self, session, database):
+        before = session.key_for(q("A"))
+        database.set_relation(
+            "A", GeneralizedRelation.box({"x": (0, 4), "y": (0, 1)})
+        )
+        session.refresh_fingerprint()
+        assert session.key_for(q("A")) != before
+
+    def test_injected_cache_is_used(self, database):
+        cache = ResultCache(capacity=2, ttl=None)
+        session = ServiceSession(database, cache=cache)
+        session.volume(q("A"), rng=1)
+        assert len(cache) == 1
