@@ -1,0 +1,262 @@
+"""Experiment E17 — single-thread speedup of the vectorized batch kernels.
+
+Every hot path of the seed evaluated one point at a time: the membership
+oracles answered single points, `monte_carlo_volume` counted hits with a
+Python loop and the random walks advanced one chain step by step.  E17
+measures what the batch evaluation layer buys on one thread, comparing the
+**scalar path** (the oracle answers point by point — the seed's behaviour,
+reproduced today by `lift_scalar`) against the **batch path** (block oracle
+calls: one matrix product per block / per disjunct) on three estimator
+workloads plus the multi-chain walk kernel:
+
+* **E02-style** — Monte-Carlo volume of a 6-D simplex from its bounding box;
+* **E03/E06-style** — acceptance rate of a 10-disjunct DNF union relation;
+* **E10-style** — ball-in-cube rejection in d = 8 (the curse-of-dimension
+  negative control);
+* **multi-chain** — k independent hit-and-run chains stepped in lockstep
+  versus one after the other.
+
+The scalar and batch estimator paths must return **bit-identical** values
+(same seed, same draws, same decisions — see ``tests/batch``); the speedup
+therefore measures pure kernel efficiency, not a different estimator.  The
+run writes ``BENCH_e17_batch.json`` at the repository root so the
+performance trajectory of the batch kernels is tracked in-repo.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.constraints.relations import GeneralizedRelation
+from repro.constraints.tuples import GeneralizedTuple
+from repro.geometry.ball import Ball
+from repro.geometry.polytope import HPolytope
+from repro.harness import ExperimentResult, register_experiment
+from repro.sampling.hit_and_run import HitAndRunSampler
+from repro.sampling.oracles import (
+    batch_oracle_from_polytope,
+    batch_oracle_from_predicate,
+    batch_oracle_from_relation,
+    oracle_from_polytope,
+    oracle_from_predicate,
+    oracle_from_relation,
+)
+from repro.sampling.rejection import estimate_acceptance_rate
+from repro.sampling.rng import spawn_rngs
+from repro.volume import monte_carlo_volume
+
+JSON_PATH = Path(__file__).resolve().parents[1] / "BENCH_e17_batch.json"
+
+
+def _union_relation(disjuncts: int = 10) -> GeneralizedRelation:
+    tiles = [
+        GeneralizedTuple.box({"x": (i, i + 0.9), "y": (0, 1)})
+        for i in range(disjuncts)
+    ]
+    return GeneralizedRelation(tiles, ("x", "y"))
+
+
+def _timed(function):
+    start = time.perf_counter()
+    value = function()
+    return value, time.perf_counter() - start
+
+
+@register_experiment("E17")
+def run_batch_kernels(
+    samples: int = 60_000,
+    chains: int = 16,
+    chain_samples: int = 120,
+    seed: int = 7,
+    write_json: bool = True,
+) -> ExperimentResult:
+    """Regenerate the E17 table: scalar vs batch kernel timings per workload."""
+    result = ExperimentResult(
+        "E17",
+        "Batch kernels: scalar vs vectorized oracle/sampler/estimator paths",
+        ["workload", "scalar_seconds", "batch_seconds", "speedup", "identical"],
+        claim=(
+            ">= 5x single-thread speedup from batch oracle evaluation on "
+            "estimator workloads, with bit-identical estimates (same seed, "
+            "same draws, same decisions) on the scalar and batch paths"
+        ),
+    )
+    records: dict[str, dict[str, float | bool]] = {}
+
+    def record(workload: str, scalar_seconds: float, batch_seconds: float, identical: bool):
+        speedup = scalar_seconds / batch_seconds if batch_seconds > 0 else float("inf")
+        result.add_row(
+            workload,
+            round(scalar_seconds, 4),
+            round(batch_seconds, 4),
+            round(speedup, 1),
+            "yes" if identical else "NO",
+        )
+        records[workload] = {
+            "scalar_seconds": scalar_seconds,
+            "batch_seconds": batch_seconds,
+            "speedup": speedup,
+            "identical": identical,
+        }
+
+    # E02-style: Monte-Carlo volume of a 6-D simplex from its bounding box.
+    simplex = HPolytope.simplex(6)
+    bounds = [(-0.1, 1.1)] * 6
+    scalar_estimate, scalar_seconds = _timed(
+        lambda: monte_carlo_volume(
+            oracle_from_polytope(simplex), bounds, 0.1, 0.1, rng=seed, samples=samples
+        )
+    )
+    batch_estimate, batch_seconds = _timed(
+        lambda: monte_carlo_volume(
+            batch_oracle_from_polytope(simplex), bounds, 0.1, 0.1, rng=seed, samples=samples
+        )
+    )
+    record(
+        "E02 monte-carlo simplex d=6",
+        scalar_seconds,
+        batch_seconds,
+        scalar_estimate.value == batch_estimate.value,
+    )
+
+    # E03/E06-style: acceptance rate of a 10-disjunct DNF union.
+    union = _union_relation()
+    union_bounds = [(0.0, 10.0), (0.0, 1.0)]
+    scalar_rate, scalar_seconds = _timed(
+        lambda: estimate_acceptance_rate(
+            oracle_from_relation(union), union_bounds, samples, np.random.default_rng(seed)
+        )
+    )
+    batch_rate, batch_seconds = _timed(
+        lambda: estimate_acceptance_rate(
+            batch_oracle_from_relation(union), union_bounds, samples,
+            np.random.default_rng(seed),
+        )
+    )
+    record(
+        "E03 union relation 10 disjuncts",
+        scalar_seconds,
+        batch_seconds,
+        scalar_rate == batch_rate,
+    )
+
+    # E10-style: ball-in-cube rejection, the curse-of-dimension control.
+    ball = Ball(np.zeros(8), 1.0)
+    cube_bounds = [(-1.0, 1.0)] * 8
+    scalar_rate, scalar_seconds = _timed(
+        lambda: estimate_acceptance_rate(
+            oracle_from_predicate(ball.contains), cube_bounds, samples,
+            np.random.default_rng(seed),
+        )
+    )
+    batch_rate, batch_seconds = _timed(
+        lambda: estimate_acceptance_rate(
+            batch_oracle_from_predicate(ball.contains_points), cube_bounds, samples,
+            np.random.default_rng(seed),
+        )
+    )
+    record(
+        "E10 ball-in-cube rejection d=8",
+        scalar_seconds,
+        batch_seconds,
+        scalar_rate == batch_rate,
+    )
+
+    # Multi-chain hit-and-run: k chains one after the other vs in lockstep.
+    # The streams differ (per-chain generators vs one shared walk), so the
+    # comparison is throughput of equally many samples, not bit equality.
+    body = HPolytope.simplex(6)
+    sampler = HitAndRunSampler(body, burn_in=60, thinning=6)
+
+    def scalar_chains() -> np.ndarray:
+        streams = spawn_rngs(np.random.default_rng(seed), chains)
+        return np.stack([sampler.sample(stream, chain_samples) for stream in streams])
+
+    scalar_samples, scalar_seconds = _timed(scalar_chains)
+    batch_samples, batch_seconds = _timed(
+        lambda: sampler.sample_chains(seed, chain_samples, chains)
+    )
+    inside = bool(
+        body.contains_points(batch_samples.reshape(-1, 6), tolerance=1e-9).all()
+    )
+    record(
+        f"hit-and-run {chains} chains x {chain_samples}",
+        scalar_seconds,
+        batch_seconds,
+        inside and scalar_samples.shape == batch_samples.shape,
+    )
+
+    fast_workloads = [name for name, row in records.items() if row["speedup"] >= 5.0]
+    result.observe(
+        f"workloads at >= 5x: {len(fast_workloads)}/{len(records)} "
+        f"(threshold: at least 2)"
+    )
+    result.observe(
+        "scalar-vs-batch estimates bit-identical: "
+        + ("yes" if all(row["identical"] for row in records.values()) else "NO")
+    )
+    result.details = {  # type: ignore[attr-defined]
+        "workloads": records,
+        "fast_workloads": fast_workloads,
+        "samples": samples,
+        "seed": seed,
+    }
+    if write_json:
+        JSON_PATH.write_text(
+            json.dumps(
+                {
+                    "experiment": "E17",
+                    "samples": samples,
+                    "chains": chains,
+                    "chain_samples": chain_samples,
+                    "seed": seed,
+                    "workloads": records,
+                },
+                indent=2,
+            )
+            + "\n"
+        )
+        result.observe(f"wrote {JSON_PATH.name}")
+    return result
+
+
+def test_benchmark_batch_kernels(benchmark):
+    result = benchmark.pedantic(
+        run_batch_kernels,
+        kwargs={"samples": 20_000, "chains": 8, "chain_samples": 60, "write_json": False},
+        iterations=1,
+        rounds=1,
+    )
+    assert len(result.details["fast_workloads"]) >= 2
+    assert all(row["identical"] for row in result.details["workloads"].values())
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description="E17 batch kernel speedups")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="reduced sizes for CI: finishes in well under a minute",
+    )
+    arguments = parser.parse_args()
+    if arguments.smoke:
+        table = run_batch_kernels(samples=15_000, chains=8, chain_samples=50)
+    else:
+        table = run_batch_kernels()
+    print(table.to_text())
+    fast = table.details["fast_workloads"]  # type: ignore[attr-defined]
+    if len(fast) < 2:
+        raise SystemExit(f"FAIL: only {len(fast)} workload(s) reached 5x")
+    broken = [
+        name
+        for name, row in table.details["workloads"].items()  # type: ignore[attr-defined]
+        if not row["identical"]
+    ]
+    if broken:
+        raise SystemExit(f"FAIL: scalar/batch results differ on {broken}")

@@ -16,6 +16,8 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Iterable, Mapping, Sequence
 
+import numpy as np
+
 from repro.constraints.atoms import AtomicConstraint
 from repro.constraints.terms import LinearTerm, Number
 from repro.constraints.tuples import GeneralizedTuple
@@ -151,6 +153,38 @@ class GeneralizedRelation:
             if disjunct.satisfied_by(assignment):
                 return index
         return None
+
+    def contains_points(self, points: np.ndarray) -> np.ndarray:
+        """Vectorized membership for a ``(n, d)`` float array (boolean array out).
+
+        Each disjunct is evaluated as one matrix product
+        (:meth:`GeneralizedTuple.contains_points`); points already accepted by
+        an earlier disjunct are excluded from later evaluations, so a union
+        costs one pass over the not-yet-matched points per disjunct.
+        """
+        return self.membership_indices(points) >= 0
+
+    def membership_indices(self, points: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`membership_index`: smallest containing disjunct per point.
+
+        Returns an int array of length ``n`` holding the first disjunct index
+        containing each point, or ``-1`` for points outside the relation —
+        the batched ``j(x)`` of the union generator (Theorem 4.1).
+        """
+        points = np.asarray(points, dtype=float)
+        if points.ndim != 2 or points.shape[1] != self.dimension:
+            raise ValueError(
+                f"points must have shape (n, {self.dimension}), got {points.shape}"
+            )
+        indices = np.full(points.shape[0], -1, dtype=np.int64)
+        remaining = np.arange(points.shape[0])
+        for index, disjunct in enumerate(self._disjuncts):
+            if remaining.size == 0:
+                break
+            hits = disjunct.contains_points(points[remaining])
+            indices[remaining[hits]] = index
+            remaining = remaining[~hits]
+        return indices
 
     # ------------------------------------------------------------------
     # Boolean operations (symbolic, DNF preserving)

@@ -11,8 +11,20 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Iterable, Mapping, Sequence
 
+import numpy as np
+
 from repro.constraints.atoms import AtomicConstraint, Relation, interval_constraints
 from repro.constraints.terms import LinearTerm, Number, to_fraction
+
+#: Relation codes of the vectorized membership kernel (see ``float_system``).
+_REL_LE, _REL_LT, _REL_EQ, _REL_NE = 0, 1, 2, 3
+
+_RELATION_CODES = {
+    Relation.LE: _REL_LE,
+    Relation.LT: _REL_LT,
+    Relation.EQ: _REL_EQ,
+    Relation.NE: _REL_NE,
+}
 
 
 class GeneralizedTuple:
@@ -24,7 +36,7 @@ class GeneralizedTuple:
     order; the order may list extra variables (free coordinates).
     """
 
-    __slots__ = ("_constraints", "_variables", "_hash")
+    __slots__ = ("_constraints", "_variables", "_hash", "_float_system")
 
     def __init__(
         self,
@@ -52,6 +64,7 @@ class GeneralizedTuple:
         self._constraints = atoms
         self._variables = order
         self._hash: int | None = None
+        self._float_system: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -118,6 +131,55 @@ class GeneralizedTuple:
             )
         assignment = dict(zip(self._variables, point))
         return self.satisfied_by(assignment)
+
+    def float_system(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The constraints as float arrays ``(C, c0, codes)`` for batch evaluation.
+
+        Row ``i`` encodes the atom ``C[i] . x + c0[i] <rel> 0`` with ``codes[i]``
+        one of the relation codes (``<=``, ``<``, ``==``, ``!=``).  Coefficients
+        are correctly rounded floats of the exact rationals, so the batch
+        kernel agrees with the exact evaluator everywhere except on points
+        within one float ulp of a constraint boundary (a measure-zero set that
+        uniform random points never hit).  The arrays are cached on the tuple.
+        """
+        if self._float_system is None:
+            rows = np.zeros((len(self._constraints), self.dimension))
+            offsets = np.zeros(len(self._constraints))
+            codes = np.zeros(len(self._constraints), dtype=np.int8)
+            for index, atom in enumerate(self._constraints):
+                row, offset = atom.coefficients_for(self._variables)
+                rows[index] = [float(value) for value in row]
+                offsets[index] = float(offset)
+                codes[index] = _RELATION_CODES[atom.relation]
+            self._float_system = (rows, offsets, codes)
+        return self._float_system
+
+    def contains_points(self, points: np.ndarray) -> np.ndarray:
+        """Vectorized membership test for a ``(n, d)`` float array of points.
+
+        Returns a boolean array of length ``n``.  One matrix product evaluates
+        every atom at every point; see :meth:`float_system` for the (boundary
+        only) difference with the exact :meth:`contains_point`.
+        """
+        points = np.asarray(points, dtype=float)
+        if points.ndim != 2 or points.shape[1] != self.dimension:
+            raise ValueError(
+                f"points must have shape (n, {self.dimension}), got {points.shape}"
+            )
+        if not self._constraints:
+            return np.ones(points.shape[0], dtype=bool)
+        rows, offsets, codes = self.float_system()
+        values = points @ rows.T + offsets
+        satisfied = np.empty_like(values, dtype=bool)
+        le = codes == _REL_LE
+        lt = codes == _REL_LT
+        eq = codes == _REL_EQ
+        ne = codes == _REL_NE
+        satisfied[:, le] = values[:, le] <= 0.0
+        satisfied[:, lt] = values[:, lt] < 0.0
+        satisfied[:, eq] = values[:, eq] == 0.0
+        satisfied[:, ne] = values[:, ne] != 0.0
+        return satisfied.all(axis=1)
 
     def conjoin(self, other: "GeneralizedTuple") -> "GeneralizedTuple":
         """Conjunction of two tuples over the union of their variable orders."""

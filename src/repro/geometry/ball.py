@@ -71,6 +71,13 @@ class Ball:
         point = np.asarray(point, dtype=float)
         return float(np.linalg.norm(point - self.center)) <= self.radius + tolerance
 
+    def contains_points(self, points: np.ndarray, tolerance: float = 0.0) -> np.ndarray:
+        """Vectorized membership for a ``(n, d)`` array; returns ``(n,)`` booleans."""
+        points = np.asarray(points, dtype=float)
+        deltas = points - self.center
+        distances = np.sqrt(np.einsum("ij,ij->i", deltas, deltas))
+        return distances <= self.radius + tolerance
+
     def contains_ball(self, other: "Ball") -> bool:
         """Does this ball contain the other ball entirely?"""
         distance = float(np.linalg.norm(other.center - self.center))

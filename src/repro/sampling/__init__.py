@@ -13,8 +13,17 @@ from repro.sampling.fixed_dim import CellDecomposition, FixedDimensionSampler
 from repro.sampling.grid_walk import GridWalkConfig, GridWalkSampler
 from repro.sampling.hit_and_run import HitAndRunSampler
 from repro.sampling.oracles import (
+    BatchMembershipOracle,
+    BatchOracle,
+    CountingBatchOracle,
     CountingOracle,
     MembershipOracle,
+    as_batch_oracle,
+    batch_oracle_from_polytope,
+    batch_oracle_from_predicate,
+    batch_oracle_from_relation,
+    batch_oracle_from_tuple,
+    lift_scalar,
     oracle_from_polytope,
     oracle_from_predicate,
     oracle_from_relation,
@@ -42,8 +51,17 @@ __all__ = [
     "GridWalkConfig",
     "GridWalkSampler",
     "HitAndRunSampler",
+    "BatchMembershipOracle",
+    "BatchOracle",
+    "CountingBatchOracle",
     "CountingOracle",
     "MembershipOracle",
+    "as_batch_oracle",
+    "batch_oracle_from_polytope",
+    "batch_oracle_from_predicate",
+    "batch_oracle_from_relation",
+    "batch_oracle_from_tuple",
+    "lift_scalar",
     "oracle_from_polytope",
     "oracle_from_predicate",
     "oracle_from_relation",

@@ -1,4 +1,4 @@
-"""Ball-walk sampling through a membership oracle.
+"""Ball-walk sampling through a membership oracle — single and multi-chain.
 
 The ball walk only needs a membership oracle: from the current point, propose
 a uniform point in the ball of radius ``delta`` around it and move there when
@@ -7,6 +7,15 @@ It is the sampler of choice for convex bodies given by *polynomial*
 constraints (Section 5 of the paper): the membership oracle is still trivial
 to evaluate, but there is no H-representation for the chord computation that
 hit-and-run needs.
+
+:meth:`BallWalkSampler.sample_chains` advances ``k`` independent chains in
+lockstep and judges all ``k`` proposals of a step with **one** batch oracle
+call (:mod:`repro.sampling.oracles`), which is where the vectorization pays:
+for linear bodies a step costs one matrix product instead of ``k`` Python
+oracle calls.  Each chain draws from its own child generator, so chains are
+independent and the run is reproducible; ``chains=1`` delegates to the
+scalar :meth:`~BallWalkSampler.sample` path, reproducing the classic stream
+bit for bit.
 """
 
 from __future__ import annotations
@@ -14,8 +23,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.geometry.ball import Ball
-from repro.sampling.oracles import MembershipOracle
-from repro.sampling.rng import ensure_rng
+from repro.sampling.chains import run_lockstep_chains
+from repro.sampling.oracles import (
+    BatchOracle,
+    MembershipOracle,
+    as_batch_oracle,
+)
+from repro.sampling.rng import ensure_rng, spawn_rngs
 
 
 class BallWalkSampler:
@@ -24,7 +38,9 @@ class BallWalkSampler:
     Parameters
     ----------
     oracle:
-        Membership oracle of the body.
+        Membership oracle of the body (scalar signature; a
+        :class:`~repro.sampling.oracles.BatchOracle` also works since batch
+        oracles accept single points).
     dimension:
         Ambient dimension.
     start:
@@ -35,6 +51,11 @@ class BallWalkSampler:
         ``delta = Θ(1 / sqrt(d))`` for a well-rounded body; that is the default.
     burn_in / thinning:
         Number of discarded initial steps and of steps between samples.
+    batch_oracle:
+        Optional batch oracle used by :meth:`sample_chains`.  When omitted,
+        the scalar ``oracle`` is lifted — correct, but each multi-chain step
+        then still pays one Python call per chain, forfeiting the batch
+        speedup (see :func:`repro.sampling.oracles.lift_scalar`).
     """
 
     def __init__(
@@ -45,6 +66,7 @@ class BallWalkSampler:
         delta: float | None = None,
         burn_in: int | None = None,
         thinning: int | None = None,
+        batch_oracle: BatchOracle | None = None,
     ) -> None:
         self.oracle = oracle
         self.dimension = int(dimension)
@@ -55,6 +77,9 @@ class BallWalkSampler:
         self.delta = delta if delta is not None else 1.0 / np.sqrt(dimension)
         self.burn_in = burn_in if burn_in is not None else max(200, 30 * dimension)
         self.thinning = thinning if thinning is not None else max(10, 3 * dimension)
+        self._batch_oracle = (
+            batch_oracle if batch_oracle is not None else as_batch_oracle(oracle)
+        )
 
     def _step(self, rng: np.random.Generator, current: np.ndarray) -> np.ndarray:
         proposal = Ball(current, self.delta).sample(rng, 1)[0]
@@ -74,6 +99,46 @@ class BallWalkSampler:
                 current = self._step(rng, current)
             samples[index] = current
         return samples
+
+    def sample_chains(
+        self, rng: np.random.Generator | int | None, count: int, chains: int
+    ) -> np.ndarray:
+        """Draw ``count`` samples from each of ``chains`` independent chains.
+
+        Returns ``(chains, count, d)``.  Per step, all chain proposals are
+        judged with a single batch oracle call; each chain's randomness comes
+        from its own child generator, so the result is deterministic for a
+        fixed seed.  ``chains=1`` delegates to the scalar :meth:`sample` path
+        with ``rng`` itself, reproducing the single-chain stream exactly.
+        """
+        if chains < 1:
+            raise ValueError("chains must be at least 1")
+        if chains == 1:
+            return self.sample(ensure_rng(rng), count)[None, ...]
+        proposal_ball = Ball(np.zeros(self.dimension), self.delta)
+
+        def draw_chunk(streams, chunk):
+            # Proposal offsets are independent of the chain state, so the
+            # whole chunk reuses Ball.sample per chain — one construction of
+            # uniform-in-ball points for the scalar and multi-chain paths.
+            return np.stack(
+                [proposal_ball.sample(stream, chunk) for stream in streams]
+            )
+
+        def step(current, offsets, offset):
+            proposals = current + offsets[:, offset, :]
+            inside = np.asarray(self._batch_oracle(proposals), dtype=bool)
+            return np.where(inside[:, None], proposals, current)
+
+        return run_lockstep_chains(
+            spawn_rngs(ensure_rng(rng), chains),
+            self._start,
+            count,
+            self.burn_in,
+            self.thinning,
+            draw_chunk,
+            step,
+        )
 
     def sample_one(self, rng: np.random.Generator) -> np.ndarray:
         """Draw a single approximately uniform sample."""

@@ -1,0 +1,61 @@
+"""Shared driver for lockstep multi-chain random walks.
+
+Both multi-chain samplers (:meth:`HitAndRunSampler.sample_chains` and
+:meth:`BallWalkSampler.sample_chains`) follow the same schedule: pre-draw
+each chain's randomness for a chunk of steps from its own generator, advance
+all chains one vectorized step at a time, and record a row of samples after
+the burn-in every ``thinning`` steps — mirroring the scalar walk's
+burn-in/thinning schedule exactly.  Only the per-step kernel differs, so it
+is injected as a callback and the bookkeeping lives here once.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+#: Steps buffered per chain when pre-drawing multi-chain randomness.
+CHAIN_STEP_CHUNK = 512
+
+
+def run_lockstep_chains(
+    streams: Sequence[np.random.Generator],
+    start: np.ndarray,
+    count: int,
+    burn_in: int,
+    thinning: int,
+    draw_chunk: Callable[[Sequence[np.random.Generator], int], object],
+    step: Callable[[np.ndarray, object, int], np.ndarray],
+    chunk_size: int = CHAIN_STEP_CHUNK,
+) -> np.ndarray:
+    """Drive ``len(streams)`` chains in lockstep; returns ``(k, count, d)``.
+
+    ``draw_chunk(streams, chunk)`` pre-draws the randomness for ``chunk``
+    steps (one call per chain generator, keeping chains individually
+    reproducible); ``step(current, draws, offset)`` advances all chains by
+    one step using draw index ``offset`` and returns the new ``(k, d)``
+    state.
+    """
+    if burn_in < 0 or thinning < 0:
+        raise ValueError("burn_in and thinning must be non-negative")
+    chains = len(streams)
+    dimension = start.shape[0]
+    current = np.tile(start, (chains, 1))
+    samples = np.empty((chains, count, dimension))
+    total_steps = burn_in + count * thinning
+    completed = 0
+    while completed < total_steps:
+        chunk = min(chunk_size, total_steps - completed)
+        draws = draw_chunk(streams, chunk)
+        for offset in range(chunk):
+            current = step(current, draws, offset)
+            done = completed + offset + 1
+            if thinning and done > burn_in and (done - burn_in) % thinning == 0:
+                samples[:, (done - burn_in) // thinning - 1, :] = current
+        completed += chunk
+    if thinning == 0:
+        # Scalar semantics: no steps between records — the post-burn-in
+        # state repeated ``count`` times.
+        samples[:] = current[:, None, :]
+    return samples

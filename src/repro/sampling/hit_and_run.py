@@ -1,4 +1,4 @@
-"""Hit-and-run sampling for convex polytopes.
+"""Hit-and-run sampling for convex polytopes — single chain and multi-chain.
 
 Hit-and-run is a rapidly mixing random walk on a convex body: from the current
 interior point pick a uniformly random direction, intersect the resulting line
@@ -13,6 +13,15 @@ bodies because the chord intersection is available in closed form from the
 H-representation; the DFK grid walk (:mod:`repro.sampling.grid_walk`) remains
 the paper-faithful reference and the oracle-only ball walk
 (:mod:`repro.sampling.ball_walk`) covers polynomial constraints.
+
+:meth:`HitAndRunSampler.sample_chains` advances ``k`` independent chains in
+lockstep: per step, the chord computations of all chains collapse into one
+``(k, d) @ (d, m)`` product against the constraint matrix, while each chain
+draws its randomness from its own child generator
+(:func:`repro.sampling.rng.spawn_rngs`) so chains stay independent and
+individually reproducible.  With ``chains=1`` the call delegates to the
+scalar :meth:`~HitAndRunSampler.sample` code path, so a single chain
+reproduces the classic sample stream bit for bit.
 """
 
 from __future__ import annotations
@@ -20,7 +29,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.geometry.polytope import HPolytope
-from repro.sampling.rng import ensure_rng
+from repro.sampling.chains import run_lockstep_chains
+from repro.sampling.rng import ensure_rng, spawn_rngs
 
 
 class HitAndRunSampler:
@@ -91,6 +101,40 @@ class HitAndRunSampler:
         t = rng.uniform(lower, upper)
         return current + t * direction
 
+    def _step_chains(
+        self,
+        current: np.ndarray,
+        directions: np.ndarray,
+        uniforms: np.ndarray,
+    ) -> np.ndarray:
+        """One vectorized step of ``k`` chains from ``current`` (shape ``(k, d)``).
+
+        ``directions`` holds one raw (un-normalised) Gaussian direction per
+        chain and ``uniforms`` one ``U(0, 1)`` variate per chain used to place
+        the move on the chord.  Chains whose chord is degenerate (zero
+        direction or numerically inverted chord) stay put, and an unbounded
+        chord raises :class:`ValueError`, exactly like the scalar
+        :meth:`_step` corner cases.
+        """
+        a = self.polytope.a
+        b = self.polytope.b
+        if a.shape[0] == 0:
+            raise ValueError("hit-and-run requires a bounded polytope")
+        norms = np.linalg.norm(directions, axis=1)
+        safe = norms > 0.0
+        unit = np.where(safe[:, None], directions / np.where(safe, norms, 1.0)[:, None], 0.0)
+        slopes = unit @ a.T  # (k, m)
+        gaps = b - current @ a.T  # (k, m)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ratios = gaps / slopes
+        upper = np.min(np.where(slopes > 1e-14, ratios, np.inf), axis=1)
+        lower = np.max(np.where(slopes < -1e-14, ratios, -np.inf), axis=1)
+        if np.any(safe & ~(np.isfinite(lower) & np.isfinite(upper))):
+            raise ValueError("polytope is unbounded along a sampled direction")
+        valid = safe & (upper >= lower)
+        t = np.where(valid, lower + (upper - lower) * uniforms, 0.0)
+        return current + t[:, None] * unit
+
     def sample(self, rng: np.random.Generator, count: int = 1) -> np.ndarray:
         """Draw ``count`` approximately uniform samples (shape ``(count, d)``)."""
         rng = ensure_rng(rng)
@@ -103,6 +147,48 @@ class HitAndRunSampler:
                 current = self._step(rng, current)
             samples[index] = current
         return samples
+
+    def sample_chains(
+        self, rng: np.random.Generator | int | None, count: int, chains: int
+    ) -> np.ndarray:
+        """Draw ``count`` samples from each of ``chains`` independent chains.
+
+        Returns an array of shape ``(chains, count, d)``.  Each chain owns a
+        child generator spawned from ``rng`` and consumes it in fixed-size
+        blocks (one Gaussian direction plus one uniform per step), so the
+        result is deterministic for a fixed seed and chain ``i`` is unaffected
+        by how many other chains run alongside it.  ``chains=1`` delegates to
+        the scalar :meth:`sample` path with ``rng`` itself, reproducing the
+        classic single-chain stream exactly.
+        """
+        if chains < 1:
+            raise ValueError("chains must be at least 1")
+        if chains == 1:
+            return self.sample(ensure_rng(rng), count)[None, ...]
+        dimension = self._start.shape[0]
+
+        def draw_chunk(streams, chunk):
+            directions = np.stack(
+                [stream.normal(size=(chunk, dimension)) for stream in streams]
+            )
+            uniforms = np.stack([stream.random(chunk) for stream in streams])
+            return directions, uniforms
+
+        def step(current, draws, offset):
+            directions, uniforms = draws
+            return self._step_chains(
+                current, directions[:, offset, :], uniforms[:, offset]
+            )
+
+        return run_lockstep_chains(
+            spawn_rngs(ensure_rng(rng), chains),
+            self._start,
+            count,
+            self.burn_in,
+            self.thinning,
+            draw_chunk,
+            step,
+        )
 
     def sample_one(self, rng: np.random.Generator) -> np.ndarray:
         """Draw a single approximately uniform sample."""

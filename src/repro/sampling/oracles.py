@@ -1,4 +1,4 @@
-"""Membership oracles.
+"""Membership oracles — scalar and batch.
 
 The Dyer--Frieze--Kannan generator only needs a *membership oracle* for the
 convex body: an algorithm that answers "is this point in the set?".  The paper
@@ -7,11 +7,25 @@ description size of a finitely representable relation — it suffices to check
 every constraint — and (Section 5) that the same holds for polynomial
 constraints, which is how the results extend beyond the linear case.
 
-This module provides oracle adapters for symbolic relations, numeric
-polytopes, arbitrary Python predicates (used for balls/ellipsoids in the
-polynomial-constraint experiments) and a counting wrapper that records how
-many membership queries an algorithm performed (the oracle-complexity measure
-used in the benchmarks).
+Two oracle shapes coexist:
+
+* a **scalar** oracle (:data:`MembershipOracle`) maps one point ``(d,)`` to a
+  ``bool`` — the paper's interface, and the one arbitrary Python predicates
+  implement naturally;
+* a **batch** oracle (:data:`BatchMembershipOracle`) maps a block of points
+  ``(n, d)`` to a boolean array ``(n,)`` — the fast path.  For an H-polytope
+  a batch query is a single matrix product plus a comparison; for a DNF
+  relation it is one matrix product per disjunct over the not-yet-matched
+  points.  The samplers and estimators accept either shape and normalise
+  through :func:`as_batch_oracle`.
+
+:func:`lift_scalar` adapts any scalar oracle to the batch signature so every
+existing oracle keeps working — but a lifted oracle still pays one Python
+call *per point*, so it forfeits the batch speedup entirely (it exists for
+compatibility and for scalar-vs-batch equivalence testing, not for speed).
+Wrap bodies with the native ``batch_oracle_from_*`` constructors whenever the
+body has linear structure; reserve ``lift_scalar`` for opaque predicates that
+genuinely cannot be vectorized.
 """
 
 from __future__ import annotations
@@ -25,6 +39,9 @@ from repro.constraints.tuples import GeneralizedTuple
 from repro.geometry.polytope import HPolytope
 
 MembershipOracle = Callable[[np.ndarray], bool]
+
+#: Batch membership oracle: ``(n, d)`` float array in, ``(n,)`` bool array out.
+BatchMembershipOracle = Callable[[np.ndarray], np.ndarray]
 
 
 def oracle_from_polytope(polytope: HPolytope, tolerance: float = 1e-9) -> MembershipOracle:
@@ -63,6 +80,99 @@ def oracle_from_predicate(predicate: Callable[[np.ndarray], bool]) -> Membership
     return oracle
 
 
+# ----------------------------------------------------------------------
+# Batch oracles
+# ----------------------------------------------------------------------
+class BatchOracle:
+    """A batch membership oracle: ``(n, d)`` points in, ``(n,)`` booleans out.
+
+    Instances are also usable as *scalar* oracles — a 1-D point is promoted
+    to a one-row batch — so a batch oracle can be handed to any consumer of
+    the classic :data:`MembershipOracle` signature.  The ``is_batch`` marker
+    is what :func:`as_batch_oracle` dispatches on.
+    """
+
+    __slots__ = ("_evaluate",)
+
+    is_batch = True
+
+    def __init__(self, evaluate: BatchMembershipOracle) -> None:
+        self._evaluate = evaluate
+
+    def __call__(self, points: np.ndarray) -> np.ndarray | bool:
+        points = np.asarray(points, dtype=float)
+        if points.ndim == 1:
+            return bool(self._evaluate(points[None, :])[0])
+        return np.asarray(self._evaluate(points), dtype=bool)
+
+
+def batch_oracle_from_polytope(polytope: HPolytope, tolerance: float = 1e-9) -> BatchOracle:
+    """Batch oracle of an H-polytope: one ``(n, d) @ (d, m)`` product per block."""
+    return BatchOracle(lambda points: polytope.contains_points(points, tolerance=tolerance))
+
+
+def batch_oracle_from_tuple(tuple_: GeneralizedTuple) -> BatchOracle:
+    """Batch oracle of a generalized tuple via its cached float system.
+
+    All atoms are evaluated with one matrix product
+    (:meth:`~repro.constraints.tuples.GeneralizedTuple.float_system`); the
+    exact-rational scalar oracle and this float kernel can only disagree on
+    points within one ulp of a constraint boundary.
+    """
+    return BatchOracle(tuple_.contains_points)
+
+
+def batch_oracle_from_relation(relation: GeneralizedRelation) -> BatchOracle:
+    """Batch oracle of a DNF relation: per-disjunct products with short-circuiting."""
+    return BatchOracle(relation.contains_points)
+
+
+def batch_oracle_from_predicate(
+    predicate: Callable[[np.ndarray], np.ndarray]
+) -> BatchOracle:
+    """Wrap an already-vectorized predicate (``(n, d) -> (n,)``) as a batch oracle.
+
+    Use this for bodies with closed-form vectorized membership, e.g.
+    ``Ball.contains_points`` for the polynomial-constraint experiments.  For a
+    predicate that can only judge one point at a time, use
+    :func:`lift_scalar` instead (and accept the per-point Python cost).
+    """
+    return BatchOracle(predicate)
+
+
+def lift_scalar(oracle: MembershipOracle) -> BatchOracle:
+    """Adapt a scalar oracle to the batch signature (compatibility path).
+
+    The lifted oracle answers a block by calling ``oracle`` once per row, so
+    a block of ``n`` points costs ``n`` Python calls: lifting preserves
+    correctness, **not** the batch speedup.  Profiling a workload that spends
+    its time inside a lifted oracle is the cue to write a native batch oracle
+    for the body (or to restate the body in linear/ball form so one of the
+    ``batch_oracle_from_*`` constructors applies).
+    """
+
+    def evaluate(points: np.ndarray) -> np.ndarray:
+        return np.fromiter(
+            (bool(oracle(point)) for point in points),
+            dtype=bool,
+            count=points.shape[0],
+        )
+
+    return BatchOracle(evaluate)
+
+
+def as_batch_oracle(oracle: MembershipOracle | BatchOracle) -> BatchOracle:
+    """Normalise a scalar-or-batch oracle to the batch signature.
+
+    Batch-capable oracles (anything with a truthy ``is_batch`` attribute)
+    pass through unchanged; scalar oracles are wrapped with
+    :func:`lift_scalar`.
+    """
+    if getattr(oracle, "is_batch", False):
+        return oracle  # type: ignore[return-value]
+    return lift_scalar(oracle)
+
+
 class CountingOracle:
     """A membership oracle that counts how many times it was queried.
 
@@ -84,4 +194,34 @@ class CountingOracle:
 
     def reset(self) -> None:
         """Reset the call counter."""
+        self.calls = 0
+
+
+class CountingBatchOracle:
+    """A batch oracle that counts *points* evaluated (not blocks).
+
+    One block query of ``n`` points counts as ``n`` membership queries, so
+    the oracle-complexity measure stays comparable between the scalar and
+    batch paths.  Scalar (1-D) queries count as one point, mirroring
+    :class:`BatchOracle`'s scalar promotion.
+    """
+
+    __slots__ = ("_oracle", "calls")
+
+    is_batch = True
+
+    def __init__(self, oracle: MembershipOracle | BatchOracle) -> None:
+        self._oracle = as_batch_oracle(oracle)
+        self.calls = 0
+
+    def __call__(self, points: np.ndarray) -> np.ndarray | bool:
+        points = np.asarray(points, dtype=float)
+        if points.ndim == 1:
+            self.calls += 1
+        else:
+            self.calls += points.shape[0]
+        return self._oracle(points)
+
+    def reset(self) -> None:
+        """Reset the point counter."""
         self.calls = 0

@@ -23,7 +23,7 @@ compiled-plan cache and metrics without serialisation.
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Sequence
 
 from repro.queries.aggregates import AggregateResult
@@ -72,16 +72,22 @@ def execute_batch(
     requests: Sequence[BatchRequest | Query],
     workers: int = 1,
     rng: RandomState = None,
+    block_size: int | None = None,
 ) -> list[BatchOutcome]:
     """Serve a batch of volume requests, deterministically, on ``workers`` threads.
 
     Bare :class:`~repro.queries.ast.Query` values are accepted and wrapped in
     default-accuracy :class:`BatchRequest` objects.  With a fixed ``rng``
     seed the returned values are bit-identical for every choice of
-    ``workers``.
+    ``workers`` **and** of ``block_size`` — the worker count only schedules
+    independent computations, and the batch kernels' block size only shapes
+    how many proposals each oracle call judges, never which proposals are
+    drawn or how they are counted.
     """
     if workers < 1:
         raise ValueError("workers must be at least 1")
+    if block_size is not None and block_size < 1:
+        raise ValueError("block_size must be at least 1")
     normalized = [
         request if isinstance(request, BatchRequest) else BatchRequest(request)
         for request in requests
@@ -120,6 +126,8 @@ def execute_batch(
         plan = session.planner.plan(
             request.query, session.database, epsilon=epsilon, delta=delta
         )
+        if block_size is not None and plan.block_size:
+            plan = replace(plan, block_size=block_size)
         result = session._execute(plan, request.query, key, streams[first_index])
         return result, plan
 

@@ -28,6 +28,7 @@ and tests can assert on *why* a route was chosen.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from threading import Lock
 
 from repro.constraints.database import ConstraintDatabase
 from repro.queries.ast import QAnd, QConstraint, QExists, QNot, QOr, QRelation, Query
@@ -151,6 +152,11 @@ class Plan:
         fraction reaches it — below the floor the relative guarantee does not
         hold and the answer must not be served (see
         :func:`repro.service.session.run_plan`).
+    block_size:
+        Number of proposals the sampling routes evaluate per batch-oracle
+        call (``0`` for the exact route, which draws no samples).  The block
+        size is an execution knob only: the blocked estimators produce
+        bit-identical values for every block size.
     profile:
         The structural profile the decision was based on.
     """
@@ -162,6 +168,7 @@ class Plan:
     time_budget: float
     reason: str
     min_hit_fraction: float = 0.0
+    block_size: int = 0
     profile: QueryProfile = field(repr=False, default=None)  # type: ignore[assignment]
 
 
@@ -183,6 +190,8 @@ class Planner:
         monte_carlo_sample_cap: int = 60_000,
         telescoping_base_samples: int = 800,
         time_budget_per_unit: float = 0.02,
+        batch_block_size: int = 8192,
+        batch_samples_per_second: float = 500_000.0,
     ) -> None:
         self.exact_dimension_limit = exact_dimension_limit
         self.exact_disjunct_limit = exact_disjunct_limit
@@ -192,6 +201,36 @@ class Planner:
         self.monte_carlo_sample_cap = monte_carlo_sample_cap
         self.telescoping_base_samples = telescoping_base_samples
         self.time_budget_per_unit = time_budget_per_unit
+        self.batch_block_size = batch_block_size
+        # Throughput of the vectorized sampling kernels, in judged samples
+        # per second.  The default is a deliberately conservative prior; the
+        # session feeds measured throughput back through observe_throughput,
+        # so time budgets tighten as the service learns the hardware.
+        self.batch_samples_per_second = batch_samples_per_second
+        self._throughput_observations = 0
+        self._throughput_lock = Lock()
+
+    def observe_throughput(self, samples: int, seconds: float) -> None:
+        """Fold one measured sampling run into the batch-throughput estimate.
+
+        The session reports ``(samples judged, wall seconds)`` for each
+        sampling-route execution; an exponential moving average (weight 0.3)
+        keeps the estimate current without letting one noisy run swing the
+        time budgets.  Results are unaffected — throughput only sizes the
+        *budgets* that the metrics compare latencies against.  The update is
+        locked because batch execution reports from worker threads.
+        """
+        if samples <= 0 or seconds <= 0:
+            return
+        observed = samples / seconds
+        with self._throughput_lock:
+            if self._throughput_observations == 0:
+                self.batch_samples_per_second = observed
+            else:
+                self.batch_samples_per_second += 0.3 * (
+                    observed - self.batch_samples_per_second
+                )
+            self._throughput_observations += 1
 
     def plan(
         self,
@@ -246,13 +285,14 @@ class Planner:
                     epsilon=epsilon,
                     delta=delta,
                     sample_budget=samples,
-                    time_budget=time_budget,
+                    time_budget=time_budget + samples / self.batch_samples_per_second,
                     reason=(
                         f"dimension {profile.dimension} <= {self.monte_carlo_dimension_limit} "
                         f"with loose epsilon {epsilon:g} but {profile.disjunct_estimate} "
                         "disjuncts: box sampling beats 2^disjuncts inclusion-exclusion"
                     ),
                     min_hit_fraction=self.monte_carlo_min_fraction,
+                    block_size=self.batch_block_size,
                     profile=profile,
                 )
         samples = self._telescoping_samples(epsilon)
@@ -266,8 +306,12 @@ class Planner:
             epsilon=epsilon,
             delta=delta,
             sample_budget=samples,
-            time_budget=time_budget,
+            # Telescoping walks one sample at a time per phase; budget the
+            # phases' samples at the learned throughput on top of the
+            # structural term so the over-budget metric stays meaningful.
+            time_budget=time_budget + samples / self.batch_samples_per_second,
             reason=reason,
+            block_size=self.batch_block_size,
             profile=profile,
         )
 

@@ -71,15 +71,16 @@ def run_plan(
                 (float(box[name][0]), float(box[name][1]))
                 for name in relation.variables
             ]
-            from repro.sampling.oracles import oracle_from_relation
+            from repro.sampling.oracles import batch_oracle_from_relation
 
             estimate = monte_carlo_volume(
-                oracle_from_relation(relation),
+                batch_oracle_from_relation(relation),
                 bounds,
                 plan.epsilon,
                 plan.delta,
                 rng=rng,
                 samples=plan.sample_budget or None,
+                block_size=plan.block_size or 8192,
             )
             fraction = estimate.details.get("hit_fraction", 0.0)
             if fraction >= plan.min_hit_fraction:
@@ -226,11 +227,24 @@ class ServiceSession:
         compiled = self.compile_cached(query)
         return compiled.generate_many(count, ensure_rng(rng))
 
-    def submit_batch(self, requests, workers: int = 1, rng: RandomState = None):
-        """Serve a batch of requests; see :func:`repro.service.executor.execute_batch`."""
+    def submit_batch(
+        self,
+        requests,
+        workers: int = 1,
+        rng: RandomState = None,
+        block_size: int | None = None,
+    ):
+        """Serve a batch of requests; see :func:`repro.service.executor.execute_batch`.
+
+        ``block_size`` overrides the planner's batch-kernel block size for
+        this batch; like the worker count, it never changes the served values
+        (the blocked estimators are block-size invariant).
+        """
         from repro.service.executor import execute_batch
 
-        return execute_batch(self, requests, workers=workers, rng=rng)
+        return execute_batch(
+            self, requests, workers=workers, rng=rng, block_size=block_size
+        )
 
     # ------------------------------------------------------------------
     # Internals
@@ -283,6 +297,15 @@ class ServiceSession:
         self.metrics.record_latency(
             executed, elapsed, over_budget=elapsed > plan.time_budget
         )
+        # Feed measured sampling throughput back into the cost model so
+        # future time budgets reflect what the batch kernels actually
+        # deliver on this hardware.  Only the Monte-Carlo route measures the
+        # batch kernels in isolation — telescoping's elapsed time mixes
+        # walk steps with compilation, so folding it in would corrupt the
+        # estimate with route-order-dependent noise.
+        estimate = result.estimate
+        if executed == "monte_carlo" and estimate is not None and estimate.samples_used:
+            self.planner.observe_throughput(estimate.samples_used, elapsed)
         return result
 
     def _resolve_accuracy(

@@ -15,21 +15,22 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.sampling.oracles import MembershipOracle
-from repro.sampling.rejection import sample_box
+from repro.sampling.oracles import BatchOracle, MembershipOracle
+from repro.sampling.rejection import count_box_hits
 from repro.sampling.rng import ensure_rng
 from repro.volume.base import VolumeEstimate
 from repro.volume.chernoff import hoeffding_sample_size
 
 
 def monte_carlo_volume(
-    oracle: MembershipOracle,
+    oracle: MembershipOracle | BatchOracle,
     bounds: list[tuple[float, float]],
     epsilon: float,
     delta: float,
     rng: np.random.Generator | int | None = None,
     samples: int | None = None,
     max_samples: int = 200_000,
+    block_size: int = 8192,
 ) -> VolumeEstimate:
     """Estimate the volume of ``{x in box : oracle(x)}`` by uniform box sampling.
 
@@ -37,8 +38,18 @@ def monte_carlo_volume(
     ``epsilon``-accurate hit fraction; the returned estimate's ``details``
     record the hit fraction so callers can convert the additive guarantee to
     the relative one when the fraction is known to be large.
+
+    Sampling proceeds in blocks of ``block_size`` points, each judged with a
+    single (batch) oracle call and counted with an array reduction; the loop
+    stops as soon as the Hoeffding/explicit sample budget is consumed.
+    Because consecutive blocks draw the identical point stream a single large
+    draw would produce, the estimate is **bit-identical for every block
+    size** — and for the scalar path, since a lifted scalar oracle makes the
+    same per-point decisions (:func:`repro.sampling.oracles.as_batch_oracle`).
     """
     rng = ensure_rng(rng)
+    if block_size < 1:
+        raise ValueError("block_size must be at least 1")
     box_volume = 1.0
     for lower, upper in bounds:
         if upper < lower:
@@ -46,8 +57,7 @@ def monte_carlo_volume(
         box_volume *= upper - lower
     if samples is None:
         samples = min(hoeffding_sample_size(epsilon, delta), max_samples)
-    points = sample_box(rng, bounds, samples)
-    hits = sum(1 for point in points if oracle(point))
+    hits = count_box_hits(oracle, bounds, samples, rng, block_size)
     fraction = hits / samples
     return VolumeEstimate(
         value=fraction * box_volume,

@@ -43,7 +43,12 @@ from repro.geometry.rounding import RoundedBody, round_by_chebyshev, round_by_co
 from repro.sampling.ball_walk import BallWalkSampler
 from repro.sampling.grid_walk import GridWalkConfig, GridWalkSampler
 from repro.sampling.hit_and_run import HitAndRunSampler
-from repro.sampling.oracles import CountingOracle, oracle_from_polytope
+from repro.sampling.oracles import (
+    CountingBatchOracle,
+    CountingOracle,
+    batch_oracle_from_polytope,
+    oracle_from_polytope,
+)
 from repro.sampling.rng import ensure_rng
 from repro.volume.base import EstimationError, VolumeEstimate
 from repro.volume.chernoff import chernoff_ratio_sample_size
@@ -73,6 +78,13 @@ class TelescopingConfig:
         in the tests and benchmarks.
     gamma:
         Grid coarseness for the grid-walk sampler.
+    chains:
+        Number of independent walk chains per phase.  ``1`` (the default)
+        reproduces the classic single-chain stream exactly; ``k > 1`` splits
+        each phase's sample budget across ``k`` chains advanced in lockstep
+        by the vectorized multi-chain kernels (hit-and-run and ball walk;
+        the grid walk ignores the knob).  Multi-chain runs are deterministic
+        for a fixed seed but draw a different stream than ``chains=1``.
     """
 
     sampler: SamplerName = "hit_and_run"
@@ -81,6 +93,7 @@ class TelescopingConfig:
     samples_per_phase: int | None = None
     max_samples_per_phase: int = 2_000
     gamma: float = 0.2
+    chains: int = 1
 
 
 class TelescopingVolumeEstimator:
@@ -117,10 +130,21 @@ class TelescopingVolumeEstimator:
         count: int,
         oracle_counter: list[int],
     ) -> np.ndarray:
-        """Draw ``count`` almost uniform samples from ``body`` with the configured sampler."""
+        """Draw ``count`` almost uniform samples from ``body`` with the configured sampler.
+
+        With ``config.chains > 1`` the phase budget is split across that many
+        lockstep chains (``ceil(count / chains)`` samples each, surplus rows
+        dropped) and the multi-chain kernels replace the per-step Python
+        loops with ``(k, d)`` array operations.
+        """
+        chains = max(int(self.config.chains), 1)
+        per_chain = -(-count // chains)  # ceil division
         if self.config.sampler == "hit_and_run":
             sampler = HitAndRunSampler(body)
-            return sampler.sample(rng, count)
+            if chains == 1:
+                return sampler.sample(rng, count)
+            stacked = sampler.sample_chains(rng, per_chain, chains)
+            return stacked.reshape(chains * per_chain, body.dimension)[:count]
         oracle = CountingOracle(oracle_from_polytope(body))
         chebyshev = body.chebyshev_ball()
         if chebyshev is None or chebyshev.radius <= 0:
@@ -135,8 +159,16 @@ class TelescopingVolumeEstimator:
             )
             samples = walker.sample_continuous(rng, count)
         elif self.config.sampler == "ball_walk":
-            walker = BallWalkSampler(oracle, body.dimension, start=chebyshev.center)
-            samples = walker.sample(rng, count)
+            batch_oracle = CountingBatchOracle(batch_oracle_from_polytope(body))
+            walker = BallWalkSampler(
+                oracle, body.dimension, start=chebyshev.center, batch_oracle=batch_oracle
+            )
+            if chains == 1:
+                samples = walker.sample(rng, count)
+            else:
+                stacked = walker.sample_chains(rng, per_chain, chains)
+                samples = stacked.reshape(chains * per_chain, body.dimension)[:count]
+                oracle_counter[0] += batch_oracle.calls
         else:
             raise ValueError(f"unknown sampler {self.config.sampler!r}")
         oracle_counter[0] += oracle.calls

@@ -1,0 +1,179 @@
+"""Scalar-vs-batch equivalence of the estimators and rejection samplers.
+
+The batch kernels must not change a single number: for a fixed seed, the
+Monte-Carlo estimator, the rejection samplers and the telescoping estimator
+must return bit-identical results whether they are fed a scalar oracle (the
+historical one-point-at-a-time path, now lifted) or a native batch oracle —
+and for every block size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.constraints import parse_relation
+from repro.geometry.ball import Ball
+from repro.geometry.polytope import HPolytope
+from repro.sampling.oracles import (
+    batch_oracle_from_polytope,
+    batch_oracle_from_relation,
+    oracle_from_polytope,
+    oracle_from_relation,
+)
+from repro.sampling.rejection import (
+    estimate_acceptance_rate,
+    rejection_sample_from_ball,
+    rejection_sample_from_box,
+    sample_box,
+)
+from repro.volume import TelescopingConfig, TelescopingVolumeEstimator, monte_carlo_volume
+
+SEED = 20260730
+
+SIMPLEX = HPolytope.simplex(3, scale=2.0)
+SIMPLEX_BOUNDS = [(-0.25, 2.25)] * 3
+RELATION = parse_relation("0 <= x <= 1 and 0 <= y <= 1 or 2 <= x <= 3 and 0 <= y <= 2")
+RELATION_BOUNDS = [(0.0, 3.0), (0.0, 2.0)]
+
+
+class TestMonteCarloEquivalence:
+    def test_scalar_and_batch_paths_bit_identical(self):
+        scalar = monte_carlo_volume(
+            oracle_from_polytope(SIMPLEX), SIMPLEX_BOUNDS, 0.1, 0.1,
+            rng=SEED, samples=20_000,
+        )
+        batch = monte_carlo_volume(
+            batch_oracle_from_polytope(SIMPLEX), SIMPLEX_BOUNDS, 0.1, 0.1,
+            rng=SEED, samples=20_000,
+        )
+        assert scalar.value == batch.value
+        assert scalar.details == batch.details
+
+    def test_relation_oracle_bit_identical(self):
+        scalar = monte_carlo_volume(
+            oracle_from_relation(RELATION), RELATION_BOUNDS, 0.15, 0.1,
+            rng=SEED, samples=10_000,
+        )
+        batch = monte_carlo_volume(
+            batch_oracle_from_relation(RELATION), RELATION_BOUNDS, 0.15, 0.1,
+            rng=SEED, samples=10_000,
+        )
+        assert scalar.value == batch.value
+        assert scalar.value == pytest.approx(3.0, rel=0.1)
+
+    def test_block_size_invariance(self):
+        oracle = batch_oracle_from_polytope(SIMPLEX)
+        values = {
+            monte_carlo_volume(
+                oracle, SIMPLEX_BOUNDS, 0.1, 0.1, rng=SEED,
+                samples=10_000, block_size=block_size,
+            ).value
+            for block_size in (1, 37, 1024, 10_000, 1 << 20)
+        }
+        assert len(values) == 1
+
+    def test_matches_historical_loop(self):
+        """The blocked estimator reproduces the seed's generator-loop count."""
+        samples = 5_000
+        rng = np.random.default_rng(SEED)
+        points = sample_box(rng, SIMPLEX_BOUNDS, samples)
+        scalar_oracle = oracle_from_polytope(SIMPLEX)
+        hits = sum(1 for point in points if scalar_oracle(point))
+        box_volume = float(np.prod([hi - lo for lo, hi in SIMPLEX_BOUNDS]))
+        expected = hits / samples * box_volume
+        estimate = monte_carlo_volume(
+            batch_oracle_from_polytope(SIMPLEX), SIMPLEX_BOUNDS, 0.1, 0.1,
+            rng=SEED, samples=samples,
+        )
+        assert estimate.value == expected
+
+    def test_rejects_invalid_block_size(self):
+        with pytest.raises(ValueError):
+            monte_carlo_volume(
+                batch_oracle_from_polytope(SIMPLEX), SIMPLEX_BOUNDS, 0.1, 0.1,
+                rng=SEED, samples=100, block_size=0,
+            )
+
+
+class TestRejectionEquivalence:
+    def test_box_rejection_bit_identical(self):
+        scalar = rejection_sample_from_box(
+            oracle_from_polytope(SIMPLEX), SIMPLEX_BOUNDS, 200,
+            np.random.default_rng(SEED),
+        )
+        batch = rejection_sample_from_box(
+            batch_oracle_from_polytope(SIMPLEX), SIMPLEX_BOUNDS, 200,
+            np.random.default_rng(SEED),
+        )
+        assert np.array_equal(scalar.samples, batch.samples)
+        assert scalar.proposals == batch.proposals
+        assert scalar.accepted == batch.accepted == 200
+
+    def test_ball_rejection_bit_identical(self):
+        ball = Ball(np.full(3, 0.5), 2.0)
+        scalar = rejection_sample_from_ball(
+            oracle_from_polytope(SIMPLEX), ball, 100, np.random.default_rng(SEED)
+        )
+        batch = rejection_sample_from_ball(
+            batch_oracle_from_polytope(SIMPLEX), ball, 100, np.random.default_rng(SEED)
+        )
+        assert np.array_equal(scalar.samples, batch.samples)
+        assert scalar.proposals == batch.proposals
+
+    def test_budget_exhaustion_counts_match(self):
+        empty_scalar = rejection_sample_from_box(
+            lambda point: False, [(0.0, 1.0)] * 2, 5,
+            np.random.default_rng(SEED), max_proposals=777,
+        )
+        assert empty_scalar.accepted == 0
+        assert empty_scalar.proposals == 777
+        assert empty_scalar.samples.shape == (0, 2)
+
+    def test_acceptance_rate_rejects_invalid_block_size(self):
+        with pytest.raises(ValueError):
+            estimate_acceptance_rate(
+                batch_oracle_from_polytope(SIMPLEX), SIMPLEX_BOUNDS, 100,
+                np.random.default_rng(SEED), block_size=0,
+            )
+
+    def test_acceptance_rate_bit_identical_and_block_invariant(self):
+        rates = {
+            estimate_acceptance_rate(
+                oracle, SIMPLEX_BOUNDS, 4_000, np.random.default_rng(SEED),
+                block_size=block_size,
+            )
+            for oracle in (
+                oracle_from_polytope(SIMPLEX),
+                batch_oracle_from_polytope(SIMPLEX),
+            )
+            for block_size in (63, 4_000, 8192)
+        }
+        assert len(rates) == 1
+
+
+class TestTelescopingEquivalence:
+    def test_single_chain_config_reproduces_default(self):
+        default = TelescopingVolumeEstimator(
+            SIMPLEX, TelescopingConfig(samples_per_phase=300)
+        ).estimate(0.3, 0.2, rng=SEED)
+        single = TelescopingVolumeEstimator(
+            SIMPLEX, TelescopingConfig(samples_per_phase=300, chains=1)
+        ).estimate(0.3, 0.2, rng=SEED)
+        assert default.value == single.value
+        assert default.details["ratios"] == single.details["ratios"]
+
+    def test_multi_chain_deterministic_and_accurate(self):
+        config = TelescopingConfig(samples_per_phase=400, chains=4)
+        first = TelescopingVolumeEstimator(SIMPLEX, config).estimate(0.3, 0.2, rng=SEED)
+        second = TelescopingVolumeEstimator(SIMPLEX, config).estimate(0.3, 0.2, rng=SEED)
+        assert first.value == second.value
+        assert first.value == pytest.approx(SIMPLEX.volume(), rel=0.5)
+
+    def test_multi_chain_ball_walk_counts_batch_oracle_calls(self):
+        config = TelescopingConfig(samples_per_phase=120, sampler="ball_walk", chains=3)
+        estimate = TelescopingVolumeEstimator(
+            HPolytope.cube(3, side=2.0), config
+        ).estimate(0.3, 0.2, rng=SEED)
+        assert estimate.oracle_calls > 0
+        assert estimate.value == pytest.approx(8.0, rel=0.6)

@@ -1,0 +1,160 @@
+"""Multi-chain walk kernels: k=1 exactness, determinism, chain independence.
+
+The contract of ``sample_chains``:
+
+* ``chains=1`` delegates to the scalar code path, so it reproduces the
+  historical single-chain sample stream **bit for bit**;
+* ``chains=k`` is deterministic for a fixed seed, and chain ``i``'s output
+  does not depend on how many chains run alongside it (child streams are
+  spawned by index);
+* one vectorized step computes the same move as the scalar step given the
+  same draws (up to float reassociation in the matrix product).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry.polytope import HPolytope
+from repro.sampling.ball_walk import BallWalkSampler
+from repro.sampling.hit_and_run import HitAndRunSampler
+from repro.sampling.oracles import batch_oracle_from_polytope, oracle_from_polytope
+from repro.sampling.rng import spawn_rngs
+
+SEED = 424242
+
+BODY = HPolytope.simplex(3, scale=2.0)
+
+
+def _hit_and_run() -> HitAndRunSampler:
+    return HitAndRunSampler(BODY, burn_in=30, thinning=4)
+
+
+def _ball_walk() -> BallWalkSampler:
+    return BallWalkSampler(
+        oracle_from_polytope(BODY),
+        BODY.dimension,
+        start=np.full(3, 0.3),
+        burn_in=30,
+        thinning=4,
+        batch_oracle=batch_oracle_from_polytope(BODY),
+    )
+
+
+class TestHitAndRunChains:
+    def test_k1_reproduces_single_chain_stream_exactly(self):
+        sampler = _hit_and_run()
+        chained = sampler.sample_chains(SEED, 25, chains=1)
+        classic = sampler.sample(np.random.default_rng(SEED), 25)
+        assert chained.shape == (1, 25, 3)
+        assert np.array_equal(chained[0], classic)
+
+    def test_multi_chain_shape_membership_determinism(self):
+        sampler = _hit_and_run()
+        first = sampler.sample_chains(SEED, 20, chains=5)
+        second = sampler.sample_chains(SEED, 20, chains=5)
+        assert first.shape == (5, 20, 3)
+        assert np.array_equal(first, second)
+        assert BODY.contains_points(first.reshape(-1, 3), tolerance=1e-9).all()
+
+    def test_chains_are_distinct(self):
+        samples = _hit_and_run().sample_chains(SEED, 10, chains=4)
+        flat = {samples[chain].tobytes() for chain in range(4)}
+        assert len(flat) == 4
+
+    def test_chain_prefix_independent_of_chain_count(self):
+        sampler = _hit_and_run()
+        two = sampler.sample_chains(SEED, 15, chains=2)
+        six = sampler.sample_chains(SEED, 15, chains=6)
+        assert np.array_equal(two, six[:2])
+
+    def test_single_step_matches_scalar_step(self):
+        """One vectorized step equals scalar steps chain by chain (same draws)."""
+        sampler = _hit_and_run()
+        chains = 6
+        dimension = BODY.dimension
+        rng = np.random.default_rng(SEED)
+        current = np.full((chains, dimension), 0.3) + rng.random((chains, dimension)) * 0.1
+        draw_rngs = spawn_rngs(rng, chains)
+        directions = np.stack([r.normal(size=dimension) for r in draw_rngs])
+        uniforms = np.array([r.random() for r in draw_rngs])
+        vectorized = sampler._step_chains(current, directions, uniforms)
+        for chain in range(chains):
+            direction = directions[chain] / np.linalg.norm(directions[chain])
+            slopes = BODY.a @ direction
+            gaps = BODY.b - BODY.a @ current[chain]
+            upper = np.min(gaps[slopes > 1e-14] / slopes[slopes > 1e-14])
+            lower = np.max(gaps[slopes < -1e-14] / slopes[slopes < -1e-14])
+            t = lower + (upper - lower) * uniforms[chain]
+            expected = current[chain] + t * direction
+            assert vectorized[chain] == pytest.approx(expected, rel=1e-10, abs=1e-12)
+
+    def test_rejects_zero_chains(self):
+        with pytest.raises(ValueError):
+            _hit_and_run().sample_chains(SEED, 5, chains=0)
+
+    def test_unbounded_polytope_raises_like_scalar_path(self):
+        # Positive orthant: every chord pointing into the cone is unbounded.
+        orthant = HPolytope(-np.eye(2), np.zeros(2))
+        sampler = HitAndRunSampler(
+            orthant, start=np.ones(2), burn_in=5, thinning=1
+        )
+        with pytest.raises(ValueError, match="unbounded"):
+            sampler.sample(np.random.default_rng(SEED), 3)
+        with pytest.raises(ValueError, match="unbounded"):
+            sampler.sample_chains(SEED, 3, chains=2)
+
+
+class TestBallWalkChains:
+    def test_k1_reproduces_single_chain_stream_exactly(self):
+        sampler = _ball_walk()
+        chained = sampler.sample_chains(SEED, 25, chains=1)
+        classic = sampler.sample(np.random.default_rng(SEED), 25)
+        assert np.array_equal(chained[0], classic)
+
+    def test_multi_chain_shape_membership_determinism(self):
+        sampler = _ball_walk()
+        first = sampler.sample_chains(SEED, 15, chains=4)
+        second = sampler.sample_chains(SEED, 15, chains=4)
+        assert first.shape == (4, 15, 3)
+        assert np.array_equal(first, second)
+        assert BODY.contains_points(first.reshape(-1, 3), tolerance=1e-9).all()
+
+    def test_chain_prefix_independent_of_chain_count(self):
+        sampler = _ball_walk()
+        two = sampler.sample_chains(SEED, 10, chains=2)
+        five = sampler.sample_chains(SEED, 10, chains=5)
+        assert np.array_equal(two, five[:2])
+
+    def test_zero_thinning_repeats_post_burn_in_state(self):
+        """thinning=0 mirrors the scalar path: the same point repeated."""
+        sampler = BallWalkSampler(
+            oracle_from_polytope(BODY),
+            BODY.dimension,
+            start=np.full(3, 0.3),
+            burn_in=10,
+            thinning=0,
+            batch_oracle=batch_oracle_from_polytope(BODY),
+        )
+        chains = sampler.sample_chains(SEED, 4, chains=3)
+        assert chains.shape == (3, 4, 3)
+        assert np.array_equal(chains, np.repeat(chains[:, :1, :], 4, axis=1))
+        scalar = sampler.sample(np.random.default_rng(SEED), 4)
+        assert np.array_equal(scalar, np.repeat(scalar[:1], 4, axis=0))
+
+    def test_lifted_scalar_oracle_matches_batch_oracle(self):
+        """A multi-chain run is oracle-representation independent."""
+        with_batch = _ball_walk().sample_chains(SEED, 10, chains=3)
+        without_batch = BallWalkSampler(
+            oracle_from_polytope(BODY),
+            BODY.dimension,
+            start=np.full(3, 0.3),
+            burn_in=30,
+            thinning=4,
+        ).sample_chains(SEED, 10, chains=3)
+        assert np.array_equal(with_batch, without_batch)
+
+    def test_rejects_zero_chains(self):
+        with pytest.raises(ValueError):
+            _ball_walk().sample_chains(SEED, 5, chains=0)

@@ -1,0 +1,129 @@
+"""Scalar-vs-batch equivalence of every membership oracle kind.
+
+For each oracle constructor the library offers, the batch oracle must make
+exactly the same accept/reject decisions as the scalar oracle on the same
+points — that is the contract that lets the samplers and estimators switch
+to the batch fast path without changing a single served value.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.constraints import parse_relation
+from repro.geometry.ball import Ball
+from repro.geometry.polytope import HPolytope
+from repro.sampling.oracles import (
+    BatchOracle,
+    CountingBatchOracle,
+    as_batch_oracle,
+    batch_oracle_from_polytope,
+    batch_oracle_from_predicate,
+    batch_oracle_from_relation,
+    batch_oracle_from_tuple,
+    lift_scalar,
+    oracle_from_polytope,
+    oracle_from_predicate,
+    oracle_from_relation,
+    oracle_from_tuple,
+)
+
+
+RELATION = parse_relation(
+    "0 <= x <= 1 and 0 <= y <= 1 or 2 <= x <= 3 and 0 <= y <= 2 or x + y <= -1 and x >= -2 and y >= -2"
+)
+
+
+def _points(rng: np.random.Generator, count: int, dimension: int) -> np.ndarray:
+    """Generic test points straddling all the bodies used below."""
+    return rng.random((count, dimension)) * 6.0 - 3.0
+
+
+class TestOracleKindEquivalence:
+    def test_polytope(self, rng):
+        polytope = HPolytope.simplex(3, scale=2.0)
+        points = _points(rng, 400, 3)
+        scalar = lift_scalar(oracle_from_polytope(polytope))
+        batch = batch_oracle_from_polytope(polytope)
+        assert np.array_equal(scalar(points), batch(points))
+        assert np.count_nonzero(batch(points)) > 0
+
+    def test_tuple(self, rng):
+        tuple_ = RELATION.disjuncts[1]
+        points = _points(rng, 400, 2)
+        scalar = lift_scalar(oracle_from_tuple(tuple_))
+        batch = batch_oracle_from_tuple(tuple_)
+        assert np.array_equal(scalar(points), batch(points))
+
+    def test_relation(self, rng):
+        points = _points(rng, 400, 2)
+        scalar = lift_scalar(oracle_from_relation(RELATION))
+        batch = batch_oracle_from_relation(RELATION)
+        decisions = batch(points)
+        assert np.array_equal(scalar(points), decisions)
+        # All three disjuncts are represented among the generic points.
+        assert np.count_nonzero(decisions) > 0
+
+    def test_vectorized_predicate(self, rng):
+        ball = Ball(np.array([0.5, -0.5]), 1.5)
+        points = _points(rng, 400, 2)
+        scalar = lift_scalar(oracle_from_predicate(lambda p: ball.contains(p)))
+        batch = batch_oracle_from_predicate(ball.contains_points)
+        assert np.array_equal(scalar(points), batch(points))
+
+    def test_membership_indices_match_scalar(self, rng):
+        points = _points(rng, 200, 2)
+        indices = RELATION.membership_indices(points)
+        for point, index in zip(points, indices):
+            expected = RELATION.membership_index([float(v) for v in point])
+            assert (expected if expected is not None else -1) == index
+
+
+class TestAdapters:
+    def test_batch_oracle_answers_scalar_queries(self):
+        batch = batch_oracle_from_polytope(HPolytope.cube(2, side=2.0))
+        assert batch(np.zeros(2)) is True
+        assert batch(np.array([5.0, 0.0])) is False
+
+    def test_as_batch_oracle_passthrough_and_lift(self):
+        batch = batch_oracle_from_polytope(HPolytope.cube(2))
+        assert as_batch_oracle(batch) is batch
+        lifted = as_batch_oracle(oracle_from_polytope(HPolytope.cube(2)))
+        assert isinstance(lifted, BatchOracle)
+        assert lifted is not batch
+
+    def test_lift_scalar_preserves_order_and_dtype(self, rng):
+        polytope = HPolytope.cube(2, side=2.0)
+        points = _points(rng, 64, 2)
+        decisions = lift_scalar(oracle_from_polytope(polytope))(points)
+        assert decisions.dtype == np.bool_
+        assert decisions.shape == (64,)
+
+    def test_counting_batch_oracle_counts_points(self, rng):
+        counting = CountingBatchOracle(batch_oracle_from_polytope(HPolytope.cube(3)))
+        counting(_points(rng, 100, 3))
+        counting(_points(rng, 28, 3))
+        counting(np.zeros(3))  # scalar promotion counts one point
+        assert counting.calls == 129
+        counting.reset()
+        assert counting.calls == 0
+
+    def test_counting_batch_oracle_lifts_scalar(self, rng):
+        counting = CountingBatchOracle(oracle_from_polytope(HPolytope.cube(3)))
+        points = _points(rng, 50, 3)
+        assert np.array_equal(
+            counting(points), batch_oracle_from_polytope(HPolytope.cube(3))(points)
+        )
+        assert counting.calls == 50
+
+
+class TestShapeValidation:
+    def test_tuple_rejects_wrong_dimension(self, rng):
+        tuple_ = RELATION.disjuncts[0]
+        with pytest.raises(ValueError):
+            tuple_.contains_points(rng.random((10, 5)))
+
+    def test_relation_rejects_wrong_dimension(self, rng):
+        with pytest.raises(ValueError):
+            RELATION.contains_points(rng.random((10, 3)))

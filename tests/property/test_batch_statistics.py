@@ -1,0 +1,102 @@
+"""Statistical properties of the batch kernels.
+
+The equivalence tests in ``tests/batch`` prove the batch kernels make the
+same decisions as the scalar paths; the tests here check that the genuinely
+*new* sample streams (multi-chain walks) and the vectorized rejection path
+have the right distributions:
+
+* chi-square uniformity of pooled multi-chain hit-and-run samples on a box
+  and on a simplex;
+* the vectorized rejection acceptance rate agrees with the analytic volume
+  ratio within three binomial standard deviations.
+
+All tests use fixed seeds, so they are deterministic — the 3σ / p-value
+margins guard against a *wrong kernel*, not against re-rolled luck.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.constraints import parse_relation
+from repro.geometry.ball import Ball, ball_volume
+from repro.geometry.polytope import HPolytope
+from repro.sampling.diagnostics import cell_histogram, chi_square_uniform
+from repro.sampling.hit_and_run import HitAndRunSampler
+from repro.sampling.oracles import batch_oracle_from_predicate, batch_oracle_from_relation
+from repro.sampling.rejection import estimate_acceptance_rate
+
+SEED = 987654321
+
+
+class TestMultiChainUniformity:
+    def test_chi_square_uniform_on_box(self):
+        box = HPolytope.box([(0.0, 1.0), (0.0, 1.0)])
+        sampler = HitAndRunSampler(box, burn_in=200, thinning=8)
+        samples = sampler.sample_chains(SEED, 400, chains=8).reshape(-1, 2)
+        counts = cell_histogram(samples, [(0.0, 1.0), (0.0, 1.0)], bins_per_axis=4)
+        _, p_value = chi_square_uniform(counts)
+        assert p_value > 0.01
+
+    def test_chi_square_uniform_on_simplex(self):
+        simplex = HPolytope.simplex(2)
+        sampler = HitAndRunSampler(simplex, burn_in=200, thinning=8)
+        samples = sampler.sample_chains(SEED, 400, chains=8).reshape(-1, 2)
+        bins = 6
+        counts = cell_histogram(samples, [(0.0, 1.0), (0.0, 1.0)], bins_per_axis=bins)
+        # Support: cells entirely inside the simplex (upper-corner sum <= 1).
+        # Uniformity on the simplex implies uniformity across these cells;
+        # samples landing in boundary-straddling cells are simply dropped.
+        edges = np.linspace(0.0, 1.0, bins + 1)
+        support = np.array(
+            [
+                edges[i + 1] + edges[j + 1] <= 1.0 + 1e-12
+                for i in range(bins)
+                for j in range(bins)
+            ]
+        )
+        assert support.sum() >= 10
+        _, p_value = chi_square_uniform(counts, support=support)
+        assert p_value > 0.01
+
+    def test_chains_agree_with_each_other(self):
+        """Per-chain means are all close to the body's centroid."""
+        box = HPolytope.box([(0.0, 2.0), (0.0, 2.0)])
+        sampler = HitAndRunSampler(box, burn_in=200, thinning=8)
+        chains = sampler.sample_chains(SEED, 300, chains=6)
+        means = chains.mean(axis=1)
+        assert np.allclose(means, 1.0, atol=0.15)
+
+
+class TestVectorizedRejectionStatistics:
+    def test_ball_in_cube_acceptance_rate_within_3_sigma(self):
+        dimension = 3
+        proposals = 40_000
+        ball = Ball(np.zeros(dimension), 1.0)
+        bounds = [(-1.0, 1.0)] * dimension
+        expected = ball_volume(dimension, 1.0) / 2.0**dimension
+        rate = estimate_acceptance_rate(
+            batch_oracle_from_predicate(ball.contains_points),
+            bounds,
+            proposals,
+            np.random.default_rng(SEED),
+        )
+        sigma = np.sqrt(expected * (1.0 - expected) / proposals)
+        assert rate == pytest.approx(expected, abs=3.0 * sigma)
+
+    def test_union_relation_acceptance_rate_within_3_sigma(self):
+        relation = parse_relation(
+            "0 <= x <= 1 and 0 <= y <= 1 or 2 <= x <= 3 and 0 <= y <= 2"
+        )
+        bounds = [(0.0, 3.0), (0.0, 2.0)]
+        proposals = 40_000
+        expected = 3.0 / 6.0  # vol(union) / vol(box)
+        rate = estimate_acceptance_rate(
+            batch_oracle_from_relation(relation),
+            bounds,
+            proposals,
+            np.random.default_rng(SEED),
+        )
+        sigma = np.sqrt(expected * (1.0 - expected) / proposals)
+        assert rate == pytest.approx(expected, abs=3.0 * sigma)

@@ -111,3 +111,44 @@ class TestPlanSelection:
         plan = Planner().plan(atom(), box_database(), epsilon=0.2, delta=0.1)
         assert plan.profile.dimension == 2
         assert plan.reason
+
+
+class TestBatchCostModel:
+    def test_sampling_plans_carry_block_size(self):
+        planner = Planner(batch_block_size=4096)
+        monte_carlo = planner.plan(
+            QRelation("S", ("x0", "x1")), striped_database(10), epsilon=0.3, delta=0.1
+        )
+        assert monte_carlo.estimator == "monte_carlo"
+        assert monte_carlo.block_size == 4096
+        telescoping = planner.plan(
+            atom(dimension=6), box_database(dimension=6), epsilon=0.2, delta=0.1
+        )
+        assert telescoping.block_size == 4096
+        exact = planner.plan(atom(), box_database(), epsilon=0.2, delta=0.1)
+        assert exact.block_size == 0
+
+    def test_observed_throughput_tightens_time_budget(self):
+        slow = Planner(batch_samples_per_second=1_000.0)
+        fast = Planner(batch_samples_per_second=1_000.0)
+        fast.observe_throughput(samples=1_000_000, seconds=1.0)
+        database = striped_database(10)
+        query = QRelation("S", ("x0", "x1"))
+        slow_plan = slow.plan(query, database, epsilon=0.3, delta=0.1)
+        fast_plan = fast.plan(query, database, epsilon=0.3, delta=0.1)
+        assert fast_plan.time_budget < slow_plan.time_budget
+        assert fast_plan.sample_budget == slow_plan.sample_budget
+
+    def test_throughput_updates_are_smoothed(self):
+        planner = Planner()
+        planner.observe_throughput(samples=100_000, seconds=1.0)
+        assert planner.batch_samples_per_second == 100_000.0
+        planner.observe_throughput(samples=200_000, seconds=1.0)
+        assert 100_000.0 < planner.batch_samples_per_second < 200_000.0
+
+    def test_degenerate_observations_ignored(self):
+        planner = Planner()
+        before = planner.batch_samples_per_second
+        planner.observe_throughput(samples=0, seconds=1.0)
+        planner.observe_throughput(samples=100, seconds=0.0)
+        assert planner.batch_samples_per_second == before

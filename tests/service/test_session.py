@@ -128,8 +128,70 @@ class TestBatching:
         with pytest.raises(ValueError):
             session.submit_batch([q("A")], workers=0, rng=7)
 
+    def test_rejects_invalid_block_size(self, session):
+        with pytest.raises(ValueError):
+            session.submit_batch([q("A")], workers=1, rng=7, block_size=0)
+
     def test_empty_batch(self, session):
         assert session.submit_batch([], workers=2, rng=7) == []
+
+    def test_batch_deterministic_across_workers_and_block_sizes(self):
+        """The served values are invariant along *both* execution axes.
+
+        The worker count only schedules independent computations and the
+        batch block size only shapes how many proposals each oracle call
+        judges, so every (workers, block_size) combination must produce
+        bit-identical results.  The workload mixes all three plan routes —
+        exact, monte_carlo (the route that consumes the block size) and
+        telescoping — via low-dimensional strips and a 5-D cube.
+        """
+        from repro.constraints.tuples import GeneralizedTuple
+
+        db = ConstraintDatabase()
+        tiles = [
+            GeneralizedTuple.box({"x": (i, i + 0.9), "y": (0, 1)}) for i in range(10)
+        ]
+        db.set_relation("strips", GeneralizedRelation(tiles, ("x", "y")))
+        db.set_relation("A", GeneralizedRelation.box({"x": (0, 2), "y": (0, 1)}))
+        db.set_relation(
+            "C5", GeneralizedRelation.box({f"z{i}": (0, 1) for i in range(5)})
+        )
+        params = GeneratorParams(gamma=0.3, epsilon=0.3, delta=0.2)
+        requests = [
+            BatchRequest(QRelation("strips", ("x", "y"))),
+            BatchRequest(q("A")),
+            BatchRequest(QRelation("C5", tuple(f"z{i}" for i in range(5)))),
+        ]
+        results = []
+        for workers in (1, 4):
+            for block_size in (64, 1024, None):
+                fresh = ServiceSession(db, params=params)
+                outcomes = fresh.submit_batch(
+                    requests, workers=workers, rng=123, block_size=block_size
+                )
+                assert any(
+                    outcome.plan is not None and outcome.plan.estimator == "monte_carlo"
+                    for outcome in outcomes
+                )
+                results.append([outcome.result.value for outcome in outcomes])
+        assert all(values == results[0] for values in results[1:])
+
+    def test_block_size_override_lands_in_plan(self, database):
+        from repro.constraints.tuples import GeneralizedTuple
+
+        db = ConstraintDatabase()
+        tiles = [
+            GeneralizedTuple.box({"x": (i, i + 0.9), "y": (0, 1)}) for i in range(10)
+        ]
+        db.set_relation("strips", GeneralizedRelation(tiles, ("x", "y")))
+        session = ServiceSession(
+            db, params=GeneratorParams(gamma=0.3, epsilon=0.3, delta=0.2)
+        )
+        outcomes = session.submit_batch(
+            [BatchRequest(QRelation("strips", ("x", "y")))], rng=5, block_size=256
+        )
+        assert outcomes[0].plan.estimator == "monte_carlo"
+        assert outcomes[0].plan.block_size == 256
 
 
 class TestMonteCarloGuard:
