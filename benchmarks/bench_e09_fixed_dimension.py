@@ -29,7 +29,6 @@ def run_fixed_dimension(dimensions=(1, 2, 3, 4), cell_size: float = 0.2, seed: i
     )
     for dimension in dimensions:
         first, second, union_volume = shifted_cube_pair(dimension, overlap=0.25)
-        relation = first.tuple_.with_variables(first.tuple_.variables)
         from repro.constraints.relations import GeneralizedRelation
 
         union_relation = GeneralizedRelation((first.tuple_, second.tuple_), first.tuple_.variables)

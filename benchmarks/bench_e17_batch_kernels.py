@@ -60,10 +60,21 @@ def _union_relation(disjuncts: int = 10) -> GeneralizedRelation:
     return GeneralizedRelation(tiles, ("x", "y"))
 
 
-def _timed(function):
-    start = time.perf_counter()
-    value = function()
-    return value, time.perf_counter() - start
+def _timed(function, repeats: int = 1):
+    """Run ``function`` ``repeats`` times; return (value, best elapsed).
+
+    Every workload re-seeds its generator inside the lambda, so repeated
+    runs produce identical values — only the timing varies.  Taking the
+    minimum makes the millisecond-scale smoke measurements stable enough
+    for the CI perf gate's 30% regression floor on a noisy shared runner.
+    """
+    best = float("inf")
+    value = None
+    for _ in range(max(repeats, 1)):
+        start = time.perf_counter()
+        value = function()
+        best = min(best, time.perf_counter() - start)
+    return value, best
 
 
 @register_experiment("E17")
@@ -73,6 +84,7 @@ def run_batch_kernels(
     chain_samples: int = 120,
     seed: int = 7,
     write_json: bool = True,
+    timing_repeats: int = 1,
 ) -> ExperimentResult:
     """Regenerate the E17 table: scalar vs batch kernel timings per workload."""
     result = ExperimentResult(
@@ -109,12 +121,14 @@ def run_batch_kernels(
     scalar_estimate, scalar_seconds = _timed(
         lambda: monte_carlo_volume(
             oracle_from_polytope(simplex), bounds, 0.1, 0.1, rng=seed, samples=samples
-        )
+        ),
+        timing_repeats,
     )
     batch_estimate, batch_seconds = _timed(
         lambda: monte_carlo_volume(
             batch_oracle_from_polytope(simplex), bounds, 0.1, 0.1, rng=seed, samples=samples
-        )
+        ),
+        timing_repeats,
     )
     record(
         "E02 monte-carlo simplex d=6",
@@ -129,13 +143,15 @@ def run_batch_kernels(
     scalar_rate, scalar_seconds = _timed(
         lambda: estimate_acceptance_rate(
             oracle_from_relation(union), union_bounds, samples, np.random.default_rng(seed)
-        )
+        ),
+        timing_repeats,
     )
     batch_rate, batch_seconds = _timed(
         lambda: estimate_acceptance_rate(
             batch_oracle_from_relation(union), union_bounds, samples,
             np.random.default_rng(seed),
-        )
+        ),
+        timing_repeats,
     )
     record(
         "E03 union relation 10 disjuncts",
@@ -151,13 +167,15 @@ def run_batch_kernels(
         lambda: estimate_acceptance_rate(
             oracle_from_predicate(ball.contains), cube_bounds, samples,
             np.random.default_rng(seed),
-        )
+        ),
+        timing_repeats,
     )
     batch_rate, batch_seconds = _timed(
         lambda: estimate_acceptance_rate(
             batch_oracle_from_predicate(ball.contains_points), cube_bounds, samples,
             np.random.default_rng(seed),
-        )
+        ),
+        timing_repeats,
     )
     record(
         "E10 ball-in-cube rejection d=8",
@@ -176,9 +194,9 @@ def run_batch_kernels(
         streams = spawn_rngs(np.random.default_rng(seed), chains)
         return np.stack([sampler.sample(stream, chain_samples) for stream in streams])
 
-    scalar_samples, scalar_seconds = _timed(scalar_chains)
+    scalar_samples, scalar_seconds = _timed(scalar_chains, timing_repeats)
     batch_samples, batch_seconds = _timed(
-        lambda: sampler.sample_chains(seed, chain_samples, chains)
+        lambda: sampler.sample_chains(seed, chain_samples, chains), timing_repeats
     )
     inside = bool(
         body.contains_points(batch_samples.reshape(-1, 6), tolerance=1e-9).all()
@@ -246,7 +264,11 @@ if __name__ == "__main__":
     )
     arguments = parser.parse_args()
     if arguments.smoke:
-        table = run_batch_kernels(samples=15_000, chains=8, chain_samples=50)
+        # Best-of-3 timing: smoke measurements are milliseconds, and the CI
+        # perf gate applies a 30% floor to the resulting speedup ratios.
+        table = run_batch_kernels(
+            samples=15_000, chains=8, chain_samples=50, timing_repeats=3
+        )
     else:
         table = run_batch_kernels()
     print(table.to_text())

@@ -1,0 +1,157 @@
+"""CI perf gate: compare fresh benchmark JSONs against committed snapshots.
+
+Usage (what the ``perf-gate`` CI job runs)::
+
+    cp BENCH_e17_batch.json BENCH_e18_process_shard.json baseline/
+    python benchmarks/bench_e17_batch_kernels.py --smoke
+    python benchmarks/bench_e18_process_shard.py --smoke
+    python benchmarks/check_regression.py \
+        --baseline-dir baseline --current-dir . --tolerance 0.30 \
+        BENCH_e17_batch.json BENCH_e18_process_shard.json
+
+The gate compares **hardware-normalised** quantities only:
+
+* every numeric leaf whose key contains ``speedup`` is a higher-is-better
+  ratio (batch-vs-scalar kernels, process-vs-serial backends); the gate
+  fails when a current ratio drops more than ``--tolerance`` (default 30%)
+  below its committed value;
+* every boolean leaf named ``identical`` is a correctness witness; the gate
+  fails when a committed ``true`` turns ``false``.
+
+Absolute throughput (seconds, requests per second) is deliberately *not*
+gated: it moves with the runner hardware, while the ratios measure the
+code.  One exception: when a snapshot records a top-level ``cpu_count``
+that differs from the current run's, its speedup ratios are skipped too —
+multi-core scaling ratios are only comparable between equal core counts
+(``bench_e18`` self-enforces its ≥2× claim on ≥4 cores regardless).  A
+metric present in the baseline but missing from the current run fails the
+gate — silently dropping a workload must not read as "no regression".
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def throughput_metrics(payload: object, prefix: str = "") -> dict[str, float]:
+    """Flatten the JSON to ``path -> value`` for every gated metric leaf."""
+    metrics: dict[str, float] = {}
+    if isinstance(payload, dict):
+        for key, value in payload.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            if isinstance(value, bool):
+                if key == "identical":
+                    metrics[path] = float(value)
+            elif isinstance(value, (int, float)) and "speedup" in key.lower():
+                metrics[path] = float(value)
+            elif isinstance(value, (dict, list)):
+                metrics.update(throughput_metrics(value, path))
+    elif isinstance(payload, list):
+        for index, value in enumerate(payload):
+            metrics.update(throughput_metrics(value, f"{prefix}[{index}]"))
+    return metrics
+
+
+def compare(
+    name: str, baseline: dict, current: dict, tolerance: float
+) -> list[str]:
+    """Return the list of regression descriptions for one snapshot pair."""
+    failures: list[str] = []
+    base_metrics = throughput_metrics(baseline)
+    current_metrics = throughput_metrics(current)
+    if not base_metrics:
+        failures.append(f"{name}: baseline contains no gated metrics")
+    base_cores = baseline.get("cpu_count")
+    current_cores = current.get("cpu_count")
+    skip_ratios = (
+        base_cores is not None
+        and current_cores is not None
+        and base_cores != current_cores
+    )
+    if skip_ratios:
+        print(
+            f"  (cpu_count {base_cores} -> {current_cores}: scaling ratios "
+            "are not comparable across core counts, gating 'identical' only)"
+        )
+    for path, base_value in sorted(base_metrics.items()):
+        current_value = current_metrics.get(path)
+        if current_value is None:
+            failures.append(f"{name}: metric {path} missing from the current run")
+            continue
+        if path.endswith("identical") or path == "identical":
+            if base_value == 1.0 and current_value != 1.0:
+                failures.append(
+                    f"{name}: {path} was true in the snapshot but is false now"
+                )
+            status = "ok"
+        elif skip_ratios:
+            status = "skipped (core count changed)"
+        else:
+            floor = (1.0 - tolerance) * base_value
+            if current_value < floor:
+                failures.append(
+                    f"{name}: {path} regressed to {current_value:.2f} "
+                    f"(snapshot {base_value:.2f}, floor {floor:.2f})"
+                )
+                status = "REGRESSED"
+            else:
+                status = "ok"
+        print(
+            f"  {path}: snapshot {base_value:.2f} -> current {current_value:.2f} "
+            f"[{status}]"
+        )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description="benchmark regression gate")
+    parser.add_argument(
+        "snapshots", nargs="+", help="snapshot file names (e.g. BENCH_e17_batch.json)"
+    )
+    parser.add_argument(
+        "--baseline-dir",
+        type=Path,
+        required=True,
+        help="directory holding the committed snapshots",
+    )
+    parser.add_argument(
+        "--current-dir",
+        type=Path,
+        default=Path("."),
+        help="directory holding the freshly produced JSONs (default: cwd)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="allowed fractional drop in a speedup ratio (default 0.30)",
+    )
+    arguments = parser.parse_args(argv)
+    failures: list[str] = []
+    for name in arguments.snapshots:
+        baseline_path = arguments.baseline_dir / name
+        current_path = arguments.current_dir / name
+        print(f"{name}:")
+        if not baseline_path.exists():
+            failures.append(f"{name}: no committed snapshot at {baseline_path}")
+            continue
+        if not current_path.exists():
+            failures.append(f"{name}: no current run at {current_path}")
+            continue
+        baseline = json.loads(baseline_path.read_text())
+        current = json.loads(current_path.read_text())
+        failures.extend(compare(name, baseline, current, arguments.tolerance))
+    if failures:
+        print("\nPERF GATE FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nperf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

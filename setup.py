@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+All metadata lives in ``pyproject.toml``; this file only enables legacy
+``pip install -e . --no-use-pep517`` editable installs in offline
+environments that lack the ``wheel`` package (PEP 660 editable wheels need
+it).  Regular ``pip install -e .`` ignores this file's logic entirely.
+"""
+
+from setuptools import setup
+
+setup()

@@ -82,23 +82,20 @@ def natural_join(left: GeneralizedRelation, right: GeneralizedRelation) -> Gener
     Shared attributes are identified (as in the classical natural join); when
     there is no shared attribute the join degenerates to the Cartesian product.
     """
-    shared = [name for name in left.variables if name in set(right.variables)]
+    # Shared attributes are identified implicitly: both operands use the same
+    # variable names for them, so the conjunction equates them for free.
     order = list(left.variables)
     for name in right.variables:
         if name not in order:
             order.append(name)
     joined = [
-        l.conjoin(r).with_variables(tuple(order))
-        for l in left.disjuncts
-        for r in right.disjuncts
+        lhs.conjoin(rhs).with_variables(tuple(order))
+        for lhs in left.disjuncts
+        for rhs in right.disjuncts
     ]
     if not left.disjuncts or not right.disjuncts:
         return GeneralizedRelation.empty(tuple(order))
-    result = GeneralizedRelation(joined, tuple(order))
-    # Shared attributes are already identified because both operands use the
-    # same variable names for them; nothing further to do.
-    del shared
-    return result
+    return GeneralizedRelation(joined, tuple(order))
 
 
 def semijoin(left: GeneralizedRelation, right: GeneralizedRelation) -> GeneralizedRelation:

@@ -18,7 +18,6 @@ from __future__ import annotations
 from typing import Iterable, Mapping, Sequence
 
 from repro.constraints.atoms import AtomicConstraint
-from repro.constraints.fourier_motzkin import eliminate_variables
 from repro.constraints.relations import GeneralizedRelation
 from repro.constraints.terms import Number
 from repro.constraints.tuples import GeneralizedTuple

@@ -18,8 +18,7 @@ from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
-from repro.constraints.atoms import AtomicConstraint
-from repro.constraints.terms import LinearTerm, Number
+from repro.constraints.terms import Number
 from repro.constraints.tuples import GeneralizedTuple
 
 
@@ -124,6 +123,30 @@ class GeneralizedRelation:
     def is_syntactically_empty(self) -> bool:
         """True when the relation has no disjunct or only trivially empty ones."""
         return all(d.is_syntactically_empty() for d in self._disjuncts) if self._disjuncts else True
+
+    def warm_float_systems(self) -> "GeneralizedRelation":
+        """Materialise every disjunct's cached float system (for workers).
+
+        The batch executor's process backend pickles the database's relations
+        into worker processes once per batch; warming first ships the float
+        constraint systems ready to use instead of rebuilding them from the
+        exact rationals in every worker.  Returns ``self`` for chaining.
+        """
+        for disjunct in self._disjuncts:
+            disjunct.warm_float_system()
+        return self
+
+    # ------------------------------------------------------------------
+    # Pickling
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Slots-aware pickle state (the hash memo is recomputed lazily)."""
+        return {"disjuncts": self._disjuncts, "variables": self._variables}
+
+    def __setstate__(self, state: dict) -> None:
+        self._disjuncts = state["disjuncts"]
+        self._variables = state["variables"]
+        self._hash = None
 
     # ------------------------------------------------------------------
     # Membership

@@ -154,6 +154,39 @@ class GeneralizedTuple:
             self._float_system = (rows, offsets, codes)
         return self._float_system
 
+    def warm_float_system(self) -> "GeneralizedTuple":
+        """Materialise the cached float system (for shipping to workers).
+
+        The batch executor's process backend pickles tuples into worker
+        processes; warming first means the float arrays are computed once in
+        the parent and ride along in the pickle instead of being rebuilt from
+        the exact rationals in every worker.  Returns ``self`` for chaining.
+        """
+        self.float_system()
+        return self
+
+    # ------------------------------------------------------------------
+    # Pickling
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Slots-aware pickle state: constraints, order and float cache.
+
+        The cached float system is part of the state on purpose (see
+        :meth:`warm_float_system`); the hash memo is process-local and
+        recomputed lazily on the other side.
+        """
+        return {
+            "constraints": self._constraints,
+            "variables": self._variables,
+            "float_system": self._float_system,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self._constraints = state["constraints"]
+        self._variables = state["variables"]
+        self._float_system = state["float_system"]
+        self._hash = None
+
     def contains_points(self, points: np.ndarray) -> np.ndarray:
         """Vectorized membership test for a ``(n, d)`` float array of points.
 

@@ -126,6 +126,34 @@ class ConvexObservable(ObservableRelation):
             self._hit_and_run = HitAndRunSampler(self.polytope)
         return self._hit_and_run
 
+    def warm(self) -> "ConvexObservable":
+        """Materialise the heavy deterministic caches before shipping.
+
+        The batch executor's process backend pickles compiled plans into
+        worker processes once per batch; warming first means the polytope's
+        linear programs (Chebyshev ball, bounding box — the inputs of the
+        estimator's rounding step) and the tuple's float constraint system
+        are computed once in the parent and ride along in the pickle.
+        Everything warmed here is deterministic, so a warmed and a cold copy
+        produce bit-identical estimates.  Returns ``self`` for chaining.
+        """
+        self.polytope.warm()
+        if self.generalized_tuple is not None:
+            self.generalized_tuple.warm_float_system()
+        return self
+
+    def __getstate__(self) -> dict:
+        """Pickle state: everything but the grid sampler.
+
+        The lazily built grid-walk sampler closes over a membership oracle
+        (a closure, which pickle rejects); it is dropped here and rebuilt
+        deterministically from the rounded body on first use, so a pickled
+        copy generates the same points as the original.
+        """
+        state = self.__dict__.copy()
+        state["_grid_sampler"] = None
+        return state
+
     @property
     def grid_step(self) -> float | None:
         """Grid step of the γ-grid in the rounded space (grid-walk sampler only)."""

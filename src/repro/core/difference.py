@@ -68,6 +68,11 @@ class DifferenceObservable(ObservableRelation):
     def description_size(self) -> int:
         return self.minuend.description_size() + self.subtrahend.description_size()
 
+    def warm(self) -> "DifferenceObservable":
+        self.minuend.warm()
+        self.subtrahend.warm()
+        return self
+
     # ------------------------------------------------------------------
     def generate(self, rng: np.random.Generator | int | None = None) -> np.ndarray:
         rng = ensure_rng(rng)

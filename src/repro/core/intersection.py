@@ -76,6 +76,11 @@ class IntersectionObservable(ObservableRelation):
     def description_size(self) -> int:
         return sum(member.description_size() for member in self.members)
 
+    def warm(self) -> "IntersectionObservable":
+        for member in self.members:
+            member.warm()
+        return self
+
     # ------------------------------------------------------------------
     def smallest_member(self, rng: np.random.Generator | int | None = None) -> int:
         """Index of the member with the smallest estimated volume (the proposal set)."""

@@ -96,6 +96,18 @@ class ObservableRelation(abc.ABC):
         """Size of the defining formula; subclasses override when known."""
         return 1
 
+    def warm(self) -> "ObservableRelation":
+        """Materialise deterministic caches before pickling/shipping.
+
+        The service's process execution backend calls this once per batch so
+        heavy immutable state (float constraint systems, polytope
+        H-representation byproducts) is computed in the parent and shipped
+        ready to use.  Implementations must only fill caches whose contents
+        are deterministic — a warmed and a cold copy must stay bit-identical
+        in behaviour.  The default is a no-op returning ``self``.
+        """
+        return self
+
     # ------------------------------------------------------------------
     # Generation
     # ------------------------------------------------------------------

@@ -111,6 +111,10 @@ class ProjectionObservable(ObservableRelation):
     def description_size(self) -> int:
         return self.source.description_size()
 
+    def warm(self) -> "ProjectionObservable":
+        self.source.warm()
+        return self
+
     # ------------------------------------------------------------------
     # Fibres (the cylinders H_S(y) of the paper)
     # ------------------------------------------------------------------

@@ -80,6 +80,11 @@ class UnionObservable(ObservableRelation):
     def description_size(self) -> int:
         return sum(member.description_size() for member in self.members)
 
+    def warm(self) -> "UnionObservable":
+        for member in self.members:
+            member.warm()
+        return self
+
     # ------------------------------------------------------------------
     # Member volumes (step 1 of Algorithm 1, cached across rounds)
     # ------------------------------------------------------------------

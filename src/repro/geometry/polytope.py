@@ -194,6 +194,20 @@ class HPolytope:
                 self._box = coordinate_bounds(self.a, self.b, self.dimension)
         return self._box
 
+    def warm(self) -> "HPolytope":
+        """Materialise the cached Chebyshev ball and bounding box.
+
+        Both caches are linear programs; warming before pickling (the batch
+        executor's process backend ships H-representations to worker
+        processes once per batch) means each worker receives them solved
+        instead of re-solving per request.  The caches are part of the
+        default pickle state already — this only fills them eagerly.
+        Returns ``self`` for chaining.
+        """
+        self.chebyshev_ball()
+        self.bounding_box()
+        return self
+
     def enclosing_ball(self) -> Ball | None:
         """A ball containing the polytope (circumscribing its bounding box)."""
         box = self.bounding_box()

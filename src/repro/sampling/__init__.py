@@ -36,7 +36,7 @@ from repro.sampling.rejection import (
     rejection_sample_from_box,
     sample_box,
 )
-from repro.sampling.rng import RandomState, ensure_rng, spawn_rngs
+from repro.sampling.rng import RandomState, ensure_rng, spawn_rngs, spawn_seeds
 
 __all__ = [
     "BallWalkSampler",
@@ -74,4 +74,5 @@ __all__ = [
     "RandomState",
     "ensure_rng",
     "spawn_rngs",
+    "spawn_seeds",
 ]

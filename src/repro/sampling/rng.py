@@ -32,7 +32,19 @@ def ensure_rng(rng: RandomState = None) -> np.random.Generator:
     raise TypeError(f"cannot build a random generator from {type(rng).__name__}")
 
 
+def spawn_seeds(rng: np.random.Generator, count: int) -> list[int]:
+    """Derive ``count`` independent child seeds from a parent generator.
+
+    The integer form is the process-boundary representation of a child
+    stream: a seed costs a few bytes to pickle (a full ``Generator`` costs
+    hundreds) and ``np.random.default_rng(seed)`` reconstructs the exact
+    stream on the other side.  :func:`spawn_rngs` builds its generators from
+    these same seeds, so shipping a seed to a worker process and spawning a
+    generator locally produce bit-identical draws.
+    """
+    return [int(seed) for seed in rng.integers(0, 2**63 - 1, size=count)]
+
+
 def spawn_rngs(rng: np.random.Generator, count: int) -> list[np.random.Generator]:
     """Derive ``count`` independent child generators (for parallel experiments)."""
-    seeds = rng.integers(0, 2**63 - 1, size=count)
-    return [np.random.default_rng(int(seed)) for seed in seeds]
+    return [np.random.default_rng(seed) for seed in spawn_seeds(rng, count)]

@@ -8,12 +8,24 @@ The modules compose into one serving pipeline (see
 * :mod:`repro.service.planner`   — the cost model choosing between exact,
   Monte-Carlo and telescoping volume routes;
 * :mod:`repro.service.cache`     — LRU/TTL result cache with ε-dominance;
-* :mod:`repro.service.executor`  — deterministic parallel batch execution;
+* :mod:`repro.service.backends`  — pluggable execution backends (serial,
+  thread pool, process sharding) with bit-identical results;
+* :mod:`repro.service.executor`  — deterministic multi-backend batch
+  execution;
 * :mod:`repro.service.metrics`   — hit/miss, plan-choice and latency
   counters;
 * :mod:`repro.service.session`   — the facade tying the above together.
 """
 
+from repro.service.backends import (
+    BatchExecutionError,
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    WorkUnit,
+    resolve_backend,
+)
 from repro.service.cache import CacheEntry, ResultCache
 from repro.service.canonical import canonical_query, database_fingerprint, request_key
 from repro.service.executor import BatchOutcome, BatchRequest, execute_batch
@@ -22,6 +34,13 @@ from repro.service.planner import Plan, Planner, QueryProfile, profile_query
 from repro.service.session import ServiceSession, run_plan
 
 __all__ = [
+    "BatchExecutionError",
+    "ExecutionBackend",
+    "ProcessBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "WorkUnit",
+    "resolve_backend",
     "CacheEntry",
     "ResultCache",
     "canonical_query",

@@ -1,0 +1,420 @@
+"""Pluggable execution backends for the batch executor.
+
+:func:`repro.service.executor.execute_batch` resolves, de-duplicates and
+commits; *how* the unique cache misses are computed is delegated to an
+:class:`ExecutionBackend`:
+
+* :class:`SerialBackend` — compute the units one after the other on the
+  calling thread (no pool overhead; right for tiny batches);
+* :class:`ThreadBackend` — fan units out over a thread pool (the pre-backend
+  behaviour).  Right when the work is NumPy/SciPy-heavy: those kernels
+  release the GIL, and threads share the session's compiled-plan cache and
+  metrics without any serialization;
+* :class:`ProcessBackend` — shard units across a ``ProcessPoolExecutor``.
+  Right when the work is GIL-bound (the telescoping estimator's phase loops,
+  constraint algebra, canonicalization): each worker process owns a whole
+  core.
+
+Every backend consumes the same :class:`WorkUnit` values and must return
+bit-identical results: a unit carries the *seed* of its request's random
+stream (see :func:`repro.sampling.rng.spawn_seeds`), so whether the stream is
+spawned in the calling process or in a worker process, the draws are the
+same.  The process backend ships each worker a pickled work unit — database
+fingerprint, compiled plan, spawned seed — while the heavy immutable state
+(the database with its cached float constraint systems, the compiled
+observables with their polytope H-representations) is warmed and pickled
+**once per batch** into the pool initializer, not once per request.
+
+Worker failures never surface as bare pool exceptions: every backend wraps
+them in :class:`BatchExecutionError`, which names the originating batch
+request index and cache key.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+import traceback
+from abc import ABC, abstractmethod
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from multiprocessing import get_all_start_methods, get_context
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.constraints.database import ConstraintDatabase
+from repro.core.observable import GeneratorParams, ObservableRelation
+from repro.queries.aggregates import AggregateResult
+from repro.queries.ast import Query
+from repro.service.planner import Plan
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One de-duplicated cache miss, self-contained enough to ship anywhere.
+
+    Attributes
+    ----------
+    index:
+        First-occurrence position of the unit's key in the submitted batch
+        (duplicates coalesce onto this request).
+    key:
+        The structural cache key the unit computes.
+    query:
+        The request's query AST.
+    plan:
+        The planner's verdict for the unit.
+    seed:
+        Seed of the request's spawned random stream;
+        ``np.random.default_rng(seed)`` reconstructs the exact stream in any
+        process.
+    fingerprint:
+        The session's database fingerprint, so a worker can verify it is
+        computing against the data the key was derived from.
+    """
+
+    index: int
+    key: str
+    query: Query
+    plan: Plan
+    seed: int
+    fingerprint: str
+
+
+@dataclass
+class WorkResult:
+    """The computed answer for one work unit (plus its wall-clock cost)."""
+
+    key: str
+    result: AggregateResult
+    plan: Plan
+    elapsed: float
+
+
+class BatchExecutionError(RuntimeError):
+    """A batch computation failed; names the originating request.
+
+    The executor's contract is that pool internals never leak: whatever a
+    unit's computation raises — in a worker thread or a worker process — the
+    caller sees this exception, carrying the batch ``index`` of the request
+    whose computation failed, its cache ``key``, the ``backend`` that ran it,
+    and a rendering of the original error (chained as ``__cause__`` when the
+    failure happened in-process).
+    """
+
+    def __init__(self, index: int, key: str, backend: str, cause: str) -> None:
+        super().__init__(
+            f"batch request {index} (key {key[:12]}…) failed on the "
+            f"{backend} backend: {cause}"
+        )
+        self.index = index
+        self.key = key
+        self.backend = backend
+        self.cause = cause
+
+
+class ExecutionBackend(ABC):
+    """Strategy interface: compute a batch's unique cache misses.
+
+    Implementations must return one :class:`WorkResult` per unit, in unit
+    order, and must be *value-transparent*: for a fixed unit (same plan, same
+    seed) every backend produces bit-identical results.
+    """
+
+    #: Short name used for ``submit_batch(backend=...)`` and in the metrics.
+    name: str = "?"
+
+    @abstractmethod
+    def execute(
+        self, session, units: Sequence[WorkUnit], workers: int
+    ) -> list[WorkResult]:
+        """Compute every unit and return the results in unit order."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+def _referenced_relations(queries) -> set[str]:
+    """The stored-relation names a collection of query ASTs mentions."""
+    from repro.queries.ast import QAnd, QExists, QNot, QOr, QRelation
+
+    names: set[str] = set()
+
+    def scan(node) -> None:
+        if isinstance(node, QRelation):
+            names.add(node.name)
+        elif isinstance(node, (QAnd, QOr)):
+            for operand in node.operands:
+                scan(operand)
+        elif isinstance(node, (QNot, QExists)):
+            scan(node.operand)
+
+    for query in queries:
+        scan(query)
+    return names
+
+
+def _compute_in_session(session, unit: WorkUnit, backend: str) -> WorkResult:
+    """Compute one unit inside the calling session (serial and thread path)."""
+    rng = np.random.default_rng(unit.seed)
+    try:
+        result, elapsed = session._execute_unit(unit.plan, unit.query, rng)
+    except Exception as error:
+        raise BatchExecutionError(
+            unit.index, unit.key, backend, f"{type(error).__name__}: {error}"
+        ) from error
+    return WorkResult(key=unit.key, result=result, plan=unit.plan, elapsed=elapsed)
+
+
+class SerialBackend(ExecutionBackend):
+    """Compute the units one after the other on the calling thread."""
+
+    name = "serial"
+
+    def execute(
+        self, session, units: Sequence[WorkUnit], workers: int
+    ) -> list[WorkResult]:
+        return [_compute_in_session(session, unit, self.name) for unit in units]
+
+
+class ThreadBackend(ExecutionBackend):
+    """Fan units out over a thread pool sharing the session's caches."""
+
+    name = "thread"
+
+    def execute(
+        self, session, units: Sequence[WorkUnit], workers: int
+    ) -> list[WorkResult]:
+        if workers <= 1 or len(units) <= 1:
+            return [_compute_in_session(session, unit, self.name) for unit in units]
+        with ThreadPoolExecutor(max_workers=min(workers, len(units))) as pool:
+            return list(
+                pool.map(
+                    lambda unit: _compute_in_session(session, unit, self.name), units
+                )
+            )
+
+
+# ----------------------------------------------------------------------
+# Process backend: pickled shared setup + pickled work units
+# ----------------------------------------------------------------------
+@dataclass
+class _SharedSetup:
+    """The per-batch immutable state every worker process receives once.
+
+    ``compiled`` maps cache keys to pre-compiled observable plans (warmed so
+    their float constraint systems and H-representations ship ready to use);
+    ``params`` carries the session's default accuracy so fallback
+    compilations in a worker match the parent session's ``compile_cached``
+    bit for bit.
+    """
+
+    fingerprint: str
+    database: ConstraintDatabase
+    params: GeneratorParams
+    compiled: Mapping[str, ObservableRelation] = field(default_factory=dict)
+
+
+_WORKER_SHARED: _SharedSetup | None = None
+
+
+def _worker_initialize(payload: bytes) -> None:
+    """Pool initializer: unpickle the shared setup once per worker process."""
+    global _WORKER_SHARED
+    _WORKER_SHARED = pickle.loads(payload)
+
+
+def _worker_execute(unit_bytes: bytes) -> bytes:
+    """Compute one pickled work unit against the worker's shared setup.
+
+    Returns a pickled ``("ok", key, result, elapsed, compiled)`` tuple —
+    ``compiled`` being the post-execution compiled plan (or ``None``), so
+    the parent can adopt the state a serial execution would have left in its
+    own memoised object — or ``("error", index, key, rendering)``;
+    exceptions are rendered in the worker because traceback objects do not
+    cross process boundaries.
+    """
+    unit: WorkUnit | None = None
+    try:
+        unit = pickle.loads(unit_bytes)
+        shared = _WORKER_SHARED
+        if shared is None:
+            raise RuntimeError("worker has no shared setup (initializer did not run)")
+        if shared.fingerprint != unit.fingerprint:
+            raise RuntimeError(
+                "work unit fingerprint does not match the shared database "
+                f"({unit.fingerprint[:12]}… vs {shared.fingerprint[:12]}…)"
+            )
+        from repro.queries.compiler import compile_query
+        from repro.service.session import run_plan
+
+        rng = np.random.default_rng(unit.seed)
+        compiled = shared.compiled.get(unit.key)
+        start = time.perf_counter()
+        result = run_plan(
+            unit.plan,
+            unit.query,
+            shared.database,
+            rng=rng,
+            compiled=compiled,
+            # Mirror ServiceSession.compile_cached: fallback compilations use
+            # the session's default accuracy (and gamma), not the plan's, so
+            # the worker's compiled form matches the thread path exactly.
+            compile_fn=lambda spp: compile_query(
+                unit.query,
+                shared.database,
+                params=shared.params,
+                samples_per_phase=spp,
+            ),
+        )
+        elapsed = time.perf_counter() - start
+        return pickle.dumps(("ok", unit.key, result, elapsed, compiled))
+    except Exception as error:
+        rendering = f"{type(error).__name__}: {error}\n{traceback.format_exc()}"
+        index = -1 if unit is None else unit.index
+        key = "?" if unit is None else unit.key
+        return pickle.dumps(("error", index, key, rendering))
+
+
+class ProcessBackend(ExecutionBackend):
+    """Shard units across worker processes for GIL-bound plans.
+
+    Parameters
+    ----------
+    start_method:
+        ``multiprocessing`` start method; defaults to ``"fork"`` where
+        available (cheap worker startup) and ``"spawn"`` elsewhere.
+    """
+
+    name = "process"
+
+    def __init__(self, start_method: str | None = None) -> None:
+        if start_method is None:
+            start_method = (
+                "fork" if "fork" in get_all_start_methods() else "spawn"
+            )
+        self.start_method = start_method
+
+    def execute(
+        self, session, units: Sequence[WorkUnit], workers: int
+    ) -> list[WorkResult]:
+        if not units:
+            return []
+        shared = self._shared_setup(session, units)
+        try:
+            payload = pickle.dumps(shared, protocol=pickle.HIGHEST_PROTOCOL)
+            unit_blobs = [
+                pickle.dumps(unit, protocol=pickle.HIGHEST_PROTOCOL) for unit in units
+            ]
+            max_workers = max(1, min(workers, len(units), (os.cpu_count() or 1) * 4))
+            with ProcessPoolExecutor(
+                max_workers=max_workers,
+                mp_context=get_context(self.start_method),
+                initializer=_worker_initialize,
+                initargs=(payload,),
+            ) as pool:
+                raw = list(pool.map(_worker_execute, unit_blobs))
+        except Exception as error:
+            # Pool-wide failures (a worker OOM-killed → BrokenProcessPool,
+            # an unpicklable payload, ...) have no single originating
+            # request; they are attributed to the batch's first unit so the
+            # documented "never a bare pool exception" contract holds.
+            raise BatchExecutionError(
+                units[0].index,
+                units[0].key,
+                self.name,
+                f"pool failure: {type(error).__name__}: {error}",
+            ) from error
+        results: list[WorkResult] = []
+        for unit, blob in zip(units, raw):
+            record = pickle.loads(blob)
+            if record[0] == "error":
+                _, index, key, rendering = record
+                raise BatchExecutionError(index, key, self.name, rendering)
+            _, key, result, elapsed, compiled = record
+            if compiled is not None:
+                # Adopt the worker's post-execution compiled state so the
+                # parent's memoised plan is indistinguishable from one the
+                # serial/thread path executed — without this, caches the
+                # estimators fill *during* execution (e.g. union member
+                # volumes) would exist after a serial batch but not after a
+                # process batch, making later recomputations of the same key
+                # history-dependent on the backend choice.
+                session._adopt_compiled(
+                    unit.query, unit.plan.sample_budget or 800, compiled
+                )
+            results.append(
+                WorkResult(key=key, result=result, plan=unit.plan, elapsed=elapsed)
+            )
+        return results
+
+    def _shared_setup(self, session, units: Sequence[WorkUnit]) -> _SharedSetup:
+        """Build (and warm) the once-per-batch payload.
+
+        Telescoping units reuse the session's memoised compiled plans — the
+        same objects the serial and thread backends execute — so the values
+        cannot depend on the backend.  Warming materialises the cached float
+        constraint systems and polytope H-representations *before* pickling:
+        the heavy immutable state is prepared once here rather than once per
+        request in every worker.  Only the relations the batch's queries
+        actually reference are shipped — a batch touching one relation of a
+        large database must not pay for warming and pickling all of them.
+        """
+        compiled: dict[str, ObservableRelation] = {}
+        for unit in units:
+            if unit.plan.estimator == "telescoping" and unit.key not in compiled:
+                try:
+                    observable = session.compile_cached(
+                        unit.query, samples_per_phase=unit.plan.sample_budget or 800
+                    )
+                except Exception as error:
+                    # Compilation happens parent-side (so workers share the
+                    # session's memoised plans); its failures still belong to
+                    # the originating request, not to the pool machinery.
+                    raise BatchExecutionError(
+                        unit.index,
+                        unit.key,
+                        self.name,
+                        f"{type(error).__name__}: {error}",
+                    ) from error
+                compiled[unit.key] = observable.warm()
+        database = session.database
+        referenced = _referenced_relations(unit.query for unit in units)
+        shipped = ConstraintDatabase()
+        for name in database.names():
+            if name in referenced:
+                shipped.set_relation(name, database.relation(name).warm_float_systems())
+        return _SharedSetup(
+            # The fingerprint identifies the *data version* the keys were
+            # derived from, not the (pruned) content shipped.
+            fingerprint=session.fingerprint,
+            database=shipped,
+            params=session.params,
+            compiled=compiled,
+        )
+
+
+#: Registry of the built-in backends, keyed by their ``submit_batch`` names.
+BACKENDS: dict[str, type[ExecutionBackend]] = {
+    backend.name: backend
+    for backend in (SerialBackend, ThreadBackend, ProcessBackend)
+}
+
+
+def resolve_backend(backend: ExecutionBackend | str) -> ExecutionBackend:
+    """Normalise a backend name or instance into an :class:`ExecutionBackend`."""
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    if isinstance(backend, str):
+        try:
+            return BACKENDS[backend]()
+        except KeyError:
+            choices = ", ".join(sorted(BACKENDS))
+            raise ValueError(
+                f"unknown backend {backend!r} (choose from: {choices})"
+            ) from None
+    raise TypeError(
+        f"backend must be a name or an ExecutionBackend, got {type(backend).__name__}"
+    )

@@ -1,34 +1,39 @@
-"""Deterministic parallel batch execution.
+"""Deterministic multi-backend batch execution.
 
-:func:`execute_batch` serves a list of requests in three phases:
+:func:`execute_batch` serves a list of requests in four phases:
 
 1. **resolve** (sequential) — every request gets a cache key and a dedicated
-   child generator derived upfront with
-   :func:`repro.sampling.rng.spawn_rngs`.  Cache lookups run against the
-   cache state *at batch start*, so which requests hit is independent of
-   worker scheduling.
-2. **compute** (parallel) — cache misses are de-duplicated by key (the first
-   occurrence's generator is used, later duplicates share its answer) and
-   fanned out over a thread pool.  Each unique miss consumes only its own
-   generator, so the produced numbers are bit-identical for any worker
-   count.
-3. **commit** (sequential) — results are stored into the cache in first-
-   occurrence order and the outcomes are assembled in request order.
+   child seed derived upfront with :func:`repro.sampling.rng.spawn_seeds`.
+   Cache lookups run against the cache state *at batch start*, so which
+   requests hit is independent of worker scheduling.
+2. **plan** (sequential) — cache misses are de-duplicated by key and each
+   unique miss becomes a self-contained :class:`~repro.service.backends.WorkUnit`
+   (query, plan, seed, fingerprint).  Planning is cheap (a structural scan),
+   and doing it upfront lets the planner recommend an execution backend from
+   the plans' estimated cost before any work starts.
+3. **compute** (backend) — the work units are handed to an
+   :class:`~repro.service.backends.ExecutionBackend`: serially, across a
+   thread pool, or sharded over worker processes.  Each unit consumes only
+   its own seeded stream, so the produced numbers are bit-identical for any
+   backend choice, worker count and block size.
+4. **commit** (sequential) — results are stored into the cache in first-
+   occurrence order, execution metrics are recorded, and the outcomes are
+   assembled in request order.
 
-Threads (not processes) are the right pool here: the hot loops live in NumPy
-and SciPy, which release the GIL, and thread workers can share the session's
-compiled-plan cache and metrics without serialisation.
+Failures inside a backend — whatever thread or process they happen on — are
+surfaced as :class:`~repro.service.backends.BatchExecutionError`, which names
+the originating batch request index instead of letting the pool raise bare.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, replace
 from typing import Sequence
 
 from repro.queries.aggregates import AggregateResult
 from repro.queries.ast import Query
-from repro.sampling.rng import RandomState, ensure_rng, spawn_rngs
+from repro.sampling.rng import RandomState, ensure_rng, spawn_seeds
+from repro.service.backends import ExecutionBackend, WorkUnit, resolve_backend
 from repro.service.planner import Plan
 
 
@@ -58,6 +63,9 @@ class BatchOutcome:
     plan:
         The plan executed for the *unique* computation of this key
         (``None`` for cache hits).
+    backend:
+        Name of the execution backend that computed this key (``None`` for
+        cache hits).
     """
 
     index: int
@@ -65,6 +73,7 @@ class BatchOutcome:
     result: AggregateResult
     cached: bool
     plan: Plan | None
+    backend: str | None = None
 
 
 def execute_batch(
@@ -73,16 +82,21 @@ def execute_batch(
     workers: int = 1,
     rng: RandomState = None,
     block_size: int | None = None,
+    backend: ExecutionBackend | str | None = None,
 ) -> list[BatchOutcome]:
-    """Serve a batch of volume requests, deterministically, on ``workers`` threads.
+    """Serve a batch of volume requests, deterministically, on any backend.
 
     Bare :class:`~repro.queries.ast.Query` values are accepted and wrapped in
-    default-accuracy :class:`BatchRequest` objects.  With a fixed ``rng``
-    seed the returned values are bit-identical for every choice of
-    ``workers`` **and** of ``block_size`` — the worker count only schedules
-    independent computations, and the batch kernels' block size only shapes
-    how many proposals each oracle call judges, never which proposals are
-    drawn or how they are counted.
+    default-accuracy :class:`BatchRequest` objects.  ``backend`` selects how
+    unique misses are computed — ``"serial"``, ``"thread"``, ``"process"``,
+    an :class:`~repro.service.backends.ExecutionBackend` instance, or
+    ``None`` to let the planner recommend one from the plans' estimated cost
+    and the measured per-sample throughput.  With a fixed ``rng`` seed the
+    returned values are bit-identical for every choice of backend, of
+    ``workers`` **and** of ``block_size`` — scheduling only decides *where*
+    independent computations run, and the batch kernels' block size only
+    shapes how many proposals each oracle call judges, never which proposals
+    are drawn or how they are counted.
     """
     if workers < 1:
         raise ValueError("workers must be at least 1")
@@ -95,7 +109,7 @@ def execute_batch(
     if not normalized:
         return []
     root = ensure_rng(rng)
-    streams = spawn_rngs(root, len(normalized))
+    seeds = spawn_seeds(root, len(normalized))
     session.metrics.record_batch(len(normalized))
 
     # Phase 1 — resolve keys and consult the pre-batch cache state.
@@ -119,29 +133,44 @@ def execute_batch(
                 unique[key] = (first_index, min(best_eps, epsilon), min(best_delta, delta))
         resolved.append((index, key, epsilon, delta, cached))
 
-    # Phase 2 — plan and compute each unique miss with its own stream.
-    def compute(key: str) -> tuple[AggregateResult, Plan]:
-        first_index, epsilon, delta = unique[key]
+    # Phase 2 — plan each unique miss and package it as a work unit.
+    units: list[WorkUnit] = []
+    for key, (first_index, epsilon, delta) in unique.items():
         request = normalized[first_index]
         plan = session.planner.plan(
             request.query, session.database, epsilon=epsilon, delta=delta
         )
         if block_size is not None and plan.block_size:
             plan = replace(plan, block_size=block_size)
-        result = session._execute(plan, request.query, key, streams[first_index])
-        return result, plan
+        units.append(
+            WorkUnit(
+                index=first_index,
+                key=key,
+                query=request.query,
+                plan=plan,
+                seed=seeds[first_index],
+                fingerprint=session.fingerprint,
+            )
+        )
 
+    # Phase 3 — compute the units on the chosen (or recommended) backend.
     computed: dict[str, tuple[AggregateResult, Plan]] = {}
-    if unique:
-        if workers == 1:
-            for key in unique:
-                computed[key] = compute(key)
+    chosen: ExecutionBackend | None = None
+    if units:
+        if backend is not None:
+            chosen = resolve_backend(backend)
         else:
-            with ThreadPoolExecutor(max_workers=workers) as pool:
-                for key, outcome in zip(unique, pool.map(compute, unique)):
-                    computed[key] = outcome
+            recommended = session.planner.recommend_backend(
+                [unit.plan for unit in units], workers
+            )
+            chosen = resolve_backend(recommended)
+        session.metrics.record_backend(chosen.name, len(units))
+        results = chosen.execute(session, units, workers)
+        for unit, work in zip(units, results):
+            session._record_execution(work.plan, work.result, work.elapsed)
+            computed[unit.key] = (work.result, work.plan)
 
-    # Phase 3 — commit to the cache (first-occurrence order) and assemble.
+    # Phase 4 — commit to the cache (first-occurrence order) and assemble.
     for key, (result, plan) in computed.items():
         session.cache.put(key, result, plan.epsilon, plan.delta)
     outcomes: list[BatchOutcome] = []
@@ -153,6 +182,13 @@ def execute_batch(
         else:
             result, plan = computed[key]
             outcomes.append(
-                BatchOutcome(index=index, key=key, result=result, cached=False, plan=plan)
+                BatchOutcome(
+                    index=index,
+                    key=key,
+                    result=result,
+                    cached=False,
+                    plan=plan,
+                    backend=chosen.name if chosen is not None else None,
+                )
             )
     return outcomes

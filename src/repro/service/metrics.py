@@ -22,6 +22,8 @@ class ServiceMetrics:
       counted separately as ``dominance_hits`` when the stored entry was
       tighter than requested);
     * plan choices — one counter per estimator name;
+    * backend choices — batches and computed units per execution backend
+      (serial / thread / process);
     * latency — total seconds and request count per estimator, from which
       :meth:`snapshot` derives means;
     * budget overruns — requests whose wall-clock exceeded the plan's soft
@@ -35,6 +37,8 @@ class ServiceMetrics:
         self.dominance_hits = 0
         self.coalesced = 0
         self.plan_choices: Counter[str] = Counter()
+        self.backend_choices: Counter[str] = Counter()
+        self.backend_units: Counter[str] = Counter()
         self.latency_totals: Counter[str] = Counter()
         self.request_counts: Counter[str] = Counter()
         self.budget_overruns = 0
@@ -65,6 +69,12 @@ class ServiceMetrics:
         """Count one plan choice."""
         with self._lock:
             self.plan_choices[estimator] += 1
+
+    def record_backend(self, backend: str, units: int = 1) -> None:
+        """Count one batch computed on ``backend`` (``units`` unique misses)."""
+        with self._lock:
+            self.backend_choices[backend] += 1
+            self.backend_units[backend] += units
 
     def record_latency(
         self, estimator: str, seconds: float, over_budget: bool = False
@@ -105,6 +115,8 @@ class ServiceMetrics:
                 "coalesced": self.coalesced,
                 "hit_rate": self.hit_rate(),
                 "plan_choices": dict(self.plan_choices),
+                "backend_choices": dict(self.backend_choices),
+                "backend_units": dict(self.backend_units),
                 "mean_latency": mean_latency,
                 "total_latency": dict(self.latency_totals),
                 "budget_overruns": self.budget_overruns,
@@ -121,6 +133,8 @@ class ServiceMetrics:
         rows.append(("hit_rate", round(snap["hit_rate"], 4)))
         for estimator, count in sorted(snap["plan_choices"].items()):
             rows.append((f"plan[{estimator}]", count))
+        for backend, count in sorted(snap["backend_choices"].items()):
+            rows.append((f"backend[{backend}]", count))
         for estimator, latency in sorted(snap["mean_latency"].items()):
             rows.append((f"mean_latency[{estimator}]", round(latency, 6)))
         rows.append(("budget_overruns", snap["budget_overruns"]))

@@ -27,8 +27,10 @@ and tests can assert on *why* a route was chosen.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from threading import Lock
+from typing import Sequence
 
 from repro.constraints.database import ConstraintDatabase
 from repro.queries.ast import QAnd, QConstraint, QExists, QNot, QOr, QRelation, Query
@@ -192,6 +194,8 @@ class Planner:
         time_budget_per_unit: float = 0.02,
         batch_block_size: int = 8192,
         batch_samples_per_second: float = 500_000.0,
+        telescoping_samples_per_second: float = 2_000.0,
+        process_backend_min_seconds: float = 0.2,
     ) -> None:
         self.exact_dimension_limit = exact_dimension_limit
         self.exact_disjunct_limit = exact_disjunct_limit
@@ -207,30 +211,106 @@ class Planner:
         # session feeds measured throughput back through observe_throughput,
         # so time budgets tighten as the service learns the hardware.
         self.batch_samples_per_second = batch_samples_per_second
+        # Throughput of the telescoping route, in consumed samples per
+        # second.  It is tracked separately from the batch kernels: a
+        # telescoping sample advances a GIL-bound random walk, so its cost
+        # bears no relation to a blocked Monte-Carlo proposal's, and folding
+        # the routes together would corrupt both estimates.  The prior is
+        # deliberately conservative (slow): it biases the first batch of a
+        # telescoping workload toward process sharding, and the session's
+        # measured feedback corrects the rate from the first execution on.
+        # The backend recommendation uses this rate to decide when a batch's
+        # GIL-bound work is heavy enough to amortise process sharding.
+        self.telescoping_samples_per_second = telescoping_samples_per_second
+        # Estimated GIL-bound seconds per batch above which process sharding
+        # beats thread fan-out (covers pool start-up plus shipping the
+        # pickled shared setup).
+        self.process_backend_min_seconds = process_backend_min_seconds
         self._throughput_observations = 0
+        self._telescoping_observations = 0
         self._throughput_lock = Lock()
 
-    def observe_throughput(self, samples: int, seconds: float) -> None:
-        """Fold one measured sampling run into the batch-throughput estimate.
+    def observe_throughput(
+        self, samples: int, seconds: float, route: str = "monte_carlo"
+    ) -> None:
+        """Fold one measured sampling run into a per-route throughput estimate.
 
-        The session reports ``(samples judged, wall seconds)`` for each
+        The session reports ``(samples consumed, wall seconds)`` for each
         sampling-route execution; an exponential moving average (weight 0.3)
         keeps the estimate current without letting one noisy run swing the
-        time budgets.  Results are unaffected — throughput only sizes the
-        *budgets* that the metrics compare latencies against.  The update is
-        locked because batch execution reports from worker threads.
+        time budgets.  ``route`` selects the estimate: ``"monte_carlo"``
+        updates the batch-kernel rate, ``"telescoping"`` the walk rate.
+        Results are unaffected — throughput only sizes the *budgets* that the
+        metrics compare latencies against and informs the backend
+        recommendation.  The update is locked because batch execution reports
+        from worker threads.
         """
         if samples <= 0 or seconds <= 0:
             return
         observed = samples / seconds
+        rate_attr, count_attr = (
+            ("telescoping_samples_per_second", "_telescoping_observations")
+            if route == "telescoping"
+            else ("batch_samples_per_second", "_throughput_observations")
+        )
         with self._throughput_lock:
-            if self._throughput_observations == 0:
-                self.batch_samples_per_second = observed
+            if getattr(self, count_attr) == 0:
+                setattr(self, rate_attr, observed)
             else:
-                self.batch_samples_per_second += 0.3 * (
-                    observed - self.batch_samples_per_second
-                )
-            self._throughput_observations += 1
+                current = getattr(self, rate_attr)
+                setattr(self, rate_attr, current + 0.3 * (observed - current))
+            setattr(self, count_attr, getattr(self, count_attr) + 1)
+
+    def estimated_execution_seconds(self, plan: Plan) -> float:
+        """Rough wall-clock estimate of executing one plan, from its budgets.
+
+        Sampling plans are costed at the learned per-route throughput; the
+        exact route is costed at the structural time-budget term only.  This
+        is the quantity :meth:`recommend_backend` compares against the
+        process backend's amortisation threshold — a scheduling heuristic,
+        never a correctness knob.
+        """
+        if plan.estimator == "telescoping":
+            return plan.sample_budget / max(self.telescoping_samples_per_second, 1.0)
+        if plan.estimator == "monte_carlo":
+            return plan.sample_budget / max(self.batch_samples_per_second, 1.0)
+        return self.time_budget_per_unit
+
+    def recommend_backend(
+        self, plans: Sequence[Plan], workers: int, cores: int | None = None
+    ) -> str:
+        """Recommend an execution backend for a batch of planned misses.
+
+        ``cores`` is the effective core count (defaults to ``os.cpu_count()``;
+        injectable for tests).  The decision mirrors where each backend wins:
+
+        * one worker, one core or at most one plan → ``"serial"`` (nothing
+          can overlap);
+        * enough GIL-bound telescoping work spread over several plans →
+          ``"process"`` (worker processes own whole cores; the threshold
+          :attr:`process_backend_min_seconds` covers pool start-up and the
+          pickled shared setup);
+        * otherwise → ``"thread"`` (NumPy kernels release the GIL, and
+          threads share the compiled-plan cache for free).
+
+        Only scheduling depends on this choice — the served values are
+        bit-identical across backends.
+        """
+        if cores is None:
+            cores = os.cpu_count() or 1
+        if workers <= 1 or len(plans) <= 1:
+            return "serial"
+        if cores <= 1:
+            # No second core: neither pool can overlap compute, and the
+            # process pool would add fork + pickling overhead on top.
+            return "serial"
+        telescoping = [plan for plan in plans if plan.estimator == "telescoping"]
+        gil_bound_seconds = sum(
+            self.estimated_execution_seconds(plan) for plan in telescoping
+        )
+        if len(telescoping) > 1 and gil_bound_seconds >= self.process_backend_min_seconds:
+            return "process"
+        return "thread"
 
     def plan(
         self,
@@ -307,9 +387,9 @@ class Planner:
             delta=delta,
             sample_budget=samples,
             # Telescoping walks one sample at a time per phase; budget the
-            # phases' samples at the learned throughput on top of the
+            # phases' samples at the learned walk throughput on top of the
             # structural term so the over-budget metric stays meaningful.
-            time_budget=time_budget + samples / self.batch_samples_per_second,
+            time_budget=time_budget + samples / self.telescoping_samples_per_second,
             reason=reason,
             block_size=self.batch_block_size,
             profile=profile,

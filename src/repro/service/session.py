@@ -215,7 +215,7 @@ class ServiceSession:
                 return cached
             self.metrics.record_cache_miss()
         plan = self.planner.plan(query, self.database, epsilon=epsilon, delta=delta)
-        result = self._execute(plan, query, key, rng)
+        result = self._execute(plan, query, rng)
         if use_cache:
             self.cache.put(key, result, plan.epsilon, plan.delta)
         return result
@@ -233,17 +233,27 @@ class ServiceSession:
         workers: int = 1,
         rng: RandomState = None,
         block_size: int | None = None,
+        backend=None,
     ):
         """Serve a batch of requests; see :func:`repro.service.executor.execute_batch`.
 
         ``block_size`` overrides the planner's batch-kernel block size for
-        this batch; like the worker count, it never changes the served values
-        (the blocked estimators are block-size invariant).
+        this batch; ``backend`` picks how unique misses are computed
+        (``"serial"``, ``"thread"``, ``"process"``, an
+        :class:`~repro.service.backends.ExecutionBackend` instance, or
+        ``None`` for the planner's recommendation).  Like the worker count,
+        neither knob ever changes the served values — the blocked estimators
+        are block-size invariant and the backends are value-transparent.
         """
         from repro.service.executor import execute_batch
 
         return execute_batch(
-            self, requests, workers=workers, rng=rng, block_size=block_size
+            self,
+            requests,
+            workers=workers,
+            rng=rng,
+            block_size=block_size,
+            backend=backend,
         )
 
     # ------------------------------------------------------------------
@@ -261,16 +271,41 @@ class ServiceSession:
         compiled = compile_query(
             query, self.database, params=self.params, samples_per_phase=samples_per_phase
         )
+        self._store_compiled(key, compiled)
+        return compiled
+
+    def _adopt_compiled(
+        self, query: Query, samples_per_phase: int, compiled: ObservableRelation
+    ) -> None:
+        """Replace the memoised plan with a post-execution copy from a worker.
+
+        The process backend calls this so the parent's compiled object ends
+        up in the same state a serial/thread execution would have left it in
+        (estimators fill deterministic-given-the-stream caches, e.g. union
+        member volumes, *during* execution).  Without the adoption, later
+        recomputations of the same key would become history-dependent on
+        which backend ran earlier batches.
+        """
+        key = self.key_for(query, kind=f"compiled:{samples_per_phase}")
+        self._store_compiled(key, compiled)
+
+    def _store_compiled(self, key: str, compiled: ObservableRelation) -> None:
         with self._lock:
-            if len(self._compiled) >= self._compiled_capacity:
+            if key not in self._compiled and len(self._compiled) >= self._compiled_capacity:
                 # Drop the oldest insertion; plans are cheap to rebuild.
                 self._compiled.pop(next(iter(self._compiled)))
             self._compiled[key] = compiled
-        return compiled
 
-    def _execute(
-        self, plan: Plan, query: Query, key: str, rng: RandomState
-    ) -> AggregateResult:
+    def _execute_unit(
+        self, plan: Plan, query: Query, rng: RandomState
+    ) -> tuple[AggregateResult, float]:
+        """Carry a plan out (no metrics) and return the answer with its cost.
+
+        This is the computation the execution backends parallelise: it only
+        reads immutable session state (database, params) and the memoising
+        ``compile_cached``, so it is safe to call from worker threads; the
+        process backend reproduces it worker-side from a pickled work unit.
+        """
         compiled = None
         if plan.estimator == "telescoping":
             compiled = self.compile_cached(
@@ -289,7 +324,12 @@ class ServiceSession:
             # session's gamma and avoiding recompiles on repeat misses.
             compile_fn=lambda spp: self.compile_cached(query, samples_per_phase=spp),
         )
-        elapsed = time.perf_counter() - start
+        return result, time.perf_counter() - start
+
+    def _record_execution(
+        self, plan: Plan, result: AggregateResult, elapsed: float
+    ) -> None:
+        """Record plan choice, latency and measured throughput for one execution."""
         # Record the route that actually ran: the Monte-Carlo plan falls back
         # to telescoping when the result has no box or fills too little of it.
         executed = _executed_route(plan, result)
@@ -298,14 +338,24 @@ class ServiceSession:
             executed, elapsed, over_budget=elapsed > plan.time_budget
         )
         # Feed measured sampling throughput back into the cost model so
-        # future time budgets reflect what the batch kernels actually
-        # deliver on this hardware.  Only the Monte-Carlo route measures the
-        # batch kernels in isolation — telescoping's elapsed time mixes
-        # walk steps with compilation, so folding it in would corrupt the
-        # estimate with route-order-dependent noise.
+        # future time budgets — and the planner's backend recommendations —
+        # reflect what the estimators actually deliver on this hardware.
+        # The two routes are tracked separately: the Monte-Carlo route
+        # measures the batch kernels in isolation, while telescoping's
+        # elapsed time mixes walk steps with compilation, so folding the
+        # routes together would corrupt both estimates.
         estimate = result.estimate
-        if executed == "monte_carlo" and estimate is not None and estimate.samples_used:
-            self.planner.observe_throughput(estimate.samples_used, elapsed)
+        if estimate is not None and estimate.samples_used:
+            if executed == "monte_carlo":
+                self.planner.observe_throughput(estimate.samples_used, elapsed)
+            elif executed == "telescoping":
+                self.planner.observe_throughput(
+                    estimate.samples_used, elapsed, route="telescoping"
+                )
+
+    def _execute(self, plan: Plan, query: Query, rng: RandomState) -> AggregateResult:
+        result, elapsed = self._execute_unit(plan, query, rng)
+        self._record_execution(plan, result, elapsed)
         return result
 
     def _resolve_accuracy(

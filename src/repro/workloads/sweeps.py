@@ -9,7 +9,7 @@ experiment report generator iterates over the same values.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass(frozen=True)

@@ -8,7 +8,6 @@ from repro.constraints import algebra
 from repro.constraints.database import ConstraintDatabase, DatabaseSchema, RelationSchema
 from repro.constraints.relations import GeneralizedRelation
 from repro.constraints.terms import variables
-from repro.constraints.tuples import GeneralizedTuple
 
 
 @pytest.fixture

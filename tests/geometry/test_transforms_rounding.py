@@ -5,7 +5,6 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.geometry.ball import Ball
 from repro.geometry.polytope import HPolytope
 from repro.geometry.rounding import (
     RoundingError,

@@ -14,7 +14,6 @@ from repro.constraints import ConstraintDatabase, parse_relation
 from repro.core import (
     ConvexObservable,
     FixedDimensionObservable,
-    GeneratorParams,
     UnionObservable,
 )
 from repro.geometry.volume import relation_volume_exact

@@ -8,8 +8,6 @@ of the symbolic and numeric representations.
 
 from __future__ import annotations
 
-from fractions import Fraction
-
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -7,7 +7,7 @@ import pytest
 
 from repro.constraints import ConstraintDatabase, parse_relation
 from repro.constraints.terms import variables
-from repro.core import GeneratorParams, UnionObservable
+from repro.core import UnionObservable
 from repro.queries import (
     CompilationError,
     QAnd,

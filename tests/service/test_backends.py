@@ -1,0 +1,289 @@
+"""Execution backends: bit-identity, recommendation, failure surfacing."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.constraints.database import ConstraintDatabase
+from repro.constraints.relations import GeneralizedRelation
+from repro.core.convex import ConvexObservable
+from repro.core.observable import GeneratorParams
+from repro.queries.ast import QAnd, QNot, QRelation
+from repro.service import (
+    BatchExecutionError,
+    BatchRequest,
+    ProcessBackend,
+    SerialBackend,
+    ServiceSession,
+    ThreadBackend,
+    resolve_backend,
+)
+from repro.service.backends import WorkUnit, _SharedSetup
+from repro.service.planner import Plan, Planner
+
+LOOSE = GeneratorParams(gamma=0.3, epsilon=0.3, delta=0.2)
+
+
+@pytest.fixture
+def database() -> ConstraintDatabase:
+    db = ConstraintDatabase()
+    # Two small 2-D relations (exact route) and three 5-D boxes
+    # (telescoping route: the GIL-bound path the process backend targets).
+    db.set_relation("A", GeneralizedRelation.box({"x": (0, 2), "y": (0, 1)}))
+    db.set_relation("B", GeneralizedRelation.box({"x": (1, 3), "y": (0, 1)}))
+    for index in range(3):
+        db.set_relation(
+            f"C{index}",
+            GeneralizedRelation.box(
+                {f"z{i}": (0, 1 + 0.25 * index) for i in range(5)}
+            ),
+        )
+    return db
+
+
+def requests_for(database: ConstraintDatabase) -> list[BatchRequest]:
+    queries = [QRelation("A", ("x", "y")), QRelation("B", ("x", "y"))]
+    queries += [
+        QRelation(f"C{index}", tuple(f"z{i}" for i in range(5)))
+        for index in range(3)
+    ]
+    # Repeats exercise in-batch coalescing on every backend.
+    return [BatchRequest(query) for query in queries] * 2
+
+
+def served_values(database, backend, workers: int, seed: int = 7) -> list[float]:
+    session = ServiceSession(database, params=LOOSE)
+    outcomes = session.submit_batch(
+        requests_for(database), workers=workers, rng=seed, backend=backend
+    )
+    return [outcome.result.value for outcome in outcomes]
+
+
+class TestBitIdentity:
+    def test_all_backends_serve_identical_values(self, database):
+        serial = served_values(database, "serial", workers=1)
+        thread = served_values(database, "thread", workers=3)
+        process = served_values(database, "process", workers=3)
+        assert serial == thread
+        assert serial == process
+
+    def test_process_backend_invariant_to_worker_count(self, database):
+        one = served_values(database, "process", workers=1)
+        three = served_values(database, "process", workers=3)
+        assert one == three
+
+    def test_auto_recommendation_matches_serial_values(self, database):
+        serial = served_values(database, "serial", workers=1)
+        auto = served_values(database, None, workers=3)
+        assert serial == auto
+
+    def test_block_size_invariance_on_process_backend(self, database):
+        small = ServiceSession(database, params=LOOSE)
+        large = ServiceSession(database, params=LOOSE)
+        kwargs = dict(workers=2, rng=11, backend="process")
+        first = small.submit_batch(requests_for(database), block_size=64, **kwargs)
+        second = large.submit_batch(requests_for(database), block_size=4096, **kwargs)
+        assert [o.result.value for o in first] == [o.result.value for o in second]
+
+
+class TestBackendBookkeeping:
+    def test_outcomes_name_the_backend(self, database):
+        session = ServiceSession(database, params=LOOSE)
+        outcomes = session.submit_batch(
+            requests_for(database), workers=2, rng=3, backend="process"
+        )
+        computed = [outcome for outcome in outcomes if not outcome.cached]
+        assert computed
+        assert all(outcome.backend == "process" for outcome in computed)
+        snapshot = session.metrics.snapshot()
+        assert snapshot["backend_choices"] == {"process": 1}
+        assert snapshot["backend_units"] == {"process": 5}
+
+    def test_cache_hits_skip_the_backend(self, database):
+        session = ServiceSession(database, params=LOOSE)
+        session.submit_batch(requests_for(database), rng=3, backend="serial")
+        outcomes = session.submit_batch(requests_for(database), rng=4, backend="process")
+        assert all(outcome.cached for outcome in outcomes)
+        # The second batch had no units to compute, so no backend ran.
+        assert session.metrics.snapshot()["backend_choices"] == {"serial": 1}
+
+    def test_process_results_feed_metrics_and_throughput(self, database):
+        session = ServiceSession(database, params=LOOSE)
+        session.submit_batch(requests_for(database), workers=2, rng=3, backend="process")
+        snapshot = session.metrics.snapshot()
+        assert snapshot["plan_choices"].get("telescoping") == 3
+        assert snapshot["plan_choices"].get("exact") == 2
+        assert sum(snapshot["mean_latency"].values()) > 0
+        # Telescoping executions report their walk throughput back even when
+        # they ran in worker processes.
+        assert session.planner._telescoping_observations == 3
+
+    def test_resolve_backend_rejects_unknown_names(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            resolve_backend("gpu")
+        with pytest.raises(TypeError):
+            resolve_backend(42)
+        assert isinstance(resolve_backend("thread"), ThreadBackend)
+        backend = SerialBackend()
+        assert resolve_backend(backend) is backend
+
+
+class TestRecommendation:
+    def plan(self, estimator: str, budget: int = 512) -> Plan:
+        return Plan(
+            estimator=estimator,
+            epsilon=0.25,
+            delta=0.15,
+            sample_budget=0 if estimator == "exact" else budget,
+            time_budget=1.0,
+            reason="test",
+        )
+
+    def test_single_worker_or_single_plan_is_serial(self):
+        planner = Planner()
+        plans = [self.plan("telescoping") for _ in range(4)]
+        assert planner.recommend_backend(plans, workers=1, cores=4) == "serial"
+        assert planner.recommend_backend(plans[:1], workers=4, cores=4) == "serial"
+        assert planner.recommend_backend([], workers=4, cores=4) == "serial"
+
+    def test_gil_bound_work_recommends_process(self):
+        planner = Planner(telescoping_samples_per_second=1_000.0)
+        plans = [self.plan("telescoping", budget=800) for _ in range(4)]
+        assert planner.recommend_backend(plans, workers=4, cores=4) == "process"
+        # A single-core host can overlap nothing: sharding would only add
+        # fork and pickling overhead, so the recommendation degrades.
+        assert planner.recommend_backend(plans, workers=4, cores=1) == "serial"
+
+    def test_numpy_heavy_work_recommends_thread(self):
+        planner = Planner()
+        plans = [self.plan("monte_carlo", budget=50_000) for _ in range(4)]
+        assert planner.recommend_backend(plans, workers=4, cores=4) == "thread"
+
+    def test_light_telescoping_stays_on_threads(self):
+        planner = Planner(telescoping_samples_per_second=1_000_000.0)
+        plans = [self.plan("telescoping", budget=200) for _ in range(2)]
+        assert planner.recommend_backend(plans, workers=4, cores=4) == "thread"
+
+    def test_measured_throughput_moves_the_recommendation(self):
+        planner = Planner(telescoping_samples_per_second=1_000_000.0)
+        plans = [self.plan("telescoping", budget=800) for _ in range(4)]
+        assert planner.recommend_backend(plans, workers=4, cores=4) == "thread"
+        # The session observed that telescoping is far slower than the prior.
+        planner.observe_throughput(samples=800, seconds=2.0, route="telescoping")
+        assert planner.recommend_backend(plans, workers=4, cores=4) == "process"
+
+
+class TestFailureSurfacing:
+    def failing_requests(self, database) -> list[BatchRequest]:
+        good = QRelation("A", ("x", "y"))
+        # Negation outside a conjunction profiles to the telescoping route but
+        # fails compilation — a genuine execution-time failure.
+        bad = QNot(QAnd((QRelation("A", ("x", "y")), QRelation("B", ("x", "y")))))
+        return [BatchRequest(good), BatchRequest(good), BatchRequest(bad)]
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_worker_errors_carry_the_request_index(self, database, backend):
+        session = ServiceSession(database, params=LOOSE)
+        with pytest.raises(BatchExecutionError) as info:
+            session.submit_batch(
+                self.failing_requests(database), workers=2, rng=5, backend=backend
+            )
+        assert info.value.index == 2
+        assert info.value.backend == backend
+        assert "CompilationError" in info.value.cause
+
+    def test_in_process_errors_chain_the_cause(self, database):
+        session = ServiceSession(database, params=LOOSE)
+        with pytest.raises(BatchExecutionError) as info:
+            session.submit_batch(
+                self.failing_requests(database), rng=5, backend="serial"
+            )
+        assert info.value.__cause__ is not None
+
+
+class TestShipping:
+    def test_shared_setup_ships_only_referenced_relations(self, database):
+        session = ServiceSession(database, params=LOOSE)
+        query = QRelation("C0", tuple(f"z{i}" for i in range(5)))
+        unit = WorkUnit(
+            index=0,
+            key=session.key_for(query),
+            query=query,
+            plan=session.explain(query),
+            seed=1,
+            fingerprint=session.fingerprint,
+        )
+        shared = ProcessBackend()._shared_setup(session, [unit])
+        assert set(shared.database.names()) == {"C0"}
+        # The fingerprint still identifies the full data version.
+        assert shared.fingerprint == session.fingerprint
+
+    def test_process_batch_leaves_same_compiled_state_as_serial(self, database):
+        # A union query on the telescoping route: executing it fills the
+        # compiled UnionObservable's member-volume cache.  After one batch on
+        # each backend, a recomputation of the same key (result cache
+        # cleared, same fresh seed) must not depend on which backend ran the
+        # first batch.
+        union_db = ConstraintDatabase()
+        union_db.set_relation(
+            "U",
+            GeneralizedRelation.box({f"z{i}": (0, 1) for i in range(5)}).union(
+                GeneralizedRelation.box({f"z{i}": (2, 3) for i in range(5)})
+            ),
+        )
+        query = QRelation("U", tuple(f"z{i}" for i in range(5)))
+        values = {}
+        for backend in ("serial", "process"):
+            session = ServiceSession(union_db, params=LOOSE)
+            session.submit_batch([BatchRequest(query)], workers=2, rng=7, backend=backend)
+            session.cache.clear()
+            (outcome,) = session.submit_batch(
+                [BatchRequest(query)], workers=2, rng=99, backend="serial"
+            )
+            values[backend] = outcome.result.value
+        assert values["serial"] == values["process"]
+
+    def test_work_units_and_shared_setup_pickle(self, database):
+        session = ServiceSession(database, params=LOOSE)
+        query = QRelation("C0", tuple(f"z{i}" for i in range(5)))
+        plan = session.explain(query)
+        unit = WorkUnit(
+            index=0,
+            key=session.key_for(query),
+            query=query,
+            plan=plan,
+            seed=123,
+            fingerprint=session.fingerprint,
+        )
+        assert pickle.loads(pickle.dumps(unit)).seed == 123
+        backend = ProcessBackend()
+        shared = backend._shared_setup(session, [unit])
+        clone: _SharedSetup = pickle.loads(pickle.dumps(shared))
+        assert clone.fingerprint == session.fingerprint
+        assert unit.key in clone.compiled
+
+    def test_warmed_grid_walk_observable_survives_pickling(self):
+        square = GeneralizedRelation.box({"x": (0, 1), "y": (0, 1)}).disjuncts[0]
+        observable = ConvexObservable(square, params=LOOSE, sampler="grid_walk")
+        # Populate the lazily built grid sampler, whose oracle is a closure.
+        observable.generate(np.random.default_rng(0))
+        clone = pickle.loads(pickle.dumps(observable))
+        original = observable.estimate_volume(rng=np.random.default_rng(1))
+        copied = clone.estimate_volume(rng=np.random.default_rng(1))
+        assert original.value == copied.value
+        point = clone.generate(np.random.default_rng(2))
+        expected = observable.generate(np.random.default_rng(2))
+        assert np.array_equal(point, expected)
+
+    def test_warm_materialises_the_caches(self):
+        square = GeneralizedRelation.box({"x": (0, 1), "y": (0, 1)})
+        disjunct = square.disjuncts[0]
+        observable = ConvexObservable(disjunct, params=LOOSE).warm()
+        assert observable.polytope._chebyshev is not False
+        assert observable.polytope._box is not False
+        assert disjunct._float_system is not None
+        relation = square.warm_float_systems()
+        assert all(d._float_system is not None for d in relation.disjuncts)

@@ -123,3 +123,60 @@ class TestDominance:
         cache.put("k", _result(1.0, epsilon=0.3), 0.3, 0.1)
         assert cache.put("k", _result(2.0, epsilon=0.05), 0.05, 0.05) is True
         assert cache.get("k", 0.1, 0.1).value == 2.0
+
+
+class TestConcurrentEviction:
+    """Cache eviction under concurrent traffic (direct and via submit_batch)."""
+
+    def test_concurrent_put_lookup_respects_capacity(self):
+        from concurrent.futures import ThreadPoolExecutor
+
+        cache = ResultCache(capacity=8, ttl=None)
+
+        def hammer(worker: int) -> None:
+            for round_ in range(50):
+                key = f"k{worker}-{round_ % 12}"
+                cache.put(key, _result(float(worker)), 0.2, 0.1)
+                cache.lookup(key, 0.3, 0.2)
+                cache.lookup(f"k{(worker + 1) % 6}-{round_ % 12}", 0.3, 0.2)
+
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            list(pool.map(hammer, range(6)))
+        assert len(cache) <= 8
+        assert cache.evictions > 0
+        # Every lookup was counted exactly once, hit or miss.
+        assert cache.hits + cache.misses == 6 * 50 * 2
+
+    def test_eviction_under_concurrent_submit_batch(self):
+        from concurrent.futures import ThreadPoolExecutor
+
+        from repro.constraints.database import ConstraintDatabase
+        from repro.constraints.relations import GeneralizedRelation
+        from repro.queries.ast import QRelation
+        from repro.service import ServiceSession
+
+        database = ConstraintDatabase()
+        names = [f"R{i}" for i in range(8)]
+        for index, name in enumerate(names):
+            database.set_relation(
+                name,
+                GeneralizedRelation.box({"x": (0, 1 + index), "y": (0, 1)}),
+            )
+        # Capacity below the working set forces evictions while two threads
+        # submit overlapping batches against the same session.
+        session = ServiceSession(database, cache=ResultCache(capacity=3, ttl=None))
+
+        def submit(offset: int) -> list[float]:
+            rotated = names[offset:] + names[:offset]
+            queries = [QRelation(name, ("x", "y")) for name in rotated]
+            outcomes = session.submit_batch(queries, workers=2, rng=offset)
+            return [outcome.result.value for outcome in outcomes]
+
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            first, second = pool.map(submit, [0, 4])
+        assert len(session.cache) <= 3
+        assert session.cache.evictions > 0
+        # The served values are exact areas, independent of cache churn.
+        expected = [float(1 + index) for index in range(8)]
+        assert first == expected
+        assert second == expected[4:] + expected[:4]

@@ -1,0 +1,101 @@
+"""Direct coverage for :class:`repro.service.metrics.ServiceMetrics`."""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.service import ServiceMetrics
+
+
+class TestCounters:
+    def test_cache_counters_and_hit_rate(self):
+        metrics = ServiceMetrics()
+        assert metrics.hit_rate() == 0.0
+        metrics.record_cache_hit()
+        metrics.record_cache_hit(dominance=True)
+        metrics.record_cache_miss()
+        assert metrics.cache_hits == 2
+        assert metrics.cache_misses == 1
+        assert metrics.dominance_hits == 1
+        assert metrics.hit_rate() == 2 / 3
+
+    def test_plan_latency_and_budget_counters(self):
+        metrics = ServiceMetrics()
+        metrics.record_plan("telescoping")
+        metrics.record_latency("telescoping", 0.25)
+        metrics.record_latency("telescoping", 0.75, over_budget=True)
+        metrics.record_plan("exact")
+        metrics.record_latency("exact", 0.5)
+        snapshot = metrics.snapshot()
+        assert snapshot["plan_choices"] == {"telescoping": 1, "exact": 1}
+        assert snapshot["mean_latency"]["telescoping"] == 0.5
+        assert snapshot["total_latency"]["telescoping"] == 1.0
+        assert snapshot["budget_overruns"] == 1
+
+    def test_backend_counters(self):
+        metrics = ServiceMetrics()
+        metrics.record_backend("thread", units=3)
+        metrics.record_backend("process", units=5)
+        metrics.record_backend("process", units=2)
+        snapshot = metrics.snapshot()
+        assert snapshot["backend_choices"] == {"thread": 1, "process": 2}
+        assert snapshot["backend_units"] == {"thread": 3, "process": 7}
+
+    def test_batch_counters(self):
+        metrics = ServiceMetrics()
+        metrics.record_batch(4)
+        metrics.record_batch(6)
+        metrics.record_coalesced()
+        snapshot = metrics.snapshot()
+        assert snapshot["batches"] == 2
+        assert snapshot["batch_requests"] == 10
+        assert snapshot["coalesced"] == 1
+
+    def test_rows_flatten_every_counter(self):
+        metrics = ServiceMetrics()
+        metrics.record_cache_miss()
+        metrics.record_plan("exact")
+        metrics.record_latency("exact", 0.5)
+        metrics.record_backend("serial", units=1)
+        metrics.record_batch(1)
+        rows = dict(metrics.rows())
+        assert rows["cache_misses"] == 1
+        assert rows["plan[exact]"] == 1
+        assert rows["backend[serial]"] == 1
+        assert rows["mean_latency[exact]"] == 0.5
+        assert rows["batches"] == 1
+
+    def test_snapshot_is_a_copy(self):
+        metrics = ServiceMetrics()
+        metrics.record_plan("exact")
+        snapshot = metrics.snapshot()
+        snapshot["plan_choices"]["exact"] = 99
+        assert metrics.snapshot()["plan_choices"]["exact"] == 1
+
+    def test_repr_mentions_traffic(self):
+        metrics = ServiceMetrics()
+        metrics.record_cache_hit()
+        assert "hits=1" in repr(metrics)
+
+
+class TestConcurrency:
+    def test_concurrent_recording_loses_no_updates(self):
+        metrics = ServiceMetrics()
+        rounds = 200
+
+        def hammer(_: int) -> None:
+            metrics.record_cache_hit()
+            metrics.record_cache_miss()
+            metrics.record_plan("telescoping")
+            metrics.record_backend("process", units=2)
+            metrics.record_latency("telescoping", 0.001)
+            metrics.record_batch(3)
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(hammer, range(rounds)))
+        snapshot = metrics.snapshot()
+        assert snapshot["cache_hits"] == rounds
+        assert snapshot["cache_misses"] == rounds
+        assert snapshot["plan_choices"]["telescoping"] == rounds
+        assert snapshot["backend_units"]["process"] == 2 * rounds
+        assert snapshot["batch_requests"] == 3 * rounds

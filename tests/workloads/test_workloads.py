@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.geometry.volume import polytope_volume, relation_volume_exact
