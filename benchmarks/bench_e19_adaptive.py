@@ -1,0 +1,331 @@
+"""Experiment E19 — adaptive confidence-sequence estimation vs fixed budgets.
+
+The paper's estimators commit a worst-case Chernoff/Hoeffding budget before
+seeing a single sample; `repro.inference` stops each Bernoulli stream the
+moment the requested ``(ε, δ)`` contract is *certified* by an anytime-valid
+confidence sequence.  E19 measures what that buys on the dumbbell and
+GIS-style workloads (both large-fraction instances, the common serving case):
+
+* **sample savings** — the adaptive route must consume **≥ 3×** fewer
+  samples than the fixed Chernoff budget at the same ``(ε, δ)``, with both
+  answers inside the ``(1 + ε)`` ratio of the exact volume (matched
+  empirical accuracy);
+* **refinement** — continuing a cached ε = 0.2 answer to ε = 0.05 must land
+  on the **bit-identical** value a cold ε = 0.05 run produces while drawing
+  strictly fewer new samples (the continuation reuses the prior stream), and
+  must beat the fixed ε = 0.05 budget by a wide margin;
+* **backend transparency** — adaptive batches and cache-driven refinements
+  serve bit-identical values on the serial, thread and process backends.
+
+All gated quantities are *sample-count ratios and determinism witnesses* —
+seed-deterministic and hardware-independent (no ``cpu_count`` skip applies)
+— so the CI perf gate (`benchmarks/check_regression.py`) compares them
+exactly against the committed ``BENCH_e19_adaptive.json`` snapshot.  The
+adaptive-telescoping row is informational: its fixed counterpart's honest
+(uncapped) schedule is too large to run, so the row reports the computed
+budget it replaces alongside the laptop-capped estimator actually shipped.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.constraints.database import ConstraintDatabase
+from repro.constraints.relations import GeneralizedRelation
+from repro.core import GeneratorParams
+from repro.geometry.polytope import HPolytope
+from repro.harness import ExperimentResult, register_experiment
+from repro.inference import AdaptiveTelescoping
+from repro.queries.aggregates import exact_volume
+from repro.queries.ast import QRelation
+from repro.sampling.rng import ensure_rng
+from repro.service import BatchRequest, Planner, ServiceSession
+from repro.volume.chernoff import chernoff_ratio_sample_size
+from repro.volume.telescoping import TelescopingVolumeEstimator
+from repro.workloads.dumbbell import dumbbell
+from repro.workloads.gis import axis_aligned_zone
+
+JSON_PATH = Path(__file__).resolve().parents[1] / "BENCH_e19_adaptive.json"
+
+EPSILON = 0.2
+REFINED_EPSILON = 0.05
+DELTA = 0.1
+
+
+def _dumbbell_workload():
+    workload = dumbbell(4)
+    database = ConstraintDatabase()
+    database.set_relation("D", workload.relation)
+    query = QRelation("D", workload.relation.variables)
+    return "dumbbell", database, query, workload.exact_volume
+
+
+def _gis_workload(zones: int = 9, seed: int = 314):
+    """A union of random map zones — E15's shape, sized for the sampler routes.
+
+    Nine disjuncts push the disjunct estimate past the exact route's limit
+    (inclusion–exclusion would need 2⁹ intersections per evaluation), which
+    is precisely the regime where box sampling wins and adaptive stopping
+    wins harder.
+    """
+    rng = ensure_rng(seed)
+    extent = 10.0
+    tuples = tuple(
+        axis_aligned_zone(rng, extent, extent / 3.0, extent * 0.7)
+        for _ in range(zones)
+    )
+    relation = GeneralizedRelation(tuples, ("x", "y"))
+    database = ConstraintDatabase()
+    database.set_relation("Z", relation)
+    query = QRelation("Z", ("x", "y"))
+    exact = exact_volume(query, database).value
+    return "gis", database, query, exact
+
+
+def _session(database, adaptive: bool) -> ServiceSession:
+    return ServiceSession(
+        database,
+        params=GeneratorParams(epsilon=EPSILON, delta=DELTA),
+        planner=Planner(adaptive=adaptive),
+    )
+
+
+def _within_ratio(value: float, exact: float, epsilon: float) -> bool:
+    return exact / (1.0 + epsilon) <= value <= exact * (1.0 + epsilon)
+
+
+def _run_workload(result: ExperimentResult, name, database, query, exact, seed: int):
+    """Fixed-vs-adaptive and warm-vs-cold measurements for one workload."""
+    fixed_session = _session(database, adaptive=False)
+    fixed = fixed_session.volume(query, rng=seed)
+    assert fixed.estimate is not None
+
+    adaptive_session = _session(database, adaptive=True)
+    coarse = adaptive_session.volume(query, rng=seed)
+    assert coarse.estimate is not None and coarse.refinable is not None
+    coarse_samples = coarse.estimate.samples_used
+
+    # Refinement through the cache: the tighter request continues the
+    # cached stream (the rng only seeds *fresh* computations, so the
+    # continuation is a pure function of the cached state).
+    refined = adaptive_session.volume(query, epsilon=REFINED_EPSILON, rng=seed + 1)
+    assert refined.estimate is not None
+    continuation = int(refined.estimate.details["new_samples"])
+
+    # Cold runs at the tight accuracy, for the reuse and identity claims.
+    cold = _session(database, adaptive=True)
+    cold_result = cold.volume(query, epsilon=REFINED_EPSILON, rng=seed)
+    assert cold_result.estimate is not None
+    cold_samples = cold_result.estimate.samples_used
+    fixed_tight_budget = chernoff_ratio_sample_size(REFINED_EPSILON, DELTA, 0.05)
+
+    savings = fixed.estimate.samples_used / coarse_samples
+    accuracy_ok = _within_ratio(fixed.value, exact, EPSILON) and _within_ratio(
+        coarse.value, exact, EPSILON
+    )
+    refinement_ok = (
+        continuation < cold_samples
+        and refined.estimate.samples_used == cold_samples
+        and refined.value == cold_result.value
+        and adaptive_session.metrics.refinements == 1
+    )
+    for route, volume, samples in (
+        ("fixed monte-carlo", fixed.value, fixed.estimate.samples_used),
+        ("adaptive", coarse.value, coarse_samples),
+    ):
+        result.add_row(
+            name,
+            route,
+            EPSILON,
+            samples,
+            round(volume, 4),
+            "yes" if _within_ratio(volume, exact, EPSILON) else "NO",
+        )
+    result.add_row(
+        name,
+        "adaptive refine 0.2→0.05",
+        REFINED_EPSILON,
+        continuation,
+        round(refined.value, 4),
+        "yes" if _within_ratio(refined.value, exact, REFINED_EPSILON) else "NO",
+    )
+    result.observe(
+        f"{name}: adaptive used {coarse_samples} of the fixed {fixed.estimate.samples_used} "
+        f"samples ({savings:.1f}x savings); continuation to eps={REFINED_EPSILON} drew "
+        f"{continuation} new samples (cold run: {cold_samples}, fixed budget: "
+        f"{fixed_tight_budget}) and matched the cold value bit for bit: "
+        f"{'yes' if refinement_ok else 'NO'}"
+    )
+    return {
+        f"speedup_samples_{name}": savings,
+        f"speedup_refined_vs_fixed_{name}": fixed_tight_budget / continuation,
+        f"accuracy_matched_{name}": accuracy_ok,
+        f"refinement_identical_{name}": refinement_ok,
+    }
+
+
+def _backend_transparency(seed: int = 99):
+    """Adaptive batches + batch refinement, served on every backend."""
+    _, database, query, _ = _dumbbell_workload()
+    fresh, refined = {}, {}
+    for backend in ("serial", "thread", "process"):
+        session = _session(database, adaptive=True)
+        outcomes = session.submit_batch(
+            [BatchRequest(query, epsilon=EPSILON), BatchRequest(query, epsilon=0.1)],
+            workers=2,
+            rng=seed,
+            backend=backend,
+        )
+        fresh[backend] = [outcome.result.value for outcome in outcomes]
+        continued = session.submit_batch(
+            [BatchRequest(query, epsilon=REFINED_EPSILON)],
+            rng=seed + 1,
+            backend=backend,
+        )
+        refined[backend] = [outcome.result.value for outcome in continued]
+    identical = (
+        fresh["serial"] == fresh["thread"] == fresh["process"]
+        and refined["serial"] == refined["thread"] == refined["process"]
+    )
+    return identical
+
+
+def _telescoping_row(result: ExperimentResult, seed: int = 11):
+    """Informational: per-phase adaptive stopping on a convex body.
+
+    The honest fixed schedule (chernoff per phase at ε/2q, δ/q) is far too
+    large to execute, so the shipped fixed estimator caps it — trading away
+    its guarantee.  The adaptive estimator certifies the contract and is
+    compared against the budget the honest schedule would commit.
+    """
+    cube = HPolytope.box([(0.0, 1.5)] * 3)
+    epsilon, delta = 0.35, 0.2
+    adaptive = AdaptiveTelescoping(cube, delta=delta, rng=seed)
+    estimate = adaptive.run(epsilon)
+    phases = estimate.details["phases"]
+    honest_budget = phases * chernoff_ratio_sample_size(
+        epsilon / (2 * max(phases, 1)), delta / max(phases, 1), 0.5
+    )
+    capped = TelescopingVolumeEstimator(cube).estimate(epsilon, delta, rng=seed)
+    result.add_row(
+        "cube-3d",
+        "adaptive telescoping",
+        epsilon,
+        estimate.samples_used,
+        round(estimate.value, 4),
+        "yes" if _within_ratio(estimate.value, 1.5**3, epsilon) else "NO",
+    )
+    result.add_row(
+        "cube-3d",
+        "capped telescoping",
+        epsilon,
+        capped.samples_used,
+        round(capped.value, 4),
+        "yes" if _within_ratio(capped.value, 1.5**3, epsilon) else "NO",
+    )
+    result.observe(
+        f"cube-3d: adaptive telescoping certified eps={epsilon} with "
+        f"{estimate.samples_used} walk samples; the honest fixed schedule would "
+        f"commit {honest_budget} ({honest_budget / estimate.samples_used:.0f}x more), "
+        f"the shipped estimator caps it at {capped.samples_used} and forfeits the "
+        "guarantee"
+    )
+    return {"telescoping_honest_budget_ratio": honest_budget / estimate.samples_used}
+
+
+@register_experiment("E19")
+def run_adaptive(seed: int = 42, write_json: bool = True) -> ExperimentResult:
+    """Regenerate the E19 table: adaptive stopping vs fixed Chernoff budgets."""
+    result = ExperimentResult(
+        "E19",
+        "Adaptive confidence-sequence estimation: savings, refinement, transparency",
+        ["workload", "route", "epsilon", "samples", "value", "within (1+eps)"],
+        claim=(
+            ">= 3x sample savings over the fixed Chernoff budget at matched "
+            "(eps, delta) and empirical accuracy; refinement 0.2→0.05 reuses "
+            "the cached stream (strictly fewer draws than a cold run, "
+            "bit-identical value); all values identical across serial/thread/"
+            "process backends"
+        ),
+    )
+    metrics: dict[str, object] = {}
+    for name, database, query, exact in (_dumbbell_workload(), _gis_workload()):
+        metrics.update(_run_workload(result, name, database, query, exact, seed))
+    metrics.update(_telescoping_row(result))
+    identical = _backend_transparency()
+    metrics["identical"] = identical
+    result.observe(
+        "serial/thread/process batches and refinements bit-identical: "
+        + ("yes" if identical else "NO")
+    )
+    savings = [
+        metrics["speedup_samples_dumbbell"],
+        metrics["speedup_samples_gis"],
+    ]
+    result.observe(
+        f"minimum sample savings across workloads: {min(savings):.1f}x (claim: >= 3x)"
+    )
+    result.details = {  # type: ignore[attr-defined]
+        **metrics,
+        "min_savings": min(savings),
+    }
+    if write_json:
+        JSON_PATH.write_text(
+            json.dumps(
+                {
+                    "experiment": "E19",
+                    "epsilon": EPSILON,
+                    "refined_epsilon": REFINED_EPSILON,
+                    "delta": DELTA,
+                    "seed": seed,
+                    # Sample-count ratios and determinism witnesses only:
+                    # seed-deterministic and hardware-independent, so the CI
+                    # perf gate compares them exactly (deliberately no
+                    # cpu_count field — nothing here scales with cores).
+                    **metrics,
+                },
+                indent=2,
+            )
+            + "\n"
+        )
+        result.observe(f"wrote {JSON_PATH.name}")
+    return result
+
+
+def test_benchmark_adaptive(benchmark):
+    result = benchmark.pedantic(
+        run_adaptive, kwargs={"write_json": False}, iterations=1, rounds=1
+    )
+    assert result.details["identical"]
+    assert result.details["min_savings"] >= 3.0
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description="E19 adaptive estimation")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help=(
+            "accepted for CI uniformity; E19 is sample-count based and "
+            "already CI-sized, so smoke and full runs coincide"
+        ),
+    )
+    parser.parse_args()
+    table = run_adaptive()
+    print(table.to_text())
+    details = table.details  # type: ignore[attr-defined]
+    if not details["identical"]:
+        raise SystemExit("FAIL: backends served different values")
+    for name in ("dumbbell", "gis"):
+        if not details[f"accuracy_matched_{name}"]:
+            raise SystemExit(f"FAIL: {name} estimates left the (1+eps) ratio")
+        if not details[f"refinement_identical_{name}"]:
+            raise SystemExit(f"FAIL: {name} refinement did not reuse the cached stream")
+    if details["min_savings"] < 3.0:
+        raise SystemExit(
+            f"FAIL: adaptive stopping saved only {details['min_savings']:.1f}x "
+            "samples (claim: >= 3x)"
+        )

@@ -2,21 +2,26 @@
 
 Usage (what the ``perf-gate`` CI job runs)::
 
-    cp BENCH_e17_batch.json BENCH_e18_process_shard.json baseline/
+    cp BENCH_e17_batch.json BENCH_e18_process_shard.json \
+       BENCH_e19_adaptive.json baseline/
     python benchmarks/bench_e17_batch_kernels.py --smoke
     python benchmarks/bench_e18_process_shard.py --smoke
+    python benchmarks/bench_e19_adaptive.py --smoke
     python benchmarks/check_regression.py \
         --baseline-dir baseline --current-dir . --tolerance 0.30 \
-        BENCH_e17_batch.json BENCH_e18_process_shard.json
+        BENCH_e17_batch.json BENCH_e18_process_shard.json \
+        BENCH_e19_adaptive.json
 
 The gate compares **hardware-normalised** quantities only:
 
-* every numeric leaf whose key contains ``speedup`` is a higher-is-better
-  ratio (batch-vs-scalar kernels, process-vs-serial backends); the gate
-  fails when a current ratio drops more than ``--tolerance`` (default 30%)
-  below its committed value;
-* every boolean leaf named ``identical`` is a correctness witness; the gate
-  fails when a committed ``true`` turns ``false``.
+* every numeric leaf whose key contains ``speedup`` or ``savings`` is a
+  higher-is-better ratio (batch-vs-scalar kernels, process-vs-serial
+  backends, adaptive-vs-fixed sample counts); the gate fails when a current
+  ratio drops more than ``--tolerance`` (default 30%) below its committed
+  value;
+* every **boolean** leaf is a correctness witness (``identical`` values
+  across backends, matched accuracy, refinement reuse); the gate fails when
+  a committed ``true`` turns ``false``.
 
 Absolute throughput (seconds, requests per second) is deliberately *not*
 gated: it moves with the runner hardware, while the ratios measure the
@@ -36,16 +41,21 @@ import sys
 from pathlib import Path
 
 
+#: Numeric leaves with any of these key substrings are gated as ratios.
+RATIO_MARKERS = ("speedup", "savings")
+
+
 def throughput_metrics(payload: object, prefix: str = "") -> dict[str, float]:
-    """Flatten the JSON to ``path -> value`` for every gated metric leaf."""
+    """Flatten the JSON to ``path -> value`` for every gated *ratio* leaf."""
     metrics: dict[str, float] = {}
     if isinstance(payload, dict):
         for key, value in payload.items():
             path = f"{prefix}.{key}" if prefix else str(key)
             if isinstance(value, bool):
-                if key == "identical":
-                    metrics[path] = float(value)
-            elif isinstance(value, (int, float)) and "speedup" in key.lower():
+                continue
+            if isinstance(value, (int, float)) and any(
+                marker in key.lower() for marker in RATIO_MARKERS
+            ):
                 metrics[path] = float(value)
             elif isinstance(value, (dict, list)):
                 metrics.update(throughput_metrics(value, path))
@@ -55,6 +65,26 @@ def throughput_metrics(payload: object, prefix: str = "") -> dict[str, float]:
     return metrics
 
 
+def witness_metrics(payload: object, prefix: str = "") -> dict[str, bool]:
+    """Flatten the JSON to every boolean leaf — the correctness witnesses.
+
+    A committed ``true`` (backends identical, accuracy matched, refinement
+    reused the cached stream, ...) must never silently turn ``false``.
+    """
+    witnesses: dict[str, bool] = {}
+    if isinstance(payload, dict):
+        for key, value in payload.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            if isinstance(value, bool):
+                witnesses[path] = value
+            elif isinstance(value, (dict, list)):
+                witnesses.update(witness_metrics(value, path))
+    elif isinstance(payload, list):
+        for index, value in enumerate(payload):
+            witnesses.update(witness_metrics(value, f"{prefix}[{index}]"))
+    return witnesses
+
+
 def compare(
     name: str, baseline: dict, current: dict, tolerance: float
 ) -> list[str]:
@@ -62,7 +92,9 @@ def compare(
     failures: list[str] = []
     base_metrics = throughput_metrics(baseline)
     current_metrics = throughput_metrics(current)
-    if not base_metrics:
+    base_witnesses = witness_metrics(baseline)
+    current_witnesses = witness_metrics(current)
+    if not base_metrics and not base_witnesses:
         failures.append(f"{name}: baseline contains no gated metrics")
     base_cores = baseline.get("cpu_count")
     current_cores = current.get("cpu_count")
@@ -74,20 +106,29 @@ def compare(
     if skip_ratios:
         print(
             f"  (cpu_count {base_cores} -> {current_cores}: scaling ratios "
-            "are not comparable across core counts, gating 'identical' only)"
+            "are not comparable across core counts, gating witnesses only)"
+        )
+    for path, base_flag in sorted(base_witnesses.items()):
+        current_flag = current_witnesses.get(path)
+        if current_flag is None:
+            failures.append(f"{name}: witness {path} missing from the current run")
+            continue
+        if base_flag and not current_flag:
+            failures.append(
+                f"{name}: {path} was true in the snapshot but is false now"
+            )
+            status = "REGRESSED"
+        else:
+            status = "ok"
+        print(
+            f"  {path}: snapshot {base_flag} -> current {current_flag} [{status}]"
         )
     for path, base_value in sorted(base_metrics.items()):
         current_value = current_metrics.get(path)
         if current_value is None:
             failures.append(f"{name}: metric {path} missing from the current run")
             continue
-        if path.endswith("identical") or path == "identical":
-            if base_value == 1.0 and current_value != 1.0:
-                failures.append(
-                    f"{name}: {path} was true in the snapshot but is false now"
-                )
-            status = "ok"
-        elif skip_ratios:
+        if skip_ratios:
             status = "skipped (core count changed)"
         else:
             floor = (1.0 - tolerance) * base_value

@@ -1,0 +1,71 @@
+"""Adaptive estimation demo: stop when certified, refine instead of recompute.
+
+A coarse volume request is answered by the confidence-sequence route with a
+small fraction of the fixed Chernoff budget; a later, tighter request for the
+*same* query is then served by **continuing** the cached sample stream in
+place — the service never starts over.
+
+Run with ``PYTHONPATH=src python examples/adaptive_demo.py``.
+"""
+
+from __future__ import annotations
+
+from repro import GeneratorParams, Planner, ServiceSession
+from repro.queries import QRelation
+from repro.volume.chernoff import chernoff_ratio_sample_size
+from repro.workloads import dumbbell
+
+
+def main() -> None:
+    workload = dumbbell(4)
+    from repro.constraints.database import ConstraintDatabase
+
+    database = ConstraintDatabase()
+    database.set_relation("D", workload.relation)
+    query = QRelation("D", workload.relation.variables)
+
+    session = ServiceSession(
+        database,
+        params=GeneratorParams(epsilon=0.2, delta=0.1),
+        planner=Planner(adaptive=True),
+    )
+
+    # 1. The planner picks the adaptive route and caps it at the budget a
+    #    fixed estimator would commit up front.
+    plan = session.explain(query)
+    print(f"plan: {plan.estimator} (cap {plan.sample_budget} samples)")
+    print(f"  reason: {plan.reason}")
+
+    # 2. The coarse request stops as soon as ε = 0.2 is *certified* — far
+    #    below the fixed budget, because the dumbbell fills two thirds of
+    #    its bounding box.
+    fixed_budget = chernoff_ratio_sample_size(0.2, 0.1, 0.05)
+    coarse = session.volume(query, epsilon=0.2, rng=11)
+    assert coarse.estimate is not None
+    print(
+        f"eps=0.20: volume ~ {coarse.value:.4f} after "
+        f"{coarse.estimate.samples_used} samples "
+        f"(fixed budget: {fixed_budget}, exact: {workload.exact_volume:.4f})"
+    )
+
+    # 3. The tighter request refines the cached answer in place: the
+    #    confidence sequence is valid at every checkpoint simultaneously, so
+    #    continuing the same stream to ε = 0.05 is statistically free and
+    #    only the *difference* in samples is drawn.
+    refined = session.volume(query, epsilon=0.05, rng=12)
+    assert refined.estimate is not None
+    new = refined.estimate.details["new_samples"]
+    total = refined.estimate.samples_used
+    print(
+        f"eps=0.05: volume ~ {refined.value:.4f} after {new} additional samples "
+        f"(stream total {total}; a cold run would draw all {total})"
+    )
+    print(f"refinements served: {session.metrics.refinements}")
+
+    # 4. Intermediate accuracies now hit the refined entry by ε-dominance.
+    session.volume(query, epsilon=0.1)
+    print(f"eps=0.10: served from cache (hits: {session.metrics.cache_hits})")
+
+
+if __name__ == "__main__":
+    main()

@@ -12,6 +12,8 @@ The public API is organised in layers:
 * :mod:`repro.geometry`    — polytopes, hulls, grids, exact volumes;
 * :mod:`repro.sampling`    — random walks, rejection schemes, diagnostics;
 * :mod:`repro.volume`      — volume estimators (DFK telescoping, baselines);
+* :mod:`repro.inference`   — anytime-valid confidence sequences and adaptive
+  estimators with resumable, refinable results;
 * :mod:`repro.core`        — observability and its closure properties
   (the paper's contribution);
 * :mod:`repro.queries`     — FO+LIN queries, exact and approximate evaluation;
@@ -41,6 +43,13 @@ from repro.core import (
     ProjectionObservable,
     UnionObservable,
 )
+from repro.inference import (
+    AdaptiveMonteCarlo,
+    AdaptiveTelescoping,
+    EmpiricalBernsteinSequence,
+    HoeffdingSequence,
+    RefinableEstimate,
+)
 from repro.queries import QueryEngine
 from repro.service import Planner, ResultCache, ServiceMetrics, ServiceSession
 from repro.volume import VolumeEstimate, estimate_convex_volume
@@ -64,6 +73,11 @@ __all__ = [
     "ObservableRelation",
     "ProjectionObservable",
     "UnionObservable",
+    "AdaptiveMonteCarlo",
+    "AdaptiveTelescoping",
+    "EmpiricalBernsteinSequence",
+    "HoeffdingSequence",
+    "RefinableEstimate",
     "QueryEngine",
     "Planner",
     "ResultCache",

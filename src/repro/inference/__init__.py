@@ -1,0 +1,51 @@
+"""repro.inference — adaptive confidence-sequence estimation.
+
+The layer between the fixed-budget estimators of :mod:`repro.volume` and the
+serving stack of :mod:`repro.service`:
+
+* :mod:`repro.inference.sequences` — anytime-valid Hoeffding and
+  empirical-Bernstein confidence sequences over streaming Bernoulli/bounded
+  batches, with the union-bound δ splitters;
+* :mod:`repro.inference.adaptive`  — :class:`AdaptiveMonteCarlo` and
+  :class:`AdaptiveTelescoping`, estimators that stop each Bernoulli stream
+  exactly when the requested ``(ε, δ)`` contract is certified and reallocate
+  accuracy budget to high-variance phases;
+* :mod:`repro.inference.refine`    — :class:`RefinableEstimate`, the
+  resumable sufficient statistics that let a cached coarse answer be
+  *continued* to a tighter ε instead of recomputed (the service cache's
+  counterpart to ε-dominance).
+"""
+
+from repro.inference.adaptive import (
+    AdaptiveConfig,
+    AdaptiveMonteCarlo,
+    AdaptiveTelescoping,
+    AdaptiveTelescopingConfig,
+)
+from repro.inference.refine import RefinableEstimate
+from repro.inference.sequences import (
+    CheckpointSchedule,
+    ConfidenceInterval,
+    ConfidenceSequence,
+    EmpiricalBernsteinSequence,
+    HoeffdingSequence,
+    checkpoint_delta,
+    make_sequence,
+    split_delta,
+)
+
+__all__ = [
+    "AdaptiveConfig",
+    "AdaptiveMonteCarlo",
+    "AdaptiveTelescoping",
+    "AdaptiveTelescopingConfig",
+    "RefinableEstimate",
+    "CheckpointSchedule",
+    "ConfidenceInterval",
+    "ConfidenceSequence",
+    "EmpiricalBernsteinSequence",
+    "HoeffdingSequence",
+    "checkpoint_delta",
+    "make_sequence",
+    "split_delta",
+]

@@ -1,0 +1,518 @@
+"""Adaptive volume estimators: stop exactly when the (ε, δ) contract is met.
+
+Both estimators replace an a-priori Chernoff/Hoeffding sample budget with an
+anytime-valid confidence sequence (:mod:`repro.inference.sequences`): they
+draw through the existing batch oracles in ``block_size`` blocks, evaluate
+the sequence at its deterministic checkpoints, and stop the moment the
+requested accuracy is *certified* by the data — which on easy instances
+(large volume fractions, low-variance phases) is many times earlier than the
+worst-case schedule.
+
+Both are **resumable**: an instance carries its own random generator and
+sufficient statistics, pickles across process boundaries, and a later
+``run(tighter_epsilon)`` call continues the same sample stream instead of
+starting over.  Because the continuation consumes the identical stream a
+cold run would, refining an :class:`AdaptiveMonteCarlo` from ε = 0.2 to
+ε = 0.05 lands on exactly the value a cold ε = 0.05 run produces — having
+drawn only the difference.
+
+:class:`AdaptiveMonteCarlo` is the adaptive counterpart of
+:func:`repro.volume.monte_carlo.monte_carlo_volume` (uniform box proposals,
+Bernoulli hit stream); :class:`AdaptiveTelescoping` is the adaptive
+counterpart of :class:`repro.volume.telescoping.TelescopingVolumeEstimator`
+(one confidence sequence per telescoping phase, δ divided across phases by
+the union-bound splitter, ε reallocated to high-variance phases by a pilot +
+Neyman-style rule).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Literal
+
+import numpy as np
+
+from repro.geometry.polytope import HPolytope
+from repro.inference.sequences import (
+    CheckpointSchedule,
+    ConfidenceInterval,
+    ConfidenceSequence,
+    make_sequence,
+    split_delta,
+)
+from repro.sampling.oracles import (
+    BatchOracle,
+    as_batch_oracle,
+    batch_oracle_from_polytope,
+    batch_oracle_from_predicate,
+)
+from repro.sampling.rejection import count_box_hits
+from repro.sampling.rng import RandomState, ensure_rng, spawn_rngs
+from repro.volume.base import EstimationError, VolumeEstimate
+
+__all__ = [
+    "AdaptiveConfig",
+    "AdaptiveMonteCarlo",
+    "AdaptiveTelescoping",
+    "AdaptiveTelescopingConfig",
+]
+
+SequenceKind = Literal["hoeffding", "empirical_bernstein"]
+
+
+@dataclass(frozen=True)
+class AdaptiveConfig:
+    """Execution and stopping parameters of :class:`AdaptiveMonteCarlo`.
+
+    Attributes
+    ----------
+    block_size:
+        Proposals judged per batch-oracle call.  Purely an execution knob:
+        the drawn stream, the checkpoint positions and therefore the
+        stopping decision are bit-identical for every block size.
+    schedule:
+        Checkpoint positions of the confidence sequence.  Part of the
+        estimator's definition — two estimators only produce comparable
+        (and refinement-compatible) streams when their schedules agree.
+    sequence:
+        Radius family: ``"empirical_bernstein"`` (variance-adaptive,
+        default) or ``"hoeffding"`` (distribution-free baseline).
+    min_fraction:
+        The volume-fraction assumption the per-run sample cap is dimensioned
+        for: a ``run(ε)`` call draws at most
+        ``chernoff_ratio_sample_size(ε, δ, min_fraction)`` samples — exactly
+        the budget a *fixed* estimator would commit up front under the same
+        assumption — before giving up (``details["met"] = False``).  Because
+        the cap is a pure function of the requested ε, a warm continuation
+        and a cold run walk identical checkpoints.
+    max_samples:
+        Absolute ceiling on the stream length, over every ``run`` call.
+    """
+
+    block_size: int = 8192
+    schedule: CheckpointSchedule = field(default_factory=CheckpointSchedule)
+    sequence: SequenceKind = "empirical_bernstein"
+    min_fraction: float = 0.05
+    max_samples: int = 200_000
+
+    def __post_init__(self) -> None:
+        if self.block_size < 1:
+            raise ValueError("block_size must be at least 1")
+        if not 0 < self.min_fraction <= 1:
+            raise ValueError("min_fraction must lie in (0, 1]")
+        if self.max_samples < 1:
+            raise ValueError("max_samples must be at least 1")
+
+
+class AdaptiveMonteCarlo:
+    """Box-sampling volume estimator with confidence-sequence stopping.
+
+    Parameters
+    ----------
+    body:
+        The set whose volume (inside ``bounds``) is estimated: anything with
+        a vectorized ``contains_points`` method (``GeneralizedRelation``,
+        ``HPolytope``, ``Ball``) or an explicit (batch) membership oracle.
+        Passing a symbolic body keeps the estimator picklable — the service
+        ships resumable estimators to worker processes and back.
+    bounds:
+        The enclosing box to sample uniformly.
+    delta:
+        Total failure budget of the confidence sequence (fixed for the
+        lifetime of the estimator; refinement to a tighter ε under the same
+        δ is statistically free, tightening δ is not).
+    rng:
+        The estimator's own stream (seed or generator); consumed
+        incrementally across ``run`` calls.
+    """
+
+    def __init__(
+        self,
+        body,
+        bounds: list[tuple[float, float]],
+        delta: float,
+        rng: RandomState = None,
+        config: AdaptiveConfig | None = None,
+    ) -> None:
+        self.body = body
+        self.bounds = [(float(low), float(high)) for low, high in bounds]
+        box_volume = 1.0
+        for low, high in self.bounds:
+            if high < low:
+                raise ValueError("invalid bounding box")
+            box_volume *= high - low
+        self.box_volume = box_volume
+        self.config = config if config is not None else AdaptiveConfig()
+        self.rng = ensure_rng(rng)
+        self.sequence: ConfidenceSequence = make_sequence(
+            self.config.sequence, delta, schedule=self.config.schedule
+        )
+        self.exhausted = False
+        self._oracle: BatchOracle | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def delta(self) -> float:
+        """The failure budget the estimator was constructed with."""
+        return self.sequence.delta
+
+    @property
+    def samples_used(self) -> int:
+        """Total proposals drawn over the estimator's lifetime."""
+        return self.sequence.count
+
+    def _batch_oracle(self) -> BatchOracle:
+        if self._oracle is None:
+            contains_points = getattr(self.body, "contains_points", None)
+            if contains_points is not None:
+                self._oracle = batch_oracle_from_predicate(contains_points)
+            else:
+                self._oracle = as_batch_oracle(self.body)
+        return self._oracle
+
+    def __getstate__(self) -> dict:
+        # The lazily built oracle may close over unpicklable state; it is
+        # rebuilt from the body on the other side.
+        state = dict(self.__dict__)
+        state["_oracle"] = None
+        return state
+
+    # ------------------------------------------------------------------
+    def run(self, epsilon: float) -> VolumeEstimate:
+        """Draw until a ratio-``(1 + ε)`` estimate is certified (resumable).
+
+        Returns as soon as the current checkpoint interval meets the target
+        — immediately, without drawing, when a previous (tighter or equal)
+        run already certified it.  When :attr:`~AdaptiveConfig.max_samples`
+        is exhausted first, the returned estimate carries the *achieved*
+        accuracy and ``details["met"] = False`` so callers can fall back.
+        """
+        if not 0 < epsilon < 1:
+            raise ValueError("epsilon must lie strictly between 0 and 1")
+        from repro.volume.chernoff import chernoff_ratio_sample_size
+
+        sequence = self.sequence
+        # The fixed-budget schedule for this run's contract (under the
+        # min_fraction assumption) is the cap: adaptive stopping never
+        # spends more than the a-priori estimator would have, and the cap
+        # grows with a tightening ε so refinement is never starved by the
+        # budget of an earlier, looser run.
+        cap = min(
+            chernoff_ratio_sample_size(epsilon, self.delta, self.config.min_fraction),
+            self.config.max_samples,
+        )
+        oracle = self._batch_oracle()
+        drawn_before = sequence.count
+        interval = sequence.last_interval
+        met = interval is not None and interval.meets_ratio(epsilon)
+        while not met:
+            # The stream only ever stops *at schedule positions*: a cap that
+            # falls between checkpoints ends the run at the last completed
+            # one instead of forcing an off-schedule evaluation.  This is
+            # what keeps a warm continuation's checkpoint walk — and hence
+            # its stopping decision — bit-identical to a cold run's, no
+            # matter which caps the intermediate runs carried.
+            target = sequence.next_checkpoint
+            if target > cap:
+                if interval is None and sequence.count < cap:
+                    # Degenerate cap below the first checkpoint: take one
+                    # (off-schedule) look before giving up.
+                    target = cap
+                else:
+                    break
+            pending = target - sequence.count
+            hits = count_box_hits(
+                oracle, self.bounds, pending, self.rng, self.config.block_size
+            )
+            sequence.observe_bernoulli(hits, pending)
+            interval = sequence.checkpoint()
+            met = interval.meets_ratio(epsilon)
+        self.exhausted = not met
+        return self._estimate(epsilon, interval, sequence.count - drawn_before)
+
+    def _estimate(
+        self, epsilon: float, interval: ConfidenceInterval | None, new_samples: int
+    ) -> VolumeEstimate:
+        assert interval is not None  # run() always reaches a first checkpoint
+        met = interval.meets_ratio(epsilon)
+        achieved = epsilon if met else interval.achieved_ratio_epsilon
+        value = interval.ratio_point * self.box_volume
+        return VolumeEstimate(
+            value=value,
+            epsilon=achieved,
+            delta=self.delta,
+            method="adaptive-monte-carlo",
+            samples_used=self.sequence.count,
+            oracle_calls=self.sequence.count,
+            details={
+                "met": met,
+                "hit_fraction": interval.mean,
+                "interval": (interval.lower, interval.upper),
+                "box_volume": self.box_volume,
+                "checkpoints": interval.checkpoint,
+                "new_samples": new_samples,
+                "sequence": self.config.sequence,
+            },
+        )
+
+
+# ----------------------------------------------------------------------
+# Adaptive telescoping
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AdaptiveTelescopingConfig:
+    """Parameters of :class:`AdaptiveTelescoping`.
+
+    Mirrors :class:`repro.volume.telescoping.TelescopingConfig` where the
+    concepts coincide (sampler, rounding, cube ratio) and replaces the fixed
+    ``samples_per_phase`` with confidence-sequence stopping knobs.
+    ``min_cv`` floors the pilot's coefficient-of-variation estimate so a
+    zero-variance pilot cannot starve a phase of its ε share.
+    """
+
+    sampler: Literal["hit_and_run", "ball_walk"] = "hit_and_run"
+    rounding: Literal["chebyshev", "covariance"] = "chebyshev"
+    cube_ratio: float = 2.0
+    schedule: CheckpointSchedule = field(default_factory=CheckpointSchedule)
+    sequence: SequenceKind = "empirical_bernstein"
+    max_samples_per_phase: int = 20_000
+    block_size: int = 8192
+    min_cv: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.cube_ratio <= 1.0:
+            raise ValueError("cube_ratio must exceed 1")
+        if self.max_samples_per_phase < 1:
+            raise ValueError("max_samples_per_phase must be at least 1")
+        if self.block_size < 1:
+            raise ValueError("block_size must be at least 1")
+        # A zero floor would let an all-degenerate pilot zero every Neyman
+        # weight and divide by nothing in the allocation.
+        if self.min_cv <= 0:
+            raise ValueError("min_cv must be positive")
+
+
+class AdaptiveTelescoping:
+    """Telescoping volume estimator with per-phase adaptive stopping.
+
+    The telescoping product structure is the classical one (homothetic cubes
+    ``K_i = Q(K) ∩ C_i``, consecutive ratios at least ``1 / cube_ratio``);
+    what changes is the per-phase budget:
+
+    * δ is divided across the phases by the union-bound splitter
+      (:func:`repro.inference.sequences.split_delta`);
+    * a **pilot** (the schedule's first checkpoint in every phase) measures
+      each phase's empirical variance;
+    * the log-accuracy budget ``ln(1 + ε)`` is then allocated
+      Neyman-style — shares proportional to ``cv_i^(2/3)``, the split that
+      minimises total samples when phase ``i`` needs ``(cv_i / ε_i)²``
+      samples — so high-variance phases receive the accuracy slack and
+      low-variance phases stop almost immediately;
+    * each phase then continues its confidence sequence until its own ratio
+      target is certified.
+
+    ``run`` is resumable exactly like :class:`AdaptiveMonteCarlo.run`: a
+    tighter ε reallocates the budget from the richer statistics and
+    continues every phase's stream in place.
+    """
+
+    def __init__(
+        self,
+        polytope: HPolytope,
+        delta: float,
+        rng: RandomState = None,
+        config: AdaptiveTelescopingConfig | None = None,
+    ) -> None:
+        if not 0 < delta < 1:
+            raise ValueError("delta must lie strictly between 0 and 1")
+        self.polytope = polytope
+        self.delta = delta
+        self.rng = ensure_rng(rng)
+        self.config = config if config is not None else AdaptiveTelescopingConfig()
+        self.exhausted = False
+        # Filled by _prepare on the first run (rounding may consume the rng).
+        self.rounded = None
+        self.radii: list[float] | None = None
+        self.sequences: list[ConfidenceSequence] | None = None
+        self.phase_rngs: list[np.random.Generator] | None = None
+        self._bodies: dict[int, HPolytope] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def samples_used(self) -> int:
+        """Total walk samples drawn across all phases so far."""
+        if self.sequences is None:
+            return 0
+        return sum(sequence.count for sequence in self.sequences)
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["_bodies"] = {}  # rebuilt deterministically from radii
+        return state
+
+    def _prepare(self) -> None:
+        if self.sequences is not None:
+            return
+        from repro.geometry.rounding import round_by_chebyshev, round_by_covariance
+
+        if self.polytope.is_empty():
+            raise EstimationError("polytope is empty; it has no well-bounded volume")
+        if self.config.rounding == "covariance":
+            self.rounded = round_by_covariance(self.polytope, self.rng)
+        else:
+            self.rounded = round_by_chebyshev(self.polytope)
+        dimension = self.rounded.polytope.dimension
+        radius = 1.0 / math.sqrt(dimension)
+        radii = [radius]
+        growth = self.config.cube_ratio ** (1.0 / dimension)
+        while radii[-1] < self.rounded.outer_radius:
+            radii.append(radii[-1] * growth)
+        self.radii = radii
+        phases = len(radii) - 1
+        shares = split_delta(self.delta, max(phases, 1))
+        self.sequences = [
+            make_sequence(self.config.sequence, share, schedule=self.config.schedule)
+            for share in shares[:phases]
+        ]
+        self.phase_rngs = spawn_rngs(self.rng, phases)
+
+    def _body(self, index: int) -> HPolytope:
+        """The ``index``-th telescoping body ``Q(K) ∩ C_index`` (cached)."""
+        body = self._bodies.get(index)
+        if body is None:
+            assert self.radii is not None and self.rounded is not None
+            radius = self.radii[index]
+            dimension = self.rounded.polytope.dimension
+            body = self.rounded.polytope.restrict_to_box(
+                [(-radius, radius)] * dimension
+            )
+            self._bodies[index] = body
+        return body
+
+    def _draw_phase(self, phase: int, count: int) -> np.ndarray:
+        """``count`` almost uniform samples of phase ``phase``'s outer body."""
+        assert self.phase_rngs is not None
+        body = self._body(phase + 1)
+        rng = self.phase_rngs[phase]
+        if self.config.sampler == "hit_and_run":
+            from repro.sampling.hit_and_run import HitAndRunSampler
+
+            return HitAndRunSampler(body).sample(rng, count)
+        if self.config.sampler == "ball_walk":
+            from repro.sampling.ball_walk import BallWalkSampler
+            from repro.sampling.oracles import oracle_from_polytope
+
+            chebyshev = body.chebyshev_ball()
+            if chebyshev is None or chebyshev.radius <= 0:
+                raise EstimationError("intermediate body is not full-dimensional")
+            walker = BallWalkSampler(
+                oracle_from_polytope(body),
+                body.dimension,
+                start=chebyshev.center,
+                batch_oracle=batch_oracle_from_polytope(body),
+            )
+            return walker.sample(rng, count)
+        raise ValueError(f"unknown sampler {self.config.sampler!r}")
+
+    def _observe_phase(self, phase: int, count: int) -> None:
+        """Draw ``count`` samples of phase ``phase`` and fold the hit counts."""
+        assert self.radii is not None and self.sequences is not None
+        samples = self._draw_phase(phase, count)
+        inner = self.radii[phase]
+        inside = int(np.sum(np.max(np.abs(samples), axis=1) <= inner + 1e-12))
+        self.sequences[phase].observe_bernoulli(inside, samples.shape[0])
+
+    # ------------------------------------------------------------------
+    def _allocate(self, epsilon: float) -> list[float]:
+        """Neyman-style per-phase ε shares from the current variance estimates.
+
+        The log budget ``ln(1 + ε)`` is split with weights
+        ``max(cv_i, min_cv)^(2/3)``; the shares multiply back to exactly
+        ``1 + ε``, so certifying each phase at ``(1 + ε_i)`` certifies the
+        product at ``(1 + ε)``.
+        """
+        assert self.sequences is not None
+        budget = math.log1p(epsilon)
+        weights = []
+        for sequence in self.sequences:
+            mean = max(sequence.mean, 1.0 / (2.0 * self.config.cube_ratio))
+            cv = math.sqrt(sequence.variance) / mean
+            weights.append(max(cv, self.config.min_cv) ** (2.0 / 3.0))
+        total = sum(weights)
+        return [math.expm1(budget * weight / total) for weight in weights]
+
+    def run(self, epsilon: float) -> VolumeEstimate:
+        """Estimate the volume within ratio ``1 + ε`` w.p. ``1 - δ`` (resumable)."""
+        if not 0 < epsilon < 1:
+            raise ValueError("epsilon must lie strictly between 0 and 1")
+        self._prepare()
+        assert self.sequences is not None and self.radii is not None
+        drawn_before = self.samples_used
+        cap = self.config.max_samples_per_phase
+        # Pilot: bring every phase to its first checkpoint so the allocation
+        # has a variance estimate to work with.
+        for phase, sequence in enumerate(self.sequences):
+            if sequence.checkpoints == 0:
+                self._observe_phase(phase, min(sequence.pending(), cap))
+                sequence.checkpoint()
+        phase_epsilons = self._allocate(epsilon)
+        met = True
+        for phase, (sequence, share) in enumerate(
+            zip(self.sequences, phase_epsilons)
+        ):
+            interval = sequence.last_interval
+            while not (interval is not None and interval.meets_ratio(share)):
+                # Stop only at schedule positions (see AdaptiveMonteCarlo.run):
+                # a cap between checkpoints ends the phase at the last
+                # completed one, keeping warm and cold phase walks aligned.
+                target = sequence.next_checkpoint
+                if target > cap:
+                    met = False
+                    break
+                self._observe_phase(phase, target - sequence.count)
+                interval = sequence.checkpoint()
+        self.exhausted = not met
+        return self._estimate(epsilon, phase_epsilons, met, self.samples_used - drawn_before)
+
+    def _estimate(
+        self, epsilon: float, phase_epsilons: list[float], met: bool, new_samples: int
+    ) -> VolumeEstimate:
+        assert (
+            self.sequences is not None
+            and self.radii is not None
+            and self.rounded is not None
+        )
+        dimension = self.rounded.polytope.dimension
+        log_volume = dimension * math.log(2.0 * self.radii[0])
+        achieved_log = 0.0
+        ratios = []
+        for sequence in self.sequences:
+            interval = sequence.last_interval
+            assert interval is not None
+            # Guard an (astronomically unlikely, δ-covered) zero lower bound
+            # exactly like the fixed estimator guards a zero count.
+            ratio = max(interval.ratio_point, 1.0 / (2.0 * max(interval.count, 1)))
+            ratios.append(ratio)
+            log_volume -= math.log(ratio)
+            achieved = interval.achieved_ratio_epsilon
+            achieved_log += math.log1p(min(achieved, 1e6))
+        value = self.rounded.pull_back_volume(math.exp(log_volume))
+        achieved_epsilon = epsilon if met else math.expm1(achieved_log)
+        return VolumeEstimate(
+            value=value,
+            epsilon=achieved_epsilon,
+            delta=self.delta,
+            method=f"adaptive-telescoping[{self.config.sampler}]",
+            samples_used=self.samples_used,
+            details={
+                "met": met,
+                "phases": len(self.sequences),
+                "ratios": ratios,
+                "phase_epsilons": phase_epsilons,
+                "phase_counts": [sequence.count for sequence in self.sequences],
+                "sandwich_ratio": self.rounded.sandwich_ratio,
+                "new_samples": new_samples,
+                "sequence": self.config.sequence,
+            },
+        )

@@ -1,0 +1,117 @@
+"""Refinable estimates: cached answers that can be *continued*, not recomputed.
+
+The service cache's ε-dominance rule reuses a tight answer for loose
+requests; :class:`RefinableEstimate` covers the opposite direction.  A
+cached answer produced by an adaptive estimator carries the estimator itself
+— its confidence-sequence statistics and its random generator are the
+*sufficient statistics* of the computation — so a later request at a tighter
+ε resumes the very same sample stream from where it stopped.  The δ
+accounting makes this free: the confidence sequence is valid at every
+checkpoint simultaneously, so stopping at ε = 0.2 and later continuing to
+ε = 0.05 spends exactly the failure budget a cold ε = 0.05 run would have
+spent, and (for the Monte-Carlo estimator) lands on the bit-identical value
+while drawing only the difference in samples.
+
+Tightening **δ** is different: a sequence built for δ cannot retroactively
+promise a smaller failure probability.  :meth:`RefinableEstimate.refine`
+therefore refuses requests below the stored δ — the session falls back to a
+fresh computation for those.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.volume.base import VolumeEstimate
+
+__all__ = ["RefinableEstimate"]
+
+
+class RefinableEstimate:
+    """A resumable adaptive computation and the accuracy it has certified.
+
+    Parameters
+    ----------
+    estimator:
+        A resumable adaptive estimator (anything with ``run(epsilon)``,
+        ``delta``, ``samples_used`` and ``exhausted`` — in practice
+        :class:`~repro.inference.adaptive.AdaptiveMonteCarlo` or
+        :class:`~repro.inference.adaptive.AdaptiveTelescoping`).
+    epsilon:
+        The tightest ε certified so far.
+    delta:
+        The estimator's failure budget (refinement floor).
+
+    Instances travel inside cached :class:`~repro.queries.aggregates.AggregateResult`
+    values and across process boundaries (the executor's work units pickle
+    them to workers and back), so everything they hold must pickle; the
+    internal lock is dropped and re-created around pickling.
+    """
+
+    def __init__(self, estimator, epsilon: float, delta: float) -> None:
+        self.estimator = estimator
+        self.epsilon = float(epsilon)
+        self.delta = float(delta)
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    @property
+    def draws(self) -> int:
+        """Total samples the underlying estimator has consumed."""
+        return int(self.estimator.samples_used)
+
+    @property
+    def exhausted(self) -> bool:
+        """Has the estimator hit its sample cap without certifying a target?"""
+        return bool(getattr(self.estimator, "exhausted", False))
+
+    def can_refine_to(self, epsilon: float, delta: float) -> bool:
+        """Can a continuation serve a request at ``(epsilon, delta)``?
+
+        Requires ``delta`` at or above the stored budget (δ cannot be
+        tightened in place) and, when the estimator has exhausted its cap,
+        an ε no tighter than what is already certified.
+        """
+        if not 0 < epsilon < 1:
+            return False
+        if delta < self.delta:
+            return False
+        if self.exhausted and epsilon < self.epsilon:
+            return False
+        return True
+
+    def refine(self, epsilon: float, delta: float | None = None) -> VolumeEstimate:
+        """Continue the computation until ``epsilon`` is certified.
+
+        Returns the refreshed estimate; its ``details["met"]`` records
+        whether the target was certified (``False`` when the sample cap cut
+        the continuation short — callers should fall back to a fresh
+        computation then).  Raises :class:`ValueError` for a δ below the
+        stored budget.
+        """
+        if delta is not None and delta < self.delta:
+            raise ValueError(
+                f"cannot tighten delta in place (stored {self.delta:g}, "
+                f"requested {delta:g}); recompute instead"
+            )
+        with self._lock:
+            estimate = self.estimator.run(epsilon)
+            if estimate.details.get("met", False):
+                self.epsilon = min(self.epsilon, epsilon)
+            return estimate
+
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    def __repr__(self) -> str:
+        return (
+            f"RefinableEstimate(epsilon={self.epsilon:g}, delta={self.delta:g}, "
+            f"draws={self.draws}, exhausted={self.exhausted})"
+        )

@@ -1,0 +1,334 @@
+"""Anytime-valid confidence sequences over streaming Bernoulli/bounded batches.
+
+The paper's estimators fix their sample sizes *a priori* from worst-case
+Chernoff/Hoeffding budgets (:mod:`repro.volume.chernoff`): every query pays
+for the hardest possible instance.  A **confidence sequence** inverts the
+contract — it maintains an interval that is valid *simultaneously at every
+checkpoint* of the stream, so an estimator may look at the data as it
+arrives and stop the moment its ``(ε, δ)`` target is certified.  Easy
+instances (large volume fractions, low-variance phases) stop orders of
+magnitude earlier; hard instances degrade gracefully toward the fixed
+schedule.
+
+Construction
+------------
+Validity comes from a plain union bound over a deterministic **checkpoint
+schedule**.  Observations are folded into sufficient statistics
+``(n, Σx, Σx²)`` continuously, but the interval is only *evaluated* at
+schedule positions ``n_k = ceil(base · growth^(k-1))``; evaluation ``k``
+spends ``δ_k = δ / (k (k+1))`` of the failure budget (``Σ_k δ_k = δ``), so
+
+``P[ ∃k : p ∉ I_k ] ≤ Σ_k δ_k ≤ δ``
+
+holds at every stopping rule that only inspects the sequence at checkpoints.
+Two radii are provided:
+
+* :class:`HoeffdingSequence` — the distribution-free Hoeffding radius
+  ``sqrt(ln(2/δ_k) / (2 n))`` for values in ``[0, 1]``;
+* :class:`EmpiricalBernsteinSequence` — the Maurer–Pontil empirical
+  Bernstein radius ``sqrt(2 V̂ ln(4/δ_k) / n) + 7 ln(4/δ_k) / (3 (n-1))``,
+  which adapts to the observed variance ``V̂`` (a Bernoulli phase with
+  ratio near 1 has vanishing variance and stops almost immediately).
+
+Because the schedule is fixed up front — independent of how the stream is
+chunked into oracle blocks — the stopping decision is **bit-identical for
+every block size and execution backend**: the adaptive estimators draw
+exactly up to the next checkpoint, however many oracle calls that takes.
+
+All state is a handful of floats and ints, so sequences pickle cheaply;
+this is what makes :class:`repro.inference.refine.RefinableEstimate`
+resumable across process boundaries.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "CheckpointSchedule",
+    "ConfidenceInterval",
+    "ConfidenceSequence",
+    "EmpiricalBernsteinSequence",
+    "HoeffdingSequence",
+    "checkpoint_delta",
+    "split_delta",
+]
+
+
+def split_delta(delta: float, parts: int) -> list[float]:
+    """Divide a failure budget evenly across ``parts`` telescoping phases.
+
+    The union bound is exact: the phase events' probabilities sum to at most
+    ``delta``.  Phases receive equal shares; variance-aware *ε* allocation is
+    the adaptive estimators' job (δ shares must be fixed before any data is
+    seen for the per-phase sequences to stay valid).
+    """
+    if not 0 < delta < 1:
+        raise ValueError("delta must lie strictly between 0 and 1")
+    if parts < 1:
+        raise ValueError("parts must be at least 1")
+    return [delta / parts] * parts
+
+
+def checkpoint_delta(delta: float, checkpoint: int) -> float:
+    """The failure-budget share spent by the ``checkpoint``-th evaluation.
+
+    ``δ_k = δ / (k (k+1))`` telescopes: ``Σ_{k≥1} δ_k = δ``, so a sequence
+    may be evaluated at arbitrarily many checkpoints without ever exceeding
+    its total budget.
+    """
+    if checkpoint < 1:
+        raise ValueError("checkpoint indices are 1-based")
+    return delta / (checkpoint * (checkpoint + 1))
+
+
+@dataclass(frozen=True)
+class CheckpointSchedule:
+    """Deterministic positions at which a confidence sequence is evaluated.
+
+    ``checkpoint(k) = ceil(base · growth^(k-1))`` (made strictly increasing),
+    a geometric grid: the δ spent per evaluation shrinks quadratically while
+    the sample counts grow geometrically, so the radius inflation over a
+    one-shot bound stays bounded.  The schedule is part of the estimator's
+    *definition*, not an execution knob — it never depends on the oracle
+    block size, which is what makes adaptive stopping block-size invariant.
+    """
+
+    base: int = 64
+    growth: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.base < 1:
+            raise ValueError("base must be at least 1")
+        if self.growth <= 1.0:
+            raise ValueError("growth must exceed 1")
+
+    def checkpoint(self, index: int) -> int:
+        """Sample count of the ``index``-th (1-based) checkpoint."""
+        if index < 1:
+            raise ValueError("checkpoint indices are 1-based")
+        # Strictly increasing even when base * growth^k rounds to the same
+        # integer (only possible for growth close to 1 and tiny base).
+        raw = math.ceil(self.base * self.growth ** (index - 1))
+        return max(raw, self.base + index - 1)
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """One checkpoint's verdict: ``mean ∈ [lower, upper]`` with the spent δ.
+
+    ``lower``/``upper`` are clipped to ``[0, 1]`` (the observations are
+    bounded).  ``count`` and ``checkpoint`` record *when* the verdict was
+    issued, so refinement can report how much of the stream each accuracy
+    level consumed.
+    """
+
+    mean: float
+    lower: float
+    upper: float
+    count: int
+    checkpoint: int
+
+    @property
+    def width(self) -> float:
+        """Full width ``upper - lower`` of the interval."""
+        return self.upper - self.lower
+
+    @property
+    def ratio_point(self) -> float:
+        """The geometric midpoint ``sqrt(lower · upper)``.
+
+        Reporting the geometric midpoint makes the *ratio* error symmetric:
+        for any true mean in the interval the multiplicative error is at
+        most ``sqrt(upper / lower)``, which is what :meth:`meets_ratio`
+        certifies against.
+        """
+        return math.sqrt(max(self.lower, 0.0) * max(self.upper, 0.0))
+
+    def meets_additive(self, epsilon: float) -> bool:
+        """Is the half-width at most ``epsilon``?"""
+        return self.width <= 2.0 * epsilon
+
+    def meets_ratio(self, epsilon: float) -> bool:
+        """Does :attr:`ratio_point` approximate every interval value within ``1 + ε``?
+
+        True when ``upper ≤ (1 + ε)² · lower`` (and the interval is bounded
+        away from zero): the geometric midpoint is then within a
+        multiplicative ``sqrt(upper/lower) ≤ 1 + ε`` of any point of the
+        interval — the paper's ratio-approximation contract.
+        """
+        if self.lower <= 0.0:
+            return False
+        return self.upper <= (1.0 + epsilon) ** 2 * self.lower
+
+    @property
+    def achieved_ratio_epsilon(self) -> float:
+        """The tightest ε for which :meth:`meets_ratio` holds (``inf`` if none)."""
+        if self.lower <= 0.0:
+            return float("inf")
+        return math.sqrt(self.upper / self.lower) - 1.0
+
+
+class ConfidenceSequence:
+    """Shared machinery: sufficient statistics, schedule and δ accounting.
+
+    Subclasses implement :meth:`_radius`.  Instances hold only scalars, so
+    they pickle cheaply and a restored copy continues the sequence exactly
+    where it left off.
+    """
+
+    def __init__(self, delta: float, schedule: CheckpointSchedule | None = None) -> None:
+        if not 0 < delta < 1:
+            raise ValueError("delta must lie strictly between 0 and 1")
+        self.delta = delta
+        self.schedule = schedule if schedule is not None else CheckpointSchedule()
+        self.count = 0
+        self.total = 0.0
+        self.total_sq = 0.0
+        self.checkpoints = 0
+        self.last_interval: ConfidenceInterval | None = None
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+    def observe(self, values: np.ndarray) -> None:
+        """Fold a batch of values in ``[0, 1]`` into the sufficient statistics."""
+        values = np.asarray(values, dtype=float)
+        if values.size == 0:
+            return
+        if float(values.min()) < 0.0 or float(values.max()) > 1.0:
+            raise ValueError("observations must lie in [0, 1]")
+        self.count += int(values.size)
+        self.total += float(values.sum())
+        self.total_sq += float(np.square(values).sum())
+
+    def observe_bernoulli(self, successes: int, trials: int) -> None:
+        """Fold ``trials`` Bernoulli observations with ``successes`` ones.
+
+        The fast path for membership counting: for 0/1 values
+        ``Σx² = Σx``, so a whole oracle block folds in O(1).
+        """
+        if trials < 0 or not 0 <= successes <= trials:
+            raise ValueError("need 0 <= successes <= trials")
+        self.count += trials
+        self.total += float(successes)
+        self.total_sq += float(successes)
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    @property
+    def mean(self) -> float:
+        """Empirical mean of the stream so far (``0.0`` before any data)."""
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Unbiased empirical variance (``0.0`` with fewer than two samples)."""
+        if self.count < 2:
+            return 0.0
+        centred = self.total_sq - self.count * self.mean**2
+        return max(centred / (self.count - 1), 0.0)
+
+    # ------------------------------------------------------------------
+    # Checkpoints
+    # ------------------------------------------------------------------
+    @property
+    def next_checkpoint(self) -> int:
+        """Sample count at which the next evaluation is due."""
+        return self.schedule.checkpoint(self.checkpoints + 1)
+
+    def pending(self) -> int:
+        """Samples still to draw before the next checkpoint (0 when ready)."""
+        return max(self.next_checkpoint - self.count, 0)
+
+    def checkpoint(self) -> ConfidenceInterval:
+        """Evaluate the sequence now, spending the next checkpoint's δ share.
+
+        Callers normally evaluate exactly at schedule positions (that is
+        what makes adaptive stopping reproducible), but validity only
+        requires that every evaluation spend its own δ share — evaluating
+        off-schedule (e.g. when a sample cap truncates a checkpoint) is
+        still covered by the union bound.
+        """
+        if self.count < 1:
+            raise ValueError("cannot evaluate an empty sequence")
+        index = self.checkpoints + 1
+        share = checkpoint_delta(self.delta, index)
+        radius = self._radius(share)
+        mean = self.mean
+        interval = ConfidenceInterval(
+            mean=mean,
+            lower=max(mean - radius, 0.0),
+            upper=min(mean + radius, 1.0),
+            count=self.count,
+            checkpoint=index,
+        )
+        self.checkpoints = index
+        self.last_interval = interval
+        return interval
+
+    def _radius(self, delta_share: float) -> float:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(delta={self.delta}, count={self.count}, "
+            f"mean={self.mean:.4f}, checkpoints={self.checkpoints})"
+        )
+
+
+class HoeffdingSequence(ConfidenceSequence):
+    """Distribution-free anytime-valid sequence for values in ``[0, 1]``.
+
+    Radius ``sqrt(ln(2/δ_k) / (2 n))`` — the one-shot Hoeffding radius at
+    the checkpoint's δ share.  Ignores the variance, so it is the right
+    baseline and the wrong tool for low-variance phases (use
+    :class:`EmpiricalBernsteinSequence` there).
+    """
+
+    def _radius(self, delta_share: float) -> float:
+        return math.sqrt(math.log(2.0 / delta_share) / (2.0 * self.count))
+
+
+class EmpiricalBernsteinSequence(ConfidenceSequence):
+    """Variance-adaptive sequence via the Maurer–Pontil empirical Bernstein bound.
+
+    Radius ``sqrt(2 V̂ ln(4/δ_k) / n) + 7 ln(4/δ_k) / (3 (n - 1))`` for
+    values in ``[0, 1]`` (two-sided, δ_k split evenly over the two tails).
+    When the empirical variance ``V̂`` is small the first term collapses and
+    the interval shrinks at rate ``1/n`` instead of ``1/sqrt(n)`` — the
+    source of the adaptive estimators' largest savings.
+    """
+
+    def _radius(self, delta_share: float) -> float:
+        log_term = math.log(4.0 / delta_share)
+        if self.count < 2:
+            # Too little data for an empirical variance: fall back to the
+            # (valid, wider) Hoeffding radius at the same share.
+            return math.sqrt(math.log(2.0 / delta_share) / (2.0 * self.count))
+        return math.sqrt(2.0 * self.variance * log_term / self.count) + (
+            7.0 * log_term / (3.0 * (self.count - 1))
+        )
+
+
+#: Registry used by the adaptive estimators' ``sequence`` config knob.
+SEQUENCE_KINDS: dict[str, type[ConfidenceSequence]] = {
+    "hoeffding": HoeffdingSequence,
+    "empirical_bernstein": EmpiricalBernsteinSequence,
+}
+
+
+def make_sequence(
+    kind: str, delta: float, schedule: CheckpointSchedule | None = None
+) -> ConfidenceSequence:
+    """Build a confidence sequence by registry name."""
+    try:
+        cls = SEQUENCE_KINDS[kind]
+    except KeyError:
+        choices = ", ".join(sorted(SEQUENCE_KINDS))
+        raise ValueError(f"unknown sequence kind {kind!r} (choose from: {choices})") from None
+    return cls(delta, schedule=schedule)

@@ -11,8 +11,12 @@ directly on top of the compiled observable plans.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (service -> queries)
+    from repro.inference.refine import RefinableEstimate
 
 from repro.constraints.database import ConstraintDatabase
 from repro.core.observable import GeneratorParams
@@ -36,11 +40,17 @@ class AggregateResult:
         The underlying :class:`VolumeEstimate` (``None`` for derived ratios).
     exact:
         Whether the value was computed exactly or estimated.
+    refinable:
+        For answers produced by an adaptive estimator, the resumable
+        computation state (:class:`repro.inference.refine.RefinableEstimate`)
+        — the service cache uses it to *continue* a cached coarse answer to
+        a tighter ε instead of recomputing.  ``None`` for one-shot routes.
     """
 
     value: float
     estimate: VolumeEstimate | None
     exact: bool
+    refinable: "RefinableEstimate | None" = None
 
 
 def approximate_volume(

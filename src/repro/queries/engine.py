@@ -23,7 +23,7 @@ from repro.queries.compiler import compile_query, to_positive_existential
 from repro.queries.symbolic import evaluate_symbolic
 from repro.sampling.rng import ensure_rng
 
-Mode = Literal["exact", "approximate", "auto"]
+Mode = Literal["exact", "approximate", "auto", "adaptive"]
 
 
 class QueryEngine:
@@ -102,18 +102,31 @@ class QueryEngine:
         ``mode="auto"`` delegates estimator choice to the service planner
         (:class:`repro.service.planner.Planner`), which weighs the query's
         dimension, atom count and the requested accuracy against the cost of
-        each route.
+        each route.  ``mode="adaptive"`` forces the confidence-sequence
+        route (:mod:`repro.inference`): the estimator stops as soon as the
+        requested ``(ε, δ)`` is certified by the data, and the returned
+        result carries the resumable state
+        (:attr:`~repro.queries.aggregates.AggregateResult.refinable`) so it
+        can later be continued to a tighter ε.  Queries the adaptive route
+        cannot serve (projection, negation) fall back to the observable
+        route, exactly as the planner's fallback rules dictate.
         """
         if mode == "exact":
             return exact_volume(query, self.database)
         epsilon = epsilon if epsilon is not None else self.params.epsilon
         delta = delta if delta is not None else self.params.delta
-        if mode == "auto":
+        if mode in ("auto", "adaptive"):
             # Imported lazily: repro.service builds on the query layer.
             from repro.service.planner import Planner
             from repro.service.session import run_plan
 
-            plan = Planner().plan(query, self.database, epsilon=epsilon, delta=delta)
+            plan = Planner().plan(
+                query,
+                self.database,
+                epsilon=epsilon,
+                delta=delta,
+                route="adaptive" if mode == "adaptive" else None,
+            )
             return run_plan(plan, query, self.database, params=self.params, rng=rng)
         return approximate_volume(
             query, self.database, epsilon=epsilon, delta=delta, params=self.params, rng=rng

@@ -23,6 +23,7 @@ from repro.service.backends import (
     ProcessBackend,
     SerialBackend,
     ThreadBackend,
+    WorkResult,
     WorkUnit,
     resolve_backend,
 )
@@ -30,8 +31,14 @@ from repro.service.cache import CacheEntry, ResultCache
 from repro.service.canonical import canonical_query, database_fingerprint, request_key
 from repro.service.executor import BatchOutcome, BatchRequest, execute_batch
 from repro.service.metrics import ServiceMetrics
-from repro.service.planner import Plan, Planner, QueryProfile, profile_query
-from repro.service.session import ServiceSession, run_plan
+from repro.service.planner import (
+    Plan,
+    Planner,
+    QueryProfile,
+    profile_query,
+    telescoping_samples_per_phase,
+)
+from repro.service.session import ServiceSession, refine_result, run_plan
 
 __all__ = [
     "BatchExecutionError",
@@ -39,6 +46,7 @@ __all__ = [
     "ProcessBackend",
     "SerialBackend",
     "ThreadBackend",
+    "WorkResult",
     "WorkUnit",
     "resolve_backend",
     "CacheEntry",
@@ -54,6 +62,8 @@ __all__ = [
     "Planner",
     "QueryProfile",
     "profile_query",
+    "telescoping_samples_per_phase",
     "ServiceSession",
+    "refine_result",
     "run_plan",
 ]

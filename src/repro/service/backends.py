@@ -73,6 +73,13 @@ class WorkUnit:
     fingerprint:
         The session's database fingerprint, so a worker can verify it is
         computing against the data the key was derived from.
+    refinable:
+        A cached resumable adaptive computation to *continue* instead of
+        computing afresh (``None`` for ordinary misses).  The refinable
+        state pickles — sequences, generators and the symbolic body — so
+        the process backend ships it to a worker and the refreshed state
+        back; the continuation is deterministic in that state, making the
+        refined value bit-identical across backends.
     """
 
     index: int
@@ -81,16 +88,23 @@ class WorkUnit:
     plan: Plan
     seed: int
     fingerprint: str
+    refinable: object | None = None
 
 
 @dataclass
 class WorkResult:
-    """The computed answer for one work unit (plus its wall-clock cost)."""
+    """The computed answer for one work unit (plus its wall-clock cost).
+
+    ``refined`` marks answers produced by *continuing* a cached resumable
+    computation rather than executing the plan — the executor counts those
+    in the refinement metric.
+    """
 
     key: str
     result: AggregateResult
     plan: Plan
     elapsed: float
+    refined: bool = False
 
 
 class BatchExecutionError(RuntimeError):
@@ -160,6 +174,22 @@ def _compute_in_session(session, unit: WorkUnit, backend: str) -> WorkResult:
     """Compute one unit inside the calling session (serial and thread path)."""
     rng = np.random.default_rng(unit.seed)
     try:
+        if unit.refinable is not None:
+            from repro.service.session import refine_result
+
+            start = time.perf_counter()
+            refined = refine_result(unit.refinable, unit.plan.epsilon, unit.plan.delta)
+            elapsed = time.perf_counter() - start
+            if refined is not None:
+                return WorkResult(
+                    key=unit.key,
+                    result=refined,
+                    plan=unit.plan,
+                    elapsed=elapsed,
+                    refined=True,
+                )
+            # The continuation could not certify the target (cap exhausted):
+            # fall through to a fresh computation of the planned route.
         result, elapsed = session._execute_unit(unit.plan, unit.query, rng)
     except Exception as error:
         raise BatchExecutionError(
@@ -229,12 +259,13 @@ def _worker_initialize(payload: bytes) -> None:
 def _worker_execute(unit_bytes: bytes) -> bytes:
     """Compute one pickled work unit against the worker's shared setup.
 
-    Returns a pickled ``("ok", key, result, elapsed, compiled)`` tuple —
-    ``compiled`` being the post-execution compiled plan (or ``None``), so
-    the parent can adopt the state a serial execution would have left in its
-    own memoised object — or ``("error", index, key, rendering)``;
-    exceptions are rendered in the worker because traceback objects do not
-    cross process boundaries.
+    Returns a pickled ``("ok", key, result, elapsed, compiled, refined)``
+    tuple — ``compiled`` being the post-execution compiled plan (or
+    ``None``), so the parent can adopt the state a serial execution would
+    have left in its own memoised object, and ``refined`` marking answers
+    that continued a shipped resumable computation — or
+    ``("error", index, key, rendering)``; exceptions are rendered in the
+    worker because traceback objects do not cross process boundaries.
     """
     unit: WorkUnit | None = None
     try:
@@ -248,8 +279,18 @@ def _worker_execute(unit_bytes: bytes) -> bytes:
                 f"({unit.fingerprint[:12]}… vs {shared.fingerprint[:12]}…)"
             )
         from repro.queries.compiler import compile_query
-        from repro.service.session import run_plan
+        from repro.service.session import refine_result, run_plan
 
+        if unit.refinable is not None:
+            # Continue the shipped resumable state instead of recomputing;
+            # the refreshed state travels back inside the result so the
+            # parent's cache adopts it.
+            start = time.perf_counter()
+            refined = refine_result(unit.refinable, unit.plan.epsilon, unit.plan.delta)
+            elapsed = time.perf_counter() - start
+            if refined is not None:
+                return pickle.dumps(("ok", unit.key, refined, elapsed, None, True))
+            # Cap exhausted without certification: compute afresh below.
         rng = np.random.default_rng(unit.seed)
         compiled = shared.compiled.get(unit.key)
         start = time.perf_counter()
@@ -270,7 +311,7 @@ def _worker_execute(unit_bytes: bytes) -> bytes:
             ),
         )
         elapsed = time.perf_counter() - start
-        return pickle.dumps(("ok", unit.key, result, elapsed, compiled))
+        return pickle.dumps(("ok", unit.key, result, elapsed, compiled, False))
     except Exception as error:
         rendering = f"{type(error).__name__}: {error}\n{traceback.format_exc()}"
         index = -1 if unit is None else unit.index
@@ -333,7 +374,7 @@ class ProcessBackend(ExecutionBackend):
             if record[0] == "error":
                 _, index, key, rendering = record
                 raise BatchExecutionError(index, key, self.name, rendering)
-            _, key, result, elapsed, compiled = record
+            _, key, result, elapsed, compiled, refined = record
             if compiled is not None:
                 # Adopt the worker's post-execution compiled state so the
                 # parent's memoised plan is indistinguishable from one the
@@ -346,7 +387,13 @@ class ProcessBackend(ExecutionBackend):
                     unit.query, unit.plan.sample_budget or 800, compiled
                 )
             results.append(
-                WorkResult(key=key, result=result, plan=unit.plan, elapsed=elapsed)
+                WorkResult(
+                    key=key,
+                    result=result,
+                    plan=unit.plan,
+                    elapsed=elapsed,
+                    refined=refined,
+                )
             )
         return results
 

@@ -9,6 +9,12 @@ valid looser estimate, and an exact answer (``ε' = δ' = 0``) satisfies every
 request.  On store, a looser result never overwrites a tighter one that is
 still fresh.
 
+Dominance has a constructive mirror image for adaptive answers: an entry that
+is too *loose* for a request but carries resumable sufficient statistics
+(:attr:`~repro.queries.aggregates.AggregateResult.refinable`) can be
+**continued** to the requested ε instead of recomputed —
+:meth:`ResultCache.refinable_lookup` exposes exactly those entries.
+
 Eviction is least-recently-used above ``capacity``; every entry additionally
 carries a time-to-live, checked lazily on access.  The clock is injectable so
 tests can drive TTL expiry deterministically.
@@ -124,6 +130,33 @@ class ResultCache:
             entry.hits += 1
             self.hits += 1
             return entry.result, entry.strictly_dominates(epsilon, delta)
+
+    def refinable_lookup(
+        self, key: str, epsilon: float, delta: float
+    ) -> AggregateResult | None:
+        """A live entry that cannot serve ``(ε, δ)`` as-is but can be *continued*.
+
+        The mirror image of ε-dominance: when the stored answer is too loose
+        for the request but carries a resumable adaptive computation
+        (:attr:`~repro.queries.aggregates.AggregateResult.refinable`) whose δ
+        budget covers the request, the caller may refine it in place instead
+        of recomputing from scratch.  Entries that already dominate are not
+        returned — the normal :meth:`lookup` path serves those.  No hit/miss
+        counters move (the preceding ordinary lookup already counted the
+        miss); recency is refreshed, since a refined entry is about to be
+        rewritten tighter.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None or self._expired(entry):
+                return None
+            if entry.dominates(epsilon, delta):
+                return None
+            refinable = entry.result.refinable
+            if refinable is None or not refinable.can_refine_to(epsilon, delta):
+                return None
+            self._entries.move_to_end(key)
+            return entry.result
 
     def put(
         self, key: str, result: AggregateResult, epsilon: float, delta: float

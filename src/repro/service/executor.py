@@ -133,7 +133,12 @@ def execute_batch(
                 unique[key] = (first_index, min(best_eps, epsilon), min(best_delta, delta))
         resolved.append((index, key, epsilon, delta, cached))
 
-    # Phase 2 — plan each unique miss and package it as a work unit.
+    # Phase 2 — plan each unique miss and package it as a work unit.  A miss
+    # whose cached entry is too loose but *refinable* (an adaptive answer
+    # whose δ covers the request) carries that resumable state along: the
+    # backend continues it instead of recomputing, falling back to the plan
+    # only if the continuation cannot certify the target.  Like the cache
+    # lookups, refinables are resolved against the pre-batch cache state.
     units: list[WorkUnit] = []
     for key, (first_index, epsilon, delta) in unique.items():
         request = normalized[first_index]
@@ -142,6 +147,13 @@ def execute_batch(
         )
         if block_size is not None and plan.block_size:
             plan = replace(plan, block_size=block_size)
+        # Exact plans always execute — instant, error-free, dominating —
+        # so only the sampling routes are offered a cached continuation.
+        refinable_entry = (
+            None
+            if plan.estimator == "exact"
+            else session.cache.refinable_lookup(key, epsilon, delta)
+        )
         units.append(
             WorkUnit(
                 index=first_index,
@@ -150,6 +162,7 @@ def execute_batch(
                 plan=plan,
                 seed=seeds[first_index],
                 fingerprint=session.fingerprint,
+                refinable=None if refinable_entry is None else refinable_entry.refinable,
             )
         )
 
@@ -167,12 +180,18 @@ def execute_batch(
         session.metrics.record_backend(chosen.name, len(units))
         results = chosen.execute(session, units, workers)
         for unit, work in zip(units, results):
+            if work.refined:
+                session.metrics.record_refinement()
             session._record_execution(work.plan, work.result, work.elapsed)
             computed[unit.key] = (work.result, work.plan)
 
     # Phase 4 — commit to the cache (first-occurrence order) and assemble.
     for key, (result, plan) in computed.items():
-        session.cache.put(key, result, plan.epsilon, plan.delta)
+        # Adaptive answers certify the plan's ε at the *estimator's* δ
+        # (tighter or equal — a refined continuation keeps its original
+        # budget); storing that δ keeps the entry maximally reusable.
+        delta = result.refinable.delta if result.refinable is not None else plan.delta
+        session.cache.put(key, result, plan.epsilon, delta)
     outcomes: list[BatchOutcome] = []
     for index, key, epsilon, delta, cached in resolved:
         if cached is not None:

@@ -20,7 +20,8 @@ class ServiceMetrics:
 
     * cache traffic — ``cache_hits`` / ``cache_misses`` (dominance hits are
       counted separately as ``dominance_hits`` when the stored entry was
-      tighter than requested);
+      tighter than requested, and ``refinements`` when a cached adaptive
+      answer was *continued* to a tighter ε instead of recomputed);
     * plan choices — one counter per estimator name;
     * backend choices — batches and computed units per execution backend
       (serial / thread / process);
@@ -35,6 +36,7 @@ class ServiceMetrics:
         self.cache_hits = 0
         self.cache_misses = 0
         self.dominance_hits = 0
+        self.refinements = 0
         self.coalesced = 0
         self.plan_choices: Counter[str] = Counter()
         self.backend_choices: Counter[str] = Counter()
@@ -59,6 +61,11 @@ class ServiceMetrics:
         """Count a cache miss."""
         with self._lock:
             self.cache_misses += 1
+
+    def record_refinement(self) -> None:
+        """Count a cached adaptive answer continued in place to a tighter ε."""
+        with self._lock:
+            self.refinements += 1
 
     def record_coalesced(self) -> None:
         """Count a batch request that shared another request's computation."""
@@ -112,6 +119,7 @@ class ServiceMetrics:
                 "cache_hits": self.cache_hits,
                 "cache_misses": self.cache_misses,
                 "dominance_hits": self.dominance_hits,
+                "refinements": self.refinements,
                 "coalesced": self.coalesced,
                 "hit_rate": self.hit_rate(),
                 "plan_choices": dict(self.plan_choices),
@@ -128,7 +136,13 @@ class ServiceMetrics:
         """The snapshot flattened into (metric, value) rows for the harness."""
         snap = self.snapshot()
         rows: list[tuple[str, object]] = []
-        for name in ("cache_hits", "cache_misses", "dominance_hits", "coalesced"):
+        for name in (
+            "cache_hits",
+            "cache_misses",
+            "dominance_hits",
+            "refinements",
+            "coalesced",
+        ):
             rows.append((name, snap[name]))
         rows.append(("hit_rate", round(snap["hit_rate"], 4)))
         for estimator, count in sorted(snap["plan_choices"].items()):

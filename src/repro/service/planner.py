@@ -1,6 +1,6 @@
 """Cost-based plan selection for aggregate queries.
 
-The library offers three routes to a volume:
+The library offers four routes to a volume:
 
 * **exact** — symbolic evaluation plus inclusion–exclusion
   (:func:`repro.queries.aggregates.exact_volume`).  Exponential in the
@@ -12,6 +12,12 @@ The library offers three routes to a volume:
   and insensitive to the disjunct count, but the sample size for a relative
   guarantee grows with ``vol(box)/vol(S)`` — only viable in low dimension
   with loose accuracy requirements.
+* **adaptive** — box sampling with anytime-valid confidence-sequence
+  stopping (:mod:`repro.inference`).  Same regime as Monte-Carlo but the
+  budget is decided by the data: easy instances stop orders of magnitude
+  below the fixed Chernoff schedule, the answer is resumable to tighter ε
+  via the cache, and exhausting the cap falls back to telescoping.  Opt-in
+  via ``Planner(adaptive=True)`` or forced with ``plan(..., route="adaptive")``.
 * **telescoping** — the paper's route: compile to an observable plan and run
   the DFK telescoping estimator.  Polynomial in the dimension and the only
   route that supports projection and negation without materialising the
@@ -38,11 +44,25 @@ from repro.volume.chernoff import chernoff_ratio_sample_size
 
 
 def telescoping_samples_per_phase(
-    epsilon: float, base_samples: int = 800
+    epsilon: float, delta: float = 0.1, max_samples_per_phase: int = 20_000
 ) -> int:
-    """Per-phase telescoping budget, scaled quadratically from the ε=0.2 default."""
-    scaled = int(base_samples * (0.2 / max(epsilon, 1e-3)) ** 2)
-    return max(200, min(scaled, 20_000))
+    """Per-phase telescoping budget from the phase-level Chernoff schedule.
+
+    Prices a telescoping phase with the same formula the estimator's own
+    schedule uses — :func:`repro.volume.chernoff.chernoff_ratio_sample_size`
+    at the phase's ε/2 share with the telescoping lower bound ``p ≥ 1/2`` —
+    under a laptop-scale cap that only binds for very tight requests
+    (ε ≲ 0.06 at the default δ), so tightening ε keeps buying samples
+    through the practically requestable range.  This replaced an ad-hoc
+    ``(0.2/ε)² · 800`` curve that was consistent with nothing the
+    estimators compute.
+    """
+    # Clamp pathological requests instead of refusing them at plan time: the
+    # estimators themselves validate the accuracy they are executed with.
+    epsilon = min(max(epsilon, 1e-3), 1.0 - 1e-9)
+    delta = min(max(delta, 1e-12), 1.0 - 1e-9)
+    samples = chernoff_ratio_sample_size(epsilon / 2.0, delta, 0.5)
+    return min(samples, max_samples_per_phase)
 
 
 @dataclass(frozen=True)
@@ -137,12 +157,15 @@ class Plan:
     Attributes
     ----------
     estimator:
-        ``"exact"``, ``"monte_carlo"`` or ``"telescoping"``.
+        ``"exact"``, ``"monte_carlo"``, ``"adaptive"`` or ``"telescoping"``.
     epsilon / delta:
         The accuracy the plan was selected for.
     sample_budget:
         Upper bound on random samples the executor should spend (``0`` for
-        the exact route).
+        the exact route).  For the adaptive route this is a *cap*, not a
+        spend: the confidence sequence stops as soon as the contract is
+        certified, and the cap — the fixed Chernoff schedule's budget —
+        bounds the hard instances.
     time_budget:
         Soft wall-clock budget in seconds; overruns are recorded in the
         service metrics, not enforced by interruption.
@@ -159,6 +182,12 @@ class Plan:
         call (``0`` for the exact route, which draws no samples).  The block
         size is an execution knob only: the blocked estimators produce
         bit-identical values for every block size.
+    sample_ceiling:
+        Adaptive route only: the planner's absolute ceiling on the
+        resumable stream (:attr:`Planner.adaptive_sample_cap`), over *all*
+        runs of the estimator — later refinements to tighter ε included.
+        ``0`` on the other routes, whose ``sample_budget`` already is the
+        whole story.
     profile:
         The structural profile the decision was based on.
     """
@@ -171,6 +200,7 @@ class Plan:
     reason: str
     min_hit_fraction: float = 0.0
     block_size: int = 0
+    sample_ceiling: int = 0
     profile: QueryProfile = field(repr=False, default=None)  # type: ignore[assignment]
 
 
@@ -190,11 +220,14 @@ class Planner:
         monte_carlo_min_epsilon: float = 0.15,
         monte_carlo_min_fraction: float = 0.05,
         monte_carlo_sample_cap: int = 60_000,
-        telescoping_base_samples: int = 800,
+        telescoping_max_samples_per_phase: int = 20_000,
+        adaptive: bool = False,
+        adaptive_sample_cap: int = 200_000,
         time_budget_per_unit: float = 0.02,
         batch_block_size: int = 8192,
         batch_samples_per_second: float = 500_000.0,
         telescoping_samples_per_second: float = 2_000.0,
+        adaptive_samples_per_second: float = 400_000.0,
         process_backend_min_seconds: float = 0.2,
     ) -> None:
         self.exact_dimension_limit = exact_dimension_limit
@@ -203,7 +236,16 @@ class Planner:
         self.monte_carlo_min_epsilon = monte_carlo_min_epsilon
         self.monte_carlo_min_fraction = monte_carlo_min_fraction
         self.monte_carlo_sample_cap = monte_carlo_sample_cap
-        self.telescoping_base_samples = telescoping_base_samples
+        self.telescoping_max_samples_per_phase = telescoping_max_samples_per_phase
+        # The adaptive route replaces the fixed Monte-Carlo budget with
+        # confidence-sequence stopping (repro.inference); opt-in so existing
+        # deployments keep byte-stable plans until they ask for it.
+        self.adaptive = adaptive
+        # Cap on an adaptive stream: the route is taken even when the fixed
+        # Chernoff budget would disqualify Monte-Carlo, because the stream
+        # stops early on easy instances and the executor falls back to
+        # telescoping when the cap is hit without certifying the contract.
+        self.adaptive_sample_cap = adaptive_sample_cap
         self.time_budget_per_unit = time_budget_per_unit
         self.batch_block_size = batch_block_size
         # Throughput of the vectorized sampling kernels, in judged samples
@@ -222,12 +264,19 @@ class Planner:
         # The backend recommendation uses this rate to decide when a batch's
         # GIL-bound work is heavy enough to amortise process sharding.
         self.telescoping_samples_per_second = telescoping_samples_per_second
+        # Throughput of the adaptive route's batch kernels.  Tracked apart
+        # from the fixed Monte-Carlo rate: an adaptive execution interleaves
+        # confidence-sequence checkpoints with its oracle blocks, and a
+        # refinement continuation reports only its *new* samples — mixing
+        # those observations into the fixed-budget rate would bias both.
+        self.adaptive_samples_per_second = adaptive_samples_per_second
         # Estimated GIL-bound seconds per batch above which process sharding
         # beats thread fan-out (covers pool start-up plus shipping the
         # pickled shared setup).
         self.process_backend_min_seconds = process_backend_min_seconds
         self._throughput_observations = 0
         self._telescoping_observations = 0
+        self._adaptive_observations = 0
         self._throughput_lock = Lock()
 
     def observe_throughput(
@@ -239,8 +288,9 @@ class Planner:
         sampling-route execution; an exponential moving average (weight 0.3)
         keeps the estimate current without letting one noisy run swing the
         time budgets.  ``route`` selects the estimate: ``"monte_carlo"``
-        updates the batch-kernel rate, ``"telescoping"`` the walk rate.
-        Results are unaffected — throughput only sizes the *budgets* that the
+        updates the batch-kernel rate, ``"telescoping"`` the walk rate and
+        ``"adaptive"`` the confidence-sequence route's own rate.  Results
+        are unaffected — throughput only sizes the *budgets* that the
         metrics compare latencies against and informs the backend
         recommendation.  The update is locked because batch execution reports
         from worker threads.
@@ -248,11 +298,21 @@ class Planner:
         if samples <= 0 or seconds <= 0:
             return
         observed = samples / seconds
-        rate_attr, count_attr = (
-            ("telescoping_samples_per_second", "_telescoping_observations")
-            if route == "telescoping"
-            else ("batch_samples_per_second", "_throughput_observations")
-        )
+        if route == "telescoping":
+            rate_attr, count_attr = (
+                "telescoping_samples_per_second",
+                "_telescoping_observations",
+            )
+        elif route == "adaptive":
+            rate_attr, count_attr = (
+                "adaptive_samples_per_second",
+                "_adaptive_observations",
+            )
+        else:
+            rate_attr, count_attr = (
+                "batch_samples_per_second",
+                "_throughput_observations",
+            )
         with self._throughput_lock:
             if getattr(self, count_attr) == 0:
                 setattr(self, rate_attr, observed)
@@ -274,6 +334,8 @@ class Planner:
             return plan.sample_budget / max(self.telescoping_samples_per_second, 1.0)
         if plan.estimator == "monte_carlo":
             return plan.sample_budget / max(self.batch_samples_per_second, 1.0)
+        if plan.estimator == "adaptive":
+            return plan.sample_budget / max(self.adaptive_samples_per_second, 1.0)
         return self.time_budget_per_unit
 
     def recommend_backend(
@@ -318,15 +380,34 @@ class Planner:
         database: ConstraintDatabase,
         epsilon: float = 0.2,
         delta: float = 0.1,
+        route: str | None = None,
     ) -> Plan:
-        """Select the estimator and budgets for one volume request."""
+        """Select the estimator and budgets for one volume request.
+
+        ``route="adaptive"`` forces the confidence-sequence route regardless
+        of the planner's :attr:`adaptive` flag (used by
+        ``QueryEngine.volume(mode="adaptive")``); queries outside the
+        adaptive route's regime — projection, negation, a zero ε or δ —
+        still fall back to the route that can serve them.
+        """
+        if route is not None and route != "adaptive":
+            raise ValueError(f"only the 'adaptive' route can be forced, got {route!r}")
         profile = profile_query(query, database)
         time_budget = self.time_budget_per_unit * max(
             profile.description_size * max(profile.dimension, 1), 1
         )
         symbolic_friendly = not profile.has_negation and not profile.has_projection
-        if (
+        adaptive_eligible = (
             symbolic_friendly
+            and profile.dimension <= self.monte_carlo_dimension_limit
+            and 0.0 < epsilon < 1.0
+            and 0.0 < delta < 1.0
+        )
+        if route == "adaptive" and adaptive_eligible:
+            return self._adaptive_plan(profile, epsilon, delta, time_budget)
+        if (
+            route is None
+            and symbolic_friendly
             and profile.dimension <= self.exact_dimension_limit
             and profile.disjunct_estimate <= self.exact_disjunct_limit
         ):
@@ -343,8 +424,11 @@ class Planner:
                 ),
                 profile=profile,
             )
+        if self.adaptive and adaptive_eligible:
+            return self._adaptive_plan(profile, epsilon, delta, time_budget)
         if (
-            symbolic_friendly
+            route is None
+            and symbolic_friendly
             and profile.dimension <= self.monte_carlo_dimension_limit
             and epsilon >= self.monte_carlo_min_epsilon
         ):
@@ -375,12 +459,14 @@ class Planner:
                     block_size=self.batch_block_size,
                     profile=profile,
                 )
-        samples = self._telescoping_samples(epsilon)
+        samples = self._telescoping_samples(epsilon, delta)
         reason = (
             "projection/negation requires the observable route"
             if not symbolic_friendly
             else f"dimension {profile.dimension} needs the polynomial-time telescoping estimator"
         )
+        if route == "adaptive":
+            reason = f"adaptive route not applicable ({reason})"
         return Plan(
             estimator="telescoping",
             epsilon=epsilon,
@@ -395,6 +481,45 @@ class Planner:
             profile=profile,
         )
 
-    def _telescoping_samples(self, epsilon: float) -> int:
+    def _adaptive_plan(
+        self, profile: QueryProfile, epsilon: float, delta: float, time_budget: float
+    ) -> Plan:
+        """The confidence-sequence plan: cap at the fixed Chernoff schedule.
+
+        The cap is what a fixed-budget Monte-Carlo run would spend for the
+        same contract under the ``min_fraction`` assumption; the adaptive
+        stream certifies easy instances far below it and falls back to
+        telescoping at execution time when the cap is exhausted without
+        certification (mirroring the Monte-Carlo route's hit-fraction
+        fallback, but decided by the data instead of by an assumption).
+        """
+        fixed_budget = chernoff_ratio_sample_size(
+            epsilon, delta, self.monte_carlo_min_fraction
+        )
+        cap = min(fixed_budget, self.adaptive_sample_cap)
+        return Plan(
+            estimator="adaptive",
+            epsilon=epsilon,
+            delta=delta,
+            sample_budget=cap,
+            time_budget=time_budget + cap / self.adaptive_samples_per_second,
+            reason=(
+                f"dimension {profile.dimension} <= {self.monte_carlo_dimension_limit}: "
+                "confidence-sequence stopping serves the contract from the data, "
+                f"capped at the fixed Chernoff schedule ({cap} samples)"
+            ),
+            # For the adaptive route this is the volume-fraction assumption
+            # the sample cap is dimensioned for, not a serving floor: the
+            # confidence sequence certifies the contract directly and the
+            # executor falls back when the cap is exhausted uncertified.
+            min_hit_fraction=self.monte_carlo_min_fraction,
+            block_size=self.batch_block_size,
+            sample_ceiling=self.adaptive_sample_cap,
+            profile=profile,
+        )
+
+    def _telescoping_samples(self, epsilon: float, delta: float = 0.1) -> int:
         """Per-phase sample budget for the telescoping route."""
-        return telescoping_samples_per_phase(epsilon, self.telescoping_base_samples)
+        return telescoping_samples_per_phase(
+            epsilon, delta, self.telescoping_max_samples_per_phase
+        )

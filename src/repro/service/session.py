@@ -58,12 +58,14 @@ def run_plan(
     session passes its memoising ``compile_cached`` so fallbacks share the
     compiled-plan cache and the session's gamma.  The Monte-Carlo route falls
     back to telescoping when the query result has no syntactic bounding box
-    or fills too little of it.
+    or fills too little of it; the adaptive route falls back when there is no
+    box or its sample cap is exhausted before the confidence sequence
+    certifies the contract.
     """
     if plan.estimator == "exact":
         return exact_volume(query, database)
     rng = ensure_rng(rng)
-    if plan.estimator == "monte_carlo":
+    if plan.estimator in ("monte_carlo", "adaptive"):
         relation = evaluate_symbolic(query, database)
         box = relation.bounding_box()
         if box is not None and all(name in box for name in relation.variables):
@@ -71,36 +73,79 @@ def run_plan(
                 (float(box[name][0]), float(box[name][1]))
                 for name in relation.variables
             ]
-            from repro.sampling.oracles import batch_oracle_from_relation
-
-            estimate = monte_carlo_volume(
-                batch_oracle_from_relation(relation),
-                bounds,
-                plan.epsilon,
-                plan.delta,
-                rng=rng,
-                samples=plan.sample_budget or None,
-                block_size=plan.block_size or 8192,
-            )
-            fraction = estimate.details.get("hit_fraction", 0.0)
-            if fraction >= plan.min_hit_fraction:
-                return AggregateResult(
-                    value=estimate.value, estimate=estimate, exact=False
+            if plan.estimator == "adaptive":
+                from repro.inference import (
+                    AdaptiveConfig,
+                    AdaptiveMonteCarlo,
+                    RefinableEstimate,
                 )
-            # The body fills too little of its box: the sample size was
-            # dimensioned for vol(S)/vol(box) >= min_hit_fraction, so the
-            # relative guarantee does not hold — fall through to the
-            # telescoping route instead of serving (and caching) a value
-            # whose error is unbounded.
-        # No finite box, or the hit-fraction floor failed: only the
-        # observable route carries the relative guarantee.
+
+                estimator = AdaptiveMonteCarlo(
+                    relation,
+                    bounds,
+                    delta=plan.delta,
+                    rng=rng,
+                    config=AdaptiveConfig(
+                        block_size=plan.block_size or 8192,
+                        # The plan's fraction assumption dimensions the
+                        # per-run cap (the fixed Chernoff schedule for the
+                        # same contract); it scales automatically when the
+                        # cache later refines this estimator to a tighter ε.
+                        min_fraction=plan.min_hit_fraction or 0.05,
+                        # The planner's absolute ceiling rides along so
+                        # Planner(adaptive_sample_cap=...) actually bounds
+                        # the stream at execution time.
+                        max_samples=plan.sample_ceiling or 200_000,
+                    ),
+                )
+                estimate = estimator.run(plan.epsilon)
+                if estimate.details.get("met", False):
+                    return AggregateResult(
+                        value=estimate.value,
+                        estimate=estimate,
+                        exact=False,
+                        # The estimator itself is the resumable sufficient
+                        # statistic: the cache can continue it to a tighter
+                        # ε instead of recomputing.
+                        refinable=RefinableEstimate(
+                            estimator, epsilon=plan.epsilon, delta=plan.delta
+                        ),
+                    )
+                # Cap exhausted before the sequence certified the contract
+                # (small volume fraction or adversarial variance): fall
+                # through to the route that guarantees it.
+            else:
+                from repro.sampling.oracles import batch_oracle_from_relation
+
+                estimate = monte_carlo_volume(
+                    batch_oracle_from_relation(relation),
+                    bounds,
+                    plan.epsilon,
+                    plan.delta,
+                    rng=rng,
+                    samples=plan.sample_budget or None,
+                    block_size=plan.block_size or 8192,
+                )
+                fraction = estimate.details.get("hit_fraction", 0.0)
+                if fraction >= plan.min_hit_fraction:
+                    return AggregateResult(
+                        value=estimate.value, estimate=estimate, exact=False
+                    )
+                # The body fills too little of its box: the sample size was
+                # dimensioned for vol(S)/vol(box) >= min_hit_fraction, so the
+                # relative guarantee does not hold — fall through to the
+                # telescoping route instead of serving (and caching) a value
+                # whose error is unbounded.
+        # No finite box, or the hit-fraction floor / adaptive cap failed:
+        # only the observable route carries the relative guarantee.
     if compiled is None:
         if plan.estimator == "telescoping" and plan.sample_budget:
             samples_per_phase = plan.sample_budget
         else:
-            # Fallbacks from the Monte-Carlo route must not inherit its
-            # box-sampling budget; size the phases for the requested ε.
-            samples_per_phase = telescoping_samples_per_phase(plan.epsilon)
+            # Fallbacks from the Monte-Carlo/adaptive routes must not
+            # inherit their box-sampling budgets; size the phases for the
+            # requested accuracy.
+            samples_per_phase = telescoping_samples_per_phase(plan.epsilon, plan.delta)
         if compile_fn is not None:
             compiled = compile_fn(samples_per_phase)
         else:
@@ -117,6 +162,28 @@ def run_plan(
     return AggregateResult(value=estimate.value, estimate=estimate, exact=False)
 
 
+def refine_result(refinable, epsilon: float, delta: float) -> AggregateResult | None:
+    """Continue a resumable adaptive computation to a tighter ε.
+
+    ``refinable`` is the :class:`~repro.inference.refine.RefinableEstimate`
+    of a cached answer.  Returns the refreshed result — carrying the same
+    resumable estimator so it stays refinable — or ``None`` when the
+    continuation exhausted its sample cap before certifying the target (the
+    caller computes afresh then).  Shared by the session's serving path and
+    by every execution backend: the continuation is deterministic in the
+    estimator's state, so the refined value is bit-identical wherever it
+    runs.
+    """
+    if refinable is None:
+        return None
+    estimate = refinable.refine(epsilon, delta)
+    if not estimate.details.get("met", False):
+        return None
+    return AggregateResult(
+        value=estimate.value, estimate=estimate, exact=False, refinable=refinable
+    )
+
+
 def _executed_route(plan: Plan, result: AggregateResult) -> str:
     """The estimator that actually produced ``result`` (fallbacks included)."""
     if result.exact:
@@ -124,7 +191,9 @@ def _executed_route(plan: Plan, result: AggregateResult) -> str:
     estimate = result.estimate
     if estimate is not None and estimate.method.startswith("monte-carlo"):
         return "monte_carlo"
-    if plan.estimator == "monte_carlo":
+    if estimate is not None and estimate.method.startswith("adaptive"):
+        return "adaptive"
+    if plan.estimator in ("monte_carlo", "adaptive"):
         return "telescoping"
     return plan.estimator
 
@@ -205,7 +274,13 @@ class ServiceSession:
         rng: RandomState = None,
         use_cache: bool = True,
     ) -> AggregateResult:
-        """Serve one volume request through the cache → plan → execute pipeline."""
+        """Serve one volume request through the cache → plan → execute pipeline.
+
+        A cached answer that is too loose for the request but carries a
+        resumable adaptive computation is **refined in place** — its sample
+        stream is continued until the tighter ε is certified — instead of
+        being recomputed from scratch.
+        """
         epsilon, delta = self._resolve_accuracy(epsilon, delta)
         key = self.key_for(query)
         if use_cache:
@@ -215,6 +290,13 @@ class ServiceSession:
                 return cached
             self.metrics.record_cache_miss()
         plan = self.planner.plan(query, self.database, epsilon=epsilon, delta=delta)
+        # Continuing a cached adaptive stream beats recomputing on every
+        # sampling route — but never on the exact route, whose answer is
+        # instant, error-free and dominates all future requests.
+        if use_cache and plan.estimator != "exact":
+            refined = self._refine_cached(key, epsilon, delta)
+            if refined is not None:
+                return refined
         result = self._execute(plan, query, rng)
         if use_cache:
             self.cache.put(key, result, plan.epsilon, plan.delta)
@@ -259,6 +341,36 @@ class ServiceSession:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _refine_cached(
+        self, key: str, epsilon: float, delta: float
+    ) -> AggregateResult | None:
+        """Continue a stale-but-refinable cached answer to the requested ε.
+
+        Returns ``None`` when no refinable entry exists or the continuation
+        could not certify the target (the caller falls back to a fresh
+        plan).  Successful refinements are recorded as their own metric and
+        stored back under the estimator's (tighter) δ so later requests see
+        the improved accuracy.
+        """
+        candidate = self.cache.refinable_lookup(key, epsilon, delta)
+        if candidate is None:
+            return None
+        start = time.perf_counter()
+        refined = refine_result(candidate.refinable, epsilon, delta)
+        elapsed = time.perf_counter() - start
+        if refined is None:
+            return None
+        self.metrics.record_refinement()
+        self.metrics.record_latency("adaptive", elapsed)
+        assert refined.refinable is not None
+        estimate = refined.estimate
+        if estimate is not None:
+            new_samples = int(estimate.details.get("new_samples", 0))
+            if new_samples:
+                self.planner.observe_throughput(new_samples, elapsed, route="adaptive")
+        self.cache.put(key, refined, epsilon, refined.refinable.delta)
+        return refined
+
     def compile_cached(
         self, query: Query, samples_per_phase: int = 800
     ) -> ObservableRelation:
@@ -348,6 +460,16 @@ class ServiceSession:
         if estimate is not None and estimate.samples_used:
             if executed == "monte_carlo":
                 self.planner.observe_throughput(estimate.samples_used, elapsed)
+            elif executed == "adaptive":
+                # A continuation's estimate reports the whole stream; only
+                # the samples drawn in *this* execution were paid for here.
+                samples = int(
+                    estimate.details.get("new_samples", estimate.samples_used)
+                )
+                if samples:
+                    self.planner.observe_throughput(
+                        samples, elapsed, route="adaptive"
+                    )
             elif executed == "telescoping":
                 self.planner.observe_throughput(
                     estimate.samples_used, elapsed, route="telescoping"

@@ -1,0 +1,203 @@
+"""Adaptive estimators: correctness, early stopping, resumability."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.geometry.polytope import HPolytope
+from repro.inference import (
+    AdaptiveConfig,
+    AdaptiveMonteCarlo,
+    AdaptiveTelescoping,
+    AdaptiveTelescopingConfig,
+)
+from repro.volume.chernoff import chernoff_ratio_sample_size
+from repro.workloads.dumbbell import dumbbell
+
+
+def dumbbell_setup(dimension: int = 4):
+    workload = dumbbell(dimension)
+    relation = workload.relation
+    box = relation.bounding_box()
+    bounds = [(float(box[v][0]), float(box[v][1])) for v in relation.variables]
+    return workload, relation, bounds
+
+
+class TestAdaptiveMonteCarlo:
+    def test_certifies_and_approximates_the_exact_volume(self):
+        workload, relation, bounds = dumbbell_setup()
+        estimator = AdaptiveMonteCarlo(relation, bounds, delta=0.1, rng=42)
+        estimate = estimator.run(0.2)
+        assert estimate.details["met"]
+        assert estimate.epsilon == 0.2 and estimate.delta == 0.1
+        # Loose sanity margin: the contract itself holds w.p. 0.9 only.
+        assert estimate.approximates(workload.exact_volume, ratio=1.5)
+
+    def test_stops_far_below_the_fixed_chernoff_budget(self):
+        _, relation, bounds = dumbbell_setup()
+        estimator = AdaptiveMonteCarlo(relation, bounds, delta=0.1, rng=42)
+        estimate = estimator.run(0.2)
+        fixed = chernoff_ratio_sample_size(0.2, 0.1, 0.05)
+        assert estimate.samples_used * 3 <= fixed
+
+    def test_stopping_is_block_size_invariant(self):
+        _, relation, bounds = dumbbell_setup()
+        results = []
+        for block_size in (37, 256, 8192):
+            estimator = AdaptiveMonteCarlo(
+                relation,
+                bounds,
+                delta=0.1,
+                rng=7,
+                config=AdaptiveConfig(block_size=block_size),
+            )
+            estimate = estimator.run(0.1)
+            results.append((estimate.value, estimate.samples_used))
+        assert results[0] == results[1] == results[2]
+
+    def test_warm_continuation_matches_cold_run_bit_for_bit(self):
+        _, relation, bounds = dumbbell_setup()
+        warm = AdaptiveMonteCarlo(relation, bounds, delta=0.1, rng=3)
+        coarse = warm.run(0.2)
+        refined = warm.run(0.05)
+        cold = AdaptiveMonteCarlo(relation, bounds, delta=0.1, rng=3).run(0.05)
+        assert refined.value == cold.value
+        assert refined.samples_used == cold.samples_used
+        # The continuation only paid for the difference.
+        assert refined.details["new_samples"] == cold.samples_used - coarse.samples_used
+        assert not warm.exhausted
+
+    def test_rerun_at_met_accuracy_draws_nothing(self):
+        _, relation, bounds = dumbbell_setup()
+        estimator = AdaptiveMonteCarlo(relation, bounds, delta=0.1, rng=3)
+        first = estimator.run(0.2)
+        again = estimator.run(0.3)
+        assert again.details["new_samples"] == 0
+        assert again.samples_used == first.samples_used
+
+    def test_cap_exhaustion_reports_unmet_with_achieved_accuracy(self):
+        _, relation, bounds = dumbbell_setup()
+        estimator = AdaptiveMonteCarlo(
+            relation,
+            bounds,
+            delta=0.1,
+            rng=5,
+            config=AdaptiveConfig(max_samples=100),
+        )
+        estimate = estimator.run(0.01)
+        assert not estimate.details["met"]
+        assert estimator.exhausted
+        assert estimate.epsilon > 0.01  # the accuracy actually achieved
+        # A later, looser target the data already supports clears the flag.
+        relaxed = estimator.run(0.9)
+        assert relaxed.details["met"] and not estimator.exhausted
+
+    def test_cap_scales_with_the_requested_epsilon(self):
+        _, relation, bounds = dumbbell_setup()
+        estimator = AdaptiveMonteCarlo(relation, bounds, delta=0.1, rng=11)
+        estimator.run(0.2)
+        # The ε=0.2 fixed budget is ~4.5k; reaching ε=0.05 needs more than
+        # that, which must not be blocked by the earlier run's cap.
+        refined = estimator.run(0.05)
+        assert refined.details["met"]
+        assert refined.samples_used > chernoff_ratio_sample_size(0.2, 0.1, 0.05)
+
+    def test_mid_schedule_cap_preserves_warm_cold_identity(self):
+        # A per-run cap that falls *between* checkpoints (min_fraction=0.5
+        # puts the ε=0.3 cap at 200, between schedule positions 144 and 216)
+        # must end the run at the last completed checkpoint — never force an
+        # off-schedule evaluation — so a warm continuation still walks the
+        # exact checkpoint sequence a cold run walks.
+        _, relation, bounds = dumbbell_setup()
+        config = AdaptiveConfig(min_fraction=0.5)
+        warm = AdaptiveMonteCarlo(relation, bounds, delta=0.1, rng=3, config=config)
+        coarse = warm.run(0.3)
+        assert not coarse.details["met"]
+        assert coarse.samples_used == 144  # last schedule position under the cap
+        refined = warm.run(0.15)
+        cold = AdaptiveMonteCarlo(
+            relation, bounds, delta=0.1, rng=3, config=config
+        ).run(0.15)
+        assert (refined.value, refined.samples_used) == (cold.value, cold.samples_used)
+
+    def test_pickle_roundtrip_resumes_the_same_stream(self):
+        _, relation, bounds = dumbbell_setup()
+        original = AdaptiveMonteCarlo(relation, bounds, delta=0.1, rng=9)
+        original.run(0.2)
+        clone = pickle.loads(pickle.dumps(original))
+        assert clone.run(0.05).value == original.run(0.05).value
+
+    def test_invalid_inputs_rejected(self):
+        _, relation, bounds = dumbbell_setup()
+        estimator = AdaptiveMonteCarlo(relation, bounds, delta=0.1, rng=1)
+        with pytest.raises(ValueError):
+            estimator.run(0.0)
+        with pytest.raises(ValueError):
+            AdaptiveMonteCarlo(relation, [(1.0, 0.0)], delta=0.1)
+        with pytest.raises(ValueError):
+            AdaptiveConfig(block_size=0)
+        with pytest.raises(ValueError):
+            AdaptiveConfig(min_fraction=0.0)
+
+
+class TestAdaptiveTelescoping:
+    def test_approximates_a_known_cube_volume(self):
+        cube = HPolytope.box([(0.0, 2.0)] * 3)
+        estimator = AdaptiveTelescoping(cube, delta=0.2, rng=17)
+        estimate = estimator.run(0.4)
+        assert estimate.details["met"]
+        assert estimate.approximates(8.0, ratio=1.6)
+        assert estimate.details["phases"] == len(estimate.details["phase_counts"])
+
+    def test_pilot_neyman_allocation_favours_high_variance_phases(self):
+        cube = HPolytope.box([(0.0, 1.0)] * 3)
+        estimator = AdaptiveTelescoping(cube, delta=0.2, rng=17)
+        estimator.run(0.4)
+        counts = estimator.run(0.4).details["phase_counts"]
+        sequences = estimator.sequences
+        assert sequences is not None
+        # The late phases (cube already contains most of the body) have
+        # near-degenerate ratios and must stop at or near the pilot while
+        # contested phases keep drawing.
+        variances = [sequence.variance for sequence in sequences]
+        assert counts[variances.index(max(variances))] >= max(counts) / 2
+        assert min(counts) < max(counts)
+
+    def test_refinement_reuses_phase_streams(self):
+        cube = HPolytope.box([(0.0, 1.0)] * 3)
+        estimator = AdaptiveTelescoping(cube, delta=0.2, rng=23)
+        coarse = estimator.run(0.5)
+        refined = estimator.run(0.3)
+        assert refined.details["met"]
+        assert refined.details["new_samples"] < refined.samples_used
+        assert refined.samples_used == coarse.samples_used + refined.details["new_samples"]
+
+    def test_pickle_roundtrip_resumes_phases(self):
+        cube = HPolytope.box([(0.0, 1.0)] * 3)
+        original = AdaptiveTelescoping(cube, delta=0.2, rng=29)
+        original.run(0.5)
+        clone = pickle.loads(pickle.dumps(original))
+        assert clone.run(0.3).value == original.run(0.3).value
+
+    def test_empty_body_raises(self):
+        from repro.volume.base import EstimationError
+
+        empty = HPolytope.box([(0.0, 1.0)] * 2).restrict_to_box([(2.0, 3.0)] * 2)
+        estimator = AdaptiveTelescoping(empty, delta=0.2, rng=1)
+        with pytest.raises(EstimationError):
+            estimator.run(0.4)
+
+    def test_phase_cap_marks_exhaustion(self):
+        cube = HPolytope.box([(0.0, 1.0)] * 3)
+        estimator = AdaptiveTelescoping(
+            cube,
+            delta=0.2,
+            rng=31,
+            config=AdaptiveTelescopingConfig(max_samples_per_phase=70),
+        )
+        estimate = estimator.run(0.05)
+        assert not estimate.details["met"]
+        assert estimator.exhausted
+        assert estimate.epsilon > 0.05

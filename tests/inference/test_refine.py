@@ -1,0 +1,78 @@
+"""RefinableEstimate: the resumable-answer contract the cache relies on."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.inference import AdaptiveMonteCarlo, RefinableEstimate
+from repro.inference.adaptive import AdaptiveConfig
+from repro.workloads.dumbbell import dumbbell
+
+
+def refinable(rng: int = 3, **config) -> RefinableEstimate:
+    workload = dumbbell(4)
+    relation = workload.relation
+    box = relation.bounding_box()
+    bounds = [(float(box[v][0]), float(box[v][1])) for v in relation.variables]
+    estimator = AdaptiveMonteCarlo(
+        relation,
+        bounds,
+        delta=0.1,
+        rng=rng,
+        config=AdaptiveConfig(**config) if config else None,
+    )
+    estimator.run(0.2)
+    return RefinableEstimate(estimator, epsilon=0.2, delta=0.1)
+
+
+class TestCanRefineTo:
+    def test_tighter_epsilon_same_delta_is_refinable(self):
+        assert refinable().can_refine_to(0.05, 0.1)
+
+    def test_looser_delta_is_refinable(self):
+        assert refinable().can_refine_to(0.05, 0.3)
+
+    def test_tighter_delta_is_not(self):
+        assert not refinable().can_refine_to(0.05, 0.05)
+
+    def test_degenerate_epsilon_is_not(self):
+        assert not refinable().can_refine_to(0.0, 0.1)
+
+    def test_exhausted_estimator_only_serves_certified_accuracy(self):
+        estimate = refinable(max_samples=600)
+        estimate.refine(0.01)  # exhausts the tiny cap
+        assert estimate.exhausted
+        assert not estimate.can_refine_to(0.05, 0.1)
+        assert estimate.can_refine_to(0.25, 0.1)
+
+
+class TestRefine:
+    def test_refine_tightens_certified_epsilon_and_tracks_draws(self):
+        estimate = refinable()
+        before = estimate.draws
+        result = estimate.refine(0.05)
+        assert result.details["met"]
+        assert estimate.epsilon == 0.05
+        assert estimate.draws > before
+        assert result.details["new_samples"] == estimate.draws - before
+
+    def test_refine_rejects_tighter_delta(self):
+        with pytest.raises(ValueError):
+            refinable().refine(0.05, delta=0.01)
+
+    def test_unmet_refinement_keeps_certified_epsilon(self):
+        estimate = refinable(max_samples=600)
+        result = estimate.refine(0.01)
+        assert not result.details["met"]
+        assert estimate.epsilon == 0.2
+
+    def test_pickle_roundtrip_preserves_contract_and_lock(self):
+        estimate = refinable()
+        clone = pickle.loads(pickle.dumps(estimate))
+        assert clone.epsilon == estimate.epsilon
+        assert clone.delta == estimate.delta
+        assert clone.draws == estimate.draws
+        # The restored copy must still be usable (fresh internal lock).
+        assert clone.refine(0.1).details["met"]

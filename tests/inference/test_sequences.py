@@ -1,0 +1,147 @@
+"""Unit behaviour of the confidence-sequence building blocks."""
+
+from __future__ import annotations
+
+import math
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.inference.sequences import (
+    CheckpointSchedule,
+    EmpiricalBernsteinSequence,
+    HoeffdingSequence,
+    checkpoint_delta,
+    make_sequence,
+    split_delta,
+)
+
+
+class TestSplitters:
+    def test_split_delta_is_an_even_union_bound(self):
+        shares = split_delta(0.1, 4)
+        assert shares == [0.025] * 4
+        assert math.isclose(sum(shares), 0.1)
+
+    def test_split_delta_validates(self):
+        with pytest.raises(ValueError):
+            split_delta(0.0, 3)
+        with pytest.raises(ValueError):
+            split_delta(0.1, 0)
+
+    def test_checkpoint_deltas_telescope_to_delta(self):
+        total = sum(checkpoint_delta(0.2, k) for k in range(1, 10_000))
+        assert total < 0.2
+        assert math.isclose(total, 0.2, rel_tol=1e-3)
+
+    def test_checkpoint_delta_is_one_based(self):
+        with pytest.raises(ValueError):
+            checkpoint_delta(0.1, 0)
+
+
+class TestSchedule:
+    def test_strictly_increasing_geometric_grid(self):
+        schedule = CheckpointSchedule(base=64, growth=1.5)
+        points = [schedule.checkpoint(k) for k in range(1, 12)]
+        assert points[0] == 64
+        assert all(b > a for a, b in zip(points, points[1:]))
+
+    def test_degenerate_growth_rejected(self):
+        with pytest.raises(ValueError):
+            CheckpointSchedule(base=0)
+        with pytest.raises(ValueError):
+            CheckpointSchedule(growth=1.0)
+
+
+class TestSequences:
+    def test_statistics_accumulate_across_batches(self):
+        sequence = HoeffdingSequence(0.1)
+        sequence.observe(np.array([0.0, 1.0, 1.0, 0.0]))
+        sequence.observe_bernoulli(3, 4)
+        assert sequence.count == 8
+        assert sequence.mean == pytest.approx(5 / 8)
+
+    def test_bernoulli_fast_path_matches_dense_observation(self):
+        dense = EmpiricalBernsteinSequence(0.1)
+        fast = EmpiricalBernsteinSequence(0.1)
+        values = np.array([1.0, 0.0, 1.0, 1.0, 0.0])
+        dense.observe(values)
+        fast.observe_bernoulli(int(values.sum()), values.size)
+        assert dense.mean == fast.mean
+        assert dense.variance == fast.variance
+
+    def test_out_of_range_observations_rejected(self):
+        sequence = HoeffdingSequence(0.1)
+        with pytest.raises(ValueError):
+            sequence.observe(np.array([1.5]))
+        with pytest.raises(ValueError):
+            sequence.observe_bernoulli(5, 4)
+
+    def test_checkpoint_spends_shrinking_delta_and_tracks_schedule(self):
+        sequence = HoeffdingSequence(0.1)
+        assert sequence.pending() == 64
+        sequence.observe_bernoulli(32, 64)
+        first = sequence.checkpoint()
+        assert first.checkpoint == 1 and first.count == 64
+        assert sequence.pending() == sequence.schedule.checkpoint(2) - 64
+
+    def test_interval_contains_mean_and_clips_to_unit(self):
+        sequence = HoeffdingSequence(0.5)
+        sequence.observe_bernoulli(1, 4)
+        interval = sequence.checkpoint()
+        assert 0.0 <= interval.lower <= interval.mean <= interval.upper <= 1.0
+
+    def test_radius_shrinks_with_more_data(self):
+        sequence = HoeffdingSequence(0.1)
+        sequence.observe_bernoulli(32, 64)
+        wide = sequence.checkpoint()
+        sequence.observe_bernoulli(3000, 6000)
+        narrow = sequence.checkpoint()
+        assert narrow.width < wide.width
+
+    def test_empirical_bernstein_beats_hoeffding_on_low_variance(self):
+        # A stream that is almost always 0: the EB radius collapses with the
+        # variance, Hoeffding's cannot.
+        hoeffding = HoeffdingSequence(0.1)
+        bernstein = EmpiricalBernsteinSequence(0.1)
+        for sequence in (hoeffding, bernstein):
+            sequence.observe_bernoulli(2, 2000)
+        assert bernstein.checkpoint().width < hoeffding.checkpoint().width
+
+    def test_meets_ratio_certifies_the_geometric_midpoint(self):
+        sequence = EmpiricalBernsteinSequence(0.1)
+        sequence.observe_bernoulli(3200, 6400)
+        interval = sequence.checkpoint()
+        epsilon = interval.achieved_ratio_epsilon
+        assert interval.meets_ratio(epsilon + 1e-12)
+        assert not interval.meets_ratio(epsilon * 0.9)
+        # The geometric midpoint approximates every interval value within
+        # the certified ratio.
+        point = interval.ratio_point
+        for value in (interval.lower, interval.upper):
+            assert value / (1 + epsilon) <= point <= value * (1 + epsilon) * (1 + 1e-12)
+
+    def test_zero_lower_bound_never_certifies_a_ratio(self):
+        sequence = HoeffdingSequence(0.1)
+        sequence.observe_bernoulli(0, 64)
+        interval = sequence.checkpoint()
+        assert not interval.meets_ratio(0.5)
+        assert interval.achieved_ratio_epsilon == float("inf")
+
+    def test_pickle_roundtrip_resumes_exactly(self):
+        sequence = EmpiricalBernsteinSequence(0.1)
+        sequence.observe_bernoulli(40, 64)
+        sequence.checkpoint()
+        clone = pickle.loads(pickle.dumps(sequence))
+        sequence.observe_bernoulli(20, 32)
+        clone.observe_bernoulli(20, 32)
+        assert clone.checkpoint() == sequence.checkpoint()
+
+    def test_registry_dispatch(self):
+        assert isinstance(make_sequence("hoeffding", 0.1), HoeffdingSequence)
+        assert isinstance(
+            make_sequence("empirical_bernstein", 0.1), EmpiricalBernsteinSequence
+        )
+        with pytest.raises(ValueError):
+            make_sequence("bayes", 0.1)

@@ -1,0 +1,227 @@
+"""The adaptive route through the whole serving stack.
+
+Planner selection, ``run_plan`` execution and fallback, cache-driven
+refinement on the session and on every execution backend, and the engine's
+``mode="adaptive"`` entry point.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constraints.database import ConstraintDatabase
+from repro.constraints.relations import GeneralizedRelation
+from repro.constraints.tuples import GeneralizedTuple
+from repro.core import GeneratorParams
+from repro.queries import QueryEngine
+from repro.queries.ast import QAnd, QNot, QRelation
+from repro.service import BatchRequest, Planner, ServiceSession
+from repro.workloads.dumbbell import dumbbell
+
+
+def dumbbell_database(dimension: int = 4):
+    workload = dumbbell(dimension)
+    database = ConstraintDatabase()
+    database.set_relation("D", workload.relation)
+    return database, QRelation("D", workload.relation.variables), workload.exact_volume
+
+
+def sparse_database():
+    """Two tiny cubes far apart: the union fills <4% of its bounding box.
+
+    Below the adaptive route's default ``min_fraction`` assumption, so the
+    confidence sequence exhausts its cap without certifying the contract and
+    execution must fall back to the telescoping route.
+    """
+    names = ("x0", "x1", "x2", "x3")
+    near = GeneralizedTuple.box({n: (0.0, 0.15) for n in names})
+    far = GeneralizedTuple.box(
+        {"x0": (9.85, 10.0), **{n: (0.0, 0.15) for n in names[1:]}}
+    )
+    database = ConstraintDatabase()
+    database.set_relation("S", GeneralizedRelation((near, far), names))
+    return database, QRelation("S", names)
+
+
+def adaptive_session(database, epsilon=0.2, delta=0.1) -> ServiceSession:
+    return ServiceSession(
+        database,
+        params=GeneratorParams(epsilon=epsilon, delta=delta),
+        planner=Planner(adaptive=True),
+    )
+
+
+class TestPlannerRoute:
+    def test_adaptive_flag_replaces_the_monte_carlo_branch(self):
+        database, query, _ = dumbbell_database()
+        plan = Planner(adaptive=True).plan(query, database, epsilon=0.2, delta=0.1)
+        assert plan.estimator == "adaptive"
+        assert plan.sample_budget > 0
+        assert plan.min_hit_fraction == Planner().monte_carlo_min_fraction
+        assert "confidence-sequence" in plan.reason
+
+    def test_default_planner_is_unchanged(self):
+        database, query, _ = dumbbell_database()
+        plan = Planner().plan(query, database, epsilon=0.2, delta=0.1)
+        assert plan.estimator == "monte_carlo"
+
+    def test_route_forcing_overrides_exact(self):
+        database, query, _ = dumbbell_database(dimension=2)
+        planner = Planner()
+        assert planner.plan(query, database).estimator == "exact"
+        forced = planner.plan(query, database, route="adaptive")
+        assert forced.estimator == "adaptive"
+
+    def test_adaptive_takes_tight_epsilon_monte_carlo_would_refuse(self):
+        database, query, _ = dumbbell_database()
+        plan = Planner(adaptive=True).plan(query, database, epsilon=0.05, delta=0.1)
+        assert plan.estimator == "adaptive"
+
+    def test_projection_falls_back_to_telescoping_even_when_forced(self):
+        database, query, _ = dumbbell_database()
+        projected = query.exists("x1")
+        plan = Planner().plan(projected, database, route="adaptive")
+        assert plan.estimator == "telescoping"
+        assert "adaptive route not applicable" in plan.reason
+
+    def test_negation_falls_back_to_telescoping(self):
+        database, query, _ = dumbbell_database()
+        plan = Planner(adaptive=True).plan(QAnd((query, QNot(query))), database)
+        assert plan.estimator == "telescoping"
+
+    def test_unknown_forced_route_rejected(self):
+        database, query, _ = dumbbell_database()
+        with pytest.raises(ValueError):
+            Planner().plan(query, database, route="quantum")
+
+    def test_adaptive_throughput_is_tracked_separately(self):
+        planner = Planner(adaptive=True)
+        planner.observe_throughput(1000, 1.0, route="adaptive")
+        assert planner.adaptive_samples_per_second == 1000.0
+        assert planner.batch_samples_per_second != 1000.0
+        planner.observe_throughput(2000, 1.0, route="adaptive")
+        assert 1000.0 < planner.adaptive_samples_per_second < 2000.0
+
+
+class TestSessionServing:
+    def test_adaptive_result_is_cached_and_refinable(self):
+        database, query, exact = dumbbell_database()
+        session = adaptive_session(database)
+        result = session.volume(query, epsilon=0.2, rng=11)
+        assert result.refinable is not None
+        assert result.estimate.method == "adaptive-monte-carlo"
+        assert result.estimate.approximates(exact, ratio=1.5)
+        assert session.metrics.plan_choices["adaptive"] == 1
+
+    def test_tighter_request_refines_in_place(self):
+        database, query, _ = dumbbell_database()
+        session = adaptive_session(database)
+        coarse = session.volume(query, epsilon=0.2, rng=11)
+        refined = session.volume(query, epsilon=0.05, rng=12)
+        assert session.metrics.refinements == 1
+        # Continuation, not recomputation: only the difference was drawn.
+        new = refined.estimate.details["new_samples"]
+        assert 0 < new < refined.estimate.samples_used
+        assert (
+            refined.estimate.samples_used
+            == coarse.estimate.samples_used + new
+        )
+        # The refined entry now serves intermediate accuracies by dominance.
+        session.volume(query, epsilon=0.1, rng=13)
+        assert session.metrics.cache_hits == 1
+
+    def test_refinement_respects_delta_floor(self):
+        database, query, _ = dumbbell_database()
+        session = adaptive_session(database)
+        session.volume(query, epsilon=0.2, delta=0.1, rng=11)
+        session.volume(query, epsilon=0.1, delta=0.01, rng=12)
+        # δ got *tighter*: the cached sequence cannot serve it, so the
+        # request must recompute rather than refine.
+        assert session.metrics.refinements == 0
+
+    def test_sparse_body_falls_back_to_telescoping(self):
+        database, query = sparse_database()
+        session = adaptive_session(database, epsilon=0.2, delta=0.15)
+        result = session.volume(query, rng=5)
+        # The compiled observable route served it (a union plan here), the
+        # adaptive stream did not certify anything and left no refinable.
+        assert not result.estimate.method.startswith("adaptive")
+        assert result.refinable is None
+        assert session.metrics.plan_choices["telescoping"] == 1
+
+    def test_engine_adaptive_mode(self):
+        database, query, exact = dumbbell_database()
+        engine = QueryEngine(database)
+        result = engine.volume(query, mode="adaptive", epsilon=0.2, delta=0.1, rng=7)
+        assert result.estimate.method == "adaptive-monte-carlo"
+        assert result.refinable is not None
+        assert result.estimate.approximates(exact, ratio=1.5)
+
+
+class TestBatchBackends:
+    def test_adaptive_batches_are_backend_invariant(self):
+        database, query, _ = dumbbell_database()
+        served = {}
+        for backend in ("serial", "thread", "process"):
+            session = adaptive_session(database)
+            outcomes = session.submit_batch(
+                [BatchRequest(query, epsilon=0.2), BatchRequest(query, epsilon=0.1)],
+                workers=2,
+                rng=99,
+                backend=backend,
+            )
+            served[backend] = [outcome.result.value for outcome in outcomes]
+        assert served["serial"] == served["thread"] == served["process"]
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_batch_refinement_continues_the_cached_stream(self, backend):
+        database, query, _ = dumbbell_database()
+        session = adaptive_session(database)
+        coarse = session.submit_batch(
+            [BatchRequest(query, epsilon=0.2)], rng=99, backend="serial"
+        )
+        refined = session.submit_batch(
+            [BatchRequest(query, epsilon=0.05)], rng=100, backend=backend
+        )
+        assert session.metrics.refinements == 1
+        estimate = refined[0].result.estimate
+        assert estimate.details["met"]
+        assert (
+            estimate.samples_used
+            == coarse[0].result.estimate.samples_used
+            + estimate.details["new_samples"]
+        )
+        # The refreshed resumable state was committed back to the cache.
+        hit = session.volume(query, epsilon=0.05)
+        assert hit.value == refined[0].result.value
+
+    def test_batch_refinement_is_backend_invariant(self):
+        database, query, _ = dumbbell_database()
+        served = {}
+        for backend in ("serial", "thread", "process"):
+            session = adaptive_session(database)
+            session.submit_batch(
+                [BatchRequest(query, epsilon=0.2)], rng=99, backend="serial"
+            )
+            outcomes = session.submit_batch(
+                [BatchRequest(query, epsilon=0.05)], rng=100, backend=backend
+            )
+            served[backend] = outcomes[0].result.value
+        assert served["serial"] == served["thread"] == served["process"]
+
+
+class TestRefinableCacheLookup:
+    def test_dominating_entries_are_not_offered_for_refinement(self):
+        database, query, _ = dumbbell_database()
+        session = adaptive_session(database)
+        session.volume(query, epsilon=0.1, rng=11)
+        key = session.key_for(query)
+        # A looser request is served by dominance, never by refinement.
+        assert session.cache.refinable_lookup(key, 0.2, 0.1) is None
+
+    def test_non_refinable_entries_are_skipped(self):
+        database, query, _ = dumbbell_database()
+        session = ServiceSession(database, params=GeneratorParams(epsilon=0.2, delta=0.1))
+        session.volume(query, epsilon=0.2, rng=11)  # monte_carlo: not refinable
+        key = session.key_for(query)
+        assert session.cache.refinable_lookup(key, 0.05, 0.1) is None

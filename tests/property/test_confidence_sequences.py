@@ -1,0 +1,132 @@
+"""Statistical guarantees of the confidence sequences.
+
+Two properties are enforced:
+
+* **Coverage** — a sequence built for failure budget δ must contain the true
+  Bernoulli mean at *every* checkpoint simultaneously with probability at
+  least ``1 - δ``.  Measured over hundreds of independent streams per mean;
+  the empirical failure rate may exceed δ by at most three binomial standard
+  deviations (the bound is conservative, so observed failures sit far below
+  it in practice).
+* **Reproducibility** — for a fixed seed, adaptive stopping is bit-identical
+  across oracle block sizes and across the serial/thread/process execution
+  backends: the checkpoint schedule, not the execution layout, decides when
+  to stop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.constraints.database import ConstraintDatabase
+from repro.core import GeneratorParams
+from repro.inference import AdaptiveConfig, AdaptiveMonteCarlo
+from repro.inference.sequences import EmpiricalBernsteinSequence, HoeffdingSequence
+from repro.queries.ast import QRelation
+from repro.service import BatchRequest, Planner, ServiceSession
+from repro.workloads.dumbbell import dumbbell
+
+DELTA = 0.2
+TRIALS = 250
+CHECKPOINTS = 8  # stream horizon ~1.1k samples with the default schedule
+
+
+def failure_rate(sequence_cls, probability: float, seed: int) -> float:
+    """Fraction of streams whose sequence ever misses the true mean."""
+    rng = np.random.default_rng(seed)
+    failures = 0
+    for _ in range(TRIALS):
+        sequence = sequence_cls(DELTA)
+        missed = False
+        for _ in range(CHECKPOINTS):
+            pending = sequence.pending()
+            hits = int(rng.binomial(pending, probability))
+            sequence.observe_bernoulli(hits, pending)
+            interval = sequence.checkpoint()
+            if not interval.lower <= probability <= interval.upper:
+                missed = True
+        failures += missed
+    return failures / TRIALS
+
+
+@pytest.mark.parametrize("sequence_cls", [HoeffdingSequence, EmpiricalBernsteinSequence])
+@pytest.mark.parametrize(
+    ("probability", "seed"), [(0.15, 101), (0.5, 202), (0.85, 303)]
+)
+def test_empirical_coverage_at_least_one_minus_delta(sequence_cls, probability, seed):
+    observed = failure_rate(sequence_cls, probability, seed)
+    # Three binomial standard deviations above δ: the simultaneous-coverage
+    # guarantee bounds the failure probability by δ, so the empirical rate
+    # can only sit above δ + 3σ with negligible probability.
+    tolerance = 3.0 * np.sqrt(DELTA * (1.0 - DELTA) / TRIALS)
+    assert observed <= DELTA + tolerance
+
+
+class TestFixedSeedReproducibility:
+    def setup_method(self):
+        workload = dumbbell(4)
+        self.relation = workload.relation
+        box = self.relation.bounding_box()
+        self.bounds = [
+            (float(box[v][0]), float(box[v][1])) for v in self.relation.variables
+        ]
+
+    def test_adaptive_stopping_is_bit_identical_across_block_sizes(self):
+        outcomes = set()
+        for block_size in (23, 512, 8192, 65536):
+            estimator = AdaptiveMonteCarlo(
+                self.relation,
+                self.bounds,
+                delta=0.1,
+                rng=4242,
+                config=AdaptiveConfig(block_size=block_size),
+            )
+            estimate = estimator.run(0.1)
+            outcomes.add(
+                (estimate.value, estimate.samples_used, estimate.details["checkpoints"])
+            )
+        assert len(outcomes) == 1
+
+    def test_adaptive_stopping_is_bit_identical_across_backends(self):
+        database = ConstraintDatabase()
+        database.set_relation("D", self.relation)
+        query = QRelation("D", self.relation.variables)
+        outcomes = {}
+        for backend in ("serial", "thread", "process"):
+            session = ServiceSession(
+                database,
+                params=GeneratorParams(epsilon=0.2, delta=0.1),
+                planner=Planner(adaptive=True),
+            )
+            served = session.submit_batch(
+                [BatchRequest(query, epsilon=0.2), BatchRequest(query, epsilon=0.1)],
+                workers=2,
+                rng=777,
+                backend=backend,
+            )
+            outcomes[backend] = [
+                (item.result.value, item.result.estimate.samples_used)
+                for item in served
+            ]
+        assert outcomes["serial"] == outcomes["thread"] == outcomes["process"]
+
+    def test_block_size_override_in_batches_does_not_change_values(self):
+        database = ConstraintDatabase()
+        database.set_relation("D", self.relation)
+        query = QRelation("D", self.relation.variables)
+        served = []
+        for block_size in (64, 4096):
+            session = ServiceSession(
+                database,
+                params=GeneratorParams(epsilon=0.2, delta=0.1),
+                planner=Planner(adaptive=True),
+            )
+            outcomes = session.submit_batch(
+                [BatchRequest(query, epsilon=0.15)],
+                rng=31,
+                block_size=block_size,
+                backend="serial",
+            )
+            served.append(outcomes[0].result.value)
+        assert served[0] == served[1]
