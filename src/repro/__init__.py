@@ -16,6 +16,8 @@ The public API is organised in layers:
   estimators with resumable, refinable results;
 * :mod:`repro.core`        — observability and its closure properties
   (the paper's contribution);
+* :mod:`repro.plan`        — the logical plan IR: canonicalization, rewrite
+  rules, CSE, and cost-driven physical lowering;
 * :mod:`repro.queries`     — FO+LIN queries, exact and approximate evaluation;
 * :mod:`repro.service`     — the serving layer: canonical cache keys, cost-based
   plan selection, an LRU/TTL result cache and deterministic batch execution;
@@ -50,6 +52,7 @@ from repro.inference import (
     HoeffdingSequence,
     RefinableEstimate,
 )
+from repro.plan import PlanNode, build_plan, explain_plan, rewrite_plan
 from repro.queries import QueryEngine
 from repro.service import Planner, ResultCache, ServiceMetrics, ServiceSession
 from repro.volume import VolumeEstimate, estimate_convex_volume
@@ -78,6 +81,10 @@ __all__ = [
     "EmpiricalBernsteinSequence",
     "HoeffdingSequence",
     "RefinableEstimate",
+    "PlanNode",
+    "build_plan",
+    "explain_plan",
+    "rewrite_plan",
     "QueryEngine",
     "Planner",
     "ResultCache",

@@ -40,6 +40,19 @@ class UnionObservable(ObservableRelation):
         ambient dimension.
     params:
         Accuracy parameters (γ, ε, δ) of the composed generator.
+    member_seeds:
+        Optional per-member seeds.  When given, each member's volume estimate
+        is drawn from its *own* ``default_rng(seed)`` stream instead of the
+        shared generator passed to :meth:`member_volumes` — making every
+        member estimate a pure function of ``(member, accuracy, seed)``,
+        independent of sibling order.  The service's plan lowering derives
+        these seeds from the member subplans' content digests, which is what
+        makes shared-subplan reuse bit-identical to unshared evaluation.
+    member_digests:
+        Optional per-member subplan content digests (``None`` entries for
+        members that are not plan subtrees).  Pure metadata: the service's
+        sharing broker uses them to prime cached estimates before execution
+        and to harvest freshly computed ones after.
     """
 
     def __init__(
@@ -47,6 +60,8 @@ class UnionObservable(ObservableRelation):
         members: Sequence[ObservableRelation],
         params: GeneratorParams | None = None,
         max_volume_trials: int = 20_000,
+        member_seeds: Sequence[int] | None = None,
+        member_digests: Sequence[str | None] | None = None,
     ) -> None:
         members = list(members)
         if not members:
@@ -58,7 +73,14 @@ class UnionObservable(ObservableRelation):
         self.members = members
         self.params = params if params is not None else GeneratorParams()
         self.max_volume_trials = int(max_volume_trials)
+        if member_seeds is not None and len(member_seeds) != len(members):
+            raise ValueError("member_seeds must match the member count")
+        if member_digests is not None and len(member_digests) != len(members):
+            raise ValueError("member_digests must match the member count")
+        self.member_seeds = None if member_seeds is None else tuple(member_seeds)
+        self.member_digests = None if member_digests is None else tuple(member_digests)
         self._member_volumes: list[VolumeEstimate] | None = None
+        self._primed: dict[int, VolumeEstimate] = {}
 
     # ------------------------------------------------------------------
     # Structure
@@ -88,17 +110,74 @@ class UnionObservable(ObservableRelation):
     # ------------------------------------------------------------------
     # Member volumes (step 1 of Algorithm 1, cached across rounds)
     # ------------------------------------------------------------------
+    @staticmethod
+    def member_accuracy(
+        params: GeneratorParams, member_count: int
+    ) -> tuple[float, float]:
+        """The (ε, δ) each member volume is estimated at, from the union's params.
+
+        Exposed so the service's sharing broker can compute a member estimate
+        *outside* the union — for a shared subplan — at exactly the accuracy
+        the union itself would use.
+        """
+        return (
+            params.epsilon / 3.0,
+            min(params.delta / max(member_count, 1), 0.125),
+        )
+
+    def prime_member_volume(self, index: int, estimate: VolumeEstimate) -> None:
+        """Install a precomputed estimate for one member (subplan-cache reuse).
+
+        The primed value must have been computed at exactly this union's
+        :meth:`member_accuracy` from the member's own seeded stream — the
+        service only primes estimates whose cache entries match the
+        requested accuracy, so a primed and a freshly computed union are
+        bit-identical when :attr:`member_seeds` is set.
+        """
+        if not 0 <= index < len(self.members):
+            raise IndexError(f"no member at index {index}")
+        self._primed[index] = estimate
+        self._member_volumes = None
+
+    def member_volume_estimates(self) -> list[VolumeEstimate] | None:
+        """The member estimates computed so far (``None`` before any estimate).
+
+        Exposed so the service's sharing broker can *harvest* freshly
+        computed member volumes into its subplan cache after an execution,
+        without triggering a computation of its own.
+        """
+        return self._member_volumes
+
     def member_volumes(
         self, rng: np.random.Generator | int | None = None, refresh: bool = False
     ) -> list[VolumeEstimate]:
-        """Volume estimates ``μ̂_i`` of every member (ε/3 accuracy, cached)."""
+        """Volume estimates ``μ̂_i`` of every member (ε/3 accuracy, cached).
+
+        With :attr:`member_seeds` set, each member estimate consumes its own
+        seeded stream (and primed entries are served as-is), so the shared
+        ``rng`` is left untouched for the acceptance pass; without seeds all
+        members draw sequentially from the shared stream (the historical
+        behaviour, kept bit-identical for existing callers).
+        """
         if self._member_volumes is None or refresh:
             rng = ensure_rng(rng)
-            epsilon = self.params.epsilon / 3.0
-            delta = min(self.params.delta / max(len(self.members), 1), 0.125)
-            self._member_volumes = [
-                member.estimate_volume(epsilon, delta, rng=rng) for member in self.members
-            ]
+            epsilon, delta = self.member_accuracy(self.params, len(self.members))
+            estimates: list[VolumeEstimate] = []
+            for index, member in enumerate(self.members):
+                primed = None if refresh else self._primed.get(index)
+                if primed is not None:
+                    estimates.append(primed)
+                    continue
+                if self.member_seeds is not None:
+                    member_rng: np.random.Generator = np.random.default_rng(
+                        self.member_seeds[index]
+                    )
+                else:
+                    member_rng = rng
+                estimates.append(
+                    member.estimate_volume(epsilon, delta, rng=member_rng)
+                )
+            self._member_volumes = estimates
         return self._member_volumes
 
     # ------------------------------------------------------------------

@@ -1,0 +1,74 @@
+"""repro.plan — the logical plan IR between query ASTs and evaluation.
+
+The compiler pipeline is the classic three-stage separation:
+
+1. **canonicalize** (:mod:`repro.plan.canonical`) — the AST becomes an
+   immutable :class:`~repro.plan.nodes.PlanNode` tree, flattened and
+   de-duplicated, with a stable content ``digest`` per subplan (commutative
+   operand order is normalized inside the digest, while the tree keeps the
+   written order physical lowering follows);
+2. **rewrite** (:mod:`repro.plan.rewrite`) — algebraic rules: constraint
+   pushdown into relation scans, empty/absorbing-operand elimination,
+   disjunct dedup, and CSE interning that turns repeated subtrees into
+   shared node objects;
+3. **lower** (:mod:`repro.plan.lowering`) — each subtree becomes either a
+   symbolic generalized relation or an observable sampling plan, with the
+   symbolic-vs-observable decision driven by a cost bound and union members
+   optionally wired to the service's subplan estimate cache.
+
+:mod:`repro.plan.explain` renders the annotated plan without executing it.
+"""
+
+from repro.plan.canonical import build_plan, canonicalize, plan_digest
+from repro.plan.explain import (
+    NodeAnnotation,
+    PlanExplanation,
+    explain_forest,
+    explain_plan,
+)
+from repro.plan.lowering import (
+    LoweringOptions,
+    SubplanSharing,
+    lower_plan,
+    observable_from_relation,
+)
+from repro.plan.nodes import (
+    CompilationError,
+    Conjoin,
+    ConstraintFilter,
+    Disjoin,
+    EmptyPlan,
+    NegateDiff,
+    PlanNode,
+    Project,
+    RelationScan,
+    walk,
+)
+from repro.plan.rewrite import intern_plan, rewrite_plan, shared_subplans
+
+__all__ = [
+    "build_plan",
+    "canonicalize",
+    "plan_digest",
+    "NodeAnnotation",
+    "PlanExplanation",
+    "explain_forest",
+    "explain_plan",
+    "LoweringOptions",
+    "SubplanSharing",
+    "lower_plan",
+    "observable_from_relation",
+    "CompilationError",
+    "Conjoin",
+    "ConstraintFilter",
+    "Disjoin",
+    "EmptyPlan",
+    "NegateDiff",
+    "PlanNode",
+    "Project",
+    "RelationScan",
+    "walk",
+    "intern_plan",
+    "rewrite_plan",
+    "shared_subplans",
+]

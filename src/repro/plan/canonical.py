@@ -1,0 +1,228 @@
+"""Canonicalization: query ASTs become normalized logical plans.
+
+:func:`build_plan` translates an AST into the :mod:`repro.plan.nodes` IR and
+normalizes it in the same pass:
+
+* nested conjunctions/disjunctions are **flattened** (``(a AND b) AND c`` and
+  ``a AND (b AND c)`` build the same plan);
+* structurally duplicate operands of ``AND``/``OR`` are **de-duplicated** by
+  content digest, keeping the first occurrence (idempotence — this is also
+  the fix for the union generator double-lowering duplicate disjuncts);
+* **double negation** is eliminated and a negated constraint atom is pushed
+  into the atom (``¬(t ≤ 0)`` becomes the filter ``t > 0``);
+* every negated conjunct is collected into one :class:`~repro.plan.nodes.NegateDiff`
+  subtrahend (``A ∧ ¬B ∧ ¬C`` becomes ``A \\ (B ∪ C)``);
+* the bound-variable tuple of a projection is sorted
+  (``EXISTS x, y`` = ``EXISTS y, x``);
+* single-operand ``AND``/``OR`` wrappers are unwrapped.
+
+Commutative operand *order* is normalized in the content hash, not in the
+tree: every node's ``digest`` sorts the operand digests of ``AND``/``OR``
+(see :mod:`repro.plan.nodes`), so plans that differ only in operand order
+share the digest, while the tree keeps the written order that physical
+lowering follows (it decides the variable order of the lowered result).
+
+:func:`canonicalize` re-applies the same normal form to an existing plan —
+it is idempotent, and building from any operand permutation of a query
+yields plans with equal digests (property-tested in ``tests/plan``).
+"""
+
+from __future__ import annotations
+
+from repro.plan.nodes import (
+    Conjoin,
+    ConstraintFilter,
+    Disjoin,
+    EmptyPlan,
+    NegateDiff,
+    PlanNode,
+    Project,
+    RelationScan,
+)
+from repro.queries.ast import QAnd, QConstraint, QExists, QNot, QOr, QRelation, Query
+from repro.queries.compiler import CompilationError
+
+
+def build_plan(query: Query) -> PlanNode:
+    """Translate a query AST into a normalized logical plan."""
+    if isinstance(query, QRelation):
+        return RelationScan(query.name, query.arguments)
+    if isinstance(query, QConstraint):
+        return ConstraintFilter(query.constraint)
+    if isinstance(query, QNot):
+        inner = _strip_negations(query)
+        if isinstance(inner, Query):
+            return build_plan(inner)
+        # An odd number of negations with no enclosing conjunction: the
+        # complement is not well-bounded, so there is no plan shape for it.
+        raise CompilationError(
+            "negation is only supported inside a conjunction (as a difference); "
+            "top-level complements are not well-bounded"
+        )
+    if isinstance(query, QAnd):
+        return _build_conjunction(query)
+    if isinstance(query, QOr):
+        operands = [
+            op
+            for op in _dedup(build_plan(op) for op in _flatten_or(query))
+            if not isinstance(op, EmptyPlan)
+        ]
+        if not operands:
+            return EmptyPlan(query.free_variables())
+        if len(operands) == 1:
+            return operands[0]
+        return Disjoin(operands)
+    if isinstance(query, QExists):
+        operand = build_plan(query.operand)
+        drop = tuple(
+            name for name in query.variables if name in set(operand.free_variables())
+        )
+        if not drop:
+            # Quantifying variables the body does not mention is a no-op.
+            return operand
+        if isinstance(operand, EmptyPlan):
+            return EmptyPlan(
+                tuple(n for n in operand.free_variables() if n not in set(drop))
+            )
+        if isinstance(operand, Project):
+            # EX[x](EX[y](p)) = EX[x,y](p)
+            return Project(operand.operand, operand.drop + tuple(drop))
+        return Project(operand, drop)
+    raise TypeError(f"unsupported query node {query!r}")
+
+
+def canonicalize(plan: PlanNode) -> PlanNode:
+    """Re-normalize an existing plan (idempotent: a built plan is a fixpoint)."""
+    if isinstance(plan, (RelationScan, ConstraintFilter, EmptyPlan)):
+        return plan
+    if isinstance(plan, Conjoin):
+        operands = _dedup(_flatten_plan(plan, Conjoin, canonicalize))
+        if any(isinstance(op, EmptyPlan) for op in operands):
+            return EmptyPlan(plan.free_variables())
+        return operands[0] if len(operands) == 1 else Conjoin(operands)
+    if isinstance(plan, Disjoin):
+        operands = [
+            op
+            for op in _dedup(_flatten_plan(plan, Disjoin, canonicalize))
+            if not isinstance(op, EmptyPlan)
+        ]
+        if not operands:
+            return EmptyPlan(plan.free_variables())
+        return operands[0] if len(operands) == 1 else Disjoin(operands)
+    if isinstance(plan, NegateDiff):
+        minuend = canonicalize(plan.minuend)
+        subtrahend = canonicalize(plan.subtrahend)
+        if isinstance(subtrahend, EmptyPlan):
+            return minuend
+        if isinstance(minuend, EmptyPlan) or minuend.digest == subtrahend.digest:
+            return EmptyPlan(plan.free_variables())
+        return NegateDiff(minuend, subtrahend)
+    if isinstance(plan, Project):
+        operand = canonicalize(plan.operand)
+        if isinstance(operand, EmptyPlan):
+            return EmptyPlan(plan.free_variables())
+        if isinstance(operand, Project):
+            return Project(operand.operand, operand.drop + plan.drop)
+        return Project(operand, plan.drop)
+    raise TypeError(f"unsupported plan node {plan!r}")
+
+
+def plan_digest(query: Query) -> str:
+    """The canonical content digest of a query's logical plan."""
+    return build_plan(query).digest
+
+
+# ----------------------------------------------------------------------
+# Internals
+# ----------------------------------------------------------------------
+def _strip_negations(query: QNot) -> Query | None:
+    """Resolve a negation chain: a query for even depth, ``None`` for odd.
+
+    ``¬¬x`` collapses to ``x``; an odd chain ending in a constraint atom is
+    pushed into the atom (``¬(t ≤ 0)`` = ``t > 0``), any other odd chain has
+    no stand-alone plan form.
+    """
+    negated = False
+    node: Query = query
+    while isinstance(node, QNot):
+        negated = not negated
+        node = node.operand
+    if not negated:
+        return node
+    if isinstance(node, QConstraint):
+        return QConstraint(node.constraint.negate())
+    return None
+
+
+def _flatten_and(query: QAnd):
+    for operand in query.operands:
+        if isinstance(operand, QAnd):
+            yield from _flatten_and(operand)
+        else:
+            yield operand
+
+
+def _flatten_or(query: QOr):
+    for operand in query.operands:
+        if isinstance(operand, QOr):
+            yield from _flatten_or(operand)
+        else:
+            yield operand
+
+
+def _flatten_plan(plan: PlanNode, node_type: type, transform):
+    for operand in plan.operands:  # type: ignore[attr-defined]
+        normalized = transform(operand)
+        if isinstance(normalized, node_type):
+            yield from normalized.operands
+        else:
+            yield normalized
+
+
+def _dedup(operands) -> list[PlanNode]:
+    """Drop structural duplicates (by digest), keeping first-occurrence order."""
+    unique: dict[str, PlanNode] = {}
+    for operand in operands:
+        unique.setdefault(operand.digest, operand)
+    return list(unique.values())
+
+
+def _build_conjunction(query: QAnd) -> PlanNode:
+    """Split a conjunction into positives and a collected subtrahend."""
+    positives: list[PlanNode] = []
+    negatives: list[PlanNode] = []
+    for operand in _flatten_and(query):
+        if isinstance(operand, QNot):
+            resolved = _strip_negations(operand)
+            if resolved is not None:
+                positives.append(build_plan(resolved))
+            else:
+                negatives.append(build_plan(_unwrap_odd(operand)))
+        else:
+            positives.append(build_plan(operand))
+    positives = _dedup(positives)
+    if not positives:
+        raise CompilationError("a conjunction needs at least one positive operand")
+    if any(isinstance(op, EmptyPlan) for op in positives):
+        return EmptyPlan(query.free_variables())
+    minuend = positives[0] if len(positives) == 1 else Conjoin(positives)
+    negatives = [op for op in _dedup(negatives) if not isinstance(op, EmptyPlan)]
+    if not negatives:
+        return minuend
+    subtrahend = negatives[0] if len(negatives) == 1 else Disjoin(negatives)
+    if minuend.digest == subtrahend.digest:
+        # A ∧ ¬A is syntactically empty.
+        return EmptyPlan(query.free_variables())
+    return NegateDiff(minuend, subtrahend)
+
+
+def _unwrap_odd(query: QNot) -> Query:
+    """The innermost operand of an odd negation chain (the set being removed)."""
+    node: Query = query
+    while isinstance(node, QNot):
+        inner = node.operand
+        if isinstance(inner, QNot):
+            node = inner.operand
+        else:
+            return inner
+    return node

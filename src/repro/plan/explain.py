@@ -1,0 +1,255 @@
+"""Plan explanation: the canonical plan with per-node route/cost annotations.
+
+:func:`explain_plan` runs the front half of the compiler — build, rewrite,
+intern — and then *annotates* the plan instead of lowering it: every node is
+tagged with the route physical lowering would choose (symbolic evaluation,
+union/intersection/difference/projection generator), a syntactic disjunct
+estimate (the cost driver of the symbolic-vs-observable decision), its
+dimension and its content digest.  Shared subtrees (same node object after
+CSE interning) are marked, so the output makes visible exactly what the
+service's subplan cache can reuse.
+
+The rendering is deliberately plain text — it is what
+``QueryEngine.explain`` and ``examples/plan_demo.py`` print::
+
+    disjoin                [union-generator]    dim=2 disjuncts~10 digest=5c1f20a9
+      scan Z               [symbolic]           dim=2 disjuncts~9  digest=e3b1c763  (shared)
+      scan E1              [symbolic]           dim=2 disjuncts~1  digest=9a41d2efa
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.constraints.database import ConstraintDatabase
+from repro.plan.canonical import build_plan
+from repro.plan.lowering import LoweringOptions
+from repro.plan.nodes import (
+    Conjoin,
+    ConstraintFilter,
+    Disjoin,
+    EmptyPlan,
+    NegateDiff,
+    PlanNode,
+    Project,
+    RelationScan,
+)
+from repro.plan.rewrite import intern_plan, rewrite_plan
+from repro.queries.ast import Query
+
+
+@dataclass(frozen=True)
+class NodeAnnotation:
+    """One explained plan node (pre-order position ``depth`` levels deep)."""
+
+    node: PlanNode
+    depth: int
+    route: str
+    dimension: int
+    disjunct_estimate: int
+    shared: bool
+
+    def label(self) -> str:
+        if isinstance(self.node, RelationScan):
+            name = f"scan {self.node.name}"
+            if self.node.filters:
+                name += f" |{len(self.node.filters)} filter(s)"
+            return name
+        if isinstance(self.node, ConstraintFilter):
+            return f"filter {self.node.constraint}"
+        if isinstance(self.node, Project):
+            return f"project -[{','.join(self.node.drop)}]"
+        return self.node.kind
+
+
+@dataclass
+class PlanExplanation:
+    """The canonical plan of a query plus its lowering annotations."""
+
+    plan: PlanNode
+    annotations: list[NodeAnnotation] = field(default_factory=list)
+    #: Filled by ``QueryEngine.explain``: the service planner's whole-query
+    #: verdict (route, budgets) for the same request.
+    service_plan: object | None = None
+
+    @property
+    def digest(self) -> str:
+        return self.plan.digest
+
+    def shared_digests(self) -> tuple[str, ...]:
+        seen = []
+        for annotation in self.annotations:
+            if annotation.shared and annotation.node.digest not in seen:
+                seen.append(annotation.node.digest)
+        return tuple(seen)
+
+    def render(self) -> str:
+        lines = []
+        for annotation in self.annotations:
+            indent = "  " * annotation.depth
+            route = f"[{annotation.route}]"
+            suffix = (
+                f"dim={annotation.dimension} "
+                f"disjuncts~{annotation.disjunct_estimate} "
+                f"digest={annotation.node.digest[:8]}"
+            )
+            if annotation.shared:
+                suffix += "  (shared)"
+            lines.append(f"{indent}{annotation.label():<28} {route:<22} {suffix}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def explain_plan(
+    query: Query | PlanNode,
+    database: ConstraintDatabase,
+    options: LoweringOptions | None = None,
+) -> PlanExplanation:
+    """Canonicalize, rewrite and annotate a query's plan (no execution)."""
+    options = options if options is not None else LoweringOptions()
+    plan = query if isinstance(query, PlanNode) else build_plan(query)
+    plan = intern_plan(rewrite_plan(plan, database))
+    occurrences: dict[int, int] = {}
+    _count(plan, occurrences)
+    explanation = PlanExplanation(plan=plan)
+    _annotate(plan, database, options, occurrences, explanation, depth=0, symbolic=False)
+    return explanation
+
+
+def _count(plan: PlanNode, occurrences: dict[int, int]) -> None:
+    occurrences[id(plan)] = occurrences.get(id(plan), 0) + 1
+    for child in plan.children():
+        _count(child, occurrences)
+
+
+def _disjunct_estimate(plan: PlanNode, database: ConstraintDatabase) -> int:
+    """Syntactic DNF-size bound: the planner profile's estimate, per subtree."""
+    if isinstance(plan, RelationScan):
+        if plan.name in database:
+            return max(len(database.relation(plan.name).disjuncts), 1)
+        return 1
+    if isinstance(plan, (ConstraintFilter, EmptyPlan)):
+        return 1
+    if isinstance(plan, Conjoin):
+        product = 1
+        for operand in plan.operands:
+            product *= _disjunct_estimate(operand, database)
+        return product
+    if isinstance(plan, Disjoin):
+        return sum(_disjunct_estimate(op, database) for op in plan.operands)
+    if isinstance(plan, NegateDiff):
+        return _disjunct_estimate(plan.minuend, database)
+    if isinstance(plan, Project):
+        return _disjunct_estimate(plan.operand, database)
+    raise TypeError(f"unsupported plan node {plan!r}")
+
+
+def _is_symbolic(
+    plan: PlanNode,
+    database: ConstraintDatabase,
+    options: LoweringOptions,
+    prefer: bool = False,
+) -> bool:
+    """Would lowering keep this subtree symbolic?
+
+    ``prefer`` mirrors the lowering's symbolic-preferring context (the
+    children of a conjunction): there a disjunction of symbolic operands
+    merges into one DNF instead of becoming a union generator.
+    """
+    if isinstance(plan, (RelationScan, ConstraintFilter, EmptyPlan)):
+        return True
+    if isinstance(plan, Conjoin):
+        return (
+            all(_is_symbolic(op, database, options, prefer=True) for op in plan.operands)
+            and _disjunct_estimate(plan, database) <= options.max_symbolic_disjuncts
+        )
+    if isinstance(plan, Disjoin):
+        return prefer and all(
+            _is_symbolic(op, database, options, prefer=True) for op in plan.operands
+        )
+    return False
+
+
+def _route(
+    plan: PlanNode,
+    database: ConstraintDatabase,
+    options: LoweringOptions,
+    symbolic: bool,
+) -> str:
+    if isinstance(plan, EmptyPlan):
+        return "empty"
+    if symbolic or _is_symbolic(plan, database, options):
+        return "symbolic"
+    if isinstance(plan, Conjoin):
+        return "intersection-generator"
+    if isinstance(plan, Disjoin):
+        return "union-generator"
+    if isinstance(plan, NegateDiff):
+        return "difference-generator"
+    if isinstance(plan, Project):
+        return "projection-generator"
+    return "symbolic"
+
+
+def _annotate(
+    plan: PlanNode,
+    database: ConstraintDatabase,
+    options: LoweringOptions,
+    occurrences: dict[int, int],
+    explanation: PlanExplanation,
+    depth: int,
+    symbolic: bool,
+) -> None:
+    route = _route(plan, database, options, symbolic)
+    explanation.annotations.append(
+        NodeAnnotation(
+            node=plan,
+            depth=depth,
+            route=route,
+            dimension=len(plan.free_variables()),
+            disjunct_estimate=_disjunct_estimate(plan, database),
+            shared=occurrences.get(id(plan), 0) > 1,
+        )
+    )
+    # Below a projection everything must stay symbolic; below a node that
+    # lowers symbolically the children are symbolic too.
+    child_symbolic = symbolic or isinstance(plan, Project) or route == "symbolic"
+    for child in plan.children():
+        _annotate(
+            child, database, options, occurrences, explanation, depth + 1, child_symbolic
+        )
+
+
+def explain_forest(
+    queries: Sequence[Query | PlanNode], database: ConstraintDatabase
+) -> list[PlanExplanation]:
+    """Explain several queries against one shared interning pool.
+
+    Subtrees repeated *across* the queries are marked shared — the view of a
+    batch the service's plan forest sees.
+    """
+    pool: dict[str, PlanNode] = {}
+    plans = [
+        intern_plan(
+            rewrite_plan(
+                query if isinstance(query, PlanNode) else build_plan(query), database
+            ),
+            pool,
+        )
+        for query in queries
+    ]
+    occurrences: dict[int, int] = {}
+    for plan in plans:
+        _count(plan, occurrences)
+    options = LoweringOptions()
+    explanations = []
+    for plan in plans:
+        explanation = PlanExplanation(plan=plan)
+        _annotate(
+            plan, database, options, occurrences, explanation, depth=0, symbolic=False
+        )
+        explanations.append(explanation)
+    return explanations

@@ -1,0 +1,492 @@
+"""Physical lowering: logical plans become observable evaluation plans.
+
+This pass replaces the query compiler's former direct AST lowering.  It maps
+each :class:`~repro.plan.nodes.PlanNode` to either a *symbolic* generalized
+relation or an *observable* sampling plan, following Section 4 of the paper:
+
+* relation scans (with pushed-down filters) evaluate symbolically — the
+  conjunction of generalized tuples is again a generalized tuple;
+* conjunctions stay symbolic while every operand is symbolic **and** the
+  planner's cost model says the DNF product is affordable
+  (:attr:`LoweringOptions.max_symbolic_disjuncts`); past that bound, or with
+  an observable operand, they lower to the rejection-based intersection
+  generator (Proposition 4.1);
+* disjunctions in an *observable* context (the root, a union member, a
+  difference operand) lower to the union generator (Theorem 4.1 /
+  Corollary 4.2), one member per disjunct subplan — the member boundary is
+  what the service shares across queries; under a conjunction or a
+  projection, a disjunction of symbolic operands merges into one DNF
+  relation instead (the pre-plan-IR compiler's symbolic collapse), so
+  conjunctions over unions of stored relations stay symbolic;
+* ``NegateDiff`` lowers to the difference generator (Proposition 4.2);
+* projections lower per convex disjunct of their (necessarily symbolic)
+  operand (Theorem 4.3).
+
+Lowering memoizes on node *identity*: an interned forest
+(:func:`repro.plan.rewrite.intern_plan`) lowers every shared subtree once.
+
+The optional :class:`SubplanSharing` hook connects the union generator's
+member estimates to the service's subplan cache: the lowering asks it for a
+content-addressed seed per member (so each member estimate is a pure
+function of its subplan digest — alignment included — not of sibling order)
+and for a cached estimate to prime.  Without the hook, member estimation
+follows the historical shared-stream behaviour; the only structural
+departure from the pre-plan-IR compiler is that observable-context
+disjunctions union their operands' observables instead of merging DNFs
+first (statistically equivalent, and the seam sharing needs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.constraints.database import ConstraintDatabase
+from repro.constraints.relations import GeneralizedRelation
+from repro.constraints.tuples import GeneralizedTuple
+from repro.core.convex import ConvexObservable
+from repro.core.difference import DifferenceObservable
+from repro.core.intersection import IntersectionObservable
+from repro.core.observable import GeneratorParams, ObservableRelation
+from repro.core.projection import ProjectionObservable
+from repro.core.union import UnionObservable
+from repro.plan.nodes import (
+    Conjoin,
+    ConstraintFilter,
+    Disjoin,
+    EmptyPlan,
+    NegateDiff,
+    PlanNode,
+    Project,
+    RelationScan,
+)
+from repro.queries.compiler import CompilationError
+
+
+@dataclass(frozen=True)
+class LoweringOptions:
+    """Knobs of the physical lowering pass.
+
+    Attributes
+    ----------
+    sampler:
+        Walk used by the convex generators (``"hit_and_run"`` or
+        ``"ball_walk"``).
+    samples_per_phase:
+        Per-phase budget of every convex member's telescoping estimator (the
+        service planner sets it from the request's accuracy).
+    max_symbolic_disjuncts:
+        Cost bound of the symbolic-vs-observable decision for conjunctions:
+        a conjunction of symbolic operands whose DNF disjunct product would
+        exceed this bound lowers to the rejection-based intersection
+        generator instead of materialising the product.  The default keeps
+        every practical query symbolic — the planner can tighten it.
+    """
+
+    sampler: str = "hit_and_run"
+    samples_per_phase: int = 800
+    max_symbolic_disjuncts: int = 512
+
+
+class SubplanSharing:
+    """Hook connecting union-member lowering to a subplan estimate store.
+
+    The service's broker subclasses this; the base class provides the
+    no-reuse behaviour (content-addressed seeds only), which is what keeps a
+    sharing and a non-sharing session bit-identical: the *seeding* is part
+    of the lowering semantics, reuse only skips recomputation.
+    """
+
+    def member_seed(
+        self, digest: str, epsilon: float, delta: float, samples_per_phase: int
+    ) -> int:
+        """A stable seed for the member subplan's estimate stream."""
+        raise NotImplementedError
+
+    def member_lookup(
+        self, digest: str, epsilon: float, delta: float, samples_per_phase: int
+    ) -> object | None:
+        """A cached estimate dominating ``(ε, δ)``, or ``None`` (no reuse here)."""
+        return None
+
+
+def observable_from_relation(
+    relation: GeneralizedRelation,
+    params: GeneratorParams | None = None,
+    sampler: str = "hit_and_run",
+    samples_per_phase: int = 800,
+) -> ObservableRelation:
+    """Wrap a symbolic DNF relation as an observable (union of convex disjuncts).
+
+    ``samples_per_phase`` bounds the per-phase budget of each member's
+    telescoping volume estimator; the default keeps compiled plans laptop-fast
+    while staying well within the loose ratios the experiments assert.
+    """
+    params = params if params is not None else GeneratorParams()
+    members = _convex_members(relation, params, sampler, samples_per_phase)
+    if len(members) == 1:
+        return members[0]
+    return UnionObservable(members, params=params)
+
+
+def _convex_members(
+    relation: GeneralizedRelation,
+    params: GeneratorParams,
+    sampler: str,
+    samples_per_phase: int,
+) -> list[ObservableRelation]:
+    """One :class:`ConvexObservable` per usable disjunct of a DNF relation.
+
+    Syntactically empty, float-empty and unbounded disjuncts are skipped;
+    raises when nothing observable remains.  Shared by the plain and the
+    sharing-aware union constructions so their member lists can never drift.
+    """
+    from repro.volume.telescoping import TelescopingConfig
+
+    telescoping = TelescopingConfig(samples_per_phase=samples_per_phase)
+    members: list[ObservableRelation] = []
+    for disjunct in relation.disjuncts:
+        if disjunct.is_syntactically_empty():
+            continue
+        observable = ConvexObservable(
+            disjunct, params=params, sampler=sampler, telescoping=telescoping
+        )
+        if observable.polytope.is_empty() or not observable.is_well_bounded():
+            continue
+        members.append(observable)
+    if not members:
+        raise CompilationError("relation has no non-empty, well-bounded disjunct")
+    return members
+
+
+def lower_plan(
+    plan: PlanNode,
+    database: ConstraintDatabase,
+    params: GeneratorParams | None = None,
+    options: LoweringOptions | None = None,
+    sharing: SubplanSharing | None = None,
+) -> ObservableRelation:
+    """Lower a logical plan to an observable evaluation plan."""
+    lowering = _Lowering(database, params, options, sharing)
+    return lowering.lower_observable(plan)
+
+
+class _Lowering:
+    """One lowering run: carries the context and the per-node memo."""
+
+    def __init__(
+        self,
+        database: ConstraintDatabase,
+        params: GeneratorParams | None,
+        options: LoweringOptions | None,
+        sharing: SubplanSharing | None,
+    ) -> None:
+        self.database = database
+        self.params = params if params is not None else GeneratorParams()
+        self.options = options if options is not None else LoweringOptions()
+        self.sharing = sharing
+        # Memoized on node identity (and context): an interned forest lowers
+        # each shared subtree exactly once.
+        self._memo: dict[tuple[int, object], object] = {}
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def lower(
+        self, plan: PlanNode, symbolic: "bool | str" = False
+    ) -> tuple[str, object]:
+        """Lower one node in one of three contexts.
+
+        ``symbolic`` is the context of the consuming parent:
+
+        * ``False`` — the result is consumed as an observable (the root, a
+          union member, a difference operand).  Disjunctions lower to the
+          union generator, one member per disjunct subplan — the sharing
+          boundary;
+        * ``"prefer"`` — the parent is a conjunction that would like to
+          stay symbolic: disjunctions of symbolic operands merge into one
+          DNF relation (the pre-plan-IR compiler's collapse), everything
+          else behaves as in the observable context;
+        * ``True`` — the parent (a projection) *requires* a symbolic
+          result; non-symbolic shapes raise.
+
+        Returns ``("relation", GeneralizedRelation)`` or
+        ``("observable", ObservableRelation)``.
+        """
+        memo_key = (id(plan), symbolic)
+        cached = self._memo.get(memo_key)
+        if cached is not None:
+            return cached  # type: ignore[return-value]
+        result = self._lower(plan, symbolic)
+        self._memo[memo_key] = result
+        return result
+
+    def lower_observable(self, plan: PlanNode) -> ObservableRelation:
+        """Lower a node and wrap symbolic results as observables."""
+        memo_key = (id(plan), "observable")
+        cached = self._memo.get(memo_key)
+        if cached is not None:
+            return cached  # type: ignore[return-value]
+        kind, value = self.lower(plan, False)
+        if kind == "observable":
+            observable = value
+        else:
+            observable = self._relation_observable(value, plan.digest)  # type: ignore[arg-type]
+        self._memo[memo_key] = observable
+        return observable  # type: ignore[return-value]
+
+    def _relation_observable(
+        self, relation: GeneralizedRelation, digest: str | None
+    ) -> ObservableRelation:
+        """Observable form of a symbolic subtree result.
+
+        With a sharing hook and a subplan digest, the DNF's union is built
+        with *per-disjunct* content-addressed streams (synthetic digests
+        ``<digest>#d<i>``): every disjunct volume becomes a pure function of
+        content, so the service can bank and prime them across queries —
+        the inner unions of a shared base-map scan are where repeated
+        traffic spends most of its samples.
+        """
+        if self.sharing is None or digest is None:
+            return observable_from_relation(
+                relation,
+                self.params,
+                self.options.sampler,
+                self.options.samples_per_phase,
+            )
+        members = _convex_members(
+            relation, self.params, self.options.sampler,
+            self.options.samples_per_phase,
+        )
+        if len(members) == 1:
+            return members[0]
+        digests = tuple(f"{digest}#d{index}" for index in range(len(members)))
+        union = UnionObservable(
+            members,
+            params=self.params,
+            member_seeds=self._member_seeds(digests, len(members)),
+            member_digests=digests,
+        )
+        self._prime_members(union, digests)
+        return union
+
+    def _lower(self, plan: PlanNode, symbolic: "bool | str") -> tuple[str, object]:
+        if isinstance(plan, EmptyPlan):
+            raise CompilationError("the query result is syntactically empty")
+        if isinstance(plan, RelationScan):
+            return "relation", self._lower_scan(plan)
+        if isinstance(plan, ConstraintFilter):
+            return "relation", self._constraint_relation(plan)
+        if isinstance(plan, Conjoin):
+            return self._lower_conjoin(plan, symbolic)
+        if isinstance(plan, Disjoin):
+            return self._lower_disjoin(plan, symbolic)
+        if isinstance(plan, NegateDiff):
+            if symbolic is True:
+                raise CompilationError(
+                    "existential quantification is only compiled over symbolic "
+                    "sub-queries; normalise the query so quantifiers sit above "
+                    "conjunctions of atoms"
+                )
+            return self._lower_difference(plan)
+        if isinstance(plan, Project):
+            return self._lower_project(plan)
+        raise TypeError(f"unsupported plan node {plan!r}")
+
+    # ------------------------------------------------------------------
+    # Leaves
+    # ------------------------------------------------------------------
+    def _lower_scan(self, plan: RelationScan) -> GeneralizedRelation:
+        if plan.name not in self.database:
+            raise CompilationError(f"unknown relation {plan.name!r}")
+        instance = self.database.relation(plan.name)
+        attributes = self.database.schema[plan.name].attributes
+        if len(attributes) != len(plan.arguments):
+            raise CompilationError(
+                f"relation {plan.name} expects {len(attributes)} arguments, "
+                f"got {len(plan.arguments)}"
+            )
+        relation = instance.rename(
+            dict(zip(attributes, plan.arguments))
+        ).simplify()
+        for constraint in plan.filters:
+            relation = relation.intersection(
+                self._constraint_relation(ConstraintFilter(constraint))
+            )
+        return relation
+
+    def _constraint_relation(self, plan: ConstraintFilter) -> GeneralizedRelation:
+        order = tuple(sorted(plan.constraint.variables()))
+        tuple_ = GeneralizedTuple((plan.constraint,), order)
+        return GeneralizedRelation.from_tuple(tuple_).simplify()
+
+    # ------------------------------------------------------------------
+    # Connectives
+    # ------------------------------------------------------------------
+    def _lower_conjoin(
+        self, plan: Conjoin, symbolic: "bool | str"
+    ) -> tuple[str, object]:
+        # Children of a conjunction are lowered symbolic-preferring: a
+        # disjunction of symbolic operands merges into one DNF so the whole
+        # conjunction can stay symbolic (the classic collapse).
+        child_mode: "bool | str" = True if symbolic is True else "prefer"
+        lowered = [self.lower(op, child_mode) for op in plan.operands]
+        if all(kind == "relation" for kind, _ in lowered):
+            product = 1
+            for _, value in lowered:
+                product *= max(len(value.disjuncts), 1)  # type: ignore[union-attr]
+            if symbolic is True or product <= self.options.max_symbolic_disjuncts:
+                relation = lowered[0][1]
+                for _, other in lowered[1:]:
+                    relation = relation.intersection(other)  # type: ignore[union-attr]
+                return "relation", relation
+            # The DNF product is past the cost bound: rejection sampling
+            # against the operands beats materialising the product.
+        members = [
+            value
+            if kind == "observable"
+            else self._relation_observable(value, operand.digest)  # type: ignore[arg-type]
+            for operand, (kind, value) in zip(plan.operands, lowered)
+        ]
+        if len(members) == 1:
+            return "observable", members[0]
+        return "observable", IntersectionObservable(members, params=self.params)
+
+    def _lower_disjoin(
+        self, plan: Disjoin, symbolic: "bool | str"
+    ) -> tuple[str, object]:
+        child_mode: "bool | str" = True if symbolic is True else "prefer"
+        lowered = [self.lower(op, child_mode) for op in plan.operands]
+        all_symbolic = all(kind == "relation" for kind, _ in lowered)
+        if symbolic is True or (symbolic == "prefer" and all_symbolic):
+            # A projection above requires — or a conjunction above prefers —
+            # the symbolic merge (DNF concatenation).
+            relations = [value for _, value in lowered]
+            order = relations[0].variables  # type: ignore[union-attr]
+            for other in relations[1:]:
+                order = _extend(order, other.variables)  # type: ignore[union-attr]
+            merged = relations[0].with_variables(order)  # type: ignore[union-attr]
+            for other in relations[1:]:
+                merged = merged.union(other.with_variables(order))  # type: ignore[union-attr]
+            return "relation", merged
+        order = plan.free_variables()
+        members: list[ObservableRelation] = []
+        digests: list[str | None] = []
+        for operand, (kind, value) in zip(plan.operands, lowered):
+            if kind == "relation":
+                aligned_order = _extend(order, value.variables)  # type: ignore[union-attr]
+                aligned = value.with_variables(aligned_order)  # type: ignore[union-attr]
+                # The member's identity must cover its coordinate order: the
+                # same subtree embedded in a different variable order walks
+                # different coordinates, so it may only share cache entries
+                # (and seeds) with identically-aligned occurrences.
+                member_digest = operand.digest
+                if aligned_order != tuple(value.variables):  # type: ignore[union-attr]
+                    member_digest += "@" + ",".join(aligned_order)
+                try:
+                    member = self._relation_observable(aligned, member_digest)
+                except CompilationError:
+                    # Mirror the DNF path: disjuncts with nothing observable
+                    # (empty after float conversion, or unbounded) are
+                    # skipped, not fatal — unless nothing remains.
+                    continue
+            else:
+                member = value  # type: ignore[assignment]
+                member_digest = operand.digest
+            members.append(member)
+            digests.append(member_digest)
+        if not members:
+            raise CompilationError("relation has no non-empty, well-bounded disjunct")
+        if len(members) == 1:
+            return "observable", members[0]
+        union = UnionObservable(
+            members,
+            params=self.params,
+            member_seeds=self._member_seeds(digests, len(members)),
+            member_digests=tuple(digests),
+        )
+        self._prime_members(union, digests)
+        return "observable", union
+
+    def _lower_difference(self, plan: NegateDiff) -> tuple[str, object]:
+        minuend = self.lower_observable(plan.minuend)
+        subtrahend = self.lower_observable(plan.subtrahend)
+        return "observable", DifferenceObservable(
+            minuend, subtrahend, params=self.params
+        )
+
+    def _lower_project(self, plan: Project) -> tuple[str, object]:
+        kind, value = self.lower(plan.operand, symbolic=True)
+        if kind != "relation":
+            raise CompilationError(
+                "existential quantification is only compiled over symbolic "
+                "sub-queries; normalise the query so quantifiers sit above "
+                "conjunctions of atoms"
+            )
+        keep = tuple(
+            name
+            for name in value.variables  # type: ignore[union-attr]
+            if name not in set(plan.drop)
+        )
+        if not keep:
+            raise CompilationError("projection must keep at least one variable")
+        members: list[ObservableRelation] = []
+        for disjunct in value.disjuncts:  # type: ignore[union-attr]
+            if disjunct.is_syntactically_empty():
+                continue
+            source = ConvexObservable(
+                disjunct, params=self.params, sampler=self.options.sampler
+            )
+            if source.polytope.is_empty() or not source.is_well_bounded():
+                continue
+            members.append(
+                ProjectionObservable(source, keep=keep, params=self.params)
+            )
+        if not members:
+            raise CompilationError("projection has no non-empty disjunct")
+        if len(members) == 1:
+            return "observable", members[0]
+        return "observable", UnionObservable(members, params=self.params)
+
+    # ------------------------------------------------------------------
+    # Sharing hooks
+    # ------------------------------------------------------------------
+    def _member_seeds(
+        self, digests: Sequence[str | None], count: int
+    ) -> tuple[int, ...] | None:
+        if self.sharing is None or any(digest is None for digest in digests):
+            return None
+        epsilon, delta = UnionObservable.member_accuracy(self.params, count)
+        return tuple(
+            self.sharing.member_seed(
+                digest, epsilon, delta, self.options.samples_per_phase
+            )
+            for digest in digests
+        )
+
+    def _prime_members(
+        self, union: UnionObservable, digests: Sequence[str | None]
+    ) -> None:
+        if self.sharing is None or union.member_seeds is None:
+            # Priming without per-member seeds would shift the shared-stream
+            # positions of the remaining members and break determinism.
+            return
+        epsilon, delta = UnionObservable.member_accuracy(
+            self.params, len(union.members)
+        )
+        for index, digest in enumerate(digests):
+            if digest is None:
+                continue
+            cached = self.sharing.member_lookup(
+                digest, epsilon, delta, self.options.samples_per_phase
+            )
+            if cached is not None:
+                union.prime_member_volume(index, cached)  # type: ignore[arg-type]
+
+
+def _extend(order: tuple[str, ...], extra: Sequence[str]) -> tuple[str, ...]:
+    merged = list(order)
+    for name in extra:
+        if name not in merged:
+            merged.append(name)
+    return tuple(merged)

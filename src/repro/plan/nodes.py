@@ -1,0 +1,321 @@
+"""The logical plan IR: immutable, content-hashed operator trees.
+
+A :class:`PlanNode` is the seam between the query AST and the physical
+evaluation machinery.  The AST mirrors what the user *wrote*; the plan
+mirrors what will be *evaluated*:
+
+* ``RelationScan``    — read a stored generalized relation (optionally with
+                        constraint atoms pushed down into the scan);
+* ``ConstraintFilter``— a bare linear constraint atom;
+* ``Conjoin``         — n-ary conjunction (set intersection);
+* ``Disjoin``         — n-ary disjunction (set union);
+* ``NegateDiff``      — ``minuend ∧ ¬subtrahend``, the only negation shape
+                        the sampling route supports (Proposition 4.2's
+                        difference generator);
+* ``Project``         — existential quantification (Theorem 4.3);
+* ``EmptyPlan``       — the syntactically empty set, produced by the
+                        rewriter's empty/absorbing-operand elimination.
+
+Every node eagerly computes two identities:
+
+``key``
+    A structural rendering that keeps the *written* operand order.  Physical
+    lowering follows this order (it decides variable/column order of the
+    lowered result), and CSE interns subtrees on it.
+
+``digest``
+    A SHA-256 content hash in which the operands of the commutative
+    operators are *sorted*, so plans that differ only in operand order —
+    or in duplicated operands, after canonicalization — share the digest.
+    The service derives cache keys and subplan-sharing identities from it:
+    volumes are invariant under both operand order and coordinate
+    permutation, so a digest match is sufficient for value reuse.
+
+Nodes are immutable; all normalization lives in
+:mod:`repro.plan.canonical` and :mod:`repro.plan.rewrite`, which build new
+trees instead of mutating.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Sequence
+
+from repro.constraints.atoms import AtomicConstraint
+from repro.queries.ast import QAnd, QConstraint, QExists, QNot, QOr, QRelation, Query
+from repro.queries.compiler import CompilationError
+
+__all__ = [
+    "CompilationError",
+    "Conjoin",
+    "ConstraintFilter",
+    "Disjoin",
+    "EmptyPlan",
+    "NegateDiff",
+    "PlanNode",
+    "Project",
+    "RelationScan",
+    "walk",
+]
+
+
+def _digest(payload: str) -> str:
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def _merge_names(parts: Iterable[tuple[str, ...]]) -> tuple[str, ...]:
+    ordered: list[str] = []
+    for part in parts:
+        for name in part:
+            if name not in ordered:
+                ordered.append(name)
+    return tuple(ordered)
+
+
+class PlanNode:
+    """Base class of logical plan nodes (immutable, content-hashed)."""
+
+    __slots__ = ("key", "digest")
+
+    #: Short operator tag used by ``explain`` renderings.
+    kind: str = "?"
+
+    def children(self) -> tuple["PlanNode", ...]:
+        """The operand subplans, in written (lowering) order."""
+        return ()
+
+    def free_variables(self) -> tuple[str, ...]:
+        """Free variables of the subplan, in lowering order."""
+        raise NotImplementedError
+
+    def to_query(self) -> Query:
+        """Reconstruct an equivalent query AST (used for symbolic leaves)."""
+        raise NotImplementedError
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PlanNode) and self.key == other.key
+
+    def __hash__(self) -> int:
+        return hash(self.key)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.key})"
+
+
+class RelationScan(PlanNode):
+    """Scan a stored relation ``R(v_1, ..., v_k)``, with pushed-down filters.
+
+    ``filters`` holds constraint atoms the rewriter pushed into the scan:
+    the scan denotes the relation intersected with every filter, evaluated
+    symbolically in one step (the conjunction of generalized tuples is again
+    a generalized tuple, so no sampling is spent on it).
+    """
+
+    __slots__ = ("name", "arguments", "filters")
+
+    kind = "scan"
+
+    def __init__(
+        self,
+        name: str,
+        arguments: Sequence[str],
+        filters: Sequence[AtomicConstraint] = (),
+    ) -> None:
+        self.name = name
+        self.arguments = tuple(arguments)
+        if not self.arguments:
+            raise ValueError("relation scans need at least one argument")
+        # Filters keep their *written* (first-occurrence, de-duplicated)
+        # order: lowering evaluates them in that order, which decides the
+        # variable order of the lowered relation.  The digest sorts them — a
+        # conjunction of constraints is order-insensitive as a set.
+        unique = {str(constraint): constraint for constraint in filters}
+        self.filters = tuple(unique.values())
+        prefix = f"R:{self.name}({','.join(self.arguments)})"
+        self.key = prefix
+        if self.filters:
+            self.key += "|F:" + ";".join(unique)
+        digest_payload = prefix
+        if self.filters:
+            digest_payload += "|F:" + ";".join(sorted(unique))
+        self.digest = _digest(digest_payload)
+
+    def free_variables(self) -> tuple[str, ...]:
+        extra = (tuple(sorted(f.variables())) for f in self.filters)
+        return _merge_names((self.arguments, *extra))
+
+    def to_query(self) -> Query:
+        atom = QRelation(self.name, self.arguments)
+        if not self.filters:
+            return atom
+        return QAnd((atom, *(QConstraint(constraint) for constraint in self.filters)))
+
+
+class ConstraintFilter(PlanNode):
+    """A bare linear constraint atom."""
+
+    __slots__ = ("constraint",)
+
+    kind = "filter"
+
+    def __init__(self, constraint: AtomicConstraint) -> None:
+        self.constraint = constraint
+        self.key = f"C:{constraint}"
+        self.digest = _digest(self.key)
+
+    def free_variables(self) -> tuple[str, ...]:
+        return tuple(sorted(self.constraint.variables()))
+
+    def to_query(self) -> Query:
+        return QConstraint(self.constraint)
+
+
+class Conjoin(PlanNode):
+    """N-ary conjunction of subplans."""
+
+    __slots__ = ("operands",)
+
+    kind = "conjoin"
+
+    def __init__(self, operands: Sequence[PlanNode]) -> None:
+        self.operands = tuple(operands)
+        if not self.operands:
+            raise ValueError("Conjoin requires at least one operand")
+        self.key = "AND(" + ";".join(op.key for op in self.operands) + ")"
+        self.digest = _digest(
+            "AND(" + ";".join(sorted(op.digest for op in self.operands)) + ")"
+        )
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return self.operands
+
+    def free_variables(self) -> tuple[str, ...]:
+        return _merge_names(op.free_variables() for op in self.operands)
+
+    def to_query(self) -> Query:
+        return QAnd(tuple(op.to_query() for op in self.operands))
+
+
+class Disjoin(PlanNode):
+    """N-ary disjunction of subplans."""
+
+    __slots__ = ("operands",)
+
+    kind = "disjoin"
+
+    def __init__(self, operands: Sequence[PlanNode]) -> None:
+        self.operands = tuple(operands)
+        if not self.operands:
+            raise ValueError("Disjoin requires at least one operand")
+        self.key = "OR(" + ";".join(op.key for op in self.operands) + ")"
+        self.digest = _digest(
+            "OR(" + ";".join(sorted(op.digest for op in self.operands)) + ")"
+        )
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return self.operands
+
+    def free_variables(self) -> tuple[str, ...]:
+        return _merge_names(op.free_variables() for op in self.operands)
+
+    def to_query(self) -> Query:
+        return QOr(tuple(op.to_query() for op in self.operands))
+
+
+class NegateDiff(PlanNode):
+    """``minuend ∧ ¬subtrahend`` — the difference generator's shape.
+
+    The subtrahend only ever contributes a membership oracle; the rewriter
+    collects every negated conjunct of a conjunction into one subtrahend
+    (a :class:`Disjoin` when there are several), mirroring
+    ``A ∧ ¬B ∧ ¬C = A \\ (B ∪ C)``.
+    """
+
+    __slots__ = ("minuend", "subtrahend")
+
+    kind = "negate-diff"
+
+    def __init__(self, minuend: PlanNode, subtrahend: PlanNode) -> None:
+        self.minuend = minuend
+        self.subtrahend = subtrahend
+        self.key = f"DIFF({minuend.key};{subtrahend.key})"
+        # Order matters: the difference is not commutative.
+        self.digest = _digest(f"DIFF({minuend.digest};{subtrahend.digest})")
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.minuend, self.subtrahend)
+
+    def free_variables(self) -> tuple[str, ...]:
+        return _merge_names(
+            (self.minuend.free_variables(), self.subtrahend.free_variables())
+        )
+
+    def to_query(self) -> Query:
+        positives = (
+            self.minuend.operands
+            if isinstance(self.minuend, Conjoin)
+            else (self.minuend,)
+        )
+        negatives = (
+            self.subtrahend.operands
+            if isinstance(self.subtrahend, Disjoin)
+            else (self.subtrahend,)
+        )
+        return QAnd(
+            tuple(op.to_query() for op in positives)
+            + tuple(QNot(op.to_query()) for op in negatives)
+        )
+
+
+class Project(PlanNode):
+    """Existential quantification: drop the ``drop`` variables of the child."""
+
+    __slots__ = ("operand", "drop")
+
+    kind = "project"
+
+    def __init__(self, operand: PlanNode, drop: Sequence[str]) -> None:
+        self.operand = operand
+        self.drop = tuple(sorted(set(drop)))
+        if not self.drop:
+            raise ValueError("Project requires at least one variable to drop")
+        self.key = f"EX[{','.join(self.drop)}]({operand.key})"
+        self.digest = _digest(f"EX[{','.join(self.drop)}]({operand.digest})")
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.operand,)
+
+    def free_variables(self) -> tuple[str, ...]:
+        dropped = set(self.drop)
+        return tuple(
+            name for name in self.operand.free_variables() if name not in dropped
+        )
+
+    def to_query(self) -> Query:
+        return QExists(self.drop, self.operand.to_query())
+
+
+class EmptyPlan(PlanNode):
+    """The syntactically empty set (produced by the rewriter, never lowered)."""
+
+    __slots__ = ("variables",)
+
+    kind = "empty"
+
+    def __init__(self, variables: Sequence[str] = ()) -> None:
+        self.variables = tuple(variables)
+        self.key = f"EMPTY[{','.join(self.variables)}]"
+        self.digest = _digest(self.key)
+
+    def free_variables(self) -> tuple[str, ...]:
+        return self.variables
+
+    def to_query(self) -> Query:
+        raise CompilationError("the empty plan has no query form")
+
+
+def walk(node: PlanNode) -> Iterable[PlanNode]:
+    """Pre-order traversal of a plan tree."""
+    yield node
+    for child in node.children():
+        yield from walk(child)

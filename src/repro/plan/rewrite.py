@@ -1,0 +1,215 @@
+"""The rule-based plan rewriter.
+
+:func:`rewrite_plan` normalizes a canonical plan further with algebraic
+rules, applied bottom-up to a fixpoint:
+
+* **constraint pushdown** — a conjunct that is a bare constraint atom whose
+  variables are covered by a sibling relation scan is pushed *into* that
+  scan (the conjunction of a generalized relation and a constraint is again
+  a generalized relation, so the filtered scan is evaluated symbolically in
+  one step and forms one shareable subplan).  Only covered filters move:
+  pushing a filter that introduces new variables would reorder the lowered
+  result's coordinates.
+* **empty/absorbing-operand elimination** — an empty conjunct empties the
+  conjunction, empty disjuncts are dropped, ``A \\ ∅ = A``, ``∅ \\ B = ∅``
+  and ``A \\ A = ∅`` (structurally, by digest).  With a database at hand,
+  a scan of a syntactically empty stored relation is recognized as empty.
+* **disjunct/conjunct dedup and unwrapping** — re-applied after the other
+  rules so their outputs stay canonical (via
+  :func:`repro.plan.canonical.canonicalize`).
+
+:func:`intern_plan` is the CSE pass: it rebuilds a tree (or a forest) so
+that structurally identical subtrees — same ``key``, i.e. same lowering —
+are the *same* :class:`~repro.plan.nodes.PlanNode` object.  Physical
+lowering memoizes on object identity, so an interned forest plans each
+shared subexpression once; :func:`shared_subplans` reports which digests
+appear under several roots (the candidates the service estimates once per
+batch).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.constraints.database import ConstraintDatabase
+from repro.plan.canonical import canonicalize
+from repro.plan.nodes import (
+    Conjoin,
+    ConstraintFilter,
+    Disjoin,
+    EmptyPlan,
+    NegateDiff,
+    PlanNode,
+    Project,
+    RelationScan,
+    walk,
+)
+
+
+def rewrite_plan(
+    plan: PlanNode, database: ConstraintDatabase | None = None
+) -> PlanNode:
+    """Apply the rewrite rules bottom-up until the plan stops changing."""
+    current = canonicalize(plan)
+    for _ in range(32):  # fixpoint guard; rules strictly shrink the tree
+        rewritten = canonicalize(_rewrite_once(current, database))
+        if rewritten.key == current.key:
+            return rewritten
+        current = rewritten
+    return current
+
+
+def intern_plan(
+    plan: PlanNode, pool: dict[str, PlanNode] | None = None
+) -> PlanNode:
+    """Rebuild the tree sharing identical subtrees as single node objects.
+
+    ``pool`` maps structural keys to their representative node; passing the
+    same pool across several calls interns a whole forest, so a subtree
+    repeated across queries is one shared object.
+    """
+    if pool is None:
+        pool = {}
+    existing = pool.get(plan.key)
+    if existing is not None:
+        return existing
+    if isinstance(plan, Conjoin):
+        rebuilt: PlanNode = Conjoin([intern_plan(op, pool) for op in plan.operands])
+    elif isinstance(plan, Disjoin):
+        rebuilt = Disjoin([intern_plan(op, pool) for op in plan.operands])
+    elif isinstance(plan, NegateDiff):
+        rebuilt = NegateDiff(
+            intern_plan(plan.minuend, pool), intern_plan(plan.subtrahend, pool)
+        )
+    elif isinstance(plan, Project):
+        rebuilt = Project(intern_plan(plan.operand, pool), plan.drop)
+    else:
+        rebuilt = plan
+    return pool.setdefault(rebuilt.key, rebuilt)
+
+
+def shared_subplans(roots: Sequence[PlanNode]) -> dict[str, PlanNode]:
+    """Digest → representative node for subplans appearing under several roots.
+
+    Only *proper* sharing counts: a digest must occur under at least two
+    distinct roots (a repeated subtree inside one query is already shared by
+    interning).  Roots themselves participate — two queries with a common
+    root digest share trivially, but that case is the whole-query cache's
+    job, so root digests are only reported when they also occur as a strict
+    subplan elsewhere.
+    """
+    first_root: dict[str, int] = {}
+    strict_subplan: set[str] = set()
+    shared: dict[str, PlanNode] = {}
+    for index, root in enumerate(roots):
+        for position, node in enumerate(walk(root)):
+            if isinstance(node, (EmptyPlan, ConstraintFilter)):
+                continue  # nothing worth caching: free to recompute
+            if position > 0:
+                strict_subplan.add(node.digest)
+            seen_at = first_root.setdefault(node.digest, index)
+            if seen_at != index:
+                shared.setdefault(node.digest, node)
+    return {
+        digest: node for digest, node in shared.items() if digest in strict_subplan
+    }
+
+
+# ----------------------------------------------------------------------
+# Rules
+# ----------------------------------------------------------------------
+def _rewrite_once(
+    plan: PlanNode, database: ConstraintDatabase | None
+) -> PlanNode:
+    if isinstance(plan, RelationScan):
+        if database is not None and _scan_is_empty(plan, database):
+            return EmptyPlan(plan.free_variables())
+        return plan
+    if isinstance(plan, (ConstraintFilter, EmptyPlan)):
+        return plan
+    if isinstance(plan, Conjoin):
+        operands = [_rewrite_once(op, database) for op in plan.operands]
+        return Conjoin(_push_filters(operands))
+    if isinstance(plan, Disjoin):
+        return Disjoin([_rewrite_once(op, database) for op in plan.operands])
+    if isinstance(plan, NegateDiff):
+        return NegateDiff(
+            _rewrite_once(plan.minuend, database),
+            _rewrite_once(plan.subtrahend, database),
+        )
+    if isinstance(plan, Project):
+        return Project(_rewrite_once(plan.operand, database), plan.drop)
+    raise TypeError(f"unsupported plan node {plan!r}")
+
+
+def _push_filters(operands: Iterable[PlanNode]) -> list[PlanNode]:
+    """Push covered constraint conjuncts into their sibling relation scans.
+
+    Each filter moves into the *first* scan whose argument set covers the
+    filter's variables; uncovered filters stay where they are.  The
+    conjunction's value and variable order are unchanged — the scan denotes
+    its relation intersected with the filters, and no filter introduces a
+    variable its scan does not already bind.
+    """
+    operands = list(operands)
+    scans = [
+        (index, op) for index, op in enumerate(operands) if isinstance(op, RelationScan)
+    ]
+    if not scans:
+        return operands
+    pushed: dict[int, list] = {}
+    remaining: list[tuple[int, PlanNode]] = []
+    for index, op in enumerate(operands):
+        if isinstance(op, ConstraintFilter):
+            variables = set(op.constraint.variables())
+            target = next(
+                (
+                    scan_index
+                    for scan_index, scan in scans
+                    if variables <= set(scan.arguments)
+                ),
+                None,
+            )
+            if target is not None:
+                pushed.setdefault(target, []).append(op.constraint)
+                continue
+        remaining.append((index, op))
+    if not pushed:
+        return operands
+    rebuilt: list[PlanNode] = []
+    remaining_map = dict(remaining)
+    for index, op in enumerate(operands):
+        if index in pushed:
+            scan = operands[index]
+            assert isinstance(scan, RelationScan)
+            rebuilt.append(
+                RelationScan(
+                    scan.name, scan.arguments, (*scan.filters, *pushed[index])
+                )
+            )
+        elif index in remaining_map:
+            rebuilt.append(remaining_map[index])
+    return rebuilt
+
+
+def _scan_is_empty(scan: RelationScan, database: ConstraintDatabase) -> bool:
+    """Is the scanned stored relation syntactically empty?"""
+    if scan.name not in database:
+        return False
+    relation = database.relation(scan.name)
+    return all(disjunct.is_syntactically_empty() for disjunct in relation.disjuncts)
+
+
+def plan_statistics(roots: Sequence[PlanNode]) -> Mapping[str, int]:
+    """Node and sharing counts for a forest (used by explain/metrics)."""
+    total = 0
+    digests: dict[str, int] = {}
+    for root in roots:
+        for node in walk(root):
+            total += 1
+            digests[node.digest] = digests.get(node.digest, 0) + 1
+    return {
+        "nodes": total,
+        "distinct": len(digests),
+        "repeated": sum(1 for count in digests.values() if count > 1),
+    }

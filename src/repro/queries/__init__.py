@@ -9,6 +9,7 @@ from repro.queries.aggregates import (
 from repro.queries.ast import QAnd, QConstraint, QExists, QNot, QOr, QRelation, Query
 from repro.queries.compiler import (
     CompilationError,
+    compile_plan,
     compile_query,
     observable_from_relation,
     to_positive_existential,
@@ -29,6 +30,7 @@ __all__ = [
     "QNot",
     "QExists",
     "CompilationError",
+    "compile_plan",
     "compile_query",
     "observable_from_relation",
     "to_positive_existential",

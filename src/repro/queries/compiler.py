@@ -1,23 +1,33 @@
 """Compilation of queries into observable (sampling-based) evaluation plans.
 
-The compiler turns a query over a constraint database into an
-:class:`~repro.core.observable.ObservableRelation`, i.e. an object that can
-generate almost uniform points of the query result and estimate its volume —
-without ever materialising the result symbolically.  The mapping follows
+The compiler is a thin facade over the :mod:`repro.plan` pipeline: the query
+AST is canonicalized into the logical plan IR (:func:`repro.plan.build_plan`),
+normalized by the rule rewriter (:func:`repro.plan.rewrite_plan` — constraint
+pushdown, empty-operand elimination, disjunct dedup, CSE interning), and
+physically lowered (:func:`repro.plan.lower_plan`) into an
+:class:`~repro.core.observable.ObservableRelation` — an object that can
+generate almost uniform points of the query result and estimate its volume
+without ever materialising the result symbolically.  The lowering follows
 Section 4 of the paper:
 
 * relation atoms          → the stored relation, wrapped per convex disjunct
                             (:class:`ConvexObservable`, unioned when the DNF
                             has several disjuncts — Theorem 4.1);
-* conjunction             → symbolic conjunction when both sides are symbolic
-                            (the conjunction of generalized tuples is again a
-                            generalized tuple), rejection-based intersection
-                            otherwise (Proposition 4.1);
-* disjunction             → the union generator (Theorem 4.1 / Corollary 4.2);
+* conjunction             → symbolic conjunction while every operand is
+                            symbolic and the DNF product is affordable,
+                            rejection-based intersection otherwise
+                            (Proposition 4.1);
+* disjunction             → the union generator (Theorem 4.1 / Corollary 4.2),
+                            one member per (de-duplicated) disjunct subplan;
 * conjunction with a negated operand → the difference generator
                             (Proposition 4.2);
 * existential quantifier  → the projection generator (Theorem 4.3), applied
                             per convex disjunct.
+
+Structurally duplicate disjuncts are de-duplicated at plan time — the former
+direct lowering compiled ``a OR a`` into two union members, doubling that
+disjunct's selection weight (and the rejection traffic paying for it) in the
+union generator.
 
 Positive existential queries can additionally be normalised into the
 conjunctive-component form consumed by Algorithm 5
@@ -30,23 +40,30 @@ from typing import Sequence
 
 from repro.constraints.database import ConstraintDatabase
 from repro.constraints.relations import GeneralizedRelation
-from repro.core.convex import ConvexObservable
-from repro.core.difference import DifferenceObservable
-from repro.core.intersection import IntersectionObservable
 from repro.core.observable import GeneratorParams, ObservableRelation
-from repro.core.projection import ProjectionObservable
 from repro.core.query_reconstruction import (
     ConjunctiveComponent,
     PositiveExistentialQuery,
     RelationAtom,
 )
-from repro.core.union import UnionObservable
-from repro.queries.ast import QAnd, QConstraint, QExists, QNot, QOr, QRelation, Query
-from repro.queries.symbolic import evaluate_symbolic
+from repro.queries.ast import QAnd, QConstraint, QExists, QOr, QRelation, Query
+
+__all__ = [
+    "CompilationError",
+    "compile_query",
+    "compile_plan",
+    "observable_from_relation",
+    "to_positive_existential",
+]
 
 
 class CompilationError(RuntimeError):
-    """Raised when a query shape is outside the compilable fragment."""
+    """Raised when a query shape is outside the compilable fragment.
+
+    Shared by the whole pipeline: plan construction, the rewriter and
+    physical lowering all raise it (defined here, below :mod:`repro.plan`,
+    so the plan modules can import it without a cycle).
+    """
 
 
 def observable_from_relation(
@@ -57,29 +74,38 @@ def observable_from_relation(
 ) -> ObservableRelation:
     """Wrap a symbolic DNF relation as an observable (union of convex disjuncts).
 
-    ``samples_per_phase`` bounds the per-phase budget of each member's
-    telescoping volume estimator; the default keeps compiled plans laptop-fast
-    while staying well within the loose ratios the experiments assert.
+    Delegates to :func:`repro.plan.lowering.observable_from_relation` (kept
+    here for the historical import path).
     """
-    from repro.volume.telescoping import TelescopingConfig
+    from repro.plan.lowering import observable_from_relation as _lower
 
-    params = params if params is not None else GeneratorParams()
-    telescoping = TelescopingConfig(samples_per_phase=samples_per_phase)
-    members: list[ObservableRelation] = []
-    for disjunct in relation.disjuncts:
-        if disjunct.is_syntactically_empty():
-            continue
-        observable = ConvexObservable(
-            disjunct, params=params, sampler=sampler, telescoping=telescoping
-        )
-        if observable.polytope.is_empty() or not observable.is_well_bounded():
-            continue
-        members.append(observable)
-    if not members:
-        raise CompilationError("relation has no non-empty, well-bounded disjunct")
-    if len(members) == 1:
-        return members[0]
-    return UnionObservable(members, params=params)
+    return _lower(relation, params, sampler, samples_per_phase)
+
+
+def compile_plan(
+    query,
+    database: ConstraintDatabase,
+    params: GeneratorParams | None = None,
+    options=None,
+    sharing=None,
+) -> ObservableRelation:
+    """Canonicalize, rewrite and lower a query (or prepared plan) in one step.
+
+    ``query`` accepts an AST or an already-built
+    :class:`~repro.plan.nodes.PlanNode`; ``options`` is a
+    :class:`~repro.plan.lowering.LoweringOptions`; ``sharing`` connects the
+    union generator's member estimates to a subplan store (the service's
+    broker) — without it the compiled plan is self-contained.
+    """
+    # Imported lazily: repro.plan dispatches on the AST of this package.
+    from repro.plan.canonical import build_plan
+    from repro.plan.lowering import lower_plan
+    from repro.plan.nodes import PlanNode
+    from repro.plan.rewrite import intern_plan, rewrite_plan
+
+    plan = query if isinstance(query, PlanNode) else build_plan(query)
+    plan = intern_plan(rewrite_plan(plan, database))
+    return lower_plan(plan, database, params=params, options=options, sharing=sharing)
 
 
 def compile_query(
@@ -93,117 +119,17 @@ def compile_query(
 
     ``samples_per_phase`` is forwarded to every convex member's telescoping
     estimator; the service planner uses it to enforce per-query sample
-    budgets.
+    budgets.  (Kept signature-compatible with the pre-plan-IR compiler;
+    :func:`compile_plan` exposes the full pipeline.)
     """
-    params = params if params is not None else GeneratorParams()
-    kind, value = _compile(query, database, params, sampler, samples_per_phase)
-    if kind == "relation":
-        return observable_from_relation(value, params, sampler, samples_per_phase)
-    return value
+    from repro.plan.lowering import LoweringOptions
 
-
-def _compile(
-    query: Query,
-    database: ConstraintDatabase,
-    params: GeneratorParams,
-    sampler: str,
-    samples_per_phase: int = 800,
-):
-    """Recursive compilation returning ``("relation", GeneralizedRelation)`` or
-    ``("observable", ObservableRelation)``.
-
-    Symbolic sub-results are kept symbolic as long as possible so that chains
-    of conjunctions collapse into single convex bodies instead of stacks of
-    rejection samplers.
-    """
-    if isinstance(query, (QRelation, QConstraint)):
-        return "relation", evaluate_symbolic(query, database)
-    if isinstance(query, QAnd):
-        positives = [op for op in query.operands if not isinstance(op, QNot)]
-        negatives = [op.operand for op in query.operands if isinstance(op, QNot)]
-        if not positives:
-            raise CompilationError("a conjunction needs at least one positive operand")
-        compiled = [_compile(op, database, params, sampler, samples_per_phase) for op in positives]
-        if all(kind == "relation" for kind, _ in compiled):
-            relation = compiled[0][1]
-            for _, other in compiled[1:]:
-                relation = relation.intersection(other)
-            positive_result = ("relation", relation)
-        else:
-            members = [
-                value if kind == "observable" else observable_from_relation(value, params, sampler, samples_per_phase)
-                for kind, value in compiled
-            ]
-            if len(members) == 1:
-                positive_result = ("observable", members[0])
-            else:
-                positive_result = (
-                    "observable",
-                    IntersectionObservable(members, params=params),
-                )
-        if not negatives:
-            return positive_result
-        # A ∧ ¬B ∧ ¬C  =  A \ (B ∪ C): the difference generator only needs
-        # membership in the subtrahend, so it is compiled as an observable.
-        kind, value = positive_result
-        minuend = (
-            value if kind == "observable" else observable_from_relation(value, params, sampler, samples_per_phase)
-        )
-        negative_compiled = [_compile(op, database, params, sampler, samples_per_phase) for op in negatives]
-        negative_members = [
-            value if kind == "observable" else observable_from_relation(value, params, sampler, samples_per_phase)
-            for kind, value in negative_compiled
-        ]
-        subtrahend = (
-            negative_members[0]
-            if len(negative_members) == 1
-            else UnionObservable(negative_members, params=params)
-        )
-        return "observable", DifferenceObservable(minuend, subtrahend, params=params)
-    if isinstance(query, QOr):
-        compiled = [_compile(op, database, params, sampler, samples_per_phase) for op in query.operands]
-        if all(kind == "relation" for kind, _ in compiled):
-            relation = compiled[0][1]
-            order = relation.variables
-            for _, other in compiled[1:]:
-                relation = relation.union(other)
-            return "relation", relation.with_variables(order)
-        members = [
-            value if kind == "observable" else observable_from_relation(value, params, sampler, samples_per_phase)
-            for kind, value in compiled
-        ]
-        return "observable", UnionObservable(members, params=params)
-    if isinstance(query, QExists):
-        kind, value = _compile(query.operand, database, params, sampler, samples_per_phase)
-        if kind != "relation":
-            raise CompilationError(
-                "existential quantification is only compiled over symbolic sub-queries; "
-                "normalise the query so quantifiers sit above conjunctions of atoms"
-            )
-        keep = tuple(
-            name for name in value.variables if name not in set(query.variables)
-        )
-        if not keep:
-            raise CompilationError("projection must keep at least one variable")
-        members: list[ObservableRelation] = []
-        for disjunct in value.disjuncts:
-            if disjunct.is_syntactically_empty():
-                continue
-            source = ConvexObservable(disjunct, params=params, sampler=sampler)
-            if source.polytope.is_empty() or not source.is_well_bounded():
-                continue
-            members.append(ProjectionObservable(source, keep=keep, params=params))
-        if not members:
-            raise CompilationError("projection has no non-empty disjunct")
-        if len(members) == 1:
-            return "observable", members[0]
-        return "observable", UnionObservable(members, params=params)
-    if isinstance(query, QNot):
-        raise CompilationError(
-            "negation is only supported inside a conjunction (as a difference); "
-            "top-level complements are not well-bounded"
-        )
-    raise TypeError(f"unsupported query node {query!r}")
+    return compile_plan(
+        query,
+        database,
+        params=params,
+        options=LoweringOptions(sampler=sampler, samples_per_phase=samples_per_phase),
+    )
 
 
 def to_positive_existential(

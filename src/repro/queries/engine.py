@@ -9,7 +9,7 @@ examples and the GIS-style benchmarks drive.
 
 from __future__ import annotations
 
-from typing import Literal
+from typing import TYPE_CHECKING, Literal
 
 import numpy as np
 
@@ -22,6 +22,9 @@ from repro.queries.ast import Query
 from repro.queries.compiler import compile_query, to_positive_existential
 from repro.queries.symbolic import evaluate_symbolic
 from repro.sampling.rng import ensure_rng
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.plan.explain import PlanExplanation
 
 Mode = Literal["exact", "approximate", "auto", "adaptive"]
 
@@ -87,6 +90,27 @@ class QueryEngine:
         )
 
     # ------------------------------------------------------------------
+    # Plans
+    # ------------------------------------------------------------------
+    def explain(self, query: Query) -> "PlanExplanation":
+        """The canonical logical plan with per-node route/cost annotations.
+
+        The returned :class:`repro.plan.explain.PlanExplanation` additionally
+        carries the service planner's whole-query verdict (estimator route,
+        sample and time budgets) as ``explanation.service_plan`` — the same
+        plan ``volume(mode="auto")`` would execute — so one call shows both
+        *how* the query lowers and *which* estimator would run it.
+        """
+        from repro.plan.explain import explain_plan
+        from repro.service.planner import Planner
+
+        explanation = explain_plan(query, self.database)
+        explanation.service_plan = Planner().plan(  # type: ignore[attr-defined]
+            query, self.database, epsilon=self.params.epsilon, delta=self.params.delta
+        )
+        return explanation
+
+    # ------------------------------------------------------------------
     # Aggregates
     # ------------------------------------------------------------------
     def volume(
@@ -111,23 +135,51 @@ class QueryEngine:
         cannot serve (projection, negation) fall back to the observable
         route, exactly as the planner's fallback rules dictate.
         """
-        if mode == "exact":
-            return exact_volume(query, self.database)
-        epsilon = epsilon if epsilon is not None else self.params.epsilon
-        delta = delta if delta is not None else self.params.delta
-        if mode in ("auto", "adaptive"):
-            # Imported lazily: repro.service builds on the query layer.
-            from repro.service.planner import Planner
-            from repro.service.session import run_plan
+        try:
+            handler = self._VOLUME_MODES[mode]
+        except KeyError:
+            valid = ", ".join(sorted(self._VOLUME_MODES))
+            raise ValueError(
+                f"unknown volume mode {mode!r} (valid modes: {valid})"
+            ) from None
+        return handler(self, query, epsilon, delta, rng)
 
-            plan = Planner().plan(
-                query,
-                self.database,
-                epsilon=epsilon,
-                delta=delta,
-                route="adaptive" if mode == "adaptive" else None,
-            )
-            return run_plan(plan, query, self.database, params=self.params, rng=rng)
+    def _volume_exact(self, query, epsilon, delta, rng) -> AggregateResult:
+        return exact_volume(query, self.database)
+
+    def _volume_approximate(self, query, epsilon, delta, rng) -> AggregateResult:
+        epsilon, delta = self._fill_accuracy(epsilon, delta)
         return approximate_volume(
             query, self.database, epsilon=epsilon, delta=delta, params=self.params, rng=rng
         )
+
+    def _volume_planned(self, query, epsilon, delta, rng, route=None) -> AggregateResult:
+        epsilon, delta = self._fill_accuracy(epsilon, delta)
+        # Imported lazily: repro.service builds on the query layer.
+        from repro.service.planner import Planner
+        from repro.service.session import run_plan
+
+        plan = Planner().plan(
+            query, self.database, epsilon=epsilon, delta=delta, route=route
+        )
+        return run_plan(plan, query, self.database, params=self.params, rng=rng)
+
+    def _volume_adaptive(self, query, epsilon, delta, rng) -> AggregateResult:
+        return self._volume_planned(query, epsilon, delta, rng, route="adaptive")
+
+    def _fill_accuracy(
+        self, epsilon: float | None, delta: float | None
+    ) -> tuple[float, float]:
+        return (
+            epsilon if epsilon is not None else self.params.epsilon,
+            delta if delta is not None else self.params.delta,
+        )
+
+    #: Mode-name → handler table driving :meth:`volume`; adding a route is
+    #: one entry here instead of another elif chain branch.
+    _VOLUME_MODES = {
+        "exact": _volume_exact,
+        "approximate": _volume_approximate,
+        "auto": _volume_planned,
+        "adaptive": _volume_adaptive,
+    }

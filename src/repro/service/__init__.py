@@ -3,11 +3,14 @@
 The modules compose into one serving pipeline (see
 :class:`~repro.service.session.ServiceSession`):
 
-* :mod:`repro.service.canonical` — structural cache keys for queries and
-  database fingerprints;
+* :mod:`repro.service.canonical` — structural cache keys (logical-plan
+  content digests) for queries, subplans and database fingerprints;
 * :mod:`repro.service.planner`   — the cost model choosing between exact,
   Monte-Carlo and telescoping volume routes;
-* :mod:`repro.service.cache`     — LRU/TTL result cache with ε-dominance;
+* :mod:`repro.service.cache`     — LRU/TTL result cache with ε-dominance,
+  holding whole-query *and* subplan-granular entries;
+* :mod:`repro.service.sharing`   — the subplan broker: content-addressed
+  member streams, cross-query estimate reuse, batch plan forests;
 * :mod:`repro.service.backends`  — pluggable execution backends (serial,
   thread pool, process sharding) with bit-identical results;
 * :mod:`repro.service.executor`  — deterministic multi-backend batch
@@ -28,7 +31,12 @@ from repro.service.backends import (
     resolve_backend,
 )
 from repro.service.cache import CacheEntry, ResultCache
-from repro.service.canonical import canonical_query, database_fingerprint, request_key
+from repro.service.canonical import (
+    canonical_query,
+    database_fingerprint,
+    request_key,
+    subplan_key,
+)
 from repro.service.executor import BatchOutcome, BatchRequest, execute_batch
 from repro.service.metrics import ServiceMetrics
 from repro.service.planner import (
@@ -39,6 +47,11 @@ from repro.service.planner import (
     telescoping_samples_per_phase,
 )
 from repro.service.session import ServiceSession, refine_result, run_plan
+from repro.service.sharing import (
+    SubplanBroker,
+    harvest_subplans,
+    prepare_shared_members,
+)
 
 __all__ = [
     "BatchExecutionError",
@@ -54,6 +67,7 @@ __all__ = [
     "canonical_query",
     "database_fingerprint",
     "request_key",
+    "subplan_key",
     "BatchOutcome",
     "BatchRequest",
     "execute_batch",
@@ -66,4 +80,7 @@ __all__ = [
     "ServiceSession",
     "refine_result",
     "run_plan",
+    "SubplanBroker",
+    "harvest_subplans",
+    "prepare_shared_members",
 ]

@@ -245,6 +245,17 @@ class _SharedSetup:
     database: ConstraintDatabase
     params: GeneratorParams
     compiled: Mapping[str, ObservableRelation] = field(default_factory=dict)
+    #: The parent planner's lowering cost bound, so fallback compilations in
+    #: a worker take the same symbolic-vs-observable decisions.
+    max_symbolic_disjuncts: int = 512
+
+    def lowering_options(self, samples_per_phase: int):
+        from repro.plan.lowering import LoweringOptions
+
+        return LoweringOptions(
+            samples_per_phase=samples_per_phase,
+            max_symbolic_disjuncts=self.max_symbolic_disjuncts,
+        )
 
 
 _WORKER_SHARED: _SharedSetup | None = None
@@ -278,8 +289,9 @@ def _worker_execute(unit_bytes: bytes) -> bytes:
                 "work unit fingerprint does not match the shared database "
                 f"({unit.fingerprint[:12]}… vs {shared.fingerprint[:12]}…)"
             )
-        from repro.queries.compiler import compile_query
+        from repro.queries.compiler import compile_plan
         from repro.service.session import refine_result, run_plan
+        from repro.service.sharing import SubplanBroker
 
         if unit.refinable is not None:
             # Continue the shipped resumable state instead of recomputing;
@@ -301,13 +313,16 @@ def _worker_execute(unit_bytes: bytes) -> bytes:
             rng=rng,
             compiled=compiled,
             # Mirror ServiceSession.compile_cached: fallback compilations use
-            # the session's default accuracy (and gamma), not the plan's, so
-            # the worker's compiled form matches the thread path exactly.
-            compile_fn=lambda spp: compile_query(
+            # the session's default accuracy (and gamma), not the plan's, and
+            # a seed-only sharing broker — no cache in the worker, but the
+            # same content-addressed member streams — so the worker's
+            # compiled form matches the thread path bit for bit.
+            compile_fn=lambda spp: compile_plan(
                 unit.query,
                 shared.database,
                 params=shared.params,
-                samples_per_phase=spp,
+                options=shared.lowering_options(spp),
+                sharing=SubplanBroker(fingerprint=shared.fingerprint, cache=None),
             ),
         )
         elapsed = time.perf_counter() - start
@@ -440,6 +455,7 @@ class ProcessBackend(ExecutionBackend):
             database=shipped,
             params=session.params,
             compiled=compiled,
+            max_symbolic_disjuncts=session.planner.max_symbolic_disjuncts,
         )
 
 

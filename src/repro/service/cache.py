@@ -2,7 +2,15 @@
 
 Entries are keyed by the *structural* request key of
 :mod:`repro.service.canonical` — accuracy parameters are deliberately not
-part of the key.  Instead the cache applies a **dominance rule** on lookup: a
+part of the key.  The same cache holds entries at two granularities: whole
+requests (``request_key``) and **subplans** (``subplan_key`` — union-member
+volume estimates the sharing broker of :mod:`repro.service.sharing` banks
+under their plan digests, so any query containing the subtree reuses them).
+Both kinds share the TTL/LRU/refinable machinery below; whole requests are
+served under the dominance rule, while subplan entries are served through
+:meth:`ResultCache.exact_lookup` (bit-identity requires the exact stored
+accuracy).  The key namespaces cannot collide because the request kind is
+folded into the hash.  Instead the cache applies a **dominance rule** on lookup: a
 stored answer computed at accuracy ``(ε', δ')`` satisfies a request for
 ``(ε, δ)`` whenever ``ε' <= ε`` and ``δ' <= δ`` — a tighter estimate is also a
 valid looser estimate, and an exact answer (``ε' = δ' = 0``) satisfies every
@@ -130,6 +138,35 @@ class ResultCache:
             entry.hits += 1
             self.hits += 1
             return entry.result, entry.strictly_dominates(epsilon, delta)
+
+    def exact_lookup(
+        self, key: str, epsilon: float, delta: float
+    ) -> AggregateResult | None:
+        """A live entry stored at *exactly* the requested accuracy.
+
+        The subplan broker's value-reuse rule: a shared member estimate may
+        only replace a computation that would have produced the identical
+        bits, and the content-addressed member streams are a function of the
+        accuracy — so dominance (a tighter entry serving a looser request)
+        is deliberately **not** applied here.  Mismatched-accuracy entries
+        are still reachable through :meth:`refinable_lookup`, where a
+        resumable producer can be *continued* to the requested accuracy.
+        No hit/miss counters move: subplan traffic is counted by the
+        broker's own metrics, not the request-level ones.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+            if self._expired(entry):
+                del self._entries[key]
+                self.expirations += 1
+                return None
+            if entry.epsilon != epsilon or entry.delta != delta:
+                return None
+            self._entries.move_to_end(key)
+            entry.hits += 1
+            return entry.result
 
     def refinable_lookup(
         self, key: str, epsilon: float, delta: float

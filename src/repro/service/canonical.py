@@ -3,24 +3,29 @@
 Two requests should share a cache entry exactly when they denote the same
 set over the same data.  Deciding semantic equivalence of FO+LIN queries is
 as hard as evaluating them, so the service settles for a *structural*
-canonical form that normalises the cheap, common sources of syntactic
-variation:
+canonical form: the query's logical plan (:mod:`repro.plan`), whose content
+digest already normalises the cheap, common sources of syntactic variation
+— nested conjunctions/disjunctions are flattened, operands of ``AND``/``OR``
+are order-normalized and de-duplicated (commutativity and idempotence),
+double negation is eliminated, negated conjuncts collect into one
+difference, the bound-variable tuple of an existential quantifier is sorted,
+and constraint atoms rely on
+:class:`~repro.constraints.atoms.AtomicConstraint`'s canonical
+``term <rel> 0`` form with exact rational coefficients.
 
-* nested conjunctions/disjunctions are flattened (``(a AND b) AND c`` and
-  ``a AND (b AND c)`` agree),
-* operands of ``AND``/``OR`` are sorted and de-duplicated (commutativity and
-  idempotence),
-* double negation is eliminated,
-* the bound-variable tuple of an existential quantifier is sorted
-  (``EXISTS x, y`` = ``EXISTS y, x``),
-* constraint atoms rely on :class:`~repro.constraints.atoms.AtomicConstraint`'s
-  canonical ``term <rel> 0`` form with exact rational coefficients.
+Deriving request keys from *plan* digests is what makes subplan-granular
+caching line up with whole-query caching: a request's canonical form is the
+same digest its query would carry as a subplan of a larger query.  (The two
+entry kinds still live in disjoint key namespaces — ``kind`` and execution
+context are folded into the hash — subplan entries additionally discriminate
+on the phase budget; what lines up is the *identity*, not the cache slots.)
 
-The canonical form is rendered to a string and hashed with SHA-256, so keys
-are stable across processes and can be shared by external caches.  A database
-*fingerprint* — a hash of every stored relation's name, variable order and
-defining DNF formula — is folded into each request key so that mutating the
-database invalidates all of its entries at once.
+Query shapes with no plan form (a bare top-level complement — unbounded,
+never servable) fall back to a legacy structural rendering, so every AST
+keeps a stable key.  A database *fingerprint* — a hash of every stored
+relation's name, variable order and defining DNF formula — is folded into
+each request key so that mutating the database invalidates all of its
+entries at once.
 """
 
 from __future__ import annotations
@@ -29,11 +34,37 @@ import hashlib
 from typing import Iterable
 
 from repro.constraints.database import ConstraintDatabase
+from repro.plan.canonical import build_plan
+from repro.plan.nodes import CompilationError
 from repro.queries.ast import QAnd, QConstraint, QExists, QNot, QOr, QRelation, Query
 
 
 def canonical_query(query: Query) -> str:
-    """A stable, structurally canonical serialization of a query AST."""
+    """A stable, structurally canonical serialization of a query AST.
+
+    The canonical form *is* the logical plan's content digest; shapes the
+    plan IR cannot express fall back to a legacy structural rendering
+    (prefixed so the two namespaces can never collide).
+    """
+    try:
+        return build_plan(query).digest
+    except CompilationError:
+        return "legacy:" + _legacy_canonical(query)
+
+
+def subplan_key(fingerprint: str, digest: str, kind: str, extra: tuple = ()) -> str:
+    """The cache key of one subplan-granular entry.
+
+    Mirrors :func:`request_key` with a plan digest in place of a query: the
+    sharing broker stores union-member volume estimates under these keys, so
+    any query containing the subtree — on any backend — finds them.
+    """
+    payload = "\x1f".join((kind, fingerprint, digest, *map(str, extra)))
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def _legacy_canonical(query: Query) -> str:
+    """The pre-plan-IR structural rendering (kept for planless shapes)."""
     if isinstance(query, QRelation):
         return f"R:{query.name}({','.join(query.arguments)})"
     if isinstance(query, QConstraint):
@@ -41,12 +72,12 @@ def canonical_query(query: Query) -> str:
     if isinstance(query, QNot):
         inner = query.operand
         if isinstance(inner, QNot):
-            return canonical_query(inner.operand)
+            return _legacy_canonical(inner.operand)
         if isinstance(inner, QConstraint):
             # Push negation into the atom: ¬(t <= 0) canonicalises to t > 0,
             # which AtomicConstraint renders back in term-relation-zero form.
             return f"C:{inner.constraint.negate()}"
-        return f"NOT({canonical_query(inner)})"
+        return f"NOT({_legacy_canonical(inner)})"
     if isinstance(query, (QAnd, QOr)):
         tag = "AND" if isinstance(query, QAnd) else "OR"
         parts = sorted(set(_flatten(query, type(query))))
@@ -55,7 +86,7 @@ def canonical_query(query: Query) -> str:
         return f"{tag}({';'.join(parts)})"
     if isinstance(query, QExists):
         variables = ",".join(sorted(query.variables))
-        return f"EX[{variables}]({canonical_query(query.operand)})"
+        return f"EX[{variables}]({_legacy_canonical(query.operand)})"
     raise TypeError(f"unsupported query node {query!r}")
 
 
@@ -65,7 +96,7 @@ def _flatten(query: Query, node_type: type) -> Iterable[str]:
         if isinstance(operand, node_type):
             yield from _flatten(operand, node_type)
         else:
-            yield canonical_query(operand)
+            yield _legacy_canonical(operand)
 
 
 def database_fingerprint(database: ConstraintDatabase) -> str:

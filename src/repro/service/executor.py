@@ -10,7 +10,12 @@
    unique miss becomes a self-contained :class:`~repro.service.backends.WorkUnit`
    (query, plan, seed, fingerprint).  Planning is cheap (a structural scan),
    and doing it upfront lets the planner recommend an execution backend from
-   the plans' estimated cost before any work starts.
+   the plans' estimated cost before any work starts.  The telescoping misses
+   then form one shared plan *forest*: union members demanded by several
+   plans are estimated once, parent-side, from their content-addressed
+   streams (:func:`repro.service.sharing.prepare_shared_members`), so common
+   subexpressions are planned, sampled and estimated a single time across
+   the whole batch.
 3. **compute** (backend) — the work units are handed to an
    :class:`~repro.service.backends.ExecutionBackend`: serially, across a
    thread pool, or sharded over worker processes.  Each unit consumes only
@@ -165,6 +170,20 @@ def execute_batch(
                 refinable=None if refinable_entry is None else refinable_entry.refinable,
             )
         )
+
+    # Phase 2.5 — the shared plan forest: compile the telescoping misses
+    # (through the session's memoising cache) and estimate every union
+    # member demanded by more than one plan exactly once, parent-side, from
+    # its content-addressed stream.  All three backends then consume the
+    # same precomputed values: sharing changes where a member volume is
+    # computed, never its value, and no worker duplicates a shared node.
+    telescoping_units = [
+        unit for unit in units if unit.plan.estimator == "telescoping"
+    ]
+    if len(telescoping_units) > 1 and getattr(session, "share_subplans", False):
+        from repro.service.sharing import prepare_shared_members
+
+        prepare_shared_members(session, telescoping_units)
 
     # Phase 3 — compute the units on the chosen (or recommended) backend.
     computed: dict[str, tuple[AggregateResult, Plan]] = {}

@@ -22,6 +22,9 @@ class ServiceMetrics:
       counted separately as ``dominance_hits`` when the stored entry was
       tighter than requested, and ``refinements`` when a cached adaptive
       answer was *continued* to a tighter ε instead of recomputed);
+    * subplan traffic — ``subplan_hits`` / ``subplan_misses`` /
+      ``subplan_stores`` for the plan forest's shared-member cache (a hit
+      means a query reused a member volume some other query computed);
     * plan choices — one counter per estimator name;
     * backend choices — batches and computed units per execution backend
       (serial / thread / process);
@@ -38,6 +41,9 @@ class ServiceMetrics:
         self.dominance_hits = 0
         self.refinements = 0
         self.coalesced = 0
+        self.subplan_hits = 0
+        self.subplan_misses = 0
+        self.subplan_stores = 0
         self.plan_choices: Counter[str] = Counter()
         self.backend_choices: Counter[str] = Counter()
         self.backend_units: Counter[str] = Counter()
@@ -71,6 +77,21 @@ class ServiceMetrics:
         """Count a batch request that shared another request's computation."""
         with self._lock:
             self.coalesced += 1
+
+    def record_subplan_hit(self) -> None:
+        """Count a cached subplan estimate reused by a query containing it."""
+        with self._lock:
+            self.subplan_hits += 1
+
+    def record_subplan_miss(self) -> None:
+        """Count a subplan lookup that found no reusable entry."""
+        with self._lock:
+            self.subplan_misses += 1
+
+    def record_subplan_store(self) -> None:
+        """Count a subplan estimate banked for later queries."""
+        with self._lock:
+            self.subplan_stores += 1
 
     def record_plan(self, estimator: str) -> None:
         """Count one plan choice."""
@@ -121,6 +142,9 @@ class ServiceMetrics:
                 "dominance_hits": self.dominance_hits,
                 "refinements": self.refinements,
                 "coalesced": self.coalesced,
+                "subplan_hits": self.subplan_hits,
+                "subplan_misses": self.subplan_misses,
+                "subplan_stores": self.subplan_stores,
                 "hit_rate": self.hit_rate(),
                 "plan_choices": dict(self.plan_choices),
                 "backend_choices": dict(self.backend_choices),
@@ -142,6 +166,9 @@ class ServiceMetrics:
             "dominance_hits",
             "refinements",
             "coalesced",
+            "subplan_hits",
+            "subplan_misses",
+            "subplan_stores",
         ):
             rows.append((name, snap[name]))
         rows.append(("hit_rate", round(snap["hit_rate"], 4)))

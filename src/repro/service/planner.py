@@ -229,6 +229,7 @@ class Planner:
         telescoping_samples_per_second: float = 2_000.0,
         adaptive_samples_per_second: float = 400_000.0,
         process_backend_min_seconds: float = 0.2,
+        max_symbolic_disjuncts: int = 512,
     ) -> None:
         self.exact_dimension_limit = exact_dimension_limit
         self.exact_disjunct_limit = exact_disjunct_limit
@@ -274,10 +275,29 @@ class Planner:
         # beats thread fan-out (covers pool start-up plus shipping the
         # pickled shared setup).
         self.process_backend_min_seconds = process_backend_min_seconds
+        # Cost bound of physical lowering's symbolic-vs-observable decision
+        # for conjunctions: past this DNF product, rejection sampling beats
+        # materialising the product (see repro.plan.lowering).
+        self.max_symbolic_disjuncts = max_symbolic_disjuncts
         self._throughput_observations = 0
         self._telescoping_observations = 0
         self._adaptive_observations = 0
         self._throughput_lock = Lock()
+
+    def lowering_options(self, samples_per_phase: int = 800, sampler: str = "hit_and_run"):
+        """The physical-lowering knobs this cost model implies.
+
+        The session threads these into :func:`repro.plan.lowering.lower_plan`
+        so the per-subtree symbolic-vs-observable decision is the planner's,
+        not a hard-coded constant of the compiler.
+        """
+        from repro.plan.lowering import LoweringOptions
+
+        return LoweringOptions(
+            sampler=sampler,
+            samples_per_phase=samples_per_phase,
+            max_symbolic_disjuncts=self.max_symbolic_disjuncts,
+        )
 
     def observe_throughput(
         self, samples: int, seconds: float, route: str = "monte_carlo"

@@ -31,13 +31,14 @@ from repro.constraints.database import ConstraintDatabase
 from repro.core.observable import GeneratorParams, ObservableRelation
 from repro.queries.aggregates import AggregateResult, exact_volume
 from repro.queries.ast import Query
-from repro.queries.compiler import compile_query
+from repro.queries.compiler import compile_plan, compile_query
 from repro.queries.symbolic import evaluate_symbolic
 from repro.sampling.rng import RandomState, ensure_rng
 from repro.service.cache import ResultCache
 from repro.service.canonical import database_fingerprint, request_key
 from repro.service.metrics import ServiceMetrics
 from repro.service.planner import Plan, Planner, telescoping_samples_per_phase
+from repro.service.sharing import SubplanBroker, harvest_subplans
 from repro.volume.monte_carlo import monte_carlo_volume
 
 
@@ -214,6 +215,13 @@ class ServiceSession:
         Size of the compiled-plan cache (observable plans are reusable
         across requests with different accuracy, so they are cached
         separately from results).
+    share_subplans:
+        Enables subplan-granular reuse (:mod:`repro.service.sharing`): union
+        members tagged with plan digests are cached in the result cache and
+        reused by every query containing the subtree, and batches estimate
+        members shared across their plans once.  Disabling it only disables
+        *reuse* — member estimates keep their content-addressed streams, so
+        a sharing and a non-sharing session serve bit-identical values.
     """
 
     def __init__(
@@ -224,6 +232,7 @@ class ServiceSession:
         cache: ResultCache | None = None,
         metrics: ServiceMetrics | None = None,
         compiled_capacity: int = 64,
+        share_subplans: bool = True,
     ) -> None:
         self.database = database
         self.params = params if params is not None else GeneratorParams()
@@ -231,6 +240,13 @@ class ServiceSession:
         self.cache = cache if cache is not None else ResultCache()
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         self._fingerprint = database_fingerprint(database)
+        self.share_subplans = share_subplans
+        self._broker = SubplanBroker(
+            fingerprint=self._fingerprint,
+            cache=self.cache,
+            metrics=self.metrics,
+            reuse=share_subplans,
+        )
         self._compiled: dict[str, ObservableRelation] = {}
         self._compiled_capacity = compiled_capacity
         self._lock = Lock()
@@ -250,6 +266,11 @@ class ServiceSession:
         fingerprint) and age out through LRU/TTL.
         """
         self._fingerprint = database_fingerprint(self.database)
+        self._broker.fingerprint = self._fingerprint
+        # Compiled plans embed member streams derived from the old data
+        # version; drop them with the fingerprint they belong to.
+        with self._lock:
+            self._compiled.clear()
         return self._fingerprint
 
     def key_for(self, query: Query, kind: str = "volume") -> str:
@@ -374,14 +395,25 @@ class ServiceSession:
     def compile_cached(
         self, query: Query, samples_per_phase: int = 800
     ) -> ObservableRelation:
-        """Compile a query to an observable plan, memoised on the structural key."""
+        """Compile a query to an observable plan, memoised on the structural key.
+
+        Compilation runs the full plan pipeline — canonicalize, rewrite,
+        CSE-intern, lower — with the planner's cost model deciding
+        symbolic-vs-observable per subtree and the session's sharing broker
+        wiring union members to the subplan cache (content-addressed member
+        streams; cached estimates primed in).
+        """
         key = self.key_for(query, kind=f"compiled:{samples_per_phase}")
         with self._lock:
             compiled = self._compiled.get(key)
         if compiled is not None:
             return compiled
-        compiled = compile_query(
-            query, self.database, params=self.params, samples_per_phase=samples_per_phase
+        compiled = compile_plan(
+            query,
+            self.database,
+            params=self.params,
+            options=self.planner.lowering_options(samples_per_phase),
+            sharing=self._broker,
         )
         self._store_compiled(key, compiled)
         return compiled
@@ -400,6 +432,7 @@ class ServiceSession:
         """
         key = self.key_for(query, kind=f"compiled:{samples_per_phase}")
         self._store_compiled(key, compiled)
+        harvest_subplans(self._broker, compiled, samples_per_phase)
 
     def _store_compiled(self, key: str, compiled: ObservableRelation) -> None:
         with self._lock:
@@ -419,10 +452,9 @@ class ServiceSession:
         process backend reproduces it worker-side from a pickled work unit.
         """
         compiled = None
+        samples_per_phase = plan.sample_budget or 800
         if plan.estimator == "telescoping":
-            compiled = self.compile_cached(
-                query, samples_per_phase=plan.sample_budget or 800
-            )
+            compiled = self.compile_cached(query, samples_per_phase=samples_per_phase)
         start = time.perf_counter()
         result = run_plan(
             plan,
@@ -436,7 +468,12 @@ class ServiceSession:
             # session's gamma and avoiding recompiles on repeat misses.
             compile_fn=lambda spp: self.compile_cached(query, samples_per_phase=spp),
         )
-        return result, time.perf_counter() - start
+        elapsed = time.perf_counter() - start
+        if compiled is not None:
+            # Bank the member estimates this execution computed, so every
+            # later query containing one of the shared subtrees reuses them.
+            harvest_subplans(self._broker, compiled, samples_per_phase)
+        return result, elapsed
 
     def _record_execution(
         self, plan: Plan, result: AggregateResult, elapsed: float

@@ -1,0 +1,387 @@
+"""Subplan-level estimate sharing: the broker behind the plan forest.
+
+The logical plan IR gives every subplan a content digest
+(:mod:`repro.plan.nodes`), and physical lowering tags every union member
+with its subplan's digest and a content-addressed seed.  This module turns
+those tags into cross-query reuse:
+
+* :class:`SubplanBroker` implements the lowering's
+  :class:`~repro.plan.lowering.SubplanSharing` hook against the session's
+  :class:`~repro.service.cache.ResultCache`: member estimates are stored
+  under :func:`~repro.service.canonical.subplan_key` keys — subject to the
+  cache's TTL/LRU rules, with value reuse restricted to entries at
+  *exactly* the consumer's accuracy (dominance would serve bits an
+  unshared computation could not produce) — and every query whose plan
+  contains the subtree primes them back at compile time.  A stored entry
+  at a different accuracy that carries a resumable computation is
+  *continued* to the requested accuracy instead, composing subplan reuse
+  with the refinable-result machinery.
+* :func:`prepare_shared_members` is the batch-forest step: before a batch
+  executes, members demanded by two or more compiled plans are estimated
+  **once**, parent-side, from the exact member objects execution would use
+  — so serial, thread and process backends all consume the same
+  precomputed values and no worker duplicates a shared node.
+* :func:`harvest_subplans` runs after an execution and banks the member
+  estimates the union computed on the way, making them available to every
+  later query containing the subtree.
+
+Determinism contract: a member's estimate is a pure function of
+``(database fingerprint, subplan digest, accuracy, samples-per-phase)`` —
+the seed is derived from exactly those values, never from the request's
+stream or the batch composition.  Sharing therefore changes *where* a
+member volume is computed (parent vs worker, this query vs an earlier one),
+never its value; a sharing and a non-sharing session produce bit-identical
+results, and reuse of a *tighter* cached entry follows the same dominance
+rule the whole-query cache has always applied.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import defaultdict
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.core.difference import DifferenceObservable
+from repro.core.intersection import IntersectionObservable
+from repro.core.observable import ObservableRelation
+from repro.core.projection import ProjectionObservable
+from repro.core.union import UnionObservable
+from repro.plan.lowering import SubplanSharing
+from repro.queries.aggregates import AggregateResult
+from repro.service.canonical import subplan_key
+from repro.volume.base import VolumeEstimate
+
+#: Cache-key kind for subplan-granular volume entries.
+SUBPLAN_KIND = "subplan:volume"
+
+
+class SubplanBroker(SubplanSharing):
+    """Connects plan lowering to the session's cache, metrics and seeds.
+
+    Parameters
+    ----------
+    fingerprint:
+        The database fingerprint every key and seed is derived from.
+    cache:
+        The session's :class:`~repro.service.cache.ResultCache`, or ``None``
+        for a *seed-only* broker (used by process workers for fallback
+        compilations: same content-addressed member streams, no store).
+    metrics:
+        The session's metrics, or ``None`` (seed-only brokers).
+    reuse:
+        ``False`` disables lookup/store while keeping the seeds — the
+        "sharing off" mode that E20 compares against: identical values,
+        no reuse.
+    """
+
+    def __init__(
+        self,
+        fingerprint: str,
+        cache=None,
+        metrics=None,
+        reuse: bool = True,
+    ) -> None:
+        self.fingerprint = fingerprint
+        self.cache = cache
+        self.metrics = metrics
+        self.reuse = reuse and cache is not None
+        self._locks: defaultdict[str, threading.Lock] = defaultdict(threading.Lock)
+        self._locks_guard = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # SubplanSharing hook (called by plan lowering)
+    # ------------------------------------------------------------------
+    def member_seed(
+        self, digest: str, epsilon: float, delta: float, samples_per_phase: int
+    ) -> int:
+        """Content-addressed seed: data + subplan + accuracy + phase budget."""
+        payload = (
+            f"{self.fingerprint}|{digest}|{epsilon!r}|{delta!r}|{samples_per_phase}"
+        )
+        return int.from_bytes(hashlib.sha256(payload.encode()).digest()[:8], "big")
+
+    def member_lookup(
+        self, digest: str, epsilon: float, delta: float, samples_per_phase: int
+    ) -> VolumeEstimate | None:
+        """A banked estimate a consumer at ``(ε, δ)`` may reuse bit-for-bit.
+
+        Value reuse requires the stored entry's accuracy to *equal* the
+        request — the content-addressed member stream is a function of the
+        accuracy, so serving a merely *dominating* (tighter) entry would
+        hand the consumer a value its own unshared computation could not
+        have produced, breaking the sharing/non-sharing bit-identity
+        contract.  An entry at a different accuracy is still reachable when
+        its producer left resumable state: the continuation is deterministic
+        in that state (PR 4's refinable contract), and is how subplan
+        entries compose with the refinable machinery.
+        """
+        if not self.reuse:
+            return None
+        key = self._key(digest, samples_per_phase)
+        result = self.cache.exact_lookup(key, epsilon, delta)
+        if result is None:
+            result = self._continue_refinable(key, epsilon, delta)
+        if result is None or result.estimate is None:
+            if self.metrics is not None:
+                self.metrics.record_subplan_miss()
+            return None
+        if self.metrics is not None:
+            self.metrics.record_subplan_hit()
+        return result.estimate
+
+    # ------------------------------------------------------------------
+    # Store side
+    # ------------------------------------------------------------------
+    def store_member(
+        self,
+        digest: str,
+        estimate: VolumeEstimate,
+        epsilon: float,
+        delta: float,
+        samples_per_phase: int,
+        refinable=None,
+    ) -> bool:
+        """Bank one member estimate under its subplan key."""
+        if not self.reuse:
+            return False
+        key = self._key(digest, samples_per_phase)
+        stored = self.cache.put(
+            key,
+            AggregateResult(
+                value=estimate.value, estimate=estimate, exact=False, refinable=refinable
+            ),
+            epsilon,
+            delta,
+        )
+        if stored and self.metrics is not None:
+            self.metrics.record_subplan_store()
+        return stored
+
+    def ensure_member(
+        self,
+        union: UnionObservable,
+        index: int,
+        digest: str,
+        samples_per_phase: int,
+    ) -> VolumeEstimate:
+        """Compute-once semantics for one union member (the shared node).
+
+        Under the digest's lock: a cached (or concurrently computed) entry
+        is primed and returned; otherwise the member is estimated from its
+        content-addressed stream, stored, and primed.  Concurrent callers
+        for the same digest therefore never duplicate the computation.
+        """
+        epsilon, delta = UnionObservable.member_accuracy(
+            union.params, len(union.members)
+        )
+        with self._lock_for(self._key(digest, samples_per_phase)):
+            cached = self.member_lookup(digest, epsilon, delta, samples_per_phase)
+            if cached is not None:
+                union.prime_member_volume(index, cached)
+                return cached
+            seed = self.member_seed(digest, epsilon, delta, samples_per_phase)
+            member = union.members[index]
+            estimate = member.estimate_volume(
+                epsilon, delta, rng=np.random.default_rng(seed)
+            )
+            self.store_member(digest, estimate, epsilon, delta, samples_per_phase)
+            union.prime_member_volume(index, estimate)
+        # Bank whatever the member computed on the way (e.g. the disjunct
+        # volumes of an inner union), so sibling consumers prime instead of
+        # recomputing.  Outside the lock: store_member locks the cache.
+        harvest_subplans(self, member, samples_per_phase)
+        return estimate
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _key(self, digest: str, samples_per_phase: int) -> str:
+        return subplan_key(
+            self.fingerprint, digest, SUBPLAN_KIND, (samples_per_phase,)
+        )
+
+    def _lock_for(self, key: str) -> threading.Lock:
+        with self._locks_guard:
+            return self._locks[key]
+
+    def _continue_refinable(
+        self, key: str, epsilon: float, delta: float
+    ) -> AggregateResult | None:
+        """Continue a resumable subplan entry to the requested accuracy.
+
+        Inherited from the refinable machinery of the result cache: subplan
+        entries whose producers left resumable state behave like whole-query
+        adaptive answers.  Today's member estimates (telescoping) are not
+        resumable, so this fires only for future refinable producers banked
+        through :meth:`store_member`'s ``refinable`` parameter.
+        """
+        candidate = self.cache.refinable_lookup(key, epsilon, delta)
+        if candidate is None:
+            return None
+        from repro.service.session import refine_result
+
+        refined = refine_result(candidate.refinable, epsilon, delta)
+        if refined is None:
+            return None
+        assert refined.refinable is not None
+        self.cache.put(key, refined, epsilon, refined.refinable.delta)
+        if self.metrics is not None:
+            self.metrics.record_refinement()
+        return refined
+
+
+# ----------------------------------------------------------------------
+# Observable traversal
+# ----------------------------------------------------------------------
+def iter_unions(observable: ObservableRelation) -> Iterator[UnionObservable]:
+    """Every union generator reachable inside a compiled plan (root first)."""
+    stack: list[ObservableRelation] = [observable]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, UnionObservable):
+            yield node
+            stack.extend(node.members)
+        elif isinstance(node, IntersectionObservable):
+            stack.extend(node.members)
+        elif isinstance(node, DifferenceObservable):
+            stack.extend((node.minuend, node.subtrahend))
+        elif isinstance(node, ProjectionObservable):
+            stack.append(node.source)
+
+
+def _tagged_members(
+    observable: ObservableRelation,
+) -> Iterator[tuple[UnionObservable, int, str]]:
+    """(union, member index, digest) for every plan-tagged union member."""
+    for union in iter_unions(observable):
+        if union.member_digests is None or union.member_seeds is None:
+            continue
+        for index, digest in enumerate(union.member_digests):
+            if digest is not None:
+                yield union, index, digest
+
+
+def harvest_subplans(
+    broker: SubplanBroker,
+    observable: ObservableRelation,
+    samples_per_phase: int,
+) -> int:
+    """Bank the member estimates a finished execution computed on the way.
+
+    Returns the number of entries stored.  Estimates that were primed from
+    the cache (or already banked by a concurrent execution) are skipped by
+    the cache's own dominance rule, so harvesting is idempotent.
+    """
+    stored = 0
+    for union, index, digest in _tagged_members(observable):
+        volumes = union.member_volume_estimates()
+        if volumes is None:
+            continue
+        epsilon, delta = UnionObservable.member_accuracy(
+            union.params, len(union.members)
+        )
+        if broker.store_member(
+            digest, volumes[index], epsilon, delta, samples_per_phase
+        ):
+            stored += 1
+    return stored
+
+
+def prepare_shared_members(session, units: Sequence) -> int:
+    """The batch plan-forest step: estimate shared members once, parent-side.
+
+    ``units`` are the batch's telescoping-route work units.  Their queries
+    are compiled (through the session's memoising ``compile_cached``, so the
+    backends execute these exact objects), every plan-tagged union member is
+    collected, and each member demanded more than once — or by more than one
+    unit — is estimated a single time from its content-addressed stream and
+    primed everywhere it occurs.  Returns the number of shared members
+    precomputed.
+    """
+    broker = session._broker
+    if broker is None or not broker.reuse:
+        return 0
+    # Demand is grouped by (digest, accuracy, phase budget): consumers in a
+    # group would compute the *identical* estimate (same member content,
+    # same seed), so one computation serves them all.  Unions with different
+    # member counts request different member accuracies and land in
+    # different groups — their reuse still happens through the cache's
+    # dominance rule, never by priming a mismatched value.
+    demand: dict[
+        tuple[str, float, float, int], list[tuple[UnionObservable, int]]
+    ] = {}
+    for unit in units:
+        samples_per_phase = unit.plan.sample_budget or 800
+        try:
+            compiled = session.compile_cached(
+                unit.query, samples_per_phase=samples_per_phase
+            )
+        except Exception:
+            # Compilation problems belong to the executing backend, which
+            # reports them with the originating request attached.
+            continue
+        for union, index, digest in _tagged_members(compiled):
+            epsilon, delta = UnionObservable.member_accuracy(
+                union.params, len(union.members)
+            )
+            demand.setdefault((digest, epsilon, delta, samples_per_phase), []).append(
+                (union, index)
+            )
+    precomputed = 0
+    for (digest, _, _, samples_per_phase), consumers in demand.items():
+        if len(consumers) < 2:
+            continue
+        estimate: VolumeEstimate | None = None
+        for union, index in consumers:
+            if index in union._primed:
+                continue  # an earlier ensure's harvest already reached it
+            if estimate is None:
+                estimate = broker.ensure_member(union, index, digest, samples_per_phase)
+                precomputed += 1
+            else:
+                union.prime_member_volume(index, estimate)
+    # Second pass: ensures bank transitive estimates (inner-union disjunct
+    # volumes) after some consumers were already compiled — fill the gaps so
+    # every compiled plan enters execution fully primed.
+    for unit in units:
+        samples_per_phase = unit.plan.sample_budget or 800
+        try:
+            compiled = session.compile_cached(
+                unit.query, samples_per_phase=samples_per_phase
+            )
+        except Exception:
+            continue
+        prime_from_cache(broker, compiled, samples_per_phase)
+    return precomputed
+
+
+def prime_from_cache(
+    broker: SubplanBroker, observable: ObservableRelation, samples_per_phase: int
+) -> int:
+    """Prime every unprimed, not-yet-estimated tagged member from the cache."""
+    primed = 0
+    for union, index, digest in _tagged_members(observable):
+        if index in union._primed or union.member_volume_estimates() is not None:
+            continue
+        epsilon, delta = UnionObservable.member_accuracy(
+            union.params, len(union.members)
+        )
+        cached = broker.member_lookup(digest, epsilon, delta, samples_per_phase)
+        if cached is not None:
+            union.prime_member_volume(index, cached)
+            primed += 1
+    return primed
+
+
+def shared_member_digests(observables: Iterable[ObservableRelation]) -> set[str]:
+    """Digests of members occurring in more than one compiled plan (for tests)."""
+    seen: dict[str, int] = {}
+    for position, observable in enumerate(observables):
+        for _, _, digest in _tagged_members(observable):
+            first = seen.setdefault(digest, position)
+            if first != position:
+                seen[digest] = -1
+    return {digest for digest, flag in seen.items() if flag == -1}

@@ -1,0 +1,191 @@
+"""Canonicalization: flattening, dedup, negation handling — and its laws.
+
+The property tests at the bottom drive randomly generated query ASTs
+through the canonicalizer and assert the two laws the service relies on:
+**idempotence** (canonicalizing a canonical plan is the identity) and
+**order invariance** (permuting ``AND``/``OR`` operands anywhere in the
+query never changes the plan digest).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.constraints.terms import variables
+from repro.plan import (
+    Conjoin,
+    Disjoin,
+    EmptyPlan,
+    NegateDiff,
+    Project,
+    RelationScan,
+    build_plan,
+    canonicalize,
+    plan_digest,
+)
+from repro.queries.ast import QAnd, QConstraint, QExists, QNot, QOr, QRelation, Query
+from repro.queries.compiler import CompilationError
+
+x, y = variables("x", "y")
+
+
+def _atom(name: str) -> QRelation:
+    return QRelation(name, ("x", "y"))
+
+
+class TestNormalForm:
+    def test_flattens_nested_and(self):
+        nested = QAnd((QAnd((_atom("A"), _atom("B"))), _atom("C")))
+        flat = QAnd((_atom("A"), _atom("B"), _atom("C")))
+        assert build_plan(nested).key == build_plan(flat).key
+
+    def test_flattens_nested_or(self):
+        nested = QOr((QOr((_atom("A"), _atom("B"))), _atom("C")))
+        flat = QOr((_atom("A"), _atom("B"), _atom("C")))
+        assert build_plan(nested).key == build_plan(flat).key
+
+    def test_duplicate_disjuncts_collapse(self):
+        plan = build_plan(QOr((_atom("A"), _atom("A"))))
+        assert isinstance(plan, RelationScan)
+
+    def test_duplicate_conjuncts_collapse(self):
+        plan = build_plan(QAnd((_atom("A"), _atom("A"))))
+        assert isinstance(plan, RelationScan)
+
+    def test_double_negation_eliminated(self):
+        assert build_plan(QNot(QNot(_atom("A")))).digest == build_plan(_atom("A")).digest
+
+    def test_negated_constraint_becomes_filter(self):
+        le = QConstraint((x <= 1))
+        negated = build_plan(QAnd((_atom("A"), QNot(le))))
+        assert isinstance(negated, Conjoin)
+        # The negation was pushed into the atom, not turned into a difference.
+        assert not isinstance(negated, NegateDiff)
+
+    def test_negated_conjuncts_collect_into_difference(self):
+        query = QAnd((_atom("A"), QNot(_atom("B")), QNot(_atom("C"))))
+        plan = build_plan(query)
+        assert isinstance(plan, NegateDiff)
+        assert isinstance(plan.subtrahend, Disjoin)
+        assert len(plan.subtrahend.operands) == 2
+
+    def test_top_level_negation_rejected(self):
+        with pytest.raises(CompilationError):
+            build_plan(QNot(_atom("A")))
+
+    def test_a_minus_a_is_empty(self):
+        plan = build_plan(QAnd((_atom("A"), QNot(_atom("A")))))
+        assert isinstance(plan, EmptyPlan)
+
+    def test_exists_variables_sorted(self):
+        body = QRelation("A", ("x", "y", "z"))
+        assert plan_digest(body.exists("x", "y")) == plan_digest(body.exists("y", "x"))
+
+    def test_nested_exists_merge(self):
+        body = QRelation("A", ("x", "y", "z"))
+        plan = build_plan(QExists(("x",), QExists(("y",), body)))
+        assert isinstance(plan, Project)
+        assert plan.drop == ("x", "y")
+
+    def test_exists_over_unused_variable_is_noop(self):
+        plan = build_plan(QExists(("w",), _atom("A")))
+        assert isinstance(plan, RelationScan)
+
+    def test_commutativity_in_digest_only(self):
+        left = build_plan(QAnd((_atom("A"), _atom("B"))))
+        right = build_plan(QAnd((_atom("B"), _atom("A"))))
+        assert left.key != right.key
+        assert left.digest == right.digest
+
+
+# ----------------------------------------------------------------------
+# Property tests: idempotence and order invariance
+# ----------------------------------------------------------------------
+_NAMES = ("A", "B", "C")
+
+
+def _random_query(rng: np.random.Generator, depth: int) -> Query:
+    """A random FO+LIN query over relations A/B/C on variables (x, y)."""
+    if depth <= 0 or rng.random() < 0.3:
+        if rng.random() < 0.25:
+            bound = float(rng.integers(-2, 3))
+            term = x if rng.random() < 0.5 else y
+            return QConstraint((term <= bound) if rng.random() < 0.5 else (term >= bound))
+        return _atom(str(rng.choice(_NAMES)))
+    kind = rng.integers(0, 4)
+    if kind == 0:
+        count = int(rng.integers(2, 4))
+        return QAnd(tuple(_random_query(rng, depth - 1) for _ in range(count)))
+    if kind == 1:
+        count = int(rng.integers(2, 4))
+        return QOr(tuple(_random_query(rng, depth - 1) for _ in range(count)))
+    if kind == 2:
+        # Negations only make sense inside conjunctions; wrap directly.
+        return QAnd((_random_query(rng, depth - 1), QNot(_atom(str(rng.choice(_NAMES))))))
+    return QExists(("y",), _random_query(rng, depth - 1))
+
+
+def _shuffle_operands(query: Query, rng: np.random.Generator) -> Query:
+    """Recursively permute every AND/OR operand tuple."""
+    if isinstance(query, QAnd):
+        operands = [_shuffle_operands(op, rng) for op in query.operands]
+        order = rng.permutation(len(operands))
+        return QAnd(tuple(operands[i] for i in order))
+    if isinstance(query, QOr):
+        operands = [_shuffle_operands(op, rng) for op in query.operands]
+        order = rng.permutation(len(operands))
+        return QOr(tuple(operands[i] for i in order))
+    if isinstance(query, QNot):
+        return QNot(_shuffle_operands(query.operand, rng))
+    if isinstance(query, QExists):
+        return QExists(query.variables, _shuffle_operands(query.operand, rng))
+    return query
+
+
+class TestCanonicalizationLaws:
+    def test_idempotent_on_random_queries(self):
+        rng = np.random.default_rng(7)
+        checked = 0
+        for _ in range(200):
+            query = _random_query(rng, depth=3)
+            try:
+                plan = build_plan(query)
+            except CompilationError:
+                continue
+            checked += 1
+            once = canonicalize(plan)
+            twice = canonicalize(once)
+            assert once.key == plan.key, f"build_plan not canonical for {query!r}"
+            assert twice.key == once.key, f"canonicalize not idempotent for {query!r}"
+        assert checked > 150  # the generator rarely produces planless shapes
+
+    def test_digest_invariant_under_operand_permutation(self):
+        rng = np.random.default_rng(11)
+        checked = 0
+        for _ in range(200):
+            query = _random_query(rng, depth=3)
+            shuffled = _shuffle_operands(query, rng)
+            try:
+                original = plan_digest(query)
+            except CompilationError:
+                with pytest.raises(CompilationError):
+                    plan_digest(shuffled)
+                continue
+            checked += 1
+            assert plan_digest(shuffled) == original, (
+                f"digest changed under permutation for {query!r}"
+            )
+        assert checked > 150
+
+    def test_digest_sensitive_to_content(self):
+        rng = np.random.default_rng(13)
+        digests = set()
+        for _ in range(50):
+            try:
+                digests.add(plan_digest(_random_query(rng, depth=2)))
+            except CompilationError:
+                continue
+        # Different random queries should (overwhelmingly) have different
+        # digests — this guards against a degenerate constant hash.
+        assert len(digests) > 10

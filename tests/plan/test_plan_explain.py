@@ -1,0 +1,107 @@
+"""Explain: per-node route/cost annotations and the engine-level helper."""
+
+from __future__ import annotations
+
+from repro.constraints import ConstraintDatabase, parse_relation
+from repro.core import GeneratorParams
+from repro.plan import LoweringOptions, explain_forest, explain_plan
+from repro.queries import QueryEngine
+from repro.queries.ast import QAnd, QExists, QNot, QOr, QRelation
+
+
+def _database() -> ConstraintDatabase:
+    db = ConstraintDatabase()
+    db.set_relation("R", parse_relation("0 <= a <= 1 and 0 <= b <= 1", ["a", "b"]))
+    db.set_relation("S", parse_relation("0.5 <= a <= 2 and 0 <= b <= 1", ["a", "b"]))
+    db.set_relation(
+        "T",
+        parse_relation(
+            "0 <= a <= 1 and 0 <= b <= 1 or 2 <= a <= 3 and 0 <= b <= 1", ["a", "b"]
+        ),
+    )
+    return db
+
+
+def _atom(name: str) -> QRelation:
+    return QRelation(name, ("x", "y"))
+
+
+class TestExplainPlan:
+    def test_routes_annotated(self):
+        db = _database()
+        query = QOr((_atom("R"), QAnd((_atom("T"), QNot(_atom("S"))))))
+        explanation = explain_plan(query, db)
+        routes = {a.route for a in explanation.annotations}
+        assert "union-generator" in routes
+        assert "difference-generator" in routes
+        assert "symbolic" in routes
+
+    def test_symbolic_below_projection(self):
+        db = _database()
+        query = QExists(("y",), QOr((_atom("R"), _atom("S"))))
+        explanation = explain_plan(query, db)
+        project = explanation.annotations[0]
+        assert project.route == "projection-generator"
+        assert all(a.route == "symbolic" for a in explanation.annotations[1:])
+
+    def test_cost_bound_switches_conjunction_route(self):
+        db = _database()
+        query = QAnd((_atom("T"), _atom("T"), _atom("R")))
+        tight = explain_plan(query, db, options=LoweringOptions(max_symbolic_disjuncts=1))
+        assert tight.annotations[0].route == "intersection-generator"
+        loose = explain_plan(query, db)
+        assert loose.annotations[0].route == "symbolic"
+
+    def test_disjunct_estimates(self):
+        db = _database()
+        explanation = explain_plan(QOr((_atom("T"), _atom("R"))), db)
+        assert explanation.annotations[0].disjunct_estimate == 3
+
+    def test_render_mentions_digest_and_routes(self):
+        db = _database()
+        text = explain_plan(QOr((_atom("R"), _atom("S"))), db).render()
+        assert "union-generator" in text
+        assert "digest=" in text
+        assert "scan R" in text
+
+    def test_forest_marks_cross_query_sharing(self):
+        db = _database()
+        queries = [QOr((_atom("T"), _atom("R"))), QOr((_atom("T"), _atom("S")))]
+        explanations = explain_forest(queries, db)
+        shared = [
+            a
+            for explanation in explanations
+            for a in explanation.annotations
+            if a.shared
+        ]
+        assert shared, "the shared scan T should be marked"
+        assert any(a.label() == "scan T" for a in shared)
+
+
+class TestEngineExplain:
+    def test_engine_explain_carries_service_plan(self):
+        db = _database()
+        engine = QueryEngine(db, params=GeneratorParams(epsilon=0.3, delta=0.2))
+        explanation = engine.explain(QOr((_atom("R"), _atom("S"))))
+        assert explanation.service_plan is not None
+        assert explanation.service_plan.estimator in (
+            "exact",
+            "monte_carlo",
+            "telescoping",
+            "adaptive",
+        )
+        assert explanation.digest
+        assert explanation.render()
+
+    def test_engine_volume_mode_typo_lists_modes(self):
+        db = _database()
+        engine = QueryEngine(db)
+        try:
+            engine.volume(_atom("R"), mode="aproximate")  # type: ignore[arg-type]
+        except ValueError as error:
+            message = str(error)
+            assert "aproximate" in message
+            for mode in ("exact", "approximate", "auto", "adaptive"):
+                assert mode in message
+        else:
+            raise AssertionError("typo mode must raise ValueError")

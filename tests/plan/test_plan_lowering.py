@@ -1,0 +1,169 @@
+"""Physical lowering: routes, equivalence with the symbolic baseline,
+the duplicate-disjunct regression, and the cost-model switch."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.constraints import ConstraintDatabase, parse_relation
+from repro.constraints.terms import variables
+from repro.core import IntersectionObservable, UnionObservable
+from repro.plan import LoweringOptions, build_plan, lower_plan, rewrite_plan
+from repro.queries import compile_query, evaluate_symbolic, exact_volume
+from repro.queries.ast import QAnd, QConstraint, QNot, QOr, QRelation
+from repro.queries.compiler import CompilationError, compile_plan
+
+x, y = variables("x", "y")
+
+
+@pytest.fixture
+def database() -> ConstraintDatabase:
+    db = ConstraintDatabase()
+    db.set_relation("R", parse_relation("0 <= a <= 1 and 0 <= b <= 1", ["a", "b"]))
+    db.set_relation("S", parse_relation("0.5 <= a <= 2 and 0 <= b <= 1", ["a", "b"]))
+    db.set_relation(
+        "T",
+        parse_relation(
+            "0 <= a <= 1 and 0 <= b <= 1 or 2 <= a <= 3 and 0 <= b <= 1", ["a", "b"]
+        ),
+    )
+    return db
+
+
+def _atom(name: str) -> QRelation:
+    return QRelation(name, ("x", "y"))
+
+
+class TestDuplicateDisjunctRegression:
+    def test_duplicate_disjuncts_compile_to_one_member(self, database, fast_params):
+        """`a OR a` must not become two union members (double weight)."""
+        plan = compile_query(QOr((_atom("R"), _atom("R"))), database, params=fast_params)
+        # The dedup collapses the disjunction to the single scan — the
+        # compiled object is the relation's own observable, not a union of
+        # two copies.
+        assert not isinstance(plan, UnionObservable) or all(
+            m is not plan.members[0] for m in plan.members[1:]
+        )
+        duplicate_free = compile_query(_atom("R"), database, params=fast_params)
+        assert type(plan) is type(duplicate_free)
+
+    def test_duplicate_disjunct_volume_not_doubled(self, database, fast_params, rng):
+        query = QOr((_atom("R"), _atom("R"), _atom("R")))
+        estimate = compile_query(query, database, params=fast_params).estimate_volume(
+            rng=rng
+        )
+        exact = exact_volume(_atom("R"), database).value
+        assert estimate.approximates(exact, ratio=1.35)
+
+
+class TestRoutes:
+    def test_disjunction_lowers_per_operand(self, database, fast_params):
+        plan = compile_query(QOr((_atom("R"), _atom("S"))), database, params=fast_params)
+        assert isinstance(plan, UnionObservable)
+        assert len(plan.members) == 2
+        # Digests are pure metadata and always tagged; the content-addressed
+        # member streams only switch on with a sharing hook.
+        assert plan.member_digests is not None
+        assert plan.member_seeds is None
+
+    def test_union_members_carry_digests_with_sharing(self, database, fast_params):
+        from repro.service.sharing import SubplanBroker
+
+        broker = SubplanBroker(fingerprint="test", cache=None)
+        plan = compile_plan(
+            QOr((_atom("R"), _atom("S"))),
+            database,
+            params=fast_params,
+            sharing=broker,
+        )
+        assert isinstance(plan, UnionObservable)
+        assert plan.member_digests is not None
+        assert plan.member_seeds is not None
+        rewritten = rewrite_plan(build_plan(_atom("R")), database)
+        assert rewritten.digest in plan.member_digests
+
+    def test_conjunction_stays_symbolic_below_bound(self, database, fast_params, rng):
+        query = QAnd((_atom("R"), _atom("S")))
+        plan = compile_query(query, database, params=fast_params)
+        estimate = plan.estimate_volume(rng=rng)
+        assert estimate.approximates(0.5, ratio=1.35)
+
+    def test_conjunction_over_symbolic_disjunction_collapses(self, database, fast_params, rng):
+        # The pre-plan-IR compiler merged a symbolic QOr inside a QAnd into
+        # one DNF relation; the plan pipeline must preserve that collapse
+        # instead of stacking a rejection sampler over a union generator.
+        query = QAnd((_atom("T"), QOr((_atom("R"), _atom("S")))))
+        plan = compile_query(query, database, params=fast_params)
+        assert not isinstance(plan, IntersectionObservable)
+        estimate = plan.estimate_volume(rng=rng)
+        exact = exact_volume(query, database).value
+        assert estimate.approximates(exact, ratio=1.35)
+
+    def test_conjunction_goes_observable_past_bound(self, database, fast_params):
+        query = QAnd((_atom("T"), _atom("T"), _atom("R")))
+        # T has 2 disjuncts; with a bound of 1 any symbolic product is too
+        # big, so the lowering must choose rejection-based intersection.
+        lowered = lower_plan(
+            rewrite_plan(build_plan(query), database),
+            database,
+            params=fast_params,
+            options=LoweringOptions(max_symbolic_disjuncts=1),
+        )
+        assert isinstance(lowered, IntersectionObservable)
+
+    def test_symbolic_context_overrides_cost_bound(self, database, fast_params, rng):
+        # Under a projection the operand must stay symbolic even when the
+        # cost bound would prefer the observable route.
+        query = QAnd((_atom("R"), _atom("S"))).exists("y")
+        lowered = lower_plan(
+            rewrite_plan(build_plan(query), database),
+            database,
+            params=fast_params,
+            options=LoweringOptions(max_symbolic_disjuncts=1),
+        )
+        assert lowered.dimension == 1
+        samples = lowered.generate_many(10, rng)
+        assert np.all(samples >= 0.5 - 1e-6)
+
+    def test_difference_route(self, database, fast_params, rng):
+        query = QAnd((_atom("T"), QNot(_atom("S"))))
+        plan = compile_query(query, database, params=fast_params)
+        point = plan.generate(rng)
+        assert plan.contains(point)
+
+    def test_empty_plan_rejected(self, database, fast_params):
+        query = QAnd((_atom("R"), QNot(_atom("R"))))
+        with pytest.raises(CompilationError):
+            compile_query(query, database, params=fast_params)
+
+    def test_filters_lower_into_scan(self, database, fast_params, rng):
+        query = QAnd((_atom("R"), QConstraint(x <= 0.5)))
+        plan = compile_query(query, database, params=fast_params)
+        symbolic = evaluate_symbolic(query, database)
+        for _ in range(5):
+            point = plan.generate(rng)
+            assert symbolic.contains_point(point)
+
+    def test_mixed_conjunction_with_filter_and_observable(self, database, fast_params, rng):
+        # A bare constraint conjunct next to an observable operand: the old
+        # direct lowering tried to observable-ize the (unbounded) half-plane
+        # and failed; pushdown folds it into the scan first.
+        query = QAnd((_atom("T"), QConstraint(x <= 0.5), QNot(_atom("S"))))
+        plan = compile_query(query, database, params=fast_params)
+        point = plan.generate(rng)
+        assert point[0] <= 0.5 + 1e-6
+
+
+class TestDeterminism:
+    def test_compile_is_deterministic(self, database, fast_params):
+        query = QOr((_atom("R"), QAnd((_atom("S"), QConstraint(x >= 1.0)))))
+        rng_a = np.random.default_rng(5)
+        rng_b = np.random.default_rng(5)
+        first = compile_query(query, database, params=fast_params).estimate_volume(
+            rng=rng_a
+        )
+        second = compile_query(query, database, params=fast_params).estimate_volume(
+            rng=rng_b
+        )
+        assert first.value == second.value

@@ -1,0 +1,120 @@
+"""Plan IR nodes: keys, digests, free variables, traversal."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constraints.terms import variables
+from repro.plan import (
+    Conjoin,
+    ConstraintFilter,
+    Disjoin,
+    EmptyPlan,
+    NegateDiff,
+    PlanNode,
+    Project,
+    RelationScan,
+    walk,
+)
+
+
+def _scan(name: str = "R", args=("x", "y")) -> RelationScan:
+    return RelationScan(name, args)
+
+
+def _filter(expr) -> ConstraintFilter:
+    return ConstraintFilter(expr.constraint if hasattr(expr, "constraint") else expr)
+
+
+x, y = variables("x", "y")
+
+
+class TestIdentities:
+    def test_scan_key_and_digest_stable(self):
+        assert _scan().key == RelationScan("R", ("x", "y")).key
+        assert _scan().digest == RelationScan("R", ("x", "y")).digest
+
+    def test_scan_distinguishes_name_and_arguments(self):
+        assert _scan("R").digest != _scan("S").digest
+        assert _scan("R", ("x", "y")).digest != _scan("R", ("y", "x")).digest
+
+    def test_commutative_digest_sorts_operands(self):
+        left = Conjoin([_scan("A"), _scan("B")])
+        right = Conjoin([_scan("B"), _scan("A")])
+        assert left.key != right.key  # written order preserved for lowering
+        assert left.digest == right.digest  # value identity is order-free
+
+    def test_difference_digest_is_order_sensitive(self):
+        forward = NegateDiff(_scan("A"), _scan("B"))
+        backward = NegateDiff(_scan("B"), _scan("A"))
+        assert forward.digest != backward.digest
+
+    def test_and_or_digests_differ(self):
+        operands = [_scan("A"), _scan("B")]
+        assert Conjoin(operands).digest != Disjoin(operands).digest
+
+    def test_scan_filters_digest_order_free(self):
+        f1 = (x <= 1)
+        f2 = (y >= 0)
+        left = RelationScan("R", ("x", "y"), (f1, f2))
+        right = RelationScan("R", ("x", "y"), (f2, f1))
+        assert left.digest == right.digest
+        assert left.key != right.key
+        # Written filter order is preserved for lowering.
+        assert left.filters == (f1, f2)
+        assert right.filters == (f2, f1)
+
+    def test_scan_filters_deduplicate(self):
+        f1 = (x <= 1)
+        scan = RelationScan("R", ("x", "y"), (f1, f1))
+        assert len(scan.filters) == 1
+
+    def test_node_equality_and_hash_follow_key(self):
+        assert _scan() == _scan()
+        assert hash(_scan()) == hash(_scan())
+        assert _scan("R") != _scan("S")
+
+
+class TestStructure:
+    def test_free_variables_written_order(self):
+        plan = Conjoin([_scan("A", ("y", "x")), _scan("B", ("x", "z"))])
+        assert plan.free_variables() == ("y", "x", "z")
+
+    def test_project_drops_sorted_variables(self):
+        plan = Project(_scan("R", ("x", "y")), ("y",))
+        assert plan.free_variables() == ("x",)
+        assert Project(_scan(), ("y", "x")).drop == ("x", "y")
+
+    def test_walk_preorder(self):
+        inner = Conjoin([_scan("A"), _filter(x <= 1)])
+        plan = Disjoin([inner, _scan("B")])
+        kinds = [node.kind for node in walk(plan)]
+        assert kinds == ["disjoin", "conjoin", "scan", "filter", "scan"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RelationScan("R", ())
+        with pytest.raises(ValueError):
+            Conjoin([])
+        with pytest.raises(ValueError):
+            Disjoin([])
+        with pytest.raises(ValueError):
+            Project(_scan(), ())
+
+    def test_to_query_round_trip(self):
+        plan = NegateDiff(Conjoin([_scan("A"), _scan("B")]), _scan("C"))
+        from repro.plan import build_plan
+
+        assert build_plan(plan.to_query()).digest == plan.digest
+
+    def test_empty_plan_has_digest_but_no_query(self):
+        empty = EmptyPlan(("x",))
+        assert empty.digest
+        from repro.queries.compiler import CompilationError
+
+        with pytest.raises(CompilationError):
+            empty.to_query()
+
+    def test_base_node_is_abstractish(self):
+        with pytest.raises(NotImplementedError):
+            PlanNode().free_variables()  # type: ignore[abstract]

@@ -1,0 +1,143 @@
+"""Rewrite rules: pushdown, empty elimination, CSE interning, sharing report."""
+
+from __future__ import annotations
+
+from repro.constraints import ConstraintDatabase, parse_relation
+from repro.constraints.terms import variables
+from repro.plan import (
+    Conjoin,
+    ConstraintFilter,
+    Disjoin,
+    EmptyPlan,
+    NegateDiff,
+    RelationScan,
+    build_plan,
+    intern_plan,
+    rewrite_plan,
+    shared_subplans,
+    walk,
+)
+from repro.queries.ast import QAnd, QConstraint, QNot, QOr, QRelation
+
+x, y, z = variables("x", "y", "z")
+
+
+def _atom(name: str) -> QRelation:
+    return QRelation(name, ("x", "y"))
+
+
+def _database() -> ConstraintDatabase:
+    db = ConstraintDatabase()
+    db.set_relation("A", parse_relation("0 <= a <= 1 and 0 <= b <= 1", ["a", "b"]))
+    db.set_relation("B", parse_relation("0 <= a <= 2 and 0 <= b <= 2", ["a", "b"]))
+    return db
+
+
+class TestConstraintPushdown:
+    def test_covered_filter_moves_into_scan(self):
+        query = QAnd((_atom("A"), QConstraint(x <= 1)))
+        plan = rewrite_plan(build_plan(query))
+        assert isinstance(plan, RelationScan)
+        assert len(plan.filters) == 1
+
+    def test_multiple_filters_accumulate(self):
+        query = QAnd((_atom("A"), QConstraint(x <= 1), QConstraint(y >= 0)))
+        plan = rewrite_plan(build_plan(query))
+        assert isinstance(plan, RelationScan)
+        assert len(plan.filters) == 2
+
+    def test_uncovered_filter_stays(self):
+        # z is not bound by the scan: pushing it would change the variable
+        # order of the lowered result, so it must stay a sibling conjunct.
+        query = QAnd((_atom("A"), QConstraint(z <= 1)))
+        plan = rewrite_plan(build_plan(query))
+        assert isinstance(plan, Conjoin)
+        assert any(isinstance(op, ConstraintFilter) for op in plan.operands)
+
+    def test_filter_picks_first_covering_scan(self):
+        query = QAnd((_atom("A"), _atom("B"), QConstraint(x <= 1)))
+        plan = rewrite_plan(build_plan(query))
+        assert isinstance(plan, Conjoin)
+        scans = [op for op in plan.operands if isinstance(op, RelationScan)]
+        assert [len(scan.filters) for scan in scans] == [1, 0]
+
+    def test_pushdown_inside_difference(self):
+        query = QAnd((_atom("A"), QConstraint(x <= 1), QNot(_atom("B"))))
+        plan = rewrite_plan(build_plan(query))
+        assert isinstance(plan, NegateDiff)
+        assert isinstance(plan.minuend, RelationScan)
+        assert len(plan.minuend.filters) == 1
+
+    def test_pushdown_equivalent_digest_is_not_required(self):
+        # Pushdown changes the digest (scan+filters is a different subtree
+        # from conjoin(scan, filter)); rewriting must stay deterministic.
+        query = QAnd((_atom("A"), QConstraint(x <= 1)))
+        assert (
+            rewrite_plan(build_plan(query)).digest
+            == rewrite_plan(build_plan(query)).digest
+        )
+
+
+class TestEmptyElimination:
+    def test_empty_scan_empties_conjunction(self):
+        from repro.constraints.relations import GeneralizedRelation
+
+        db = _database()
+        db.set_relation("E", GeneralizedRelation((), ("a", "b")))
+        plan = rewrite_plan(build_plan(QAnd((_atom("A"), _atom("E")))), db)
+        assert isinstance(plan, EmptyPlan)
+
+    def test_empty_disjunct_dropped(self):
+        from repro.constraints.relations import GeneralizedRelation
+
+        db = _database()
+        db.set_relation("E", GeneralizedRelation((), ("a", "b")))
+        plan = rewrite_plan(build_plan(QOr((_atom("A"), _atom("E")))), db)
+        assert isinstance(plan, RelationScan)
+        assert plan.name == "A"
+
+    def test_empty_subtrahend_drops_difference(self):
+        from repro.constraints.relations import GeneralizedRelation
+
+        db = _database()
+        db.set_relation("E", GeneralizedRelation((), ("a", "b")))
+        plan = rewrite_plan(build_plan(QAnd((_atom("A"), QNot(_atom("E"))))), db)
+        assert isinstance(plan, RelationScan)
+        assert plan.name == "A"
+
+    def test_structural_a_minus_a_empty_without_database(self):
+        plan = rewrite_plan(build_plan(QAnd((_atom("A"), QNot(_atom("A"))))))
+        assert isinstance(plan, EmptyPlan)
+
+
+class TestInterning:
+    def test_repeated_subtree_becomes_shared_object(self):
+        shared = QAnd((_atom("A"), _atom("B")))
+        query = QOr((QAnd((shared, QConstraint(z <= 1))), QAnd((shared, QConstraint(z >= 0)))))
+        plan = intern_plan(rewrite_plan(build_plan(query)))
+        nodes_by_key: dict[str, list[int]] = {}
+        for node in walk(plan):
+            nodes_by_key.setdefault(node.key, []).append(id(node))
+        for key, ids in nodes_by_key.items():
+            assert len(set(ids)) == 1, f"subtree {key} not interned"
+
+    def test_forest_interning_shares_across_roots(self):
+        pool: dict = {}
+        left = intern_plan(rewrite_plan(build_plan(_atom("A"))), pool)
+        right = intern_plan(
+            rewrite_plan(build_plan(QOr((_atom("A"), _atom("B"))))), pool
+        )
+        assert isinstance(right, Disjoin)
+        assert right.operands[0] is left
+
+    def test_shared_subplans_reports_cross_root_repeats(self):
+        roots = [
+            intern_plan(rewrite_plan(build_plan(QOr((_atom("A"), _atom("B"))))))
+        ] + [intern_plan(rewrite_plan(build_plan(QOr((_atom("A"), _atom("C"))))))]
+        shared = shared_subplans(roots)
+        scan_digest = rewrite_plan(build_plan(_atom("A"))).digest
+        assert scan_digest in shared
+
+    def test_shared_subplans_ignores_whole_query_duplicates(self):
+        root = intern_plan(rewrite_plan(build_plan(_atom("A"))))
+        assert shared_subplans([root, root]) == {}

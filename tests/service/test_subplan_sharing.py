@@ -1,0 +1,264 @@
+"""Subplan-level sharing: bit-identity, single computation, metrics.
+
+The workload is N queries ``A ∪ B_i`` over a shared two-disjunct relation
+``A``: each query's plan contains the scan of ``A`` as a union-member
+subtree, so the batch plan forest must estimate it once and every backend
+must serve values bit-identical to the unshared path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.constraints import ConstraintDatabase, parse_relation
+from repro.core import GeneratorParams, UnionObservable
+from repro.service import BatchRequest, Planner, ServiceSession
+from repro.service.sharing import iter_unions, shared_member_digests
+from repro.queries.ast import QOr, QRelation
+
+
+def _database() -> ConstraintDatabase:
+    db = ConstraintDatabase()
+    db.set_relation(
+        "A",
+        parse_relation(
+            "0 <= a <= 1 and 0 <= b <= 1 or 2 <= a <= 3 and 0 <= b <= 1", ["a", "b"]
+        ),
+    )
+    for index in range(6):
+        low = 4 + index
+        db.set_relation(
+            f"B{index}",
+            parse_relation(f"{low} <= a <= {low}.5 and 0 <= b <= 1", ["a", "b"]),
+        )
+    return db
+
+
+def _query(index: int) -> QOr:
+    return QOr((QRelation("A", ("x", "y")), QRelation(f"B{index}", ("x", "y"))))
+
+
+def _session(db: ConstraintDatabase, share: bool = True) -> ServiceSession:
+    # Zeroed exact/Monte-Carlo limits force the telescoping route — the one
+    # that compiles plans and exercises union-member sharing.
+    return ServiceSession(
+        db,
+        params=GeneratorParams(gamma=0.3, epsilon=0.3, delta=0.2),
+        planner=Planner(exact_dimension_limit=0, monte_carlo_dimension_limit=0),
+        share_subplans=share,
+    )
+
+
+def _values(outcomes) -> list[float]:
+    return [outcome.result.value for outcome in outcomes]
+
+
+@pytest.fixture(scope="module")
+def database() -> ConstraintDatabase:
+    return _database()
+
+
+@pytest.fixture(scope="module")
+def serial_baseline(database) -> list[float]:
+    """The shared-path serial values every other configuration must match."""
+    session = _session(database)
+    outcomes = session.submit_batch(
+        [BatchRequest(_query(i)) for i in range(4)], rng=77, backend="serial"
+    )
+    return _values(outcomes)
+
+
+class TestBitIdentity:
+    def test_sharing_off_matches_sharing_on(self, database, serial_baseline):
+        unshared = _session(database, share=False)
+        outcomes = unshared.submit_batch(
+            [BatchRequest(_query(i)) for i in range(4)], rng=77, backend="serial"
+        )
+        assert _values(outcomes) == serial_baseline
+        assert unshared.metrics.subplan_stores == 0
+        assert unshared.metrics.subplan_hits == 0
+
+    def test_thread_backend_matches_serial(self, database, serial_baseline):
+        session = _session(database)
+        outcomes = session.submit_batch(
+            [BatchRequest(_query(i)) for i in range(4)],
+            workers=4,
+            rng=77,
+            backend="thread",
+        )
+        assert _values(outcomes) == serial_baseline
+
+    def test_process_backend_matches_serial(self, database, serial_baseline):
+        session = _session(database)
+        outcomes = session.submit_batch(
+            [BatchRequest(_query(i)) for i in range(4)],
+            workers=2,
+            rng=77,
+            backend="process",
+        )
+        assert _values(outcomes) == serial_baseline
+        assert session.metrics.subplan_stores >= 1
+
+    def test_block_size_invariant(self, database, serial_baseline):
+        session = _session(database)
+        outcomes = session.submit_batch(
+            [BatchRequest(_query(i)) for i in range(4)],
+            rng=77,
+            backend="serial",
+            block_size=11,
+        )
+        assert _values(outcomes) == serial_baseline
+
+    def test_mixed_member_counts_stay_bit_identical(self, database):
+        # A member shared by a 3-way and a 2-way union is estimated at
+        # different accuracies (δ/3 vs δ/2): value reuse must not cross the
+        # accuracy boundary, or sharing would serve bits the unshared path
+        # cannot produce.
+        def _a(i):
+            return QRelation("A", ("x", "y")), QRelation(f"B{i}", ("x", "y"))
+
+        a0, b0 = _a(0)
+        _, b1 = _a(1)
+        requests = [BatchRequest(QOr((a0, b0, b1))), BatchRequest(QOr((a0, b0)))]
+        shared = _session(database).submit_batch(requests, rng=13, backend="serial")
+        unshared = _session(database, share=False).submit_batch(
+            requests, rng=13, backend="serial"
+        )
+        assert _values(shared) == _values(unshared)
+
+    def test_alignment_changes_member_identity(self, database):
+        # The same scan embedded in a different coordinate order must not
+        # share cache entries: walking permuted coordinates with the same
+        # seed is not bit-identical.
+        swapped = QRelation("B1", ("y", "x"))
+        requests = [
+            BatchRequest(QOr((QRelation("A", ("x", "y")), QRelation("B0", ("x", "y"))))),
+            BatchRequest(QOr((swapped, QRelation("A", ("x", "y"))))),
+        ]
+        shared = _session(database).submit_batch(requests, rng=17, backend="serial")
+        unshared = _session(database, share=False).submit_batch(
+            requests, rng=17, backend="serial"
+        )
+        assert _values(shared) == _values(unshared)
+
+    def test_single_requests_match_batch(self, database, serial_baseline):
+        # Sharing changes where a member volume comes from, never its value:
+        # serving the same queries one by one (fresh session, same per-request
+        # spawned seeds) reproduces the batch values bit for bit.
+        from repro.sampling.rng import ensure_rng, spawn_seeds
+
+        session = _session(database)
+        seeds = spawn_seeds(ensure_rng(77), 4)
+        values = [
+            session.volume(_query(i), rng=np.random.default_rng(seeds[i])).value
+            for i in range(4)
+        ]
+        assert values == serial_baseline
+
+
+class TestSingleComputation:
+    def test_shared_member_estimated_once_across_thread_batch(self, database):
+        session = _session(database)
+        session.submit_batch(
+            [BatchRequest(_query(i)) for i in range(4)],
+            workers=4,
+            rng=5,
+            backend="thread",
+        )
+        compiled = [
+            session.compile_cached(_query(i), samples_per_phase=plan_spp)
+            for i, plan_spp in self._spp_pairs(session, 4)
+        ]
+        shared = shared_member_digests(compiled)
+        assert shared, "the scan of A must be a shared member"
+        by_digest: dict[str, list] = {}
+        for observable in compiled:
+            for union in iter_unions(observable):
+                if union.member_digests is None:
+                    continue
+                for index, digest in enumerate(union.member_digests):
+                    if digest in shared:
+                        volumes = union.member_volume_estimates()
+                        assert volumes is not None
+                        by_digest.setdefault(digest, []).append(volumes[index])
+        # Every shared digest (the scan of A and its inner disjuncts) has
+        # one estimate *object*, shared by all four consumers: the node was
+        # computed exactly once across the whole thread batch.
+        assert any(len(estimates) == 4 for estimates in by_digest.values())
+        for digest, estimates in by_digest.items():
+            first = estimates[0]
+            assert all(estimate is first for estimate in estimates[1:]), digest
+
+    def test_later_queries_hit_the_subplan_cache(self, database):
+        session = _session(database)
+        session.submit_batch(
+            [BatchRequest(_query(0)), BatchRequest(_query(1))], rng=3, backend="serial"
+        )
+        # The first batch already reuses within itself: the plan forest
+        # banks the shared node and primes its sibling consumers.
+        before = session.metrics.subplan_hits
+        session.submit_batch(
+            [BatchRequest(_query(2)), BatchRequest(_query(3))], rng=4, backend="serial"
+        )
+        assert session.metrics.subplan_hits > before
+
+    def test_serial_volume_requests_share_through_cache(self, database):
+        session = _session(database)
+        session.volume(_query(0), rng=1)
+        hits_before = session.metrics.subplan_hits
+        session.volume(_query(1), rng=2)
+        assert session.metrics.subplan_hits > hits_before
+
+    @staticmethod
+    def _spp_pairs(session, count):
+        for index in range(count):
+            plan = session.planner.plan(
+                _query(index),
+                session.database,
+                epsilon=session.params.epsilon,
+                delta=session.params.delta,
+            )
+            yield index, plan.sample_budget or 800
+
+
+class TestExactLookup:
+    def test_exact_lookup_refuses_dominating_entries(self):
+        from repro.queries.aggregates import AggregateResult
+        from repro.service import ResultCache
+
+        cache = ResultCache()
+        tight = AggregateResult(value=1.0, estimate=None, exact=False)
+        cache.put("k", tight, epsilon=0.05, delta=0.05)
+        # Dominance serves the looser request...
+        assert cache.get("k", 0.1, 0.1) is tight
+        # ...but exact_lookup only serves the exact stored accuracy: a
+        # tighter entry is a *different* content-addressed stream.
+        assert cache.exact_lookup("k", 0.1, 0.1) is None
+        assert cache.exact_lookup("k", 0.05, 0.05) is tight
+        assert cache.exact_lookup("missing", 0.05, 0.05) is None
+
+
+class TestMetricsSnapshot:
+    def test_subplan_counters_in_snapshot_and_rows(self, database):
+        session = _session(database)
+        session.volume(_query(0), rng=1)
+        session.volume(_query(1), rng=2)
+        snapshot = session.metrics.snapshot()
+        for key in ("subplan_hits", "subplan_misses", "subplan_stores"):
+            assert key in snapshot
+        row_names = [name for name, _ in session.metrics.rows()]
+        assert "subplan_hits" in row_names
+
+    def test_union_prime_validation(self):
+        box = parse_relation("0 <= a <= 1", ["a"])
+        from repro.queries import observable_from_relation
+
+        relation = parse_relation(
+            "0 <= a <= 1 and 0 <= b <= 1 or 2 <= a <= 3 and 0 <= b <= 1", ["a", "b"]
+        )
+        union = observable_from_relation(relation)
+        assert isinstance(union, UnionObservable)
+        with pytest.raises(IndexError):
+            union.prime_member_volume(5, None)  # type: ignore[arg-type]
+        assert box is not None
