@@ -1,0 +1,94 @@
+"""Observability demo: trace a shared-subplan batch and export the evidence.
+
+A :class:`~repro.telemetry.tracer.RecordingTracer` attached to a service
+session records the whole request path — ``submit_batch`` → cache lookup →
+planning → backend dispatch → per-unit kernels — without touching a single
+random stream, so the served values are bit-identical to an untraced run.
+The demo serves a three-query batch whose plans share a subexpression, then
+
+* prints EXPLAIN ANALYZE for one query (observed samples, acceptance rate,
+  adaptive checkpoint trajectory folded into the plan tree),
+* writes ``trace_demo.json`` — open it at ``chrome://tracing`` or
+  https://ui.perfetto.dev to see the span waterfall, and
+* prints the Prometheus text exposition a scrape endpoint would serve.
+
+Run with ``PYTHONPATH=src python examples/trace_demo.py``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro import GeneratorParams, Planner, RecordingTracer, ServiceSession
+from repro.constraints import ConstraintDatabase, parse_relation
+from repro.queries import QOr, QRelation, QueryEngine
+from repro.telemetry import dump_chrome_trace, prometheus_text
+
+
+def build_database() -> ConstraintDatabase:
+    db = ConstraintDatabase()
+    # "A" is a disjunctive base map shared by every query in the batch.
+    db.set_relation(
+        "A",
+        parse_relation(
+            "(0 <= a <= 1 and 0 <= b <= 1) or (2 <= a <= 3 and 0 <= b <= 1)",
+            ["a", "b"],
+        ),
+    )
+    for index in range(3):
+        low = 4 + index
+        db.set_relation(
+            f"B{index}",
+            parse_relation(f"{low} <= a <= {low + 3} and 0 <= b <= 2", ["a", "b"]),
+        )
+    return db
+
+
+def main() -> None:
+    db = build_database()
+    tracer = RecordingTracer()
+    session = ServiceSession(
+        db,
+        params=GeneratorParams(gamma=0.3, epsilon=0.4, delta=0.2),
+        planner=Planner(exact_dimension_limit=0),  # pin the sampling route
+        tracer=tracer,
+    )
+
+    queries = [
+        QOr((QRelation("A", ("a", "b")), QRelation(f"B{index}", ("a", "b"))))
+        for index in range(3)
+    ]
+    outcomes = session.submit_batch(queries, rng=7)
+    for query_index, outcome in enumerate(outcomes):
+        estimate = outcome.result.estimate
+        detail = (
+            f"({estimate.method}, {estimate.samples_used} samples)"
+            if estimate is not None
+            else "(exact)"
+        )
+        print(f"query {query_index}: volume {outcome.result.value:8.3f}  {detail}")
+
+    spans = tracer.finished()
+    print(f"\nrecorded {len(spans)} spans; kernel counters:")
+    for name, value in sorted(tracer.aggregate_counters().items()):
+        print(f"  {name:>20} {value}")
+
+    # 1. Chrome trace: a span waterfall of the whole batch.
+    path = dump_chrome_trace(tracer, Path(__file__).with_name("trace_demo.json"))
+    print(f"\nwrote {path} (open at chrome://tracing or ui.perfetto.dev)")
+
+    # 2. Prometheus exposition: session metrics + tracer counters.
+    print("\nPrometheus exposition (excerpt):")
+    for line in prometheus_text(session.metrics, tracer=tracer).splitlines()[:12]:
+        print(f"  {line}")
+
+    # 3. EXPLAIN ANALYZE: one engine call runs the query under a fresh tracer
+    #    and folds the observed execution into the rendered plan.
+    engine = QueryEngine(db, params=GeneratorParams(gamma=0.3, epsilon=0.4, delta=0.2))
+    explanation = engine.explain(queries[0], analyze=True, mode="adaptive", rng=7)
+    print("\nEXPLAIN ANALYZE (adaptive route):")
+    print(explanation.render())
+
+
+if __name__ == "__main__":
+    main()

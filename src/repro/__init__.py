@@ -21,9 +21,12 @@ The public API is organised in layers:
 * :mod:`repro.queries`     — FO+LIN queries, exact and approximate evaluation;
 * :mod:`repro.service`     — the serving layer: canonical cache keys, cost-based
   plan selection, an LRU/TTL result cache and deterministic batch execution;
+* :mod:`repro.telemetry`   — tracing, EXPLAIN ANALYZE and metric exporters;
 * :mod:`repro.workloads`   — synthetic workloads for the experiments;
 * :mod:`repro.harness`     — experiment registry and reporting.
 """
+
+import logging as _logging
 
 from repro.constraints import (
     AtomicConstraint,
@@ -55,7 +58,19 @@ from repro.inference import (
 from repro.plan import PlanNode, build_plan, explain_plan, rewrite_plan
 from repro.queries import QueryEngine
 from repro.service import Planner, ResultCache, ServiceMetrics, ServiceSession
+from repro.telemetry import (
+    RecordingTracer,
+    activate,
+    analyze_trace,
+    chrome_trace,
+    prometheus_text,
+)
 from repro.volume import VolumeEstimate, estimate_convex_volume
+
+# Library convention: debug logging is available everywhere but silent until
+# the application configures handlers (logging.basicConfig or a handler on
+# the "repro" logger).
+_logging.getLogger(__name__).addHandler(_logging.NullHandler())
 
 __version__ = "1.0.0"
 
@@ -90,6 +105,11 @@ __all__ = [
     "ResultCache",
     "ServiceMetrics",
     "ServiceSession",
+    "RecordingTracer",
+    "activate",
+    "analyze_trace",
+    "chrome_trace",
+    "prometheus_text",
     "VolumeEstimate",
     "estimate_convex_volume",
     "__version__",

@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.core.observable import GenerationFailure, GeneratorParams, ObservableRelation
 from repro.sampling.rng import ensure_rng
+from repro.telemetry.tracer import current_tracer
 from repro.volume.base import VolumeEstimate
 from repro.volume.chernoff import chernoff_ratio_sample_size
 
@@ -162,10 +163,24 @@ class UnionObservable(ObservableRelation):
         if self._member_volumes is None or refresh:
             rng = ensure_rng(rng)
             epsilon, delta = self.member_accuracy(self.params, len(self.members))
+            tracer = current_tracer()
             estimates: list[VolumeEstimate] = []
             for index, member in enumerate(self.members):
+                digest = (
+                    self.member_digests[index] if self.member_digests is not None else None
+                )
                 primed = None if refresh else self._primed.get(index)
                 if primed is not None:
+                    if tracer.enabled:
+                        with tracer.span("union-member", index=index) as span:
+                            span.annotate(
+                                source="primed",
+                                samples=0,
+                                value=primed.value,
+                                epsilon=primed.epsilon,
+                            )
+                            if digest is not None:
+                                span.annotate(digest=digest)
                     estimates.append(primed)
                     continue
                 if self.member_seeds is not None:
@@ -174,9 +189,19 @@ class UnionObservable(ObservableRelation):
                     )
                 else:
                     member_rng = rng
-                estimates.append(
-                    member.estimate_volume(epsilon, delta, rng=member_rng)
-                )
+                with tracer.span(
+                    "union-member", index=index, epsilon=epsilon, delta=delta
+                ) as span:
+                    estimate = member.estimate_volume(epsilon, delta, rng=member_rng)
+                    span.annotate(
+                        source="computed",
+                        samples=estimate.samples_used,
+                        value=estimate.value,
+                        method=estimate.method,
+                    )
+                    if digest is not None:
+                        span.annotate(digest=digest)
+                estimates.append(estimate)
             self._member_volumes = estimates
         return self._member_volumes
 
@@ -266,15 +291,19 @@ class UnionObservable(ObservableRelation):
         allocation = rng.multinomial(trials, weights)
         accepted = 0
         samples_used = 0
-        for index, member_trials in enumerate(allocation):
-            if member_trials == 0:
-                continue
-            points = self.members[index].generate_many(int(member_trials), rng)
-            samples_used += points.shape[0]
-            for point in points:
-                if self.membership_index(point) == index:
-                    accepted += 1
-        acceptance = accepted / trials if trials else 0.0
+        with current_tracer().span(
+            "union-acceptance", members=member_count
+        ) as span:
+            for index, member_trials in enumerate(allocation):
+                if member_trials == 0:
+                    continue
+                points = self.members[index].generate_many(int(member_trials), rng)
+                samples_used += points.shape[0]
+                for point in points:
+                    if self.membership_index(point) == index:
+                        accepted += 1
+            acceptance = accepted / trials if trials else 0.0
+            span.annotate(trials=int(trials), accepted=accepted, acceptance=acceptance)
         value = total * acceptance
         return VolumeEstimate(
             value=value,

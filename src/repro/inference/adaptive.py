@@ -49,6 +49,7 @@ from repro.sampling.oracles import (
 )
 from repro.sampling.rejection import count_box_hits
 from repro.sampling.rng import RandomState, ensure_rng, spawn_rngs
+from repro.telemetry.tracer import current_tracer
 from repro.volume.base import EstimationError, VolumeEstimate
 
 __all__ = [
@@ -192,6 +193,19 @@ class AdaptiveMonteCarlo:
             raise ValueError("epsilon must lie strictly between 0 and 1")
         from repro.volume.chernoff import chernoff_ratio_sample_size
 
+        with current_tracer().span(
+            "adaptive-run", epsilon=epsilon, sequence=self.config.sequence
+        ) as span:
+            estimate = self._run_traced(epsilon, chernoff_ratio_sample_size)
+            span.annotate(
+                met=estimate.details["met"],
+                samples=estimate.samples_used,
+                checkpoints=estimate.details["checkpoints"],
+                trajectory=estimate.details["trajectory"],
+            )
+        return estimate
+
+    def _run_traced(self, epsilon: float, chernoff_ratio_sample_size) -> VolumeEstimate:
         sequence = self.sequence
         # The fixed-budget schedule for this run's contract (under the
         # min_fraction assumption) is the cap: adaptive stopping never
@@ -253,6 +267,7 @@ class AdaptiveMonteCarlo:
                 "checkpoints": interval.checkpoint,
                 "new_samples": new_samples,
                 "sequence": self.config.sequence,
+                "trajectory": self.sequence.trajectory(self.box_volume),
             },
         )
 
@@ -418,10 +433,28 @@ class AdaptiveTelescoping:
     def _observe_phase(self, phase: int, count: int) -> None:
         """Draw ``count`` samples of phase ``phase`` and fold the hit counts."""
         assert self.radii is not None and self.sequences is not None
-        samples = self._draw_phase(phase, count)
-        inner = self.radii[phase]
-        inside = int(np.sum(np.max(np.abs(samples), axis=1) <= inner + 1e-12))
-        self.sequences[phase].observe_bernoulli(inside, samples.shape[0])
+        tracer = current_tracer()
+        with tracer.span(
+            "telescoping-phase", phase=phase, sampler=self.config.sampler
+        ) as span:
+            samples = self._draw_phase(phase, count)
+            inner = self.radii[phase]
+            inside = int(np.sum(np.max(np.abs(samples), axis=1) <= inner + 1e-12))
+            self.sequences[phase].observe_bernoulli(inside, samples.shape[0])
+            if tracer.enabled:
+                span.annotate(samples=int(samples.shape[0]), hits=inside)
+                span.count("walk_samples", int(samples.shape[0]))
+                if tracer.diagnostics:
+                    from repro.sampling.diagnostics import uniformity_summary
+
+                    summary = uniformity_summary(
+                        samples,
+                        [(-self.radii[phase + 1], self.radii[phase + 1])]
+                        * samples.shape[1],
+                        support_oracle=batch_oracle_from_polytope(self._body(phase + 1)),
+                    )
+                    if summary:
+                        span.annotate(**summary)
 
     # ------------------------------------------------------------------
     def _allocate(self, epsilon: float) -> list[float]:
@@ -446,6 +479,18 @@ class AdaptiveTelescoping:
         """Estimate the volume within ratio ``1 + ε`` w.p. ``1 - δ`` (resumable)."""
         if not 0 < epsilon < 1:
             raise ValueError("epsilon must lie strictly between 0 and 1")
+        with current_tracer().span(
+            "adaptive-telescoping-run", epsilon=epsilon, sampler=self.config.sampler
+        ) as span:
+            estimate = self._run_traced(epsilon)
+            span.annotate(
+                met=estimate.details["met"],
+                samples=estimate.samples_used,
+                phases=estimate.details["phases"],
+            )
+        return estimate
+
+    def _run_traced(self, epsilon: float) -> VolumeEstimate:
         self._prepare()
         assert self.sequences is not None and self.radii is not None
         drawn_before = self.samples_used
@@ -514,5 +559,8 @@ class AdaptiveTelescoping:
                 "sandwich_ratio": self.rounded.sandwich_ratio,
                 "new_samples": new_samples,
                 "sequence": self.config.sequence,
+                "phase_trajectories": [
+                    sequence.trajectory() for sequence in self.sequences
+                ],
             },
         )

@@ -20,11 +20,14 @@ fresh computation for those.
 
 from __future__ import annotations
 
+import logging
 import threading
 
 from repro.volume.base import VolumeEstimate
 
 __all__ = ["RefinableEstimate"]
+
+logger = logging.getLogger(__name__)
 
 
 class RefinableEstimate:
@@ -95,8 +98,17 @@ class RefinableEstimate:
                 f"requested {delta:g}); recompute instead"
             )
         with self._lock:
+            before = self.draws
             estimate = self.estimator.run(epsilon)
-            if estimate.details.get("met", False):
+            met = estimate.details.get("met", False)
+            logger.debug(
+                "refine: eps %g -> %g, +%d sample(s), %s",
+                self.epsilon,
+                epsilon,
+                self.draws - before,
+                "certified" if met else "cap exhausted (caller recomputes)",
+            )
+            if met:
                 self.epsilon = min(self.epsilon, epsilon)
             return estimate
 

@@ -190,6 +190,11 @@ class ConfidenceSequence:
         self.total_sq = 0.0
         self.checkpoints = 0
         self.last_interval: ConfidenceInterval | None = None
+        # Per-checkpoint (count, mean, lower, upper) — the raw material of the
+        # telemetry trajectory view.  Bounded by the geometric schedule (a few
+        # dozen entries even at the sample ceiling), plain tuples so the
+        # sequence keeps pickling cheaply.
+        self.history: list[tuple[int, float, float, float]] = []
 
     # ------------------------------------------------------------------
     # Observation
@@ -269,7 +274,23 @@ class ConfidenceSequence:
         )
         self.checkpoints = index
         self.last_interval = interval
+        self.history.append((interval.count, mean, interval.lower, interval.upper))
         return interval
+
+    def trajectory(self, scale: float = 1.0) -> list[tuple[int, float, float]]:
+        """Per-checkpoint ``(n, estimate, eps)`` points for telemetry.
+
+        ``estimate`` is the ratio point (geometric midpoint) times ``scale``
+        (e.g. the box volume), ``eps`` the achieved ratio accuracy at that
+        checkpoint (``inf`` while the interval still touches zero).  Derived
+        from :attr:`history`, so it never consumes randomness.
+        """
+        points: list[tuple[int, float, float]] = []
+        for count, _mean, lower, upper in self.history:
+            midpoint = math.sqrt(max(lower, 0.0) * max(upper, 0.0))
+            eps = math.sqrt(upper / lower) - 1.0 if lower > 0.0 else float("inf")
+            points.append((count, midpoint * scale, eps))
+        return points
 
     def _radius(self, delta_share: float) -> float:
         raise NotImplementedError

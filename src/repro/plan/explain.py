@@ -72,6 +72,10 @@ class PlanExplanation:
     #: Filled by ``QueryEngine.explain``: the service planner's whole-query
     #: verdict (route, budgets) for the same request.
     service_plan: object | None = None
+    #: Filled by ``QueryEngine.explain(analyze=True)``: observed runtime
+    #: statistics (a :class:`repro.telemetry.analyze.TraceAnalysis`) from
+    #: actually executing the query under a recording tracer.
+    analysis: object | None = None
 
     @property
     def digest(self) -> str:
@@ -96,7 +100,14 @@ class PlanExplanation:
             )
             if annotation.shared:
                 suffix += "  (shared)"
-            lines.append(f"{indent}{annotation.label():<28} {route:<22} {suffix}")
+            line = f"{indent}{annotation.label():<28} {route:<22} {suffix}"
+            if self.analysis is not None:
+                stats = self.analysis.for_node(annotation.node.digest)
+                if stats is not None:
+                    line += f"  <- {stats.describe()}"
+            lines.append(line)
+        if self.analysis is not None:
+            lines.append(self.analysis.render())
         return "\n".join(lines)
 
     def __str__(self) -> str:

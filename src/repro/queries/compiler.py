@@ -102,10 +102,15 @@ def compile_plan(
     from repro.plan.lowering import lower_plan
     from repro.plan.nodes import PlanNode
     from repro.plan.rewrite import intern_plan, rewrite_plan
+    from repro.telemetry.tracer import current_tracer
 
-    plan = query if isinstance(query, PlanNode) else build_plan(query)
-    plan = intern_plan(rewrite_plan(plan, database))
-    return lower_plan(plan, database, params=params, options=options, sharing=sharing)
+    tracer = current_tracer()
+    with tracer.span("plan-canonicalize"):
+        plan = query if isinstance(query, PlanNode) else build_plan(query)
+    with tracer.span("plan-rewrite"):
+        plan = intern_plan(rewrite_plan(plan, database))
+    with tracer.span("plan-lower"):
+        return lower_plan(plan, database, params=params, options=options, sharing=sharing)
 
 
 def compile_query(

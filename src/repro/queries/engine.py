@@ -92,7 +92,16 @@ class QueryEngine:
     # ------------------------------------------------------------------
     # Plans
     # ------------------------------------------------------------------
-    def explain(self, query: Query) -> "PlanExplanation":
+    def explain(
+        self,
+        query: Query,
+        analyze: bool = False,
+        mode: Mode = "auto",
+        epsilon: float | None = None,
+        delta: float | None = None,
+        rng: np.random.Generator | int | None = None,
+        tracer=None,
+    ) -> "PlanExplanation":
         """The canonical logical plan with per-node route/cost annotations.
 
         The returned :class:`repro.plan.explain.PlanExplanation` additionally
@@ -100,14 +109,37 @@ class QueryEngine:
         sample and time budgets) as ``explanation.service_plan`` — the same
         plan ``volume(mode="auto")`` would execute — so one call shows both
         *how* the query lowers and *which* estimator would run it.
+
+        With ``analyze=True`` (EXPLAIN ANALYZE) the query is additionally
+        **executed** under a recording tracer and the observed statistics —
+        per-subplan samples and provenance, the union acceptance rate, the
+        adaptive route's per-checkpoint ``(n, estimate, eps)`` trajectory,
+        kernel counters — are attached as ``explanation.analysis`` and folded
+        into :meth:`~repro.plan.explain.PlanExplanation.render`.  ``mode``,
+        ``epsilon``, ``delta`` and ``rng`` select the execution exactly as
+        :meth:`volume` would; pass a
+        :class:`~repro.telemetry.tracer.RecordingTracer` as ``tracer`` to
+        keep the raw spans (e.g. for a Chrome trace export).
         """
         from repro.plan.explain import explain_plan
         from repro.service.planner import Planner
 
         explanation = explain_plan(query, self.database)
-        explanation.service_plan = Planner().plan(  # type: ignore[attr-defined]
-            query, self.database, epsilon=self.params.epsilon, delta=self.params.delta
+        fill_epsilon, fill_delta = self._fill_accuracy(epsilon, delta)
+        explanation.service_plan = Planner().plan(
+            query, self.database, epsilon=fill_epsilon, delta=fill_delta
         )
+        if analyze:
+            from repro.telemetry.analyze import analyze_trace
+            from repro.telemetry.tracer import RecordingTracer, activate
+
+            if tracer is None:
+                tracer = RecordingTracer()
+            with activate(tracer):
+                result = self.volume(
+                    query, mode=mode, epsilon=epsilon, delta=delta, rng=rng
+                )
+            explanation.analysis = analyze_trace(tracer, result)
         return explanation
 
     # ------------------------------------------------------------------

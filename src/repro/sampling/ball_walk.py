@@ -30,6 +30,7 @@ from repro.sampling.oracles import (
     as_batch_oracle,
 )
 from repro.sampling.rng import ensure_rng, spawn_rngs
+from repro.telemetry.tracer import current_tracer
 
 
 class BallWalkSampler:
@@ -90,6 +91,11 @@ class BallWalkSampler:
     def sample(self, rng: np.random.Generator, count: int = 1) -> np.ndarray:
         """Draw ``count`` approximately uniform samples (shape ``(count, d)``)."""
         rng = ensure_rng(rng)
+        tracer = current_tracer()
+        if tracer.enabled:
+            # Step count is a pure function of the request (every burn-in and
+            # thinning step proposes exactly once), so no loop instrumentation.
+            tracer.count("chain_steps", self.burn_in + count * self.thinning)
         current = self._start.copy()
         for _ in range(self.burn_in):
             current = self._step(rng, current)

@@ -107,6 +107,59 @@ def max_ratio_to_uniform(counts: np.ndarray, support: np.ndarray | None = None) 
     return float(ratios.max())
 
 
+def uniformity_summary(
+    samples: np.ndarray,
+    bounds: list[tuple[float, float]],
+    support_oracle=None,
+    bins_per_axis: int = 5,
+    max_cells: int = 4096,
+    min_samples: int = 16,
+) -> dict[str, float]:
+    """A compact uniformity health summary for attaching to a sampler span.
+
+    Bundles the three diagnostics — TV distance to the uniform cell law,
+    Pearson chi-square (statistic and p-value) and the KS distance of the
+    first marginal — into a flat dict of floats.  ``support_oracle`` (a batch
+    membership oracle) optionally restricts the uniform target to the cells
+    whose centres lie in the body, which is the right comparison when the
+    body only fills part of the box.
+
+    Purely observational: works on already-drawn samples and never touches a
+    random generator, so attaching it to a traced run cannot perturb the
+    sample stream.  Returns ``{}`` when the sample is too small or the cell
+    grid would exceed ``max_cells`` (high dimension), so callers can attach
+    the result unconditionally.
+    """
+    samples = np.asarray(samples, dtype=float)
+    if samples.ndim != 2 or samples.shape[0] < min_samples:
+        return {}
+    dimension = samples.shape[1]
+    if bins_per_axis < 2 or bins_per_axis**dimension > max_cells:
+        return {}
+    counts = cell_histogram(samples, bounds, bins_per_axis)
+    support = None
+    if support_oracle is not None:
+        axes = [
+            np.linspace(lower, upper, bins_per_axis, endpoint=False)
+            + (upper - lower) / (2 * bins_per_axis)
+            for lower, upper in bounds
+        ]
+        grids = np.meshgrid(*axes, indexing="ij")
+        centers = np.stack([grid.ravel() for grid in grids], axis=1)
+        mask = np.asarray(support_oracle(centers), dtype=bool).ravel()
+        if mask.any():
+            support = mask
+    summary = {"tv_to_uniform": total_variation_to_uniform(counts, support)}
+    support_cells = int(support.sum()) if support is not None else counts.size
+    if support_cells >= 2:
+        statistic, p_value = chi_square_uniform(counts, support)
+        summary["chi_square"] = statistic
+        summary["chi_square_p"] = p_value
+    lower, upper = bounds[0]
+    summary["ks_marginal"] = ks_statistic_uniform(samples[:, 0], lower, upper)
+    return summary
+
+
 def empirical_moments(samples: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     """Mean vector and covariance matrix of a sample array (rows are points)."""
     samples = np.asarray(samples, dtype=float)

@@ -31,6 +31,7 @@ import numpy as np
 from repro.geometry.polytope import HPolytope
 from repro.sampling.chains import run_lockstep_chains
 from repro.sampling.rng import ensure_rng, spawn_rngs
+from repro.telemetry.tracer import current_tracer
 
 
 class HitAndRunSampler:
@@ -138,6 +139,11 @@ class HitAndRunSampler:
     def sample(self, rng: np.random.Generator, count: int = 1) -> np.ndarray:
         """Draw ``count`` approximately uniform samples (shape ``(count, d)``)."""
         rng = ensure_rng(rng)
+        tracer = current_tracer()
+        if tracer.enabled:
+            # The step count is a pure function of the request — counted
+            # arithmetically so the walk loop itself stays uninstrumented.
+            tracer.count("chain_steps", self.burn_in + count * self.thinning)
         current = self._start.copy()
         for _ in range(self.burn_in):
             current = self._step(rng, current)

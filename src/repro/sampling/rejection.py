@@ -24,6 +24,7 @@ import numpy as np
 from repro.geometry.ball import Ball
 from repro.sampling.oracles import BatchOracle, MembershipOracle, as_batch_oracle
 from repro.sampling.rng import ensure_rng
+from repro.telemetry.tracer import current_tracer
 
 
 @dataclass
@@ -87,11 +88,21 @@ def count_box_hits(
     batch_oracle = as_batch_oracle(oracle)
     hits = 0
     drawn = 0
+    blocks = 0
     while drawn < total:
         block = min(block_size, total - drawn)
         points = sample_box(rng, bounds, block)
         hits += int(np.count_nonzero(batch_oracle(points)))
         drawn += block
+        blocks += 1
+    # Telemetry only observes the already-computed tallies — it never draws
+    # from (or reorders draws of) the generator, so traced and untraced runs
+    # consume identical streams.
+    tracer = current_tracer()
+    if tracer.enabled and drawn:
+        tracer.count("proposals", drawn)
+        tracer.count("proposal_hits", hits)
+        tracer.count("oracle_blocks", blocks)
     return hits
 
 
@@ -146,6 +157,10 @@ def _rejection_sample(
         samples = np.concatenate(accepted_blocks, axis=0)
     else:
         samples = np.zeros((0, dimension))
+    tracer = current_tracer()
+    if tracer.enabled and proposals:
+        tracer.count("rejection_proposals", proposals)
+        tracer.count("rejection_accepts", accepted)
     return RejectionResult(samples, proposals, accepted)
 
 

@@ -32,6 +32,8 @@ request index and cache key.
 
 from __future__ import annotations
 
+import contextvars
+import logging
 import os
 import pickle
 import time
@@ -49,6 +51,15 @@ from repro.core.observable import GeneratorParams, ObservableRelation
 from repro.queries.aggregates import AggregateResult
 from repro.queries.ast import Query
 from repro.service.planner import Plan
+from repro.telemetry.tracer import (
+    NULL_TRACER,
+    RecordingTracer,
+    Span,
+    activate,
+    current_tracer,
+)
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -97,7 +108,11 @@ class WorkResult:
 
     ``refined`` marks answers produced by *continuing* a cached resumable
     computation rather than executing the plan — the executor counts those
-    in the refinement metric.
+    in the refinement metric.  ``spans``/``counters`` carry trace records a
+    worker *process* collected locally (``None`` for in-process backends,
+    whose spans land directly in the session's tracer): the executor adopts
+    them into the parent tracer after the batch so the span tree looks the
+    same whichever backend ran the unit.
     """
 
     key: str
@@ -105,6 +120,8 @@ class WorkResult:
     plan: Plan
     elapsed: float
     refined: bool = False
+    spans: list[Span] | None = None
+    counters: dict[str, int] | None = None
 
 
 class BatchExecutionError(RuntimeError):
@@ -173,29 +190,40 @@ def _referenced_relations(queries) -> set[str]:
 def _compute_in_session(session, unit: WorkUnit, backend: str) -> WorkResult:
     """Compute one unit inside the calling session (serial and thread path)."""
     rng = np.random.default_rng(unit.seed)
-    try:
-        if unit.refinable is not None:
-            from repro.service.session import refine_result
+    with current_tracer().span(
+        "work-unit",
+        key=unit.key[:12],
+        index=unit.index,
+        route=unit.plan.estimator,
+        backend=backend,
+    ) as span:
+        try:
+            if unit.refinable is not None:
+                from repro.service.session import refine_result
 
-            start = time.perf_counter()
-            refined = refine_result(unit.refinable, unit.plan.epsilon, unit.plan.delta)
-            elapsed = time.perf_counter() - start
-            if refined is not None:
-                return WorkResult(
-                    key=unit.key,
-                    result=refined,
-                    plan=unit.plan,
-                    elapsed=elapsed,
-                    refined=True,
+                start = time.perf_counter()
+                refined = refine_result(
+                    unit.refinable, unit.plan.epsilon, unit.plan.delta
                 )
-            # The continuation could not certify the target (cap exhausted):
-            # fall through to a fresh computation of the planned route.
-        result, elapsed = session._execute_unit(unit.plan, unit.query, rng)
-    except Exception as error:
-        raise BatchExecutionError(
-            unit.index, unit.key, backend, f"{type(error).__name__}: {error}"
-        ) from error
-    return WorkResult(key=unit.key, result=result, plan=unit.plan, elapsed=elapsed)
+                elapsed = time.perf_counter() - start
+                if refined is not None:
+                    span.annotate(refined=True)
+                    return WorkResult(
+                        key=unit.key,
+                        result=refined,
+                        plan=unit.plan,
+                        elapsed=elapsed,
+                        refined=True,
+                    )
+                # The continuation could not certify the target (cap
+                # exhausted): fall through to a fresh computation of the
+                # planned route.
+            result, elapsed = session._execute_unit(unit.plan, unit.query, rng)
+        except Exception as error:
+            raise BatchExecutionError(
+                unit.index, unit.key, backend, f"{type(error).__name__}: {error}"
+            ) from error
+        return WorkResult(key=unit.key, result=result, plan=unit.plan, elapsed=elapsed)
 
 
 class SerialBackend(ExecutionBackend):
@@ -219,10 +247,18 @@ class ThreadBackend(ExecutionBackend):
     ) -> list[WorkResult]:
         if workers <= 1 or len(units) <= 1:
             return [_compute_in_session(session, unit, self.name) for unit in units]
+        # Each task carries a copy of the submitting thread's context so the
+        # active tracer and the current span (the batch's compute span)
+        # propagate into the pool: worker-thread spans parent correctly
+        # instead of becoming roots in a default context.
+        contexts = [contextvars.copy_context() for _ in units]
         with ThreadPoolExecutor(max_workers=min(workers, len(units))) as pool:
             return list(
                 pool.map(
-                    lambda unit: _compute_in_session(session, unit, self.name), units
+                    lambda pair: pair[0].run(
+                        _compute_in_session, session, pair[1], self.name
+                    ),
+                    zip(contexts, units),
                 )
             )
 
@@ -248,6 +284,12 @@ class _SharedSetup:
     #: The parent planner's lowering cost bound, so fallback compilations in
     #: a worker take the same symbolic-vs-observable decisions.
     max_symbolic_disjuncts: int = 512
+    #: Whether the parent session is tracing: workers then record spans into
+    #: a local flight recorder and ship them back inside the result tuple.
+    #: Tracing never touches the random streams, so the flags cannot change
+    #: computed values — only whether observation records travel back.
+    trace: bool = False
+    trace_diagnostics: bool = False
 
     def lowering_options(self, samples_per_phase: int):
         from repro.plan.lowering import LoweringOptions
@@ -270,13 +312,15 @@ def _worker_initialize(payload: bytes) -> None:
 def _worker_execute(unit_bytes: bytes) -> bytes:
     """Compute one pickled work unit against the worker's shared setup.
 
-    Returns a pickled ``("ok", key, result, elapsed, compiled, refined)``
-    tuple — ``compiled`` being the post-execution compiled plan (or
-    ``None``), so the parent can adopt the state a serial execution would
-    have left in its own memoised object, and ``refined`` marking answers
-    that continued a shipped resumable computation — or
-    ``("error", index, key, rendering)``; exceptions are rendered in the
-    worker because traceback objects do not cross process boundaries.
+    Returns a pickled ``("ok", key, result, elapsed, compiled, refined,
+    spans, counters)`` tuple — ``compiled`` being the post-execution
+    compiled plan (or ``None``), so the parent can adopt the state a serial
+    execution would have left in its own memoised object, ``refined``
+    marking answers that continued a shipped resumable computation, and
+    ``spans``/``counters`` the worker's locally recorded trace (``None``
+    when the parent is not tracing) — or ``("error", index, key,
+    rendering)``; exceptions are rendered in the worker because traceback
+    objects do not cross process boundaries.
     """
     unit: WorkUnit | None = None
     try:
@@ -293,40 +337,77 @@ def _worker_execute(unit_bytes: bytes) -> bytes:
         from repro.service.session import refine_result, run_plan
         from repro.service.sharing import SubplanBroker
 
-        if unit.refinable is not None:
-            # Continue the shipped resumable state instead of recomputing;
-            # the refreshed state travels back inside the result so the
-            # parent's cache adopts it.
-            start = time.perf_counter()
-            refined = refine_result(unit.refinable, unit.plan.epsilon, unit.plan.delta)
-            elapsed = time.perf_counter() - start
-            if refined is not None:
-                return pickle.dumps(("ok", unit.key, refined, elapsed, None, True))
-            # Cap exhausted without certification: compute afresh below.
-        rng = np.random.default_rng(unit.seed)
-        compiled = shared.compiled.get(unit.key)
-        start = time.perf_counter()
-        result = run_plan(
-            unit.plan,
-            unit.query,
-            shared.database,
-            rng=rng,
-            compiled=compiled,
-            # Mirror ServiceSession.compile_cached: fallback compilations use
-            # the session's default accuracy (and gamma), not the plan's, and
-            # a seed-only sharing broker — no cache in the worker, but the
-            # same content-addressed member streams — so the worker's
-            # compiled form matches the thread path bit for bit.
-            compile_fn=lambda spp: compile_plan(
-                unit.query,
-                shared.database,
-                params=shared.params,
-                options=shared.lowering_options(spp),
-                sharing=SubplanBroker(fingerprint=shared.fingerprint, cache=None),
-            ),
+        # The parent's tracer cannot cross the process boundary, so a
+        # tracing parent gets a local flight recorder here; its spans ship
+        # back in the result and the executor adopts them under the batch's
+        # compute span.  Tracing reads already-drawn data only — same
+        # streams, same values, traced or not.
+        tracer = (
+            RecordingTracer(diagnostics=shared.trace_diagnostics)
+            if shared.trace
+            else NULL_TRACER
         )
-        elapsed = time.perf_counter() - start
-        return pickle.dumps(("ok", unit.key, result, elapsed, compiled, False))
+        refined_result = None
+        refined_elapsed = 0.0
+        with activate(tracer), tracer.span(
+            "worker-unit",
+            key=unit.key[:12],
+            index=unit.index,
+            route=unit.plan.estimator,
+            backend="process",
+        ) as span:
+            if unit.refinable is not None:
+                # Continue the shipped resumable state instead of
+                # recomputing; the refreshed state travels back inside the
+                # result so the parent's cache adopts it.
+                start = time.perf_counter()
+                refined_result = refine_result(
+                    unit.refinable, unit.plan.epsilon, unit.plan.delta
+                )
+                refined_elapsed = time.perf_counter() - start
+                if refined_result is not None:
+                    span.annotate(refined=True)
+            if refined_result is None:
+                # Cap exhausted without certification (or an ordinary
+                # miss): compute the planned route afresh.
+                rng = np.random.default_rng(unit.seed)
+                compiled = shared.compiled.get(unit.key)
+                start = time.perf_counter()
+                result = run_plan(
+                    unit.plan,
+                    unit.query,
+                    shared.database,
+                    rng=rng,
+                    compiled=compiled,
+                    # Mirror ServiceSession.compile_cached: fallback
+                    # compilations use the session's default accuracy (and
+                    # gamma), not the plan's, and a seed-only sharing broker
+                    # — no cache in the worker, but the same
+                    # content-addressed member streams — so the worker's
+                    # compiled form matches the thread path bit for bit.
+                    compile_fn=lambda spp: compile_plan(
+                        unit.query,
+                        shared.database,
+                        params=shared.params,
+                        options=shared.lowering_options(spp),
+                        sharing=SubplanBroker(
+                            fingerprint=shared.fingerprint, cache=None
+                        ),
+                    ),
+                )
+                elapsed = time.perf_counter() - start
+        spans = tracer.finished() or None if shared.trace else None
+        # Ship only the span-less counts: the spans above carry their own
+        # counters through adoption, so shipping the aggregate too would
+        # double-count every kernel counter in the parent's trace.
+        counters = (tracer.global_counters() or None) if shared.trace else None
+        if refined_result is not None:
+            return pickle.dumps(
+                ("ok", unit.key, refined_result, refined_elapsed, None, True, spans, counters)
+            )
+        return pickle.dumps(
+            ("ok", unit.key, result, elapsed, compiled, False, spans, counters)
+        )
     except Exception as error:
         rendering = f"{type(error).__name__}: {error}\n{traceback.format_exc()}"
         index = -1 if unit is None else unit.index
@@ -389,7 +470,7 @@ class ProcessBackend(ExecutionBackend):
             if record[0] == "error":
                 _, index, key, rendering = record
                 raise BatchExecutionError(index, key, self.name, rendering)
-            _, key, result, elapsed, compiled, refined = record
+            _, key, result, elapsed, compiled, refined, spans, counters = record
             if compiled is not None:
                 # Adopt the worker's post-execution compiled state so the
                 # parent's memoised plan is indistinguishable from one the
@@ -408,6 +489,8 @@ class ProcessBackend(ExecutionBackend):
                     plan=unit.plan,
                     elapsed=elapsed,
                     refined=refined,
+                    spans=spans,
+                    counters=counters,
                 )
             )
         return results
@@ -456,6 +539,8 @@ class ProcessBackend(ExecutionBackend):
             params=session.params,
             compiled=compiled,
             max_symbolic_disjuncts=session.planner.max_symbolic_disjuncts,
+            trace=session.tracer.enabled,
+            trace_diagnostics=session.tracer.diagnostics,
         )
 
 

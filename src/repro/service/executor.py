@@ -32,6 +32,7 @@ the originating batch request index instead of letting the pool raise bare.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, replace
 from typing import Sequence
 
@@ -40,6 +41,9 @@ from repro.queries.ast import Query
 from repro.sampling.rng import RandomState, ensure_rng, spawn_seeds
 from repro.service.backends import ExecutionBackend, WorkUnit, resolve_backend
 from repro.service.planner import Plan
+from repro.telemetry.tracer import activate
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -117,26 +121,59 @@ def execute_batch(
     seeds = spawn_seeds(root, len(normalized))
     session.metrics.record_batch(len(normalized))
 
+    # The whole batch runs under one "submit_batch" root span in the
+    # session's tracer (a no-op context manager when tracing is off).
+    # ``activate`` pins the tracer in this task's context so the phase
+    # spans, the thread pool's copied contexts and every kernel counter
+    # attach to it.
+    tracer = session.tracer
+    with activate(tracer), tracer.span(
+        "submit_batch", requests=len(normalized), workers=workers
+    ) as batch_span:
+        return _run_batch_phases(
+            session, normalized, seeds, workers, block_size, backend, batch_span
+        )
+
+
+def _run_batch_phases(
+    session,
+    normalized: list[BatchRequest],
+    seeds,
+    workers: int,
+    block_size: int | None,
+    backend: ExecutionBackend | str | None,
+    batch_span,
+) -> list[BatchOutcome]:
+    """The four batch phases, traced under ``batch_span`` (see module doc)."""
+    tracer = session.tracer
+
     # Phase 1 — resolve keys and consult the pre-batch cache state.
     resolved = []  # (index, key, epsilon, delta, cached_result | None)
     unique: dict[str, tuple[int, float, float]] = {}
-    for index, request in enumerate(normalized):
-        epsilon, delta = session._resolve_accuracy(request.epsilon, request.delta)
-        key = session.key_for(request.query)
-        cached, dominance = session.cache.lookup(key, epsilon, delta)
-        if cached is not None:
-            session.metrics.record_cache_hit(dominance=dominance)
-        else:
-            session.metrics.record_cache_miss()
-            if key not in unique:
-                unique[key] = (index, epsilon, delta)
+    with tracer.span("batch-resolve") as resolve_span:
+        for index, request in enumerate(normalized):
+            epsilon, delta = session._resolve_accuracy(request.epsilon, request.delta)
+            key = session.key_for(request.query)
+            cached, dominance = session.cache.lookup(key, epsilon, delta)
+            if cached is not None:
+                session.metrics.record_cache_hit(dominance=dominance)
             else:
-                session.metrics.record_coalesced()
-                # A duplicate miss still wants the *tightest* accuracy asked
-                # for in this batch, so one computation satisfies all copies.
-                first_index, best_eps, best_delta = unique[key]
-                unique[key] = (first_index, min(best_eps, epsilon), min(best_delta, delta))
-        resolved.append((index, key, epsilon, delta, cached))
+                session.metrics.record_cache_miss()
+                if key not in unique:
+                    unique[key] = (index, epsilon, delta)
+                else:
+                    session.metrics.record_coalesced()
+                    # A duplicate miss still wants the *tightest* accuracy asked
+                    # for in this batch, so one computation satisfies all copies.
+                    first_index, best_eps, best_delta = unique[key]
+                    unique[key] = (
+                        first_index, min(best_eps, epsilon), min(best_delta, delta)
+                    )
+            resolved.append((index, key, epsilon, delta, cached))
+        resolve_span.annotate(
+            hits=sum(1 for entry in resolved if entry[4] is not None),
+            misses=len(unique),
+        )
 
     # Phase 2 — plan each unique miss and package it as a work unit.  A miss
     # whose cached entry is too loose but *refinable* (an adaptive answer
@@ -145,31 +182,34 @@ def execute_batch(
     # only if the continuation cannot certify the target.  Like the cache
     # lookups, refinables are resolved against the pre-batch cache state.
     units: list[WorkUnit] = []
-    for key, (first_index, epsilon, delta) in unique.items():
-        request = normalized[first_index]
-        plan = session.planner.plan(
-            request.query, session.database, epsilon=epsilon, delta=delta
-        )
-        if block_size is not None and plan.block_size:
-            plan = replace(plan, block_size=block_size)
-        # Exact plans always execute — instant, error-free, dominating —
-        # so only the sampling routes are offered a cached continuation.
-        refinable_entry = (
-            None
-            if plan.estimator == "exact"
-            else session.cache.refinable_lookup(key, epsilon, delta)
-        )
-        units.append(
-            WorkUnit(
-                index=first_index,
-                key=key,
-                query=request.query,
-                plan=plan,
-                seed=seeds[first_index],
-                fingerprint=session.fingerprint,
-                refinable=None if refinable_entry is None else refinable_entry.refinable,
+    with tracer.span("batch-plan"):
+        for key, (first_index, epsilon, delta) in unique.items():
+            request = normalized[first_index]
+            plan = session.planner.plan(
+                request.query, session.database, epsilon=epsilon, delta=delta
             )
-        )
+            if block_size is not None and plan.block_size:
+                plan = replace(plan, block_size=block_size)
+            # Exact plans always execute — instant, error-free, dominating —
+            # so only the sampling routes are offered a cached continuation.
+            refinable_entry = (
+                None
+                if plan.estimator == "exact"
+                else session.cache.refinable_lookup(key, epsilon, delta)
+            )
+            units.append(
+                WorkUnit(
+                    index=first_index,
+                    key=key,
+                    query=request.query,
+                    plan=plan,
+                    seed=seeds[first_index],
+                    fingerprint=session.fingerprint,
+                    refinable=(
+                        None if refinable_entry is None else refinable_entry.refinable
+                    ),
+                )
+            )
 
     # Phase 2.5 — the shared plan forest: compile the telescoping misses
     # (through the session's memoising cache) and estimate every union
@@ -183,7 +223,8 @@ def execute_batch(
     if len(telescoping_units) > 1 and getattr(session, "share_subplans", False):
         from repro.service.sharing import prepare_shared_members
 
-        prepare_shared_members(session, telescoping_units)
+        with tracer.span("prepare-shared-members", units=len(telescoping_units)):
+            prepare_shared_members(session, telescoping_units)
 
     # Phase 3 — compute the units on the chosen (or recommended) backend.
     computed: dict[str, tuple[AggregateResult, Plan]] = {}
@@ -196,37 +237,60 @@ def execute_batch(
                 [unit.plan for unit in units], workers
             )
             chosen = resolve_backend(recommended)
+        logger.debug(
+            "batch: %d unit(s) -> %s backend (%d worker(s))",
+            len(units),
+            chosen.name,
+            workers,
+        )
         session.metrics.record_backend(chosen.name, len(units))
-        results = chosen.execute(session, units, workers)
+        with tracer.span(
+            "batch-compute", backend=chosen.name, units=len(units)
+        ) as compute_span:
+            results = chosen.execute(session, units, workers)
+            for work in results:
+                # Worker *processes* record spans into a local flight
+                # recorder and ship them back; adopting them under the
+                # compute span rebuilds the tree the thread path records
+                # directly.  Counters recorded outside any span merge into
+                # the parent tracer's globals.
+                if work.spans:
+                    tracer.adopt(work.spans, parent=compute_span)
+                if work.counters:
+                    tracer.merge_counters(work.counters)
         for unit, work in zip(units, results):
             if work.refined:
                 session.metrics.record_refinement()
             session._record_execution(work.plan, work.result, work.elapsed)
             computed[unit.key] = (work.result, work.plan)
+        batch_span.annotate(backend=chosen.name, units=len(units))
 
     # Phase 4 — commit to the cache (first-occurrence order) and assemble.
-    for key, (result, plan) in computed.items():
-        # Adaptive answers certify the plan's ε at the *estimator's* δ
-        # (tighter or equal — a refined continuation keeps its original
-        # budget); storing that δ keeps the entry maximally reusable.
-        delta = result.refinable.delta if result.refinable is not None else plan.delta
-        session.cache.put(key, result, plan.epsilon, delta)
-    outcomes: list[BatchOutcome] = []
-    for index, key, epsilon, delta, cached in resolved:
-        if cached is not None:
-            outcomes.append(
-                BatchOutcome(index=index, key=key, result=cached, cached=True, plan=None)
-            )
-        else:
-            result, plan = computed[key]
-            outcomes.append(
-                BatchOutcome(
-                    index=index,
-                    key=key,
-                    result=result,
-                    cached=False,
-                    plan=plan,
-                    backend=chosen.name if chosen is not None else None,
+    with tracer.span("batch-commit"):
+        for key, (result, plan) in computed.items():
+            # Adaptive answers certify the plan's ε at the *estimator's* δ
+            # (tighter or equal — a refined continuation keeps its original
+            # budget); storing that δ keeps the entry maximally reusable.
+            delta = result.refinable.delta if result.refinable is not None else plan.delta
+            session.cache.put(key, result, plan.epsilon, delta)
+        outcomes: list[BatchOutcome] = []
+        for index, key, epsilon, delta, cached in resolved:
+            if cached is not None:
+                outcomes.append(
+                    BatchOutcome(
+                        index=index, key=key, result=cached, cached=True, plan=None
+                    )
                 )
-            )
+            else:
+                result, plan = computed[key]
+                outcomes.append(
+                    BatchOutcome(
+                        index=index,
+                        key=key,
+                        result=result,
+                        cached=False,
+                        plan=plan,
+                        backend=chosen.name if chosen is not None else None,
+                    )
+                )
     return outcomes

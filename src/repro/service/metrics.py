@@ -125,8 +125,18 @@ class ServiceMetrics:
     # ------------------------------------------------------------------
     def hit_rate(self) -> float:
         """Cache hit fraction over all lookups (``0.0`` before any traffic)."""
-        total = self.cache_hits + self.cache_misses
-        return self.cache_hits / total if total else 0.0
+        # Both counters must be read under the lock or a concurrent recorder
+        # can slip a hit between the two reads and skew the ratio.  snapshot()
+        # already holds the (non-reentrant) lock, so it uses the raw helper.
+        with self._lock:
+            return self._hit_rate_locked()
+
+    def _hit_rate_locked(self) -> float:
+        return (
+            self.cache_hits / (self.cache_hits + self.cache_misses)
+            if self.cache_hits + self.cache_misses
+            else 0.0
+        )
 
     def snapshot(self) -> dict:
         """A plain-dict copy of every counter (plus derived means)."""
@@ -145,7 +155,7 @@ class ServiceMetrics:
                 "subplan_hits": self.subplan_hits,
                 "subplan_misses": self.subplan_misses,
                 "subplan_stores": self.subplan_stores,
-                "hit_rate": self.hit_rate(),
+                "hit_rate": self._hit_rate_locked(),
                 "plan_choices": dict(self.plan_choices),
                 "backend_choices": dict(self.backend_choices),
                 "backend_units": dict(self.backend_units),

@@ -33,6 +33,7 @@ and tests can assert on *why* a route was chosen.
 
 from __future__ import annotations
 
+import logging
 import os
 from dataclasses import dataclass, field
 from threading import Lock
@@ -41,6 +42,21 @@ from typing import Sequence
 from repro.constraints.database import ConstraintDatabase
 from repro.queries.ast import QAnd, QConstraint, QExists, QNot, QOr, QRelation, Query
 from repro.volume.chernoff import chernoff_ratio_sample_size
+
+logger = logging.getLogger(__name__)
+
+
+def _chosen(plan: "Plan") -> "Plan":
+    """Log a plan decision on its way out (single funnel for every route)."""
+    logger.debug(
+        "plan: %s (eps=%g, delta=%g, budget=%d): %s",
+        plan.estimator,
+        plan.epsilon,
+        plan.delta,
+        plan.sample_budget,
+        plan.reason,
+    )
+    return plan
 
 
 def telescoping_samples_per_phase(
@@ -381,17 +397,32 @@ class Planner:
         if cores is None:
             cores = os.cpu_count() or 1
         if workers <= 1 or len(plans) <= 1:
+            logger.debug(
+                "backend: serial (workers=%d, plans=%d)", workers, len(plans)
+            )
             return "serial"
         if cores <= 1:
             # No second core: neither pool can overlap compute, and the
             # process pool would add fork + pickling overhead on top.
+            logger.debug("backend: serial (single core)")
             return "serial"
         telescoping = [plan for plan in plans if plan.estimator == "telescoping"]
         gil_bound_seconds = sum(
             self.estimated_execution_seconds(plan) for plan in telescoping
         )
         if len(telescoping) > 1 and gil_bound_seconds >= self.process_backend_min_seconds:
+            logger.debug(
+                "backend: process (%d telescoping plans, ~%.3fs GIL-bound work)",
+                len(telescoping),
+                gil_bound_seconds,
+            )
             return "process"
+        logger.debug(
+            "backend: thread (workers=%d, plans=%d, ~%.3fs GIL-bound work)",
+            workers,
+            len(plans),
+            gil_bound_seconds,
+        )
         return "thread"
 
     def plan(
@@ -431,7 +462,7 @@ class Planner:
             and profile.dimension <= self.exact_dimension_limit
             and profile.disjunct_estimate <= self.exact_disjunct_limit
         ):
-            return Plan(
+            return _chosen(Plan(
                 estimator="exact",
                 epsilon=0.0,
                 delta=0.0,
@@ -443,7 +474,7 @@ class Planner:
                     "inclusion-exclusion is cheap and its answer dominates every epsilon"
                 ),
                 profile=profile,
-            )
+            ))
         if self.adaptive and adaptive_eligible:
             return self._adaptive_plan(profile, epsilon, delta, time_budget)
         if (
@@ -464,7 +495,7 @@ class Planner:
                 epsilon, delta, self.monte_carlo_min_fraction
             )
             if samples <= self.monte_carlo_sample_cap:
-                return Plan(
+                return _chosen(Plan(
                     estimator="monte_carlo",
                     epsilon=epsilon,
                     delta=delta,
@@ -478,7 +509,7 @@ class Planner:
                     min_hit_fraction=self.monte_carlo_min_fraction,
                     block_size=self.batch_block_size,
                     profile=profile,
-                )
+                ))
         samples = self._telescoping_samples(epsilon, delta)
         reason = (
             "projection/negation requires the observable route"
@@ -487,7 +518,7 @@ class Planner:
         )
         if route == "adaptive":
             reason = f"adaptive route not applicable ({reason})"
-        return Plan(
+        return _chosen(Plan(
             estimator="telescoping",
             epsilon=epsilon,
             delta=delta,
@@ -499,7 +530,7 @@ class Planner:
             reason=reason,
             block_size=self.batch_block_size,
             profile=profile,
-        )
+        ))
 
     def _adaptive_plan(
         self, profile: QueryProfile, epsilon: float, delta: float, time_budget: float
@@ -517,7 +548,7 @@ class Planner:
             epsilon, delta, self.monte_carlo_min_fraction
         )
         cap = min(fixed_budget, self.adaptive_sample_cap)
-        return Plan(
+        return _chosen(Plan(
             estimator="adaptive",
             epsilon=epsilon,
             delta=delta,
@@ -536,7 +567,7 @@ class Planner:
             block_size=self.batch_block_size,
             sample_ceiling=self.adaptive_sample_cap,
             profile=profile,
-        )
+        ))
 
     def _telescoping_samples(self, epsilon: float, delta: float = 0.1) -> int:
         """Per-phase sample budget for the telescoping route."""

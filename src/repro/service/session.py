@@ -21,6 +21,7 @@ deterministic per-request random streams.
 
 from __future__ import annotations
 
+import logging
 import time
 from threading import Lock
 from typing import Callable
@@ -39,7 +40,10 @@ from repro.service.canonical import database_fingerprint, request_key
 from repro.service.metrics import ServiceMetrics
 from repro.service.planner import Plan, Planner, telescoping_samples_per_phase
 from repro.service.sharing import SubplanBroker, harvest_subplans
+from repro.telemetry.tracer import NULL_TRACER, Tracer, activate, current_tracer
 from repro.volume.monte_carlo import monte_carlo_volume
+
+logger = logging.getLogger(__name__)
 
 
 def run_plan(
@@ -115,6 +119,12 @@ def run_plan(
                 # Cap exhausted before the sequence certified the contract
                 # (small volume fraction or adversarial variance): fall
                 # through to the route that guarantees it.
+                logger.debug(
+                    "adaptive cap exhausted at eps=%g (achieved %g); "
+                    "falling back to telescoping",
+                    plan.epsilon,
+                    estimate.epsilon,
+                )
             else:
                 from repro.sampling.oracles import batch_oracle_from_relation
 
@@ -137,6 +147,12 @@ def run_plan(
                 # relative guarantee does not hold — fall through to the
                 # telescoping route instead of serving (and caching) a value
                 # whose error is unbounded.
+                logger.debug(
+                    "monte-carlo hit fraction %g below floor %g; "
+                    "falling back to telescoping",
+                    fraction,
+                    plan.min_hit_fraction,
+                )
         # No finite box, or the hit-fraction floor / adaptive cap failed:
         # only the observable route carries the relative guarantee.
     if compiled is None:
@@ -222,6 +238,12 @@ class ServiceSession:
         members shared across their plans once.  Disabling it only disables
         *reuse* — member estimates keep their content-addressed streams, so
         a sharing and a non-sharing session serve bit-identical values.
+    tracer:
+        A :class:`~repro.telemetry.tracer.Tracer` receiving the session's
+        spans and counters.  Defaults to the no-op tracer; pass a
+        :class:`~repro.telemetry.tracer.RecordingTracer` to capture full
+        request traces.  Tracing never touches the random streams, so traced
+        and untraced sessions serve bit-identical values (benchmark E21).
     """
 
     def __init__(
@@ -233,9 +255,11 @@ class ServiceSession:
         metrics: ServiceMetrics | None = None,
         compiled_capacity: int = 64,
         share_subplans: bool = True,
+        tracer: Tracer | None = None,
     ) -> None:
         self.database = database
         self.params = params if params is not None else GeneratorParams()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.planner = planner if planner is not None else Planner()
         self.cache = cache if cache is not None else ResultCache()
         self.metrics = metrics if metrics is not None else ServiceMetrics()
@@ -304,24 +328,32 @@ class ServiceSession:
         """
         epsilon, delta = self._resolve_accuracy(epsilon, delta)
         key = self.key_for(query)
-        if use_cache:
-            cached, dominance = self.cache.lookup(key, epsilon, delta)
-            if cached is not None:
-                self.metrics.record_cache_hit(dominance=dominance)
-                return cached
-            self.metrics.record_cache_miss()
-        plan = self.planner.plan(query, self.database, epsilon=epsilon, delta=delta)
-        # Continuing a cached adaptive stream beats recomputing on every
-        # sampling route — but never on the exact route, whose answer is
-        # instant, error-free and dominates all future requests.
-        if use_cache and plan.estimator != "exact":
-            refined = self._refine_cached(key, epsilon, delta)
-            if refined is not None:
-                return refined
-        result = self._execute(plan, query, rng)
-        if use_cache:
-            self.cache.put(key, result, plan.epsilon, plan.delta)
-        return result
+        with activate(self.tracer), self.tracer.span(
+            "volume", key=key[:16], epsilon=epsilon, delta=delta
+        ) as span:
+            if use_cache:
+                with self.tracer.span("cache-lookup"):
+                    cached, dominance = self.cache.lookup(key, epsilon, delta)
+                if cached is not None:
+                    self.metrics.record_cache_hit(dominance=dominance)
+                    span.annotate(cache="dominance" if dominance else "hit")
+                    return cached
+                self.metrics.record_cache_miss()
+                span.annotate(cache="miss")
+            plan = self.planner.plan(query, self.database, epsilon=epsilon, delta=delta)
+            span.annotate(route=plan.estimator)
+            # Continuing a cached adaptive stream beats recomputing on every
+            # sampling route — but never on the exact route, whose answer is
+            # instant, error-free and dominates all future requests.
+            if use_cache and plan.estimator != "exact":
+                refined = self._refine_cached(key, epsilon, delta)
+                if refined is not None:
+                    span.annotate(cache="refined")
+                    return refined
+            result = self._execute(plan, query, rng)
+            if use_cache:
+                self.cache.put(key, result, plan.epsilon, plan.delta)
+            return result
 
     def sample(
         self, query: Query, count: int, rng: RandomState = None
@@ -377,10 +409,20 @@ class ServiceSession:
         if candidate is None:
             return None
         start = time.perf_counter()
-        refined = refine_result(candidate.refinable, epsilon, delta)
+        with current_tracer().span("refine", key=key[:16], epsilon=epsilon) as span:
+            refined = refine_result(candidate.refinable, epsilon, delta)
+            span.annotate(met=refined is not None)
         elapsed = time.perf_counter() - start
         if refined is None:
+            logger.debug(
+                "refinement of cached entry %s to eps=%g failed; recomputing",
+                key[:16],
+                epsilon,
+            )
             return None
+        logger.debug(
+            "refined cached entry %s to eps=%g in %.3fs", key[:16], epsilon, elapsed
+        )
         self.metrics.record_refinement()
         self.metrics.record_latency("adaptive", elapsed)
         assert refined.refinable is not None
@@ -408,13 +450,16 @@ class ServiceSession:
             compiled = self._compiled.get(key)
         if compiled is not None:
             return compiled
-        compiled = compile_plan(
-            query,
-            self.database,
-            params=self.params,
-            options=self.planner.lowering_options(samples_per_phase),
-            sharing=self._broker,
-        )
+        with current_tracer().span(
+            "compile", key=key[:16], samples_per_phase=samples_per_phase
+        ):
+            compiled = compile_plan(
+                query,
+                self.database,
+                params=self.params,
+                options=self.planner.lowering_options(samples_per_phase),
+                sharing=self._broker,
+            )
         self._store_compiled(key, compiled)
         return compiled
 
@@ -456,18 +501,20 @@ class ServiceSession:
         if plan.estimator == "telescoping":
             compiled = self.compile_cached(query, samples_per_phase=samples_per_phase)
         start = time.perf_counter()
-        result = run_plan(
-            plan,
-            query,
-            self.database,
-            params=None,
-            rng=rng,
-            compiled=compiled,
-            # Fallback compilations (Monte-Carlo route without a usable box)
-            # go through the memoising compile_cached as well, keeping the
-            # session's gamma and avoiding recompiles on repeat misses.
-            compile_fn=lambda spp: self.compile_cached(query, samples_per_phase=spp),
-        )
+        with current_tracer().span("execute", route=plan.estimator) as span:
+            result = run_plan(
+                plan,
+                query,
+                self.database,
+                params=None,
+                rng=rng,
+                compiled=compiled,
+                # Fallback compilations (Monte-Carlo route without a usable box)
+                # go through the memoising compile_cached as well, keeping the
+                # session's gamma and avoiding recompiles on repeat misses.
+                compile_fn=lambda spp: self.compile_cached(query, samples_per_phase=spp),
+            )
+            span.annotate(executed=_executed_route(plan, result))
         elapsed = time.perf_counter() - start
         if compiled is not None:
             # Bank the member estimates this execution computed, so every

@@ -1,0 +1,50 @@
+"""Telemetry layer: tracing, EXPLAIN ANALYZE and exporters.
+
+Dependency-free observability for the serving stack.  A
+:class:`RecordingTracer` handed to a :class:`~repro.service.session.ServiceSession`
+(or activated around any estimator call with :func:`activate`) records a
+hierarchical span tree covering ``submit_batch`` → cache/broker lookup →
+compilation → backend dispatch → per-work-unit execution → estimator phases,
+with kernel counters (proposals, hits, chain steps) and per-checkpoint
+confidence-sequence trajectories attached to the enclosing spans.  Tracing
+never touches the random stream, so traced runs are bit-identical to
+untraced ones (benchmark E21 enforces this together with a <5% overhead
+budget).
+
+:func:`analyze_trace` distils a trace into the observed statistics
+``QueryEngine.explain(analyze=True)`` folds back into plan output;
+:func:`chrome_trace` and :func:`prometheus_text` export traces and counters
+to standard tooling.
+"""
+
+from repro.telemetry.analyze import SubplanStats, TraceAnalysis, analyze_trace
+from repro.telemetry.export import chrome_trace, dump_chrome_trace, prometheus_text
+from repro.telemetry.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    RecordingTracer,
+    Span,
+    Tracer,
+    activate,
+    current_span,
+    current_tracer,
+    validate_span_tree,
+)
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "RecordingTracer",
+    "Span",
+    "SubplanStats",
+    "TraceAnalysis",
+    "Tracer",
+    "activate",
+    "analyze_trace",
+    "chrome_trace",
+    "current_span",
+    "current_tracer",
+    "dump_chrome_trace",
+    "prometheus_text",
+    "validate_span_tree",
+]

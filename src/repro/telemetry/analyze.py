@@ -1,0 +1,233 @@
+"""EXPLAIN ANALYZE: fold observed runtime statistics back into plan output.
+
+``explain_plan`` (and ``QueryEngine.explain``) describe what the planner
+*intends*: routes, dimensions, disjunct estimates, shared digests.  This
+module supplies the other half — what actually happened when the plan ran:
+
+* per-subplan-digest runtime stats (samples drawn, wall time, whether the
+  member volume was served primed/from the subplan cache or computed fresh,
+  the accuracy it was computed at) harvested from ``union-member`` spans;
+* the union acceptance pass (trials, accepted, acceptance rate) from the
+  ``union-acceptance`` span;
+* the adaptive estimator's per-checkpoint ``(n, estimate, eps)`` trajectory,
+  taken from the result's details (or the ``adaptive-run`` span);
+* aggregate kernel counters (proposals, hits, chain steps, ...).
+
+:func:`analyze_trace` distils a tracer's recorded spans (plus, optionally,
+the result object the traced run produced) into a :class:`TraceAnalysis`;
+``PlanExplanation.render`` appends its observations to the plan listing when
+one is attached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.telemetry.tracer import Span, Tracer
+
+__all__ = ["SubplanStats", "TraceAnalysis", "analyze_trace", "base_digest"]
+
+
+def base_digest(digest: str) -> str:
+    """Strip the ``@order`` / ``#index`` decorations union lowering appends."""
+    return digest.split("@", 1)[0].split("#", 1)[0]
+
+
+@dataclass
+class SubplanStats:
+    """Observed runtime behaviour of one subplan digest."""
+
+    digest: str
+    samples: int = 0
+    wall: float = 0.0
+    spans: int = 0
+    primed: int = 0
+    computed: int = 0
+    epsilon: float | None = None
+    value: float | None = None
+
+    @property
+    def provenance(self) -> str:
+        """``primed`` (cache/broker), ``computed`` (fresh), or ``mixed``."""
+        if self.primed and self.computed:
+            return "mixed"
+        if self.primed:
+            return "primed"
+        return "computed"
+
+    def merge(self, other: "SubplanStats") -> None:
+        self.samples += other.samples
+        self.wall += other.wall
+        self.spans += other.spans
+        self.primed += other.primed
+        self.computed += other.computed
+        if other.epsilon is not None:
+            self.epsilon = (
+                other.epsilon if self.epsilon is None else min(self.epsilon, other.epsilon)
+            )
+        if other.value is not None:
+            self.value = other.value
+
+    def describe(self) -> str:
+        parts = [f"samples={self.samples}", f"source={self.provenance}"]
+        if self.epsilon is not None:
+            parts.append(f"eps={self.epsilon:g}")
+        if self.wall:
+            parts.append(f"wall={self.wall * 1e3:.1f}ms")
+        return " ".join(parts)
+
+
+@dataclass
+class TraceAnalysis:
+    """Everything EXPLAIN ANALYZE learned from one traced run."""
+
+    route: str | None = None
+    value: float | None = None
+    wall: float = 0.0
+    samples: int = 0
+    acceptance: float | None = None
+    acceptance_trials: int = 0
+    trajectory: list = field(default_factory=list)
+    phase_trajectories: list = field(default_factory=list)
+    subplans: dict[str, SubplanStats] = field(default_factory=dict)
+    counters: dict[str, float] = field(default_factory=dict)
+    span_count: int = 0
+
+    def for_node(self, digest: str | None) -> SubplanStats | None:
+        """Aggregate observed stats for a plan node's digest.
+
+        Union lowering tags members with the node digest plus ordering or
+        positional decorations; matching happens on the undecorated digest.
+        """
+        if not digest:
+            return None
+        wanted = base_digest(digest)
+        merged: SubplanStats | None = None
+        for key, stats in self.subplans.items():
+            if base_digest(key) != wanted:
+                continue
+            if merged is None:
+                merged = SubplanStats(digest=wanted)
+            merged.merge(stats)
+        return merged
+
+    def render(self) -> str:
+        """Human-readable summary, the EXPLAIN ANALYZE footer."""
+        head = ["observed:"]
+        if self.route:
+            head.append(f"route={self.route}")
+        if self.value is not None:
+            head.append(f"value={self.value:.6g}")
+        head.append(f"wall={self.wall * 1e3:.1f}ms")
+        if self.samples:
+            head.append(f"samples={self.samples}")
+        if self.acceptance is not None:
+            head.append(f"acceptance={self.acceptance:.3f} ({self.acceptance_trials} trials)")
+        lines = [" ".join(head)]
+        if self.trajectory:
+            rendered = " -> ".join(
+                f"(n={int(n)}, est={est:.4g}, eps={eps:.3g})"
+                for n, est, eps in self.trajectory[:8]
+            )
+            if len(self.trajectory) > 8:
+                rendered += f" -> ... [{len(self.trajectory)} checkpoints]"
+            lines.append(f"  trajectory: {rendered}")
+        for index, phase in enumerate(self.phase_trajectories):
+            if not phase:
+                continue
+            last = phase[-1]
+            lines.append(
+                f"  phase[{index}]: {len(phase)} checkpoints, "
+                f"final (n={int(last[0])}, est={last[1]:.4g}, eps={last[2]:.3g})"
+            )
+        for key in sorted(self.subplans):
+            stats = self.subplans[key]
+            lines.append(f"  subplan {base_digest(key)[:12]}: {stats.describe()}")
+        if self.counters:
+            rendered = ", ".join(
+                f"{name}={int(value) if float(value).is_integer() else value:g}"
+                if isinstance(value, (int, float))
+                else f"{name}={value}"
+                for name, value in sorted(self.counters.items())
+            )
+            lines.append(f"  counters: {rendered}")
+        return "\n".join(lines)
+
+
+def _harvest_member(analysis: TraceAnalysis, span: Span) -> None:
+    digest = span.attrs.get("digest") or f"member[{span.attrs.get('index', '?')}]"
+    stats = analysis.subplans.get(digest)
+    if stats is None:
+        stats = analysis.subplans[digest] = SubplanStats(digest=digest)
+    addition = SubplanStats(
+        digest=digest,
+        samples=int(span.attrs.get("samples", 0) or 0),
+        wall=span.wall,
+        spans=1,
+        primed=1 if span.attrs.get("source") == "primed" else 0,
+        computed=1 if span.attrs.get("source") == "computed" else 0,
+        epsilon=span.attrs.get("epsilon"),
+        value=span.attrs.get("value"),
+    )
+    stats.merge(addition)
+
+
+def analyze_trace(tracer: Tracer, result: object | None = None) -> TraceAnalysis:
+    """Distil a tracer's spans (and optionally the produced result) for EXPLAIN.
+
+    ``result`` may be a :class:`~repro.volume.base.VolumeEstimate` or any
+    object carrying one as ``.estimate`` (service results); when given, its
+    value/accuracy/details take precedence over what the spans recorded —
+    the spans then mostly contribute wall times, provenance and counters.
+    """
+    analysis = TraceAnalysis()
+    spans = tracer.finished()
+    analysis.span_count = len(spans)
+
+    ids = {span.span_id for span in spans}
+    for span in spans:
+        if span.parent_id is None or span.parent_id not in ids:
+            analysis.wall = max(analysis.wall, span.wall)
+        if span.name == "union-member":
+            _harvest_member(analysis, span)
+        elif span.name == "union-acceptance":
+            analysis.acceptance = span.attrs.get("acceptance", analysis.acceptance)
+            analysis.acceptance_trials += int(span.attrs.get("trials", 0) or 0)
+        elif span.name == "adaptive-run":
+            trajectory = span.attrs.get("trajectory")
+            if trajectory and not analysis.trajectory:
+                analysis.trajectory = list(trajectory)
+        if analysis.route is None:
+            route = span.attrs.get("route") or span.attrs.get("method")
+            if route is not None:
+                analysis.route = str(route)
+
+    totals = getattr(tracer, "aggregate_counters", None)
+    if callable(totals):
+        analysis.counters = totals()
+
+    estimate = getattr(result, "estimate", result)
+    if estimate is not None:
+        value = getattr(estimate, "value", None)
+        if isinstance(value, (int, float)):
+            analysis.value = float(value)
+        samples = getattr(estimate, "samples_used", 0)
+        if samples:
+            analysis.samples = int(samples)
+        method = getattr(estimate, "method", None)
+        if method:
+            analysis.route = str(method)
+        details = getattr(estimate, "details", None) or {}
+        if details.get("trajectory"):
+            analysis.trajectory = list(details["trajectory"])
+        if details.get("phase_trajectories"):
+            analysis.phase_trajectories = [list(phase) for phase in details["phase_trajectories"]]
+        if analysis.acceptance is None and "acceptance" in details:
+            acceptance = details["acceptance"]
+            if isinstance(acceptance, (int, float)):
+                analysis.acceptance = float(acceptance)
+    if not analysis.samples:
+        analysis.samples = int(
+            sum(stats.samples for stats in analysis.subplans.values())
+        )
+    return analysis

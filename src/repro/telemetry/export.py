@@ -1,0 +1,156 @@
+"""Exporters: Chrome-trace JSON dumps and Prometheus-style text exposition.
+
+Two complementary views of the same telemetry:
+
+* :func:`chrome_trace` / :func:`dump_chrome_trace` turn a tracer's recorded
+  spans into the Chrome trace-event format (the ``chrome://tracing`` /
+  Perfetto JSON schema: complete ``"X"`` events with microsecond ``ts`` and
+  ``dur``), so a batch's span tree can be inspected on a real timeline.
+* :func:`prometheus_text` renders a metrics registry — the counters of a
+  :class:`~repro.service.metrics.ServiceMetrics` plus the aggregated span
+  counters of a tracer — in the Prometheus text exposition format, one
+  ``repro_*`` family per counter with labels for the per-route/per-backend
+  breakdowns.
+
+Both are dependency-free (``json`` and string formatting only) and read-only:
+exporting never mutates the tracer or the metrics.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Protocol
+
+from repro.telemetry.tracer import Span, Tracer
+
+__all__ = ["chrome_trace", "dump_chrome_trace", "prometheus_text"]
+
+
+class _MetricsLike(Protocol):
+    def snapshot(self) -> dict: ...
+
+
+_NAME_SANITIZER = re.compile(r"[^a-zA-Z0-9_]")
+
+# Label name for the dict-valued counters of ``ServiceMetrics.snapshot()``.
+_DICT_LABELS = {
+    "plan_choices": "estimator",
+    "backend_choices": "backend",
+    "backend_units": "backend",
+    "mean_latency": "route",
+    "requests": "route",
+}
+
+
+def _sanitize(name: str) -> str:
+    return _NAME_SANITIZER.sub("_", name)
+
+
+def _span_args(span: Span) -> dict:
+    args = {key: _jsonable(value) for key, value in span.attrs.items()}
+    for name, value in span.counters.items():
+        args[f"counter.{name}"] = value
+    args["cpu_ms"] = round(span.cpu * 1e3, 3)
+    return args
+
+
+def _jsonable(value: object) -> object:
+    try:
+        json.dumps(value)
+        return value
+    except (TypeError, ValueError):
+        return repr(value)
+
+
+def chrome_trace(tracer: Tracer, process_id: int = 1) -> dict:
+    """Render the tracer's spans as a Chrome trace-event document.
+
+    Each finished span becomes one complete (``"ph": "X"``) event whose
+    ``ts``/``dur`` are microseconds on the tracer's ``perf_counter`` clock,
+    rebased so the earliest span starts at 0.  Attributes and counters ride
+    along in ``args``; span/parent ids are included so the tree structure
+    survives the flat event list.
+    """
+    spans = tracer.finished()
+    base = min((span.start for span in spans), default=0.0)
+    events = []
+    for span in spans:
+        events.append(
+            {
+                "name": span.name,
+                "ph": "X",
+                "ts": round((span.start - base) * 1e6, 3),
+                "dur": round(span.wall * 1e6, 3),
+                "pid": process_id,
+                "tid": span.thread_id % 2**31,
+                "args": {
+                    "span_id": span.span_id,
+                    "parent_id": span.parent_id,
+                    **_span_args(span),
+                },
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def dump_chrome_trace(tracer: Tracer, path: str | Path, process_id: int = 1) -> Path:
+    """Write :func:`chrome_trace` output to ``path`` and return the path."""
+    path = Path(path)
+    path.write_text(json.dumps(chrome_trace(tracer, process_id), indent=2))
+    return path
+
+
+def prometheus_text(
+    metrics: _MetricsLike | None = None,
+    tracer: Tracer | None = None,
+    prefix: str = "repro",
+) -> str:
+    """Render service counters and trace counters as Prometheus text exposition.
+
+    Scalar counters of the metrics snapshot become ``<prefix>_<name>_total``
+    counter families; dict-valued entries (per-route, per-backend, per-plan
+    breakdowns) become labeled samples; ``hit_rate`` and ``mean_latency`` are
+    exposed as gauges.  A tracer's aggregated span counters are appended as
+    ``<prefix>_trace_<name>_total``.  Either argument may be omitted.
+    """
+    lines: list[str] = []
+    if metrics is not None:
+        snapshot = metrics.snapshot()
+        for key in sorted(snapshot):
+            value = snapshot[key]
+            name = _sanitize(key)
+            if isinstance(value, dict):
+                label = _DICT_LABELS.get(key, "key")
+                kind, suffix = ("gauge", "") if key == "mean_latency" else ("counter", "_total")
+                lines.append(f"# TYPE {prefix}_{name}{suffix} {kind}")
+                for label_value in sorted(value):
+                    rendered = str(label_value).replace("\\", "\\\\").replace('"', '\\"')
+                    lines.append(
+                        f'{prefix}_{name}{suffix}{{{label}="{rendered}"}} '
+                        f"{_format_value(value[label_value])}"
+                    )
+            elif key == "hit_rate":
+                lines.append(f"# TYPE {prefix}_{name} gauge")
+                lines.append(f"{prefix}_{name} {_format_value(value)}")
+            else:
+                lines.append(f"# TYPE {prefix}_{name}_total counter")
+                lines.append(f"{prefix}_{name}_total {_format_value(value)}")
+    if tracer is not None:
+        totals = getattr(tracer, "aggregate_counters", lambda: {})()
+        for key in sorted(totals):
+            name = _sanitize(key)
+            lines.append(f"# TYPE {prefix}_trace_{name}_total counter")
+            lines.append(f"{prefix}_trace_{name}_total {_format_value(totals[key])}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)

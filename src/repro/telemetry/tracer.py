@@ -1,0 +1,400 @@
+"""Hierarchical spans and counters: the flight recorder of the request path.
+
+The serving stack has five performance-bearing layers (cache, planner, plan
+IR + subplan sharing, execution backends, adaptive estimators); this module
+gives every request a *trace*: a tree of :class:`Span` values covering
+``submit_batch`` → cache/broker lookup → canonicalize/rewrite/lower →
+backend dispatch → per-work-unit execution → estimator phases, each span
+carrying wall/CPU time, free-form attributes and accumulated counters
+(proposals, hits, chain steps, ...).
+
+Design constraints, in order:
+
+* **Near-zero cost when off.**  The default tracer is :data:`NULL_TRACER`,
+  whose ``span``/``count`` calls allocate nothing and record nothing; hot
+  kernels additionally guard per-block counter updates with
+  ``tracer.enabled`` so an untraced run pays one attribute read per block.
+* **Never touch the random stream.**  Tracing only *reads* — timings,
+  counts, already-drawn sample arrays — so a traced run is bit-identical
+  to an untraced one (enforced by benchmark E21 and the telemetry tests).
+* **Bounded memory.**  :class:`RecordingTracer` keeps its finished spans in
+  a ring buffer (``capacity`` spans, oldest dropped first), the classic
+  flight-recorder shape: always on, never unbounded.
+* **Complete across processes.**  Workers of the process backend record
+  spans into a local tracer and ship them back inside their results; the
+  parent re-parents them under the batch's compute span with
+  :meth:`RecordingTracer.adopt`, so one trace tree covers the whole batch
+  regardless of where its units ran.
+
+Propagation uses :mod:`contextvars`: :func:`activate` installs a tracer for
+the current context, :func:`current_tracer` reads it anywhere below, and the
+current *span* rides a second context variable so nested ``span()`` calls
+parent correctly.  Worker threads do not inherit the submitting context —
+the thread backend runs each unit inside a ``copy_context()`` snapshot taken
+on the submitting thread.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter, deque
+from collections.abc import Iterable, Mapping
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "RecordingTracer",
+    "Span",
+    "Tracer",
+    "activate",
+    "current_span",
+    "current_tracer",
+    "validate_span_tree",
+]
+
+
+@dataclass
+class Span:
+    """One finished (or in-flight) operation of a trace tree.
+
+    Attributes
+    ----------
+    span_id / parent_id:
+        Tracer-local identifiers; ``parent_id`` is ``None`` for roots.
+    name:
+        Operation name (``"volume"``, ``"work-unit"``, ``"union-member"``...).
+    start:
+        ``time.perf_counter()`` at entry (tracer-local clock; adopted spans
+        are rebased onto the adopting tracer's clock).
+    wall / cpu:
+        Elapsed wall seconds and thread-CPU seconds, filled at exit.
+    thread_id:
+        ``threading.get_ident()`` of the recording thread.
+    attrs:
+        Free-form annotations (route, digest, epsilon, ...).
+    counters:
+        Accumulated numeric counters (proposals, hits, chain steps, ...).
+    """
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    start: float
+    wall: float = 0.0
+    cpu: float = 0.0
+    thread_id: int = 0
+    attrs: dict = field(default_factory=dict)
+    counters: dict = field(default_factory=dict)
+    cpu_start: float = field(default=0.0, repr=False, compare=False)
+
+    def annotate(self, **attrs: object) -> None:
+        """Attach (or overwrite) attributes on this span."""
+        self.attrs.update(attrs)
+
+    def count(self, name: str, value: float = 1) -> None:
+        """Increment one of this span's counters."""
+        self.counters[name] = self.counters.get(name, 0) + value
+
+
+class _NullSpan:
+    """The span handed out by the null tracer: accepts everything, keeps nothing."""
+
+    __slots__ = ()
+    attrs: dict = {}
+    counters: dict = {}
+
+    def annotate(self, **attrs: object) -> None:
+        pass
+
+    def count(self, name: str, value: float = 1) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _NullContext:
+    """A reusable no-op context manager (one shared instance, no allocation)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> _NullSpan:
+        return NULL_SPAN
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+_NULL_CONTEXT = _NullContext()
+
+
+class Tracer:
+    """The tracing interface; the base class is the disabled implementation.
+
+    ``enabled`` gates every hot-path recording decision: kernels read it once
+    per block and skip the counter arithmetic entirely when tracing is off.
+    ``diagnostics`` additionally opts sampler spans into the uniformity
+    summaries of :mod:`repro.sampling.diagnostics` (TV distance, chi-square,
+    KS) — strictly more expensive, so it is a separate switch.
+    """
+
+    enabled: bool = False
+    diagnostics: bool = False
+
+    def span(self, name: str, **attrs: object):
+        """Context manager opening a child span of the current span."""
+        return _NULL_CONTEXT
+
+    def count(self, name: str, value: float = 1) -> None:
+        """Increment a counter on the current span (or the tracer itself)."""
+
+    def merge_counters(self, counters: Mapping[str, float] | None) -> None:
+        """Fold externally accumulated counters (e.g. a worker's) into this tracer."""
+
+    def finished(self) -> list[Span]:
+        """The recorded spans, oldest first (empty for the null tracer)."""
+        return []
+
+    def global_counters(self) -> dict[str, float]:
+        """The span-less counts (empty for the null tracer)."""
+        return {}
+
+    def adopt(
+        self, spans: Iterable[Span], parent: Span | None = None
+    ) -> list[Span]:
+        """Import spans recorded elsewhere (no-op for the null tracer)."""
+        return []
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class NullTracer(Tracer):
+    """The default tracer: everything is a no-op, ``enabled`` is ``False``."""
+
+
+#: Shared no-op tracer; the default of :func:`current_tracer` and of every
+#: session that was not given a tracer.
+NULL_TRACER = NullTracer()
+
+_ACTIVE_TRACER: ContextVar[Tracer] = ContextVar("repro_tracer", default=NULL_TRACER)
+_CURRENT_SPAN: ContextVar[Span | None] = ContextVar("repro_span", default=None)
+
+
+def current_tracer() -> Tracer:
+    """The tracer active in this context (:data:`NULL_TRACER` by default)."""
+    return _ACTIVE_TRACER.get()
+
+
+def current_span() -> Span | None:
+    """The innermost open span of this context, if any."""
+    return _CURRENT_SPAN.get()
+
+
+@contextmanager
+def activate(tracer: Tracer) -> Iterator[Tracer]:
+    """Install ``tracer`` as the context's tracer for the duration of the block.
+
+    Re-activating the tracer that is already active keeps the current span
+    (so nested serving entry points stay inside the enclosing trace);
+    switching to a *different* tracer resets it, so spans never parent onto
+    a span of a foreign tracer.
+    """
+    previous = _ACTIVE_TRACER.get()
+    token = _ACTIVE_TRACER.set(tracer)
+    span_token = None if tracer is previous else _CURRENT_SPAN.set(None)
+    try:
+        yield tracer
+    finally:
+        if span_token is not None:
+            _CURRENT_SPAN.reset(span_token)
+        _ACTIVE_TRACER.reset(token)
+
+
+class _SpanContext:
+    """Context manager that opens, times and records one span."""
+
+    __slots__ = ("_tracer", "_name", "_attrs", "_span", "_token")
+
+    def __init__(self, tracer: "RecordingTracer", name: str, attrs: dict) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+
+    def __enter__(self) -> Span:
+        parent = _CURRENT_SPAN.get()
+        span = Span(
+            span_id=self._tracer._allocate_id(),
+            parent_id=None if parent is None else parent.span_id,
+            name=self._name,
+            start=time.perf_counter(),
+            thread_id=threading.get_ident(),
+            attrs=self._attrs,
+        )
+        span.cpu_start = time.thread_time()
+        self._span = span
+        self._token = _CURRENT_SPAN.set(span)
+        return span
+
+    def __exit__(self, *exc: object) -> bool:
+        span = self._span
+        _CURRENT_SPAN.reset(self._token)
+        span.wall = time.perf_counter() - span.start
+        span.cpu = time.thread_time() - span.cpu_start
+        self._tracer._record(span)
+        return False
+
+
+class RecordingTracer(Tracer):
+    """A bounded flight recorder for spans and counters.
+
+    Parameters
+    ----------
+    capacity:
+        Ring-buffer size in spans; when full, the oldest finished span is
+        dropped first (children finish before parents, so overflow trims
+        leaves of old subtrees before their roots).
+    diagnostics:
+        Opt sampler spans into the uniformity summaries (TV distance,
+        chi-square, KS) of :mod:`repro.sampling.diagnostics`.
+    """
+
+    enabled = True
+
+    def __init__(self, capacity: int = 4096, diagnostics: bool = False) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.capacity = capacity
+        self.diagnostics = diagnostics
+        self._spans: deque[Span] = deque(maxlen=capacity)
+        self._counters: Counter[str] = Counter()
+        self._lock = threading.Lock()
+        self._last_id = 0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attrs: object) -> _SpanContext:
+        return _SpanContext(self, name, attrs)
+
+    def count(self, name: str, value: float = 1) -> None:
+        span = _CURRENT_SPAN.get()
+        if span is not None:
+            span.count(name, value)
+        else:
+            with self._lock:
+                self._counters[name] += value
+
+    def merge_counters(self, counters: Mapping[str, float] | None) -> None:
+        if not counters:
+            return
+        with self._lock:
+            for name, value in counters.items():
+                self._counters[name] += value
+
+    def _allocate_id(self) -> int:
+        with self._lock:
+            self._last_id += 1
+            return self._last_id
+
+    def _record(self, span: Span) -> None:
+        with self._lock:
+            self._spans.append(span)
+
+    # ------------------------------------------------------------------
+    # Cross-process adoption
+    # ------------------------------------------------------------------
+    def adopt(
+        self, spans: Iterable[Span], parent: Span | None = None
+    ) -> list[Span]:
+        """Import spans recorded by another tracer (typically a worker process).
+
+        Every span receives a fresh local id; roots — and spans whose parent
+        fell out of the worker's ring buffer — are re-parented under
+        ``parent``.  Start times are rebased so the imported subtree begins
+        at the parent span's start (worker clocks share no epoch with the
+        parent's ``perf_counter``); durations are preserved as measured.
+        """
+        spans = list(spans)
+        if not spans:
+            return []
+        mapping = {span.span_id: self._allocate_id() for span in spans}
+        base = min(span.start for span in spans)
+        shift = (parent.start if parent is not None else 0.0) - base
+        fallback = None if parent is None else parent.span_id
+        adopted = []
+        for span in spans:
+            copy = Span(
+                span_id=mapping[span.span_id],
+                parent_id=mapping.get(span.parent_id, fallback),
+                name=span.name,
+                start=span.start + shift,
+                wall=span.wall,
+                cpu=span.cpu,
+                thread_id=span.thread_id,
+                attrs=dict(span.attrs),
+                counters=dict(span.counters),
+            )
+            copy.attrs.setdefault("adopted", True)
+            self._record(copy)
+            adopted.append(copy)
+        return adopted
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def finished(self) -> list[Span]:
+        with self._lock:
+            return list(self._spans)
+
+    def aggregate_counters(self) -> dict[str, float]:
+        """Every counter summed over all recorded spans plus span-less counts."""
+        with self._lock:
+            totals: Counter[str] = Counter(self._counters)
+            for span in self._spans:
+                for name, value in span.counters.items():
+                    totals[name] += value
+        return dict(totals)
+
+    def global_counters(self) -> dict[str, float]:
+        """Only the span-less counts (`count` calls outside any span).
+
+        This is what a worker ships alongside its spans: the spans carry
+        their own counters through :meth:`adopt`, so shipping
+        :meth:`aggregate_counters` too would count them twice.
+        """
+        with self._lock:
+            return dict(self._counters)
+
+    def clear(self) -> None:
+        """Drop every recorded span and counter (ids keep increasing)."""
+        with self._lock:
+            self._spans.clear()
+            self._counters.clear()
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return (
+                f"RecordingTracer(spans={len(self._spans)}, "
+                f"capacity={self.capacity}, diagnostics={self.diagnostics})"
+            )
+
+
+def validate_span_tree(spans: Iterable[Span]) -> bool:
+    """Is every span's parent either ``None`` or among the given spans?
+
+    The well-formedness check the concurrency tests assert: with a
+    sufficiently large ring buffer, a trace must form a forest — no span may
+    reference a parent that was never recorded (dangling ids would mean a
+    race in id allocation or a broken adoption).
+    """
+    spans = list(spans)
+    ids = {span.span_id for span in spans}
+    if len(ids) != len(spans):
+        return False
+    return all(span.parent_id is None or span.parent_id in ids for span in spans)

@@ -18,6 +18,7 @@ import numpy as np
 from repro.sampling.oracles import BatchOracle, MembershipOracle
 from repro.sampling.rejection import count_box_hits
 from repro.sampling.rng import ensure_rng
+from repro.telemetry.tracer import current_tracer
 from repro.volume.base import VolumeEstimate
 from repro.volume.chernoff import hoeffding_sample_size
 
@@ -57,8 +58,12 @@ def monte_carlo_volume(
         box_volume *= upper - lower
     if samples is None:
         samples = min(hoeffding_sample_size(epsilon, delta), max_samples)
-    hits = count_box_hits(oracle, bounds, samples, rng, block_size)
-    fraction = hits / samples
+    with current_tracer().span(
+        "monte-carlo", samples=samples, block_size=block_size
+    ) as span:
+        hits = count_box_hits(oracle, bounds, samples, rng, block_size)
+        fraction = hits / samples
+        span.annotate(hit_fraction=fraction)
     return VolumeEstimate(
         value=fraction * box_volume,
         epsilon=epsilon,

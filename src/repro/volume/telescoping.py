@@ -50,6 +50,7 @@ from repro.sampling.oracles import (
     oracle_from_polytope,
 )
 from repro.sampling.rng import ensure_rng
+from repro.telemetry.tracer import current_tracer
 from repro.volume.base import EstimationError, VolumeEstimate
 from repro.volume.chernoff import chernoff_ratio_sample_size
 
@@ -216,21 +217,38 @@ class TelescopingVolumeEstimator:
         ratios: list[float] = []
         samples_used = 0
         oracle_counter = [0]
+        tracer = current_tracer()
         for index in range(phases):
             inner_radius = radii[index]
             outer_radius = radii[index + 1]
             outer_body = rounded.polytope.restrict_to_box(
                 [(-outer_radius, outer_radius)] * dimension
             )
-            samples = self._sample_phase(outer_body, rng, samples_per_phase, oracle_counter)
-            samples_used += samples.shape[0]
-            inside = int(np.sum(np.max(np.abs(samples), axis=1) <= inner_radius + 1e-12))
-            fraction = inside / samples.shape[0]
-            # The true ratio is at least (r_i / r_{i+1})^d = 1 / cube_ratio; a
-            # zero count can only happen with tiny per-phase sample sizes.
-            fraction = max(fraction, 1.0 / (2.0 * samples.shape[0]))
-            ratios.append(fraction)
-            log_volume -= np.log(fraction)
+            with tracer.span(
+                "telescoping-phase", phase=index, sampler=self.config.sampler
+            ) as span:
+                samples = self._sample_phase(outer_body, rng, samples_per_phase, oracle_counter)
+                samples_used += samples.shape[0]
+                inside = int(np.sum(np.max(np.abs(samples), axis=1) <= inner_radius + 1e-12))
+                fraction = inside / samples.shape[0]
+                # The true ratio is at least (r_i / r_{i+1})^d = 1 / cube_ratio; a
+                # zero count can only happen with tiny per-phase sample sizes.
+                fraction = max(fraction, 1.0 / (2.0 * samples.shape[0]))
+                ratios.append(fraction)
+                log_volume -= np.log(fraction)
+                if tracer.enabled:
+                    span.annotate(samples=int(samples.shape[0]), hits=inside, ratio=fraction)
+                    span.count("walk_samples", int(samples.shape[0]))
+                    if tracer.diagnostics:
+                        from repro.sampling.diagnostics import uniformity_summary
+
+                        summary = uniformity_summary(
+                            samples,
+                            [(-outer_radius, outer_radius)] * dimension,
+                            support_oracle=batch_oracle_from_polytope(outer_body),
+                        )
+                        if summary:
+                            span.annotate(**summary)
 
         rounded_volume = float(np.exp(log_volume))
         value = rounded.pull_back_volume(rounded_volume)

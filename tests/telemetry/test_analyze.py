@@ -1,0 +1,168 @@
+"""EXPLAIN ANALYZE: trace distillation and plan-output folding."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.constraints.database import ConstraintDatabase
+from repro.constraints.relations import GeneralizedRelation
+from repro.core.observable import GeneratorParams
+from repro.queries.ast import QOr, QRelation
+from repro.queries.engine import QueryEngine
+from repro.telemetry.analyze import SubplanStats, analyze_trace, base_digest
+from repro.telemetry.tracer import RecordingTracer, activate
+
+
+@pytest.fixture
+def database() -> ConstraintDatabase:
+    db = ConstraintDatabase()
+    db.set_relation(
+        "A",
+        GeneralizedRelation.box({"x": (0, 1), "y": (0, 1)}).union(
+            GeneralizedRelation.box({"x": (2, 3), "y": (0, 1)})
+        ),
+    )
+    db.set_relation("B", GeneralizedRelation.box({"x": (0.5, 2.5), "y": (0, 1)}))
+    return db
+
+
+@pytest.fixture
+def engine(database) -> QueryEngine:
+    return QueryEngine(database, params=GeneratorParams(gamma=0.3, epsilon=0.4, delta=0.2))
+
+
+def union_query() -> QOr:
+    return QOr((QRelation("A", ("x", "y")), QRelation("B", ("x", "y"))))
+
+
+class TestBaseDigest:
+    def test_strips_order_and_index_decorations(self):
+        assert base_digest("abc123@2") == "abc123"
+        assert base_digest("abc123#0") == "abc123"
+        assert base_digest("abc123@2#0") == "abc123"
+        assert base_digest("abc123") == "abc123"
+
+
+class TestSubplanStats:
+    def test_merge_accumulates_and_takes_min_epsilon(self):
+        left = SubplanStats(digest="d", samples=10, wall=0.1, spans=1, primed=1, epsilon=0.2)
+        right = SubplanStats(
+            digest="d", samples=5, wall=0.2, spans=1, computed=1, epsilon=0.1, value=2.0
+        )
+        left.merge(right)
+        assert left.samples == 15
+        assert left.epsilon == 0.1
+        assert left.value == 2.0
+        assert left.provenance == "mixed"
+
+    def test_describe_mentions_provenance(self):
+        stats = SubplanStats(digest="d", samples=3, primed=1)
+        assert "source=primed" in stats.describe()
+        assert "samples=3" in stats.describe()
+
+
+class TestAnalyzeTrace:
+    def test_harvests_union_members_and_acceptance(self):
+        tracer = RecordingTracer()
+        with activate(tracer):
+            with tracer.span("union-member", index=0) as span:
+                span.annotate(source="computed", samples=800, digest="aaa@1", epsilon=0.1)
+            with tracer.span("union-member", index=0) as span:
+                span.annotate(source="primed", samples=0, digest="aaa@2", epsilon=0.1)
+            with tracer.span("union-acceptance") as span:
+                span.annotate(trials=100, accepted=60, acceptance=0.6)
+        analysis = analyze_trace(tracer)
+        stats = analysis.for_node("aaa")
+        assert stats is not None
+        assert stats.samples == 800
+        assert stats.provenance == "mixed"
+        assert analysis.acceptance == 0.6
+        assert analysis.acceptance_trials == 100
+
+    def test_result_details_take_precedence(self):
+        tracer = RecordingTracer()
+
+        class FakeEstimate:
+            value = 4.5
+            samples_used = 123
+            method = "adaptive-monte-carlo"
+            details = {"trajectory": [(64, 4.4, 0.3), (128, 4.5, 0.1)]}
+
+        analysis = analyze_trace(tracer, FakeEstimate())
+        assert analysis.value == 4.5
+        assert analysis.samples == 123
+        assert analysis.route == "adaptive-monte-carlo"
+        assert len(analysis.trajectory) == 2
+        rendered = analysis.render()
+        assert "trajectory:" in rendered
+        assert "eps=0.1" in rendered
+
+    def test_for_node_unknown_digest_is_none(self):
+        analysis = analyze_trace(RecordingTracer())
+        assert analysis.for_node("nope") is None
+        assert analysis.for_node(None) is None
+
+
+class TestExplainAnalyze:
+    def test_union_workload_shows_subplan_samples_and_acceptance(self, engine):
+        explanation = engine.explain(
+            union_query(), analyze=True, mode="approximate", rng=7
+        )
+        analysis = explanation.analysis
+        assert analysis is not None
+        assert analysis.value is not None and analysis.value > 0
+        assert analysis.acceptance is not None
+        assert analysis.acceptance_trials > 0
+        # Every scan node of the plan has observed per-subplan stats.
+        scans = [
+            annotation
+            for annotation in explanation.annotations
+            if annotation.node.kind == "scan"
+        ]
+        assert scans
+        for annotation in scans:
+            stats = analysis.for_node(annotation.node.digest)
+            assert stats is not None
+            assert stats.samples > 0
+        rendered = explanation.render()
+        assert "observed:" in rendered
+        assert "acceptance=" in rendered
+        assert "subplan" in rendered
+
+    def test_adaptive_workload_shows_checkpoint_trajectory(self, engine):
+        explanation = engine.explain(
+            QRelation("B", ("x", "y")), analyze=True, mode="adaptive", rng=7
+        )
+        analysis = explanation.analysis
+        assert analysis is not None
+        assert analysis.trajectory, "adaptive route must expose (n, estimate, eps) checkpoints"
+        for n, estimate, eps in analysis.trajectory:
+            assert n > 0
+            assert estimate > 0
+            assert eps >= 0
+        # Checkpoint counts increase and the last epsilon is the tightest.
+        counts = [n for n, _, _ in analysis.trajectory]
+        assert counts == sorted(counts)
+        assert "trajectory:" in explanation.render()
+
+    def test_explain_without_analyze_has_no_analysis(self, engine):
+        explanation = engine.explain(union_query())
+        assert explanation.analysis is None
+        assert "observed:" not in explanation.render()
+
+    def test_analyze_execution_is_bit_identical_to_volume(self, engine):
+        traced = engine.explain(
+            union_query(), analyze=True, mode="approximate", rng=11
+        )
+        plain = engine.volume(
+            union_query(), mode="approximate", rng=np.random.default_rng(11)
+        )
+        assert traced.analysis.value == plain.value
+
+    def test_caller_tracer_keeps_raw_spans(self, engine):
+        tracer = RecordingTracer()
+        engine.explain(
+            union_query(), analyze=True, mode="approximate", rng=5, tracer=tracer
+        )
+        assert any(span.name == "union-acceptance" for span in tracer.finished())

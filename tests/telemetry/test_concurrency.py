@@ -1,0 +1,196 @@
+"""Concurrency: tracer and metrics hammered from thread and process backends.
+
+The tracer and :class:`ServiceMetrics` sit on the hot path of every backend;
+these tests drive them from many threads at once (and from worker processes
+through the batch executor) and assert that no update is lost and the span
+trees stay well-formed.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.constraints.database import ConstraintDatabase
+from repro.constraints.relations import GeneralizedRelation
+from repro.core.observable import GeneratorParams
+from repro.queries.ast import QRelation
+from repro.service import BatchRequest, Planner, ServiceSession
+from repro.service.metrics import ServiceMetrics
+from repro.telemetry.tracer import RecordingTracer, activate, validate_span_tree
+
+THREADS = 8
+ROUNDS = 200
+
+
+class TestTracerUnderThreads:
+    def test_span_recording_is_thread_safe(self):
+        tracer = RecordingTracer(capacity=THREADS * ROUNDS + 1)
+
+        def hammer(worker: int) -> None:
+            with activate(tracer):
+                for round_index in range(ROUNDS):
+                    with tracer.span("unit", worker=worker, round=round_index) as span:
+                        span.count("proposals", 2)
+
+        with ThreadPoolExecutor(max_workers=THREADS) as pool:
+            list(pool.map(hammer, range(THREADS)))
+
+        spans = tracer.finished()
+        assert len(spans) == THREADS * ROUNDS
+        assert validate_span_tree(spans)
+        assert tracer.aggregate_counters() == {"proposals": 2 * THREADS * ROUNDS}
+
+    def test_global_counters_are_thread_safe(self):
+        tracer = RecordingTracer()
+
+        def hammer(_: int) -> None:
+            for _ in range(ROUNDS):
+                tracer.count("chain_steps", 3)
+
+        with ThreadPoolExecutor(max_workers=THREADS) as pool:
+            list(pool.map(hammer, range(THREADS)))
+        assert tracer.aggregate_counters() == {"chain_steps": 3 * THREADS * ROUNDS}
+
+    def test_each_thread_gets_its_own_span_stack(self):
+        tracer = RecordingTracer()
+        barrier = threading.Barrier(2)
+
+        def nested(worker: int) -> None:
+            with activate(tracer):
+                with tracer.span("outer", worker=worker):
+                    barrier.wait(timeout=10)
+                    with tracer.span("inner", worker=worker):
+                        pass
+
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            list(pool.map(nested, range(2)))
+
+        spans = tracer.finished()
+        assert validate_span_tree(spans)
+        by_id = {span.span_id: span for span in spans}
+        for span in spans:
+            if span.name == "inner":
+                parent = by_id[span.parent_id]
+                # Despite interleaving, a thread's inner span parents onto
+                # *its own* outer span, never a sibling thread's.
+                assert parent.attrs["worker"] == span.attrs["worker"]
+
+
+class TestMetricsUnderThreads:
+    def test_no_update_is_lost(self):
+        metrics = ServiceMetrics()
+
+        def hammer(_: int) -> None:
+            for _ in range(ROUNDS):
+                metrics.record_cache_hit()
+                metrics.record_cache_miss()
+                metrics.record_plan("telescoping")
+                metrics.record_backend("thread", units=2)
+                metrics.record_latency("telescoping", 0.001)
+                # Concurrent readers must never see torn ratios or deadlock.
+                assert 0.0 <= metrics.hit_rate() <= 1.0
+                metrics.snapshot()
+
+        with ThreadPoolExecutor(max_workers=THREADS) as pool:
+            list(pool.map(hammer, range(THREADS)))
+
+        total = THREADS * ROUNDS
+        snapshot = metrics.snapshot()
+        assert snapshot["cache_hits"] == total
+        assert snapshot["cache_misses"] == total
+        assert snapshot["hit_rate"] == 0.5
+        assert snapshot["plan_choices"]["telescoping"] == total
+        assert snapshot["backend_units"]["thread"] == 2 * total
+        assert snapshot["mean_latency"]["telescoping"] == pytest.approx(0.001)
+
+
+@pytest.fixture
+def database() -> ConstraintDatabase:
+    db = ConstraintDatabase()
+    for index in range(4):
+        db.set_relation(
+            f"R{index}",
+            GeneralizedRelation.box({"x": (index, index + 2.0), "y": (0, 1 + index * 0.25)}),
+        )
+    return db
+
+
+def _requests() -> list[BatchRequest]:
+    return [
+        BatchRequest(QRelation(f"R{index}", ("x", "y")), epsilon=0.4, delta=0.2)
+        for index in range(4)
+    ]
+
+
+def _session(database, tracer=None) -> ServiceSession:
+    # Zeroing the exact route pins the batch onto the sampling path, so the
+    # kernels actually run (and record counters) on every backend.
+    return ServiceSession(
+        database,
+        params=GeneratorParams(gamma=0.3, epsilon=0.4, delta=0.2),
+        planner=Planner(exact_dimension_limit=0),
+        tracer=tracer,
+    )
+
+
+class TestTracedBackends:
+    def _run(self, database, backend: str, tracer=None) -> list[float]:
+        session = _session(database, tracer=tracer)
+        outcomes = session.submit_batch(_requests(), workers=4, rng=9, backend=backend)
+        return [outcome.result.value for outcome in outcomes]
+
+    def test_traced_values_identical_across_backends(self, database):
+        baseline = self._run(database, "serial")
+        for backend in ("serial", "thread", "process"):
+            tracer = RecordingTracer()
+            values = self._run(database, backend, tracer=tracer)
+            assert values == baseline, f"{backend} traced values diverged"
+
+    def test_thread_backend_spans_parent_onto_compute_span(self, database):
+        tracer = RecordingTracer()
+        self._run(database, "thread", tracer=tracer)
+        spans = tracer.finished()
+        assert validate_span_tree(spans)
+        by_id = {span.span_id: span for span in spans}
+        units = [span for span in spans if span.name == "work-unit"]
+        assert len(units) == 4
+        for unit in units:
+            assert by_id[unit.parent_id].name == "batch-compute"
+        # Kernel counters recorded on worker threads attach below the units.
+        totals = tracer.aggregate_counters()
+        assert totals.get("proposals", 0) > 0
+
+    def test_process_backend_ships_spans_home(self, database):
+        tracer = RecordingTracer()
+        self._run(database, "process", tracer=tracer)
+        spans = tracer.finished()
+        assert validate_span_tree(spans)
+        adopted = [span for span in spans if span.attrs.get("adopted")]
+        assert adopted, "worker spans must be adopted into the parent trace"
+        units = [span for span in spans if span.name == "worker-unit"]
+        assert len(units) == 4
+        by_id = {span.span_id: span for span in spans}
+        for unit in units:
+            assert by_id[unit.parent_id].name == "batch-compute"
+        # Kernel activity recorded inside the workers travels back too.
+        totals = tracer.aggregate_counters()
+        assert totals.get("proposals", 0) > 0
+
+    def test_process_counters_match_serial_exactly(self, database):
+        # Same seeds, same work: the process backend's adopted spans plus
+        # shipped span-less counts must sum to exactly the serial totals —
+        # shipping the worker aggregate alongside the spans would double
+        # every kernel counter.
+        serial = RecordingTracer()
+        self._run(database, "serial", tracer=serial)
+        process = RecordingTracer()
+        self._run(database, "process", tracer=process)
+        assert process.aggregate_counters() == serial.aggregate_counters()
+
+    def test_untraced_session_matches_traced(self, database):
+        untraced = self._run(database, "thread")
+        traced = self._run(database, "thread", tracer=RecordingTracer())
+        assert traced == untraced

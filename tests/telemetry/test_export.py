@@ -1,0 +1,99 @@
+"""Exporters: Chrome trace JSON and Prometheus text exposition."""
+
+from __future__ import annotations
+
+import json
+
+from repro.service.metrics import ServiceMetrics
+from repro.telemetry.export import chrome_trace, dump_chrome_trace, prometheus_text
+from repro.telemetry.tracer import RecordingTracer, activate
+
+
+def _traced() -> RecordingTracer:
+    tracer = RecordingTracer()
+    with activate(tracer):
+        with tracer.span("submit_batch", requests=2) as batch:
+            batch.count("proposals", 10)
+            with tracer.span("work-unit", route="telescoping"):
+                pass
+    return tracer
+
+
+class TestChromeTrace:
+    def test_events_carry_tree_structure(self):
+        tracer = _traced()
+        document = chrome_trace(tracer)
+        events = document["traceEvents"]
+        assert {event["name"] for event in events} == {"submit_batch", "work-unit"}
+        batch = next(e for e in events if e["name"] == "submit_batch")
+        unit = next(e for e in events if e["name"] == "work-unit")
+        assert unit["args"]["parent_id"] == batch["args"]["span_id"]
+        assert batch["args"]["requests"] == 2
+        assert batch["args"]["counter.proposals"] == 10
+
+    def test_timestamps_rebased_to_zero(self):
+        document = chrome_trace(_traced())
+        timestamps = [event["ts"] for event in document["traceEvents"]]
+        assert min(timestamps) == 0.0
+        assert all(event["ph"] == "X" for event in document["traceEvents"])
+
+    def test_document_is_json_serialisable(self):
+        tracer = RecordingTracer()
+        with activate(tracer):
+            with tracer.span("s", weird=object()):
+                pass
+        json.dumps(chrome_trace(tracer))
+
+    def test_dump_writes_file(self, tmp_path):
+        path = dump_chrome_trace(_traced(), tmp_path / "trace.json")
+        loaded = json.loads(path.read_text())
+        assert loaded["displayTimeUnit"] == "ms"
+        assert len(loaded["traceEvents"]) == 2
+
+
+class TestPrometheusText:
+    def _metrics(self) -> ServiceMetrics:
+        metrics = ServiceMetrics()
+        metrics.record_cache_hit()
+        metrics.record_cache_miss()
+        metrics.record_plan("telescoping")
+        metrics.record_backend("thread", units=3)
+        metrics.record_latency("telescoping", 0.25)
+        return metrics
+
+    def test_scalar_counters(self):
+        text = prometheus_text(self._metrics())
+        assert "repro_cache_hits_total 1" in text
+        assert "repro_cache_misses_total 1" in text
+        assert "# TYPE repro_cache_hits_total counter" in text
+
+    def test_hit_rate_is_a_gauge(self):
+        text = prometheus_text(self._metrics())
+        assert "# TYPE repro_hit_rate gauge" in text
+        assert "repro_hit_rate 0.5" in text
+
+    def test_dict_counters_get_labels(self):
+        text = prometheus_text(self._metrics())
+        assert 'repro_plan_choices_total{estimator="telescoping"} 1' in text
+        assert 'repro_backend_units_total{backend="thread"} 3' in text
+        assert 'repro_mean_latency{route="telescoping"} 0.25' in text
+
+    def test_tracer_counters_appended(self):
+        tracer = RecordingTracer()
+        tracer.count("chain_steps", 1000)
+        text = prometheus_text(tracer=tracer)
+        assert "repro_trace_chain_steps_total 1000" in text
+
+    def test_empty_inputs_render_empty(self):
+        assert prometheus_text() == ""
+
+    def test_subsumes_service_metrics_snapshot(self):
+        metrics = self._metrics()
+        text = prometheus_text(metrics)
+        snapshot = metrics.snapshot()
+        for key, value in snapshot.items():
+            if isinstance(value, dict):
+                for label_value in value:
+                    assert f'"{label_value}"' in text
+            else:
+                assert f"repro_{key}" in text

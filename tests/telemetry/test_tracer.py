@@ -1,0 +1,204 @@
+"""The tracer core: spans, propagation, ring buffer, adoption."""
+
+from __future__ import annotations
+
+import contextvars
+
+import pytest
+
+from repro.telemetry.tracer import (
+    NULL_TRACER,
+    RecordingTracer,
+    Span,
+    activate,
+    current_span,
+    current_tracer,
+    validate_span_tree,
+)
+
+
+class TestNullTracer:
+    def test_default_tracer_is_null(self):
+        assert current_tracer() is NULL_TRACER
+        assert not NULL_TRACER.enabled
+
+    def test_null_span_accepts_everything(self):
+        with NULL_TRACER.span("anything", attr=1) as span:
+            span.annotate(more=2)
+            span.count("proposals", 10)
+        assert NULL_TRACER.finished() == []
+
+    def test_null_adopt_and_merge_are_noops(self):
+        NULL_TRACER.merge_counters({"proposals": 5})
+        assert NULL_TRACER.adopt([], parent=None) == []
+
+
+class TestRecordingTracer:
+    def test_nested_spans_form_a_tree(self):
+        tracer = RecordingTracer()
+        with activate(tracer):
+            with tracer.span("outer") as outer:
+                with tracer.span("inner") as inner:
+                    assert current_span() is inner
+                assert current_span() is outer
+        spans = tracer.finished()
+        assert [span.name for span in spans] == ["inner", "outer"]
+        inner_span, outer_span = spans
+        assert inner_span.parent_id == outer_span.span_id
+        assert outer_span.parent_id is None
+        assert validate_span_tree(spans)
+
+    def test_span_records_wall_time_and_attrs(self):
+        tracer = RecordingTracer()
+        with activate(tracer):
+            with tracer.span("work", route="telescoping") as span:
+                span.annotate(samples=100)
+        (recorded,) = tracer.finished()
+        assert recorded.wall >= 0
+        assert recorded.attrs == {"route": "telescoping", "samples": 100}
+
+    def test_count_lands_on_current_span(self):
+        tracer = RecordingTracer()
+        with activate(tracer):
+            with tracer.span("kernel"):
+                tracer.count("proposals", 32)
+                tracer.count("proposals", 32)
+        (span,) = tracer.finished()
+        assert span.counters == {"proposals": 64}
+        assert tracer.aggregate_counters() == {"proposals": 64}
+
+    def test_count_outside_span_goes_global(self):
+        tracer = RecordingTracer()
+        tracer.count("proposals", 7)
+        assert tracer.finished() == []
+        assert tracer.aggregate_counters() == {"proposals": 7}
+
+    def test_merge_counters(self):
+        tracer = RecordingTracer()
+        tracer.merge_counters({"proposals": 3, "chain_steps": 10})
+        tracer.merge_counters({"proposals": 2})
+        assert tracer.aggregate_counters() == {"proposals": 5, "chain_steps": 10}
+
+    def test_ring_buffer_drops_oldest(self):
+        tracer = RecordingTracer(capacity=2)
+        with activate(tracer):
+            for index in range(5):
+                with tracer.span(f"s{index}"):
+                    pass
+        assert [span.name for span in tracer.finished()] == ["s3", "s4"]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            RecordingTracer(capacity=0)
+
+    def test_clear(self):
+        tracer = RecordingTracer()
+        with activate(tracer):
+            with tracer.span("s"):
+                tracer.count("c")
+        tracer.clear()
+        assert tracer.finished() == []
+        assert tracer.aggregate_counters() == {}
+
+
+class TestActivate:
+    def test_activate_installs_and_restores(self):
+        tracer = RecordingTracer()
+        with activate(tracer):
+            assert current_tracer() is tracer
+        assert current_tracer() is NULL_TRACER
+
+    def test_reactivating_same_tracer_keeps_current_span(self):
+        tracer = RecordingTracer()
+        with activate(tracer):
+            with tracer.span("outer") as outer:
+                with activate(tracer):
+                    assert current_span() is outer
+                    with tracer.span("nested"):
+                        pass
+        nested = next(s for s in tracer.finished() if s.name == "nested")
+        assert nested.parent_id == outer.span_id
+
+    def test_switching_tracer_resets_current_span(self):
+        first = RecordingTracer()
+        second = RecordingTracer()
+        with activate(first):
+            with first.span("outer"):
+                with activate(second):
+                    assert current_span() is None
+                    with second.span("root"):
+                        pass
+        (root,) = second.finished()
+        assert root.parent_id is None
+
+    def test_context_copy_carries_tracer_and_span(self):
+        tracer = RecordingTracer()
+        with activate(tracer):
+            with tracer.span("parent") as parent:
+                ctx = contextvars.copy_context()
+
+        def record():
+            with current_tracer().span("child"):
+                pass
+
+        ctx.run(record)
+        child = next(s for s in tracer.finished() if s.name == "child")
+        assert child.parent_id == parent.span_id
+
+
+class TestAdopt:
+    def _worker_spans(self) -> list[Span]:
+        worker = RecordingTracer()
+        with activate(worker):
+            with worker.span("worker-unit") as unit:
+                unit.count("proposals", 5)
+                with worker.span("execute"):
+                    pass
+        return worker.finished()
+
+    def test_adopt_remaps_ids_and_reparents_roots(self):
+        parent = RecordingTracer()
+        with activate(parent):
+            with parent.span("batch-compute") as compute:
+                pass
+        adopted = parent.adopt(self._worker_spans(), parent=compute)
+        assert len(adopted) == 2
+        spans = parent.finished()
+        assert validate_span_tree(spans)
+        unit = next(s for s in spans if s.name == "worker-unit")
+        execute = next(s for s in spans if s.name == "execute")
+        assert unit.parent_id == compute.span_id
+        assert execute.parent_id == unit.span_id
+        assert unit.attrs.get("adopted") is True
+        assert unit.counters == {"proposals": 5}
+
+    def test_adopt_rebases_start_times(self):
+        parent = RecordingTracer()
+        with activate(parent):
+            with parent.span("batch-compute") as compute:
+                pass
+        adopted = parent.adopt(self._worker_spans(), parent=compute)
+        assert min(span.start for span in adopted) == pytest.approx(compute.start)
+
+    def test_adopt_without_parent_keeps_roots(self):
+        parent = RecordingTracer()
+        adopted = parent.adopt(self._worker_spans())
+        roots = [span for span in adopted if span.parent_id is None]
+        assert len(roots) == 1
+
+    def test_adopt_empty_is_noop(self):
+        parent = RecordingTracer()
+        assert parent.adopt([]) == []
+
+
+class TestValidateSpanTree:
+    def test_dangling_parent_fails(self):
+        span = Span(span_id=2, parent_id=99, name="s", start=0.0)
+        assert not validate_span_tree([span])
+
+    def test_duplicate_ids_fail(self):
+        spans = [
+            Span(span_id=1, parent_id=None, name="a", start=0.0),
+            Span(span_id=1, parent_id=None, name="b", start=0.0),
+        ]
+        assert not validate_span_tree(spans)
