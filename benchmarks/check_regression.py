@@ -2,15 +2,15 @@
 
 Usage (what the ``perf-gate`` CI job runs)::
 
-    cp BENCH_e17_batch.json BENCH_e18_process_shard.json \
-       BENCH_e19_adaptive.json baseline/
+    cp BENCH_e17_batch.json ... BENCH_e22_persistent_store.json baseline/
     python benchmarks/bench_e17_batch_kernels.py --smoke
-    python benchmarks/bench_e18_process_shard.py --smoke
-    python benchmarks/bench_e19_adaptive.py --smoke
+    ...
+    python benchmarks/bench_e22_persistent_store.py --smoke
     python benchmarks/check_regression.py \
         --baseline-dir baseline --current-dir . --tolerance 0.30 \
         BENCH_e17_batch.json BENCH_e18_process_shard.json \
-        BENCH_e19_adaptive.json
+        BENCH_e19_adaptive.json BENCH_e20_plan_sharing.json \
+        BENCH_e21_telemetry.json BENCH_e22_persistent_store.json
 
 The gate compares **hardware-normalised** quantities only:
 

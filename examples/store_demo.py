@@ -1,0 +1,64 @@
+"""Persistent store demo: restart-warm serving and incremental invalidation.
+
+Run with ``PYTHONPATH=src python examples/store_demo.py``.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro import ServiceSession
+from repro.constraints import ConstraintDatabase
+from repro.constraints.relations import GeneralizedRelation
+from repro.queries import QAnd, QRelation
+
+
+def _database() -> ConstraintDatabase:
+    db = ConstraintDatabase()
+    db.set_relation("districts", GeneralizedRelation.box({"x": (0, 2), "y": (0, 1)}))
+    db.set_relation("zones", GeneralizedRelation.box({"x": (0, 1.5), "y": (0, 1)}))
+    return db
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        store_path = Path(tmp) / "results.db"
+        districts = QRelation("districts", ("x", "y"))
+        zones = QRelation("zones", ("x", "y"))
+        overlap = QAnd((districts, zones))
+
+        # 1. A session over a store path persists every answer it computes.
+        session = ServiceSession(_database(), store=store_path)
+        for query, label in ((districts, "districts"), (zones, "zones"), (overlap, "overlap")):
+            print(f"area({label}) = {session.volume(query).value:.3f}")
+        print(f"store holds {len(session.store)} entries at {store_path.name}")
+        session.store.close()
+
+        # 2. A "restarted process": a brand-new session over the same file
+        #    warms itself from disk and serves without recomputing.
+        restarted = ServiceSession(_database(), store=store_path)
+        value = restarted.volume(districts).value
+        print(
+            f"restart: area(districts) = {value:.3f} "
+            f"({restarted.cache.hits} cache hit, 0 plans executed)"
+        )
+
+        # 3. Plan-aware invalidation: growing `zones` drops only the entries
+        #    whose plans reference it — the districts entry survives on disk.
+        restarted.update_relation(
+            "zones", GeneralizedRelation.box({"x": (0, 3), "y": (0, 1)})
+        )
+        survivors = [(key[:12], relations) for key, _, relations in restarted.store.entries()]
+        print(f"after mutating zones, surviving entries: {survivors}")
+        print(f"area(zones) now = {restarted.volume(zones).value:.3f} (recomputed)")
+        print(f"area(districts) = {restarted.volume(districts).value:.3f} (still cached)")
+        print(
+            "store invalidations recorded: "
+            f"{restarted.metrics.snapshot()['store_invalidations']}"
+        )
+        restarted.store.close()
+
+
+if __name__ == "__main__":
+    main()

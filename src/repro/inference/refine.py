@@ -114,7 +114,11 @@ class RefinableEstimate:
 
     # ------------------------------------------------------------------
     def __getstate__(self) -> dict:
-        state = dict(self.__dict__)
+        # Snapshot under the lock: pickling a live estimate (the persistent
+        # store writes entries through while refinements may be running on
+        # other threads) must not capture a torn mid-refinement state.
+        with self._lock:
+            state = dict(self.__dict__)
         del state["_lock"]
         return state
 

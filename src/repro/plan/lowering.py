@@ -59,6 +59,7 @@ from repro.plan.nodes import (
     PlanNode,
     Project,
     RelationScan,
+    referenced_relations,
 )
 from repro.queries.compiler import CompilationError
 
@@ -108,6 +109,15 @@ class SubplanSharing:
     ) -> object | None:
         """A cached estimate dominating ``(ε, δ)``, or ``None`` (no reuse here)."""
         return None
+
+    def register_relations(self, digest: str, relations: tuple[str, ...]) -> None:
+        """Record which stored relations the subtree behind ``digest`` scans.
+
+        Lowering announces every digest's relation footprint before deriving
+        seeds or keys from it; the service's broker uses the footprint for
+        plan-aware cache keys (entries survive mutations of unreferenced
+        relations).  The default keeps no registry.
+        """
 
 
 def observable_from_relation(
@@ -227,6 +237,7 @@ class _Lowering:
         cached = self._memo.get(memo_key)
         if cached is not None:
             return cached  # type: ignore[return-value]
+        self._register(plan)
         kind, value = self.lower(plan, False)
         if kind == "observable":
             observable = value
@@ -342,6 +353,8 @@ class _Lowering:
                 return "relation", relation
             # The DNF product is past the cost bound: rejection sampling
             # against the operands beats materialising the product.
+        for operand in plan.operands:
+            self._register(operand)
         members = [
             value
             if kind == "observable"
@@ -373,6 +386,7 @@ class _Lowering:
         members: list[ObservableRelation] = []
         digests: list[str | None] = []
         for operand, (kind, value) in zip(plan.operands, lowered):
+            self._register(operand)
             if kind == "relation":
                 aligned_order = _extend(order, value.variables)  # type: ignore[union-attr]
                 aligned = value.with_variables(aligned_order)  # type: ignore[union-attr]
@@ -451,6 +465,16 @@ class _Lowering:
     # ------------------------------------------------------------------
     # Sharing hooks
     # ------------------------------------------------------------------
+    def _register(self, plan: PlanNode) -> None:
+        """Announce a subtree's relation footprint before its digest is used.
+
+        Synthetic digests lowering derives from this one (``@order``
+        alignment, ``#dN`` per-disjunct streams) inherit the footprint on
+        the broker side, so registering the base digest covers them all.
+        """
+        if self.sharing is not None:
+            self.sharing.register_relations(plan.digest, referenced_relations(plan))
+
     def _member_seeds(
         self, digests: Sequence[str | None], count: int
     ) -> tuple[int, ...] | None:

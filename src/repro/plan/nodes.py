@@ -55,6 +55,7 @@ __all__ = [
     "PlanNode",
     "Project",
     "RelationScan",
+    "referenced_relations",
     "walk",
 ]
 
@@ -319,3 +320,19 @@ def walk(node: PlanNode) -> Iterable[PlanNode]:
     yield node
     for child in node.children():
         yield from walk(child)
+
+
+def referenced_relations(node: PlanNode) -> tuple[str, ...]:
+    """The stored-relation names a subtree scans, sorted and de-duplicated.
+
+    This is the data-dependency footprint of a subplan: its value (and its
+    content-addressed sample streams) depends on exactly these relations'
+    instances, so a cache entry keyed by the subtree's digest stays valid
+    under any mutation that leaves all of them untouched.  The service
+    derives plan-aware cache keys and incremental invalidation from it —
+    a pure-constraint subtree returns ``()`` and its entries survive every
+    database mutation.
+    """
+    return tuple(
+        sorted({sub.name for sub in walk(node) if isinstance(sub, RelationScan)})
+    )

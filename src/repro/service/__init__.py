@@ -32,8 +32,12 @@ from repro.service.backends import (
 )
 from repro.service.cache import CacheEntry, ResultCache
 from repro.service.canonical import (
+    DatabaseFingerprint,
     canonical_query,
+    compose_key,
     database_fingerprint,
+    fingerprint_index,
+    plan_identity,
     request_key,
     subplan_key,
 )
@@ -52,6 +56,7 @@ from repro.service.sharing import (
     harvest_subplans,
     prepare_shared_members,
 )
+from repro.store import EntryMeta, ResultStore
 
 __all__ = [
     "BatchExecutionError",
@@ -64,8 +69,14 @@ __all__ = [
     "resolve_backend",
     "CacheEntry",
     "ResultCache",
+    "DatabaseFingerprint",
+    "EntryMeta",
+    "ResultStore",
     "canonical_query",
+    "compose_key",
     "database_fingerprint",
+    "fingerprint_index",
+    "plan_identity",
     "request_key",
     "subplan_key",
     "BatchOutcome",

@@ -281,6 +281,10 @@ class _SharedSetup:
     database: ConstraintDatabase
     params: GeneratorParams
     compiled: Mapping[str, ObservableRelation] = field(default_factory=dict)
+    #: The parent session's per-relation fingerprint index (picklable), so
+    #: worker-side fallback brokers derive the same plan-aware restricted
+    #: fingerprints — and therefore the same member seeds — as the parent.
+    fingerprints: object | None = None
     #: The parent planner's lowering cost bound, so fallback compilations in
     #: a worker take the same symbolic-vs-observable decisions.
     max_symbolic_disjuncts: int = 512
@@ -391,7 +395,8 @@ def _worker_execute(unit_bytes: bytes) -> bytes:
                         params=shared.params,
                         options=shared.lowering_options(spp),
                         sharing=SubplanBroker(
-                            fingerprint=shared.fingerprint, cache=None
+                            fingerprint=shared.fingerprints or shared.fingerprint,
+                            cache=None,
                         ),
                     ),
                 )
@@ -538,6 +543,7 @@ class ProcessBackend(ExecutionBackend):
             database=shipped,
             params=session.params,
             compiled=compiled,
+            fingerprints=getattr(session, "fingerprints", None),
             max_symbolic_disjuncts=session.planner.max_symbolic_disjuncts,
             trace=session.tracer.enabled,
             trace_diagnostics=session.tracer.diagnostics,

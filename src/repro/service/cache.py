@@ -1,4 +1,4 @@
-"""Result cache: LRU + TTL + ε-dominance.
+"""Result cache: LRU + TTL + ε-dominance, with an optional persistent tier.
 
 Entries are keyed by the *structural* request key of
 :mod:`repro.service.canonical` — accuracy parameters are deliberately not
@@ -26,6 +26,16 @@ is too *loose* for a request but carries resumable sufficient statistics
 Eviction is least-recently-used above ``capacity``; every entry additionally
 carries a time-to-live, checked lazily on access.  The clock is injectable so
 tests can drive TTL expiry deterministically.
+
+**Two tiers.**  An attached :class:`~repro.store.ResultStore` makes the
+cache write-through: accepted entries that carry provenance metadata
+(:class:`~repro.store.EntryMeta`) are also persisted, and a lookup that
+misses in memory falls through to disk, *promoting* the stored row back
+into the LRU on a hit.  The tiers keep separate clocks — the in-memory TTL
+stays on the injectable monotonic clock, while persisted rows carry a
+wall-clock epoch expiry (monotonic time is meaningless across restarts).
+LRU eviction never deletes from the store: memory holds the working set,
+disk holds everything live.
 """
 
 from __future__ import annotations
@@ -33,11 +43,15 @@ from __future__ import annotations
 import threading
 import time
 from collections import OrderedDict
-from dataclasses import dataclass
-from typing import Callable
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterable, Optional
 
 from repro.queries.aggregates import AggregateResult
+from repro.store import EntryMeta, ResultStore, StoredEntry
 from repro.volume.base import accuracy_dominates
+
+if TYPE_CHECKING:
+    from repro.service.metrics import ServiceMetrics
 
 
 @dataclass
@@ -49,6 +63,7 @@ class CacheEntry:
     delta: float
     expires_at: float
     hits: int = 0
+    meta: Optional[EntryMeta] = field(default=None, compare=False)
 
     def dominates(self, epsilon: float, delta: float) -> bool:
         """Does this entry satisfy a request at accuracy ``(epsilon, delta)``?"""
@@ -62,17 +77,22 @@ class CacheEntry:
 
 
 class ResultCache:
-    """An LRU result cache with TTL expiry and ε-dominance reuse.
+    """An LRU result cache with TTL expiry, ε-dominance reuse and a disk tier.
 
     Parameters
     ----------
     capacity:
-        Maximum number of live entries; the least recently used entry is
-        evicted first.
+        Maximum number of live in-memory entries; the least recently used
+        entry is evicted first (eviction does not touch the store).
     ttl:
         Lifetime of an entry in seconds (``None`` disables expiry).
     clock:
-        Monotonic time source, injectable for tests.
+        Monotonic time source for the in-memory tier, injectable for tests.
+    store:
+        Optional persistent second tier (write-through + read-through).
+    wall_clock:
+        Wall-clock epoch source used for persisted expiries, injectable for
+        tests; must agree with the attached store's clock.
     """
 
     def __init__(
@@ -80,6 +100,8 @@ class ResultCache:
         capacity: int = 1024,
         ttl: float | None = 300.0,
         clock: Callable[[], float] = time.monotonic,
+        store: ResultStore | None = None,
+        wall_clock: Callable[[], float] = time.time,
     ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be at least 1")
@@ -88,20 +110,35 @@ class ResultCache:
         self.capacity = capacity
         self.ttl = ttl
         self._clock = clock
+        self._wall_clock = wall_clock
         self._entries: OrderedDict[str, CacheEntry] = OrderedDict()
         # The session is meant to be shared by server threads; every method
         # that touches the OrderedDict or the counters takes this lock.
         self._lock = threading.Lock()
+        self.store = store
+        self._metrics: Optional["ServiceMetrics"] = None
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.expirations = 0
+        self.invalidations = 0
+
+    def attach_store(self, store: ResultStore) -> None:
+        """Attach (or replace) the persistent tier."""
+        with self._lock:
+            self.store = store
+
+    def bind_metrics(self, metrics: "ServiceMetrics") -> None:
+        """Report store-tier traffic to a session's metrics."""
+        self._metrics = metrics
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
 
     def __contains__(self, key: str) -> bool:
+        """Membership in the in-memory tier only (the broker's lock-pruning
+        probe — a store-resident entry re-promotes on demand)."""
         with self._lock:
             entry = self._entries.get(key)
             return entry is not None and not self._expired(entry)
@@ -121,23 +158,33 @@ class ResultCache:
         entry's own stored accuracy — the values the admission decision was
         actually made on.
         """
+        result, strict, _ = self.lookup_with_source(key, epsilon, delta)
+        return result, strict
+
+    def lookup_with_source(
+        self, key: str, epsilon: float = float("inf"), delta: float = float("inf")
+    ) -> tuple[AggregateResult | None, bool, Optional[str]]:
+        """Like :meth:`lookup`, plus which tier served (``"memory"``/``"store"``)."""
         with self._lock:
             entry = self._entries.get(key)
-            if entry is None:
-                self.misses += 1
-                return None, False
-            if self._expired(entry):
+            if entry is not None and self._expired(entry):
                 del self._entries[key]
                 self.expirations += 1
+                entry = None
+            source = "memory"
+            if entry is None:
+                entry = self._from_store(key)
+                source = "store"
+            if entry is None:
                 self.misses += 1
-                return None, False
+                return None, False, None
             if not entry.dominates(epsilon, delta):
                 self.misses += 1
-                return None, False
+                return None, False, None
             self._entries.move_to_end(key)
             entry.hits += 1
             self.hits += 1
-            return entry.result, entry.strictly_dominates(epsilon, delta)
+            return entry.result, entry.strictly_dominates(epsilon, delta), source
 
     def exact_lookup(
         self, key: str, epsilon: float, delta: float
@@ -156,11 +203,13 @@ class ResultCache:
         """
         with self._lock:
             entry = self._entries.get(key)
-            if entry is None:
-                return None
-            if self._expired(entry):
+            if entry is not None and self._expired(entry):
                 del self._entries[key]
                 self.expirations += 1
+                entry = None
+            if entry is None:
+                entry = self._from_store(key)
+            if entry is None:
                 return None
             if entry.epsilon != epsilon or entry.delta != delta:
                 return None
@@ -181,11 +230,19 @@ class ResultCache:
         returned — the normal :meth:`lookup` path serves those.  No hit/miss
         counters move (the preceding ordinary lookup already counted the
         miss); recency is refreshed, since a refined entry is about to be
-        rewritten tighter.
+        rewritten tighter.  A persisted continuation state restored from the
+        store works here too: unpickling recreates the estimator's lock and
+        its sufficient statistics resume exactly where they stopped.
         """
         with self._lock:
             entry = self._entries.get(key)
-            if entry is None or self._expired(entry):
+            if entry is not None and self._expired(entry):
+                del self._entries[key]
+                self.expirations += 1
+                entry = None
+            if entry is None:
+                entry = self._from_store(key)
+            if entry is None:
                 return None
             if entry.dominates(epsilon, delta):
                 return None
@@ -196,27 +253,105 @@ class ResultCache:
             return entry.result
 
     def put(
-        self, key: str, result: AggregateResult, epsilon: float, delta: float
+        self,
+        key: str,
+        result: AggregateResult,
+        epsilon: float,
+        delta: float,
+        meta: Optional[EntryMeta] = None,
     ) -> bool:
-        """Store an answer; returns ``False`` when a fresher, tighter entry wins."""
+        """Store an answer; returns ``False`` when a fresher, tighter entry wins.
+
+        ``meta`` carries the entry's plan provenance (digest + relation
+        footprint); entries that have it are written through to the attached
+        store with a wall-clock expiry.  Entries without it stay memory-only
+        and are conservatively invalidated by any relation update.
+        """
         with self._lock:
             now = self._clock()
             existing = self._entries.get(key)
-            if existing is not None and not self._expired(existing):
-                if existing.dominates(epsilon, delta):
+            if existing is not None:
+                if self._expired(existing):
+                    # Replacing an expired entry is an expiry event like any
+                    # other — the lazy-TTL counters must see it.
+                    del self._entries[key]
+                    self.expirations += 1
+                elif existing.dominates(epsilon, delta):
                     # The stored answer is at least as accurate: keep it (but
                     # refresh recency, the key is evidently hot).
                     self._entries.move_to_end(key)
                     return False
             expires_at = float("inf") if self.ttl is None else now + self.ttl
             self._entries[key] = CacheEntry(
-                result=result, epsilon=epsilon, delta=delta, expires_at=expires_at
+                result=result,
+                epsilon=epsilon,
+                delta=delta,
+                expires_at=expires_at,
+                meta=meta,
             )
             self._entries.move_to_end(key)
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 self.evictions += 1
+            if self.store is not None and meta is not None:
+                wall_expiry = (
+                    None if self.ttl is None else self._wall_clock() + self.ttl
+                )
+                self.store.put(key, result, epsilon, delta, meta, wall_expiry)
             return True
+
+    def invalidate_relations(self, names: Iterable[str]) -> int:
+        """Plan-aware invalidation: drop entries referencing any of ``names``.
+
+        Uses each entry's recorded relation footprint; entries whose
+        footprint is unknown (no meta, or a planless key) are conservatively
+        dropped.  Entries over disjoint footprints keep both their memory
+        slot and their store row — their keys did not change, so they remain
+        reachable and correct.  Returns the total dropped across both tiers.
+        """
+        targets = set(names)
+        if not targets:
+            return 0
+        with self._lock:
+            doomed = [
+                key
+                for key, entry in self._entries.items()
+                if entry.meta is None
+                or entry.meta.relations is None
+                or targets.intersection(entry.meta.relations)
+            ]
+            for key in doomed:
+                del self._entries[key]
+            dropped = len(doomed)
+            self.invalidations += dropped
+            if self.store is not None:
+                dropped += self.store.invalidate_relations(targets)
+        return dropped
+
+    def warm_from_store(self, limit: Optional[int] = None) -> int:
+        """Promote live store rows into memory (most recent first).
+
+        Called once at session startup so a fresh process serves its first
+        repeated queries from memory speed.  Returns the number promoted.
+        """
+        if self.store is None:
+            return 0
+        loaded = self.store.load_live(limit=limit or self.capacity)
+        promoted = 0
+        with self._lock:
+            # load_live is most-recent-first; insert in reverse so the most
+            # recently written row ends up most recently used.
+            for key, stored in reversed(loaded):
+                entry = self._entry_from_stored(stored)
+                if entry is None:
+                    continue
+                self._entries[key] = entry
+                self._entries.move_to_end(key)
+                promoted += 1
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+        return promoted
 
     def purge_expired(self) -> int:
         """Drop every expired entry eagerly; returns the number removed."""
@@ -225,12 +360,55 @@ class ResultCache:
             for key in dead:
                 del self._entries[key]
             self.expirations += len(dead)
-            return len(dead)
+            count = len(dead)
+            if self.store is not None:
+                count += self.store.purge_expired()
+            return count
 
     def clear(self) -> None:
-        """Drop all entries (counters are kept)."""
+        """Drop all in-memory entries (counters and the store are kept)."""
         with self._lock:
             self._entries.clear()
+
+    def _from_store(self, key: str) -> Optional[CacheEntry]:
+        """Read-through: promote a live store row into the LRU (lock held)."""
+        if self.store is None:
+            return None
+        stored = self.store.get(key)
+        metrics = self._metrics
+        if stored is None:
+            if metrics is not None:
+                metrics.record_store_miss()
+            return None
+        entry = self._entry_from_stored(stored)
+        if entry is None:
+            if metrics is not None:
+                metrics.record_store_miss()
+            return None
+        self._entries[key] = entry
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        if metrics is not None:
+            metrics.record_store_hit()
+        return entry
+
+    def _entry_from_stored(self, stored: StoredEntry) -> Optional[CacheEntry]:
+        """Convert a store row to a memory entry (wall expiry → monotonic)."""
+        if stored.expires_at is None:
+            expires_at = float("inf")
+        else:
+            remaining = stored.expires_at - self._wall_clock()
+            if remaining <= 0:
+                return None
+            expires_at = self._clock() + remaining
+        return CacheEntry(
+            result=stored.result,
+            epsilon=stored.epsilon,
+            delta=stored.delta,
+            expires_at=expires_at,
+            meta=stored.meta,
+        )
 
     def _expired(self, entry: CacheEntry) -> bool:
         return entry.expires_at < self._clock()

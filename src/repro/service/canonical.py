@@ -22,34 +22,154 @@ on the phase budget; what lines up is the *identity*, not the cache slots.)
 
 Query shapes with no plan form (a bare top-level complement — unbounded,
 never servable) fall back to a legacy structural rendering, so every AST
-keeps a stable key.  A database *fingerprint* — a hash of every stored
-relation's name, variable order and defining DNF formula — is folded into
-each request key so that mutating the database invalidates all of its
-entries at once.
+keeps a stable key.
+
+The *data* half of a key is plan-aware: a :class:`DatabaseFingerprint`
+records one digest per stored relation next to the whole-database hash, and
+a request key folds in only the restriction to the relations its plan
+actually scans.  A query over relation ``A`` therefore keeps its key — and
+its cache entries, in memory and on disk — when relation ``B`` is mutated;
+only entries whose plans reference the changed relation move to new keys.
+Planless shapes conservatively use the full fingerprint, so any mutation
+invalidates them.
 """
 
 from __future__ import annotations
 
 import hashlib
-from typing import Iterable
+from typing import Iterable, Mapping, Optional
 
 from repro.constraints.database import ConstraintDatabase
 from repro.plan.canonical import build_plan
-from repro.plan.nodes import CompilationError
+from repro.plan.nodes import CompilationError, referenced_relations
 from repro.queries.ast import QAnd, QConstraint, QExists, QNot, QOr, QRelation, Query
 
 
-def canonical_query(query: Query) -> str:
+def _hash(payload: str) -> str:
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+#: Fingerprint component standing in for a relation the database lacks.
+#: A plan scanning an undefined relation fails at execution, but its *key*
+#: must still be stable and must still react if the relation later appears.
+_MISSING = "<missing>"
+
+
+class DatabaseFingerprint:
+    """Per-relation content digests plus the whole-database hash.
+
+    ``full`` is the blunt fingerprint (hash over every relation) that pre-dates
+    plan-aware keying; ``restrict(names)`` hashes only the named relations'
+    digests, which is what plan-aware request keys fold in.  Restrictions are
+    memoised — a batch of requests over the same footprint pays for one hash.
+
+    Instances are immutable snapshots: mutate the database, take a new index,
+    and diff ``relations`` against the old one to learn which relations
+    actually changed.  The class is picklable (process backends ship it to
+    workers so subplan seeds derive identically on both sides).
+    """
+
+    __slots__ = ("full", "relations", "_restricted")
+
+    def __init__(self, full: str, relations: Mapping[str, str]) -> None:
+        self.full = full
+        self.relations = dict(relations)
+        self._restricted: dict[tuple[str, ...], str] = {}
+
+    def restrict(self, names: Optional[Iterable[str]]) -> str:
+        """The fingerprint of the sub-database the named relations span.
+
+        ``None`` means "unknown footprint" and yields the full fingerprint
+        (the conservative choice for planless queries).  Names are sorted and
+        de-duplicated, so any iterable ordering produces the same digest; a
+        name with no stored relation contributes a marker component, keeping
+        the key reactive to the relation's later creation.
+        """
+        if names is None:
+            return self.full
+        footprint = tuple(sorted(set(names)))
+        cached = self._restricted.get(footprint)
+        if cached is None:
+            parts = (
+                f"{name}={self.relations.get(name, _MISSING)}" for name in footprint
+            )
+            cached = _hash("rel-fp:" + "|".join(parts))
+            self._restricted[footprint] = cached
+        return cached
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, DatabaseFingerprint)
+            and self.full == other.full
+            and self.relations == other.relations
+        )
+
+    def __hash__(self) -> int:
+        return hash(self.full)
+
+    def __repr__(self) -> str:
+        return f"DatabaseFingerprint({self.full[:12]}…, {len(self.relations)} relations)"
+
+    def __getstate__(self) -> tuple[str, dict[str, str]]:
+        return (self.full, self.relations)
+
+    def __setstate__(self, state: tuple[str, dict[str, str]]) -> None:
+        self.full, self.relations = state
+        self._restricted = {}
+
+
+def relation_fingerprint(name: str, relation: object) -> str:
+    """The content digest of one stored relation instance."""
+    variables = ",".join(getattr(relation, "variables", ()))
+    return _hash(f"{name}|{variables}|{relation}")
+
+
+def fingerprint_index(database: ConstraintDatabase) -> DatabaseFingerprint:
+    """Snapshot the database as a :class:`DatabaseFingerprint`."""
+    relations: dict[str, str] = {}
+    digest = hashlib.sha256()
+    for name in sorted(database.names()):
+        relation = database.relation(name)
+        digest.update(name.encode())
+        digest.update(b"|")
+        digest.update(",".join(relation.variables).encode())
+        digest.update(b"|")
+        digest.update(str(relation).encode())
+        digest.update(b"#")
+        relations[name] = relation_fingerprint(name, relation)
+    return DatabaseFingerprint(digest.hexdigest(), relations)
+
+
+def plan_identity(query: "Query") -> tuple[str, Optional[tuple[str, ...]]]:
+    """The canonical digest of a query plus its relation footprint.
+
+    Returns ``(digest, relations)`` where ``relations`` is the sorted tuple
+    of stored-relation names the plan scans — or ``None`` for planless
+    shapes, whose footprint is unknown and must be treated as "everything".
+    """
+    try:
+        plan = build_plan(query)
+    except CompilationError:
+        return "legacy:" + _legacy_canonical(query), None
+    return plan.digest, referenced_relations(plan)
+
+
+def canonical_query(query: "Query") -> str:
     """A stable, structurally canonical serialization of a query AST.
 
     The canonical form *is* the logical plan's content digest; shapes the
     plan IR cannot express fall back to a legacy structural rendering
     (prefixed so the two namespaces can never collide).
     """
-    try:
-        return build_plan(query).digest
-    except CompilationError:
-        return "legacy:" + _legacy_canonical(query)
+    return plan_identity(query)[0]
+
+
+def compose_key(
+    kind: str, fingerprint: str, digest: str, extra: tuple = ()
+) -> str:
+    """Assemble a cache key from pre-resolved components."""
+    payload = "\x1f".join((kind, fingerprint, digest, *map(str, extra)))
+    return hashlib.sha256(payload.encode()).hexdigest()
 
 
 def subplan_key(fingerprint: str, digest: str, kind: str, extra: tuple = ()) -> str:
@@ -58,12 +178,13 @@ def subplan_key(fingerprint: str, digest: str, kind: str, extra: tuple = ()) -> 
     Mirrors :func:`request_key` with a plan digest in place of a query: the
     sharing broker stores union-member volume estimates under these keys, so
     any query containing the subtree — on any backend — finds them.
+    ``fingerprint`` should be the restriction to the subtree's footprint so
+    the entry survives mutations of unrelated relations.
     """
-    payload = "\x1f".join((kind, fingerprint, digest, *map(str, extra)))
-    return hashlib.sha256(payload.encode()).hexdigest()
+    return compose_key(kind, fingerprint, digest, extra)
 
 
-def _legacy_canonical(query: Query) -> str:
+def _legacy_canonical(query: "Query") -> str:
     """The pre-plan-IR structural rendering (kept for planless shapes)."""
     if isinstance(query, QRelation):
         return f"R:{query.name}({','.join(query.arguments)})"
@@ -90,7 +211,7 @@ def _legacy_canonical(query: Query) -> str:
     raise TypeError(f"unsupported query node {query!r}")
 
 
-def _flatten(query: Query, node_type: type) -> Iterable[str]:
+def _flatten(query: "Query", node_type: type) -> Iterable[str]:
     """Canonical operand strings of a (possibly nested) AND/OR chain."""
     for operand in query.operands:
         if isinstance(operand, node_type):
@@ -106,35 +227,35 @@ def database_fingerprint(database: ConstraintDatabase) -> str:
     every instance feed the digest; the rendering uses exact rational
     coefficients, so the fingerprint never suffers floating point drift.
     """
-    digest = hashlib.sha256()
-    for name in sorted(database.names()):
-        relation = database.relation(name)
-        digest.update(name.encode())
-        digest.update(b"|")
-        digest.update(",".join(relation.variables).encode())
-        digest.update(b"|")
-        digest.update(str(relation).encode())
-        digest.update(b"#")
-    return digest.hexdigest()
+    return fingerprint_index(database).full
 
 
 def request_key(
-    query: Query,
-    database: ConstraintDatabase | str,
+    query: "Query",
+    database: "ConstraintDatabase | str | DatabaseFingerprint",
     kind: str = "volume",
     extra: tuple = (),
 ) -> str:
     """The cache key of one request: query structure + data + request kind.
 
-    ``database`` accepts a precomputed fingerprint string so batch callers can
-    amortise the fingerprint over many keys.  ``extra`` folds in any further
+    The data component is *plan-aware* when possible: given a database (or a
+    precomputed :class:`DatabaseFingerprint`), the key folds in only the
+    restriction to the relations the query's plan scans, so mutating an
+    unreferenced relation leaves the key — and its cache entries — intact.
+    A plain string fingerprint is used as-is (blunt whole-database keying,
+    kept for callers that amortise one fingerprint over many keys and accept
+    full invalidation on any mutation).  ``extra`` folds in any further
     discriminating parameters (*not* ε/δ — accuracy is handled by the cache's
     dominance rule, see :mod:`repro.service.cache`).
     """
-    fingerprint = (
-        database if isinstance(database, str) else database_fingerprint(database)
-    )
-    payload = "\x1f".join(
-        (kind, fingerprint, canonical_query(query), *map(str, extra))
-    )
-    return hashlib.sha256(payload.encode()).hexdigest()
+    digest, relations = plan_identity(query)
+    if isinstance(database, str):
+        fingerprint = database
+    else:
+        index = (
+            database
+            if isinstance(database, DatabaseFingerprint)
+            else fingerprint_index(database)
+        )
+        fingerprint = index.restrict(relations)
+    return compose_key(kind, fingerprint, digest, extra)

@@ -150,10 +150,12 @@ def _run_batch_phases(
     # Phase 1 — resolve keys and consult the pre-batch cache state.
     resolved = []  # (index, key, epsilon, delta, cached_result | None)
     unique: dict[str, tuple[int, float, float]] = {}
+    metas = {}  # key -> EntryMeta (store provenance for the commit phase)
     with tracer.span("batch-resolve") as resolve_span:
         for index, request in enumerate(normalized):
             epsilon, delta = session._resolve_accuracy(request.epsilon, request.delta)
-            key = session.key_for(request.query)
+            key, meta = session.resolve_request(request.query)
+            metas[key] = meta
             cached, dominance = session.cache.lookup(key, epsilon, delta)
             if cached is not None:
                 session.metrics.record_cache_hit(dominance=dominance)
@@ -272,7 +274,7 @@ def _run_batch_phases(
             # (tighter or equal — a refined continuation keeps its original
             # budget); storing that δ keeps the entry maximally reusable.
             delta = result.refinable.delta if result.refinable is not None else plan.delta
-            session.cache.put(key, result, plan.epsilon, delta)
+            session.cache.put(key, result, plan.epsilon, delta, meta=metas.get(key))
         outcomes: list[BatchOutcome] = []
         for index, key, epsilon, delta, cached in resolved:
             if cached is not None:

@@ -44,6 +44,9 @@ class ServiceMetrics:
         self.subplan_hits = 0
         self.subplan_misses = 0
         self.subplan_stores = 0
+        self.store_hits = 0
+        self.store_misses = 0
+        self.store_invalidations = 0
         self.plan_choices: Counter[str] = Counter()
         self.backend_choices: Counter[str] = Counter()
         self.backend_units: Counter[str] = Counter()
@@ -92,6 +95,21 @@ class ServiceMetrics:
         """Count a subplan estimate banked for later queries."""
         with self._lock:
             self.subplan_stores += 1
+
+    def record_store_hit(self) -> None:
+        """Count an in-memory miss served from the persistent store."""
+        with self._lock:
+            self.store_hits += 1
+
+    def record_store_miss(self) -> None:
+        """Count a lookup that missed both the memory and disk tiers."""
+        with self._lock:
+            self.store_misses += 1
+
+    def record_store_invalidations(self, count: int) -> None:
+        """Count entries dropped by plan-aware relation invalidation."""
+        with self._lock:
+            self.store_invalidations += count
 
     def record_plan(self, estimator: str) -> None:
         """Count one plan choice."""
@@ -155,6 +173,9 @@ class ServiceMetrics:
                 "subplan_hits": self.subplan_hits,
                 "subplan_misses": self.subplan_misses,
                 "subplan_stores": self.subplan_stores,
+                "store_hits": self.store_hits,
+                "store_misses": self.store_misses,
+                "store_invalidations": self.store_invalidations,
                 "hit_rate": self._hit_rate_locked(),
                 "plan_choices": dict(self.plan_choices),
                 "backend_choices": dict(self.backend_choices),
@@ -179,6 +200,9 @@ class ServiceMetrics:
             "subplan_hits",
             "subplan_misses",
             "subplan_stores",
+            "store_hits",
+            "store_misses",
+            "store_invalidations",
         ):
             rows.append((name, snap[name]))
         rows.append(("hit_rate", round(snap["hit_rate"], 4)))

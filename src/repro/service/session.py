@@ -23,12 +23,14 @@ from __future__ import annotations
 
 import logging
 import time
+from pathlib import Path
 from threading import Lock
 from typing import Callable
 
 import numpy as np
 
 from repro.constraints.database import ConstraintDatabase
+from repro.constraints.relations import GeneralizedRelation
 from repro.core.observable import GeneratorParams, ObservableRelation
 from repro.queries.aggregates import AggregateResult, exact_volume
 from repro.queries.ast import Query
@@ -36,10 +38,16 @@ from repro.queries.compiler import compile_plan, compile_query
 from repro.queries.symbolic import evaluate_symbolic
 from repro.sampling.rng import RandomState, ensure_rng
 from repro.service.cache import ResultCache
-from repro.service.canonical import database_fingerprint, request_key
+from repro.service.canonical import (
+    DatabaseFingerprint,
+    compose_key,
+    fingerprint_index,
+    plan_identity,
+)
 from repro.service.metrics import ServiceMetrics
 from repro.service.planner import Plan, Planner, telescoping_samples_per_phase
 from repro.service.sharing import SubplanBroker, harvest_subplans
+from repro.store import EntryMeta, ResultStore
 from repro.telemetry.tracer import NULL_TRACER, Tracer, activate, current_tracer
 from repro.volume.monte_carlo import monte_carlo_volume
 
@@ -244,6 +252,11 @@ class ServiceSession:
         :class:`~repro.telemetry.tracer.RecordingTracer` to capture full
         request traces.  Tracing never touches the random streams, so traced
         and untraced sessions serve bit-identical values (benchmark E21).
+    store:
+        A persistent :class:`~repro.store.ResultStore` (or a path to open
+        one at) backing the result cache as a write-through second tier.
+        The session warms its in-memory cache from the store at startup, so
+        a fresh process serves repeated queries bit-identically from disk.
     """
 
     def __init__(
@@ -256,6 +269,7 @@ class ServiceSession:
         compiled_capacity: int = 64,
         share_subplans: bool = True,
         tracer: Tracer | None = None,
+        store: "ResultStore | str | Path | None" = None,
     ) -> None:
         self.database = database
         self.params = params if params is not None else GeneratorParams()
@@ -263,10 +277,16 @@ class ServiceSession:
         self.planner = planner if planner is not None else Planner()
         self.cache = cache if cache is not None else ResultCache()
         self.metrics = metrics if metrics is not None else ServiceMetrics()
-        self._fingerprint = database_fingerprint(database)
+        self._fingerprints = fingerprint_index(database)
+        self._fingerprint = self._fingerprints.full
         self.share_subplans = share_subplans
+        if store is not None:
+            if not isinstance(store, ResultStore):
+                store = ResultStore(store)
+            self.cache.attach_store(store)
+        self.cache.bind_metrics(self.metrics)
         self._broker = SubplanBroker(
-            fingerprint=self._fingerprint,
+            fingerprint=self._fingerprints,
             cache=self.cache,
             metrics=self.metrics,
             reuse=share_subplans,
@@ -274,32 +294,87 @@ class ServiceSession:
         self._compiled: dict[str, ObservableRelation] = {}
         self._compiled_capacity = compiled_capacity
         self._lock = Lock()
+        if self.cache.store is not None:
+            self.cache.warm_from_store()
 
     # ------------------------------------------------------------------
     # Keys and plans
     # ------------------------------------------------------------------
     @property
     def fingerprint(self) -> str:
-        """The database fingerprint baked into every cache key."""
+        """The whole-database fingerprint (plan-aware keys restrict it)."""
         return self._fingerprint
+
+    @property
+    def fingerprints(self) -> DatabaseFingerprint:
+        """The per-relation fingerprint index cache keys are derived from."""
+        return self._fingerprints
+
+    @property
+    def store(self) -> ResultStore | None:
+        """The persistent tier behind the result cache, if any."""
+        return self.cache.store
 
     def refresh_fingerprint(self) -> str:
         """Recompute the fingerprint after a database mutation.
 
-        Old cache entries become unreachable (their keys embed the stale
-        fingerprint) and age out through LRU/TTL.
+        Invalidation is plan-aware: the per-relation fingerprints are
+        diffed against the previous snapshot, and only cache entries (in
+        memory and on disk) whose plans reference a changed relation are
+        dropped — an entry over a disjoint footprint keeps its key and
+        stays servable, bit-identical to a cold recompute over the mutated
+        database.
         """
-        self._fingerprint = database_fingerprint(self.database)
-        self._broker.fingerprint = self._fingerprint
+        old = self._fingerprints
+        new = fingerprint_index(self.database)
+        self._fingerprints = new
+        self._fingerprint = new.full
+        self._broker.fingerprint = new
+        changed = {
+            name
+            for name in set(old.relations) | set(new.relations)
+            if old.relations.get(name) != new.relations.get(name)
+        }
+        if changed:
+            dropped = self.cache.invalidate_relations(changed)
+            self.metrics.record_store_invalidations(dropped)
         # Compiled plans embed member streams derived from the old data
-        # version; drop them with the fingerprint they belong to.
+        # version; drop them with the fingerprint they belong to.  (Plans
+        # over unchanged relations recompile to identical objects and find
+        # their surviving subplan entries primed back from the cache.)
         with self._lock:
             self._compiled.clear()
         return self._fingerprint
 
+    def update_relation(self, name: str, relation: GeneralizedRelation) -> str:
+        """Replace one stored relation and incrementally invalidate.
+
+        The convenience mutation path: entries whose plans do not scan
+        ``name`` survive in both cache tiers.  Returns the new fingerprint.
+        """
+        self.database.set_relation(name, relation)
+        return self.refresh_fingerprint()
+
+    def resolve_request(
+        self, query: Query, kind: str = "volume"
+    ) -> tuple[str, EntryMeta]:
+        """The cache key of a request plus its store provenance.
+
+        The key folds in the restriction of the database fingerprint to the
+        relations the query's plan scans; the meta records that footprint so
+        the persistent tier can invalidate incrementally.
+        """
+        digest, relations = plan_identity(query)
+        fingerprint = self._fingerprints.restrict(relations)
+        key = compose_key(kind, fingerprint, digest)
+        meta = EntryMeta(
+            kind=kind, digest=digest, relations=relations, fingerprint=fingerprint
+        )
+        return key, meta
+
     def key_for(self, query: Query, kind: str = "volume") -> str:
         """The structural cache key of a request."""
-        return request_key(query, self._fingerprint, kind)
+        return self.resolve_request(query, kind)[0]
 
     def explain(
         self, query: Query, epsilon: float | None = None, delta: float | None = None
@@ -327,16 +402,21 @@ class ServiceSession:
         being recomputed from scratch.
         """
         epsilon, delta = self._resolve_accuracy(epsilon, delta)
-        key = self.key_for(query)
+        key, meta = self.resolve_request(query)
         with activate(self.tracer), self.tracer.span(
             "volume", key=key[:16], epsilon=epsilon, delta=delta
         ) as span:
             if use_cache:
                 with self.tracer.span("cache-lookup"):
-                    cached, dominance = self.cache.lookup(key, epsilon, delta)
+                    cached, dominance, source = self.cache.lookup_with_source(
+                        key, epsilon, delta
+                    )
                 if cached is not None:
                     self.metrics.record_cache_hit(dominance=dominance)
-                    span.annotate(cache="dominance" if dominance else "hit")
+                    if source == "store":
+                        span.annotate(cache="store")
+                    else:
+                        span.annotate(cache="dominance" if dominance else "hit")
                     return cached
                 self.metrics.record_cache_miss()
                 span.annotate(cache="miss")
@@ -346,13 +426,13 @@ class ServiceSession:
             # sampling route — but never on the exact route, whose answer is
             # instant, error-free and dominates all future requests.
             if use_cache and plan.estimator != "exact":
-                refined = self._refine_cached(key, epsilon, delta)
+                refined = self._refine_cached(key, epsilon, delta, meta)
                 if refined is not None:
                     span.annotate(cache="refined")
                     return refined
             result = self._execute(plan, query, rng)
             if use_cache:
-                self.cache.put(key, result, plan.epsilon, plan.delta)
+                self.cache.put(key, result, plan.epsilon, plan.delta, meta=meta)
             return result
 
     def sample(
@@ -395,7 +475,11 @@ class ServiceSession:
     # Internals
     # ------------------------------------------------------------------
     def _refine_cached(
-        self, key: str, epsilon: float, delta: float
+        self,
+        key: str,
+        epsilon: float,
+        delta: float,
+        meta: EntryMeta | None = None,
     ) -> AggregateResult | None:
         """Continue a stale-but-refinable cached answer to the requested ε.
 
@@ -431,7 +515,7 @@ class ServiceSession:
             new_samples = int(estimate.details.get("new_samples", 0))
             if new_samples:
                 self.planner.observe_throughput(new_samples, elapsed, route="adaptive")
-        self.cache.put(key, refined, epsilon, refined.refinable.delta)
+        self.cache.put(key, refined, epsilon, refined.refinable.delta, meta=meta)
         return refined
 
     def compile_cached(

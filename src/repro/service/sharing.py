@@ -39,8 +39,7 @@ from __future__ import annotations
 
 import hashlib
 import threading
-from collections import defaultdict
-from typing import Iterable, Iterator, Sequence
+from typing import Iterable, Iterator, Optional, Sequence
 
 import numpy as np
 
@@ -51,7 +50,8 @@ from repro.core.projection import ProjectionObservable
 from repro.core.union import UnionObservable
 from repro.plan.lowering import SubplanSharing
 from repro.queries.aggregates import AggregateResult
-from repro.service.canonical import subplan_key
+from repro.service.canonical import DatabaseFingerprint, subplan_key
+from repro.store import EntryMeta
 from repro.volume.base import VolumeEstimate
 
 #: Cache-key kind for subplan-granular volume entries.
@@ -64,7 +64,14 @@ class SubplanBroker(SubplanSharing):
     Parameters
     ----------
     fingerprint:
-        The database fingerprint every key and seed is derived from.
+        The data identity every key and seed is derived from.  A
+        :class:`~repro.service.canonical.DatabaseFingerprint` enables
+        plan-aware keying: each member's key/seed folds in only the
+        restriction to the relations its subtree scans (registered by
+        lowering through :meth:`register_relations`), so banked entries
+        survive mutations of unrelated relations *and* match the streams a
+        cold session over the mutated database would derive.  A plain
+        string falls back to blunt whole-database keying.
     cache:
         The session's :class:`~repro.service.cache.ResultCache`, or ``None``
         for a *seed-only* broker (used by process workers for fallback
@@ -77,9 +84,13 @@ class SubplanBroker(SubplanSharing):
         no reuse.
     """
 
+    #: Above this many live locks, :meth:`_lock_for` prunes entries whose
+    #: keys are no longer cached (bounds memory under long-running serving).
+    lock_limit = 256
+
     def __init__(
         self,
-        fingerprint: str,
+        fingerprint: "str | DatabaseFingerprint",
         cache=None,
         metrics=None,
         reuse: bool = True,
@@ -88,18 +99,76 @@ class SubplanBroker(SubplanSharing):
         self.cache = cache
         self.metrics = metrics
         self.reuse = reuse and cache is not None
-        self._locks: defaultdict[str, threading.Lock] = defaultdict(threading.Lock)
+        self._relations: dict[str, tuple[str, ...]] = {}
+        self._locks: dict[str, threading.Lock] = {}
         self._locks_guard = threading.Lock()
 
+    @property
+    def fingerprint(self) -> str:
+        """The full (whole-database) fingerprint string."""
+        return self._fingerprint
+
+    @fingerprint.setter
+    def fingerprint(self, value: "str | DatabaseFingerprint") -> None:
+        if isinstance(value, DatabaseFingerprint):
+            self._index: Optional[DatabaseFingerprint] = value
+            self._fingerprint = value.full
+        else:
+            self._index = None
+            self._fingerprint = value
+
     # ------------------------------------------------------------------
-    # SubplanSharing hook (called by plan lowering)
+    # SubplanSharing hooks (called by plan lowering)
     # ------------------------------------------------------------------
+    def register_relations(self, digest: str, relations: tuple[str, ...]) -> None:
+        """Record which relations the subtree behind ``digest`` scans.
+
+        Lowering calls this for every digest it tags (before deriving the
+        member's seed), so by the time a key or seed is needed the footprint
+        is known.  Registration is content-addressed like everything else —
+        a digest's footprint is a function of the subtree, so re-registering
+        is idempotent.
+        """
+        self._relations[digest] = relations
+
+    def relations_for(self, digest: str) -> Optional[tuple[str, ...]]:
+        """The registered footprint of a (possibly suffixed) member digest.
+
+        Lowering derives two synthetic digest shapes from a subtree digest:
+        ``digest@order`` (a disjoin member re-aligned to the union's variable
+        order) and ``digest#dN`` (the N-th disjunct of a relation scan's DNF).
+        Both denote geometry carved out of the base subtree, so they share
+        its footprint.  ``None`` means unregistered — unknown footprint.
+        """
+        relations = self._relations.get(digest)
+        if relations is not None:
+            return relations
+        base = digest.split("@", 1)[0]
+        relations = self._relations.get(base)
+        if relations is not None:
+            return relations
+        return self._relations.get(base.split("#", 1)[0])
+
+    def _restricted(self, digest: str) -> str:
+        """The fingerprint component for ``digest``'s keys and seeds."""
+        if self._index is None:
+            return self._fingerprint
+        return self._index.restrict(self.relations_for(digest))
+
     def member_seed(
         self, digest: str, epsilon: float, delta: float, samples_per_phase: int
     ) -> int:
-        """Content-addressed seed: data + subplan + accuracy + phase budget."""
+        """Content-addressed seed: data + subplan + accuracy + phase budget.
+
+        The data component is the *restricted* fingerprint, so a member's
+        stream depends only on the relations its subtree scans: entries
+        surviving an unrelated mutation keep matching what a cold run over
+        the mutated database would compute — the bit-identity contract holds
+        across invalidation, not just within one database version.
+        """
         payload = (
-            f"{self.fingerprint}|{digest}|{epsilon!r}|{delta!r}|{samples_per_phase}"
+            f"{self._restricted(digest)}|{digest}|"
+            f"{epsilon!r}|{delta!r}|{samples_per_phase}"
         )
         return int.from_bytes(hashlib.sha256(payload.encode()).digest()[:8], "big")
 
@@ -123,7 +192,7 @@ class SubplanBroker(SubplanSharing):
         key = self._key(digest, samples_per_phase)
         result = self.cache.exact_lookup(key, epsilon, delta)
         if result is None:
-            result = self._continue_refinable(key, epsilon, delta)
+            result = self._continue_refinable(key, digest, epsilon, delta)
         if result is None or result.estimate is None:
             if self.metrics is not None:
                 self.metrics.record_subplan_miss()
@@ -155,6 +224,7 @@ class SubplanBroker(SubplanSharing):
             ),
             epsilon,
             delta,
+            meta=self._meta(digest),
         )
         if stored and self.metrics is not None:
             self.metrics.record_subplan_store()
@@ -200,15 +270,45 @@ class SubplanBroker(SubplanSharing):
     # ------------------------------------------------------------------
     def _key(self, digest: str, samples_per_phase: int) -> str:
         return subplan_key(
-            self.fingerprint, digest, SUBPLAN_KIND, (samples_per_phase,)
+            self._restricted(digest), digest, SUBPLAN_KIND, (samples_per_phase,)
+        )
+
+    def _meta(self, digest: str) -> EntryMeta:
+        return EntryMeta(
+            kind=SUBPLAN_KIND,
+            digest=digest,
+            relations=self.relations_for(digest),
+            fingerprint=self._restricted(digest),
         )
 
     def _lock_for(self, key: str) -> threading.Lock:
         with self._locks_guard:
-            return self._locks[key]
+            lock = self._locks.get(key)
+            if lock is None:
+                if len(self._locks) >= self.lock_limit:
+                    self._prune_locks_locked()
+                lock = self._locks[key] = threading.Lock()
+            return lock
+
+    def _prune_locks_locked(self) -> None:
+        """Drop locks whose keys are no longer live in the cache.
+
+        Compute-once locks are a *performance* device — losing one merely
+        risks a duplicate computation whose identical value the cache's
+        dominance rule deduplicates — so pruning an unlocked lock for a
+        cold key is always safe.  Held locks and locks for still-cached
+        keys are kept.
+        """
+        cache = self.cache
+        for key in list(self._locks):
+            lock = self._locks[key]
+            if lock.locked():
+                continue
+            if cache is None or key not in cache:
+                del self._locks[key]
 
     def _continue_refinable(
-        self, key: str, epsilon: float, delta: float
+        self, key: str, digest: str, epsilon: float, delta: float
     ) -> AggregateResult | None:
         """Continue a resumable subplan entry to the requested accuracy.
 
@@ -227,7 +327,9 @@ class SubplanBroker(SubplanSharing):
         if refined is None:
             return None
         assert refined.refinable is not None
-        self.cache.put(key, refined, epsilon, refined.refinable.delta)
+        self.cache.put(
+            key, refined, epsilon, refined.refinable.delta, meta=self._meta(digest)
+        )
         if self.metrics is not None:
             self.metrics.record_refinement()
         return refined

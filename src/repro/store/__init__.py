@@ -1,0 +1,24 @@
+"""Persistent content-addressed result store.
+
+The store is the durable second tier behind the service's in-memory
+:class:`~repro.service.cache.ResultCache`: request answers, subplan member
+estimates and pickled refinable continuation states written through to disk
+survive restarts, and a fresh :class:`~repro.service.session.ServiceSession`
+opened on the same path serves repeated queries bit-identically without
+recomputation.  Entries carry their plan's relation footprint, so a mutation
+of one relation invalidates only the entries whose plans reference it.
+"""
+
+from repro.store.result_store import (
+    SCHEMA_VERSION,
+    EntryMeta,
+    ResultStore,
+    StoredEntry,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "EntryMeta",
+    "ResultStore",
+    "StoredEntry",
+]

@@ -1,0 +1,412 @@
+"""SQLite-backed persistent content-addressed result store.
+
+Design notes
+------------
+
+*Content addressing.*  Keys are the service's request/subplan cache keys:
+SHA-256 over (kind, fingerprint, plan digest, extras), where the fingerprint
+component is the *restriction* of the database fingerprint to the relations
+the plan scans (:mod:`repro.service.canonical`).  Content addressing does
+the heavy lifting for correctness — a key can only ever map to one value, so
+serving a stored row is bit-identical to serving the in-memory entry it was
+written from, and mutating a relation *moves the keys* of every affected
+plan rather than leaving stale rows reachable.  Invalidation is therefore
+garbage collection, not a correctness mechanism: :meth:`invalidate_relations`
+drops the now-unreachable rows so the file does not grow without bound.
+
+*Persistence format.*  One SQLite file in WAL mode.  SQLite gives us atomic
+multi-statement writes, process-safety via file locking, and a queryable
+side table ``entry_relations`` mapping each key to the relations its plan
+references — exactly what plan-aware invalidation needs (``DELETE ... WHERE
+key IN (SELECT key FROM entry_relations WHERE relation IN ...)``).
+
+*Time.*  The in-memory cache measures TTLs on an injectable monotonic
+clock, which is meaningless across processes.  Stored rows instead carry a
+wall-clock epoch expiry (``expires_at``, seconds since the Unix epoch, or
+NULL for no TTL); :meth:`get` re-checks it on every read so a restored
+store never resurrects an expired entry.  The wall clock is injectable too
+(``clock=time.time``) so tests can drive expiry deterministically.
+
+*Robustness.*  A schema-version row guards the layout: opening a file
+written by a different version drops and recreates the schema (the store is
+a cache — losing it costs recomputation, not correctness).  A corrupt file
+(``sqlite3.DatabaseError`` on open) is moved aside to ``<path>.corrupt`` and
+replaced with a fresh store; an unpicklable payload deletes its own row and
+counts a corruption instead of propagating.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import sqlite3
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Optional
+
+SCHEMA_VERSION = 1
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS store_meta (
+    k TEXT PRIMARY KEY,
+    v TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS entries (
+    key TEXT PRIMARY KEY,
+    kind TEXT NOT NULL,
+    digest TEXT NOT NULL,
+    fingerprint TEXT NOT NULL,
+    known_relations INTEGER NOT NULL,
+    epsilon REAL NOT NULL,
+    delta REAL NOT NULL,
+    expires_at REAL,
+    refinable INTEGER NOT NULL,
+    payload BLOB NOT NULL,
+    created_at REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS entry_relations (
+    key TEXT NOT NULL,
+    relation TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_entry_relations_relation
+    ON entry_relations (relation);
+CREATE INDEX IF NOT EXISTS idx_entry_relations_key
+    ON entry_relations (key);
+"""
+
+
+@dataclass(frozen=True)
+class EntryMeta:
+    """Provenance a cache entry carries into the store.
+
+    ``relations`` is the plan's relation footprint (sorted names), or
+    ``None`` when the footprint is unknown (legacy/planless keys) — unknown
+    footprints are conservatively invalidated by *every* relation update.
+    ``fingerprint`` is the restricted fingerprint component of the key.
+    """
+
+    kind: str
+    digest: str
+    relations: Optional[tuple[str, ...]]
+    fingerprint: str
+
+
+@dataclass(frozen=True)
+class StoredEntry:
+    """One row read back from the store."""
+
+    result: object
+    epsilon: float
+    delta: float
+    expires_at: Optional[float]
+    meta: EntryMeta
+
+
+@dataclass
+class StoreStats:
+    """Operation counters (per open store handle, not persisted)."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    invalidations: int = 0
+    expirations: int = 0
+    corruptions: int = 0
+    extra: dict = field(default_factory=dict)
+
+    def snapshot(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "invalidations": self.invalidations,
+            "expirations": self.expirations,
+            "corruptions": self.corruptions,
+        }
+
+
+class ResultStore:
+    """Process-safe persistent tier for content-addressed results.
+
+    One connection per handle, serialized by a lock; concurrent *processes*
+    coordinate through SQLite's file locking (WAL mode, 30 s busy timeout).
+    All values are pickled — results, estimates and refinable continuation
+    states are plain picklable dataclasses by construction.
+    """
+
+    def __init__(
+        self,
+        path: "str | Path",
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self.path = Path(path)
+        self.clock = clock
+        self.stats = StoreStats()
+        self._lock = threading.Lock()
+        self._conn = self._open()
+
+    # -- lifecycle -----------------------------------------------------
+
+    def _open(self) -> sqlite3.Connection:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            return self._connect()
+        except sqlite3.DatabaseError:
+            # Corrupt or foreign file: move it aside and start fresh.  The
+            # store is a cache of recomputable answers, so this trades disk
+            # state for availability rather than refusing to start.
+            self.stats.corruptions += 1
+            quarantine = self.path.with_name(self.path.name + ".corrupt")
+            try:
+                os.replace(self.path, quarantine)
+            except OSError:
+                self.path.unlink(missing_ok=True)
+            return self._connect()
+
+    def _connect(self) -> sqlite3.Connection:
+        conn = sqlite3.connect(
+            self.path, timeout=30.0, check_same_thread=False
+        )
+        try:
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            version = conn.execute(
+                "SELECT v FROM store_meta WHERE k = 'schema_version'"
+            ).fetchone()
+        except sqlite3.OperationalError:
+            version = None  # fresh file (or pre-schema): create below
+        if version is not None and version[0] != str(SCHEMA_VERSION):
+            # Different layout: drop everything rather than guess at a
+            # migration — stored answers are recomputable.
+            conn.executescript(
+                "DROP TABLE IF EXISTS entries;"
+                "DROP TABLE IF EXISTS entry_relations;"
+                "DROP TABLE IF EXISTS store_meta;"
+            )
+        conn.executescript(_SCHEMA)
+        conn.execute(
+            "INSERT OR REPLACE INTO store_meta (k, v) VALUES ('schema_version', ?)",
+            (str(SCHEMA_VERSION),),
+        )
+        conn.commit()
+        return conn
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- writes --------------------------------------------------------
+
+    def put(
+        self,
+        key: str,
+        result: object,
+        epsilon: float,
+        delta: float,
+        meta: EntryMeta,
+        expires_at: Optional[float] = None,
+    ) -> bool:
+        """Persist one entry; returns whether the row was (re)written.
+
+        Mirrors the in-memory dominance rule loosely: an existing *live* row
+        that strictly dominates the candidate (tighter ε and δ) is kept; an
+        expired row is always replaced.
+        """
+        payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        refinable = 1 if getattr(result, "refinable", None) is not None else 0
+        now = self.clock()
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT epsilon, delta, expires_at FROM entries WHERE key = ?",
+                (key,),
+            ).fetchone()
+            if row is not None:
+                old_eps, old_delta, old_expiry = row
+                live = old_expiry is None or old_expiry > now
+                if live and old_eps <= epsilon and old_delta <= delta:
+                    return False
+            self._conn.execute("DELETE FROM entry_relations WHERE key = ?", (key,))
+            self._conn.execute(
+                "INSERT OR REPLACE INTO entries "
+                "(key, kind, digest, fingerprint, known_relations, epsilon, delta,"
+                " expires_at, refinable, payload, created_at) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    key,
+                    meta.kind,
+                    meta.digest,
+                    meta.fingerprint,
+                    0 if meta.relations is None else 1,
+                    epsilon,
+                    delta,
+                    expires_at,
+                    refinable,
+                    payload,
+                    now,
+                ),
+            )
+            if meta.relations:
+                self._conn.executemany(
+                    "INSERT INTO entry_relations (key, relation) VALUES (?, ?)",
+                    [(key, name) for name in meta.relations],
+                )
+            self._conn.commit()
+            self.stats.writes += 1
+        return True
+
+    # -- reads ---------------------------------------------------------
+
+    def get(self, key: str) -> Optional[StoredEntry]:
+        """Read one live entry, or ``None`` (expired rows are deleted)."""
+        now = self.clock()
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT kind, digest, fingerprint, known_relations, epsilon,"
+                " delta, expires_at, payload FROM entries WHERE key = ?",
+                (key,),
+            ).fetchone()
+            if row is None:
+                self.stats.misses += 1
+                return None
+            kind, digest, fingerprint, known, eps, delta, expires_at, payload = row
+            if expires_at is not None and expires_at <= now:
+                self._delete(key)
+                self.stats.expirations += 1
+                self.stats.misses += 1
+                return None
+            relations = self._relations_of(key) if known else None
+            try:
+                result = pickle.loads(payload)
+            except Exception:
+                # A torn or version-skewed payload: self-heal by dropping the
+                # row — the answer is recomputable.
+                self._delete(key)
+                self.stats.corruptions += 1
+                self.stats.misses += 1
+                return None
+            self.stats.hits += 1
+            return StoredEntry(
+                result=result,
+                epsilon=eps,
+                delta=delta,
+                expires_at=expires_at,
+                meta=EntryMeta(
+                    kind=kind,
+                    digest=digest,
+                    relations=relations,
+                    fingerprint=fingerprint,
+                ),
+            )
+
+    def load_live(self, limit: Optional[int] = None) -> list[tuple[str, StoredEntry]]:
+        """Every live entry, most recently written first (for cache warming)."""
+        now = self.clock()
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT key FROM entries "
+                "WHERE expires_at IS NULL OR expires_at > ? "
+                "ORDER BY created_at DESC",
+                (now,),
+            ).fetchall()
+        keys = [key for (key,) in rows]
+        if limit is not None:
+            keys = keys[:limit]
+        loaded: list[tuple[str, StoredEntry]] = []
+        for key in keys:
+            entry = self.get(key)
+            if entry is not None:
+                loaded.append((key, entry))
+        return loaded
+
+    def entries(self) -> list[tuple[str, str, Optional[tuple[str, ...]]]]:
+        """(key, kind, relations) of every row — introspection/demo helper."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT key, kind, known_relations FROM entries"
+            ).fetchall()
+            return [
+                (key, kind, self._relations_of(key) if known else None)
+                for key, kind, known in rows
+            ]
+
+    def __len__(self) -> int:
+        with self._lock:
+            (count,) = self._conn.execute("SELECT COUNT(*) FROM entries").fetchone()
+            return int(count)
+
+    # -- invalidation --------------------------------------------------
+
+    def invalidate_relations(self, names: Iterable[str]) -> int:
+        """Drop every entry whose plan references any of ``names``.
+
+        Entries with an *unknown* footprint (planless keys, which fold the
+        full database fingerprint into their key) are dropped too — their
+        keys changed, so the rows are unreachable garbage.  Entries whose
+        known footprint is disjoint from ``names`` keep their keys and
+        survive untouched.
+        """
+        targets = sorted(set(names))
+        if not targets:
+            return 0
+        marks = ",".join("?" for _ in targets)
+        with self._lock:
+            doomed = {
+                key
+                for (key,) in self._conn.execute(
+                    f"SELECT DISTINCT key FROM entry_relations WHERE relation IN ({marks})",
+                    targets,
+                )
+            }
+            doomed.update(
+                key
+                for (key,) in self._conn.execute(
+                    "SELECT key FROM entries WHERE known_relations = 0"
+                )
+            )
+            for key in doomed:
+                self._delete(key)
+            self._conn.commit()
+            self.stats.invalidations += len(doomed)
+            return len(doomed)
+
+    def purge_expired(self) -> int:
+        """Drop every expired row; returns how many were removed."""
+        now = self.clock()
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT key FROM entries WHERE expires_at IS NOT NULL AND expires_at <= ?",
+                (now,),
+            ).fetchall()
+            for (key,) in rows:
+                self._delete(key)
+            self._conn.commit()
+            self.stats.expirations += len(rows)
+            return len(rows)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._conn.execute("DELETE FROM entries")
+            self._conn.execute("DELETE FROM entry_relations")
+            self._conn.commit()
+
+    # -- internals -----------------------------------------------------
+
+    def _delete(self, key: str) -> None:
+        self._conn.execute("DELETE FROM entries WHERE key = ?", (key,))
+        self._conn.execute("DELETE FROM entry_relations WHERE key = ?", (key,))
+        self._conn.commit()
+
+    def _relations_of(self, key: str) -> tuple[str, ...]:
+        rows = self._conn.execute(
+            "SELECT relation FROM entry_relations WHERE key = ? ORDER BY relation",
+            (key,),
+        ).fetchall()
+        return tuple(name for (name,) in rows)

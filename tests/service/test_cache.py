@@ -82,6 +82,21 @@ class TestTTL:
         assert cache.put("k", _result(2.0, epsilon=0.3), 0.3, 0.1) is True
         assert cache.get("k", 0.3, 0.1).value == 2.0
 
+    def test_overwriting_expired_entry_counts_expiration(self):
+        # Regression: put() used to replace an expired entry silently, so a
+        # hot key whose entries always die between writes never showed up in
+        # the expiration counter — lookup-path and put-path expiries must
+        # count the same.
+        clock = FakeClock()
+        cache = ResultCache(capacity=4, ttl=10.0, clock=clock)
+        cache.put("k", _result(1.0), 0.2, 0.1)
+        clock.advance(11.0)
+        assert cache.put("k", _result(2.0), 0.2, 0.1) is True
+        assert cache.expirations == 1
+        clock.advance(11.0)
+        cache.put("k", _result(3.0), 0.2, 0.1)
+        assert cache.expirations == 2
+
 
 class TestDominance:
     def test_estimate_satisfies_mirrors_dominance(self):

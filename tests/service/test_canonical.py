@@ -7,7 +7,13 @@ from repro.constraints.database import ConstraintDatabase
 from repro.constraints.relations import GeneralizedRelation
 from repro.constraints.terms import LinearTerm
 from repro.queries.ast import QAnd, QConstraint, QNot, QOr, QRelation
-from repro.service.canonical import canonical_query, database_fingerprint, request_key
+from repro.service.canonical import (
+    canonical_query,
+    database_fingerprint,
+    fingerprint_index,
+    plan_identity,
+    request_key,
+)
 
 
 def _atom(name: str) -> QRelation:
@@ -80,11 +86,48 @@ class TestFingerprintAndKeys:
             self._database(2.0)
         )
 
-    def test_request_key_accepts_precomputed_fingerprint(self):
+    def test_request_key_accepts_precomputed_index(self):
         database = self._database()
-        fingerprint = database_fingerprint(database)
+        index = fingerprint_index(database)
         query = _atom("A")
-        assert request_key(query, database) == request_key(query, fingerprint)
+        assert request_key(query, database) == request_key(query, index)
+
+    def test_string_fingerprint_is_used_as_is(self):
+        # The legacy amortisation path: a plain string folds in unchanged
+        # (blunt whole-database keying), so it differs from the plan-aware
+        # key the database object produces for a single-relation query.
+        database = self._database()
+        query = _atom("A")
+        fingerprint = database_fingerprint(database)
+        blunt = request_key(query, fingerprint)
+        assert blunt == request_key(query, fingerprint)
+        assert blunt != request_key(query, database)
+
+    def test_plan_aware_key_survives_unrelated_mutation(self):
+        database = self._database()
+        database.set_relation(
+            "B", GeneralizedRelation.box({"x": (0, 1), "y": (0, 1)})
+        )
+        query = _atom("A")
+        before = request_key(query, database)
+        database.set_relation(
+            "B", GeneralizedRelation.box({"x": (0, 3), "y": (0, 3)})
+        )
+        assert request_key(query, database) == before
+        database.set_relation(
+            "A", GeneralizedRelation.box({"x": (0, 3), "y": (0, 1)})
+        )
+        assert request_key(query, database) != before
+
+    def test_plan_identity_reports_footprint(self):
+        digest, relations = plan_identity(QAnd((_atom("A"), _atom("B"))))
+        assert relations == ("A", "B")
+        assert digest == canonical_query(QAnd((_atom("B"), _atom("A"))))
+
+    def test_planless_query_has_unknown_footprint(self):
+        digest, relations = plan_identity(QNot(_atom("A")))
+        assert digest.startswith("legacy:")
+        assert relations is None
 
     def test_request_key_separates_kinds(self):
         database = self._database()

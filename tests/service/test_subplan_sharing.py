@@ -262,3 +262,54 @@ class TestMetricsSnapshot:
         with pytest.raises(IndexError):
             union.prime_member_volume(5, None)  # type: ignore[arg-type]
         assert box is not None
+
+
+class TestLockPruning:
+    """The broker's compute-once locks must not grow without bound."""
+
+    def _broker(self, capacity: int = 4):
+        from repro.service.cache import ResultCache
+        from repro.service.sharing import SubplanBroker
+
+        cache = ResultCache(capacity=capacity, ttl=None)
+        broker = SubplanBroker(fingerprint="fp", cache=cache)
+        broker.lock_limit = 8
+        return broker, cache
+
+    def test_cold_keys_are_pruned(self):
+        broker, _ = self._broker()
+        for index in range(100):
+            broker._lock_for(f"cold-{index}")
+        # Every pruning pass drops all unlocked locks for uncached keys, so
+        # the table stays bounded by the limit regardless of traffic.
+        assert len(broker._locks) <= broker.lock_limit
+
+    def test_cached_keys_keep_their_locks(self):
+        from repro.queries.aggregates import AggregateResult
+        from repro.volume.base import VolumeEstimate
+
+        broker, cache = self._broker(capacity=16)
+        live = [f"live-{index}" for index in range(3)]
+        for key in live:
+            estimate = VolumeEstimate(
+                value=1.0, epsilon=0.2, delta=0.1, method="test"
+            )
+            cache.put(
+                key,
+                AggregateResult(value=1.0, estimate=estimate, exact=False),
+                0.2,
+                0.1,
+            )
+            broker._lock_for(key)
+        for index in range(100):
+            broker._lock_for(f"cold-{index}")
+        for key in live:
+            assert key in broker._locks
+
+    def test_held_locks_survive_pruning(self):
+        broker, _ = self._broker()
+        held = broker._lock_for("held")
+        with held:
+            for index in range(100):
+                broker._lock_for(f"cold-{index}")
+            assert broker._locks["held"] is held

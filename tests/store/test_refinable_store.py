@@ -1,0 +1,139 @@
+"""RefinableEstimate continuation states through the persistent store.
+
+Satellite coverage for the pickle round-trip: the store persists the whole
+resumable estimator (its confidence-sequence statistics and its random
+generator are the sufficient statistics of the computation), so a restored
+entry must continue *bit-identically* to the live object it was written from.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.inference import AdaptiveMonteCarlo, RefinableEstimate
+from repro.inference.adaptive import AdaptiveConfig
+from repro.queries.aggregates import AggregateResult
+from repro.service.cache import ResultCache
+from repro.store import EntryMeta, ResultStore
+from repro.workloads.dumbbell import dumbbell
+
+
+def _refinable(rng: int = 3, **config) -> RefinableEstimate:
+    workload = dumbbell(4)
+    relation = workload.relation
+    box = relation.bounding_box()
+    bounds = [(float(box[v][0]), float(box[v][1])) for v in relation.variables]
+    estimator = AdaptiveMonteCarlo(
+        relation,
+        bounds,
+        delta=0.1,
+        rng=rng,
+        config=AdaptiveConfig(**config) if config else None,
+    )
+    estimator.run(0.2)
+    return RefinableEstimate(estimator, epsilon=0.2, delta=0.1)
+
+
+def _result(estimate: RefinableEstimate, volume=None) -> AggregateResult:
+    if volume is None:
+        volume = estimate.estimator.run(estimate.epsilon)  # certified: no-op
+    return AggregateResult(
+        value=volume.value, estimate=volume, exact=False, refinable=estimate
+    )
+
+
+def _meta() -> EntryMeta:
+    return EntryMeta(kind="volume", digest="d", relations=("A",), fingerprint="fp")
+
+
+def _store_roundtrip(tmp_path, estimate, volume=None) -> RefinableEstimate:
+    path = tmp_path / "s.db"
+    with ResultStore(path) as store:
+        store.put(
+            "k", _result(estimate, volume), estimate.epsilon, estimate.delta, _meta()
+        )
+    with ResultStore(path) as reopened:
+        restored = reopened.get("k")
+    assert restored is not None
+    return restored.result.refinable
+
+
+class TestRoundTrip:
+    def test_lock_recreated_and_usable(self, tmp_path):
+        restored = _store_roundtrip(tmp_path, _refinable())
+        assert isinstance(restored._lock, type(threading.Lock()))
+        with restored._lock:  # usable, not the pickled-away original
+            pass
+
+    def test_can_refine_to_preserved(self, tmp_path):
+        restored = _store_roundtrip(tmp_path, _refinable())
+        assert restored.can_refine_to(0.05, 0.1)
+        assert not restored.can_refine_to(0.05, 0.05)  # δ floor survives
+
+    def test_exhaustion_flag_preserved(self, tmp_path):
+        exhausted = _refinable(max_samples=600)
+        last = exhausted.refine(0.01)  # exhausts the tiny cap
+        assert exhausted.exhausted
+        restored = _store_roundtrip(tmp_path, exhausted, volume=last)
+        assert restored.exhausted
+        assert not restored.can_refine_to(0.05, 0.1)
+
+    def test_draws_and_accuracy_preserved(self, tmp_path):
+        live = _refinable()
+        restored = _store_roundtrip(tmp_path, live)
+        assert restored.draws == live.draws
+        assert restored.epsilon == live.epsilon
+        assert restored.delta == live.delta
+
+
+class TestWarmContinuationBitIdentity:
+    def test_restored_continuation_matches_live_refinement(self, tmp_path):
+        # Persist at ε=0.2, then refine the *live* object and a copy restored
+        # from a freshly opened store to ε=0.05: the restored generator state
+        # must resume the identical sample stream.
+        live = _refinable()
+        restored = _store_roundtrip(tmp_path, live)
+        live_estimate = live.refine(0.05)
+        restored_estimate = restored.refine(0.05)
+        assert restored_estimate.details["met"]
+        assert restored_estimate.value == live_estimate.value
+        assert restored.draws == live.draws
+
+    def test_warm_continuation_matches_cold_run(self, tmp_path):
+        # The E22 contract in miniature: stop at ε=0.2, persist, restore from
+        # a freshly opened store, continue to ε=0.05 — landing on the same
+        # bits as one uninterrupted ε=0.05 run with the same seed, while
+        # drawing only the difference in samples.
+        restored = _store_roundtrip(tmp_path, _refinable(rng=7))
+        drawn_before = restored.draws
+        warm = restored.refine(0.05)
+
+        cold = _refinable(rng=7)
+        cold_estimate = cold.estimator.run(0.05)
+        assert warm.value == cold_estimate.value
+        assert restored.draws == cold.draws
+        assert restored.draws > drawn_before  # it really continued, not reran
+
+    def test_refinable_lookup_serves_restored_entry(self, tmp_path):
+        # End-to-end through the cache tiers: a continuation state written by
+        # one cache is refinable after read-through in a second cache over a
+        # freshly opened store.
+        path = tmp_path / "s.db"
+        live = _refinable(rng=11)
+        store = ResultStore(path)
+        cache = ResultCache(capacity=4, ttl=None, store=store)
+        cache.put("k", _result(live), 0.2, 0.1, meta=_meta())
+        store.close()
+
+        second = ResultCache(capacity=4, ttl=None, store=ResultStore(path))
+        candidate = second.refinable_lookup("k", 0.05, 0.1)
+        assert candidate is not None
+        refined = candidate.refinable.refine(0.05)
+        assert refined.details["met"]
+        assert refined.value == _refinable(rng=11).refine(0.05).value
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))

@@ -1,0 +1,239 @@
+"""ResultStore: persistence, wall-clock expiry, invalidation, robustness."""
+
+from __future__ import annotations
+
+import sqlite3
+
+import pytest
+
+from repro.queries.aggregates import AggregateResult
+from repro.store import SCHEMA_VERSION, EntryMeta, ResultStore
+from repro.volume.base import VolumeEstimate
+
+
+def _result(value: float, epsilon: float = 0.2, delta: float = 0.1):
+    estimate = VolumeEstimate(value=value, epsilon=epsilon, delta=delta, method="test")
+    return AggregateResult(value=value, estimate=estimate, exact=False)
+
+
+def _meta(relations=("A",), kind="volume", digest="d", fingerprint="fp"):
+    return EntryMeta(
+        kind=kind, digest=digest, relations=relations, fingerprint=fingerprint
+    )
+
+
+class WallClock:
+    """A manually advanced wall-clock (epoch seconds) for expiry tests."""
+
+    def __init__(self, now: float = 1_000_000.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestRoundTrip:
+    def test_put_get_roundtrip(self, tmp_path):
+        with ResultStore(tmp_path / "s.db") as store:
+            assert store.put("k", _result(1.5), 0.2, 0.1, _meta()) is True
+            entry = store.get("k")
+            assert entry is not None
+            assert entry.result.value == 1.5
+            assert entry.epsilon == 0.2 and entry.delta == 0.1
+            assert entry.meta.relations == ("A",)
+            assert entry.meta.kind == "volume"
+
+    def test_entries_survive_reopen(self, tmp_path):
+        path = tmp_path / "s.db"
+        with ResultStore(path) as store:
+            store.put("k", _result(2.0), 0.2, 0.1, _meta())
+        with ResultStore(path) as reopened:
+            entry = reopened.get("k")
+            assert entry is not None and entry.result.value == 2.0
+            assert len(reopened) == 1
+
+    def test_unknown_footprint_roundtrips_as_none(self, tmp_path):
+        with ResultStore(tmp_path / "s.db") as store:
+            store.put("k", _result(1.0), 0.2, 0.1, _meta(relations=None))
+            assert store.get("k").meta.relations is None
+
+    def test_empty_footprint_roundtrips_as_empty(self, tmp_path):
+        # A pure-constraint plan scans no relations: () must not collapse to
+        # None, or invalidation would treat it as "unknown" and drop it.
+        with ResultStore(tmp_path / "s.db") as store:
+            store.put("k", _result(1.0), 0.2, 0.1, _meta(relations=()))
+            assert store.get("k").meta.relations == ()
+
+    def test_get_miss_counts(self, tmp_path):
+        with ResultStore(tmp_path / "s.db") as store:
+            assert store.get("absent") is None
+            assert store.stats.misses == 1
+
+
+class TestDominance:
+    def test_looser_does_not_overwrite_tighter(self, tmp_path):
+        with ResultStore(tmp_path / "s.db") as store:
+            store.put("k", _result(1.0, epsilon=0.05), 0.05, 0.05, _meta())
+            assert store.put("k", _result(2.0, epsilon=0.3), 0.3, 0.1, _meta()) is False
+            assert store.get("k").result.value == 1.0
+
+    def test_tighter_replaces_looser(self, tmp_path):
+        with ResultStore(tmp_path / "s.db") as store:
+            store.put("k", _result(1.0, epsilon=0.3), 0.3, 0.1, _meta())
+            assert store.put("k", _result(2.0, epsilon=0.05), 0.05, 0.05, _meta()) is True
+            assert store.get("k").result.value == 2.0
+
+
+class TestWallClockExpiry:
+    def test_expired_entry_not_served(self, tmp_path):
+        clock = WallClock()
+        with ResultStore(tmp_path / "s.db", clock=clock) as store:
+            store.put("k", _result(1.0), 0.2, 0.1, _meta(), expires_at=clock.now + 10)
+            assert store.get("k") is not None
+            clock.advance(11)
+            assert store.get("k") is None
+            assert store.stats.expirations == 1
+
+    def test_restored_store_does_not_resurrect_expired_entries(self, tmp_path):
+        # The satellite contract: expiry is wall-clock epoch, so an entry
+        # that dies while the process is down stays dead after a reopen —
+        # a monotonic deadline would reset with the process and resurrect it.
+        path = tmp_path / "s.db"
+        clock = WallClock()
+        with ResultStore(path, clock=clock) as store:
+            store.put("k", _result(1.0), 0.2, 0.1, _meta(), expires_at=clock.now + 10)
+        restarted = WallClock(clock.now + 60)  # "later", in a new process
+        with ResultStore(path, clock=restarted) as reopened:
+            assert reopened.get("k") is None
+            assert reopened.load_live() == []
+
+    def test_purge_expired(self, tmp_path):
+        clock = WallClock()
+        with ResultStore(tmp_path / "s.db", clock=clock) as store:
+            store.put("a", _result(1.0), 0.2, 0.1, _meta(), expires_at=clock.now + 5)
+            store.put("b", _result(2.0), 0.2, 0.1, _meta(), expires_at=None)
+            clock.advance(6)
+            assert store.purge_expired() == 1
+            assert len(store) == 1 and store.get("b") is not None
+
+    def test_replacing_expired_row_ignores_its_dominance(self, tmp_path):
+        clock = WallClock()
+        with ResultStore(tmp_path / "s.db", clock=clock) as store:
+            store.put(
+                "k", _result(1.0, epsilon=0.05), 0.05, 0.05, _meta(),
+                expires_at=clock.now + 5,
+            )
+            clock.advance(6)
+            assert store.put("k", _result(2.0, epsilon=0.3), 0.3, 0.1, _meta()) is True
+            assert store.get("k").result.value == 2.0
+
+
+class TestInvalidation:
+    def test_only_referencing_entries_dropped(self, tmp_path):
+        with ResultStore(tmp_path / "s.db") as store:
+            store.put("ka", _result(1.0), 0.2, 0.1, _meta(relations=("A",)))
+            store.put("kb", _result(2.0), 0.2, 0.1, _meta(relations=("B",)))
+            store.put("kab", _result(3.0), 0.2, 0.1, _meta(relations=("A", "B")))
+            assert store.invalidate_relations(["B"]) == 2
+            assert store.get("ka") is not None
+            assert store.get("kb") is None
+            assert store.get("kab") is None
+            assert store.stats.invalidations == 2
+
+    def test_unknown_footprint_is_conservatively_dropped(self, tmp_path):
+        with ResultStore(tmp_path / "s.db") as store:
+            store.put("k", _result(1.0), 0.2, 0.1, _meta(relations=None))
+            assert store.invalidate_relations(["whatever"]) == 1
+            assert store.get("k") is None
+
+    def test_empty_footprint_survives_everything(self, tmp_path):
+        with ResultStore(tmp_path / "s.db") as store:
+            store.put("k", _result(1.0), 0.2, 0.1, _meta(relations=()))
+            assert store.invalidate_relations(["A", "B"]) == 0
+            assert store.get("k") is not None
+
+    def test_no_targets_is_a_no_op(self, tmp_path):
+        with ResultStore(tmp_path / "s.db") as store:
+            store.put("k", _result(1.0), 0.2, 0.1, _meta())
+            assert store.invalidate_relations([]) == 0
+            assert len(store) == 1
+
+
+class TestRobustness:
+    def test_corrupt_file_is_quarantined(self, tmp_path):
+        path = tmp_path / "s.db"
+        path.write_bytes(b"this is not a sqlite database, not even close...")
+        with ResultStore(path) as store:
+            assert store.stats.corruptions == 1
+            assert len(store) == 0
+            store.put("k", _result(1.0), 0.2, 0.1, _meta())
+            assert store.get("k") is not None
+        assert (tmp_path / "s.db.corrupt").exists()
+
+    def test_schema_version_mismatch_recreates(self, tmp_path):
+        path = tmp_path / "s.db"
+        with ResultStore(path) as store:
+            store.put("k", _result(1.0), 0.2, 0.1, _meta())
+        conn = sqlite3.connect(path)
+        conn.execute(
+            "UPDATE store_meta SET v = ? WHERE k = 'schema_version'",
+            (str(SCHEMA_VERSION + 1),),
+        )
+        conn.commit()
+        conn.close()
+        with ResultStore(path) as reopened:
+            assert len(reopened) == 0  # dropped, not migrated-by-guess
+            reopened.put("k", _result(2.0), 0.2, 0.1, _meta())
+            assert reopened.get("k").result.value == 2.0
+
+    def test_unpicklable_payload_self_heals(self, tmp_path):
+        path = tmp_path / "s.db"
+        with ResultStore(path) as store:
+            store.put("k", _result(1.0), 0.2, 0.1, _meta())
+            conn = store._conn
+            conn.execute(
+                "UPDATE entries SET payload = ? WHERE key = 'k'", (b"\x80garbage",)
+            )
+            conn.commit()
+            assert store.get("k") is None
+            assert store.stats.corruptions == 1
+            assert len(store) == 0  # the torn row deleted itself
+
+    def test_load_live_is_most_recent_first(self, tmp_path):
+        clock = WallClock()
+        with ResultStore(tmp_path / "s.db", clock=clock) as store:
+            store.put("old", _result(1.0), 0.2, 0.1, _meta())
+            clock.advance(1)
+            store.put("new", _result(2.0), 0.2, 0.1, _meta())
+            keys = [key for key, _ in store.load_live()]
+            assert keys == ["new", "old"]
+            assert [key for key, _ in store.load_live(limit=1)] == ["new"]
+
+    def test_clear_empties_entries(self, tmp_path):
+        with ResultStore(tmp_path / "s.db") as store:
+            store.put("k", _result(1.0), 0.2, 0.1, _meta())
+            store.clear()
+            assert len(store) == 0
+            assert store.entries() == []
+
+    def test_process_safety_two_handles(self, tmp_path):
+        # Two open handles on the same file (stand-in for two processes —
+        # SQLite's file locking is what coordinates either way).
+        path = tmp_path / "s.db"
+        with ResultStore(path) as writer, ResultStore(path) as reader:
+            writer.put("k", _result(4.0), 0.2, 0.1, _meta())
+            entry = reader.get("k")
+            assert entry is not None and entry.result.value == 4.0
+
+    def test_missing_parent_directory_created(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "s.db"
+        with ResultStore(path) as store:
+            store.put("k", _result(1.0), 0.2, 0.1, _meta())
+        assert path.exists()
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))

@@ -1,0 +1,135 @@
+"""ServiceSession over a persistent store: restart warmth, invalidation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constraints import ConstraintDatabase
+from repro.constraints.relations import GeneralizedRelation
+from repro.core import GeneratorParams
+from repro.queries.ast import QAnd, QRelation
+from repro.service import Planner, ResultCache, ResultStore, ServiceSession
+
+
+def _database() -> ConstraintDatabase:
+    db = ConstraintDatabase()
+    db.set_relation("A", GeneralizedRelation.box({"x": (0, 2), "y": (0, 1)}))
+    db.set_relation("B", GeneralizedRelation.box({"x": (0, 3), "y": (0, 1)}))
+    return db
+
+
+def _sampling_session(db, path, **kwargs) -> ServiceSession:
+    # Zeroed limits force the telescoping route — the restart contract must
+    # hold for sampled answers, where bit-identity is not automatic.
+    return ServiceSession(
+        db,
+        params=GeneratorParams(gamma=0.3, epsilon=0.3, delta=0.2),
+        planner=Planner(exact_dimension_limit=0, monte_carlo_dimension_limit=0),
+        store=path,
+        **kwargs,
+    )
+
+
+def _qa() -> QRelation:
+    return QRelation("A", ("x", "y"))
+
+
+def _qb() -> QRelation:
+    return QRelation("B", ("x", "y"))
+
+
+class TestRestart:
+    def test_restarted_session_serves_bit_identical_from_disk(self, tmp_path):
+        path = tmp_path / "s.db"
+        first = _sampling_session(_database(), path)
+        value = first.volume(_qa(), rng=3).value
+        first.store.close()
+
+        # A fresh session (new cache, new broker, new everything) on the same
+        # store file: warmed at startup, it must serve the stored bits without
+        # touching the (different!) rng.
+        warmed = _sampling_session(_database(), path)
+        assert len(warmed.cache) > 0  # warmed before the first request
+        assert warmed.volume(_qa(), rng=999).value == value
+        assert warmed.cache.hits == 1
+        assert warmed.metrics.snapshot()["cache_hits"] == 1
+
+    def test_session_accepts_string_path(self, tmp_path):
+        session = ServiceSession(_database(), store=str(tmp_path / "s.db"))
+        assert isinstance(session.store, ResultStore)
+        session.volume(_qa())
+        assert len(session.store) > 0
+
+    def test_read_through_counts_store_hits(self, tmp_path):
+        path = tmp_path / "s.db"
+        first = ServiceSession(_database(), store=path)
+        first.volume(_qa())
+        first.volume(_qb())
+        first.store.close()
+
+        # Capacity 1: warming keeps only the newest row, so the older query
+        # must fall through to disk — the read-through path the store_hits
+        # counter meters.
+        tiny = ServiceSession(
+            _database(), cache=ResultCache(capacity=1, ttl=None), store=path
+        )
+        tiny.volume(_qa())
+        assert tiny.metrics.snapshot()["store_hits"] == 1
+
+
+class TestIncrementalInvalidation:
+    def test_update_relation_keeps_disjoint_entries(self, tmp_path):
+        session = ServiceSession(_database(), store=tmp_path / "s.db")
+        va = session.volume(_qa()).value
+        session.volume(_qb())
+        session.volume(QAnd((_qa(), _qb())))
+
+        session.update_relation(
+            "B", GeneralizedRelation.box({"x": (0, 5), "y": (0, 1)})
+        )
+        # The A-only entry survives in both tiers; the B and A∧B entries are
+        # gone (their keys moved with B's fingerprint).
+        assert session.cache.get(session.key_for(_qa())) is not None
+        assert session.volume(_qa()).value == va
+        assert session.cache.hits >= 1
+        assert session.store.stats.invalidations >= 2
+        assert session.metrics.snapshot()["store_invalidations"] >= 2
+
+    def test_updated_relation_is_recomputed_fresh(self, tmp_path):
+        session = ServiceSession(_database(), store=tmp_path / "s.db")
+        before = session.volume(_qb()).value
+        session.update_relation(
+            "B", GeneralizedRelation.box({"x": (0, 6), "y": (0, 1)})
+        )
+        after = session.volume(_qb()).value
+        assert after != before  # exact areas: 3 vs 6 — no stale serve
+        assert after == 6.0
+
+    def test_survivors_visible_after_restart(self, tmp_path):
+        path = tmp_path / "s.db"
+        first = ServiceSession(_database(), store=path)
+        va = first.volume(_qa()).value
+        first.volume(_qb())
+        first.update_relation(
+            "B", GeneralizedRelation.box({"x": (0, 4), "y": (0, 1)})
+        )
+        first.store.close()
+
+        second = ServiceSession(_database(), store=path)
+        # Only the A entry survived the mutation; the restart still serves it.
+        assert second.volume(_qa()).value == va
+        assert second.cache.hits == 1
+
+    def test_noop_update_invalidates_nothing(self, tmp_path):
+        session = ServiceSession(_database(), store=tmp_path / "s.db")
+        session.volume(_qa())
+        count = len(session.store)
+        session.update_relation(
+            "A", GeneralizedRelation.box({"x": (0, 2), "y": (0, 1)})
+        )
+        assert len(session.store) == count
+        assert session.store.stats.invalidations == 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))

@@ -1,0 +1,192 @@
+"""Two-tier ResultCache ↔ ResultStore behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.queries.aggregates import AggregateResult
+from repro.service.cache import ResultCache
+from repro.store import EntryMeta, ResultStore
+from repro.volume.base import VolumeEstimate
+
+
+def _result(value: float, epsilon: float = 0.2, delta: float = 0.1):
+    estimate = VolumeEstimate(value=value, epsilon=epsilon, delta=delta, method="test")
+    return AggregateResult(value=value, estimate=estimate, exact=False)
+
+
+def _meta(relations=("A",)):
+    return EntryMeta(kind="volume", digest="d", relations=relations, fingerprint="fp")
+
+
+class MonotonicClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class WallClock:
+    def __init__(self, now: float = 1_000_000.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def _tiered(tmp_path, capacity=4, ttl=None):
+    wall = WallClock()
+    store = ResultStore(tmp_path / "s.db", clock=wall)
+    cache = ResultCache(capacity=capacity, ttl=ttl, store=store, wall_clock=wall)
+    return cache, store, wall
+
+
+class TestWriteThrough:
+    def test_put_with_meta_persists(self, tmp_path):
+        cache, store, _ = _tiered(tmp_path)
+        cache.put("k", _result(1.0), 0.2, 0.1, meta=_meta())
+        assert store.get("k").result.value == 1.0
+
+    def test_put_without_meta_stays_memory_only(self, tmp_path):
+        cache, store, _ = _tiered(tmp_path)
+        cache.put("k", _result(1.0), 0.2, 0.1)
+        assert cache.get("k", 0.3, 0.2) is not None
+        assert len(store) == 0
+
+    def test_eviction_does_not_delete_from_store(self, tmp_path):
+        cache, store, _ = _tiered(tmp_path, capacity=2)
+        for i in range(4):
+            cache.put(f"k{i}", _result(float(i)), 0.2, 0.1, meta=_meta())
+        assert len(cache) == 2 and cache.evictions == 2
+        assert len(store) == 4  # disk holds everything live
+
+    def test_wall_expiry_written_from_ttl(self, tmp_path):
+        wall = WallClock()
+        store = ResultStore(tmp_path / "s.db", clock=wall)
+        cache = ResultCache(capacity=4, ttl=100.0, store=store, wall_clock=wall)
+        cache.put("k", _result(1.0), 0.2, 0.1, meta=_meta())
+        assert store.get("k").expires_at == wall.now + 100.0
+
+
+class TestReadThrough:
+    def test_memory_miss_falls_through_and_promotes(self, tmp_path):
+        cache, store, _ = _tiered(tmp_path, capacity=2)
+        for i in range(3):  # k0 evicted from memory, still on disk
+            cache.put(f"k{i}", _result(float(i)), 0.2, 0.1, meta=_meta())
+        result, _, source = cache.lookup_with_source("k0", 0.3, 0.2)
+        assert result.value == 0.0 and source == "store"
+        # Promoted: the next lookup is a plain memory hit.
+        _, _, source = cache.lookup_with_source("k0", 0.3, 0.2)
+        assert source == "memory"
+
+    def test_store_hit_counts_as_cache_hit(self, tmp_path):
+        cache, store, _ = _tiered(tmp_path, capacity=1)
+        cache.put("a", _result(1.0), 0.2, 0.1, meta=_meta())
+        cache.put("b", _result(2.0), 0.2, 0.1, meta=_meta())  # evicts "a"
+        before = cache.hits
+        assert cache.get("a", 0.3, 0.2) is not None
+        assert cache.hits == before + 1
+
+    def test_dominance_applies_to_promoted_entries(self, tmp_path):
+        cache, store, _ = _tiered(tmp_path, capacity=1)
+        cache.put("a", _result(1.0, epsilon=0.2), 0.2, 0.1, meta=_meta())
+        cache.put("b", _result(2.0), 0.2, 0.1, meta=_meta())
+        assert cache.get("a", 0.05, 0.1) is None  # too loose even from disk
+
+    def test_exact_lookup_reads_through(self, tmp_path):
+        cache, store, _ = _tiered(tmp_path, capacity=1)
+        cache.put("a", _result(1.0), 0.2, 0.1, meta=_meta())
+        cache.put("b", _result(2.0), 0.2, 0.1, meta=_meta())
+        assert cache.exact_lookup("a", 0.2, 0.1).value == 1.0
+        assert cache.exact_lookup("a", 0.3, 0.1) is None
+
+
+class TestExpiryAcrossTiers:
+    def test_restored_store_does_not_resurrect_expired_entries(self, tmp_path):
+        # Satellite 3: a fresh cache warming from disk after "downtime" must
+        # not serve entries whose wall-clock expiry passed while no process
+        # was running.
+        wall = WallClock()
+        store = ResultStore(tmp_path / "s.db", clock=wall)
+        cache = ResultCache(capacity=4, ttl=50.0, store=store, wall_clock=wall)
+        cache.put("k", _result(1.0), 0.2, 0.1, meta=_meta())
+        store.close()
+
+        wall2 = WallClock(wall.now + 60)  # restart after the TTL elapsed
+        store2 = ResultStore(tmp_path / "s.db", clock=wall2)
+        cache2 = ResultCache(capacity=4, ttl=50.0, store=store2, wall_clock=wall2)
+        assert cache2.warm_from_store() == 0
+        assert cache2.get("k", 0.3, 0.2) is None
+
+    def test_restored_entry_keeps_remaining_lifetime(self, tmp_path):
+        wall = WallClock()
+        store = ResultStore(tmp_path / "s.db", clock=wall)
+        cache = ResultCache(capacity=4, ttl=50.0, store=store, wall_clock=wall)
+        cache.put("k", _result(1.0), 0.2, 0.1, meta=_meta())
+        store.close()
+
+        wall2 = WallClock(wall.now + 30)  # restart with 20 s of TTL left
+        mono = MonotonicClock()
+        store2 = ResultStore(tmp_path / "s.db", clock=wall2)
+        cache2 = ResultCache(
+            capacity=4, ttl=50.0, clock=mono, store=store2, wall_clock=wall2
+        )
+        assert cache2.warm_from_store() == 1
+        assert cache2.get("k", 0.3, 0.2) is not None
+        mono.advance(19)
+        wall2.advance(19)
+        assert cache2.get("k", 0.3, 0.2) is not None
+        mono.advance(2)  # past the original wall deadline
+        wall2.advance(2)
+        assert cache2.get("k", 0.3, 0.2) is None
+
+
+class TestWarming:
+    def test_warm_promotes_most_recent_first(self, tmp_path):
+        wall = WallClock()
+        store = ResultStore(tmp_path / "s.db", clock=wall)
+        cache = ResultCache(capacity=8, ttl=None, store=store, wall_clock=wall)
+        for i in range(4):
+            cache.put(f"k{i}", _result(float(i)), 0.2, 0.1, meta=_meta())
+            wall.advance(1)
+        store.close()
+
+        store2 = ResultStore(tmp_path / "s.db", clock=wall)
+        small = ResultCache(capacity=2, ttl=None, store=store2, wall_clock=wall)
+        assert small.warm_from_store() <= 2
+        # Under a tight capacity the *newest* rows survive the warm-up.
+        _, _, source = small.lookup_with_source("k3", 0.3, 0.2)
+        assert source == "memory"
+        _, _, source = small.lookup_with_source("k2", 0.3, 0.2)
+        assert source == "memory"
+
+    def test_warm_without_store_is_zero(self):
+        assert ResultCache(capacity=4, ttl=None).warm_from_store() == 0
+
+
+class TestInvalidationAcrossTiers:
+    def test_both_tiers_drop_referencing_entries(self, tmp_path):
+        cache, store, _ = _tiered(tmp_path, capacity=8)
+        cache.put("ka", _result(1.0), 0.2, 0.1, meta=_meta(("A",)))
+        cache.put("kb", _result(2.0), 0.2, 0.1, meta=_meta(("B",)))
+        dropped = cache.invalidate_relations(["A"])
+        assert dropped == 2  # one memory entry + one store row
+        assert cache.get("ka", 0.3, 0.2) is None  # not resurrectable from disk
+        assert cache.get("kb", 0.3, 0.2) is not None
+
+    def test_metaless_memory_entry_conservatively_dropped(self, tmp_path):
+        cache, store, _ = _tiered(tmp_path, capacity=8)
+        cache.put("k", _result(1.0), 0.2, 0.1)  # no meta: unknown footprint
+        assert cache.invalidate_relations(["anything"]) == 1
+        assert cache.get("k", 0.3, 0.2) is None
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))
