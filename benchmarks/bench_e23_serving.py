@@ -1,0 +1,438 @@
+"""Experiment E23 — the serving front end under many-client network load.
+
+The HTTP front end (:mod:`repro.serving`) is the last layer between the
+query engine and its users; E23 measures it the way a deployment would and
+gates the contracts that make it safe to put in front of shared traffic:
+
+* **Sustained throughput.**  An open-loop load generator (clients send on a
+  fixed schedule, never waiting for earlier responses) drives a mixed
+  repeated-query workload over the GIS map and reports sustained QPS with
+  p50/p99 latency — recorded for observability.
+
+* **Cross-client coalescing.**  Many clients ask the same cold, expensive
+  query concurrently.  Admissions count computations: one leader computes,
+  everyone else follows (or hits the freshly warmed cache), so the
+  requests-per-computation dedup ratio equals the client count.  Gated both
+  as a ratio (``coalescing_dedup_speedup``) and as the witness
+  ``dedup_ratio_gt_1``.
+
+* **Graceful overload.**  A flood of distinct expensive queries against a
+  deliberately tiny capacity must shed **explicitly**: every request gets a
+  response, every failure carries a machine-readable policy code, nothing
+  is silently dropped, and the requests that are admitted still succeed.
+
+* **Network bit-identity.**  A fresh server streaming a seeded anytime
+  query to its final ε must land on bits identical to
+  ``ServiceSession.submit_batch`` in process with the same seed — the
+  network layer adds zero value divergence.
+
+Booleans are enforced by ``check_regression.py`` against the committed
+``BENCH_e23_serving.json``; QPS and latency are recorded, not ratio-gated
+(they scale with the host, and ``cpu_count`` is recorded for context).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import os
+import statistics
+import threading
+import time
+from pathlib import Path
+
+from repro.harness import ExperimentResult, register_experiment
+from repro.queries.parser import parse_query
+from repro.serving import ServingConfig, ServingServer, build_session
+
+JSON_PATH = Path(__file__).resolve().parents[1] / "BENCH_e23_serving.json"
+
+SEED = 232323
+HYPER = "0 <= x <= 1 and 0 <= y <= 1 and 0 <= z <= 1 and 0 <= w <= 1"
+SIMPLEX = "Hyper(x, y, z, w) and x + y + z + w <= 2"
+
+LOAD_CLIENTS = 6
+LOAD_RATE = 120.0  # aggregate requests/second the open-loop schedule targets
+LOAD_DURATION = 4.0
+SMOKE_RATE = 60.0
+SMOKE_DURATION = 1.5
+COALESCE_CLIENTS = 8
+FLOOD_SIZE = 10
+
+
+class _ServerThread:
+    """A live server on an ephemeral port, hosted by a daemon thread."""
+
+    def __init__(self, config: ServingConfig) -> None:
+        self.config = config
+        self.server: ServingServer | None = None
+        self.port: int | None = None
+        self._ready = threading.Event()
+        self._loop = None
+        self._stop = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def __enter__(self) -> "_ServerThread":
+        self._thread.start()
+        if not self._ready.wait(timeout=15):
+            raise RuntimeError("serving benchmark server failed to start")
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=30)
+
+    def _run(self) -> None:
+        async def main():
+            self.server = ServingServer(self.config)
+            self._loop = asyncio.get_running_loop()
+            self._stop = asyncio.Event()
+            self.port = await self.server.start()
+            self._ready.set()
+            await self._stop.wait()
+            await self.server.stop()
+
+        asyncio.run(main())
+
+    def post(self, path: str, body: dict, timeout: float = 300.0):
+        connection = http.client.HTTPConnection("127.0.0.1", self.port, timeout=timeout)
+        try:
+            connection.request("POST", path, body=json.dumps(body))
+            response = connection.getresponse()
+            return response.status, json.loads(response.read() or b"{}")
+        finally:
+            connection.close()
+
+    def stream(self, body: dict, timeout: float = 300.0):
+        connection = http.client.HTTPConnection("127.0.0.1", self.port, timeout=timeout)
+        try:
+            connection.request("POST", "/v1/stream", body=json.dumps(body))
+            response = connection.getresponse()
+            lines = response.read().decode().splitlines()
+            return response.status, [json.loads(line) for line in lines if line.strip()]
+        finally:
+            connection.close()
+
+
+def _gis_config(**overrides) -> ServingConfig:
+    values = dict(port=0, workers=2, database_preset="gis", database_seed=7)
+    values.update(overrides)
+    return ServingConfig(**values)
+
+
+def _hyper_config(**overrides) -> ServingConfig:
+    values = dict(port=0, workers=2, database_relations={"Hyper": HYPER})
+    values.update(overrides)
+    return ServingConfig(**values)
+
+
+# ----------------------------------------------------------------------
+# Phase A — open-loop load
+# ----------------------------------------------------------------------
+def _load_phase(rate: float, duration: float) -> dict:
+    """Open-loop load over the GIS map: fixed arrival schedule, K clients."""
+    with _ServerThread(_gis_config()) as fixture:
+        names = fixture.server.session.database.names()
+        bodies = [{"query": f"{name}(x, y)"} for name in names]
+        bodies += [{"query": f"{name}(x, y) and x <= 5"} for name in names[:4]]
+
+        total = int(rate * duration)
+        latencies: list[float] = []
+        failures: list[int] = []
+        lock = threading.Lock()
+        start = time.perf_counter() + 0.2  # everyone shares one schedule origin
+
+        def client(worker: int) -> None:
+            for index in range(worker, total, LOAD_CLIENTS):
+                send_at = start + index / rate
+                delay = send_at - time.perf_counter()
+                if delay > 0:
+                    time.sleep(delay)
+                begin = time.perf_counter()
+                status, _ = fixture.post("/v1/query", bodies[index % len(bodies)])
+                elapsed = time.perf_counter() - begin
+                with lock:
+                    if status == 200:
+                        latencies.append(elapsed)
+                    else:
+                        failures.append(status)
+
+        threads = [
+            threading.Thread(target=client, args=(worker,))
+            for worker in range(LOAD_CLIENTS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - start
+    latencies.sort()
+    return {
+        "requests": total,
+        "completed": len(latencies),
+        "failed": len(failures),
+        "wall_seconds": wall,
+        "qps": len(latencies) / wall if wall > 0 else 0.0,
+        "p50_ms": 1e3 * statistics.median(latencies) if latencies else float("nan"),
+        "p99_ms": 1e3 * latencies[int(0.99 * (len(latencies) - 1))]
+        if latencies
+        else float("nan"),
+    }
+
+
+# ----------------------------------------------------------------------
+# Phase B — cross-client coalescing
+# ----------------------------------------------------------------------
+def _coalescing_phase(clients: int) -> dict:
+    """The same cold expensive query from every client at once."""
+    with _ServerThread(_hyper_config()) as fixture:
+        body = {"query": SIMPLEX, "epsilon": 0.02, "seed": SEED}
+        results: list[tuple[int, dict]] = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(clients)
+
+        def client() -> None:
+            barrier.wait()
+            outcome = fixture.post("/v1/query", body)
+            with lock:
+                results.append(outcome)
+
+        threads = [threading.Thread(target=client) for _ in range(clients)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        serving = fixture.server.stats.snapshot()
+    values = {payload.get("value") for status, payload in results if status == 200}
+    computations = max(serving["admitted"], 1)
+    return {
+        "clients": clients,
+        "answered": len(results),
+        "computations": serving["admitted"],
+        "followers": serving["coalesced_followers"],
+        "fast_path": serving["cache_fast_path"],
+        "dedup_ratio": len(results) / computations,
+        "identical": len(values) == 1,
+        "all_ok": all(status == 200 for status, _ in results),
+    }
+
+
+# ----------------------------------------------------------------------
+# Phase C — graceful overload
+# ----------------------------------------------------------------------
+def _overload_phase(flood: int) -> dict:
+    """Distinct expensive queries against a tiny capacity: shed, explicitly."""
+    config = _hyper_config(capacity_seconds=0.02, workers=1)
+    with _ServerThread(config) as fixture:
+        results: list[tuple[int, dict]] = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(flood)
+
+        def client(index: int) -> None:
+            # Distinct constants defeat both the cache and coalescing, so
+            # every request faces its own admission decision.
+            body = {
+                "query": f"Hyper(x, y, z, w) and 8*x + 8*y + 8*z + 8*w <= {8 + index}",
+                "epsilon": 0.05,
+                "seed": SEED + index,
+            }
+            barrier.wait()
+            outcome = fixture.post("/v1/query", body)
+            with lock:
+                results.append(outcome)
+
+        threads = [threading.Thread(target=client, args=(i,)) for i in range(flood)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        serving = fixture.server.stats.snapshot()
+
+    ok = [payload for status, payload in results if status == 200]
+    shed = [payload for status, payload in results if status in (503, 504)]
+    explicit = all(
+        payload.get("error", {}).get("code")
+        in ("overloaded", "queue_full", "deadline_unreachable", "deadline_exceeded")
+        for payload in shed
+    )
+    return {
+        "flood": flood,
+        "answered": len(results),
+        "served": len(ok),
+        "shed": len(shed),
+        "shed_counters": serving["shed_overload"] + serving["shed_queue_full"],
+        "every_request_answered": len(results) == flood,
+        "no_silent_drops": len(ok) + len(shed) == flood,
+        "sheds_explicitly": bool(shed) and explicit,
+        "serves_under_overload": bool(ok),
+    }
+
+
+# ----------------------------------------------------------------------
+# Phase D — network bit-identity
+# ----------------------------------------------------------------------
+def _bit_identity_phase() -> dict:
+    """Cold-server streamed final vs the in-process batch path, same seed."""
+    with _ServerThread(_hyper_config()) as fixture:
+        status, events = fixture.stream(
+            {"query": SIMPLEX, "epsilon": 0.08, "seed": SEED}
+        )
+    final = next(event for event in events if event["event"] == "final")
+    checkpoints = [event for event in events if event["event"] == "checkpoint"]
+
+    from repro.service.executor import BatchRequest
+
+    session = build_session(_hyper_config())
+    outcome = session.submit_batch(
+        [BatchRequest(parse_query(SIMPLEX), epsilon=0.08)], rng=SEED
+    )[0]
+    certified = [event["eps"] for event in checkpoints]
+    return {
+        "status": status,
+        "checkpoints": len(checkpoints),
+        "monotone": certified == sorted(certified, reverse=True),
+        "streamed_value": final["value"],
+        "batch_value": outcome.result.value,
+        "identical": final["value"] == outcome.result.value,
+    }
+
+
+@register_experiment("E23")
+def run_serving(
+    seed: int = SEED,
+    write_json: bool = True,
+    rate: float = LOAD_RATE,
+    duration: float = LOAD_DURATION,
+) -> ExperimentResult:
+    """Regenerate the E23 table: network serving under many-client load."""
+    result = ExperimentResult(
+        "E23",
+        "Serving front end: open-loop QPS, coalescing, shedding, bit-identity",
+        ["phase", "requests", "served", "shed", "metric"],
+        claim=(
+            "the HTTP front end sustains open-loop load, coalesces concurrent "
+            "identical queries into one computation, sheds overload explicitly "
+            "with zero silent drops, and streams finals bit-identical to the "
+            "in-process batch path"
+        ),
+    )
+
+    load = _load_phase(rate, duration)
+    coalesce = _coalescing_phase(COALESCE_CLIENTS)
+    overload = _overload_phase(FLOOD_SIZE)
+    identity = _bit_identity_phase()
+
+    result.add_row(
+        "open-loop load", load["requests"], load["completed"], load["failed"],
+        f"{load['qps']:.0f} qps, p50 {load['p50_ms']:.1f} ms, p99 {load['p99_ms']:.1f} ms",
+    )
+    result.add_row(
+        "coalescing", coalesce["clients"], coalesce["answered"] - coalesce["computations"],
+        0, f"dedup {coalesce['dedup_ratio']:.1f}x ({coalesce['computations']} computation)",
+    )
+    result.add_row(
+        "overload", overload["flood"], overload["served"], overload["shed"],
+        "explicit" if overload["sheds_explicitly"] else "SILENT DROP",
+    )
+    result.add_row(
+        "bit-identity", 1, 1, 0,
+        "identical" if identity["identical"] else "DIVERGED",
+    )
+    result.observe(
+        f"sustained {load['qps']:.0f} qps over {load['wall_seconds']:.1f}s "
+        f"(target rate {rate:.0f}/s), p99 {load['p99_ms']:.1f} ms"
+    )
+    result.observe(
+        f"{coalesce['clients']} concurrent identical queries -> "
+        f"{coalesce['computations']} computation(s), "
+        f"{coalesce['followers']} follower(s), {coalesce['fast_path']} cache hit(s)"
+    )
+    result.observe(
+        f"overload: {overload['served']} served + {overload['shed']} shed "
+        f"= {overload['answered']} of {overload['flood']} (zero silent drops: "
+        f"{'yes' if overload['no_silent_drops'] else 'NO'})"
+    )
+    result.observe(
+        "streamed final == in-process batch: "
+        + ("yes" if identity["identical"] else "NO")
+    )
+
+    metrics = {
+        "sustained_qps": load["qps"],
+        "p50_latency_ms": load["p50_ms"],
+        "p99_latency_ms": load["p99_ms"],
+        "coalescing_dedup_speedup": coalesce["dedup_ratio"],
+        "dedup_ratio_gt_1": coalesce["dedup_ratio"] > 1.0,
+        "coalesced_values_identical": coalesce["identical"] and coalesce["all_ok"],
+        "every_request_answered": overload["every_request_answered"]
+        and load["failed"] == 0,
+        "no_silent_drops": overload["no_silent_drops"],
+        "overload_sheds_explicitly": overload["sheds_explicitly"],
+        "serves_under_overload": overload["serves_under_overload"],
+        "stream_checkpoints_monotone": identity["monotone"]
+        and identity["checkpoints"] >= 1,
+        "streamed_final_bit_identical": identity["identical"],
+    }
+    result.details = dict(metrics)  # type: ignore[attr-defined]
+    if write_json:
+        JSON_PATH.write_text(
+            json.dumps(
+                {
+                    "experiment": "E23",
+                    "seed": seed,
+                    "clients": COALESCE_CLIENTS,
+                    "flood": FLOOD_SIZE,
+                    "cpu_count": os.cpu_count(),
+                    # Booleans are the gated witnesses; QPS and latency are
+                    # host-dependent observability numbers.  The dedup ratio
+                    # is deterministic (requests / admissions) and gated.
+                    **metrics,
+                },
+                indent=2,
+            )
+            + "\n"
+        )
+        result.observe(f"wrote {JSON_PATH.name}")
+    return result
+
+
+def test_benchmark_serving(benchmark):
+    result = benchmark.pedantic(
+        run_serving,
+        kwargs={"write_json": False, "rate": SMOKE_RATE, "duration": SMOKE_DURATION},
+        iterations=1,
+        rounds=1,
+    )
+    assert result.details["dedup_ratio_gt_1"]
+    assert result.details["coalesced_values_identical"]
+    assert result.details["no_silent_drops"]
+    assert result.details["overload_sheds_explicitly"]
+    assert result.details["streamed_final_bit_identical"]
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description="E23 serving front end")
+    parser.add_argument("--smoke", action="store_true", help="shorter load phase for CI")
+    arguments = parser.parse_args()
+    table = run_serving(
+        rate=SMOKE_RATE if arguments.smoke else LOAD_RATE,
+        duration=SMOKE_DURATION if arguments.smoke else LOAD_DURATION,
+    )
+    print(table.to_text())
+    details = table.details  # type: ignore[attr-defined]
+    for witness in (
+        "dedup_ratio_gt_1",
+        "coalesced_values_identical",
+        "every_request_answered",
+        "no_silent_drops",
+        "overload_sheds_explicitly",
+        "serves_under_overload",
+        "stream_checkpoints_monotone",
+        "streamed_final_bit_identical",
+    ):
+        if not details[witness]:
+            raise SystemExit(f"FAIL: {witness} is false")

@@ -1,0 +1,128 @@
+"""Serving front end demo: launch a server, stream an anytime query, scrape metrics.
+
+Run with ``PYTHONPATH=src python examples/serve_demo.py``.
+
+The demo starts a real :class:`~repro.serving.server.ServingServer` on an
+ephemeral port (the same thing ``repro serve`` runs), then acts as three
+different clients against it:
+
+1. a plain ``POST /v1/query`` — one JSON answer, served exactly;
+2. an anytime ``POST /v1/stream`` — certified ``(estimate, eps)``
+   checkpoints arriving as the adaptive estimator tightens, then a final
+   bit-identical to the in-process batch path;
+3. a Prometheus scrape of ``GET /metrics``.
+
+Set ``REPRO_SMOKE=1`` to run the streamed query at a looser ε (CI executes
+every example this way).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import os
+import threading
+
+from repro.serving import ServingConfig, ServingServer
+
+SMOKE = bool(os.environ.get("REPRO_SMOKE"))
+
+
+def start_server(config: ServingConfig) -> tuple[ServingServer, int, threading.Event]:
+    """Host the server on a daemon thread; returns (server, port, stop event)."""
+    holder: dict = {}
+    ready = threading.Event()
+
+    def run() -> None:
+        async def main():
+            server = ServingServer(config)
+            holder["server"] = server
+            holder["loop"] = asyncio.get_running_loop()
+            holder["stop"] = asyncio.Event()
+            holder["port"] = await server.start()
+            ready.set()
+            await holder["stop"].wait()
+            await server.stop()
+
+        asyncio.run(main())
+
+    threading.Thread(target=run, daemon=True).start()
+    ready.wait(timeout=15)
+    stop = threading.Event()
+
+    def shutdown() -> None:
+        holder["loop"].call_soon_threadsafe(holder["stop"].set)
+
+    stop.shutdown = shutdown  # type: ignore[attr-defined]
+    return holder["server"], holder["port"], stop
+
+
+def main() -> None:
+    config = ServingConfig(
+        port=0,
+        workers=2,
+        database_relations={
+            "Zone": "0 <= x <= 2 and 0 <= y <= 1",
+            "Hyper": "0 <= x <= 1 and 0 <= y <= 1 and 0 <= z <= 1 and 0 <= w <= 1",
+        },
+    )
+    server, port, stop = start_server(config)
+    print(f"server listening on 127.0.0.1:{port}")
+
+    # 1. One plain query: 2-d, so the planner answers exactly.
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+    connection.request(
+        "POST", "/v1/query", body=json.dumps({"query": "Zone(x, y) and x <= 1/2"})
+    )
+    payload = json.loads(connection.getresponse().read())
+    connection.close()
+    print(f"volume(Zone and x <= 1/2) = {payload['value']} (exact: {payload['exact']})")
+
+    # 2. An anytime stream: 4-d routes onto the adaptive estimator, and the
+    #    certified checkpoints arrive as NDJSON events.
+    epsilon = 0.2 if SMOKE else 0.08
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=300)
+    connection.request(
+        "POST",
+        "/v1/stream",
+        body=json.dumps(
+            {
+                "query": "Hyper(x, y, z, w) and x + y + z + w <= 2",
+                "epsilon": epsilon,
+                "seed": 7,
+            }
+        ),
+    )
+    response = connection.getresponse()
+    for line in response.read().decode().splitlines():
+        if not line.strip():
+            continue
+        event = json.loads(line)
+        if event["event"] == "accepted":
+            print(f"stream accepted (route: {event['route']}, target eps {epsilon})")
+        elif event["event"] == "checkpoint":
+            print(f"  checkpoint: estimate {event['estimate']:.4f} at eps {event['eps']}")
+        elif event["event"] == "final":
+            print(
+                f"  final: {event['value']:.6f} "
+                f"(certified eps {event['certified_epsilon']}, "
+                f"{event['samples_used']} samples)"
+            )
+    connection.close()
+
+    # 3. A Prometheus scrape, as a monitoring stack would do it.
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+    connection.request("GET", "/metrics")
+    exposition = connection.getresponse().read().decode()
+    connection.close()
+    print("metrics scrape (serving lines):")
+    for line in exposition.splitlines():
+        if line.startswith("repro_serving") and "_total" in line:
+            print(f"  {line}")
+
+    stop.shutdown()  # type: ignore[attr-defined]
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Check that every relative markdown link in the docs resolves.
+
+Usage::
+
+    python scripts/check_doc_links.py README.md docs/
+
+For each markdown file given (directories are walked for ``*.md``):
+
+* relative links must point at an existing file or directory, resolved
+  against the linking file's location;
+* ``#fragment`` links (own-file or cross-file) must match a heading's
+  GitHub anchor slug in the target document;
+* absolute ``http(s)`` links are *not* fetched — CI must not depend on
+  external hosts — but their syntax is validated.
+
+Exits non-zero listing every broken link.  Stdlib only.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+LINK_PATTERN = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+IMAGE_PATTERN = re.compile(r"\!\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_PATTERN = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE_PATTERN = re.compile(r"```.*?```", re.DOTALL)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading: lowercase, punctuation out, spaces to dashes."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_anchors(path: Path) -> set[str]:
+    content = CODE_FENCE_PATTERN.sub("", path.read_text(encoding="utf-8"))
+    return {github_slug(match) for match in HEADING_PATTERN.findall(content)}
+
+
+def check_file(path: Path) -> list[str]:
+    errors: list[str] = []
+    content = path.read_text(encoding="utf-8")
+    stripped = CODE_FENCE_PATTERN.sub("", content)
+    for pattern in (LINK_PATTERN, IMAGE_PATTERN):
+        for target in pattern.findall(stripped):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            base, _, fragment = target.partition("#")
+            destination = (path.parent / base).resolve() if base else path
+            if base and not destination.exists():
+                errors.append(f"{path}: broken link -> {target}")
+                continue
+            if fragment:
+                if destination.is_dir():
+                    errors.append(f"{path}: fragment on a directory -> {target}")
+                elif destination.suffix == ".md":
+                    if fragment not in heading_anchors(destination):
+                        errors.append(f"{path}: missing anchor -> {target}")
+    return errors
+
+
+def main(arguments: list[str]) -> int:
+    if not arguments:
+        print(__doc__)
+        return 2
+    files: list[Path] = []
+    for argument in arguments:
+        path = Path(argument)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        elif path.exists():
+            files.append(path)
+        else:
+            print(f"no such file: {argument}", file=sys.stderr)
+            return 2
+    errors: list[str] = []
+    for path in files:
+        errors.extend(check_file(path))
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(f"checked {len(files)} file(s): {len(errors)} broken link(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

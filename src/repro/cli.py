@@ -1,0 +1,249 @@
+"""The ``repro`` console entry point: deploy and query the serving front end.
+
+Two subcommands (full reference in ``docs/cli.md``):
+
+``repro serve``
+    Start the HTTP front end for a deployment described by a TOML config
+    file (:mod:`repro.serving.config`), with flag overrides for the common
+    knobs.
+
+``repro query``
+    Issue one volume query — against a running server (``--server``), or
+    in process against a config-described database when no server is given.
+    ``--stream`` switches to the anytime NDJSON protocol and prints each
+    certified checkpoint as it arrives.
+
+Exit codes are stable and scriptable:
+
+====  =========================================================
+code  meaning
+====  =========================================================
+0     success
+1     computation or server failure (``internal``)
+2     usage error: bad flags or config (argparse's convention)
+3     the query was rejected (``invalid_request`` / ``invalid_query``)
+4     shed by admission control (``overloaded`` / ``queue_full``)
+5     deadline (``deadline_unreachable`` / ``deadline_exceeded``)
+6     the server could not be reached
+====  =========================================================
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import sys
+import urllib.parse
+from typing import Any
+
+__all__ = ["main"]
+
+EXIT_OK = 0
+EXIT_INTERNAL = 1
+EXIT_USAGE = 2
+EXIT_REJECTED = 3
+EXIT_SHED = 4
+EXIT_DEADLINE = 5
+EXIT_UNREACHABLE = 6
+
+_CODE_EXITS = {
+    "invalid_request": EXIT_REJECTED,
+    "invalid_query": EXIT_REJECTED,
+    "not_found": EXIT_REJECTED,
+    "method_not_allowed": EXIT_REJECTED,
+    "overloaded": EXIT_SHED,
+    "queue_full": EXIT_SHED,
+    "deadline_unreachable": EXIT_DEADLINE,
+    "deadline_exceeded": EXIT_DEADLINE,
+    "internal": EXIT_INTERNAL,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Serve and query spatial constraint databases over HTTP.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    serve = commands.add_parser("serve", help="start the HTTP serving front end")
+    serve.add_argument("--config", help="deployment TOML file", default=None)
+    serve.add_argument("--host", help="bind address (overrides config)")
+    serve.add_argument("--port", type=int, help="bind port (overrides config)")
+    serve.add_argument("--preset", help="database preset (overrides config)")
+    serve.add_argument("--workers", type=int, help="compute threads (overrides config)")
+    serve.add_argument("--store", help="persistent result store path (overrides config)")
+
+    query = commands.add_parser("query", help="issue one volume query")
+    query.add_argument("query", help="query text, e.g. 'Zone(x, y) and x <= 1/2'")
+    query.add_argument("--server", help="server base URL, e.g. http://127.0.0.1:8787")
+    query.add_argument("--config", help="deployment TOML (in-process mode)", default=None)
+    query.add_argument("--epsilon", type=float, default=None)
+    query.add_argument("--delta", type=float, default=None)
+    query.add_argument("--seed", type=int, default=None)
+    query.add_argument("--deadline-ms", type=float, default=None)
+    query.add_argument("--priority", type=int, default=None)
+    query.add_argument(
+        "--stream", action="store_true", help="anytime NDJSON stream (server mode only)"
+    )
+    return parser
+
+
+def _load_config(path: str | None):
+    from repro.serving.config import ServingConfig, load_config
+
+    return load_config(path) if path else ServingConfig()
+
+
+def _cmd_serve(options: argparse.Namespace) -> int:
+    import dataclasses
+
+    from repro.serving.server import run_server
+
+    try:
+        config = _load_config(options.config)
+        overrides: dict[str, Any] = {}
+        if options.host is not None:
+            overrides["host"] = options.host
+        if options.port is not None:
+            overrides["port"] = options.port
+        if options.preset is not None:
+            overrides["database_preset"] = options.preset
+        if options.workers is not None:
+            overrides["workers"] = options.workers
+        if options.store is not None:
+            overrides["store_path"] = options.store
+        if overrides:
+            config = dataclasses.replace(config, **overrides)
+    except (OSError, ValueError) as error:
+        print(f"repro serve: bad configuration: {error}", file=sys.stderr)
+        return EXIT_USAGE
+    run_server(config)
+    return EXIT_OK
+
+
+def _request_body(options: argparse.Namespace) -> dict:
+    body: dict[str, Any] = {"query": options.query}
+    for name in ("epsilon", "delta", "seed", "deadline_ms", "priority"):
+        value = getattr(options, name)
+        if value is not None:
+            body[name] = value
+    return body
+
+
+def _cmd_query_remote(options: argparse.Namespace) -> int:
+    parsed = urllib.parse.urlparse(options.server)
+    if parsed.scheme not in ("http", "") or not (parsed.hostname or parsed.path):
+        print(f"repro query: bad server URL {options.server!r}", file=sys.stderr)
+        return EXIT_USAGE
+    host = parsed.hostname or parsed.path
+    port = parsed.port or 8787
+    path = "/v1/stream" if options.stream else "/v1/query"
+    try:
+        connection = http.client.HTTPConnection(host, port, timeout=600)
+        connection.request(
+            "POST",
+            path,
+            body=json.dumps(_request_body(options)),
+            headers={"Content-Type": "application/json"},
+        )
+        response = connection.getresponse()
+    except (ConnectionError, OSError) as error:
+        print(f"repro query: cannot reach {host}:{port}: {error}", file=sys.stderr)
+        return EXIT_UNREACHABLE
+
+    exit_code = EXIT_OK
+    try:
+        if options.stream and response.status == 200:
+            # NDJSON: print each event as it arrives; the final/error event
+            # decides the exit code.
+            buffer = b""
+            while True:
+                chunk = response.read(1)
+                if not chunk:
+                    break
+                buffer += chunk
+                while b"\n" in buffer:
+                    line, _, buffer = buffer.partition(b"\n")
+                    if not line.strip():
+                        continue
+                    event = json.loads(line)
+                    print(json.dumps(event), flush=True)
+                    if event.get("event") == "error":
+                        exit_code = _CODE_EXITS.get(
+                            event.get("error", {}).get("code", "internal"),
+                            EXIT_INTERNAL,
+                        )
+            return exit_code
+        payload = json.loads(response.read() or b"{}")
+        print(json.dumps(payload, indent=2))
+        if response.status != 200:
+            code = payload.get("error", {}).get("code", "internal")
+            return _CODE_EXITS.get(code, EXIT_INTERNAL)
+        return EXIT_OK
+    finally:
+        connection.close()
+
+
+def _cmd_query_local(options: argparse.Namespace) -> int:
+    from repro.serving.config import build_session
+    from repro.serving.protocol import ProtocolError, QueryRequest
+
+    try:
+        config = _load_config(options.config)
+    except (OSError, ValueError) as error:
+        print(f"repro query: bad configuration: {error}", file=sys.stderr)
+        return EXIT_USAGE
+    try:
+        request = QueryRequest.from_body(_request_body(options))
+    except ProtocolError as error:
+        print(f"repro query: {error}", file=sys.stderr)
+        return _CODE_EXITS.get(error.code, EXIT_REJECTED)
+    try:
+        session = build_session(config)
+        from repro.service.executor import BatchRequest
+
+        outcome = session.submit_batch(
+            [BatchRequest(request.query, epsilon=request.epsilon, delta=request.delta)],
+            rng=request.seed,
+        )[0]
+    except ValueError as error:
+        print(f"repro query: {error}", file=sys.stderr)
+        return EXIT_REJECTED
+    except Exception as error:
+        print(f"repro query: computation failed: {error}", file=sys.stderr)
+        return EXIT_INTERNAL
+    estimate = outcome.result.estimate
+    payload: dict[str, Any] = {
+        "value": outcome.result.value,
+        "exact": outcome.result.exact,
+        "cached": outcome.cached,
+        "route": outcome.plan.estimator,
+    }
+    if estimate is not None:
+        payload["certified_epsilon"] = estimate.epsilon
+        payload["samples_used"] = estimate.samples_used
+    print(json.dumps(payload, indent=2))
+    return EXIT_OK
+
+
+def _cmd_query(options: argparse.Namespace) -> int:
+    if options.stream and not options.server:
+        print("repro query: --stream requires --server", file=sys.stderr)
+        return EXIT_USAGE
+    if options.server:
+        return _cmd_query_remote(options)
+    return _cmd_query_local(options)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """The ``repro`` console entry point; returns the process exit code."""
+    options = _build_parser().parse_args(argv)
+    if options.command == "serve":
+        return _cmd_serve(options)
+    return _cmd_query(options)
+
+
+if __name__ == "__main__":  # pragma: no cover - direct execution convenience
+    sys.exit(main())

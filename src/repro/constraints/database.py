@@ -88,6 +88,13 @@ class ConstraintDatabase:
 
     The database checks that the stored relation's variable order matches the
     schema attributes, so queries can refer to attributes unambiguously.
+    Mutation goes through :meth:`set_relation`, which keeps the schema in
+    sync — the serving layer's fingerprints and cache invalidation build on
+    that single entry point.  Example::
+
+        db = ConstraintDatabase()
+        db.set_relation("Zone", parse_relation("0 <= x <= 2 and 0 <= y <= 1"))
+        db.relation("Zone").variables  # ("x", "y")
     """
 
     def __init__(

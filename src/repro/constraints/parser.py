@@ -305,7 +305,15 @@ class _Parser:
 
 
 def parse_formula(text: str) -> Formula:
-    """Parse a textual FO+LIN formula into an AST."""
+    """Parse a textual FO+LIN formula into an AST.
+
+    The surface syntax covers linear (in)equalities over rational constants
+    (``1/2``), chained comparisons (``0 <= x <= 1``), the connectives
+    ``and`` / ``or`` / ``not`` and quantifiers ``exists`` / ``forall``.
+    Example::
+
+        formula = parse_formula("exists y (0 <= y <= 1 and x + y <= 3/2)")
+    """
     tokens = _tokenize(text)
     if not tokens:
         raise ParseError("empty formula")

@@ -309,5 +309,10 @@ def _as_term_strict(value: "LinearTerm | Number") -> "LinearTerm":
 
 
 def variables(*names: str) -> tuple[LinearTerm, ...]:
-    """Convenience constructor: ``x, y = variables("x", "y")``."""
+    """Convenience constructor for a tuple of variable terms.
+
+    ``x, y = variables("x", "y")`` gives :class:`LinearTerm` handles that
+    compose with ``+``/``-``/scalar ``*`` and whose comparisons build
+    constraints: ``x + 2 * y <= 1`` is an :class:`AtomicConstraint`.
+    """
     return tuple(LinearTerm.variable(name) for name in names)

@@ -34,6 +34,11 @@ class GeneralizedTuple:
     and the meaning of coordinates when the tuple is handed to the geometric
     layer.  Variables mentioned by the constraints must all appear in the
     order; the order may list extra variables (free coordinates).
+    Example::
+
+        x, y = variables("x", "y")
+        cell = GeneralizedTuple([x >= 0, x <= y, y <= 1], ("x", "y"))
+        cell.contains_point((0.25, 0.5))  # True
     """
 
     __slots__ = ("_constraints", "_variables", "_hash", "_float_system")

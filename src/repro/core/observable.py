@@ -75,7 +75,19 @@ class GeneratorParams:
 
 
 class ObservableRelation(abc.ABC):
-    """A relation equipped with an almost uniform generator and a volume estimator."""
+    """A relation equipped with an almost uniform generator and a volume estimator.
+
+    The paper's central abstraction: anything observable supports
+    :meth:`generate` (one almost uniform point), :meth:`generate_many` and
+    :meth:`estimate_volume` under a ``(γ, ε, δ)`` contract, and the
+    combinators (:class:`UnionObservable`, :class:`IntersectionObservable`,
+    :class:`DifferenceObservable`, :class:`ProjectionObservable`) close the
+    class under the logical operators.  Example::
+
+        union = UnionObservable(members, params=GeneratorParams())
+        points = union.generate_many(500, rng=42)
+        estimate = union.estimate_volume(rng=42)
+    """
 
     #: Accuracy parameters the relation was constructed with.
     params: GeneratorParams

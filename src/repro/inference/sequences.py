@@ -177,7 +177,13 @@ class ConfidenceSequence:
 
     Subclasses implement :meth:`_radius`.  Instances hold only scalars, so
     they pickle cheaply and a restored copy continues the sequence exactly
-    where it left off.
+    where it left off.  Typical driver loop::
+
+        seq = HoeffdingSequence(delta=0.05)
+        while True:
+            seq.observe(draw(seq.pending()))
+            if seq.checkpoint().meets_ratio(epsilon):
+                break
     """
 
     def __init__(self, delta: float, schedule: CheckpointSchedule | None = None) -> None:
@@ -346,7 +352,12 @@ SEQUENCE_KINDS: dict[str, type[ConfidenceSequence]] = {
 def make_sequence(
     kind: str, delta: float, schedule: CheckpointSchedule | None = None
 ) -> ConfidenceSequence:
-    """Build a confidence sequence by registry name."""
+    """Build a confidence sequence by registry name.
+
+    ``make_sequence("empirical_bernstein", delta=0.05)`` — the indirection
+    the adaptive estimators use so a config string can pick the radius
+    family (``"hoeffding"`` or ``"empirical_bernstein"``).
+    """
     try:
         cls = SEQUENCE_KINDS[kind]
     except KeyError:

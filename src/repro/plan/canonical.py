@@ -44,7 +44,14 @@ from repro.queries.compiler import CompilationError
 
 
 def build_plan(query: Query) -> PlanNode:
-    """Translate a query AST into a normalized logical plan."""
+    """Translate a query AST into a normalized logical plan.
+
+    Flattens nested ``AND``/``OR`` chains, collapses structural duplicates,
+    cancels double negation and collects negated conjuncts into one
+    difference node — so structurally equivalent queries build plans with
+    equal digests.  ``build_plan(q).digest == build_plan(q2).digest``
+    whenever ``q`` and ``q2`` differ only by operand order or nesting.
+    """
     if isinstance(query, QRelation):
         return RelationScan(query.name, query.arguments)
     if isinstance(query, QConstraint):

@@ -119,7 +119,14 @@ def explain_plan(
     database: ConstraintDatabase,
     options: LoweringOptions | None = None,
 ) -> PlanExplanation:
-    """Canonicalize, rewrite and annotate a query's plan (no execution)."""
+    """Canonicalize, rewrite and annotate a query's plan (no execution).
+
+    Returns a :class:`PlanExplanation` whose nodes carry route and cost
+    annotations (symbolic vs observable, estimated samples); ``str()`` of
+    it renders the familiar indented EXPLAIN tree.  Example::
+
+        print(explain_plan(parse_query("Zone(x, y)", db), db))
+    """
     options = options if options is not None else LoweringOptions()
     plan = query if isinstance(query, PlanNode) else build_plan(query)
     plan = intern_plan(rewrite_plan(plan, database))

@@ -74,7 +74,19 @@ def _merge_names(parts: Iterable[tuple[str, ...]]) -> tuple[str, ...]:
 
 
 class PlanNode:
-    """Base class of logical plan nodes (immutable, content-hashed)."""
+    """Base class of logical plan nodes (immutable, content-hashed).
+
+    A plan is a tree of relation scans, constraint filters, conjunctions,
+    disjunctions, differences and projections.  Every node carries two
+    stable identities: ``key`` (structural, order-preserving) and
+    ``digest`` (SHA-256 content hash with commutative operand order
+    normalized — ``A AND B`` and ``B AND A`` share a digest).  The digest
+    is what the service layer's cache keys, coalescing and subplan sharing
+    address.  Example::
+
+        plan = build_plan(parse_query("Zone(x, y) and x <= 1", database))
+        plan.digest  # 64 hex chars, stable across processes
+    """
 
     __slots__ = ("key", "digest")
 

@@ -49,7 +49,14 @@ from repro.plan.nodes import (
 def rewrite_plan(
     plan: PlanNode, database: ConstraintDatabase | None = None
 ) -> PlanNode:
-    """Apply the rewrite rules bottom-up until the plan stops changing."""
+    """Apply the rewrite rules bottom-up until the plan stops changing.
+
+    The rule set is normalizing: constraint pushdown into relation scans,
+    empty/absorbing-operand elimination (``A \\ A = ∅``, empty disjuncts
+    drop) and duplicate collapse, iterated to a fixpoint.  With a database
+    the rules may evaluate pushed-down filters symbolically; without one
+    only the structural rules fire.
+    """
     current = canonicalize(plan)
     for _ in range(32):  # fixpoint guard; rules strictly shrink the tree
         rewritten = canonicalize(_rewrite_once(current, database))

@@ -1,4 +1,10 @@
-"""Query layer: ASTs, symbolic baseline, observable compilation, aggregates, engine."""
+"""repro.queries — FO+LIN queries over constraint databases.
+
+The query layer: ASTs and the :func:`parse_query` surface language,
+symbolic (exact) evaluation as the baseline, compilation to observable
+plans through :mod:`repro.plan`, aggregate operators, and the
+:class:`QueryEngine` facade routing between them.
+"""
 
 from repro.queries.aggregates import (
     AggregateResult,
@@ -15,6 +21,7 @@ from repro.queries.compiler import (
     to_positive_existential,
 )
 from repro.queries.engine import QueryEngine
+from repro.queries.parser import parse_query
 from repro.queries.symbolic import SymbolicEvaluationError, evaluate_symbolic
 
 __all__ = [
@@ -35,6 +42,7 @@ __all__ = [
     "observable_from_relation",
     "to_positive_existential",
     "QueryEngine",
+    "parse_query",
     "SymbolicEvaluationError",
     "evaluate_symbolic",
 ]

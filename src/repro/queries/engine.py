@@ -32,6 +32,13 @@ Mode = Literal["exact", "approximate", "auto", "adaptive"]
 class QueryEngine:
     """Evaluate FO+LIN queries over a constraint database, exactly or approximately.
 
+    Example::
+
+        engine = QueryEngine(database)
+        query = parse_query("Zone(x, y) and x <= 1", database)
+        engine.volume(query, mode="auto").value     # planner-routed estimate
+        print(engine.explain(query, analyze=True))  # EXPLAIN ANALYZE
+
     Parameters
     ----------
     database:

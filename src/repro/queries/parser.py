@@ -1,0 +1,185 @@
+"""A textual language for FO+LIN *queries* over a database schema.
+
+:mod:`repro.constraints.parser` reads closed linear-constraint formulas;
+this module extends the same surface syntax with **relation atoms** so whole
+queries — the ASTs of :mod:`repro.queries.ast` — can travel as text through
+the CLI and the serving front end::
+
+    "Zone(x, y) and x <= 1/2"
+    "Parks(x, y) or Lakes(x, y)"
+    "exists y. Map(x, y) and y >= 0"
+    "Region(x, y) and not (x + y >= 1)"
+
+Grammar (informal, on top of the constraint grammar)::
+
+    query       := "exists" name+ "." query | disjunction
+    disjunction := conjunction ("or" conjunction)*
+    conjunction := negation ("and" negation)*
+    negation    := "not" negation | "(" query ")" | atom
+    atom        := NAME "(" name ("," name)* ")"     -- relation atom
+                 | comparison                        -- linear constraint(s)
+
+Keywords are case-insensitive and ``&``/``|``/``!`` work as synonyms of
+``and``/``or``/``not``, exactly as in the constraint language.  ``forall``
+is rejected: the query AST is existential (wrap a negation instead).
+
+Example::
+
+    >>> from repro.queries.parser import parse_query
+    >>> parse_query("Zone(x, y) and x <= 1/2")
+    (Zone(x, y) AND QConstraint(x - 1/2 <= 0))
+"""
+
+from __future__ import annotations
+
+from repro.constraints.formulas import And, Atom, Formula
+from repro.constraints.parser import ParseError, _Parser, _Token, _tokenize
+from repro.queries.ast import QAnd, QConstraint, QExists, QNot, QOr, QRelation, Query
+
+__all__ = ["ParseError", "parse_query"]
+
+
+class _QueryParser(_Parser):
+    """Recursive-descent parser producing :class:`~repro.queries.ast.Query` nodes.
+
+    Arithmetic, comparisons and tokenization are inherited from the
+    constraint parser; only the boolean skeleton and the relation atoms are
+    defined here.
+    """
+
+    def parse_query(self) -> Query:
+        query = self._q_quantified()
+        leftover = self._peek()
+        if leftover is not None:
+            raise ParseError(
+                f"unexpected trailing input {leftover.value!r} at position {leftover.position}"
+            )
+        return query
+
+    def _q_quantified(self) -> Query:
+        if self._match_keyword("forall"):
+            raise ParseError(
+                "forall is not part of the query language; "
+                "rewrite as 'not exists ... not ...'"
+            )
+        if self._match_keyword("exists"):
+            names: list[str] = []
+            while True:
+                token = self._peek()
+                if token is not None and token.kind == "name":
+                    names.append(self._advance().value)
+                    self._match_op(",")
+                else:
+                    break
+            if not names:
+                raise ParseError("exists requires at least one variable")
+            self._expect("op", ".")
+            return QExists(tuple(names), self._q_quantified())
+        return self._q_disjunction()
+
+    def _q_disjunction(self) -> Query:
+        operands = [self._q_conjunction()]
+        while self._match_keyword("or") or self._match_op("|"):
+            operands.append(self._q_conjunction())
+        if len(operands) == 1:
+            return operands[0]
+        return QOr(operands)
+
+    def _q_conjunction(self) -> Query:
+        operands = [self._q_negation()]
+        while self._match_keyword("and") or self._match_op("&"):
+            operands.append(self._q_negation())
+        if len(operands) == 1:
+            return operands[0]
+        return QAnd(operands)
+
+    def _q_negation(self) -> Query:
+        if self._match_keyword("not") or self._match_op("!"):
+            return QNot(self._q_negation())
+        token = self._peek()
+        if token is None:
+            raise ParseError(f"unexpected end of input in {self._text!r}")
+        if token.kind == "keyword" and token.value in ("exists", "forall"):
+            return self._q_quantified()
+        if token.kind == "op" and token.value == "(":
+            # A parenthesised query or a parenthesised arithmetic expression
+            # opening a comparison; try the query first and backtrack (the
+            # same disambiguation the constraint parser uses).
+            saved = self._index
+            self._advance()
+            try:
+                inner = self._q_quantified()
+                self._expect("op", ")")
+            except ParseError:
+                self._index = saved
+                return self._q_comparison()
+            after = self._peek()
+            if after is not None and after.kind == "op" and after.value in (
+                "<=", ">=", "==", "!=", "=", "<", ">",
+            ):
+                self._index = saved
+                return self._q_comparison()
+            return inner
+        if token.kind == "name" and self._peek_is_relation_atom():
+            return self._q_relation_atom()
+        return self._q_comparison()
+
+    def _peek_is_relation_atom(self) -> bool:
+        """Is the upcoming ``name`` token followed by ``(``? (``R(x, y)``)"""
+        following = (
+            self._tokens[self._index + 1]
+            if self._index + 1 < len(self._tokens)
+            else None
+        )
+        return following is not None and following.kind == "op" and following.value == "("
+
+    def _q_relation_atom(self) -> Query:
+        name = self._advance().value
+        self._expect("op", "(")
+        arguments: list[str] = []
+        while True:
+            token = self._expect("name")
+            arguments.append(token.value)
+            if self._match_op(","):
+                continue
+            self._expect("op", ")")
+            break
+        try:
+            return QRelation(name, arguments)
+        except ValueError as error:
+            raise ParseError(str(error)) from None
+
+    def _q_comparison(self) -> Query:
+        return _formula_atoms_to_query(self._comparison())
+
+
+def _formula_atoms_to_query(formula: Formula) -> Query:
+    """Convert the constraint parser's comparison output to query nodes.
+
+    A comparison chain ``a <= b <= c`` parses to ``And(Atom, Atom)``; each
+    atom becomes a :class:`~repro.queries.ast.QConstraint`.
+    """
+    if isinstance(formula, Atom):
+        return QConstraint(formula.constraint)
+    if isinstance(formula, And):
+        return QAnd([_formula_atoms_to_query(operand) for operand in formula.operands])
+    raise ParseError(f"expected a linear comparison, got {formula!r}")
+
+
+def parse_query(text: str) -> Query:
+    """Parse a textual FO+LIN query (relation atoms + linear constraints).
+
+    Returns the :class:`~repro.queries.ast.Query` AST the engine, the
+    planner and the serving layer consume.  Raises
+    :class:`~repro.constraints.parser.ParseError` for malformed input.
+
+    Example::
+
+        >>> query = parse_query("exists y. Map(x, y) and 0 <= x <= 1")
+        >>> query.free_variables()
+        ('x',)
+    """
+    tokens: list[_Token] = _tokenize(text)
+    if not tokens:
+        raise ParseError("empty query")
+    return _QueryParser(tokens, text).parse_query()

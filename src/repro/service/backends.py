@@ -151,7 +151,8 @@ class ExecutionBackend(ABC):
 
     Implementations must return one :class:`WorkResult` per unit, in unit
     order, and must be *value-transparent*: for a fixed unit (same plan, same
-    seed) every backend produces bit-identical results.
+    seed) every backend produces bit-identical results.  Custom strategies
+    subclass this and pass an instance to ``submit_batch(backend=...)``.
     """
 
     #: Short name used for ``submit_batch(backend=...)`` and in the metrics.
@@ -227,7 +228,11 @@ def _compute_in_session(session, unit: WorkUnit, backend: str) -> WorkResult:
 
 
 class SerialBackend(ExecutionBackend):
-    """Compute the units one after the other on the calling thread."""
+    """Compute the units one after the other on the calling thread.
+
+    No pool overhead — the right backend for tiny batches and single-core
+    hosts; ``submit_batch(..., backend="serial")`` selects it explicitly.
+    """
 
     name = "serial"
 
@@ -238,7 +243,14 @@ class SerialBackend(ExecutionBackend):
 
 
 class ThreadBackend(ExecutionBackend):
-    """Fan units out over a thread pool sharing the session's caches."""
+    """Fan units out over a thread pool sharing the session's caches.
+
+    Scales when the work releases the GIL (the blocked NumPy Monte-Carlo
+    kernels); GIL-bound telescoping work belongs on
+    :class:`ProcessBackend` instead.  Selected with
+    ``submit_batch(..., backend="thread")`` or
+    ``ThreadBackend(max_workers=4)``.
+    """
 
     name = "thread"
 
@@ -558,7 +570,12 @@ BACKENDS: dict[str, type[ExecutionBackend]] = {
 
 
 def resolve_backend(backend: ExecutionBackend | str) -> ExecutionBackend:
-    """Normalise a backend name or instance into an :class:`ExecutionBackend`."""
+    """Normalise a backend name or instance into an :class:`ExecutionBackend`.
+
+    Accepts ``"serial"`` / ``"thread"`` / ``"process"``, an already-built
+    backend (returned as-is), or ``None`` for the default serial backend —
+    the form every ``backend=`` parameter in the service layer takes.
+    """
     if isinstance(backend, ExecutionBackend):
         return backend
     if isinstance(backend, str):

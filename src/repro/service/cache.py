@@ -56,7 +56,16 @@ if TYPE_CHECKING:
 
 @dataclass
 class CacheEntry:
-    """One cached aggregate answer and its accuracy/lifetime metadata."""
+    """One cached aggregate answer and its accuracy/lifetime metadata.
+
+    Entries record the accuracy ``(ε, δ)`` they were computed at, so the
+    cache's dominance rule can serve them to any looser request; resumable
+    entries additionally carry the :class:`RefinableEstimate` continuation
+    state a tighter request refines.  Created internally by
+    ``ResultCache.put``; consumers read answers back through
+    ``ResultCache.lookup`` / ``refinable_lookup`` rather than touching
+    entries directly.
+    """
 
     result: AggregateResult
     epsilon: float

@@ -125,7 +125,13 @@ def relation_fingerprint(name: str, relation: object) -> str:
 
 
 def fingerprint_index(database: ConstraintDatabase) -> DatabaseFingerprint:
-    """Snapshot the database as a :class:`DatabaseFingerprint`."""
+    """Snapshot the database as a :class:`DatabaseFingerprint`.
+
+    The per-relation digests let cache keys embed only the *restriction*
+    of the fingerprint to a plan's footprint
+    (``fingerprint_index(db).restrict(("Zone",))``), so mutating one
+    relation moves the keys of exactly the plans that scan it.
+    """
     relations: dict[str, str] = {}
     digest = hashlib.sha256()
     for name in sorted(database.names()):
@@ -159,7 +165,10 @@ def canonical_query(query: "Query") -> str:
 
     The canonical form *is* the logical plan's content digest; shapes the
     plan IR cannot express fall back to a legacy structural rendering
-    (prefixed so the two namespaces can never collide).
+    (prefixed so the two namespaces can never collide).  Structurally
+    equivalent queries canonicalize identically:
+    ``canonical_query(parse_query("A(x) and B(x)", db)) ==
+    canonical_query(parse_query("B(x) and A(x)", db))``.
     """
     return plan_identity(query)[0]
 
@@ -167,7 +176,13 @@ def canonical_query(query: "Query") -> str:
 def compose_key(
     kind: str, fingerprint: str, digest: str, extra: tuple = ()
 ) -> str:
-    """Assemble a cache key from pre-resolved components."""
+    """Assemble a cache key from pre-resolved components.
+
+    ``compose_key(canonical, fingerprint)`` hashes a canonical query form
+    together with a (restricted) database fingerprint — the primitive
+    under :func:`request_key` and :func:`subplan_key`, exposed for callers
+    that already hold both parts.
+    """
     payload = "\x1f".join((kind, fingerprint, digest, *map(str, extra)))
     return hashlib.sha256(payload.encode()).hexdigest()
 
@@ -226,6 +241,9 @@ def database_fingerprint(database: ConstraintDatabase) -> str:
     Relation names, their schema variable order and the exact textual DNF of
     every instance feed the digest; the rendering uses exact rational
     coefficients, so the fingerprint never suffers floating point drift.
+    Two processes holding equal databases compute equal fingerprints
+    (``database_fingerprint(db) == database_fingerprint(copy)``) — the
+    property the persistent store's cross-process reuse rests on.
     """
     return fingerprint_index(database).full
 

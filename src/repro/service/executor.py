@@ -48,7 +48,12 @@ logger = logging.getLogger(__name__)
 
 @dataclass(frozen=True)
 class BatchRequest:
-    """One volume request of a batch (accuracy defaults to the session's)."""
+    """One volume request of a batch (accuracy defaults to the session's).
+
+    A thin value object: ``BatchRequest(query, epsilon=0.1, delta=0.05)``.
+    Lists of these are what :meth:`ServiceSession.submit_batch` consumes;
+    ``epsilon``/``delta`` of ``None`` inherit the session defaults.
+    """
 
     query: Query
     epsilon: float | None = None

@@ -117,7 +117,12 @@ class QueryProfile:
 
 
 def profile_query(query: Query, database: ConstraintDatabase) -> QueryProfile:
-    """Compute the structural profile the planner's cost model consumes."""
+    """Compute the structural profile the planner's cost model consumes.
+
+    The profile is purely syntactic — dimension, atom count, a disjunct
+    estimate, description size, projection/negation flags — so it is cheap
+    enough to compute per request: ``profile_query(query, db).dimension``.
+    """
     state = {
         "relation_atoms": 0,
         "constraint_atoms": 0,
@@ -225,7 +230,12 @@ class Planner:
 
     Parameters bound the regime of each route; the defaults favour the exact
     route only where it is effectively free and fall back to the paper's
-    telescoping estimator everywhere else.
+    telescoping estimator everywhere else.  ``Planner(adaptive=True)``
+    replaces the fixed Monte-Carlo budget with the anytime estimators of
+    :mod:`repro.inference`.  Example::
+
+        plan = Planner().plan(query, database, epsilon=0.1, delta=0.05)
+        plan.estimator  # "exact" | "monte_carlo" | "adaptive" | "telescoping"
     """
 
     def __init__(

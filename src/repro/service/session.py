@@ -226,6 +226,14 @@ def _executed_route(plan: Plan, result: AggregateResult) -> str:
 class ServiceSession:
     """A cached, planned, metered query-serving session over one database.
 
+    Example::
+
+        session = ServiceSession(database, store="results.db")
+        outcomes = session.submit_batch(
+            [BatchRequest(query, epsilon=0.1, delta=0.05)], rng=7
+        )
+        outcomes[0].result.value  # bit-identical for any backend/block size
+
     Parameters
     ----------
     database:

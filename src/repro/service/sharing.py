@@ -375,7 +375,9 @@ def harvest_subplans(
 
     Returns the number of entries stored.  Estimates that were primed from
     the cache (or already banked by a concurrent execution) are skipped by
-    the cache's own dominance rule, so harvesting is idempotent.
+    the cache's own dominance rule, so harvesting is idempotent.  Called by
+    the session after every executed unit; standalone use is
+    ``harvest_subplans(broker, compiled_observable, samples_per_phase)``.
     """
     stored = 0
     for union, index, digest in _tagged_members(observable):

@@ -1,0 +1,56 @@
+"""Network serving front end: asyncio HTTP/JSON over a :class:`ServiceSession`.
+
+The layer cake, top to bottom (details in ``docs/serving.md``):
+
+* :mod:`repro.serving.server` — the HTTP server: routing, coalescing,
+  per-request deadlines, anytime streaming;
+* :mod:`repro.serving.admission` — planner-cost-driven admission control
+  and explicit load shedding;
+* :mod:`repro.serving.protocol` — the wire vocabulary (request validation,
+  query text/AST (de)serialization, stable error codes);
+* :mod:`repro.serving.config` — per-deployment TOML configuration and
+  session construction.
+
+Quick start (or just ``repro serve``)::
+
+    from repro.serving import ServingConfig, ServingServer
+
+    config = ServingConfig(port=8787, database_preset="gis")
+    server = ServingServer(config)
+    # await server.start(); await server.serve_forever()
+"""
+
+from repro.serving.admission import AdmissionController, AdmissionPolicy, ServingStats
+from repro.serving.config import (
+    ServingConfig,
+    build_database,
+    build_session,
+    load_config,
+)
+from repro.serving.protocol import (
+    ERROR_CODES,
+    ProtocolError,
+    QueryRequest,
+    error_body,
+    query_from_json,
+    query_to_json,
+)
+from repro.serving.server import ServingServer, run_server
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionPolicy",
+    "ERROR_CODES",
+    "ProtocolError",
+    "QueryRequest",
+    "ServingConfig",
+    "ServingServer",
+    "ServingStats",
+    "build_database",
+    "build_session",
+    "error_body",
+    "load_config",
+    "query_from_json",
+    "query_to_json",
+    "run_server",
+]

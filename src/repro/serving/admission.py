@@ -1,0 +1,184 @@
+"""Admission control: planner-cost-driven load shedding for the front end.
+
+The server never queues blindly.  Every arriving miss is planned first
+(planning is a cheap structural scan), and the plan's estimated execution
+seconds — :meth:`repro.service.planner.Planner.estimated_execution_seconds`,
+continuously recalibrated from the session's measured per-route throughput —
+feed a small, explicit shedding policy:
+
+* the **backlog** is the sum of estimated seconds of every admitted-but-
+  unfinished computation.  While ``backlog + request <= capacity_seconds``
+  every request is admitted;
+* past capacity the server is overloaded and sheds **by priority**:
+  requests below :attr:`~AdmissionPolicy.bypass_priority` are rejected with
+  an explicit ``overloaded`` error (HTTP 503), high-priority requests keep
+  being admitted until the hard :attr:`~AdmissionPolicy.queue_limit`;
+* the hard queue-depth limit sheds unconditionally (``queue_full``), so a
+  flood of high-priority traffic cannot grow the queue without bound;
+* a request whose **deadline** is already infeasible — estimated cost
+  exceeds the remaining budget — is shed immediately
+  (``deadline_unreachable``) instead of wasting queue space on an answer
+  nobody will wait for.
+
+Shedding is always **explicit**: a shed request receives a JSON error
+naming the policy decision; nothing is silently dropped (benchmark E23
+asserts a response for every request sent, under overload included).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+__all__ = ["AdmissionController", "AdmissionPolicy", "ServingStats"]
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """The knobs of the shedding policy (see the module docstring).
+
+    ``capacity_seconds`` is the estimated backlog the deployment is willing
+    to carry — roughly the worst acceptable queueing delay.  ``queue_limit``
+    bounds the number of admitted-but-unfinished computations regardless of
+    cost.  ``bypass_priority`` is the priority (0–9) from which requests may
+    exceed capacity (but never the hard limit).
+    """
+
+    capacity_seconds: float = 2.0
+    queue_limit: int = 256
+    bypass_priority: int = 8
+
+    def __post_init__(self) -> None:
+        if self.capacity_seconds <= 0:
+            raise ValueError("capacity_seconds must be positive")
+        if self.queue_limit < 1:
+            raise ValueError("queue_limit must be at least 1")
+        if not 0 <= self.bypass_priority <= 9:
+            raise ValueError("bypass_priority must lie in [0, 9]")
+
+
+class ServingStats:
+    """Counters of the serving front end (rendered under ``repro_serving_*``).
+
+    Mutation is lock-guarded: handlers run on the event loop but computations
+    finish on executor threads.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.received = 0
+        self.admitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.shed_overload = 0
+        self.shed_queue_full = 0
+        self.shed_deadline_unreachable = 0
+        self.shed_deadline_exceeded = 0
+        self.coalesced_leaders = 0
+        self.coalesced_followers = 0
+        self.streams = 0
+        self.stream_checkpoints = 0
+        self.stream_disconnects = 0
+        self.cache_fast_path = 0
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Increment one counter by ``amount``."""
+        with self._lock:
+            setattr(self, name, getattr(self, name) + amount)
+
+    def snapshot(self) -> dict:
+        """A plain-dict copy of every counter."""
+        with self._lock:
+            return {
+                name: value
+                for name, value in self.__dict__.items()
+                if not name.startswith("_")
+            }
+
+    @property
+    def shed_total(self) -> int:
+        """All requests shed by any policy decision."""
+        with self._lock:
+            return (
+                self.shed_overload
+                + self.shed_queue_full
+                + self.shed_deadline_unreachable
+                + self.shed_deadline_exceeded
+            )
+
+
+class AdmissionController:
+    """Tracks the estimated backlog and applies :class:`AdmissionPolicy`.
+
+    The server calls :meth:`admit` once per planned miss and **must** pair
+    every successful admission with exactly one :meth:`release` (completion
+    and failure alike), or the backlog estimate drifts.
+
+    Example::
+
+        controller = AdmissionController(AdmissionPolicy(capacity_seconds=1.0))
+        code = controller.admit(cost_seconds=0.3, priority=5, remaining_deadline=None)
+        if code is None:
+            try: ...  # compute
+            finally: controller.release(0.3)
+    """
+
+    def __init__(self, policy: AdmissionPolicy | None = None) -> None:
+        self.policy = policy if policy is not None else AdmissionPolicy()
+        self._lock = threading.Lock()
+        self._backlog_seconds = 0.0
+        self._depth = 0
+
+    @property
+    def backlog_seconds(self) -> float:
+        """Estimated seconds of admitted-but-unfinished computation."""
+        with self._lock:
+            return self._backlog_seconds
+
+    @property
+    def depth(self) -> int:
+        """Number of admitted-but-unfinished computations."""
+        with self._lock:
+            return self._depth
+
+    def load(self) -> float:
+        """Backlog as a fraction of capacity (> 1.0 means overloaded)."""
+        with self._lock:
+            return self._backlog_seconds / self.policy.capacity_seconds
+
+    def admit(
+        self,
+        cost_seconds: float,
+        priority: int,
+        remaining_deadline: float | None,
+    ) -> str | None:
+        """Decide one request: ``None`` to admit, or the shed error code.
+
+        ``cost_seconds`` is the planner's execution estimate for the miss;
+        ``remaining_deadline`` the seconds left until the request's deadline
+        (``None`` = no deadline).  On admission the backlog is charged
+        atomically under the decision lock, so concurrent arrivals cannot
+        both squeeze into the same capacity gap.
+        """
+        if remaining_deadline is not None and cost_seconds > remaining_deadline:
+            return "deadline_unreachable"
+        with self._lock:
+            if self._depth >= self.policy.queue_limit:
+                return "queue_full"
+            over = (
+                self._backlog_seconds + cost_seconds > self.policy.capacity_seconds
+            )
+            if over and self._depth > 0 and priority < self.policy.bypass_priority:
+                # An idle server always takes the next request, whatever its
+                # estimated cost — shedding with an empty queue would make
+                # expensive queries unservable outright.
+                return "overloaded"
+            self._backlog_seconds += cost_seconds
+            self._depth += 1
+            return None
+
+    def release(self, cost_seconds: float) -> None:
+        """Return an admitted request's cost to the pool (always pairs admit)."""
+        with self._lock:
+            self._backlog_seconds = max(0.0, self._backlog_seconds - cost_seconds)
+            self._depth = max(0, self._depth - 1)

@@ -1,0 +1,233 @@
+"""Per-deployment configuration of the serving front end.
+
+A deployment is described by one TOML file (read with the stdlib
+``tomllib``); :func:`load_config` turns it into a :class:`ServingConfig` and
+:func:`build_session` materialises the session the server holds — database,
+planner, persistent store and tracer included.  The same schema drives
+``repro serve --config deploy.toml``; see ``docs/cli.md`` for the full
+reference.  Example::
+
+    [server]
+    host = "127.0.0.1"
+    port = 8787
+    workers = 4
+    capacity_seconds = 2.0
+    queue_limit = 256
+    bypass_priority = 8
+    default_deadline_ms = 10000
+    store = "results.db"
+
+    [database]
+    preset = "gis"            # or inline relations, below
+    seed = 7
+
+    [database.relations]      # inline alternative to a preset
+    Zone = "0 <= x <= 2 and 0 <= y <= 1"
+
+    [accuracy]
+    epsilon = 0.1
+    delta = 0.05
+
+Only the tables you need are required; every field has the default shown by
+:class:`ServingConfig`.
+"""
+
+from __future__ import annotations
+
+import tomllib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.constraints.database import ConstraintDatabase
+from repro.constraints.parser import parse_relation
+
+__all__ = ["ServingConfig", "build_database", "build_session", "load_config"]
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Everything a deployment of the serving front end is parameterised by.
+
+    ``workers`` sizes the executor thread pool computing admitted misses;
+    ``capacity_seconds`` / ``queue_limit`` / ``bypass_priority`` are the
+    admission policy (:class:`~repro.serving.admission.AdmissionPolicy`);
+    ``stream_start_epsilon`` / ``stream_factor`` shape the anytime streaming
+    schedule (first certified checkpoint, geometric tightening toward the
+    requested ε).  ``database_preset`` or ``database_relations`` describe the
+    served data; ``store_path`` attaches the persistent result store.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8787
+    workers: int = 4
+    capacity_seconds: float = 2.0
+    queue_limit: int = 256
+    bypass_priority: int = 8
+    default_deadline_seconds: float | None = None
+    default_priority: int = 5
+    epsilon: float = 0.1
+    delta: float = 0.05
+    adaptive: bool = True
+    share_subplans: bool = True
+    store_path: str | None = None
+    trace: bool = False
+    stream_start_epsilon: float = 0.5
+    stream_factor: float = 0.6
+    database_preset: str | None = None
+    database_seed: int = 0
+    database_relations: Mapping[str, str] = field(default_factory=dict)
+    database_variables: Mapping[str, list[str]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be at least 1")
+        if not 0 < self.stream_factor < 1:
+            raise ValueError("stream_factor must lie in (0, 1)")
+        if not 0 < self.stream_start_epsilon < 1:
+            raise ValueError("stream_start_epsilon must lie in (0, 1)")
+        if not 0 <= self.default_priority <= 9:
+            raise ValueError("default_priority must lie in [0, 9]")
+
+
+def load_config(source: str | Path | Mapping[str, Any]) -> ServingConfig:
+    """Read a deployment TOML file (or an equivalent mapping).
+
+    Unknown keys raise — a typo in a deployment file must fail loudly at
+    startup, not silently fall back to a default.  Example::
+
+        config = load_config("docs/examples/deploy.toml")
+        config.port  # 8787
+
+    The schema (``[server]`` / ``[database]`` / ``[accuracy]``) is
+    documented in ``docs/cli.md``.
+    """
+    if isinstance(source, (str, Path)):
+        with open(source, "rb") as handle:
+            document = tomllib.load(handle)
+    else:
+        document = {key: value for key, value in source.items()}
+
+    known_tables = {"server", "database", "accuracy"}
+    unknown = set(document) - known_tables
+    if unknown:
+        raise ValueError(f"unknown config table(s): {sorted(unknown)}")
+
+    server = dict(document.get("server", {}))
+    database = dict(document.get("database", {}))
+    accuracy = dict(document.get("accuracy", {}))
+
+    values: dict[str, Any] = {}
+    server_keys = {
+        "host": "host",
+        "port": "port",
+        "workers": "workers",
+        "capacity_seconds": "capacity_seconds",
+        "queue_limit": "queue_limit",
+        "bypass_priority": "bypass_priority",
+        "default_priority": "default_priority",
+        "adaptive": "adaptive",
+        "share_subplans": "share_subplans",
+        "store": "store_path",
+        "trace": "trace",
+        "stream_start_epsilon": "stream_start_epsilon",
+        "stream_factor": "stream_factor",
+    }
+    for key, attr in server_keys.items():
+        if key in server:
+            values[attr] = server.pop(key)
+    if "default_deadline_ms" in server:
+        deadline = server.pop("default_deadline_ms")
+        values["default_deadline_seconds"] = (
+            None if deadline is None else float(deadline) / 1e3
+        )
+    if server:
+        raise ValueError(f"unknown [server] key(s): {sorted(server)}")
+
+    if "preset" in database:
+        values["database_preset"] = database.pop("preset")
+    if "seed" in database:
+        values["database_seed"] = database.pop("seed")
+    if "relations" in database:
+        relations = database.pop("relations")
+        if not isinstance(relations, Mapping):
+            raise ValueError("[database.relations] must be a table of name = formula")
+        values["database_relations"] = dict(relations)
+    if "variables" in database:
+        variables = database.pop("variables")
+        if not isinstance(variables, Mapping):
+            raise ValueError("[database.variables] must be a table of name = [vars]")
+        values["database_variables"] = {
+            name: list(order) for name, order in variables.items()
+        }
+    if database:
+        raise ValueError(f"unknown [database] key(s): {sorted(database)}")
+
+    for key in ("epsilon", "delta"):
+        if key in accuracy:
+            values[key] = accuracy.pop(key)
+    if accuracy:
+        raise ValueError(f"unknown [accuracy] key(s): {sorted(accuracy)}")
+
+    return ServingConfig(**values)
+
+
+def build_database(config: ServingConfig) -> ConstraintDatabase:
+    """Materialise the configured database (preset and/or inline relations).
+
+    Presets: ``"gis"`` (the synthetic map of :mod:`repro.workloads.gis`,
+    deterministic in ``database.seed``) and ``"dumbbell"`` (the 2-d dumbbell
+    union under the relation name ``Dumbbell``).  Inline
+    ``[database.relations]`` formulas are parsed with
+    :func:`repro.constraints.parser.parse_relation` and layered on top.
+    """
+    if config.database_preset is not None:
+        if config.database_preset == "gis":
+            from repro.workloads.gis import synthetic_map
+
+            database = synthetic_map(rng=config.database_seed).database
+        elif config.database_preset == "dumbbell":
+            from repro.workloads.dumbbell import dumbbell
+
+            database = ConstraintDatabase(
+                instances={"Dumbbell": dumbbell(2).relation}
+            )
+        else:
+            raise ValueError(
+                f"unknown database preset {config.database_preset!r} "
+                "(available: 'gis', 'dumbbell')"
+            )
+    else:
+        database = ConstraintDatabase()
+    for name, formula in config.database_relations.items():
+        variables = config.database_variables.get(name)
+        database.set_relation(name, parse_relation(formula, variables))
+    if not database.names():
+        raise ValueError(
+            "the configured database is empty: give [database] a preset or "
+            "at least one [database.relations] entry"
+        )
+    return database
+
+
+def build_session(config: ServingConfig):
+    """Build the :class:`~repro.service.session.ServiceSession` a server holds.
+
+    Wires the configured database, default accuracy, the adaptive planner
+    (streaming checkpoints ride on the adaptive route), the persistent store
+    and — when ``trace`` is set — a recording tracer.
+    """
+    from repro.core.observable import GeneratorParams
+    from repro.service.planner import Planner
+    from repro.service.session import ServiceSession
+    from repro.telemetry.tracer import RecordingTracer
+
+    database = build_database(config)
+    return ServiceSession(
+        database,
+        params=GeneratorParams(epsilon=config.epsilon, delta=config.delta),
+        planner=Planner(adaptive=config.adaptive),
+        share_subplans=config.share_subplans,
+        tracer=RecordingTracer() if config.trace else None,
+        store=config.store_path,
+    )

@@ -1,0 +1,255 @@
+"""The serving wire protocol: request/response JSON and query (de)serialization.
+
+Everything the HTTP front end speaks is defined here, so the server, the
+``repro query`` client and the tests share one vocabulary:
+
+* queries travel either as **text** in the language of
+  :func:`repro.queries.parser.parse_query` (``"Zone(x, y) and x <= 1/2"``)
+  or as a structured **AST document** (:func:`query_to_json` /
+  :func:`query_from_json` round-trip every :class:`~repro.queries.ast.Query`);
+* a :class:`QueryRequest` is the validated form of a ``POST /v1/query`` or
+  ``POST /v1/stream`` body (accuracy, seed, deadline, priority);
+* error payloads carry a stable machine-readable ``code`` from
+  :data:`ERROR_CODES` next to the human-readable message;
+* streamed responses are NDJSON event lines (one JSON object per line):
+  ``accepted`` → zero or more ``checkpoint`` events, each a certified
+  ``(estimate, eps)`` pair of the anytime estimator, → one ``final``
+  (or ``error``) event.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.constraints.atoms import AtomicConstraint
+from repro.queries.ast import QAnd, QConstraint, QExists, QNot, QOr, QRelation, Query
+from repro.queries.parser import ParseError, parse_query
+
+__all__ = [
+    "ERROR_CODES",
+    "ProtocolError",
+    "QueryRequest",
+    "error_body",
+    "query_from_json",
+    "query_to_json",
+]
+
+#: Machine-readable error codes the server emits, with their HTTP status.
+ERROR_CODES = {
+    "invalid_request": 400,     # malformed JSON / missing fields / bad values
+    "invalid_query": 400,       # query text or AST document failed to parse
+    "not_found": 404,           # unknown endpoint
+    "method_not_allowed": 405,  # wrong HTTP verb for the endpoint
+    "overloaded": 503,          # admission control shed the request
+    "queue_full": 503,          # hard queue-depth limit reached
+    "deadline_unreachable": 504,  # estimated cost exceeds the deadline at admission
+    "deadline_exceeded": 504,   # deadline expired while queued or computing
+    "internal": 500,            # computation failed
+}
+
+
+class ProtocolError(ValueError):
+    """A request that cannot be served, carrying its wire error code.
+
+    ``code`` is one of :data:`ERROR_CODES` (which fixes the HTTP status via
+    :attr:`status`); the server maps raised instances straight onto
+    ``{"error": {"code", "message"}}`` JSON bodies, e.g.
+    ``raise ProtocolError("deadline_exceeded", "expired mid-computation")``.
+    """
+
+    def __init__(self, code: str, message: str) -> None:
+        if code not in ERROR_CODES:
+            raise ValueError(f"unknown error code {code!r}")
+        super().__init__(message)
+        self.code = code
+        self.status = ERROR_CODES[code]
+
+
+def error_body(code: str, message: str) -> dict:
+    """The JSON error payload for ``code`` (every shed/failure uses this shape).
+
+    ``error_body("overloaded", "backlog full")`` returns
+    ``{"error": {"code": "overloaded", "message": "backlog full"}}`` — the
+    single error shape clients and the CLI's exit-code mapping rely on.
+    """
+    return {"error": {"code": code, "message": message}}
+
+
+# ----------------------------------------------------------------------
+# Query (de)serialization
+# ----------------------------------------------------------------------
+def query_to_json(query: Query) -> dict:
+    """Serialize a query AST to a JSON-able document (inverse of
+    :func:`query_from_json`).
+
+    Constraint atoms are rendered through their exact-rational textual form,
+    which the parser reads back verbatim — a round trip
+    (``query_from_json(query_to_json(q))``) preserves the plan digest of
+    the query.
+    """
+    if isinstance(query, QRelation):
+        return {"op": "relation", "name": query.name, "args": list(query.arguments)}
+    if isinstance(query, QConstraint):
+        return {"op": "constraint", "text": str(query.constraint)}
+    if isinstance(query, QAnd):
+        return {"op": "and", "args": [query_to_json(op) for op in query.operands]}
+    if isinstance(query, QOr):
+        return {"op": "or", "args": [query_to_json(op) for op in query.operands]}
+    if isinstance(query, QNot):
+        return {"op": "not", "arg": query_to_json(query.operand)}
+    if isinstance(query, QExists):
+        return {
+            "op": "exists",
+            "vars": list(query.variables),
+            "arg": query_to_json(query.operand),
+        }
+    raise TypeError(f"unsupported query node {query!r}")
+
+
+def _constraint_from_text(text: str) -> AtomicConstraint:
+    parsed = parse_query(text)
+    if not isinstance(parsed, QConstraint):
+        raise ProtocolError(
+            "invalid_query",
+            f"constraint node must hold a single linear comparison, got {text!r}",
+        )
+    return parsed.constraint
+
+
+def query_from_json(document: Mapping[str, Any]) -> Query:
+    """Rebuild a query AST from its :func:`query_to_json` document.
+
+    The inverse of :func:`query_to_json`: accepts the structured ``ast``
+    form of the wire protocol and returns the query AST, raising
+    :class:`ProtocolError` (``invalid_query``) on unknown ops or malformed
+    documents.  Round trips preserve the plan digest.
+    """
+    if not isinstance(document, Mapping):
+        raise ProtocolError("invalid_query", "query document must be a JSON object")
+    op = document.get("op")
+    try:
+        if op == "relation":
+            return QRelation(document["name"], document["args"])
+        if op == "constraint":
+            return QConstraint(_constraint_from_text(document["text"]))
+        if op == "and":
+            return QAnd([query_from_json(arg) for arg in document["args"]])
+        if op == "or":
+            return QOr([query_from_json(arg) for arg in document["args"]])
+        if op == "not":
+            return QNot(query_from_json(document["arg"]))
+        if op == "exists":
+            return QExists(document["vars"], query_from_json(document["arg"]))
+    except ProtocolError:
+        raise
+    except (KeyError, TypeError, ValueError, ParseError) as error:
+        raise ProtocolError("invalid_query", f"bad query document: {error}") from error
+    raise ProtocolError("invalid_query", f"unknown query op {op!r}")
+
+
+# ----------------------------------------------------------------------
+# Requests
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class QueryRequest:
+    """One validated volume request as it arrives over the wire.
+
+    Attributes
+    ----------
+    query:
+        The parsed query AST.
+    epsilon / delta:
+        Requested accuracy; ``None`` defers to the session's defaults.
+    seed:
+        Root seed of the request's random stream.  The server serves the
+        request exactly as ``session.submit_batch([...], rng=seed)`` would,
+        so a fixed seed makes the network answer bit-identical to the
+        in-process one.  ``None`` draws a fresh nondeterministic stream.
+    deadline_seconds:
+        Wall-clock budget from arrival; expired requests are shed with a
+        clean ``deadline_exceeded`` error, never a partial result.  ``None``
+        means the server's default (which may itself be ``None`` = no
+        deadline).
+    priority:
+        0 (shed first) … 9 (shed last); see
+        :class:`~repro.serving.admission.AdmissionController`.
+    """
+
+    query: Query
+    epsilon: float | None = None
+    delta: float | None = None
+    seed: int | None = None
+    deadline_seconds: float | None = None
+    priority: int = 5
+    raw: dict = field(default_factory=dict, repr=False, compare=False)
+
+    @classmethod
+    def from_body(cls, body: bytes | str | Mapping[str, Any]) -> "QueryRequest":
+        """Parse and validate a request body (raises :class:`ProtocolError`)."""
+        if isinstance(body, (bytes, str)):
+            try:
+                payload = json.loads(body or "{}")
+            except json.JSONDecodeError as error:
+                raise ProtocolError(
+                    "invalid_request", f"body is not valid JSON: {error}"
+                ) from error
+        else:
+            payload = dict(body)
+        if not isinstance(payload, dict):
+            raise ProtocolError("invalid_request", "body must be a JSON object")
+
+        if "query" in payload and "ast" in payload:
+            raise ProtocolError(
+                "invalid_request", "give either 'query' (text) or 'ast', not both"
+            )
+        if "query" in payload:
+            text = payload["query"]
+            if not isinstance(text, str):
+                raise ProtocolError("invalid_request", "'query' must be a string")
+            try:
+                query = parse_query(text)
+            except ParseError as error:
+                raise ProtocolError("invalid_query", str(error)) from error
+        elif "ast" in payload:
+            query = query_from_json(payload["ast"])
+        else:
+            raise ProtocolError("invalid_request", "missing 'query' text or 'ast'")
+
+        epsilon = _optional_number(payload, "epsilon", low=0.0, high=1.0)
+        delta = _optional_number(payload, "delta", low=0.0, high=1.0)
+        seed = payload.get("seed")
+        if seed is not None and not isinstance(seed, int):
+            raise ProtocolError("invalid_request", "'seed' must be an integer")
+        deadline_ms = _optional_number(payload, "deadline_ms", low=0.0, high=None)
+        priority = payload.get("priority", 5)
+        if not isinstance(priority, int) or not 0 <= priority <= 9:
+            raise ProtocolError(
+                "invalid_request", "'priority' must be an integer in [0, 9]"
+            )
+        return cls(
+            query=query,
+            epsilon=epsilon,
+            delta=delta,
+            seed=seed,
+            deadline_seconds=None if deadline_ms is None else deadline_ms / 1e3,
+            priority=priority,
+            raw=payload,
+        )
+
+
+def _optional_number(
+    payload: Mapping[str, Any], name: str, low: float | None, high: float | None
+) -> float | None:
+    value = payload.get(name)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ProtocolError("invalid_request", f"'{name}' must be a number")
+    value = float(value)
+    if low is not None and value < low:
+        raise ProtocolError("invalid_request", f"'{name}' must be >= {low}")
+    if high is not None and value >= high:
+        raise ProtocolError("invalid_request", f"'{name}' must be < {high}")
+    return value

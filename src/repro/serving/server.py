@@ -1,0 +1,678 @@
+"""The asyncio HTTP/JSON front end over :class:`~repro.service.session.ServiceSession`.
+
+One :class:`ServingServer` owns one session and exposes it to many
+concurrent network clients:
+
+* ``POST /v1/query`` — one volume request, one JSON answer.  Misses are
+  **admission-controlled**: the planner's cost model prices the request and
+  :class:`~repro.serving.admission.AdmissionController` sheds explicitly
+  (503/504) instead of queueing without bound.  Cache hits bypass admission
+  entirely — serving a stored answer is effectively free.
+* ``POST /v1/stream`` — the same request served **anytime**: a chunked
+  NDJSON stream of certified ``(estimate, eps)`` checkpoints as the adaptive
+  estimator tightens toward the requested ε, then a ``final`` event whose
+  value is bit-identical to what ``session.submit_batch`` returns in
+  process for the same seed.
+* ``GET /metrics`` — Prometheus text exposition (session counters, trace
+  counters, serving counters, admission gauges).
+* ``GET /healthz`` — liveness plus current load; ``GET /v1/stats`` — the
+  raw counter snapshot as JSON.
+
+Concurrent identical requests are **coalesced**: the first arrival (the
+leader) computes, every later arrival with the same plan digest and accuracy
+(a follower) awaits the leader's future and receives the *same*
+:class:`~repro.queries.aggregates.AggregateResult` — one computation, one
+cache entry, N responses.  A follower whose deadline expires while waiting
+is shed cleanly; the leader's computation is never cancelled (so the cache
+still gains the entry, and a disconnected streaming client never aborts work
+other clients share).
+
+The implementation is stdlib-only: a minimal HTTP/1.1 server on
+``asyncio.start_server`` with computations running on a thread pool, sized
+by :class:`~repro.serving.config.ServingConfig`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import json
+import logging
+import time
+from typing import Any, Awaitable, Callable, Iterator
+
+import numpy as np
+
+from repro.sampling.rng import ensure_rng, spawn_seeds
+from repro.service.session import ServiceSession
+from repro.serving.admission import AdmissionController, AdmissionPolicy, ServingStats
+from repro.serving.config import ServingConfig, build_session
+from repro.serving.protocol import ProtocolError, QueryRequest, error_body
+from repro.telemetry.export import prometheus_text
+
+__all__ = ["ServingServer", "run_server"]
+
+logger = logging.getLogger(__name__)
+
+_MAX_HEADER_BYTES = 64 * 1024
+_MAX_BODY_BYTES = 4 * 1024 * 1024
+
+
+class _Deadline:
+    """The wall-clock budget of one request, fixed at arrival."""
+
+    __slots__ = ("expires_at",)
+
+    def __init__(self, seconds: float | None) -> None:
+        self.expires_at = None if seconds is None else time.monotonic() + seconds
+
+    def remaining(self) -> float | None:
+        if self.expires_at is None:
+            return None
+        return self.expires_at - time.monotonic()
+
+    def expired(self) -> bool:
+        remaining = self.remaining()
+        return remaining is not None and remaining <= 0
+
+
+class _Inflight:
+    """One admitted computation and the clients awaiting it (coalescing unit)."""
+
+    __slots__ = ("future", "cost_seconds", "deadlines", "followers")
+
+    def __init__(self, cost_seconds: float) -> None:
+        self.future: Awaitable | None = None
+        self.cost_seconds = cost_seconds
+        self.deadlines: list[_Deadline] = []
+        self.followers = 0
+
+    def viable(self) -> bool:
+        """Can *any* registered waiter still use the answer?
+
+        Checked at the executor boundary: work every waiter has already
+        given up on is skipped, not computed.  A waiter without a deadline
+        keeps the computation viable forever.
+        """
+        if not self.deadlines:
+            return True
+        return any(not deadline.expired() for deadline in self.deadlines)
+
+
+class ServingServer:
+    """The HTTP front end; see the module docstring for the protocol.
+
+    Parameters
+    ----------
+    session:
+        The service session to expose; built from ``config`` when omitted.
+    config:
+        Deployment parameters (:class:`~repro.serving.config.ServingConfig`).
+    """
+
+    def __init__(
+        self,
+        config: ServingConfig | None = None,
+        session: ServiceSession | None = None,
+    ) -> None:
+        self.config = config if config is not None else ServingConfig()
+        self.session = session if session is not None else build_session(self.config)
+        self.stats = ServingStats()
+        self.admission = AdmissionController(
+            AdmissionPolicy(
+                capacity_seconds=self.config.capacity_seconds,
+                queue_limit=self.config.queue_limit,
+                bypass_priority=self.config.bypass_priority,
+            )
+        )
+        self._executor = concurrent.futures.ThreadPoolExecutor(
+            max_workers=self.config.workers, thread_name_prefix="repro-serve"
+        )
+        self._inflight: dict[tuple, _Inflight] = {}
+        self._server: asyncio.AbstractServer | None = None
+        self.port: int | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> int:
+        """Bind and start accepting connections; returns the bound port."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        logger.info("serving on %s:%d", self.config.host, self.port)
+        return self.port
+
+    async def serve_forever(self) -> None:
+        """Run until cancelled (``repro serve`` blocks here)."""
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Stop accepting connections and shut the compute pool down."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self._executor.shutdown(wait=False, cancel_futures=True)
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, path, body = request
+                keep_alive = await self._dispatch(method, path, body, writer)
+                if not keep_alive:
+                    break
+        except (
+            ConnectionResetError,
+            BrokenPipeError,
+            asyncio.IncompleteReadError,
+            asyncio.LimitOverrunError,
+        ):
+            pass
+        except Exception:  # pragma: no cover - defensive: never kill the acceptor
+            logger.exception("connection handler failed")
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (
+                ConnectionResetError,
+                BrokenPipeError,
+                OSError,
+                asyncio.CancelledError,
+            ):
+                # Teardown only: the connection is closing either way, and a
+                # cancellation arriving here (server shutdown) must not spill
+                # into the event loop's protocol callbacks as noise.
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[str, str, bytes] | None:
+        try:
+            header_blob = await reader.readuntil(b"\r\n\r\n")
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            return None
+        if len(header_blob) > _MAX_HEADER_BYTES:
+            return None
+        head, _, _ = header_blob.partition(b"\r\n\r\n")
+        lines = head.decode("latin-1").split("\r\n")
+        try:
+            method, target, _ = lines[0].split(" ", 2)
+        except ValueError:
+            return None
+        headers = {}
+        for line in lines[1:]:
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > _MAX_BODY_BYTES:
+            return None
+        body = await reader.readexactly(length) if length else b""
+        return method.upper(), target.split("?", 1)[0], body
+
+    @staticmethod
+    def _json_response(
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict,
+        content_type: str = "application/json",
+    ) -> None:
+        body = (json.dumps(payload) + "\n").encode()
+        ServingServer._raw_response(writer, status, body, content_type)
+
+    @staticmethod
+    def _raw_response(
+        writer: asyncio.StreamWriter, status: int, body: bytes, content_type: str
+    ) -> None:
+        reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                  405: "Method Not Allowed", 500: "Internal Server Error",
+                  503: "Service Unavailable", 504: "Gateway Timeout"}.get(status, "OK")
+        writer.write(
+            (
+                f"HTTP/1.1 {status} {reason}\r\n"
+                f"Content-Type: {content_type}\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                "Connection: keep-alive\r\n\r\n"
+            ).encode()
+            + body
+        )
+
+    async def _dispatch(
+        self, method: str, path: str, body: bytes, writer: asyncio.StreamWriter
+    ) -> bool:
+        """Route one request; returns whether to keep the connection alive."""
+        routes: dict[str, tuple[str, Callable]] = {
+            "/healthz": ("GET", self._handle_healthz),
+            "/metrics": ("GET", self._handle_metrics),
+            "/v1/stats": ("GET", self._handle_stats),
+            "/v1/query": ("POST", self._handle_query),
+            "/v1/stream": ("POST", self._handle_stream),
+        }
+        route = routes.get(path)
+        if route is None:
+            self._json_response(
+                writer, 404, error_body("not_found", f"no such endpoint: {path}")
+            )
+            return True
+        expected_method, handler = route
+        if method != expected_method:
+            self._json_response(
+                writer,
+                405,
+                error_body("method_not_allowed", f"{path} expects {expected_method}"),
+            )
+            return True
+        if handler is self._handle_stream:
+            return await handler(body, writer)
+        await handler(body, writer)
+        await writer.drain()
+        return True
+
+    # ------------------------------------------------------------------
+    # Simple endpoints
+    # ------------------------------------------------------------------
+    async def _handle_healthz(self, body: bytes, writer: asyncio.StreamWriter) -> None:
+        self._json_response(
+            writer,
+            200,
+            {
+                "status": "ok",
+                "load": round(self.admission.load(), 4),
+                "inflight": self.admission.depth,
+                "backlog_seconds": round(self.admission.backlog_seconds, 4),
+            },
+        )
+
+    async def _handle_metrics(self, body: bytes, writer: asyncio.StreamWriter) -> None:
+        text = prometheus_text(self.session.metrics, self.session.tracer)
+        lines = [text.rstrip("\n")] if text.strip() else []
+        for name, value in self.stats.snapshot().items():
+            lines.append(f"# TYPE repro_serving_{name}_total counter")
+            lines.append(f"repro_serving_{name}_total {value}")
+        lines.append("# TYPE repro_serving_backlog_seconds gauge")
+        lines.append(f"repro_serving_backlog_seconds {self.admission.backlog_seconds}")
+        lines.append("# TYPE repro_serving_inflight gauge")
+        lines.append(f"repro_serving_inflight {self.admission.depth}")
+        lines.append("# TYPE repro_serving_load gauge")
+        lines.append(f"repro_serving_load {self.admission.load()}")
+        self._raw_response(
+            writer, 200, ("\n".join(lines) + "\n").encode(), "text/plain; version=0.0.4"
+        )
+
+    async def _handle_stats(self, body: bytes, writer: asyncio.StreamWriter) -> None:
+        self._json_response(
+            writer,
+            200,
+            {
+                "serving": self.stats.snapshot(),
+                "admission": {
+                    "backlog_seconds": self.admission.backlog_seconds,
+                    "inflight": self.admission.depth,
+                    "load": self.admission.load(),
+                },
+                "session": self.session.metrics.snapshot(),
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # /v1/query
+    # ------------------------------------------------------------------
+    async def _handle_query(self, body: bytes, writer: asyncio.StreamWriter) -> None:
+        self.stats.count("received")
+        try:
+            payload = await self._serve_query(body)
+        except ProtocolError as error:
+            self._shed_count(error.code)
+            self._json_response(writer, error.status, error_body(error.code, str(error)))
+            return
+        except Exception as error:  # computation failed
+            self.stats.count("failed")
+            logger.exception("query failed")
+            self._json_response(writer, 500, error_body("internal", str(error)))
+            return
+        self.stats.count("completed")
+        self._json_response(writer, 200, payload)
+
+    async def _serve_query(self, body: bytes) -> dict:
+        request = QueryRequest.from_body(body)
+        epsilon, delta = self.session._resolve_accuracy(request.epsilon, request.delta)
+        deadline = _Deadline(
+            request.deadline_seconds
+            if request.deadline_seconds is not None
+            else self.config.default_deadline_seconds
+        )
+        key = self.session.key_for(request.query)
+
+        # Fast path: a dominating cached answer is served without admission —
+        # the whole point of the cache is that hits cost nothing.
+        cached, dominance = self.session.cache.lookup(key, epsilon, delta)
+        if cached is not None:
+            self.stats.count("cache_fast_path")
+            self.session.metrics.record_cache_hit(dominance=dominance)
+            return self._result_payload(cached, epsilon, delta, cached=True)
+
+        result = await self._compute_coalesced(request, key, epsilon, delta, deadline)
+        return self._result_payload(result, epsilon, delta, cached=False)
+
+    async def _compute_coalesced(
+        self,
+        request: QueryRequest,
+        key: str,
+        epsilon: float,
+        delta: float,
+        deadline: _Deadline,
+    ):
+        """Admit (or join) the computation for ``key`` and await its answer."""
+        loop = asyncio.get_running_loop()
+        coalesce_key = (key, round(epsilon, 12), round(delta, 12))
+        entry = self._inflight.get(coalesce_key)
+        if entry is None:
+            plan = self.session.explain(request.query, epsilon, delta)
+            cost = self.session.planner.estimated_execution_seconds(plan)
+            code = self.admission.admit(cost, request.priority, deadline.remaining())
+            if code is not None:
+                raise ProtocolError(
+                    code,
+                    f"request shed ({code}): estimated cost {cost:.3f}s, "
+                    f"backlog {self.admission.backlog_seconds:.3f}s of "
+                    f"{self.admission.policy.capacity_seconds:.3f}s capacity",
+                )
+            self.stats.count("admitted")
+            entry = self._new_inflight(request, coalesce_key, cost, loop, deadline)
+        else:
+            self.stats.count("coalesced_followers")
+            if entry.followers == 0:
+                self.stats.count("coalesced_leaders")
+                self.session.metrics.record_coalesced()
+            entry.followers += 1
+            entry.deadlines.append(deadline)
+        return await self._await_inflight(entry, deadline)
+
+    def _new_inflight(
+        self,
+        request: QueryRequest,
+        coalesce_key: tuple,
+        cost: float,
+        loop: asyncio.AbstractEventLoop,
+        deadline: _Deadline,
+    ) -> _Inflight:
+        from repro.service.executor import BatchRequest
+
+        entry = _Inflight(cost)
+        entry.deadlines.append(deadline)
+
+        def compute():
+            # The executor boundary: work nobody can use any more is skipped,
+            # never half-done — a shed request gets an error, not a partial.
+            if not entry.viable():
+                raise ProtocolError(
+                    "deadline_exceeded", "deadline expired before execution began"
+                )
+            outcomes = self.session.submit_batch(
+                [BatchRequest(request.query, epsilon=request.epsilon, delta=request.delta)],
+                rng=request.seed,
+            )
+            return outcomes[0].result
+
+        future = loop.run_in_executor(self._executor, compute)
+        entry.future = future
+        self._inflight[coalesce_key] = entry
+
+        def _finished(fut) -> None:
+            self._inflight.pop(coalesce_key, None)
+            self.admission.release(cost)
+            if fut.cancelled():
+                return
+            error = fut.exception()
+            if error is not None and not isinstance(error, ProtocolError):
+                logger.debug("inflight computation failed: %s", error)
+
+        future.add_done_callback(_finished)
+        return entry
+
+    async def _await_inflight(self, entry: _Inflight, deadline: _Deadline):
+        """Wait for a shared computation under this client's own deadline.
+
+        The shared future is shielded: one waiter timing out (or
+        disconnecting) must never cancel the computation other clients — and
+        the cache — are waiting on.
+        """
+        try:
+            return await asyncio.wait_for(
+                asyncio.shield(entry.future), timeout=deadline.remaining()
+            )
+        except asyncio.TimeoutError:
+            raise ProtocolError(
+                "deadline_exceeded", "deadline expired while awaiting the result"
+            ) from None
+
+    def _result_payload(
+        self, result, epsilon: float, delta: float, cached: bool
+    ) -> dict:
+        estimate = result.estimate
+        payload: dict[str, Any] = {
+            "value": result.value,
+            "exact": result.exact,
+            "cached": cached,
+            "epsilon": epsilon,
+            "delta": delta,
+        }
+        if estimate is not None:
+            payload["certified_epsilon"] = estimate.epsilon
+            payload["method"] = estimate.method
+            payload["samples_used"] = estimate.samples_used
+        else:
+            payload["certified_epsilon"] = 0.0 if result.exact else epsilon
+        return payload
+
+    def _shed_count(self, code: str) -> None:
+        counter = {
+            "overloaded": "shed_overload",
+            "queue_full": "shed_queue_full",
+            "deadline_unreachable": "shed_deadline_unreachable",
+            "deadline_exceeded": "shed_deadline_exceeded",
+        }.get(code)
+        if counter is not None:
+            self.stats.count(counter)
+        else:
+            self.stats.count("failed")
+
+    # ------------------------------------------------------------------
+    # /v1/stream
+    # ------------------------------------------------------------------
+    def _stream_schedule(self, epsilon: float) -> Iterator[float]:
+        """The ε ladder of a stream: geometric tightening down to the target."""
+        stage = self.config.stream_start_epsilon
+        while stage > epsilon:
+            yield stage
+            stage *= self.config.stream_factor
+        yield epsilon
+
+    async def _handle_stream(self, body: bytes, writer: asyncio.StreamWriter) -> bool:
+        """Serve one anytime stream; returns False (connection closes after)."""
+        self.stats.count("received")
+        loop = asyncio.get_running_loop()
+        try:
+            request = QueryRequest.from_body(body)
+            epsilon, delta = self.session._resolve_accuracy(
+                request.epsilon, request.delta
+            )
+            deadline = _Deadline(
+                request.deadline_seconds
+                if request.deadline_seconds is not None
+                else self.config.default_deadline_seconds
+            )
+            plan = self.session.explain(request.query, epsilon, delta)
+            cost = self.session.planner.estimated_execution_seconds(plan)
+            code = self.admission.admit(cost, request.priority, deadline.remaining())
+            if code is not None:
+                self._shed_count(code)
+                self._json_response(
+                    writer,
+                    {"overloaded": 503, "queue_full": 503}.get(code, 504),
+                    error_body(code, f"request shed ({code})"),
+                )
+                await writer.drain()
+                return True
+        except ProtocolError as error:
+            self._shed_count(error.code)
+            self._json_response(writer, error.status, error_body(error.code, str(error)))
+            await writer.drain()
+            return True
+
+        self.stats.count("admitted")
+        self.stats.count("streams")
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: application/x-ndjson\r\n"
+            b"Transfer-Encoding: chunked\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        disconnected = False
+        try:
+            await self._send_chunk(
+                writer,
+                {
+                    "event": "accepted",
+                    "route": plan.estimator,
+                    "epsilon": epsilon,
+                    "delta": delta,
+                    "estimated_cost_seconds": cost,
+                },
+            )
+            # Mirror submit_batch's per-request seed derivation so the final
+            # staged answer is bit-identical to the in-process batch path.
+            derived_seed = spawn_seeds(ensure_rng(request.seed), 1)[0]
+            stages = (
+                [epsilon]
+                if plan.estimator == "exact"
+                else list(self._stream_schedule(epsilon))
+            )
+            result = None
+            last_certified = float("inf")
+            for stage_epsilon in stages:
+                if deadline.expired():
+                    raise ProtocolError(
+                        "deadline_exceeded", "deadline expired between checkpoints"
+                    )
+                stage_future = loop.run_in_executor(
+                    self._executor,
+                    lambda e=stage_epsilon: self.session.volume(
+                        request.query,
+                        epsilon=e,
+                        delta=delta,
+                        rng=np.random.default_rng(derived_seed),
+                    ),
+                )
+                try:
+                    # Shielded: an expiring deadline (or a vanished client)
+                    # abandons the wait, not the computation — the stage still
+                    # lands in the cache for everyone else.
+                    result = await asyncio.wait_for(
+                        asyncio.shield(stage_future), timeout=deadline.remaining()
+                    )
+                except asyncio.TimeoutError:
+                    raise ProtocolError(
+                        "deadline_exceeded", "deadline expired mid-computation"
+                    ) from None
+                certified = (
+                    result.estimate.epsilon if result.estimate is not None else 0.0
+                )
+                if stage_epsilon == stages[-1]:
+                    break
+                # A warm cache can certify several loose stages at once; only
+                # genuine tightenings are worth a checkpoint event.
+                if certified >= last_certified:
+                    continue
+                last_certified = certified
+                self.stats.count("stream_checkpoints")
+                await self._send_chunk(
+                    writer,
+                    {
+                        "event": "checkpoint",
+                        "estimate": result.value,
+                        "eps": certified,
+                    },
+                )
+            assert result is not None
+            final = self._result_payload(result, epsilon, delta, cached=False)
+            final["event"] = "final"
+            await self._send_chunk(writer, final)
+            self.stats.count("completed")
+        except ProtocolError as error:
+            self._shed_count(error.code)
+            if not disconnected:
+                try:
+                    await self._send_chunk(
+                        writer, {"event": "error", **error_body(error.code, str(error))}
+                    )
+                except (ConnectionResetError, BrokenPipeError, OSError):
+                    disconnected = True
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            # The client went away mid-stream.  Nothing is cancelled: the
+            # stage future keeps computing and its result stays cached.
+            disconnected = True
+            self.stats.count("stream_disconnects")
+        except Exception as error:  # pragma: no cover - computation failure
+            self.stats.count("failed")
+            logger.exception("stream failed")
+            try:
+                await self._send_chunk(
+                    writer, {"event": "error", **error_body("internal", str(error))}
+                )
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                disconnected = True
+        finally:
+            self.admission.release(cost)
+            if not disconnected:
+                try:
+                    writer.write(b"0\r\n\r\n")
+                    await writer.drain()
+                except (ConnectionResetError, BrokenPipeError, OSError):
+                    pass
+        return False
+
+    @staticmethod
+    async def _send_chunk(writer: asyncio.StreamWriter, event: dict) -> None:
+        line = (json.dumps(event) + "\n").encode()
+        writer.write(f"{len(line):x}\r\n".encode() + line + b"\r\n")
+        await writer.drain()
+
+
+def run_server(config: ServingConfig) -> None:
+    """Build a server from ``config`` and block serving until interrupted.
+
+    The blocking entry point behind ``repro serve``:
+    ``run_server(load_config("deploy.toml"))`` owns the event loop until
+    KeyboardInterrupt.  Embedders wanting a non-blocking server construct
+    :class:`ServingServer` and ``await server.start()`` instead.
+    """
+    server = ServingServer(config)
+
+    async def main() -> None:
+        await server.start()
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:  # pragma: no cover - shutdown path
+            pass
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        pass

@@ -95,7 +95,13 @@ class EntryMeta:
 
 @dataclass(frozen=True)
 class StoredEntry:
-    """One row read back from the store."""
+    """One row read back from the store.
+
+    Bundles the pickled payload with its :class:`EntryMeta` provenance
+    (plan digest, relation footprint, restricted fingerprint, wall-clock
+    expiry) — what ``ResultStore.get`` returns and what warm-up iterates
+    over; not constructed by callers.
+    """
 
     result: object
     epsilon: float
@@ -133,7 +139,10 @@ class ResultStore:
     One connection per handle, serialized by a lock; concurrent *processes*
     coordinate through SQLite's file locking (WAL mode, 30 s busy timeout).
     All values are pickled — results, estimates and refinable continuation
-    states are plain picklable dataclasses by construction.
+    states are plain picklable dataclasses by construction.  Usually
+    attached implicitly via ``ServiceSession(database, store="results.db")``;
+    standalone use is ``ResultStore("results.db")`` with
+    ``put``/``get``/``invalidate_relations``.
     """
 
     def __init__(

@@ -253,6 +253,13 @@ class _SpanContext:
 class RecordingTracer(Tracer):
     """A bounded flight recorder for spans and counters.
 
+    Example::
+
+        tracer = RecordingTracer()
+        session = ServiceSession(database, tracer=tracer)
+        session.volume(query)
+        chrome_trace(tracer)  # Perfetto-loadable span tree
+
     Parameters
     ----------
     capacity:

@@ -1,4 +1,11 @@
-"""Volume estimators: DFK telescoping, Monte-Carlo baseline, exact baselines."""
+"""repro.volume — volume estimators under ``(ε, δ)`` contracts.
+
+The paper's polynomial telescoping estimator (DFK scheme over a ball
+sequence), the blocked Monte-Carlo baseline, Chernoff/Hoeffding budget
+arithmetic, and exact baselines for low dimension — all returning a
+:class:`VolumeEstimate` that records its accuracy, method and sampling
+work.
+"""
 
 from repro.volume.base import (
     EstimationError,

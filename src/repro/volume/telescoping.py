@@ -275,6 +275,13 @@ def estimate_convex_volume(
     rng: np.random.Generator | int | None = None,
     config: TelescopingConfig | None = None,
 ) -> VolumeEstimate:
-    """Convenience wrapper: one-shot DFK estimate of a convex polytope's volume."""
+    """Convenience wrapper: one-shot DFK estimate of a convex polytope's volume.
+
+    Builds a :class:`TelescopingVolumeEstimator` and runs the paper's
+    telescoping scheme once at the requested accuracy, e.g.
+    ``estimate_convex_volume(cube, 0.1, 0.05, rng=7).value``.  For repeated
+    estimates on the same body, hold a :class:`TelescopingVolumeEstimator`
+    instead (it caches the rounding and the ball sequence).
+    """
     estimator = TelescopingVolumeEstimator(polytope, config=config)
     return estimator.estimate(epsilon, delta, rng=rng)

@@ -1,0 +1,112 @@
+"""The textual query language: parsing, precedence, and round trips."""
+
+import pytest
+
+from repro.constraints.parser import ParseError
+from repro.queries.ast import QAnd, QConstraint, QExists, QNot, QOr, QRelation
+from repro.queries.parser import parse_query
+
+
+class TestRelationAtoms:
+    def test_simple_atom(self):
+        query = parse_query("Zone(x, y)")
+        assert isinstance(query, QRelation)
+        assert query.name == "Zone"
+        assert query.arguments == ("x", "y")
+
+    def test_atom_requires_arguments(self):
+        with pytest.raises(ParseError):
+            parse_query("Zone()")
+
+    def test_atom_rejects_duplicate_variables(self):
+        with pytest.raises(ParseError):
+            parse_query("Zone(x, x)")
+
+    def test_name_without_parens_is_not_an_atom(self):
+        # A bare name opens an arithmetic term, not a relation atom.
+        query = parse_query("x <= 1")
+        assert isinstance(query, QConstraint)
+
+
+class TestBooleanStructure:
+    def test_conjunction_of_atom_and_constraint(self):
+        query = parse_query("Zone(x, y) and x <= 1/2")
+        assert isinstance(query, QAnd)
+        assert isinstance(query.operands[0], QRelation)
+        assert isinstance(query.operands[1], QConstraint)
+
+    def test_or_binds_looser_than_and(self):
+        query = parse_query("A(x) and B(x) or C(x)")
+        assert isinstance(query, QOr)
+        assert isinstance(query.operands[0], QAnd)
+        assert isinstance(query.operands[1], QRelation)
+
+    def test_parentheses_group_queries(self):
+        query = parse_query("A(x) and (B(x) or C(x))")
+        assert isinstance(query, QAnd)
+        assert isinstance(query.operands[1], QOr)
+
+    def test_symbol_synonyms(self):
+        assert isinstance(parse_query("A(x) & B(x)"), QAnd)
+        assert isinstance(parse_query("A(x) | B(x)"), QOr)
+        assert isinstance(parse_query("!A(x)"), QNot)
+
+    def test_negation(self):
+        query = parse_query("Zone(x, y) and not (x + y >= 1)")
+        assert isinstance(query.operands[1], QNot)
+
+    def test_parenthesised_arithmetic_is_still_a_constraint(self):
+        query = parse_query("(x + y) <= 1")
+        assert isinstance(query, QConstraint)
+
+    def test_comparison_chain_becomes_conjunction(self):
+        query = parse_query("0 <= x <= 1")
+        assert isinstance(query, QAnd)
+        assert all(isinstance(op, QConstraint) for op in query.operands)
+
+
+class TestQuantifiers:
+    def test_exists(self):
+        query = parse_query("exists y. Map(x, y) and y >= 0")
+        assert isinstance(query, QExists)
+        assert query.variables == ("y",)
+        assert query.free_variables() == ("x",)
+
+    def test_exists_multiple_variables(self):
+        query = parse_query("exists y, z. Cube(x, y, z)")
+        assert isinstance(query, QExists)
+        assert query.variables == ("y", "z")
+
+    def test_forall_is_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("forall x. Zone(x, y)")
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        ["", "Zone(x,", "and A(x)", "A(x) and", "exists . A(x)", "A(x) A(y)"],
+    )
+    def test_malformed_input(self, text):
+        with pytest.raises(ParseError):
+            parse_query(text)
+
+
+class TestRoundTrips:
+    def test_constraint_text_round_trips(self):
+        query = parse_query("2*x - 3*y + 1 <= 0")
+        assert isinstance(query, QConstraint)
+        again = parse_query(str(query.constraint))
+        assert isinstance(again, QConstraint)
+        assert str(again.constraint) == str(query.constraint)
+
+    def test_parsed_query_is_engine_usable(self):
+        from repro.constraints.database import ConstraintDatabase
+        from repro.constraints.parser import parse_relation
+        from repro.queries.aggregates import exact_volume
+
+        database = ConstraintDatabase(
+            instances={"Zone": parse_relation("0 <= x <= 2 and 0 <= y <= 1")}
+        )
+        query = parse_query("Zone(x, y) and x <= 1")
+        assert exact_volume(query, database).value == pytest.approx(1.0)

@@ -1,0 +1,92 @@
+"""Admission control: the shedding policy, decided without a server."""
+
+import pytest
+
+from repro.serving.admission import AdmissionController, AdmissionPolicy, ServingStats
+
+
+class TestPolicyValidation:
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            AdmissionPolicy(capacity_seconds=0.0)
+
+    def test_rejects_zero_queue_limit(self):
+        with pytest.raises(ValueError):
+            AdmissionPolicy(queue_limit=0)
+
+    def test_rejects_out_of_range_bypass(self):
+        with pytest.raises(ValueError):
+            AdmissionPolicy(bypass_priority=10)
+
+
+class TestAdmission:
+    def test_admits_within_capacity(self):
+        controller = AdmissionController(AdmissionPolicy(capacity_seconds=1.0))
+        assert controller.admit(0.4, priority=5, remaining_deadline=None) is None
+        assert controller.admit(0.4, priority=5, remaining_deadline=None) is None
+        assert controller.backlog_seconds == pytest.approx(0.8)
+        assert controller.depth == 2
+
+    def test_sheds_overload_past_capacity(self):
+        controller = AdmissionController(AdmissionPolicy(capacity_seconds=1.0))
+        assert controller.admit(0.9, priority=5, remaining_deadline=None) is None
+        assert controller.admit(0.9, priority=5, remaining_deadline=None) == "overloaded"
+
+    def test_idle_server_always_admits(self):
+        # An expensive request on an empty queue must be served, not shed —
+        # otherwise queries costing more than capacity are unservable.
+        controller = AdmissionController(AdmissionPolicy(capacity_seconds=1.0))
+        assert controller.admit(50.0, priority=0, remaining_deadline=None) is None
+
+    def test_high_priority_bypasses_overload(self):
+        controller = AdmissionController(AdmissionPolicy(capacity_seconds=1.0))
+        assert controller.admit(0.9, priority=5, remaining_deadline=None) is None
+        assert controller.admit(0.9, priority=9, remaining_deadline=None) is None
+        assert controller.admit(0.9, priority=5, remaining_deadline=None) == "overloaded"
+
+    def test_queue_limit_sheds_even_high_priority(self):
+        controller = AdmissionController(
+            AdmissionPolicy(capacity_seconds=100.0, queue_limit=2)
+        )
+        assert controller.admit(0.1, priority=9, remaining_deadline=None) is None
+        assert controller.admit(0.1, priority=9, remaining_deadline=None) is None
+        assert controller.admit(0.1, priority=9, remaining_deadline=None) == "queue_full"
+
+    def test_unreachable_deadline_is_shed_up_front(self):
+        controller = AdmissionController(AdmissionPolicy(capacity_seconds=1.0))
+        code = controller.admit(0.5, priority=9, remaining_deadline=0.1)
+        assert code == "deadline_unreachable"
+        assert controller.depth == 0
+
+    def test_release_restores_capacity(self):
+        controller = AdmissionController(AdmissionPolicy(capacity_seconds=1.0))
+        assert controller.admit(0.9, priority=5, remaining_deadline=None) is None
+        controller.release(0.9)
+        assert controller.backlog_seconds == pytest.approx(0.0)
+        assert controller.admit(0.9, priority=5, remaining_deadline=None) is None
+
+    def test_release_never_goes_negative(self):
+        controller = AdmissionController()
+        controller.release(5.0)
+        assert controller.backlog_seconds == 0.0
+        assert controller.depth == 0
+
+    def test_load_fraction(self):
+        controller = AdmissionController(AdmissionPolicy(capacity_seconds=2.0))
+        controller.admit(1.0, priority=5, remaining_deadline=None)
+        assert controller.load() == pytest.approx(0.5)
+
+
+class TestServingStats:
+    def test_count_and_snapshot(self):
+        stats = ServingStats()
+        stats.count("received")
+        stats.count("received")
+        stats.count("shed_overload", 3)
+        snapshot = stats.snapshot()
+        assert snapshot["received"] == 2
+        assert snapshot["shed_overload"] == 3
+        assert stats.shed_total == 3
+
+    def test_snapshot_excludes_lock(self):
+        assert all(not key.startswith("_") for key in ServingStats().snapshot())

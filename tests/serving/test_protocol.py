@@ -1,0 +1,202 @@
+"""The wire protocol: request validation, query documents, config loading."""
+
+import json
+
+import pytest
+
+from repro.queries.ast import QAnd, QExists, QNot, QOr, QRelation
+from repro.queries.parser import parse_query
+from repro.serving.config import ServingConfig, build_database, load_config
+from repro.serving.protocol import (
+    ERROR_CODES,
+    ProtocolError,
+    QueryRequest,
+    error_body,
+    query_from_json,
+    query_to_json,
+)
+
+
+class TestErrorVocabulary:
+    def test_every_code_has_an_http_status(self):
+        for code, status in ERROR_CODES.items():
+            assert status in (400, 404, 405, 500, 503, 504), code
+
+    def test_error_body_shape(self):
+        body = error_body("overloaded", "too busy")
+        assert body == {"error": {"code": "overloaded", "message": "too busy"}}
+
+    def test_protocol_error_rejects_unknown_codes(self):
+        with pytest.raises(ValueError):
+            ProtocolError("no_such_code", "boom")
+
+
+class TestQueryDocuments:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "Zone(x, y)",
+            "Zone(x, y) and x <= 1/2",
+            "A(x) or B(x) or C(x)",
+            "not (x + y >= 1)",
+            "exists y. Map(x, y) and 0 <= y <= 1",
+            "2*x - 3*y + 1 <= 0",
+        ],
+    )
+    def test_round_trip(self, text):
+        query = parse_query(text)
+        document = query_to_json(query)
+        json.dumps(document)  # must be JSON-able
+        rebuilt = query_from_json(document)
+        assert type(rebuilt) is type(query)
+        assert query_to_json(rebuilt) == document
+
+    def test_round_trip_preserves_node_structure(self):
+        query = parse_query("exists y. (A(x, y) or B(x, y)) and not (x >= 1)")
+        rebuilt = query_from_json(query_to_json(query))
+        assert isinstance(rebuilt, QExists)
+        inner = rebuilt.operand
+        assert isinstance(inner, QAnd)
+        assert isinstance(inner.operands[0], QOr)
+        assert isinstance(inner.operands[1], QNot)
+
+    def test_unknown_op_is_rejected(self):
+        with pytest.raises(ProtocolError) as info:
+            query_from_json({"op": "xor", "args": []})
+        assert info.value.code == "invalid_query"
+
+    def test_malformed_document_is_rejected(self):
+        with pytest.raises(ProtocolError):
+            query_from_json({"op": "relation", "name": "Zone"})  # missing args
+
+    def test_constraint_node_must_be_single_comparison(self):
+        with pytest.raises(ProtocolError):
+            query_from_json({"op": "constraint", "text": "Zone(x, y)"})
+
+
+class TestQueryRequest:
+    def test_minimal_text_request(self):
+        request = QueryRequest.from_body(b'{"query": "Zone(x, y)"}')
+        assert isinstance(request.query, QRelation)
+        assert request.epsilon is None
+        assert request.priority == 5
+
+    def test_full_request(self):
+        request = QueryRequest.from_body(
+            {
+                "query": "Zone(x, y)",
+                "epsilon": 0.1,
+                "delta": 0.02,
+                "seed": 7,
+                "deadline_ms": 1500,
+                "priority": 8,
+            }
+        )
+        assert request.epsilon == 0.1
+        assert request.deadline_seconds == pytest.approx(1.5)
+        assert request.priority == 8
+        assert request.seed == 7
+
+    def test_ast_request(self):
+        document = query_to_json(parse_query("Zone(x, y) and x <= 1"))
+        request = QueryRequest.from_body({"ast": document})
+        assert isinstance(request.query, QAnd)
+
+    @pytest.mark.parametrize(
+        "body,code",
+        [
+            (b"not json", "invalid_request"),
+            (b"[]", "invalid_request"),
+            (b"{}", "invalid_request"),
+            (b'{"query": 7}', "invalid_request"),
+            (b'{"query": "Zone(x, y)", "ast": {}}', "invalid_request"),
+            (b'{"query": "Zone(x,"}', "invalid_query"),
+            (b'{"query": "Zone(x, y)", "epsilon": 2.0}', "invalid_request"),
+            (b'{"query": "Zone(x, y)", "epsilon": "a"}', "invalid_request"),
+            (b'{"query": "Zone(x, y)", "priority": 12}', "invalid_request"),
+            (b'{"query": "Zone(x, y)", "seed": 1.5}', "invalid_request"),
+            (b'{"query": "Zone(x, y)", "deadline_ms": -1}', "invalid_request"),
+        ],
+    )
+    def test_rejections(self, body, code):
+        with pytest.raises(ProtocolError) as info:
+            QueryRequest.from_body(body)
+        assert info.value.code == code
+
+
+class TestConfig:
+    def test_defaults(self):
+        config = ServingConfig()
+        assert config.port == 8787
+        assert config.workers >= 1
+
+    def test_load_from_toml(self, tmp_path):
+        path = tmp_path / "deploy.toml"
+        path.write_text(
+            """
+            [server]
+            port = 9999
+            workers = 2
+            capacity_seconds = 0.5
+            default_deadline_ms = 2000
+            store = "results.db"
+
+            [database]
+            preset = "gis"
+            seed = 3
+
+            [accuracy]
+            epsilon = 0.2
+            """
+        )
+        config = load_config(path)
+        assert config.port == 9999
+        assert config.capacity_seconds == 0.5
+        assert config.default_deadline_seconds == pytest.approx(2.0)
+        assert config.store_path == "results.db"
+        assert config.database_preset == "gis"
+        assert config.database_seed == 3
+        assert config.epsilon == 0.2
+        assert config.delta == 0.05  # untouched default
+
+    def test_unknown_keys_fail_loudly(self):
+        with pytest.raises(ValueError):
+            load_config({"server": {"prot": 1}})
+        with pytest.raises(ValueError):
+            load_config({"srever": {}})
+        with pytest.raises(ValueError):
+            load_config({"database": {"presett": "gis"}})
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServingConfig(workers=0)
+        with pytest.raises(ValueError):
+            ServingConfig(stream_factor=1.5)
+        with pytest.raises(ValueError):
+            ServingConfig(default_priority=11)
+
+
+class TestBuildDatabase:
+    def test_inline_relations(self):
+        config = ServingConfig(
+            database_relations={"Zone": "0 <= x <= 2 and 0 <= y <= 1"}
+        )
+        database = build_database(config)
+        assert database.names() == ("Zone",)
+
+    def test_gis_preset_is_deterministic(self):
+        first = build_database(ServingConfig(database_preset="gis", database_seed=5))
+        second = build_database(ServingConfig(database_preset="gis", database_seed=5))
+        assert first.names() == second.names()
+
+    def test_dumbbell_preset(self):
+        database = build_database(ServingConfig(database_preset="dumbbell"))
+        assert "Dumbbell" in database.names()
+
+    def test_unknown_preset(self):
+        with pytest.raises(ValueError):
+            build_database(ServingConfig(database_preset="mystery"))
+
+    def test_empty_database_is_rejected(self):
+        with pytest.raises(ValueError):
+            build_database(ServingConfig())

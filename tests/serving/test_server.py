@@ -1,0 +1,441 @@
+"""End-to-end tests of the HTTP front end: one real server, real sockets.
+
+The fixture runs a :class:`~repro.serving.server.ServingServer` on its own
+event loop in a daemon thread; tests talk plain ``http.client`` from the
+test thread, exactly as an external client would.
+"""
+
+import http.client
+import json
+import threading
+import time
+
+import pytest
+
+from repro.service.executor import BatchRequest
+from repro.queries.parser import parse_query
+from repro.serving import ServingConfig, ServingServer, build_session
+
+# A 4-d body routes past the exact planner limit (3) onto the adaptive
+# estimator, which is what deadlines, streaming and refinement exercise.
+HYPER = "0 <= x <= 1 and 0 <= y <= 1 and 0 <= z <= 1 and 0 <= w <= 1"
+SIMPLEX = "Hyper(x, y, z, w) and x + y + z + w <= 2"
+SLOW_EPSILON = 0.05
+
+
+def make_slow(fixture: "ServerFixture", seconds: float = 1.0) -> None:
+    """Give every *fresh* execution on the fixture a fixed minimum duration.
+
+    Timing-sensitive scenarios (deadlines expiring mid-computation,
+    followers piling onto an inflight leader) must not depend on how fast
+    the machine samples; stretching the execute-unit boundary makes the
+    inflight window deterministic.  Cache hits and refinements stay fast.
+    """
+    session = fixture.server.session
+    original = session._execute_unit
+
+    def slowed(plan, query, rng):
+        time.sleep(seconds)
+        return original(plan, query, rng)
+
+    session._execute_unit = slowed
+
+
+def make_config(**overrides) -> ServingConfig:
+    values = dict(
+        port=0,
+        workers=2,
+        database_relations={
+            "Hyper": HYPER,
+            "Zone": "0 <= x <= 2 and 0 <= y <= 1",
+        },
+    )
+    values.update(overrides)
+    return ServingConfig(**values)
+
+
+class ServerFixture:
+    """A live server on an ephemeral port, hosted by a daemon thread."""
+
+    def __init__(self, config: ServingConfig) -> None:
+        self.config = config
+        self.server: ServingServer | None = None
+        self.port: int | None = None
+        self._ready = threading.Event()
+        self._stop = None
+        self._loop = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def __enter__(self) -> "ServerFixture":
+        self._thread.start()
+        assert self._ready.wait(timeout=10), "server failed to start"
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=30)
+
+    def _run(self) -> None:
+        import asyncio
+
+        async def main():
+            self.server = ServingServer(self.config)
+            self._loop = asyncio.get_running_loop()
+            self._stop = asyncio.Event()
+            self.port = await self.server.start()
+            self._ready.set()
+            await self._stop.wait()
+            await self.server.stop()
+
+        asyncio.run(main())
+
+    # ------------------------------------------------------------------
+    def post(self, path: str, body: dict, timeout: float = 120.0):
+        connection = http.client.HTTPConnection("127.0.0.1", self.port, timeout=timeout)
+        try:
+            connection.request(
+                "POST", path, body=json.dumps(body),
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            return response.status, json.loads(response.read() or b"{}")
+        finally:
+            connection.close()
+
+    def get(self, path: str, timeout: float = 30.0):
+        connection = http.client.HTTPConnection("127.0.0.1", self.port, timeout=timeout)
+        try:
+            connection.request("GET", path)
+            response = connection.getresponse()
+            return response.status, response.read().decode()
+        finally:
+            connection.close()
+
+    def stream(self, body: dict, timeout: float = 120.0):
+        connection = http.client.HTTPConnection("127.0.0.1", self.port, timeout=timeout)
+        try:
+            connection.request("POST", "/v1/stream", body=json.dumps(body))
+            response = connection.getresponse()
+            lines = response.read().decode().splitlines()
+            return response.status, [json.loads(line) for line in lines if line.strip()]
+        finally:
+            connection.close()
+
+    def stats(self) -> dict:
+        status, body = self.get("/v1/stats")
+        assert status == 200
+        return json.loads(body)
+
+    def wait_for_inflight(self, minimum: int = 1, timeout: float = 10.0) -> None:
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.stats()["admission"]["inflight"] >= minimum:
+                return
+            time.sleep(0.01)
+        raise AssertionError("no inflight computation appeared")
+
+
+@pytest.fixture
+def live_server():
+    with ServerFixture(make_config()) as fixture:
+        yield fixture
+
+
+class TestBasicEndpoints:
+    def test_healthz(self, live_server):
+        status, body = live_server.get("/healthz")
+        assert status == 200
+        assert json.loads(body)["status"] == "ok"
+
+    def test_exact_query(self, live_server):
+        status, payload = live_server.post("/v1/query", {"query": "Zone(x, y) and x <= 1"})
+        assert status == 200
+        assert payload["value"] == pytest.approx(1.0)
+        assert payload["exact"] is True
+        assert payload["certified_epsilon"] == 0.0
+
+    def test_repeat_hits_cache_fast_path(self, live_server):
+        body = {"query": "Zone(x, y)"}
+        live_server.post("/v1/query", body)
+        status, payload = live_server.post("/v1/query", body)
+        assert status == 200
+        assert payload["cached"] is True
+        assert live_server.stats()["serving"]["cache_fast_path"] >= 1
+
+    def test_invalid_query_is_400(self, live_server):
+        status, payload = live_server.post("/v1/query", {"query": "Zone(x,"})
+        assert status == 400
+        assert payload["error"]["code"] == "invalid_query"
+
+    def test_unknown_endpoint_is_404(self, live_server):
+        status, body = live_server.get("/v1/nope")
+        assert status == 404
+
+    def test_wrong_method_is_405(self, live_server):
+        status, payload = live_server.post("/metrics", {})
+        assert status == 405
+        assert payload["error"]["code"] == "method_not_allowed"
+
+    def test_metrics_exposition(self, live_server):
+        live_server.post("/v1/query", {"query": "Zone(x, y)"})
+        status, text = live_server.get("/metrics")
+        assert status == 200
+        assert "repro_serving_received_total" in text
+        assert "repro_serving_backlog_seconds" in text
+        assert "repro_cache_hits_total" in text  # session counters ride along
+
+    def test_stats_endpoint(self, live_server):
+        payload = live_server.stats()
+        assert {"serving", "admission", "session"} <= set(payload)
+
+
+class TestDeterminism:
+    def test_seeded_query_matches_in_process_batch(self, live_server):
+        status, payload = live_server.post(
+            "/v1/query", {"query": SIMPLEX, "epsilon": 0.2, "seed": 42}
+        )
+        assert status == 200
+        session = build_session(make_config())
+        outcome = session.submit_batch(
+            [BatchRequest(parse_query(SIMPLEX), epsilon=0.2)], rng=42
+        )[0]
+        assert payload["value"] == outcome.result.value
+
+    def test_streamed_final_matches_in_process_batch(self):
+        # A fresh server (cold cache) streaming to the requested ε must land
+        # on the same bits as the in-process batch path with the same seed.
+        with ServerFixture(make_config()) as fixture:
+            status, events = fixture.stream(
+                {"query": SIMPLEX, "epsilon": 0.08, "seed": 9}
+            )
+        assert status == 200
+        assert events[0]["event"] == "accepted"
+        final = events[-1]
+        assert final["event"] == "final"
+        session = build_session(make_config())
+        outcome = session.submit_batch(
+            [BatchRequest(parse_query(SIMPLEX), epsilon=0.08)], rng=9
+        )[0]
+        assert final["value"] == outcome.result.value
+
+    def test_stream_checkpoints_tighten_monotonically(self):
+        with ServerFixture(make_config()) as fixture:
+            status, events = fixture.stream(
+                {"query": SIMPLEX, "epsilon": 0.08, "seed": 5}
+            )
+        checkpoints = [event for event in events if event["event"] == "checkpoint"]
+        assert checkpoints, "adaptive stream produced no checkpoints"
+        certified = [event["eps"] for event in checkpoints]
+        assert certified == sorted(certified, reverse=True)
+        assert events[-1]["certified_epsilon"] <= 0.08
+
+
+class TestCoalescing:
+    def test_followers_receive_leaders_bits(self):
+        with ServerFixture(make_config()) as fixture:
+            make_slow(fixture, 1.5)
+            body = {"query": SIMPLEX, "epsilon": SLOW_EPSILON, "seed": 1}
+            results = []
+
+            def issue():
+                results.append(fixture.post("/v1/query", body))
+
+            leader = threading.Thread(target=issue)
+            leader.start()
+            fixture.wait_for_inflight()
+            followers = [threading.Thread(target=issue) for _ in range(3)]
+            for thread in followers:
+                thread.start()
+            for thread in [leader, *followers]:
+                thread.join(timeout=120)
+
+            assert len(results) == 4
+            assert all(status == 200 for status, _ in results)
+            values = {payload["value"] for _, payload in results}
+            assert len(values) == 1, "followers diverged from the leader"
+            serving = fixture.stats()["serving"]
+            assert serving["coalesced_followers"] >= 1
+            assert serving["coalesced_leaders"] == 1
+
+    def test_follower_deadline_does_not_cancel_leader(self):
+        with ServerFixture(make_config()) as fixture:
+            make_slow(fixture, 1.5)
+            body = {"query": SIMPLEX, "epsilon": SLOW_EPSILON, "seed": 1}
+            results = []
+
+            def lead():
+                results.append(fixture.post("/v1/query", body))
+
+            leader = threading.Thread(target=lead)
+            leader.start()
+            fixture.wait_for_inflight()
+            # The follower gives up almost immediately; the leader must
+            # still complete with a full answer.
+            status, payload = fixture.post(
+                "/v1/query", {**body, "deadline_ms": 50}
+            )
+            assert status == 504
+            assert payload["error"]["code"] == "deadline_exceeded"
+            leader.join(timeout=120)
+            assert results[0][0] == 200
+            assert "value" in results[0][1]
+
+
+class TestDeadlines:
+    def test_unreachable_deadline_is_shed_up_front(self, live_server):
+        status, payload = live_server.post(
+            "/v1/query", {"query": SIMPLEX, "epsilon": 0.02, "deadline_ms": 1}
+        )
+        assert status == 504
+        assert payload["error"]["code"] in ("deadline_unreachable", "deadline_exceeded")
+
+    def test_deadline_mid_computation_sheds_cleanly(self):
+        # The deadline expires while the estimator is sampling: the client
+        # gets an explicit error — never a stale or partial value — and the
+        # computation still lands in the cache for later requests.
+        with ServerFixture(make_config(capacity_seconds=1000.0)) as fixture:
+            make_slow(fixture, 1.5)
+            body = {
+                "query": SIMPLEX,
+                "epsilon": SLOW_EPSILON,
+                "seed": 1,
+                "deadline_ms": 600,
+                "priority": 9,
+            }
+            status, payload = fixture.post("/v1/query", body)
+            assert status == 504
+            assert payload["error"]["code"] == "deadline_exceeded"
+            assert "value" not in payload
+            # The shed did not abort the shared computation: the answer
+            # becomes servable from cache shortly after.
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                status, payload = fixture.post(
+                    "/v1/query",
+                    {"query": SIMPLEX, "epsilon": SLOW_EPSILON, "seed": 1},
+                )
+                if status == 200 and payload.get("cached"):
+                    break
+                time.sleep(0.05)
+            assert status == 200
+            assert payload["cached"] is True
+
+    def test_stream_deadline_mid_computation(self):
+        with ServerFixture(make_config()) as fixture:
+            make_slow(fixture, 1.5)
+            status, events = fixture.stream(
+                {
+                    "query": SIMPLEX,
+                    "epsilon": SLOW_EPSILON,
+                    "seed": 2,
+                    "deadline_ms": 600,
+                }
+            )
+            assert status == 200
+            assert events[-1]["event"] == "error"
+            assert events[-1]["error"]["code"] == "deadline_exceeded"
+
+
+class TestStreamingDisconnect:
+    def test_disconnected_client_does_not_abort_shared_computation(self):
+        with ServerFixture(make_config()) as fixture:
+            make_slow(fixture, 1.0)
+            connection = http.client.HTTPConnection(
+                "127.0.0.1", fixture.port, timeout=30
+            )
+            connection.request(
+                "POST",
+                "/v1/stream",
+                body=json.dumps(
+                    {"query": SIMPLEX, "epsilon": SLOW_EPSILON, "seed": 4}
+                ),
+            )
+            response = connection.getresponse()
+            response.fp.readline()  # the chunked header / first bytes arrived
+            connection.close()  # the client vanishes mid-stream
+
+            # The in-flight stage must keep computing and land in the
+            # session cache — checked directly, without issuing any query
+            # that could compute it on the disconnected client's behalf.
+            session = fixture.server.session
+            key = session.key_for(parse_query(SIMPLEX))
+            deadline = time.monotonic() + 60
+            cached = None
+            while time.monotonic() < deadline:
+                cached, _ = session.cache.lookup(key, 0.5, 0.05)
+                if cached is not None:
+                    break
+                time.sleep(0.05)
+            assert cached is not None, "disconnect aborted the shared computation"
+            assert cached.value > 0
+
+
+class TestOverload:
+    def test_overload_sheds_explicitly_and_drops_nothing(self):
+        # A capacity of ~one slow request: the flood must be answered —
+        # some 200s, the rest explicit 503 overloaded — with zero silent drops.
+        with ServerFixture(make_config(capacity_seconds=0.05, workers=2)) as fixture:
+            make_slow(fixture, 2.0)
+            body = {"query": SIMPLEX, "epsilon": SLOW_EPSILON, "seed": 1}
+            first = threading.Thread(
+                target=lambda: results.append(fixture.post("/v1/query", body))
+            )
+            results: list = []
+            first.start()
+            fixture.wait_for_inflight()
+
+            flood = []
+            threads = []
+            for index in range(6):
+                # Distinct constants defeat coalescing so each request faces
+                # the admission decision on its own.
+                flood_body = {
+                    "query": f"Hyper(x, y, z, w) and 4*x + 4*y + 4*z + 4*w <= {9 + index}/2",
+                    "epsilon": SLOW_EPSILON,
+                }
+                threads.append(
+                    threading.Thread(
+                        target=lambda b=flood_body: flood.append(
+                            fixture.post("/v1/query", b)
+                        )
+                    )
+                )
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120)
+            first.join(timeout=120)
+
+            assert len(flood) == 6, "a request was silently dropped"
+            shed = [payload for status, payload in flood if status == 503]
+            assert shed, "overload shed nothing despite a saturated queue"
+            for payload in shed:
+                assert payload["error"]["code"] in ("overloaded", "queue_full")
+            serving = fixture.stats()["serving"]
+            assert serving["shed_overload"] + serving["shed_queue_full"] >= len(shed)
+
+    def test_high_priority_bypasses_overload(self):
+        with ServerFixture(make_config(capacity_seconds=0.05)) as fixture:
+            make_slow(fixture, 2.0)
+            body = {"query": SIMPLEX, "epsilon": SLOW_EPSILON, "seed": 1}
+            background: list = []
+            first = threading.Thread(
+                target=lambda: background.append(fixture.post("/v1/query", body))
+            )
+            first.start()
+            fixture.wait_for_inflight()
+
+            low = fixture.post(
+                "/v1/query",
+                {"query": "Hyper(x, y, z, w) and x + y <= 1", "epsilon": SLOW_EPSILON,
+                 "priority": 2},
+            )
+            high = fixture.post(
+                "/v1/query",
+                {"query": "Hyper(x, y, z, w) and y + z <= 1", "epsilon": SLOW_EPSILON,
+                 "priority": 9},
+            )
+            assert low[0] == 503
+            assert high[0] == 200
+            first.join(timeout=120)
