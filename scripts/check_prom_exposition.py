@@ -1,0 +1,234 @@
+#!/usr/bin/env python
+"""Lint Prometheus text exposition (the format served by ``/metrics``).
+
+Checks the invariants a scraper relies on, beyond "it parses":
+
+* every sample belongs to a family announced by ``# HELP`` *and* ``# TYPE``
+  lines that precede it (histogram samples ``X_bucket`` / ``X_sum`` /
+  ``X_count`` belong to family ``X``);
+* metric and label names match the Prometheus grammar, label values use
+  only the legal escapes (``\\\\``, ``\\"``, ``\\n``);
+* no duplicate series (same name + label set twice);
+* histogram buckets are cumulative (counts monotone in ``le``), end with a
+  ``+Inf`` bucket, and that bucket equals ``X_count``;
+* every sample value parses as a float.
+
+Usage::
+
+    python scripts/check_prom_exposition.py [FILE ...]
+
+Reads stdin when no files are given.  Exits 1 with one message per problem.
+Importable: :func:`lint` returns the list of problems for a text blob, which
+is how the telemetry tests use it.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from typing import Iterable
+
+__all__ = ["lint", "main"]
+
+_METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)"
+    r"(?:\s+(?P<timestamp>-?\d+))?$"
+)
+_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+_HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def _family_of(sample_name: str, declared: dict[str, str]) -> str:
+    """Map a sample name to its metric family.
+
+    Histogram/summary samples carry suffixes; strip them only when the
+    stripped name was actually declared as a histogram or summary.
+    """
+    for suffix in _HISTOGRAM_SUFFIXES:
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            if declared.get(base) in ("histogram", "summary"):
+                return base
+    return sample_name
+
+
+def _parse_labels(raw: str, where: str, problems: list[str]) -> tuple | None:
+    """Parse a label body ``a="x",b="y"`` into a sorted tuple of pairs."""
+    pairs = []
+    position = 0
+    text = raw.strip()
+    if text.endswith(","):
+        text = text[:-1]
+    while position < len(text):
+        match = re.match(r'\s*([a-zA-Z_][a-zA-Z0-9_]*)="', text[position:])
+        if match is None:
+            problems.append(f"{where}: malformed label list {raw!r}")
+            return None
+        name = match.group(1)
+        position += match.end()
+        value_chars = []
+        while position < len(text):
+            char = text[position]
+            if char == "\\":
+                if position + 1 >= len(text) or text[position + 1] not in ('\\', '"', "n"):
+                    problems.append(
+                        f"{where}: bad escape in label value of {name!r}"
+                    )
+                    return None
+                value_chars.append(text[position : position + 2])
+                position += 2
+                continue
+            if char == '"':
+                position += 1
+                break
+            if char == "\n":
+                problems.append(f"{where}: raw newline in label value of {name!r}")
+                return None
+            value_chars.append(char)
+            position += 1
+        else:
+            problems.append(f"{where}: unterminated label value for {name!r}")
+            return None
+        pairs.append((name, "".join(value_chars)))
+        remainder = text[position:].lstrip()
+        if remainder.startswith(","):
+            position = len(text) - len(remainder) + 1
+        elif remainder:
+            problems.append(f"{where}: junk after label {name!r}: {remainder!r}")
+            return None
+        else:
+            position = len(text)
+    return tuple(sorted(pairs))
+
+
+def lint(text: str) -> list[str]:
+    """Return a list of problems with a Prometheus exposition blob."""
+    problems: list[str] = []
+    helped: set[str] = set()
+    typed: dict[str, str] = {}
+    seen_series: set[tuple] = set()
+    # family -> sorted-non-le-labels -> list of (le, count)
+    buckets: dict[str, dict[tuple, list[tuple[float, float]]]] = {}
+    counts: dict[str, dict[tuple, float]] = {}
+
+    for number, line in enumerate(text.splitlines(), start=1):
+        where = f"line {number}"
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(None, 3)
+            if len(parts) < 3:
+                problems.append(f"{where}: malformed HELP line")
+                continue
+            name = parts[2]
+            if not _METRIC_NAME.match(name):
+                problems.append(f"{where}: bad metric name in HELP: {name!r}")
+            if name in helped:
+                problems.append(f"{where}: duplicate HELP for {name}")
+            helped.add(name)
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4:
+                problems.append(f"{where}: malformed TYPE line")
+                continue
+            name, kind = parts[2], parts[3]
+            if not _METRIC_NAME.match(name):
+                problems.append(f"{where}: bad metric name in TYPE: {name!r}")
+            if kind not in _TYPES:
+                problems.append(f"{where}: unknown metric type {kind!r}")
+            if name in typed:
+                problems.append(f"{where}: duplicate TYPE for {name}")
+            typed[name] = kind
+            continue
+        if line.startswith("#"):
+            continue  # arbitrary comments are legal
+
+        match = _SAMPLE.match(line)
+        if match is None:
+            problems.append(f"{where}: unparseable sample line {line!r}")
+            continue
+        sample_name = match.group("name")
+        family = _family_of(sample_name, typed)
+        if family not in typed:
+            problems.append(f"{where}: sample {sample_name} has no # TYPE")
+        if family not in helped:
+            problems.append(f"{where}: sample {sample_name} has no # HELP")
+        labels_raw = match.group("labels")
+        labels = ()
+        if labels_raw is not None:
+            parsed = _parse_labels(labels_raw, where, problems)
+            if parsed is None:
+                continue
+            labels = parsed
+            for label_name, _ in labels:
+                if not _LABEL_NAME.match(label_name):
+                    problems.append(f"{where}: bad label name {label_name!r}")
+        series = (sample_name, labels)
+        if series in seen_series:
+            problems.append(f"{where}: duplicate series {sample_name}{dict(labels)}")
+        seen_series.add(series)
+        try:
+            value = float(match.group("value"))
+        except ValueError:
+            problems.append(
+                f"{where}: sample value {match.group('value')!r} is not a float"
+            )
+            continue
+        if typed.get(family) == "histogram":
+            if sample_name == family + "_bucket":
+                le = dict(labels).get("le")
+                if le is None:
+                    problems.append(f"{where}: histogram bucket without le label")
+                    continue
+                rest = tuple(pair for pair in labels if pair[0] != "le")
+                bound = float("inf") if le == "+Inf" else float(le)
+                buckets.setdefault(family, {}).setdefault(rest, []).append(
+                    (bound, value)
+                )
+            elif sample_name == family + "_count":
+                counts.setdefault(family, {})[labels] = value
+
+    for family, by_labels in buckets.items():
+        for rest, series in by_labels.items():
+            ordered = sorted(series, key=lambda pair: pair[0])
+            values = [count for _, count in ordered]
+            if any(later < earlier for earlier, later in zip(values, values[1:])):
+                problems.append(
+                    f"histogram {family}{dict(rest)}: bucket counts not cumulative"
+                )
+            if not ordered or ordered[-1][0] != float("inf"):
+                problems.append(f"histogram {family}{dict(rest)}: no +Inf bucket")
+            else:
+                total = counts.get(family, {}).get(rest)
+                if total is not None and ordered[-1][1] != total:
+                    problems.append(
+                        f"histogram {family}{dict(rest)}: +Inf bucket "
+                        f"({ordered[-1][1]}) != _count ({total})"
+                    )
+    return problems
+
+
+def main(argv: Iterable[str] | None = None) -> int:
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    if arguments:
+        blobs = [(path, open(path).read()) for path in arguments]
+    else:
+        blobs = [("<stdin>", sys.stdin.read())]
+    failures = 0
+    for source, text in blobs:
+        for problem in lint(text):
+            print(f"{source}: {problem}", file=sys.stderr)
+            failures += 1
+    if failures:
+        print(f"check_prom_exposition: {failures} problem(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

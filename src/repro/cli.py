@@ -1,6 +1,6 @@
 """The ``repro`` console entry point: deploy and query the serving front end.
 
-Two subcommands (full reference in ``docs/cli.md``):
+Three subcommands (full reference in ``docs/cli.md``):
 
 ``repro serve``
     Start the HTTP front end for a deployment described by a TOML config
@@ -12,6 +12,12 @@ Two subcommands (full reference in ``docs/cli.md``):
     in process against a config-described database when no server is given.
     ``--stream`` switches to the anytime NDJSON protocol and prints each
     certified checkpoint as it arrives.
+
+``repro top``
+    Render the live per-plan-digest profile table of a running server
+    (``GET /v1/profile``): calls, cache-hit ratios, wall-clock quantiles,
+    samples drawn and chosen routes, refreshed every ``--interval`` seconds
+    (``--once`` prints a single table and exits).
 
 Exit codes are stable and scriptable:
 
@@ -86,6 +92,24 @@ def _build_parser() -> argparse.ArgumentParser:
     query.add_argument("--priority", type=int, default=None)
     query.add_argument(
         "--stream", action="store_true", help="anytime NDJSON stream (server mode only)"
+    )
+
+    top = commands.add_parser(
+        "top", help="live per-plan-digest profile table from a running server"
+    )
+    top.add_argument(
+        "--server",
+        required=True,
+        help="server base URL, e.g. http://127.0.0.1:8787",
+    )
+    top.add_argument(
+        "--interval", type=float, default=2.0, help="refresh period in seconds"
+    )
+    top.add_argument(
+        "--once", action="store_true", help="print one table and exit"
+    )
+    top.add_argument(
+        "--limit", type=int, default=15, help="number of profile rows to show"
     )
     return parser
 
@@ -237,11 +261,94 @@ def _cmd_query(options: argparse.Namespace) -> int:
     return _cmd_query_local(options)
 
 
+def _parse_server(url: str) -> tuple[str, int] | None:
+    parsed = urllib.parse.urlparse(url)
+    if parsed.scheme not in ("http", "") or not (parsed.hostname or parsed.path):
+        return None
+    return parsed.hostname or parsed.path, parsed.port or 8787
+
+
+def _fetch_profile(host: str, port: int) -> dict:
+    connection = http.client.HTTPConnection(host, port, timeout=30)
+    try:
+        connection.request("GET", "/v1/profile")
+        response = connection.getresponse()
+        return json.loads(response.read() or b"{}")
+    finally:
+        connection.close()
+
+
+def _render_top(payload: dict, limit: int) -> str:
+    header = (
+        f"{'DIGEST':14} {'CALLS':>6} {'HITS':>6} {'HIT%':>6} "
+        f"{'P50(ms)':>9} {'P95(ms)':>9} {'SAMPLES':>10} ROUTE"
+    )
+    lines = [header]
+    for row in payload.get("profiles", [])[:limit]:
+        lines.append(
+            f"{row.get('digest', '')[:12]:14} "
+            f"{row.get('calls', 0):>6} "
+            f"{row.get('hits', 0):>6} "
+            f"{100.0 * row.get('hit_ratio', 0.0):>5.1f}% "
+            f"{1e3 * row.get('wall_p50', 0.0):>9.2f} "
+            f"{1e3 * row.get('wall_p95', 0.0):>9.2f} "
+            f"{row.get('samples_total', 0):>10} "
+            f"{row.get('route', '')}"
+        )
+    if len(lines) == 1:
+        lines.append("(no profiles yet)")
+    for slo in payload.get("slo", []):
+        lines.append(
+            f"SLO {slo.get('histogram')}: objective={slo.get('objective')} "
+            f"burn 1m={slo.get('burn_1m', 0.0):.2f} "
+            f"1h={slo.get('burn_1h', 0.0):.2f} "
+            f"{'OK' if slo.get('healthy') else 'BURNING'}"
+        )
+    auditor = payload.get("auditor")
+    if auditor:
+        alarms = auditor.get("alarms", [])
+        lines.append(
+            f"calibration: {auditor.get('probes', 0)} probes, "
+            f"{len(auditor.get('cells', []))} cells, "
+            f"{len(alarms)} alarm(s)"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_top(options: argparse.Namespace) -> int:
+    import time as _time
+
+    server = _parse_server(options.server)
+    if server is None:
+        print(f"repro top: bad server URL {options.server!r}", file=sys.stderr)
+        return EXIT_USAGE
+    host, port = server
+    try:
+        while True:
+            try:
+                payload = _fetch_profile(host, port)
+            except (ConnectionError, OSError) as error:
+                print(
+                    f"repro top: cannot reach {host}:{port}: {error}",
+                    file=sys.stderr,
+                )
+                return EXIT_UNREACHABLE
+            print(_render_top(payload, options.limit), flush=True)
+            if options.once:
+                return EXIT_OK
+            print(flush=True)
+            _time.sleep(max(0.1, options.interval))
+    except KeyboardInterrupt:
+        return EXIT_OK
+
+
 def main(argv: list[str] | None = None) -> int:
     """The ``repro`` console entry point; returns the process exit code."""
     options = _build_parser().parse_args(argv)
     if options.command == "serve":
         return _cmd_serve(options)
+    if options.command == "top":
+        return _cmd_top(options)
     return _cmd_query(options)
 
 

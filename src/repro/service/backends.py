@@ -188,8 +188,20 @@ def _referenced_relations(queries) -> set[str]:
     return names
 
 
-def _compute_in_session(session, unit: WorkUnit, backend: str) -> WorkResult:
-    """Compute one unit inside the calling session (serial and thread path)."""
+def _compute_in_session(
+    session, unit: WorkUnit, backend: str, enqueued: float | None = None
+) -> WorkResult:
+    """Compute one unit inside the calling session (serial and thread path).
+
+    ``enqueued`` is the ``perf_counter`` instant the unit entered the
+    backend; the gap to compute start is recorded as queue wait in the
+    session's observatory (serial units wait behind their predecessors,
+    thread units behind pool scheduling).
+    """
+    if enqueued is not None:
+        observatory = getattr(session, "observatory", None)
+        if observatory is not None:
+            observatory.observe("queue_wait_seconds", time.perf_counter() - enqueued)
     rng = np.random.default_rng(unit.seed)
     with current_tracer().span(
         "work-unit",
@@ -239,7 +251,11 @@ class SerialBackend(ExecutionBackend):
     def execute(
         self, session, units: Sequence[WorkUnit], workers: int
     ) -> list[WorkResult]:
-        return [_compute_in_session(session, unit, self.name) for unit in units]
+        batch_start = time.perf_counter()
+        return [
+            _compute_in_session(session, unit, self.name, enqueued=batch_start)
+            for unit in units
+        ]
 
 
 class ThreadBackend(ExecutionBackend):
@@ -257,8 +273,12 @@ class ThreadBackend(ExecutionBackend):
     def execute(
         self, session, units: Sequence[WorkUnit], workers: int
     ) -> list[WorkResult]:
+        batch_start = time.perf_counter()
         if workers <= 1 or len(units) <= 1:
-            return [_compute_in_session(session, unit, self.name) for unit in units]
+            return [
+                _compute_in_session(session, unit, self.name, enqueued=batch_start)
+                for unit in units
+            ]
         # Each task carries a copy of the submitting thread's context so the
         # active tracer and the current span (the batch's compute span)
         # propagate into the pool: worker-thread spans parent correctly
@@ -268,7 +288,11 @@ class ThreadBackend(ExecutionBackend):
             return list(
                 pool.map(
                     lambda pair: pair[0].run(
-                        _compute_in_session, session, pair[1], self.name
+                        _compute_in_session,
+                        session,
+                        pair[1],
+                        self.name,
+                        batch_start,
                     ),
                     zip(contexts, units),
                 )
@@ -463,13 +487,18 @@ class ProcessBackend(ExecutionBackend):
                 pickle.dumps(unit, protocol=pickle.HIGHEST_PROTOCOL) for unit in units
             ]
             max_workers = max(1, min(workers, len(units), (os.cpu_count() or 1) * 4))
+            dispatch_start = time.perf_counter()
+            arrivals: list[float] = []
             with ProcessPoolExecutor(
                 max_workers=max_workers,
                 mp_context=get_context(self.start_method),
                 initializer=_worker_initialize,
                 initargs=(payload,),
             ) as pool:
-                raw = list(pool.map(_worker_execute, unit_blobs))
+                raw = []
+                for blob in pool.map(_worker_execute, unit_blobs):
+                    raw.append(blob)
+                    arrivals.append(time.perf_counter() - dispatch_start)
         except Exception as error:
             # Pool-wide failures (a worker OOM-killed → BrokenProcessPool,
             # an unpicklable payload, ...) have no single originating
@@ -481,13 +510,21 @@ class ProcessBackend(ExecutionBackend):
                 self.name,
                 f"pool failure: {type(error).__name__}: {error}",
             ) from error
+        observatory = getattr(session, "observatory", None)
         results: list[WorkResult] = []
-        for unit, blob in zip(units, raw):
+        for unit, blob, arrival in zip(units, raw, arrivals):
             record = pickle.loads(blob)
             if record[0] == "error":
                 _, index, key, rendering = record
                 raise BatchExecutionError(index, key, self.name, rendering)
             _, key, result, elapsed, compiled, refined, spans, counters = record
+            if observatory is not None:
+                # Worker clocks share no epoch with the parent, so queue
+                # wait is approximated parent-side: time from dispatch to
+                # the result's arrival minus the measured compute, clamped.
+                observatory.observe(
+                    "queue_wait_seconds", max(0.0, arrival - elapsed)
+                )
             if compiled is not None:
                 # Adopt the worker's post-execution compiled state so the
                 # parent's memoised plan is indistinguishable from one the

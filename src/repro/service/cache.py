@@ -351,6 +351,10 @@ class ResultCache:
             # load_live is most-recent-first; insert in reverse so the most
             # recently written row ends up most recently used.
             for key, stored in reversed(loaded):
+                if stored.meta.kind == "profile":
+                    # Runtime profiles share the store but are not servable
+                    # results; promoting them would pollute the LRU.
+                    continue
                 entry = self._entry_from_stored(stored)
                 if entry is None:
                     continue

@@ -164,6 +164,9 @@ def _run_batch_phases(
             cached, dominance = session.cache.lookup(key, epsilon, delta)
             if cached is not None:
                 session.metrics.record_cache_hit(dominance=dominance)
+                session.observatory.record_hit(
+                    meta.digest, "dominance" if dominance else "memory"
+                )
             else:
                 session.metrics.record_cache_miss()
                 if key not in unique:
@@ -268,7 +271,12 @@ def _run_batch_phases(
         for unit, work in zip(units, results):
             if work.refined:
                 session.metrics.record_refinement()
-            session._record_execution(work.plan, work.result, work.elapsed)
+            session._record_execution(
+                work.plan,
+                work.result,
+                work.elapsed,
+                digest=metas[unit.key].digest,
+            )
             computed[unit.key] = (work.result, work.plan)
         batch_span.annotate(backend=chosen.name, units=len(units))
 

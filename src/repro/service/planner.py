@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import logging
 import os
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from threading import Lock
 from typing import Sequence
@@ -309,6 +310,12 @@ class Planner:
         self._telescoping_observations = 0
         self._adaptive_observations = 0
         self._throughput_lock = Lock()
+        # Per-plan-digest throughput priors (digest -> route -> samples/s),
+        # bounded LRU.  Fed online by observe_throughput(digest=...) and
+        # primed from persisted profiles on restart, so the cost model starts
+        # warm for queries it has served in any previous process.
+        self._digest_rates: OrderedDict[str, dict[str, float]] = OrderedDict()
+        self._digest_capacity = 1024
 
     def lowering_options(self, samples_per_phase: int = 800, sampler: str = "hit_and_run"):
         """The physical-lowering knobs this cost model implies.
@@ -326,7 +333,11 @@ class Planner:
         )
 
     def observe_throughput(
-        self, samples: int, seconds: float, route: str = "monte_carlo"
+        self,
+        samples: int,
+        seconds: float,
+        route: str = "monte_carlo",
+        digest: str | None = None,
     ) -> None:
         """Fold one measured sampling run into a per-route throughput estimate.
 
@@ -335,15 +346,20 @@ class Planner:
         keeps the estimate current without letting one noisy run swing the
         time budgets.  ``route`` selects the estimate: ``"monte_carlo"``
         updates the batch-kernel rate, ``"telescoping"`` the walk rate and
-        ``"adaptive"`` the confidence-sequence route's own rate.  Results
-        are unaffected — throughput only sizes the *budgets* that the
-        metrics compare latencies against and informs the backend
-        recommendation.  The update is locked because batch execution reports
-        from worker threads.
+        ``"adaptive"`` the confidence-sequence route's own rate.  When a plan
+        ``digest`` is given, a per-digest prior is maintained alongside the
+        global rate — plans the session has executed before get their *own*
+        cost estimate instead of the fleet-wide average.  Results are
+        unaffected — throughput only sizes the *budgets* that the metrics
+        compare latencies against and informs the backend recommendation.
+        The update is locked because batch execution reports from worker
+        threads.
         """
         if samples <= 0 or seconds <= 0:
             return
         observed = samples / seconds
+        if digest:
+            self._observe_digest(digest, route, observed)
         if route == "telescoping":
             rate_attr, count_attr = (
                 "telescoping_samples_per_second",
@@ -367,15 +383,66 @@ class Planner:
                 setattr(self, rate_attr, current + 0.3 * (observed - current))
             setattr(self, count_attr, getattr(self, count_attr) + 1)
 
-    def estimated_execution_seconds(self, plan: Plan) -> float:
+    def _observe_digest(self, digest: str, route: str, observed: float) -> None:
+        """EWMA-update the (digest, route) prior under the throughput lock."""
+        with self._throughput_lock:
+            rates = self._digest_rates.get(digest)
+            if rates is None:
+                if len(self._digest_rates) >= self._digest_capacity:
+                    self._digest_rates.popitem(last=False)
+                rates = {}
+                self._digest_rates[digest] = rates
+            else:
+                self._digest_rates.move_to_end(digest)
+            current = rates.get(route)
+            rates[route] = (
+                observed if current is None else current + 0.3 * (observed - current)
+            )
+
+    def prime_throughput(self, digest: str, route: str, rate: float) -> None:
+        """Install a restored per-digest prior (profile persistence path).
+
+        Unlike :meth:`observe_throughput` this sets the prior directly — the
+        rate was already smoothed when the profile accumulated it — but it
+        never *overwrites* a rate observed live in this process.
+        """
+        if not digest or rate <= 0.0:
+            return
+        with self._throughput_lock:
+            rates = self._digest_rates.get(digest)
+            if rates is None:
+                if len(self._digest_rates) >= self._digest_capacity:
+                    self._digest_rates.popitem(last=False)
+                rates = {}
+                self._digest_rates[digest] = rates
+            rates.setdefault(route, float(rate))
+
+    def digest_rate(self, digest: str, route: str) -> float | None:
+        """The per-digest samples/second prior, or ``None`` if unknown."""
+        with self._throughput_lock:
+            rates = self._digest_rates.get(digest)
+            return None if rates is None else rates.get(route)
+
+    def estimated_execution_seconds(
+        self, plan: Plan, digest: str | None = None
+    ) -> float:
         """Rough wall-clock estimate of executing one plan, from its budgets.
 
-        Sampling plans are costed at the learned per-route throughput; the
-        exact route is costed at the structural time-budget term only.  This
-        is the quantity :meth:`recommend_backend` compares against the
-        process backend's amortisation threshold — a scheduling heuristic,
-        never a correctness knob.
+        Sampling plans are costed at the learned per-route throughput — the
+        per-``digest`` prior when this exact plan has been executed before
+        (in this process or, via persisted profiles, a previous one), the
+        global route rate otherwise; the exact route is costed at the
+        structural time-budget term only.  This is the quantity
+        :meth:`recommend_backend` compares against the process backend's
+        amortisation threshold and serving admission compares against its
+        capacity — a scheduling heuristic, never a correctness knob.
         """
+        if plan.estimator == "exact":
+            return self.time_budget_per_unit
+        if digest:
+            prior = self.digest_rate(digest, plan.estimator)
+            if prior is not None:
+                return plan.sample_budget / max(prior, 1.0)
         if plan.estimator == "telescoping":
             return plan.sample_budget / max(self.telescoping_samples_per_second, 1.0)
         if plan.estimator == "monte_carlo":

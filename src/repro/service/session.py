@@ -48,6 +48,7 @@ from repro.service.metrics import ServiceMetrics
 from repro.service.planner import Plan, Planner, telescoping_samples_per_phase
 from repro.service.sharing import SubplanBroker, harvest_subplans
 from repro.store import EntryMeta, ResultStore
+from repro.telemetry.observatory import Observatory
 from repro.telemetry.tracer import NULL_TRACER, Tracer, activate, current_tracer
 from repro.volume.monte_carlo import monte_carlo_volume
 
@@ -265,6 +266,15 @@ class ServiceSession:
         one at) backing the result cache as a write-through second tier.
         The session warms its in-memory cache from the store at startup, so
         a fresh process serves repeated queries bit-identically from disk.
+    observatory:
+        The continuous-observability registry
+        (:class:`~repro.telemetry.observatory.Observatory`): latency/sample
+        histograms with rollup rings plus per-plan-digest profiles feeding
+        the planner per-digest throughput priors.  On by default; pass
+        ``False`` for the histogram-free telemetry-only baseline (benchmark
+        E24 holds the enabled observatory under a <5% overhead budget), or a
+        prebuilt instance to share one registry across sessions.  Like
+        tracing, observation never touches the random streams.
     """
 
     def __init__(
@@ -278,10 +288,17 @@ class ServiceSession:
         share_subplans: bool = True,
         tracer: Tracer | None = None,
         store: "ResultStore | str | Path | None" = None,
+        observatory: "Observatory | bool | None" = None,
     ) -> None:
         self.database = database
         self.params = params if params is not None else GeneratorParams()
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        if observatory is None or observatory is True:
+            self.observatory = Observatory()
+        elif observatory is False:
+            self.observatory = Observatory(enabled=False)
+        else:
+            self.observatory = observatory
         self.planner = planner if planner is not None else Planner()
         self.cache = cache if cache is not None else ResultCache()
         self.metrics = metrics if metrics is not None else ServiceMetrics()
@@ -304,6 +321,11 @@ class ServiceSession:
         self._lock = Lock()
         if self.cache.store is not None:
             self.cache.warm_from_store()
+            if self.observatory.enabled:
+                # Persisted profiles warm both the /v1/profile surface and
+                # the planner's per-digest cost priors across restarts.
+                self.observatory.profiles.load(self.cache.store)
+                self.observatory.profiles.prime_planner(self.planner)
 
     # ------------------------------------------------------------------
     # Keys and plans
@@ -411,6 +433,8 @@ class ServiceSession:
         """
         epsilon, delta = self._resolve_accuracy(epsilon, delta)
         key, meta = self.resolve_request(query)
+        started = time.perf_counter()
+        observatory = self.observatory
         with activate(self.tracer), self.tracer.span(
             "volume", key=key[:16], epsilon=epsilon, delta=delta
         ) as span:
@@ -423,8 +447,15 @@ class ServiceSession:
                     self.metrics.record_cache_hit(dominance=dominance)
                     if source == "store":
                         span.annotate(cache="store")
+                        observatory.record_hit(meta.digest, "store")
                     else:
                         span.annotate(cache="dominance" if dominance else "hit")
+                        observatory.record_hit(
+                            meta.digest, "dominance" if dominance else "memory"
+                        )
+                    observatory.observe(
+                        "request_seconds", time.perf_counter() - started
+                    )
                     return cached
                 self.metrics.record_cache_miss()
                 span.annotate(cache="miss")
@@ -437,10 +468,15 @@ class ServiceSession:
                 refined = self._refine_cached(key, epsilon, delta, meta)
                 if refined is not None:
                     span.annotate(cache="refined")
+                    observatory.record_hit(meta.digest, "refined")
+                    observatory.observe(
+                        "request_seconds", time.perf_counter() - started
+                    )
                     return refined
-            result = self._execute(plan, query, rng)
+            result = self._execute(plan, query, rng, digest=meta.digest)
             if use_cache:
                 self.cache.put(key, result, plan.epsilon, plan.delta, meta=meta)
+            observatory.observe("request_seconds", time.perf_counter() - started)
             return result
 
     def sample(
@@ -522,7 +558,12 @@ class ServiceSession:
         if estimate is not None:
             new_samples = int(estimate.details.get("new_samples", 0))
             if new_samples:
-                self.planner.observe_throughput(new_samples, elapsed, route="adaptive")
+                self.planner.observe_throughput(
+                    new_samples,
+                    elapsed,
+                    route="adaptive",
+                    digest=None if meta is None else meta.digest,
+                )
         self.cache.put(key, refined, epsilon, refined.refinable.delta, meta=meta)
         return refined
 
@@ -615,7 +656,11 @@ class ServiceSession:
         return result, elapsed
 
     def _record_execution(
-        self, plan: Plan, result: AggregateResult, elapsed: float
+        self,
+        plan: Plan,
+        result: AggregateResult,
+        elapsed: float,
+        digest: str | None = None,
     ) -> None:
         """Record plan choice, latency and measured throughput for one execution."""
         # Record the route that actually ran: the Monte-Carlo plan falls back
@@ -633,27 +678,42 @@ class ServiceSession:
         # elapsed time mixes walk steps with compilation, so folding the
         # routes together would corrupt both estimates.
         estimate = result.estimate
+        drawn = 0
         if estimate is not None and estimate.samples_used:
             if executed == "monte_carlo":
-                self.planner.observe_throughput(estimate.samples_used, elapsed)
+                drawn = estimate.samples_used
+                self.planner.observe_throughput(drawn, elapsed, digest=digest)
             elif executed == "adaptive":
                 # A continuation's estimate reports the whole stream; only
                 # the samples drawn in *this* execution were paid for here.
-                samples = int(
+                drawn = int(
                     estimate.details.get("new_samples", estimate.samples_used)
                 )
-                if samples:
+                if drawn:
                     self.planner.observe_throughput(
-                        samples, elapsed, route="adaptive"
+                        drawn, elapsed, route="adaptive", digest=digest
                     )
             elif executed == "telescoping":
+                drawn = estimate.samples_used
                 self.planner.observe_throughput(
-                    estimate.samples_used, elapsed, route="telescoping"
+                    drawn, elapsed, route="telescoping", digest=digest
                 )
+        observatory = self.observatory
+        if observatory.enabled:
+            observatory.record_execution(digest, executed, elapsed, drawn)
+            store = self.cache.store
+            if store is not None:
+                observatory.profiles.maybe_persist(store)
 
-    def _execute(self, plan: Plan, query: Query, rng: RandomState) -> AggregateResult:
+    def _execute(
+        self,
+        plan: Plan,
+        query: Query,
+        rng: RandomState,
+        digest: str | None = None,
+    ) -> AggregateResult:
         result, elapsed = self._execute_unit(plan, query, rng)
-        self._record_execution(plan, result, elapsed)
+        self._record_execution(plan, result, elapsed, digest=digest)
         return result
 
     def _resolve_accuracy(

@@ -56,6 +56,12 @@ class ServingConfig:
     schedule (first certified checkpoint, geometric tightening toward the
     requested ε).  ``database_preset`` or ``database_relations`` describe the
     served data; ``store_path`` attaches the persistent result store.
+    ``observatory`` toggles the continuous-observability registry
+    (histograms, per-digest profiles); ``slo_objective`` /
+    ``slo_latency_threshold`` define the request-latency SLO the burn-rate
+    gauges monitor; a positive ``audit_interval_seconds`` starts the
+    idle-time calibration auditor, spending ``audit_budget_seconds`` of
+    canary probes per idle cycle (see ``docs/observability.md``).
     """
 
     host: str = "127.0.0.1"
@@ -72,6 +78,11 @@ class ServingConfig:
     share_subplans: bool = True
     store_path: str | None = None
     trace: bool = False
+    observatory: bool = True
+    slo_objective: float = 0.999
+    slo_latency_threshold: float = 0.5
+    audit_interval_seconds: float = 0.0
+    audit_budget_seconds: float = 0.25
     stream_start_epsilon: float = 0.5
     stream_factor: float = 0.6
     database_preset: str | None = None
@@ -88,6 +99,14 @@ class ServingConfig:
             raise ValueError("stream_start_epsilon must lie in (0, 1)")
         if not 0 <= self.default_priority <= 9:
             raise ValueError("default_priority must lie in [0, 9]")
+        if not 0 < self.slo_objective < 1:
+            raise ValueError("slo_objective must lie in (0, 1)")
+        if self.slo_latency_threshold <= 0:
+            raise ValueError("slo_latency_threshold must be positive")
+        if self.audit_interval_seconds < 0:
+            raise ValueError("audit_interval_seconds must be non-negative")
+        if self.audit_budget_seconds <= 0:
+            raise ValueError("audit_budget_seconds must be positive")
 
 
 def load_config(source: str | Path | Mapping[str, Any]) -> ServingConfig:
@@ -130,6 +149,11 @@ def load_config(source: str | Path | Mapping[str, Any]) -> ServingConfig:
         "share_subplans": "share_subplans",
         "store": "store_path",
         "trace": "trace",
+        "observatory": "observatory",
+        "slo_objective": "slo_objective",
+        "slo_latency_threshold": "slo_latency_threshold",
+        "audit_interval_seconds": "audit_interval_seconds",
+        "audit_budget_seconds": "audit_budget_seconds",
         "stream_start_epsilon": "stream_start_epsilon",
         "stream_factor": "stream_factor",
     }
@@ -230,4 +254,5 @@ def build_session(config: ServingConfig):
         share_subplans=config.share_subplans,
         tracer=RecordingTracer() if config.trace else None,
         store=config.store_path,
+        observatory=config.observatory,
     )

@@ -14,7 +14,11 @@ concurrent network clients:
   value is bit-identical to what ``session.submit_batch`` returns in
   process for the same seed.
 * ``GET /metrics`` — Prometheus text exposition (session counters, trace
-  counters, serving counters, admission gauges).
+  counters, serving counters, admission gauges, plus the observatory's
+  latency/sample histograms and SLO burn-rate gauges).
+* ``GET /v1/profile`` — the observatory's live per-plan-digest profile
+  table, SLO status and — when the calibration auditor is configured —
+  its per-(route, ε, δ) coverage report.
 * ``GET /healthz`` — liveness plus current load; ``GET /v1/stats`` — the
   raw counter snapshot as JSON.
 
@@ -49,6 +53,7 @@ from repro.serving.admission import AdmissionController, AdmissionPolicy, Servin
 from repro.serving.config import ServingConfig, build_session
 from repro.serving.protocol import ProtocolError, QueryRequest, error_body
 from repro.telemetry.export import prometheus_text
+from repro.telemetry.observatory import CalibrationAuditor
 
 __all__ = ["ServingServer", "run_server"]
 
@@ -131,6 +136,15 @@ class ServingServer:
         self._inflight: dict[tuple, _Inflight] = {}
         self._server: asyncio.AbstractServer | None = None
         self.port: int | None = None
+        self.observatory = self.session.observatory
+        if self.observatory.enabled:
+            self.observatory.slo(
+                "request_seconds",
+                objective=self.config.slo_objective,
+                threshold=self.config.slo_latency_threshold,
+            )
+        self.auditor: CalibrationAuditor | None = None
+        self._audit_task: asyncio.Task | None = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -141,8 +155,38 @@ class ServingServer:
             self._handle_connection, self.config.host, self.config.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        if self.config.audit_interval_seconds > 0 and self.observatory.enabled:
+            self.auditor = CalibrationAuditor(
+                self.session, observatory=self.observatory
+            )
+            self._audit_task = asyncio.get_running_loop().create_task(
+                self._audit_loop()
+            )
         logger.info("serving on %s:%d", self.config.host, self.port)
         return self.port
+
+    async def _audit_loop(self) -> None:
+        """Run calibration probes on an idle-time budget, forever.
+
+        Each cycle sleeps the configured interval, then — only when the
+        admission queue is completely idle — spends ``audit_budget_seconds``
+        replaying known-volume canaries on the compute pool.  Audit probes
+        therefore never compete with admitted user traffic.
+        """
+        assert self.auditor is not None
+        loop = asyncio.get_running_loop()
+        while True:
+            await asyncio.sleep(self.config.audit_interval_seconds)
+            if self.admission.depth > 0:
+                continue
+            try:
+                await loop.run_in_executor(
+                    self._executor,
+                    self.auditor.run,
+                    self.config.audit_budget_seconds,
+                )
+            except Exception:  # pragma: no cover - audit must never kill serving
+                logger.exception("calibration audit cycle failed")
 
     async def serve_forever(self) -> None:
         """Run until cancelled (``repro serve`` blocks here)."""
@@ -154,6 +198,13 @@ class ServingServer:
 
     async def stop(self) -> None:
         """Stop accepting connections and shut the compute pool down."""
+        if self._audit_task is not None:
+            self._audit_task.cancel()
+            try:
+                await self._audit_task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._audit_task = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -259,6 +310,7 @@ class ServingServer:
             "/healthz": ("GET", self._handle_healthz),
             "/metrics": ("GET", self._handle_metrics),
             "/v1/stats": ("GET", self._handle_stats),
+            "/v1/profile": ("GET", self._handle_profile),
             "/v1/query": ("POST", self._handle_query),
             "/v1/stream": ("POST", self._handle_stream),
         }
@@ -298,20 +350,39 @@ class ServingServer:
         )
 
     async def _handle_metrics(self, body: bytes, writer: asyncio.StreamWriter) -> None:
-        text = prometheus_text(self.session.metrics, self.session.tracer)
+        text = prometheus_text(
+            self.session.metrics,
+            self.session.tracer,
+            observatory=self.observatory if self.observatory.enabled else None,
+        )
         lines = [text.rstrip("\n")] if text.strip() else []
         for name, value in self.stats.snapshot().items():
+            lines.append(f"# HELP repro_serving_{name}_total Serving counter {name}.")
             lines.append(f"# TYPE repro_serving_{name}_total counter")
             lines.append(f"repro_serving_{name}_total {value}")
-        lines.append("# TYPE repro_serving_backlog_seconds gauge")
-        lines.append(f"repro_serving_backlog_seconds {self.admission.backlog_seconds}")
-        lines.append("# TYPE repro_serving_inflight gauge")
-        lines.append(f"repro_serving_inflight {self.admission.depth}")
-        lines.append("# TYPE repro_serving_load gauge")
-        lines.append(f"repro_serving_load {self.admission.load()}")
+        gauges = (
+            ("backlog_seconds", "Admitted-but-unfinished estimated cost.",
+             self.admission.backlog_seconds),
+            ("inflight", "Admitted computations currently in flight.",
+             self.admission.depth),
+            ("load", "Backlog over admission capacity.", self.admission.load()),
+        )
+        for name, help_text, value in gauges:
+            lines.append(f"# HELP repro_serving_{name} {help_text}")
+            lines.append(f"# TYPE repro_serving_{name} gauge")
+            lines.append(f"repro_serving_{name} {value}")
         self._raw_response(
             writer, 200, ("\n".join(lines) + "\n").encode(), "text/plain; version=0.0.4"
         )
+
+    async def _handle_profile(self, body: bytes, writer: asyncio.StreamWriter) -> None:
+        payload: dict[str, Any] = {
+            "enabled": self.observatory.enabled,
+            "profiles": self.observatory.profiles.top(50),
+            "slo": self.observatory.slo_status(),
+            "auditor": None if self.auditor is None else self.auditor.report(),
+        }
+        self._json_response(writer, 200, payload)
 
     async def _handle_stats(self, body: bytes, writer: asyncio.StreamWriter) -> None:
         self._json_response(
@@ -325,6 +396,7 @@ class ServingServer:
                     "load": self.admission.load(),
                 },
                 "session": self.session.metrics.snapshot(),
+                "observatory": self.observatory.snapshot(),
             },
         )
 
@@ -349,13 +421,14 @@ class ServingServer:
 
     async def _serve_query(self, body: bytes) -> dict:
         request = QueryRequest.from_body(body)
+        started = time.perf_counter()
         epsilon, delta = self.session._resolve_accuracy(request.epsilon, request.delta)
         deadline = _Deadline(
             request.deadline_seconds
             if request.deadline_seconds is not None
             else self.config.default_deadline_seconds
         )
-        key = self.session.key_for(request.query)
+        key, meta = self.session.resolve_request(request.query)
 
         # Fast path: a dominating cached answer is served without admission —
         # the whole point of the cache is that hits cost nothing.
@@ -363,9 +436,18 @@ class ServingServer:
         if cached is not None:
             self.stats.count("cache_fast_path")
             self.session.metrics.record_cache_hit(dominance=dominance)
+            self.observatory.record_hit(
+                meta.digest, "dominance" if dominance else "memory"
+            )
+            self.observatory.observe(
+                "request_seconds", time.perf_counter() - started
+            )
             return self._result_payload(cached, epsilon, delta, cached=True)
 
-        result = await self._compute_coalesced(request, key, epsilon, delta, deadline)
+        result = await self._compute_coalesced(
+            request, key, epsilon, delta, deadline, digest=meta.digest
+        )
+        self.observatory.observe("request_seconds", time.perf_counter() - started)
         return self._result_payload(result, epsilon, delta, cached=False)
 
     async def _compute_coalesced(
@@ -375,6 +457,7 @@ class ServingServer:
         epsilon: float,
         delta: float,
         deadline: _Deadline,
+        digest: str | None = None,
     ):
         """Admit (or join) the computation for ``key`` and await its answer."""
         loop = asyncio.get_running_loop()
@@ -382,7 +465,11 @@ class ServingServer:
         entry = self._inflight.get(coalesce_key)
         if entry is None:
             plan = self.session.explain(request.query, epsilon, delta)
-            cost = self.session.planner.estimated_execution_seconds(plan)
+            # Per-digest throughput priors (learned live or restored from
+            # persisted profiles) price repeat plans with *their* history.
+            cost = self.session.planner.estimated_execution_seconds(
+                plan, digest=digest
+            )
             code = self.admission.admit(cost, request.priority, deadline.remaining())
             if code is not None:
                 raise ProtocolError(
@@ -414,8 +501,14 @@ class ServingServer:
 
         entry = _Inflight(cost)
         entry.deadlines.append(deadline)
+        admitted_at = time.perf_counter()
 
         def compute():
+            # Time spent between admission and a pool thread picking the
+            # work up is the serving-side queue: the admission-wait series.
+            self.observatory.observe(
+                "admission_wait_seconds", time.perf_counter() - admitted_at
+            )
             # The executor boundary: work nobody can use any more is skipped,
             # never half-done — a shed request gets an error, not a partial.
             if not entry.viable():
@@ -517,7 +610,9 @@ class ServingServer:
                 else self.config.default_deadline_seconds
             )
             plan = self.session.explain(request.query, epsilon, delta)
-            cost = self.session.planner.estimated_execution_seconds(plan)
+            cost = self.session.planner.estimated_execution_seconds(
+                plan, digest=self.session.resolve_request(request.query)[1].digest
+            )
             code = self.admission.admit(cost, request.priority, deadline.remaining())
             if code is not None:
                 self._shed_count(code)

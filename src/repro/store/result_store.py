@@ -222,21 +222,26 @@ class ResultStore:
         delta: float,
         meta: EntryMeta,
         expires_at: Optional[float] = None,
+        replace: bool = False,
     ) -> bool:
         """Persist one entry; returns whether the row was (re)written.
 
         Mirrors the in-memory dominance rule loosely: an existing *live* row
         that strictly dominates the candidate (tighter ε and δ) is kept; an
-        expired row is always replaced.
+        expired row is always replaced.  ``replace=True`` skips the dominance
+        check entirely — the write path for accuracy-less payloads such as
+        runtime profiles, whose latest state must always win.
         """
         payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
         refinable = 1 if getattr(result, "refinable", None) is not None else 0
         now = self.clock()
         with self._lock:
-            row = self._conn.execute(
-                "SELECT epsilon, delta, expires_at FROM entries WHERE key = ?",
-                (key,),
-            ).fetchone()
+            row = None
+            if not replace:
+                row = self._conn.execute(
+                    "SELECT epsilon, delta, expires_at FROM entries WHERE key = ?",
+                    (key,),
+                ).fetchone()
             if row is not None:
                 old_eps, old_delta, old_expiry = row
                 live = old_expiry is None or old_expiry > now

@@ -15,10 +15,33 @@ budget).
 ``QueryEngine.explain(analyze=True)`` folds back into plan output;
 :func:`chrome_trace` and :func:`prometheus_text` export traces and counters
 to standard tooling.
+
+:mod:`repro.telemetry.observatory` adds the continuous layer on top of the
+flight recorder: an :class:`Observatory` of log-bucketed histograms with
+1s/1m rollups, per-plan-digest :class:`PlanProfile` records persisted through
+the result store, a :class:`CalibrationAuditor` replaying known-volume
+canaries against the live session, and :class:`SLOMonitor` burn-rate windows.
 """
 
 from repro.telemetry.analyze import SubplanStats, TraceAnalysis, analyze_trace
-from repro.telemetry.export import chrome_trace, dump_chrome_trace, prometheus_text
+from repro.telemetry.export import (
+    chrome_trace,
+    dump_chrome_trace,
+    escape_label_value,
+    prometheus_text,
+)
+from repro.telemetry.observatory import (
+    CalibrationAuditor,
+    Canary,
+    CoverageCell,
+    LogHistogram,
+    Observatory,
+    PlanProfile,
+    ProfileRegistry,
+    RollupRing,
+    SLOMonitor,
+    default_canaries,
+)
 from repro.telemetry.tracer import (
     NULL_TRACER,
     NullTracer,
@@ -33,8 +56,17 @@ from repro.telemetry.tracer import (
 
 __all__ = [
     "NULL_TRACER",
+    "CalibrationAuditor",
+    "Canary",
+    "CoverageCell",
+    "LogHistogram",
     "NullTracer",
+    "Observatory",
+    "PlanProfile",
+    "ProfileRegistry",
     "RecordingTracer",
+    "RollupRing",
+    "SLOMonitor",
     "Span",
     "SubplanStats",
     "TraceAnalysis",
@@ -44,7 +76,9 @@ __all__ = [
     "chrome_trace",
     "current_span",
     "current_tracer",
+    "default_canaries",
     "dump_chrome_trace",
+    "escape_label_value",
     "prometheus_text",
     "validate_span_tree",
 ]

@@ -25,7 +25,7 @@ from typing import Protocol
 
 from repro.telemetry.tracer import Span, Tracer
 
-__all__ = ["chrome_trace", "dump_chrome_trace", "prometheus_text"]
+__all__ = ["chrome_trace", "dump_chrome_trace", "escape_label_value", "prometheus_text"]
 
 
 class _MetricsLike(Protocol):
@@ -43,9 +43,45 @@ _DICT_LABELS = {
     "requests": "route",
 }
 
+# One HELP line per service-metrics family; anything not listed gets a
+# generated fallback so every exposed series carries metadata (the
+# scripts/check_prom_exposition.py lint enforces this).
+_METRIC_HELP = {
+    "cache_hits": "Requests served from the result cache.",
+    "cache_dominance_hits": "Cache hits served by an epsilon-dominating entry.",
+    "cache_misses": "Requests that missed the result cache.",
+    "cache_evictions": "Entries evicted from the in-memory result cache.",
+    "cache_expirations": "Entries dropped from the cache by TTL expiry.",
+    "cache_refinements": "Cached adaptive answers refined in place to a tighter epsilon.",
+    "store_hits": "Requests served from the persistent result store.",
+    "store_writes": "Results written through to the persistent store.",
+    "store_invalidations": "Store entries dropped by plan-aware invalidation.",
+    "subplan_hits": "Union members served from the shared subplan cache.",
+    "subplan_misses": "Union members estimated because no shared entry existed.",
+    "plan_choices": "Plans chosen, by executed estimator route.",
+    "backend_choices": "Batches executed, by execution backend.",
+    "backend_units": "Work units executed, by execution backend.",
+    "requests": "Executed requests, by estimator route.",
+    "mean_latency": "Mean execution latency per estimator route.",
+    "hit_rate": "Cache hits over total lookups.",
+    "over_budget": "Executions exceeding their planned time budget.",
+    "batch_requests": "Requests received through the batch executor.",
+    "batch_deduplicated": "Batch requests coalesced onto an identical in-batch twin.",
+}
+
 
 def _sanitize(name: str) -> str:
     return _NAME_SANITIZER.sub("_", name)
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a Prometheus label value (backslash, double quote, newline)."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
 
 
 def _span_args(span: Span) -> dict:
@@ -102,10 +138,17 @@ def dump_chrome_trace(tracer: Tracer, path: str | Path, process_id: int = 1) -> 
     return path
 
 
+def _metadata(lines: list[str], family: str, kind: str, help_text: str) -> None:
+    """Append the ``# HELP`` / ``# TYPE`` pair introducing one family."""
+    lines.append(f"# HELP {family} {help_text}")
+    lines.append(f"# TYPE {family} {kind}")
+
+
 def prometheus_text(
     metrics: _MetricsLike | None = None,
     tracer: Tracer | None = None,
     prefix: str = "repro",
+    observatory: object | None = None,
 ) -> str:
     """Render service counters and trace counters as Prometheus text exposition.
 
@@ -113,7 +156,12 @@ def prometheus_text(
     counter families; dict-valued entries (per-route, per-backend, per-plan
     breakdowns) become labeled samples; ``hit_rate`` and ``mean_latency`` are
     exposed as gauges.  A tracer's aggregated span counters are appended as
-    ``<prefix>_trace_<name>_total``.  Either argument may be omitted.
+    ``<prefix>_trace_<name>_total``, and an
+    :class:`~repro.telemetry.observatory.Observatory` contributes its
+    histogram / counter / SLO families.  Every family carries ``# HELP`` and
+    ``# TYPE`` metadata and label values are escaped, as the
+    ``scripts/check_prom_exposition.py`` lint enforces.  Every argument may
+    be omitted.
     """
     lines: list[str] = []
     if metrics is not None:
@@ -121,28 +169,38 @@ def prometheus_text(
         for key in sorted(snapshot):
             value = snapshot[key]
             name = _sanitize(key)
+            help_text = _METRIC_HELP.get(key, f"Service metric {key}.")
             if isinstance(value, dict):
                 label = _DICT_LABELS.get(key, "key")
                 kind, suffix = ("gauge", "") if key == "mean_latency" else ("counter", "_total")
-                lines.append(f"# TYPE {prefix}_{name}{suffix} {kind}")
+                _metadata(lines, f"{prefix}_{name}{suffix}", kind, help_text)
                 for label_value in sorted(value):
-                    rendered = str(label_value).replace("\\", "\\\\").replace('"', '\\"')
+                    rendered = escape_label_value(str(label_value))
                     lines.append(
                         f'{prefix}_{name}{suffix}{{{label}="{rendered}"}} '
                         f"{_format_value(value[label_value])}"
                     )
             elif key == "hit_rate":
-                lines.append(f"# TYPE {prefix}_{name} gauge")
+                _metadata(lines, f"{prefix}_{name}", "gauge", help_text)
                 lines.append(f"{prefix}_{name} {_format_value(value)}")
             else:
-                lines.append(f"# TYPE {prefix}_{name}_total counter")
+                _metadata(lines, f"{prefix}_{name}_total", "counter", help_text)
                 lines.append(f"{prefix}_{name}_total {_format_value(value)}")
     if tracer is not None:
         totals = getattr(tracer, "aggregate_counters", lambda: {})()
         for key in sorted(totals):
             name = _sanitize(key)
-            lines.append(f"# TYPE {prefix}_trace_{name}_total counter")
+            _metadata(
+                lines,
+                f"{prefix}_trace_{name}_total",
+                "counter",
+                f"Aggregated span counter {key}.",
+            )
             lines.append(f"{prefix}_trace_{name}_total {_format_value(totals[key])}")
+    if observatory is not None:
+        renderer = getattr(observatory, "prometheus_lines", None)
+        if renderer is not None:
+            lines.extend(renderer(prefix))
     return "\n".join(lines) + ("\n" if lines else "")
 
 

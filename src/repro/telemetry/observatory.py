@@ -1,0 +1,991 @@
+"""The continuous observatory: histograms, per-plan profiles, calibration audit.
+
+Four cooperating pieces turn the repo's statistical and latency contracts into
+continuously monitored runtime invariants:
+
+* :class:`LogHistogram` / :class:`RollupRing` — a lock-cheap log-bucketed
+  histogram with ring-buffered 1s/1m rollups, rendered in proper Prometheus
+  histogram exposition (cumulative ``le`` buckets, ``_sum``, ``_count``).
+* :class:`Observatory` — the per-session registry of histograms, counters and
+  profiles every serving layer (session, backends, serving admission) reports
+  into.  A disabled observatory is a handful of attribute reads per request.
+* :class:`PlanProfile` / :class:`ProfileRegistry` — per-plan-digest query
+  profiles (calls, wall quantiles, samples drawn, hit ratios, chosen routes,
+  per-route throughput) accumulated online, persisted through the
+  :class:`~repro.store.ResultStore`, and primed back into
+  :meth:`~repro.service.planner.Planner.observe_throughput` on restart.
+* :class:`CalibrationAuditor` — replays analytically-known-volume canaries
+  (box / simplex / L1-ball workloads) through a live session on an idle-time
+  budget and keeps anytime coverage statistics per (route, ε, δ) cell,
+  alarming when empirical coverage drops below ``1 - δ`` at three sigma.
+* :class:`SLOMonitor` — error-budget burn rates over the rollup rings of a
+  latency histogram, for alerting on fast (1m) and slow (1h) windows.
+
+Example::
+
+    session = ServiceSession(database)           # observatory on by default
+    session.volume(query, epsilon=0.1, delta=0.05)
+    session.observatory.histogram("request_seconds").quantile(0.5)
+    session.observatory.profiles.top(5)
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from bisect import bisect_left
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from threading import Lock
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.service.planner import Planner
+    from repro.service.session import ServiceSession
+    from repro.store import ResultStore
+
+__all__ = [
+    "CalibrationAuditor",
+    "Canary",
+    "CoverageCell",
+    "LogHistogram",
+    "Observatory",
+    "PlanProfile",
+    "ProfileRegistry",
+    "RollupRing",
+    "SLOMonitor",
+    "default_canaries",
+]
+
+PROFILE_KIND = "profile"
+_PROFILE_KEY_PREFIX = "profile:"
+_STATE_VERSION = 1
+
+
+class RollupRing:
+    """A fixed-width ring of time slots aggregating (count, sum, bad) per slot.
+
+    Slot ``int(now // width) % slots`` owns the observation; a slot whose
+    recorded epoch differs from the current one is stale and is reset before
+    use, so the ring never reports data older than ``width * slots`` seconds.
+    Callers hold the owning histogram's lock, so the ring itself is lock-free.
+    """
+
+    __slots__ = ("width", "slots", "_epochs", "_counts", "_sums", "_bad")
+
+    def __init__(self, width_seconds: float, slots: int) -> None:
+        self.width = float(width_seconds)
+        self.slots = int(slots)
+        self._epochs = [-1] * self.slots
+        self._counts = [0] * self.slots
+        self._sums = [0.0] * self.slots
+        self._bad = [0] * self.slots
+
+    def observe(self, value: float, now: float, bad: bool) -> None:
+        """Fold one observation into the slot owning ``now``."""
+        epoch = int(now // self.width)
+        index = epoch % self.slots
+        if self._epochs[index] != epoch:
+            self._epochs[index] = epoch
+            self._counts[index] = 0
+            self._sums[index] = 0.0
+            self._bad[index] = 0
+        self._counts[index] += 1
+        self._sums[index] += value
+        if bad:
+            self._bad[index] += 1
+
+    def totals(self, now: float, window_seconds: float) -> tuple[int, float, int]:
+        """``(count, sum, bad)`` over the trailing ``window_seconds``."""
+        epoch = int(now // self.width)
+        span = min(self.slots, max(1, int(math.ceil(window_seconds / self.width))))
+        count, total, bad = 0, 0.0, 0
+        for back in range(span):
+            index = (epoch - back) % self.slots
+            if self._epochs[index] == epoch - back:
+                count += self._counts[index]
+                total += self._sums[index]
+                bad += self._bad[index]
+        return count, total, bad
+
+
+class LogHistogram:
+    """A log-bucketed histogram with an embedded pair of rollup rings.
+
+    Buckets are geometric (``start * factor**i`` upper bounds plus a ``+Inf``
+    overflow), which keeps relative quantile error bounded by ``factor`` over
+    many decades of latency at a fixed, small memory cost.  ``observe`` takes
+    one lock, one bisect and a few adds — cheap enough for per-request use.
+    When ``slo_threshold`` is set, observations above it count as "bad" in
+    the rings, which is what :class:`SLOMonitor` burns error budget against.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        start: float = 1e-4,
+        factor: float = 2.0,
+        buckets: int = 22,
+        unit: str = "seconds",
+        slo_threshold: float | None = None,
+    ) -> None:
+        if start <= 0 or factor <= 1 or buckets < 1:
+            raise ValueError("start must be > 0, factor > 1, buckets >= 1")
+        self.name = name
+        self.unit = unit
+        self.slo_threshold = slo_threshold
+        self.bounds: tuple[float, ...] = tuple(
+            start * factor**index for index in range(buckets)
+        )
+        self._counts = [0] * (buckets + 1)  # terminal slot is the +Inf bucket
+        self._sum = 0.0
+        self._count = 0
+        self._lock = Lock()
+        self.ring_fast = RollupRing(1.0, 120)  # 1s slots, 2 minutes of history
+        self.ring_slow = RollupRing(60.0, 60)  # 1m slots, 1 hour of history
+
+    def observe(self, value: float, now: float | None = None) -> None:
+        """Record one observation (``now`` defaults to ``time.monotonic()``)."""
+        if now is None:
+            now = time.monotonic()
+        value = float(value)
+        bad = self.slo_threshold is not None and value > self.slo_threshold
+        index = bisect_left(self.bounds, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+            self.ring_fast.observe(value, now, bad)
+            self.ring_slow.observe(value, now, bad)
+
+    @property
+    def count(self) -> int:
+        """Total number of observations."""
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        """Sum of all observed values."""
+        return self._sum
+
+    def quantile(self, q: float) -> float:
+        """The upper bound of the bucket holding quantile ``q`` (0 if empty)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must lie in [0, 1], got {q}")
+        with self._lock:
+            total = self._count
+            if total == 0:
+                return 0.0
+            rank = q * total
+            running = 0
+            for index, bucket_count in enumerate(self._counts):
+                running += bucket_count
+                if running >= rank and bucket_count:
+                    if index < len(self.bounds):
+                        return self.bounds[index]
+                    return self.bounds[-1] * 2.0  # overflow bucket
+        return self.bounds[-1] * 2.0
+
+    def snapshot(self) -> dict[str, Any]:
+        """A consistent point-in-time view (cumulative buckets, sum, count)."""
+        with self._lock:
+            cumulative = 0
+            buckets: list[tuple[float, int]] = []
+            for index, bucket_count in enumerate(self._counts[:-1]):
+                cumulative += bucket_count
+                buckets.append((self.bounds[index], cumulative))
+            return {
+                "name": self.name,
+                "unit": self.unit,
+                "count": self._count,
+                "sum": self._sum,
+                "buckets": buckets,
+            }
+
+    def window_totals(
+        self, window_seconds: float, now: float | None = None
+    ) -> tuple[int, float, int]:
+        """``(count, sum, bad)`` over the trailing window, from the rings."""
+        if now is None:
+            now = time.monotonic()
+        with self._lock:
+            ring = self.ring_fast if window_seconds <= 120.0 else self.ring_slow
+            return ring.totals(now, window_seconds)
+
+
+@dataclass
+class SLOMonitor:
+    """Error-budget burn rates for one latency histogram.
+
+    The objective is "a fraction ``objective`` of requests complete within
+    the histogram's ``slo_threshold``"; the burn rate over a window is the
+    observed bad fraction divided by the budget ``1 - objective`` (1.0 means
+    the budget is being consumed exactly as provisioned; multi-window
+    alerting pages when both the fast and the slow window burn hot).
+    """
+
+    histogram: LogHistogram
+    objective: float = 0.999
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError(f"objective must lie in (0, 1), got {self.objective}")
+
+    def burn_rate(self, window_seconds: float, now: float | None = None) -> float:
+        """Budget burn over the trailing window (0.0 when no traffic)."""
+        count, _, bad = self.histogram.window_totals(window_seconds, now=now)
+        if count == 0:
+            return 0.0
+        return (bad / count) / (1.0 - self.objective)
+
+    def status(self, now: float | None = None) -> dict[str, Any]:
+        """Objective, threshold and the fast/slow window burn rates."""
+        fast = self.burn_rate(60.0, now=now)
+        slow = self.burn_rate(3600.0, now=now)
+        return {
+            "histogram": self.histogram.name,
+            "objective": self.objective,
+            "threshold": self.histogram.slo_threshold,
+            "burn_1m": fast,
+            "burn_1h": slow,
+            "healthy": fast <= 1.0,
+        }
+
+
+class PlanProfile:
+    """The accumulated runtime profile of one plan digest.
+
+    Tracks executions (count, wall/CPU totals, a wall-latency log histogram
+    for quantiles, samples drawn, routes chosen) and cache traffic (memory /
+    dominance / store / refined hits).  Mutation happens under the owning
+    :class:`ProfileRegistry`'s lock; the profile itself carries no lock so
+    its state round-trips through plain dicts (and hence the result store).
+    """
+
+    __slots__ = (
+        "digest",
+        "calls",
+        "hits",
+        "wall_total",
+        "cpu_total",
+        "samples_total",
+        "routes",
+        "route_rates",
+        "_wall_counts",
+        "_wall_bounds",
+    )
+
+    _EWMA = 0.3  # matches Planner's global throughput smoothing
+
+    def __init__(self, digest: str) -> None:
+        self.digest = digest
+        self.calls = 0
+        self.hits: dict[str, int] = {}
+        self.wall_total = 0.0
+        self.cpu_total = 0.0
+        self.samples_total = 0
+        self.routes: dict[str, int] = {}
+        self.route_rates: dict[str, float] = {}
+        self._wall_bounds: tuple[float, ...] = tuple(
+            1e-4 * 2.0**index for index in range(22)
+        )
+        self._wall_counts = [0] * (len(self._wall_bounds) + 1)
+
+    def record_execution(
+        self, route: str, wall: float, samples: int, cpu: float = 0.0
+    ) -> None:
+        """Fold one executed request into the profile."""
+        self.calls += 1
+        self.wall_total += wall
+        self.cpu_total += cpu
+        self.samples_total += int(samples)
+        self.routes[route] = self.routes.get(route, 0) + 1
+        self._wall_counts[bisect_left(self._wall_bounds, wall)] += 1
+        if samples and wall > 0.0:
+            rate = samples / wall
+            previous = self.route_rates.get(route)
+            if previous is None:
+                self.route_rates[route] = rate
+            else:
+                self.route_rates[route] = (
+                    1.0 - self._EWMA
+                ) * previous + self._EWMA * rate
+
+    def record_hit(self, source: str) -> None:
+        """Count one cache hit (``memory``/``dominance``/``store``/``refined``)."""
+        self.hits[source] = self.hits.get(source, 0) + 1
+
+    def wall_quantile(self, q: float) -> float:
+        """Bucket upper bound holding wall-clock quantile ``q`` (0 if empty)."""
+        total = sum(self._wall_counts)
+        if total == 0:
+            return 0.0
+        rank = q * total
+        running = 0
+        for index, count in enumerate(self._wall_counts):
+            running += count
+            if running >= rank and count:
+                if index < len(self._wall_bounds):
+                    return self._wall_bounds[index]
+                return self._wall_bounds[-1] * 2.0
+        return self._wall_bounds[-1] * 2.0
+
+    @property
+    def hit_count(self) -> int:
+        """Total cache hits across all sources."""
+        return sum(self.hits.values())
+
+    @property
+    def hit_ratio(self) -> float:
+        """Hits over total traffic (hits + executions)."""
+        traffic = self.hit_count + self.calls
+        return self.hit_count / traffic if traffic else 0.0
+
+    @property
+    def dominant_route(self) -> str:
+        """The most frequently executed route (empty when never executed)."""
+        if not self.routes:
+            return ""
+        return max(sorted(self.routes), key=lambda route: self.routes[route])
+
+    def as_dict(self) -> dict[str, Any]:
+        """The row rendered by ``/v1/profile`` and ``repro top``."""
+        return {
+            "digest": self.digest,
+            "calls": self.calls,
+            "hits": self.hit_count,
+            "hit_ratio": round(self.hit_ratio, 4),
+            "hit_sources": dict(self.hits),
+            "route": self.dominant_route,
+            "routes": dict(self.routes),
+            "wall_total": self.wall_total,
+            "cpu_total": self.cpu_total,
+            "wall_p50": self.wall_quantile(0.5),
+            "wall_p95": self.wall_quantile(0.95),
+            "samples_total": self.samples_total,
+            "route_rates": {
+                route: round(rate, 3) for route, rate in self.route_rates.items()
+            },
+        }
+
+    def to_state(self) -> dict[str, Any]:
+        """A plain-dict persistence payload (survives class evolution)."""
+        return {
+            "version": _STATE_VERSION,
+            "digest": self.digest,
+            "calls": self.calls,
+            "hits": dict(self.hits),
+            "wall_total": self.wall_total,
+            "cpu_total": self.cpu_total,
+            "samples_total": self.samples_total,
+            "routes": dict(self.routes),
+            "route_rates": dict(self.route_rates),
+            "wall_counts": list(self._wall_counts),
+        }
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, Any]) -> "PlanProfile":
+        """Rebuild a profile from :meth:`to_state` output."""
+        profile = cls(str(state["digest"]))
+        profile.calls = int(state.get("calls", 0))
+        profile.hits = dict(state.get("hits", {}))
+        profile.wall_total = float(state.get("wall_total", 0.0))
+        profile.cpu_total = float(state.get("cpu_total", 0.0))
+        profile.samples_total = int(state.get("samples_total", 0))
+        profile.routes = dict(state.get("routes", {}))
+        profile.route_rates = dict(state.get("route_rates", {}))
+        counts = list(state.get("wall_counts", []))
+        if len(counts) == len(profile._wall_counts):
+            profile._wall_counts = [int(value) for value in counts]
+        return profile
+
+
+class ProfileRegistry:
+    """A bounded LRU of :class:`PlanProfile`, persisted through the store.
+
+    Profiles are keyed by plan digest, mutated under one registry lock, and
+    written through to the result store under ``profile:<digest>`` keys with
+    ``kind="profile"`` and an empty relation footprint, so they survive both
+    restarts *and* relation invalidations (a profile describes the plan's
+    runtime behaviour, not the served value — a mutated relation does not
+    make the latency history wrong).
+    """
+
+    def __init__(self, capacity: int = 512) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.capacity = capacity
+        self._lock = Lock()
+        self._profiles: "OrderedDict[str, PlanProfile]" = OrderedDict()
+        self._dirty: set[str] = set()
+        self._last_persist = 0.0
+        self.persist_interval = 1.0
+
+    def _get(self, digest: str) -> PlanProfile:
+        profile = self._profiles.get(digest)
+        if profile is None:
+            if len(self._profiles) >= self.capacity:
+                self._profiles.popitem(last=False)
+            profile = PlanProfile(digest)
+            self._profiles[digest] = profile
+        else:
+            self._profiles.move_to_end(digest)
+        return profile
+
+    def record_execution(
+        self,
+        digest: str | None,
+        route: str,
+        wall: float,
+        samples: int,
+        cpu: float = 0.0,
+    ) -> None:
+        """Fold one execution into the digest's profile (no-op for ``None``)."""
+        if not digest:
+            return
+        with self._lock:
+            self._get(digest).record_execution(route, wall, samples, cpu=cpu)
+            self._dirty.add(digest)
+
+    def record_hit(self, digest: str | None, source: str) -> None:
+        """Count one cache hit against the digest's profile."""
+        if not digest:
+            return
+        with self._lock:
+            self._get(digest).record_hit(source)
+            self._dirty.add(digest)
+
+    def get(self, digest: str) -> PlanProfile | None:
+        """The profile for ``digest``, or ``None`` if never seen."""
+        with self._lock:
+            return self._profiles.get(digest)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._profiles)
+
+    def top(self, limit: int = 20) -> list[dict[str, Any]]:
+        """The busiest profiles (by total wall clock), rendered as rows."""
+        with self._lock:
+            profiles = list(self._profiles.values())
+        profiles.sort(key=lambda p: (p.wall_total, p.calls, p.digest), reverse=True)
+        return [profile.as_dict() for profile in profiles[:limit]]
+
+    def maybe_persist(self, store: "ResultStore", now: float | None = None) -> int:
+        """Flush dirty profiles if the persistence interval elapsed.
+
+        Time-throttled so the serving path never pays a store write per
+        request; crash-loss is bounded by ``persist_interval`` seconds of
+        profile deltas (the served values themselves are never at risk).
+        """
+        if now is None:
+            now = time.monotonic()
+        with self._lock:
+            if not self._dirty or now - self._last_persist < self.persist_interval:
+                return 0
+            self._last_persist = now
+        return self.flush(store)
+
+    def flush(self, store: "ResultStore") -> int:
+        """Write every dirty profile through to the store; returns the count."""
+        with self._lock:
+            dirty = list(self._dirty)
+            states = [
+                self._profiles[digest].to_state()
+                for digest in dirty
+                if digest in self._profiles
+            ]
+            self._dirty.clear()
+        from repro.store import EntryMeta
+
+        written = 0
+        for state in states:
+            digest = state["digest"]
+            meta = EntryMeta(
+                kind=PROFILE_KIND,
+                digest=digest,
+                relations=(),
+                fingerprint="",
+            )
+            store.put(
+                f"{_PROFILE_KEY_PREFIX}{digest}",
+                state,
+                epsilon=0.0,
+                delta=0.0,
+                meta=meta,
+                replace=True,
+            )
+            written += 1
+        return written
+
+    def load(self, store: "ResultStore") -> int:
+        """Restore persisted profiles from the store; returns the count."""
+        loaded = 0
+        for key, kind, _relations in store.entries():
+            if kind != PROFILE_KIND or not key.startswith(_PROFILE_KEY_PREFIX):
+                continue
+            stored = store.get(key)
+            if stored is None or not isinstance(stored.result, Mapping):
+                continue
+            profile = PlanProfile.from_state(stored.result)
+            with self._lock:
+                if len(self._profiles) >= self.capacity:
+                    self._profiles.popitem(last=False)
+                self._profiles[profile.digest] = profile
+            loaded += 1
+        return loaded
+
+    def prime_planner(self, planner: "Planner") -> int:
+        """Seed the planner's per-digest throughput priors from the profiles."""
+        with self._lock:
+            rates = [
+                (digest, route, rate)
+                for digest, profile in self._profiles.items()
+                for route, rate in profile.route_rates.items()
+                if rate > 0.0
+            ]
+        for digest, route, rate in rates:
+            planner.prime_throughput(digest, route, rate)
+        return len(rates)
+
+
+_HISTOGRAM_SPECS: dict[str, dict[str, Any]] = {
+    "request_seconds": {"start": 1e-4, "factor": 2.0, "buckets": 22},
+    "execute_seconds": {"start": 1e-4, "factor": 2.0, "buckets": 22},
+    "queue_wait_seconds": {"start": 1e-5, "factor": 2.0, "buckets": 24},
+    "admission_wait_seconds": {"start": 1e-5, "factor": 2.0, "buckets": 24},
+    "samples_drawn": {"start": 16.0, "factor": 4.0, "buckets": 12, "unit": "samples"},
+}
+
+
+class Observatory:
+    """The per-session registry every serving layer reports observations into.
+
+    Holds named :class:`LogHistogram` series (created on demand, with tuned
+    bucket layouts for the well-known names above), monotone counters, the
+    :class:`ProfileRegistry` and any registered :class:`SLOMonitor`.  A
+    disabled observatory (``enabled=False``) turns every record call into an
+    attribute check — that is the PR 6 telemetry-only baseline the <5%
+    overhead gate compares against.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        profile_capacity: int = 512,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.enabled = enabled
+        self.clock = clock
+        self._lock = Lock()
+        self._histograms: dict[str, LogHistogram] = {}
+        self._counters: dict[str, float] = {}
+        self._slos: dict[str, SLOMonitor] = {}
+        self.profiles = ProfileRegistry(capacity=profile_capacity)
+
+    def histogram(self, name: str, **spec: Any) -> LogHistogram:
+        """Get or create the named histogram (known names get tuned buckets)."""
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                options = dict(_HISTOGRAM_SPECS.get(name, {}))
+                options.update(spec)
+                histogram = LogHistogram(name, **options)
+                self._histograms[name] = histogram
+            return histogram
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one observation into the named histogram (no-op if disabled)."""
+        if not self.enabled:
+            return
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self.histogram(name)
+        histogram.observe(value, self.clock())
+
+    def count(self, name: str, value: float = 1.0) -> None:
+        """Bump a monotone counter (no-op if disabled)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0.0) + value
+
+    def counter(self, name: str) -> float:
+        """The current value of a counter (0 when never bumped)."""
+        with self._lock:
+            return self._counters.get(name, 0.0)
+
+    def record_hit(self, digest: str | None, source: str) -> None:
+        """Count a cache hit against both the counters and the profile."""
+        if not self.enabled:
+            return
+        self.count(f"hits_{source}")
+        self.profiles.record_hit(digest, source)
+
+    def record_execution(
+        self,
+        digest: str | None,
+        route: str,
+        wall: float,
+        samples: int,
+        cpu: float = 0.0,
+    ) -> None:
+        """Record one executed request: histograms plus the digest's profile."""
+        if not self.enabled:
+            return
+        self.observe("execute_seconds", wall)
+        if samples:
+            self.observe("samples_drawn", float(samples))
+        self.profiles.record_execution(digest, route, wall, samples, cpu=cpu)
+
+    def slo(
+        self, histogram_name: str, objective: float = 0.999, threshold: float = 0.5
+    ) -> SLOMonitor:
+        """Register (or update) an SLO monitor over the named histogram."""
+        histogram = self.histogram(histogram_name)
+        histogram.slo_threshold = threshold
+        monitor = SLOMonitor(histogram, objective=objective)
+        with self._lock:
+            self._slos[histogram_name] = monitor
+        return monitor
+
+    def slo_status(self) -> list[dict[str, Any]]:
+        """The status rows of every registered SLO monitor."""
+        with self._lock:
+            monitors = list(self._slos.values())
+        return [monitor.status() for monitor in monitors]
+
+    def snapshot(self) -> dict[str, Any]:
+        """A point-in-time JSON-ready view of histograms, counters and SLOs."""
+        with self._lock:
+            histograms = list(self._histograms.values())
+            counters = dict(self._counters)
+        return {
+            "enabled": self.enabled,
+            "histograms": {
+                histogram.name: histogram.snapshot() for histogram in histograms
+            },
+            "counters": counters,
+            "slo": self.slo_status(),
+            "profiles": len(self.profiles),
+        }
+
+    def prometheus_lines(self, prefix: str = "repro") -> list[str]:
+        """Proper Prometheus histogram exposition plus counters and SLO gauges."""
+        with self._lock:
+            histograms = sorted(self._histograms.values(), key=lambda h: h.name)
+            counters = dict(self._counters)
+        lines: list[str] = []
+        for histogram in histograms:
+            snap = histogram.snapshot()
+            family = f"{prefix}_{histogram.name}"
+            lines.append(
+                f"# HELP {family} Log-bucketed {histogram.unit} histogram "
+                f"({histogram.name})."
+            )
+            lines.append(f"# TYPE {family} histogram")
+            for bound, cumulative in snap["buckets"]:
+                lines.append(f'{family}_bucket{{le="{_le(bound)}"}} {cumulative}')
+            lines.append(f'{family}_bucket{{le="+Inf"}} {snap["count"]}')
+            lines.append(f"{family}_sum {snap['sum']!r}")
+            lines.append(f"{family}_count {snap['count']}")
+        for name in sorted(counters):
+            family = f"{prefix}_observatory_{name}_total"
+            lines.append(f"# HELP {family} Observatory counter {name}.")
+            lines.append(f"# TYPE {family} counter")
+            lines.append(f"{family} {_format_number(counters[name])}")
+        for status in self.slo_status():
+            family = f"{prefix}_slo_burn_rate"
+            if f"# TYPE {family} gauge" not in lines:
+                lines.append(
+                    f"# HELP {family} Error-budget burn rate per SLO window."
+                )
+                lines.append(f"# TYPE {family} gauge")
+            for window in ("1m", "1h"):
+                lines.append(
+                    f'{family}{{histogram="{status["histogram"]}",window="{window}"}} '
+                    f"{status[f'burn_{window}']!r}"
+                )
+        return lines
+
+
+def _le(bound: float) -> str:
+    """Render a bucket upper bound the way Prometheus clients expect."""
+    text = repr(float(bound))
+    return text[:-2] if text.endswith(".0") else text
+
+
+def _format_number(value: float) -> str:
+    return str(int(value)) if float(value).is_integer() else repr(value)
+
+
+# ----------------------------------------------------------------------
+# Calibration audit
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Canary:
+    """One analytically-known-volume probe of the calibration auditor."""
+
+    name: str
+    relation: Any  # GeneralizedRelation (kept loose to avoid an import cycle)
+    variables: tuple[str, ...]
+    truth: float
+
+
+@dataclass
+class CoverageCell:
+    """Anytime coverage tally for one (route, ε, δ) cell.
+
+    The alarm is the three-sigma lower confidence boundary of a Binomial
+    ``(trials, 1 - δ)``: coverage is declared broken when the observed
+    success count falls below ``trials (1-δ) - 3 sqrt(trials δ (1-δ))``.
+    The boundary holds at every sample size, so the auditor can be read at
+    any time without a stopping rule.
+    """
+
+    route: str
+    epsilon: float
+    delta: float
+    trials: int = 0
+    covered: int = 0
+    worst_error: float = 0.0
+    alarmed: bool = field(default=False)
+
+    @property
+    def coverage(self) -> float:
+        """Empirical coverage (1.0 before any trial)."""
+        return self.covered / self.trials if self.trials else 1.0
+
+    @property
+    def threshold(self) -> float:
+        """The three-sigma lower bound on the expected covered count."""
+        expected = self.trials * (1.0 - self.delta)
+        sigma = math.sqrt(self.trials * self.delta * (1.0 - self.delta))
+        return expected - 3.0 * sigma
+
+    @property
+    def alarming(self) -> bool:
+        """True when the covered count sits below the three-sigma boundary."""
+        return self.trials > 0 and self.covered < self.threshold
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "route": self.route,
+            "epsilon": self.epsilon,
+            "delta": self.delta,
+            "trials": self.trials,
+            "covered": self.covered,
+            "coverage": round(self.coverage, 4),
+            "threshold": self.threshold,
+            "worst_error": self.worst_error,
+            "alarming": self.alarming,
+        }
+
+
+def _l1_ball_relation(dimension: int, scale: float = 1.0):
+    """The cross-polytope ``{sum |x_i| <= scale}`` as a symbolic relation.
+
+    :func:`repro.workloads.shapes.cross_polytope` only carries the numeric
+    H-representation; the auditor needs a relation it can install in a live
+    database, so the ``2**d`` sign-pattern facets are built directly.
+    """
+    from repro.constraints.atoms import AtomicConstraint, Relation
+    from repro.constraints.relations import GeneralizedRelation
+    from repro.constraints.terms import LinearTerm
+    from repro.constraints.tuples import GeneralizedTuple
+    from repro.workloads.shapes import variable_names
+
+    names = variable_names(dimension)
+    constraints = []
+    for pattern in range(2**dimension):
+        signs = {
+            name: (1 if pattern >> index & 1 else -1)
+            for index, name in enumerate(names)
+        }
+        constraints.append(
+            AtomicConstraint(LinearTerm(signs, -scale), Relation.LE)
+        )
+    return GeneralizedRelation.from_tuple(GeneralizedTuple(constraints, names))
+
+
+def default_canaries() -> list[Canary]:
+    """The built-in canary set: box / simplex / L1-ball bodies.
+
+    The 2-d bodies ride the exact route (dimension ≤ 3 with few disjuncts);
+    the 4-d cube exercises the sampling routes.  Every volume has a closed
+    form, so coverage is checked against ground truth, not a reference run.
+    """
+    from repro.constraints.relations import GeneralizedRelation
+    from repro.workloads.shapes import box, simplex
+
+    box2 = box(2, [2.0, 0.75])
+    simplex2 = simplex(2)
+    box4 = box(4, [1.0, 1.0, 1.0, 1.0])
+    assert box2.tuple_ is not None and simplex2.tuple_ is not None
+    assert box4.tuple_ is not None
+    return [
+        Canary(
+            "ObsCanaryBox2",
+            GeneralizedRelation.from_tuple(box2.tuple_),
+            ("x1", "x2"),
+            float(box2.exact_volume or 0.0),
+        ),
+        Canary(
+            "ObsCanarySimplex2",
+            GeneralizedRelation.from_tuple(simplex2.tuple_),
+            ("x1", "x2"),
+            float(simplex2.exact_volume or 0.0),
+        ),
+        Canary("ObsCanaryBall2", _l1_ball_relation(2), ("x1", "x2"), 2.0),
+        Canary(
+            "ObsCanaryBox4",
+            GeneralizedRelation.from_tuple(box4.tuple_),
+            ("x1", "x2", "x3", "x4"),
+            float(box4.exact_volume or 0.0),
+        ),
+    ]
+
+
+class CalibrationAuditor:
+    """Replays known-volume canaries through a live session, auditing coverage.
+
+    Each :meth:`step` serves one (canary, ε) probe through the session's full
+    pipeline (cache off, a fresh deterministic stream per probe), checks the
+    served value against the closed-form volume at the requested relative
+    error, and folds the outcome into the probe's (route, ε, δ)
+    :class:`CoverageCell`.  :meth:`run` consumes a wall-clock budget — the
+    serving layer calls it only while the admission queue is idle, so audit
+    probes never compete with user traffic.  ``distort`` injects a
+    miscalibrated estimator for alarm testing (it perturbs the *checked*
+    value only; the session itself is untouched).
+    """
+
+    def __init__(
+        self,
+        session: "ServiceSession",
+        observatory: Observatory | None = None,
+        canaries: Sequence[Canary] | None = None,
+        epsilons: Iterable[float] = (0.3,),
+        delta: float = 0.1,
+        seed: int = 20260808,
+        distort: Callable[[float], float] | None = None,
+        slack: float = 1e-9,
+    ) -> None:
+        self.session = session
+        self.observatory = observatory
+        self.canaries = list(canaries) if canaries is not None else default_canaries()
+        if not self.canaries:
+            raise ValueError("the auditor needs at least one canary")
+        self.epsilons = tuple(epsilons)
+        if not self.epsilons:
+            raise ValueError("the auditor needs at least one epsilon")
+        self.delta = float(delta)
+        self.distort = distort
+        self.slack = float(slack)
+        self.cells: dict[tuple[str, float, float], CoverageCell] = {}
+        self._cells_lock = Lock()
+        self._seed = int(seed)
+        self._cursor = 0
+        self._installed = False
+        self.probes = 0
+
+    def install(self) -> None:
+        """Install canary relations into the session's database (idempotent).
+
+        Uses the reserved ``ObsCanary*`` namespace; invalidation is
+        plan-aware, so installing them never drops entries of plans that do
+        not scan a canary relation.
+        """
+        if self._installed:
+            return
+        for canary in self.canaries:
+            if canary.name not in self.session.database.names():
+                self.session.update_relation(canary.name, canary.relation)
+        self._installed = True
+
+    def _next_probe(self) -> tuple[Canary, float]:
+        pairs = len(self.canaries) * len(self.epsilons)
+        index = self._cursor % pairs
+        self._cursor += 1
+        return (
+            self.canaries[index // len(self.epsilons)],
+            self.epsilons[index % len(self.epsilons)],
+        )
+
+    def step(self) -> CoverageCell:
+        """Serve one canary probe and return its updated coverage cell."""
+        import numpy as np
+
+        from repro.queries.ast import QRelation
+
+        self.install()
+        canary, epsilon = self._next_probe()
+        query = QRelation(canary.name, canary.variables)
+        self._seed += 1
+        rng = np.random.default_rng(self._seed)
+        result = self.session.volume(
+            query, epsilon=epsilon, delta=self.delta, rng=rng, use_cache=False
+        )
+        plan = self.session.explain(query, epsilon=epsilon, delta=self.delta)
+        route = _result_route(plan, result)
+        value = float(result.value)
+        if self.distort is not None:
+            value = self.distort(value)
+        error = abs(value - canary.truth)
+        covered = error <= epsilon * canary.truth + self.slack
+        key = (route, epsilon, self.delta)
+        with self._cells_lock:
+            cell = self.cells.get(key)
+            if cell is None:
+                cell = CoverageCell(route=route, epsilon=epsilon, delta=self.delta)
+                self.cells[key] = cell
+            cell.trials += 1
+            if covered:
+                cell.covered += 1
+            relative = error / canary.truth if canary.truth else error
+            cell.worst_error = max(cell.worst_error, relative)
+            self.probes += 1
+        if self.observatory is not None:
+            self.observatory.count("auditor_probes")
+            if not covered:
+                self.observatory.count("auditor_misses")
+            if cell.alarming and not cell.alarmed:
+                cell.alarmed = True
+                self.observatory.count("auditor_alarms")
+        elif cell.alarming:
+            cell.alarmed = True
+        return cell
+
+    def run(self, budget_seconds: float = 0.25) -> int:
+        """Probe until the wall-clock budget is spent (at least one probe)."""
+        deadline = time.perf_counter() + max(0.0, float(budget_seconds))
+        done = 0
+        while True:
+            self.step()
+            done += 1
+            if time.perf_counter() >= deadline:
+                return done
+
+    def alarming(self) -> bool:
+        """True when any cell currently violates its coverage boundary."""
+        with self._cells_lock:
+            return any(cell.alarming for cell in self.cells.values())
+
+    def report(self) -> dict[str, Any]:
+        """Probes, per-cell coverage rows and the currently alarming cells."""
+        with self._cells_lock:
+            snapshot = sorted(self.cells.items(), key=lambda item: item[0])
+            cells = [cell.as_dict() for _, cell in snapshot]
+        return {
+            "probes": self.probes,
+            "delta": self.delta,
+            "cells": cells,
+            "alarms": [cell for cell in cells if cell["alarming"]],
+        }
+
+
+def _result_route(plan: Any, result: Any) -> str:
+    """The route that actually produced ``result`` (mirrors the session)."""
+    from repro.service.session import _executed_route
+
+    return _executed_route(plan, result)

@@ -311,7 +311,19 @@ class RecordingTracer(Tracer):
 
     def _record(self, span: Span) -> None:
         with self._lock:
+            if len(self._spans) == self.capacity:
+                # The ring is about to overwrite its oldest span: surface the
+                # loss instead of trimming silently.  The counter is span-less
+                # so it ships with global_counters() from worker processes and
+                # lands in /metrics as repro_trace_spans_dropped_total.
+                self._counters["spans_dropped"] += 1
             self._spans.append(span)
+
+    @property
+    def spans_dropped(self) -> int:
+        """Finished spans evicted by ring-buffer overflow since creation."""
+        with self._lock:
+            return int(self._counters.get("spans_dropped", 0))
 
     # ------------------------------------------------------------------
     # Cross-process adoption

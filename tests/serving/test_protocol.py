@@ -175,6 +175,34 @@ class TestConfig:
         with pytest.raises(ValueError):
             ServingConfig(default_priority=11)
 
+    def test_observability_keys_load_from_toml(self):
+        config = load_config(
+            {
+                "server": {
+                    "observatory": False,
+                    "slo_objective": 0.99,
+                    "slo_latency_threshold": 0.25,
+                    "audit_interval_seconds": 5.0,
+                    "audit_budget_seconds": 0.1,
+                }
+            }
+        )
+        assert config.observatory is False
+        assert config.slo_objective == 0.99
+        assert config.slo_latency_threshold == 0.25
+        assert config.audit_interval_seconds == 5.0
+        assert config.audit_budget_seconds == 0.1
+
+    def test_observability_validation(self):
+        with pytest.raises(ValueError):
+            ServingConfig(slo_objective=1.0)
+        with pytest.raises(ValueError):
+            ServingConfig(slo_latency_threshold=0.0)
+        with pytest.raises(ValueError):
+            ServingConfig(audit_interval_seconds=-1.0)
+        with pytest.raises(ValueError):
+            ServingConfig(audit_budget_seconds=0.0)
+
 
 class TestBuildDatabase:
     def test_inline_relations(self):

@@ -439,3 +439,57 @@ class TestOverload:
             assert low[0] == 503
             assert high[0] == 200
             first.join(timeout=120)
+
+
+class TestObservatoryEndpoints:
+    def test_profile_endpoint_shows_executed_digests(self, live_server):
+        live_server.post("/v1/query", {"query": SIMPLEX, "epsilon": 0.4, "seed": 3})
+        live_server.post("/v1/query", {"query": SIMPLEX, "epsilon": 0.4, "seed": 3})
+        status, body = live_server.get("/v1/profile")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["enabled"] is True
+        assert payload["profiles"], "executed queries must show up as profiles"
+        row = payload["profiles"][0]
+        assert row["calls"] >= 1
+        assert row["route"] in ("adaptive", "monte_carlo", "telescoping", "exact")
+        assert any(slo["histogram"] == "request_seconds" for slo in payload["slo"])
+
+    def test_metrics_include_observatory_histograms(self, live_server):
+        live_server.post("/v1/query", {"query": "Zone(x, y)"})
+        status, text = live_server.get("/metrics")
+        assert status == 200
+        assert "# TYPE repro_request_seconds histogram" in text
+        assert 'repro_request_seconds_bucket{le="+Inf"}' in text
+        assert "repro_slo_burn_rate" in text
+
+    def test_observatory_can_be_disabled(self):
+        with ServerFixture(make_config(observatory=False)) as fixture:
+            fixture.post("/v1/query", {"query": "Zone(x, y)"})
+            status, body = fixture.get("/v1/profile")
+            assert status == 200
+            payload = json.loads(body)
+            assert payload["enabled"] is False
+            assert payload["profiles"] == []
+            status, text = fixture.get("/metrics")
+            assert status == 200
+            assert "repro_request_seconds_bucket" not in text
+
+    def test_idle_auditor_probes_and_stays_quiet(self):
+        config = make_config(audit_interval_seconds=0.05, audit_budget_seconds=0.05)
+        with ServerFixture(config) as fixture:
+            deadline = time.monotonic() + 15.0
+            report = None
+            while time.monotonic() < deadline:
+                status, body = fixture.get("/v1/profile")
+                assert status == 200
+                report = json.loads(body)["auditor"]
+                if report is not None and report["probes"] >= 4:
+                    break
+                time.sleep(0.05)
+            assert report is not None and report["probes"] >= 4
+            assert report["alarms"] == []
+            # Canary relations live in a reserved namespace, invisible to the
+            # deployment's own data.
+            status, payload = fixture.post("/v1/query", {"query": "Zone(x, y)"})
+            assert status == 200 and payload["value"] == pytest.approx(2.0)

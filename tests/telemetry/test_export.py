@@ -97,3 +97,79 @@ class TestPrometheusText:
                     assert f'"{label_value}"' in text
             else:
                 assert f"repro_{key}" in text
+
+
+class TestExpositionHygiene:
+    """Satellite invariants: HELP/TYPE everywhere, escaping, lint-clean."""
+
+    def _lint(self):
+        import importlib.util
+        from pathlib import Path
+
+        path = (
+            Path(__file__).resolve().parents[2] / "scripts" / "check_prom_exposition.py"
+        )
+        spec = importlib.util.spec_from_file_location("check_prom_exposition", path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+
+    def _metrics(self) -> ServiceMetrics:
+        metrics = ServiceMetrics()
+        metrics.record_cache_hit()
+        metrics.record_plan("telescoping")
+        metrics.record_latency("telescoping", 0.25)
+        return metrics
+
+    def test_every_family_has_help_and_type(self):
+        text = prometheus_text(self._metrics(), _traced())
+        families = set()
+        for line in text.splitlines():
+            if line.startswith("#") or not line.strip():
+                continue
+            families.add(line.split("{")[0].split()[0])
+        for family in families:
+            assert f"# HELP {family} " in text, family
+            assert f"# TYPE {family} " in text, family
+
+    def test_label_values_are_escaped(self):
+        from repro.telemetry.export import escape_label_value
+
+        assert escape_label_value('a"b') == 'a\\"b'
+        assert escape_label_value("a\\b") == "a\\\\b"
+        assert escape_label_value("a\nb") == "a\\nb"
+        metrics = ServiceMetrics()
+        metrics.record_plan('weird"route\n')
+        text = prometheus_text(metrics)
+        assert 'estimator="weird\\"route\\n"' in text
+
+    def test_spans_dropped_exported(self):
+        tracer = RecordingTracer(capacity=1)
+        with activate(tracer):
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        text = prometheus_text(tracer=tracer)
+        assert "repro_trace_spans_dropped_total 1" in text
+        assert "# TYPE repro_trace_spans_dropped_total counter" in text
+
+    def test_observatory_section_appended(self):
+        from repro.telemetry.observatory import Observatory
+
+        observatory = Observatory()
+        observatory.observe("request_seconds", 0.02)
+        observatory.count("hits_store")
+        text = prometheus_text(self._metrics(), observatory=observatory)
+        assert "# TYPE repro_request_seconds histogram" in text
+        assert "repro_observatory_hits_store_total 1" in text
+
+    def test_full_exposition_passes_lint(self):
+        from repro.telemetry.observatory import Observatory
+
+        observatory = Observatory()
+        observatory.observe("request_seconds", 0.02)
+        observatory.slo("request_seconds", objective=0.99, threshold=0.1)
+        observatory.record_execution("d1", "monte_carlo", 0.05, 1000)
+        text = prometheus_text(self._metrics(), _traced(), observatory=observatory)
+        assert self._lint().lint(text) == []

@@ -1,0 +1,122 @@
+"""The online calibration auditor: canary coverage and miscalibration alarms."""
+
+import pytest
+
+from repro.constraints.database import ConstraintDatabase
+from repro.service.session import ServiceSession
+from repro.telemetry.observatory import (
+    CalibrationAuditor,
+    CoverageCell,
+    Observatory,
+    default_canaries,
+)
+
+
+@pytest.fixture()
+def session():
+    return ServiceSession(ConstraintDatabase(), observatory=False)
+
+
+class TestCanaries:
+    def test_default_canaries_have_exact_truths(self, session):
+        import numpy as np
+
+        auditor = CalibrationAuditor(session)
+        auditor.install()
+        # The exact route certifies every low-dimensional canary: the served
+        # value must equal the closed-form truth.
+        from repro.queries.ast import QRelation
+
+        for canary in default_canaries():
+            result = session.volume(
+                QRelation(canary.name, canary.variables),
+                epsilon=0.3,
+                delta=0.1,
+                rng=np.random.default_rng(0),
+                use_cache=False,
+            )
+            assert result.value == pytest.approx(canary.truth, rel=1e-9), canary.name
+
+    def test_install_is_idempotent(self, session):
+        auditor = CalibrationAuditor(session)
+        auditor.install()
+        names = set(session.database.names())
+        auditor.install()
+        CalibrationAuditor(session).install()
+        assert set(session.database.names()) == names
+        assert all(name.startswith("ObsCanary") for name in names)
+
+
+class TestCoverageCell:
+    def test_threshold_is_three_sigma_below_expectation(self):
+        cell = CoverageCell(route="exact", epsilon=0.3, delta=0.1)
+        cell.trials = 100
+        cell.covered = 90
+        # Expectation 90, sigma = sqrt(100 * 0.1 * 0.9) = 3: boundary at 81.
+        assert cell.threshold == pytest.approx(81.0)
+        assert not cell.alarming
+        cell.covered = 80
+        assert cell.alarming
+
+    def test_small_cells_alarm_only_on_gross_miscalibration(self):
+        cell = CoverageCell(route="exact", epsilon=0.3, delta=0.1)
+        cell.trials = 2
+        cell.covered = 0
+        # 2 trials, expectation 1.8, sigma ~ 0.42: zero coverage alarms.
+        assert cell.alarming
+        cell.covered = 2
+        assert not cell.alarming
+
+
+class TestCalibrationAuditor:
+    def test_coverage_holds_on_exact_canaries(self, session):
+        observatory = Observatory()
+        auditor = CalibrationAuditor(session, observatory=observatory)
+        probes = auditor.run(budget_seconds=0.0)
+        assert probes >= 1
+        for _ in range(11):
+            auditor.step()
+        assert not auditor.alarming()
+        report = auditor.report()
+        assert report["probes"] == probes + 11
+        assert report["alarms"] == []
+        for cell in report["cells"]:
+            assert cell["coverage"] >= 1.0 - auditor.delta
+        assert observatory.counter("auditor_probes") == report["probes"]
+        assert observatory.counter("auditor_alarms") == 0
+
+    def test_alarms_on_injected_miscalibration(self, session):
+        observatory = Observatory()
+        auditor = CalibrationAuditor(
+            session, observatory=observatory, distort=lambda value: value * 1.6
+        )
+        for _ in range(12):
+            auditor.step()
+        assert auditor.alarming()
+        report = auditor.report()
+        assert report["alarms"]
+        assert observatory.counter("auditor_misses") > 0
+        assert observatory.counter("auditor_alarms") >= 1
+
+    def test_probes_round_robin_canaries_and_epsilons(self, session):
+        auditor = CalibrationAuditor(session, epsilons=(0.3, 0.5))
+        canaries = len(auditor.canaries)
+        seen = set()
+        for _ in range(2 * canaries):
+            auditor.step()
+        for (route, epsilon, delta) in auditor.cells:
+            seen.add(epsilon)
+        assert seen == {0.3, 0.5}
+
+    def test_auditor_requires_canaries_and_epsilons(self, session):
+        with pytest.raises(ValueError):
+            CalibrationAuditor(session, canaries=[])
+        with pytest.raises(ValueError):
+            CalibrationAuditor(session, epsilons=())
+
+    def test_canary_traffic_does_not_pollute_user_cache(self, session):
+        auditor = CalibrationAuditor(session)
+        before = session.metrics.cache_hits
+        auditor.step()
+        auditor.step()
+        assert session.metrics.cache_hits == before  # probes run cache-off

@@ -1,0 +1,202 @@
+"""Core observatory data structures: histograms, rings, SLOs, exposition."""
+
+import importlib.util
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.telemetry.observatory import (
+    LogHistogram,
+    Observatory,
+    RollupRing,
+    SLOMonitor,
+)
+
+_LINT_PATH = Path(__file__).resolve().parents[2] / "scripts" / "check_prom_exposition.py"
+_spec = importlib.util.spec_from_file_location("check_prom_exposition", _LINT_PATH)
+promlint = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(promlint)
+
+
+class TestRollupRing:
+    def test_totals_over_window(self):
+        ring = RollupRing(1.0, 10)
+        ring.observe(0.5, now=100.0, bad=False)
+        ring.observe(1.5, now=100.4, bad=True)
+        ring.observe(2.0, now=101.2, bad=False)
+        count, total, bad = ring.totals(now=101.5, window_seconds=5.0)
+        assert count == 3
+        assert total == pytest.approx(4.0)
+        assert bad == 1
+
+    def test_stale_slots_expire(self):
+        ring = RollupRing(1.0, 4)
+        ring.observe(1.0, now=10.0, bad=False)
+        # 100 seconds later the slot epoch no longer matches: nothing counts.
+        count, total, bad = ring.totals(now=110.0, window_seconds=4.0)
+        assert (count, total, bad) == (0, 0.0, 0)
+
+    def test_slot_reuse_resets_epoch(self):
+        ring = RollupRing(1.0, 4)
+        ring.observe(1.0, now=10.0, bad=True)
+        ring.observe(2.0, now=14.0, bad=False)  # same slot index, new epoch
+        count, total, bad = ring.totals(now=14.2, window_seconds=1.0)
+        assert count == 1
+        assert total == pytest.approx(2.0)
+        assert bad == 0
+
+
+class TestLogHistogram:
+    def test_bucket_layout_is_geometric(self):
+        histogram = LogHistogram("x", start=0.001, factor=10.0, buckets=3)
+        assert histogram.bounds == (0.001, 0.01, 0.1)
+
+    def test_rejects_degenerate_layouts(self):
+        with pytest.raises(ValueError):
+            LogHistogram("x", start=0.0)
+        with pytest.raises(ValueError):
+            LogHistogram("x", factor=1.0)
+        with pytest.raises(ValueError):
+            LogHistogram("x", buckets=0)
+
+    def test_counts_and_sum(self):
+        histogram = LogHistogram("x", start=0.001, factor=10.0, buckets=3)
+        for value in (0.0005, 0.005, 0.05, 5.0):
+            histogram.observe(value, now=0.0)
+        assert histogram.count == 4
+        assert histogram.sum == pytest.approx(5.0555)
+        snap = histogram.snapshot()
+        # Cumulative: 1 observation <= 1ms, 2 <= 10ms, 3 <= 100ms; +Inf holds 4.
+        assert [count for _, count in snap["buckets"]] == [1, 2, 3]
+        assert snap["count"] == 4
+
+    def test_quantile_returns_bucket_upper_bound(self):
+        histogram = LogHistogram("x", start=0.001, factor=10.0, buckets=3)
+        assert histogram.quantile(0.5) == 0.0
+        for _ in range(99):
+            histogram.observe(0.004, now=0.0)
+        histogram.observe(2.0, now=0.0)
+        assert histogram.quantile(0.5) == pytest.approx(0.01)
+        assert histogram.quantile(0.999) == pytest.approx(0.2)  # overflow bucket
+        with pytest.raises(ValueError):
+            histogram.quantile(1.5)
+
+    def test_window_totals_track_bad_fraction(self):
+        histogram = LogHistogram("x", slo_threshold=0.1)
+        histogram.observe(0.05, now=50.0)
+        histogram.observe(0.5, now=50.1)
+        count, _, bad = histogram.window_totals(60.0, now=50.2)
+        assert (count, bad) == (2, 1)
+
+    def test_concurrent_observe_is_lossless(self):
+        histogram = LogHistogram("x")
+        per_thread = 2000
+
+        def work():
+            for _ in range(per_thread):
+                histogram.observe(0.01)
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert histogram.count == 4 * per_thread
+        assert histogram.sum == pytest.approx(4 * per_thread * 0.01)
+
+
+class TestSLOMonitor:
+    def test_burn_rate_is_bad_fraction_over_budget(self):
+        histogram = LogHistogram("latency", slo_threshold=0.1)
+        monitor = SLOMonitor(histogram, objective=0.9)
+        for _ in range(9):
+            histogram.observe(0.01, now=100.0)
+        histogram.observe(1.0, now=100.0)
+        # 10% bad over a 10% budget: burning at exactly 1.0.
+        assert monitor.burn_rate(60.0, now=100.5) == pytest.approx(1.0)
+        for _ in range(90):
+            histogram.observe(0.01, now=100.0)
+        # Now 1% bad over a 10% budget: a tenth of provisioned burn.
+        status = monitor.status(now=100.5)
+        assert status["healthy"]
+        assert status["burn_1m"] == pytest.approx(0.1)
+
+    def test_no_traffic_means_no_burn(self):
+        monitor = SLOMonitor(LogHistogram("latency", slo_threshold=0.1))
+        assert monitor.burn_rate(60.0, now=0.0) == 0.0
+
+    def test_objective_validated(self):
+        with pytest.raises(ValueError):
+            SLOMonitor(LogHistogram("x"), objective=1.0)
+
+
+class TestObservatory:
+    def test_disabled_observatory_records_nothing(self):
+        observatory = Observatory(enabled=False)
+        observatory.observe("request_seconds", 1.0)
+        observatory.count("hits_store")
+        observatory.record_execution("d", "monte_carlo", 0.1, 100)
+        snap = observatory.snapshot()
+        assert snap["enabled"] is False
+        assert snap["histograms"] == {}
+        assert snap["counters"] == {}
+        assert snap["profiles"] == 0
+
+    def test_known_names_get_tuned_buckets(self):
+        observatory = Observatory()
+        observatory.observe("queue_wait_seconds", 1e-5)
+        histogram = observatory.histogram("queue_wait_seconds")
+        assert histogram.bounds[0] == pytest.approx(1e-5)
+        samples = observatory.histogram("samples_drawn")
+        assert samples.unit == "samples"
+
+    def test_counters_are_monotone(self):
+        observatory = Observatory()
+        observatory.count("hits_store")
+        observatory.count("hits_store", 2.0)
+        assert observatory.counter("hits_store") == pytest.approx(3.0)
+        assert observatory.counter("never_bumped") == 0.0
+
+    def test_record_execution_feeds_histograms_and_profile(self):
+        observatory = Observatory()
+        observatory.record_execution("digest-1", "monte_carlo", 0.02, 500)
+        observatory.record_hit("digest-1", "store")
+        assert observatory.histogram("execute_seconds").count == 1
+        assert observatory.histogram("samples_drawn").count == 1
+        assert observatory.counter("hits_store") == 1.0
+        profile = observatory.profiles.get("digest-1")
+        assert profile is not None
+        assert profile.calls == 1
+        assert profile.hit_count == 1
+
+    def test_slo_registration_shows_in_status(self):
+        observatory = Observatory()
+        observatory.slo("request_seconds", objective=0.99, threshold=0.2)
+        observatory.observe("request_seconds", 0.5)
+        rows = observatory.slo_status()
+        assert len(rows) == 1
+        assert rows[0]["histogram"] == "request_seconds"
+        assert rows[0]["objective"] == pytest.approx(0.99)
+
+    def test_prometheus_lines_pass_the_lint(self):
+        observatory = Observatory()
+        observatory.observe("request_seconds", 0.01)
+        observatory.observe("request_seconds", 0.7)
+        observatory.count("hits_store")
+        observatory.record_execution("digest-1", "monte_carlo", 0.05, 1000)
+        observatory.slo("request_seconds", objective=0.999, threshold=0.5)
+        text = "\n".join(observatory.prometheus_lines()) + "\n"
+        assert promlint.lint(text) == []
+        assert "# TYPE repro_request_seconds histogram" in text
+        assert 'repro_request_seconds_bucket{le="+Inf"} 2' in text
+        assert "repro_observatory_hits_store_total 1" in text
+        assert 'repro_slo_burn_rate{histogram="request_seconds",window="1m"}' in text
+
+    def test_snapshot_is_json_ready(self):
+        import json
+
+        observatory = Observatory()
+        observatory.observe("request_seconds", 0.1)
+        observatory.count("hits_memory")
+        json.dumps(observatory.snapshot())

@@ -1,0 +1,182 @@
+"""Per-plan-digest query profiles: accumulation, persistence, planner priors."""
+
+import pytest
+
+from repro.service.planner import Plan, Planner
+from repro.store import ResultStore
+from repro.telemetry.observatory import PlanProfile, ProfileRegistry
+
+
+def _plan(estimator="monte_carlo", sample_budget=10_000):
+    return Plan(
+        estimator=estimator,
+        epsilon=0.1,
+        delta=0.05,
+        sample_budget=sample_budget,
+        time_budget=1.0,
+        reason="test",
+    )
+
+
+class TestPlanProfile:
+    def test_accumulates_executions(self):
+        profile = PlanProfile("d1")
+        profile.record_execution("monte_carlo", 0.02, 1000)
+        profile.record_execution("monte_carlo", 0.04, 2000)
+        profile.record_execution("telescoping", 0.5, 300)
+        assert profile.calls == 3
+        assert profile.samples_total == 3300
+        assert profile.wall_total == pytest.approx(0.56)
+        assert profile.routes == {"monte_carlo": 2, "telescoping": 1}
+        assert profile.dominant_route == "monte_carlo"
+
+    def test_route_rates_are_smoothed(self):
+        profile = PlanProfile("d1")
+        profile.record_execution("monte_carlo", 0.01, 1000)  # 100k/s
+        assert profile.route_rates["monte_carlo"] == pytest.approx(1e5)
+        profile.record_execution("monte_carlo", 0.01, 2000)  # 200k/s
+        assert profile.route_rates["monte_carlo"] == pytest.approx(
+            0.7 * 1e5 + 0.3 * 2e5
+        )
+
+    def test_hits_and_ratio(self):
+        profile = PlanProfile("d1")
+        profile.record_execution("monte_carlo", 0.02, 1000)
+        profile.record_hit("memory")
+        profile.record_hit("memory")
+        profile.record_hit("store")
+        assert profile.hit_count == 3
+        assert profile.hit_ratio == pytest.approx(0.75)
+        assert profile.hits == {"memory": 2, "store": 1}
+
+    def test_wall_quantiles(self):
+        profile = PlanProfile("d1")
+        for _ in range(99):
+            profile.record_execution("monte_carlo", 0.0009, 10)
+        profile.record_execution("monte_carlo", 3.0, 10)
+        assert profile.wall_quantile(0.5) <= 0.0016
+        assert profile.wall_quantile(0.995) >= 3.0
+
+    def test_state_round_trip(self):
+        profile = PlanProfile("d1")
+        profile.record_execution("adaptive", 0.1, 5000, cpu=0.08)
+        profile.record_hit("dominance")
+        restored = PlanProfile.from_state(profile.to_state())
+        assert restored.as_dict() == profile.as_dict()
+
+    def test_from_state_tolerates_missing_fields(self):
+        restored = PlanProfile.from_state({"digest": "d9"})
+        assert restored.calls == 0
+        assert restored.wall_quantile(0.5) == 0.0
+
+
+class TestProfileRegistry:
+    def test_lru_eviction(self):
+        registry = ProfileRegistry(capacity=2)
+        registry.record_execution("a", "monte_carlo", 0.01, 10)
+        registry.record_execution("b", "monte_carlo", 0.01, 10)
+        registry.record_execution("a", "monte_carlo", 0.01, 10)  # refresh a
+        registry.record_execution("c", "monte_carlo", 0.01, 10)  # evicts b
+        assert registry.get("a") is not None
+        assert registry.get("b") is None
+        assert registry.get("c") is not None
+        assert len(registry) == 2
+
+    def test_top_orders_by_wall_total(self):
+        registry = ProfileRegistry()
+        registry.record_execution("cheap", "monte_carlo", 0.001, 10)
+        registry.record_execution("dear", "telescoping", 2.0, 10)
+        rows = registry.top(limit=5)
+        assert [row["digest"] for row in rows] == ["dear", "cheap"]
+
+    def test_none_digest_is_ignored(self):
+        registry = ProfileRegistry()
+        registry.record_execution(None, "monte_carlo", 0.01, 10)
+        registry.record_hit(None, "memory")
+        assert len(registry) == 0
+
+    def test_persistence_round_trip_through_store(self, tmp_path):
+        path = tmp_path / "results.db"
+        registry = ProfileRegistry()
+        registry.record_execution("d1", "monte_carlo", 0.01, 1000)
+        registry.record_hit("d1", "store")
+        registry.record_execution("d2", "telescoping", 0.5, 200)
+        with ResultStore(path) as store:
+            assert registry.flush(store) == 2
+            assert registry.flush(store) == 0  # nothing dirty any more
+
+        restored = ProfileRegistry()
+        with ResultStore(path) as store:
+            assert restored.load(store) == 2
+        assert restored.get("d1").as_dict() == registry.get("d1").as_dict()
+        assert restored.get("d2").as_dict() == registry.get("d2").as_dict()
+
+    def test_profiles_survive_relation_invalidation(self, tmp_path):
+        path = tmp_path / "results.db"
+        registry = ProfileRegistry()
+        registry.record_execution("d1", "monte_carlo", 0.01, 1000)
+        with ResultStore(path) as store:
+            registry.flush(store)
+            # Profiles carry an empty (not unknown) relation footprint: a
+            # mutated relation invalidates results, never latency history.
+            store.invalidate_relations(["Zone"])
+            restored = ProfileRegistry()
+            assert restored.load(store) == 1
+
+    def test_maybe_persist_is_throttled(self, tmp_path):
+        registry = ProfileRegistry()
+        registry.persist_interval = 100.0
+        registry.record_execution("d1", "monte_carlo", 0.01, 1000)
+        with ResultStore(tmp_path / "results.db") as store:
+            assert registry.maybe_persist(store, now=1000.0) == 1
+            registry.record_execution("d1", "monte_carlo", 0.01, 1000)
+            assert registry.maybe_persist(store, now=1050.0) == 0  # too soon
+            assert registry.maybe_persist(store, now=1101.0) == 1
+
+    def test_prime_planner_seeds_digest_priors(self):
+        registry = ProfileRegistry()
+        registry.record_execution("d1", "monte_carlo", 0.01, 1000)  # 100k/s
+        planner = Planner()
+        assert registry.prime_planner(planner) == 1
+        assert planner.digest_rate("d1", "monte_carlo") == pytest.approx(1e5)
+
+
+class TestPlannerDigestPriors:
+    def test_observe_throughput_updates_digest_prior(self):
+        planner = Planner()
+        planner.observe_throughput(1000, 0.01, route="monte_carlo", digest="d1")
+        assert planner.digest_rate("d1", "monte_carlo") == pytest.approx(1e5)
+        planner.observe_throughput(2000, 0.01, route="monte_carlo", digest="d1")
+        assert planner.digest_rate("d1", "monte_carlo") == pytest.approx(
+            0.7 * 1e5 + 0.3 * 2e5
+        )
+
+    def test_prime_never_overwrites_live_observation(self):
+        planner = Planner()
+        planner.observe_throughput(1000, 0.01, route="monte_carlo", digest="d1")
+        planner.prime_throughput("d1", "monte_carlo", 5.0)
+        assert planner.digest_rate("d1", "monte_carlo") == pytest.approx(1e5)
+
+    def test_estimated_execution_prefers_digest_prior(self):
+        planner = Planner(batch_samples_per_second=1e6)
+        plan = _plan(sample_budget=10_000)
+        baseline = planner.estimated_execution_seconds(plan)
+        assert baseline == pytest.approx(0.01)
+        planner.prime_throughput("d1", "monte_carlo", 1e4)  # a slow plan
+        assert planner.estimated_execution_seconds(plan, digest="d1") == pytest.approx(
+            1.0
+        )
+        # Unknown digests fall back to the global rate.
+        assert planner.estimated_execution_seconds(plan, digest="dX") == pytest.approx(
+            baseline
+        )
+
+    def test_digest_priors_are_bounded(self):
+        planner = Planner()
+        capacity = planner._digest_capacity
+        for index in range(capacity + 10):
+            planner.observe_throughput(
+                1000, 0.01, route="monte_carlo", digest=f"d{index}"
+            )
+        assert planner.digest_rate("d0", "monte_carlo") is None
+        assert planner.digest_rate(f"d{capacity + 9}", "monte_carlo") is not None

@@ -1,0 +1,94 @@
+"""Scraping a live server mid-batch must never observe torn state.
+
+``/metrics`` and ``/v1/stats`` are read concurrently while the server's
+session chews through a batch on the *process* backend — the backend whose
+results arrive from worker processes and get folded back on the parent.
+Every scrape must parse, pass the exposition lint, and show counters that
+only ever move forward.
+"""
+
+import importlib.util
+import json
+import re
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.queries.parser import parse_query
+from repro.service.executor import BatchRequest
+from tests.serving.test_server import ServerFixture, make_config
+
+_LINT_PATH = Path(__file__).resolve().parents[2] / "scripts" / "check_prom_exposition.py"
+_spec = importlib.util.spec_from_file_location("check_prom_exposition", _LINT_PATH)
+promlint = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(promlint)
+
+_WATCHED = (
+    "repro_batch_requests_total",
+    "repro_cache_hits_total",
+    "repro_observatory_hits_memory_total",
+)
+
+
+def _sample_value(text: str, name: str) -> float | None:
+    match = re.search(rf"^{re.escape(name)} (\S+)$", text, flags=re.MULTILINE)
+    return None if match is None else float(match.group(1))
+
+
+def test_concurrent_scrape_mid_batch_is_consistent():
+    queries = [
+        parse_query(f"Zone(x, y) and x <= {numerator}/7") for numerator in range(1, 8)
+    ]
+    with ServerFixture(make_config()) as fixture:
+        session = fixture.server.session
+        errors: list[BaseException] = []
+        done = threading.Event()
+        seen = {name: 0.0 for name in _WATCHED}
+
+        def scrape():
+            try:
+                while not done.is_set():
+                    status, text = fixture.get("/metrics")
+                    assert status == 200
+                    problems = promlint.lint(text)
+                    assert problems == [], problems
+                    for name in _WATCHED:
+                        value = _sample_value(text, name)
+                        if value is not None:
+                            assert value >= seen[name], name
+                            seen[name] = max(seen[name], value)
+                    status, body = fixture.get("/v1/stats")
+                    assert status == 200
+                    stats = json.loads(body)
+                    assert stats["session"]["batch_requests"] >= 0
+                    assert "observatory" in stats
+            except BaseException as error:  # surfaced by the main thread
+                errors.append(error)
+
+        scraper = threading.Thread(target=scrape)
+        scraper.start()
+        try:
+            for _ in range(3):
+                outcomes = session.submit_batch(
+                    [BatchRequest(query) for query in queries],
+                    workers=2,
+                    rng=11,
+                    backend="process",
+                )
+                assert len(outcomes) == len(queries)
+        finally:
+            done.set()
+            scraper.join(timeout=30)
+        assert not errors, errors
+
+        # After the batches: the scrape shows the final, settled totals.
+        status, text = fixture.get("/metrics")
+        assert status == 200
+        assert promlint.lint(text) == []
+        assert _sample_value(text, "repro_batch_requests_total") == pytest.approx(
+            3 * len(queries)
+        )
+        assert "# TYPE repro_queue_wait_seconds histogram" in text
+        queue_observations = _sample_value(text, "repro_queue_wait_seconds_count")
+        assert queue_observations is not None and queue_observations > 0

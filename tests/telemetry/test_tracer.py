@@ -202,3 +202,23 @@ class TestValidateSpanTree:
             Span(span_id=1, parent_id=None, name="b", start=0.0),
         ]
         assert not validate_span_tree(spans)
+
+
+class TestRingOverflow:
+    def test_spans_dropped_counts_evictions(self):
+        tracer = RecordingTracer(capacity=3)
+        for index in range(5):
+            with tracer.span(f"s{index}"):
+                pass
+        assert tracer.spans_dropped == 2
+        assert len(tracer.finished()) == 3
+        # The loss ships as a plain counter, so worker processes report it
+        # through the same global_counters() channel as everything else.
+        assert tracer.global_counters()["spans_dropped"] == 2
+
+    def test_no_drop_below_capacity(self):
+        tracer = RecordingTracer(capacity=8)
+        for index in range(8):
+            with tracer.span(f"s{index}"):
+                pass
+        assert tracer.spans_dropped == 0
