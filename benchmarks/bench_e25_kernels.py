@@ -1,0 +1,373 @@
+"""Experiment E25 — compiled kernels, zero-copy state plane, block autotuning.
+
+PR 2's batch layer vectorized the estimators; E25 measures the next layer
+down, introduced by the ``repro.kernels`` package and the shared-memory
+state plane:
+
+* **compiled kernels** — the three hot epilogues (H-polytope membership,
+  hit-and-run chord intersection, rejection mask-accept) timed on the NumPy
+  reference backend against the optional numba backend, in the regimes the
+  service actually runs them (many points per block, low acceptance, far
+  fewer accepted samples needed than hits available — where a fused early-
+  exit loop beats NumPy's multi-pass reductions).  When numba is available
+  the run **enforces ≥ 3× on the membership and chord (walk) kernels**;
+  when it is not, the ratios are recorded as ``null`` and only the NumPy
+  timings land in the snapshot.
+* **zero-copy shipping** — on the E18 process-shard workload, the bytes the
+  process backend pickles into its pool initializer: the historical inline
+  ``_SharedSetup`` versus the state plane's ``SegmentManifest``.  The
+  ``setup_bytes_shrink`` ratio is **enforced at ≥ 10×**.
+* **bit-identity grid** — the same batch served across kernel backends ×
+  execution backends × block sizes must produce exactly equal values; every
+  cell is a boolean witness in the snapshot, so
+  ``benchmarks/check_regression.py`` fails if any combination ever drifts.
+
+The run writes ``BENCH_e25_kernels.json`` at the repository root; the CI
+perf gate compares fresh smoke runs against that committed snapshot.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import kernels
+from repro.constraints.database import ConstraintDatabase
+from repro.constraints.relations import GeneralizedRelation
+from repro.core import GeneratorParams
+from repro.harness import ExperimentResult, register_experiment
+from repro.kernels import reference
+from repro.queries import QRelation
+from repro.service import BatchRequest, ProcessBackend, ServiceSession
+from repro.service.backends import WorkUnit
+
+JSON_PATH = Path(__file__).resolve().parents[1] / "BENCH_e25_kernels.json"
+
+PARAMS = GeneratorParams(gamma=0.25, epsilon=0.25, delta=0.15)
+
+
+def _best_seconds(function, repeats: int = 3, inner: int = 5) -> float:
+    """Best per-call seconds over ``repeats`` timed loops of ``inner`` calls."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(inner):
+            function()
+        best = min(best, (time.perf_counter() - start) / inner)
+    return best
+
+
+def _microbenchmarks(repeats: int) -> dict:
+    """Reference-vs-compiled timings for the three kernels.
+
+    Shapes are chosen so the *epilogue* dominates the (shared, NumPy) matrix
+    product: low-acceptance membership rewards early exit, wide chord blocks
+    reward a single fused pass over NumPy's five, and a decisive acceptance
+    far before the end of the block rewards stopping there.
+    """
+    compiled = None
+    if kernels.numba_available():
+        from repro.kernels import compiled as compiled_module
+
+        compiled = compiled_module
+        kernels.warm_jit()
+
+    rng = np.random.default_rng(0xE25)
+    micro: dict[str, dict] = {}
+
+    def record(name: str, reference_call, compiled_call) -> None:
+        reference_call()  # warm caches outside the timed region
+        numpy_seconds = _best_seconds(reference_call, repeats)
+        numba_seconds = None
+        speedup = None
+        if compiled_call is not None:
+            compiled_call()
+            numba_seconds = _best_seconds(compiled_call, repeats)
+            speedup = numpy_seconds / numba_seconds if numba_seconds > 0 else None
+        micro[name] = {
+            "numpy_seconds": numpy_seconds,
+            "numba_seconds": numba_seconds,
+            "numba_speedup": speedup,
+        }
+
+    # Membership: d=8, m=48, n=8192, almost every point rejected early.
+    d, m, n = 8, 48, 8192
+    a = rng.standard_normal((m, d))
+    b = rng.standard_normal(m) - 1.0
+    points = rng.standard_normal((n, d))
+    record(
+        "membership",
+        lambda: reference.membership_mask(a, b, points, 1e-9),
+        None if compiled is None else (
+            lambda: compiled.membership_mask(a, b, points, 1e-9)
+        ),
+    )
+
+    # Chord (walk) kernel: k=4096 chains against m=48 constraints.
+    k = 4096
+    slopes = rng.standard_normal((k, m))
+    gaps = np.abs(rng.standard_normal((k, m))) + 1e-3
+    record(
+        "chord",
+        lambda: reference.chord_bounds(slopes, gaps),
+        None if compiled is None else (lambda: compiled.chord_bounds(slopes, gaps)),
+    )
+
+    # Accept: 64 needed out of ~20k hits in a 65k block — the decisive
+    # acceptance sits a few hundred rows in.
+    mask = rng.random(65536) < 0.3
+    needed = 64
+    record(
+        "accept",
+        lambda: reference.accept_indices(mask, needed),
+        None if compiled is None else (lambda: compiled.accept_indices(mask, needed)),
+    )
+    return micro
+
+
+def _workload(unique: int, dimension: int, repeats: int):
+    """The E18 traffic shape: unique d-D boxes on the telescoping route."""
+    database = ConstraintDatabase()
+    queries = []
+    variables = tuple(f"z{i}" for i in range(dimension))
+    for index in range(unique):
+        name = f"body{index}"
+        database.set_relation(
+            name,
+            GeneralizedRelation.box({v: (0.0, 1.0 + 0.2 * index) for v in variables}),
+        )
+        queries.append(QRelation(name, variables))
+    return database, [BatchRequest(query) for query in queries] * repeats
+
+
+def _shipping(database, requests, seed: int) -> dict:
+    """Manifest-vs-inline initializer payload bytes on one process batch."""
+    session = ServiceSession(database, params=PARAMS)
+    backend = ProcessBackend(single_core_fallback=False)
+    outcomes = session.submit_batch(requests, workers=2, rng=seed, backend=backend)
+    manifest_bytes = backend.last_payload_bytes or 0
+    arena = session.state_plane.stats()
+
+    # Rebuild the historical inline payload for the very same batch.
+    units = []
+    seen = {}
+    for index, request in enumerate(requests):
+        key = session.key_for(request.query)
+        if key in seen:
+            continue
+        seen[key] = True
+        units.append(
+            WorkUnit(
+                index=index,
+                key=key,
+                query=request.query,
+                plan=session.explain(request.query),
+                seed=index,
+                fingerprint=session.fingerprint,
+            )
+        )
+    shared = backend._shared_setup(session, units)
+    inline_bytes = len(pickle.dumps(("inline", shared), protocol=pickle.HIGHEST_PROTOCOL))
+    shrink = inline_bytes / manifest_bytes if manifest_bytes else 0.0
+    values = [outcome.result.value for outcome in outcomes]
+    session.close()
+    return {
+        "inline_bytes": inline_bytes,
+        "manifest_bytes": manifest_bytes,
+        "setup_bytes_shrink": shrink,
+        "shrink_at_least_10x": bool(shrink >= 10.0),
+        "arena_published": bool(arena["publishes"] >= 1),
+        "arena_attach_ok": bool(arena["enabled"]),
+        "values": values,
+    }
+
+
+def _bit_identity_grid(database, requests, seed: int, block_sizes) -> dict:
+    """Served values across kernel backends × execution backends × blocks."""
+    def serve(backend, block_size):
+        session = ServiceSession(database, params=PARAMS)
+        outcomes = session.submit_batch(
+            requests, workers=2, rng=seed, backend=backend, block_size=block_size
+        )
+        values = [outcome.result.value for outcome in outcomes]
+        session.close()
+        return values
+
+    requested = kernels.kernel_stats()["requested"]
+    baseline = serve("serial", None)
+    grid: dict[str, dict] = {}
+    backend_names = ["numpy"] + (["numba"] if kernels.numba_available() else [])
+    try:
+        for kernel_backend in backend_names:
+            kernels._activate(kernel_backend)
+            cells: dict[str, dict] = {}
+            for execution in ("serial", "thread", "process"):
+                row: dict[str, bool] = {}
+                for block_size in block_sizes:
+                    backend = (
+                        ProcessBackend(single_core_fallback=False)
+                        if execution == "process"
+                        else execution
+                    )
+                    values = serve(backend, block_size)
+                    row[f"block_{block_size}"] = values == baseline
+                cells[execution] = row
+            grid[kernel_backend] = cells
+    finally:
+        kernels._activate(requested)
+    return grid
+
+
+@register_experiment("E25")
+def run_kernels(
+    unique: int = 8,
+    dimension: int = 5,
+    repeats: int = 3,
+    timing_repeats: int = 3,
+    block_sizes: tuple = (2048, 8192),
+    seed: int = 7,
+    write_json: bool = True,
+) -> ExperimentResult:
+    """Regenerate the E25 table: kernel timings, shipping shrink, identity grid."""
+    result = ExperimentResult(
+        "E25",
+        "Compiled kernels + zero-copy state plane + block autotuning",
+        ["metric", "numpy", "numba", "ratio"],
+        claim=(
+            ">= 3x compiled-vs-reference on the membership and chord kernels "
+            "when numba is available; >= 10x smaller process-pool initializer "
+            "payloads from shared-memory manifests; exactly equal served "
+            "values across kernel backends, execution backends and block sizes"
+        ),
+    )
+    micro = _microbenchmarks(timing_repeats)
+    for name, row in micro.items():
+        result.add_row(
+            name,
+            f"{row['numpy_seconds'] * 1e3:.3f}ms",
+            "-" if row["numba_seconds"] is None else f"{row['numba_seconds'] * 1e3:.3f}ms",
+            "-" if row["numba_speedup"] is None else f"{row['numba_speedup']:.1f}x",
+        )
+
+    database, requests = _workload(unique, dimension, repeats)
+    shipping = _shipping(database, requests, seed)
+    result.add_row(
+        "setup shipping bytes",
+        shipping["inline_bytes"],
+        shipping["manifest_bytes"],
+        f"{shipping['setup_bytes_shrink']:.0f}x",
+    )
+
+    grid = _bit_identity_grid(database, requests, seed, block_sizes)
+    flat = [
+        flag
+        for cells in grid.values()
+        for row in cells.values()
+        for flag in row.values()
+    ]
+    identical = all(flat)
+    result.observe(
+        f"bit-identity grid: {sum(flat)}/{len(flat)} cells identical "
+        f"across {list(grid)} x serial/thread/process x blocks {list(block_sizes)}"
+    )
+    result.observe(
+        f"initializer payload: {shipping['inline_bytes']} -> "
+        f"{shipping['manifest_bytes']} bytes "
+        f"({shipping['setup_bytes_shrink']:.0f}x, threshold 10x)"
+    )
+    if kernels.numba_available():
+        result.observe(
+            "compiled kernels: "
+            + ", ".join(
+                f"{name} {row['numba_speedup']:.1f}x" for name, row in micro.items()
+            )
+            + " (threshold 3x on membership/chord)"
+        )
+    else:
+        result.observe("numba not installed: reference timings only, no ratios")
+
+    result.details = {  # type: ignore[attr-defined]
+        "microbenchmarks": micro,
+        "shipping": {k: v for k, v in shipping.items() if k != "values"},
+        "grid": grid,
+        "grid_identical": identical,
+    }
+    if write_json:
+        JSON_PATH.write_text(
+            json.dumps(
+                {
+                    "experiment": "E25",
+                    "cpu_count": os.cpu_count() or 1,
+                    "numba_available": kernels.numba_available(),
+                    "kernel_backend": kernels.active_backend(),
+                    "seed": seed,
+                    "microbenchmarks": micro,
+                    "shipping": {
+                        k: v for k, v in shipping.items() if k != "values"
+                    },
+                    "bit_identity": grid,
+                    "grid_identical": identical,
+                },
+                indent=2,
+            )
+            + "\n"
+        )
+        result.observe(f"wrote {JSON_PATH.name}")
+    return result
+
+
+def _enforce(table: ExperimentResult) -> None:
+    details = table.details  # type: ignore[attr-defined]
+    shipping = details["shipping"]
+    if shipping["setup_bytes_shrink"] < 10.0:
+        raise SystemExit(
+            f"FAIL: initializer payload shrink {shipping['setup_bytes_shrink']:.1f}x "
+            "is below the 10x threshold"
+        )
+    if not shipping["arena_published"] or not shipping["arena_attach_ok"]:
+        raise SystemExit("FAIL: the state plane did not serve the process batch")
+    if not details["grid_identical"]:
+        broken = [
+            f"{backend}/{execution}/{block}"
+            for backend, cells in details["grid"].items()
+            for execution, row in cells.items()
+            for block, flag in row.items()
+            if not flag
+        ]
+        raise SystemExit(f"FAIL: served values diverged on {broken}")
+    if kernels.numba_available():
+        for name in ("membership", "chord"):
+            speedup = details["microbenchmarks"][name]["numba_speedup"]
+            if speedup is None or speedup < 3.0:
+                raise SystemExit(
+                    f"FAIL: compiled {name} kernel at "
+                    f"{0.0 if speedup is None else speedup:.1f}x "
+                    "is below the 3x threshold"
+                )
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="E25 compiled kernels and state plane"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="reduced sizes for CI: finishes in a few minutes",
+    )
+    arguments = parser.parse_args()
+    if arguments.smoke:
+        table = run_kernels(
+            unique=4, repeats=2, timing_repeats=3, block_sizes=(2048, 8192)
+        )
+    else:
+        table = run_kernels()
+    print(table.to_text())
+    _enforce(table)

@@ -14,9 +14,10 @@ Usage (what the ``perf-gate`` CI job runs)::
 
 The gate compares **hardware-normalised** quantities only:
 
-* every numeric leaf whose key contains ``speedup`` or ``savings`` is a
-  higher-is-better ratio (batch-vs-scalar kernels, process-vs-serial
-  backends, adaptive-vs-fixed sample counts); the gate fails when a current
+* every numeric leaf whose key contains ``speedup``, ``savings`` or
+  ``shrink`` is a higher-is-better ratio (batch-vs-scalar kernels,
+  process-vs-serial backends, adaptive-vs-fixed sample counts,
+  manifest-vs-inline initializer payloads); the gate fails when a current
   ratio drops more than ``--tolerance`` (default 30%) below its committed
   value;
 * every **boolean** leaf is a correctness witness (``identical`` values
@@ -42,7 +43,7 @@ from pathlib import Path
 
 
 #: Numeric leaves with any of these key substrings are gated as ratios.
-RATIO_MARKERS = ("speedup", "savings")
+RATIO_MARKERS = ("speedup", "savings", "shrink")
 
 
 def throughput_metrics(payload: object, prefix: str = "") -> dict[str, float]:

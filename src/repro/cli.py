@@ -279,11 +279,27 @@ def _fetch_profile(host: str, port: int) -> dict:
 
 
 def _render_top(payload: dict, limit: int) -> str:
+    lines_prefix: list[str] = []
+    execution = payload.get("execution") or {}
+    kernels = execution.get("kernels") or {}
+    arena = execution.get("arena") or {}
+    if kernels or arena:
+        backend = kernels.get("backend", "?")
+        numba = "yes" if kernels.get("numba_available") else "no"
+        lines_prefix.append(
+            f"kernels: {backend} (numba available: {numba})  "
+            f"arena: {'on' if arena.get('enabled') else 'off'} "
+            f"epoch={arena.get('epoch', 0)} "
+            f"segments={arena.get('segments', 0)} "
+            f"bytes={arena.get('bytes', 0)} "
+            f"publishes={arena.get('publishes', 0)} "
+            f"reuses={arena.get('reuses', 0)}"
+        )
     header = (
         f"{'DIGEST':14} {'CALLS':>6} {'HITS':>6} {'HIT%':>6} "
         f"{'P50(ms)':>9} {'P95(ms)':>9} {'SAMPLES':>10} ROUTE"
     )
-    lines = [header]
+    lines = lines_prefix + [header]
     for row in payload.get("profiles", [])[:limit]:
         lines.append(
             f"{row.get('digest', '')[:12]:14} "

@@ -207,17 +207,11 @@ class GeneralizedTuple:
         if not self._constraints:
             return np.ones(points.shape[0], dtype=bool)
         rows, offsets, codes = self.float_system()
-        values = points @ rows.T + offsets
-        satisfied = np.empty_like(values, dtype=bool)
-        le = codes == _REL_LE
-        lt = codes == _REL_LT
-        eq = codes == _REL_EQ
-        ne = codes == _REL_NE
-        satisfied[:, le] = values[:, le] <= 0.0
-        satisfied[:, lt] = values[:, lt] < 0.0
-        satisfied[:, eq] = values[:, eq] == 0.0
-        satisfied[:, ne] = values[:, ne] != 0.0
-        return satisfied.all(axis=1)
+        # Dispatches to the active repro.kernels backend; bit-identical to
+        # the reference per-code comparison expressions by contract.
+        from repro import kernels
+
+        return kernels.system_membership_mask(rows, offsets, codes, points)
 
     def conjoin(self, other: "GeneralizedTuple") -> "GeneralizedTuple":
         """Conjunction of two tuples over the union of their variable orders."""

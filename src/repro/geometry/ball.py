@@ -16,6 +16,8 @@ import math
 
 import numpy as np
 
+from repro.geometry.tolerances import DEFAULT_CONTAINMENT_TOLERANCE
+
 
 def unit_ball_volume(dimension: int) -> float:
     """Exact volume of the unit ball in ``R^dimension``.
@@ -66,13 +68,26 @@ class Ball:
         return ball_volume(self.dimension, self.radius)
 
     # ------------------------------------------------------------------
-    def contains(self, point: np.ndarray, tolerance: float = 0.0) -> bool:
-        """Membership test (with an optional additive tolerance on the radius)."""
+    def contains(
+        self, point: np.ndarray, tolerance: float = DEFAULT_CONTAINMENT_TOLERANCE
+    ) -> bool:
+        """Membership test with an additive tolerance on the radius.
+
+        The default matches the polytope predicates (historically balls used
+        ``0.0``, which made a point on a shared boundary "inside" the
+        polytope description of a body but "outside" its ball description —
+        see :mod:`repro.geometry.tolerances` for the contract).
+        """
         point = np.asarray(point, dtype=float)
         return float(np.linalg.norm(point - self.center)) <= self.radius + tolerance
 
-    def contains_points(self, points: np.ndarray, tolerance: float = 0.0) -> np.ndarray:
-        """Vectorized membership for a ``(n, d)`` array; returns ``(n,)`` booleans."""
+    def contains_points(
+        self, points: np.ndarray, tolerance: float = DEFAULT_CONTAINMENT_TOLERANCE
+    ) -> np.ndarray:
+        """Vectorized membership for a ``(n, d)`` array; returns ``(n,)`` booleans.
+
+        Same additive-tolerance contract as :meth:`contains`.
+        """
         points = np.asarray(points, dtype=float)
         deltas = points - self.center
         distances = np.sqrt(np.einsum("ij,ij->i", deltas, deltas))

@@ -19,9 +19,11 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import kernels
 from repro.constraints.tuples import GeneralizedTuple
 from repro.geometry.ball import Ball
 from repro.geometry.linprog import chebyshev_center, coordinate_bounds, is_feasible
+from repro.geometry.tolerances import DEFAULT_CONTAINMENT_TOLERANCE
 from repro.geometry.transforms import AffineTransform
 
 
@@ -41,8 +43,10 @@ class Halfspace:
         """Ambient dimension of the halfspace."""
         return self.normal.shape[0]
 
-    def contains(self, point: np.ndarray, tolerance: float = 1e-9) -> bool:
-        """Membership with an absolute tolerance."""
+    def contains(
+        self, point: np.ndarray, tolerance: float = DEFAULT_CONTAINMENT_TOLERANCE
+    ) -> bool:
+        """Membership with an absolute tolerance (see :mod:`repro.geometry.tolerances`)."""
         return float(self.normal @ np.asarray(point, dtype=float)) <= self.offset + tolerance
 
     def __repr__(self) -> str:
@@ -149,19 +153,27 @@ class HPolytope:
         """Number of inequality rows."""
         return self.a.shape[0]
 
-    def contains(self, point: np.ndarray, tolerance: float = 1e-9) -> bool:
-        """Membership test for a single point."""
+    def contains(
+        self, point: np.ndarray, tolerance: float = DEFAULT_CONTAINMENT_TOLERANCE
+    ) -> bool:
+        """Membership test for a single point (additive tolerance; see
+        :mod:`repro.geometry.tolerances`)."""
         point = np.asarray(point, dtype=float)
         if self.a.shape[0] == 0:
             return True
         return bool(np.all(self.a @ point <= self.b + tolerance))
 
-    def contains_points(self, points: np.ndarray, tolerance: float = 1e-9) -> np.ndarray:
-        """Vectorised membership test; returns a boolean array of length ``len(points)``."""
+    def contains_points(
+        self, points: np.ndarray, tolerance: float = DEFAULT_CONTAINMENT_TOLERANCE
+    ) -> np.ndarray:
+        """Vectorised membership test; returns a boolean array of length ``len(points)``.
+
+        Dispatches to the active :mod:`repro.kernels` backend; every backend
+        is bit-identical to the NumPy reference expression
+        ``np.all(points @ a.T <= b + tolerance, axis=1)``.
+        """
         points = np.asarray(points, dtype=float)
-        if self.a.shape[0] == 0:
-            return np.ones(points.shape[0], dtype=bool)
-        return np.all(points @ self.a.T <= self.b + tolerance, axis=1)
+        return kernels.membership_mask(self.a, self.b, points, tolerance)
 
     def is_empty(self) -> bool:
         """Is the (closed) polytope empty?  Decided by linear programming."""

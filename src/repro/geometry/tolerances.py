@@ -1,0 +1,31 @@
+"""The shared containment-tolerance contract for geometric membership.
+
+Every boundary-sensitive membership predicate in :mod:`repro.geometry`
+(`Halfspace.contains`, `HPolytope.contains`/`contains_points`,
+`Ball.contains`/`contains_points`) accepts points within an **additive**
+slack of the exact boundary: ``A x <= b + tol`` for halfspace systems and
+``||x - c|| <= r + tol`` for balls.
+
+Historically the polytope predicates defaulted to ``1e-9`` while the ball
+predicates defaulted to ``0.0``, so a point lying exactly on a shared
+boundary could be "inside" the polytope description of a body but "outside"
+its ball description.  All defaults now share this single constant.
+
+The contract:
+
+* The tolerance is absolute, not relative — callers working with very large
+  coordinates should pass an explicit tolerance scaled to their data.
+* ``tolerance=0.0`` gives the closed set exactly (boundary included, float
+  arithmetic permitting); the default admits points up to ``1e-9`` outside,
+  which is volume-negligible for the estimators while making membership
+  robust to the one-ulp rounding of the exact→float lowering documented in
+  :meth:`repro.constraints.tuples.GeneralizedTuple.float_system`.
+* Monte-Carlo estimates are unaffected in distribution: the slab of points
+  affected by the slack has measure ~``tol``·(surface area), far below the
+  statistical resolution of any sample budget the planner will grant.
+"""
+
+from __future__ import annotations
+
+#: Default additive slack for all `contains`/`contains_points` predicates.
+DEFAULT_CONTAINMENT_TOLERANCE = 1e-9

@@ -1,0 +1,242 @@
+"""Hot numeric kernels with selectable backends (numpy reference / numba).
+
+The three innermost loops of the sampling stack — batched H-polytope
+membership, hit-and-run chord intersection and block-rejection mask-accept —
+account for nearly all of the service's CPU time once the executor, cache and
+planner layers are out of the way.  This package concentrates them behind a
+tiny dispatch layer so they can be compiled without touching their callers:
+
+* :mod:`repro.kernels.reference` — the NumPy implementations, expression for
+  expression the code that used to live inline in
+  :meth:`repro.geometry.polytope.HPolytope.contains_points`,
+  :meth:`repro.sampling.hit_and_run.HitAndRunSampler._step_chains` and
+  :func:`repro.sampling.rejection._accept_block`.  This backend is the
+  **bit-identity oracle**: whatever backend is active must return exactly
+  equal outputs.
+* :mod:`repro.kernels.compiled` — optional ``numba`` (``njit``,
+  ``cache=True``) kernels.  The matrix products stay in NumPy (both backends
+  therefore consume *identical* float inputs from the same BLAS); numba
+  compiles the epilogues — comparison/reduction passes that NumPy executes
+  as several dispatched array operations with boolean temporaries — into one
+  fused loop.  Because the epilogues are elementwise comparisons, divisions
+  and exact min/max selections over identical inputs, the compiled results
+  are bit-identical to the reference by construction, not approximately.
+
+The backend is selected at import time from ``REPRO_KERNELS``:
+
+* ``auto`` (default) — numba when importable, the NumPy reference otherwise;
+* ``numpy`` — force the reference backend;
+* ``numba`` — request the compiled backend; when numba is not installed the
+  selection *logs a warning and falls back* to the reference backend instead
+  of failing (graceful degradation is part of the contract).
+
+Per-kernel invocation counters and the active backend name are exposed via
+:func:`kernel_stats` so ``/v1/stats`` and ``repro top`` can confirm which
+backend production traffic is actually running on.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+from threading import Lock
+from typing import Any
+
+import numpy as np
+
+from repro.kernels import reference
+
+logger = logging.getLogger(__name__)
+
+#: Slope magnitudes below this are treated as "parallel to the chord" by the
+#: chord-intersection kernel — the historical constant of
+#: :meth:`repro.sampling.hit_and_run.HitAndRunSampler._step`.
+CHORD_SLOPE_EPSILON = reference.CHORD_SLOPE_EPSILON
+
+_VALID_CHOICES = ("auto", "numpy", "numba")
+
+_lock = Lock()
+_requested: str = "auto"
+_active_name: str = "numpy"
+_active_module: Any = reference
+_numba_available: bool = False
+_counters: dict[str, int] = {}
+
+
+def _compiled_module():
+    """The numba backend module, or ``None`` when numba is unusable."""
+    try:
+        from repro.kernels import compiled
+    except Exception:  # pragma: no cover - import machinery failures
+        return None
+    return compiled if compiled.AVAILABLE else None
+
+
+def _activate(choice: str) -> str:
+    """(Re)select the kernel backend; returns the active backend name.
+
+    Called once at import with ``REPRO_KERNELS`` and again by tests and
+    benchmarks that need to flip backends inside one process.
+    """
+    global _requested, _active_name, _active_module, _numba_available
+    choice = (choice or "auto").strip().lower() or "auto"
+    if choice not in _VALID_CHOICES:
+        logger.warning(
+            "unknown REPRO_KERNELS=%r (choose from %s); using 'auto'",
+            choice,
+            "/".join(_VALID_CHOICES),
+        )
+        choice = "auto"
+    compiled = _compiled_module()
+    with _lock:
+        _requested = choice
+        _numba_available = compiled is not None
+        if choice == "numpy" or compiled is None:
+            if choice == "numba" and compiled is None:
+                logger.warning(
+                    "REPRO_KERNELS=numba requested but numba is not importable; "
+                    "falling back to the numpy reference kernels"
+                )
+            _active_name, _active_module = "numpy", reference
+        else:
+            _active_name, _active_module = "numba", compiled
+    return _active_name
+
+
+def active_backend() -> str:
+    """Name of the backend serving kernel calls (``"numpy"`` or ``"numba"``)."""
+    return _active_name
+
+
+def numba_available() -> bool:
+    """Whether the compiled backend could be imported in this process."""
+    return _numba_available
+
+
+def kernel_stats() -> dict[str, Any]:
+    """Backend identity plus per-kernel invocation counters (JSON-ready)."""
+    with _lock:
+        calls = dict(_counters)
+    return {
+        "backend": _active_name,
+        "requested": _requested,
+        "numba_available": _numba_available,
+        "calls": calls,
+    }
+
+
+def reset_counters() -> None:
+    """Zero the invocation counters (benchmarks isolate their measurements)."""
+    with _lock:
+        _counters.clear()
+
+
+def _count(name: str) -> None:
+    # A plain dict bump per *block* call (not per point); the lock keeps the
+    # counters truthful under the thread backend without measurable cost.
+    with _lock:
+        _counters[name] = _counters.get(name, 0) + 1
+
+
+def warm_jit() -> str:
+    """Compile (or load from the on-disk cache) every active kernel once.
+
+    CI's numba leg runs this as a pre-step so the JIT cost is paid before
+    any timed work; a no-op on the reference backend.  Returns the active
+    backend name.
+    """
+    a = np.array([[1.0, 0.0], [0.0, 1.0]])
+    b = np.array([1.0, 1.0])
+    points = np.array([[0.25, 0.25], [2.0, 0.0]])
+    membership_mask(a, b, points, 1e-9)
+    rows = a.copy()
+    offsets = -b
+    codes = np.zeros(2, dtype=np.int8)
+    system_membership_mask(rows, offsets, codes, points)
+    slopes = np.array([[0.5, -0.5]])
+    gaps = np.array([[1.0, 1.0]])
+    chord_bounds(slopes, gaps)
+    accept_indices(np.array([False, True, True]), 1)
+    return _active_name
+
+
+# ----------------------------------------------------------------------
+# Dispatchers — degenerate cases are handled here once so the backends
+# only ever see the hot, well-shaped case.
+# ----------------------------------------------------------------------
+def membership_mask(
+    a: np.ndarray, b: np.ndarray, points: np.ndarray, tolerance: float
+) -> np.ndarray:
+    """Batched H-polytope membership: ``all(A x <= b + tolerance)`` per row.
+
+    ``points`` has shape ``(n, d)``; returns an ``(n,)`` boolean array.  A
+    system with no rows contains everything (the empty conjunction), matching
+    :meth:`repro.geometry.polytope.HPolytope.contains_points`.
+    """
+    if a.shape[0] == 0:
+        return np.ones(points.shape[0], dtype=bool)
+    _count("membership")
+    return _active_module.membership_mask(a, b, points, tolerance)
+
+
+def system_membership_mask(
+    rows: np.ndarray, offsets: np.ndarray, codes: np.ndarray, points: np.ndarray
+) -> np.ndarray:
+    """Batched float-system membership for a generalized tuple.
+
+    Row ``i`` of the system encodes ``rows[i] . x + offsets[i] <rel> 0`` with
+    ``codes[i]`` one of the relation codes of
+    :mod:`repro.constraints.tuples` (``<=``, ``<``, ``==``, ``!=``).
+    """
+    if rows.shape[0] == 0:
+        return np.ones(points.shape[0], dtype=bool)
+    _count("system_membership")
+    return _active_module.system_membership_mask(rows, offsets, codes, points)
+
+
+def chord_bounds(
+    slopes: np.ndarray, gaps: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-chain hit-and-run chord ``(lower, upper)`` from slopes and gaps.
+
+    ``slopes[c, i]`` is the direction's component along constraint ``i`` for
+    chain ``c`` and ``gaps[c, i]`` the constraint's slack at the chain's
+    current point; the chord along the direction is
+    ``[max ratios over slopes < -eps, min ratios over slopes > eps]`` with
+    ``eps`` = :data:`CHORD_SLOPE_EPSILON`.  Chains with no bounding
+    constraint on a side get ``-inf`` / ``+inf`` there (the caller decides
+    whether that means "unbounded body" or "stay put").
+    """
+    _count("chord")
+    return _active_module.chord_bounds(slopes, gaps)
+
+
+def accept_indices(mask: np.ndarray, needed: int) -> tuple[np.ndarray, int, bool]:
+    """Mask-accept bookkeeping of one judged rejection block.
+
+    Returns ``(hit_indices, proposals_consumed, filled)`` where
+    ``hit_indices`` holds the row indices of the accepted proposals (at most
+    ``needed`` of them) and ``proposals_consumed`` counts every row up to and
+    including the decisive acceptance — the accounting of the historical
+    one-point-at-a-time loop.
+    """
+    if needed <= 0:
+        return np.empty(0, dtype=np.int64), 0, True
+    _count("accept")
+    return _active_module.accept_indices(mask, needed)
+
+
+_activate(os.environ.get("REPRO_KERNELS", "auto"))
+
+__all__ = [
+    "CHORD_SLOPE_EPSILON",
+    "accept_indices",
+    "active_backend",
+    "chord_bounds",
+    "kernel_stats",
+    "membership_mask",
+    "numba_available",
+    "reset_counters",
+    "system_membership_mask",
+    "warm_jit",
+]

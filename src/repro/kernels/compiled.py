@@ -1,0 +1,135 @@
+"""Optional numba backend: fused, cached-JIT epilogues for the hot kernels.
+
+Importing this module raises ``ImportError`` when numba is not installed;
+:mod:`repro.kernels` import-gates it and falls back to the reference backend
+with a logged warning, so numba stays a soft dependency.
+
+Bit-identity strategy
+---------------------
+The matrix products stay in NumPy — both backends therefore consume the
+*identical* floats produced by the same BLAS call — and numba compiles only
+the epilogues: elementwise comparisons, IEEE divisions and exact min/max
+selections.  Those operations have one correct answer per input bit
+pattern, so the fused loops below are exactly equal to the reference
+expressions on finite inputs, not approximately (``fastmath`` stays off for
+precisely this reason).  What the fusion buys is the removal of NumPy's
+boolean temporaries and multi-pass reductions, plus early exit per row —
+the first violated constraint settles a point's membership without reading
+the rest.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numba import njit  # noqa: F401 - import failure is the availability gate
+
+from repro.kernels.reference import CHORD_SLOPE_EPSILON, accept_indices as _reference_accept
+
+AVAILABLE = True
+
+
+@njit(cache=True)
+def _all_le(values, thresholds, out):  # pragma: no cover - compiled
+    n, m = values.shape
+    for i in range(n):
+        ok = True
+        for j in range(m):
+            if not (values[i, j] <= thresholds[j]):
+                ok = False
+                break
+        out[i] = ok
+
+
+@njit(cache=True)
+def _system_all(values, codes, out):  # pragma: no cover - compiled
+    n, m = values.shape
+    for i in range(n):
+        ok = True
+        for j in range(m):
+            value = values[i, j]
+            code = codes[j]
+            if code == 0:
+                satisfied = value <= 0.0
+            elif code == 1:
+                satisfied = value < 0.0
+            elif code == 2:
+                satisfied = value == 0.0
+            else:
+                satisfied = value != 0.0
+            if not satisfied:
+                ok = False
+                break
+        out[i] = ok
+
+
+@njit(cache=True)
+def _chord(slopes, gaps, lower, upper):  # pragma: no cover - compiled
+    k, m = slopes.shape
+    for i in range(k):
+        lo = -np.inf
+        hi = np.inf
+        for j in range(m):
+            slope = slopes[i, j]
+            if slope > CHORD_SLOPE_EPSILON:
+                ratio = gaps[i, j] / slope
+                if ratio < hi:
+                    hi = ratio
+            elif slope < -CHORD_SLOPE_EPSILON:
+                ratio = gaps[i, j] / slope
+                if ratio > lo:
+                    lo = ratio
+        lower[i] = lo
+        upper[i] = hi
+
+
+@njit(cache=True)
+def _accept(mask, needed, out):  # pragma: no cover - compiled
+    n = mask.shape[0]
+    count = 0
+    for i in range(n):
+        if mask[i]:
+            out[count] = i
+            count += 1
+            if count == needed:
+                return count, i + 1, True
+    return count, n, False
+
+
+def membership_mask(
+    a: np.ndarray, b: np.ndarray, points: np.ndarray, tolerance: float
+) -> np.ndarray:
+    # Shared-BLAS prefix, fused comparison epilogue.
+    values = points @ a.T
+    thresholds = b + tolerance
+    out = np.empty(values.shape[0], dtype=bool)
+    _all_le(values, thresholds, out)
+    return out
+
+
+def system_membership_mask(
+    rows: np.ndarray, offsets: np.ndarray, codes: np.ndarray, points: np.ndarray
+) -> np.ndarray:
+    values = points @ rows.T + offsets
+    out = np.empty(values.shape[0], dtype=bool)
+    _system_all(values, np.ascontiguousarray(codes), out)
+    return out
+
+
+def chord_bounds(
+    slopes: np.ndarray, gaps: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    # The per-chain accumulators run in float64; narrower inputs widen
+    # exactly and round-trip exactly on store, so the output dtype (and
+    # bits) match the reference for float32 as well as float64.
+    lower = np.empty(slopes.shape[0], dtype=slopes.dtype)
+    upper = np.empty(slopes.shape[0], dtype=slopes.dtype)
+    _chord(np.ascontiguousarray(slopes), np.ascontiguousarray(gaps), lower, upper)
+    return lower, upper
+
+
+def accept_indices(mask: np.ndarray, needed: int) -> tuple[np.ndarray, int, bool]:
+    if needed <= 0:
+        return _reference_accept(mask, needed)
+    out = np.empty(min(needed, mask.shape[0]), dtype=np.int64)
+    count, consumed, filled = _accept(np.ascontiguousarray(mask), needed, out)
+    return out[:count], int(consumed), bool(filled)

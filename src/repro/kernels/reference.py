@@ -1,0 +1,71 @@
+"""NumPy reference kernels — the bit-identity oracle for every backend.
+
+Each function here is the exact expression that used to live inline at its
+call site (see the module docstring of :mod:`repro.kernels`).  Alternative
+backends must reproduce these outputs *bit for bit* on finite inputs; the
+property suite in ``tests/kernels/`` enforces that, and
+``benchmarks/bench_e25_kernels.py`` commits the witness.
+
+Keep these implementations boring: no clever re-associations, no fused
+expressions — they define the contract, they don't compete on speed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Slope magnitudes at or below this are treated as parallel to the chord
+#: direction; the historical constant of the scalar and vectorized
+#: hit-and-run steppers.
+CHORD_SLOPE_EPSILON = 1e-14
+
+# Relation codes of repro.constraints.tuples (duplicated here rather than
+# imported so the kernels package stays dependency-free below numpy).
+_REL_LE = 0
+_REL_LT = 1
+_REL_EQ = 2
+_REL_NE = 3
+
+
+def membership_mask(
+    a: np.ndarray, b: np.ndarray, points: np.ndarray, tolerance: float
+) -> np.ndarray:
+    """``all(A x <= b + tolerance)`` per point, as one boolean per row."""
+    return np.all(points @ a.T <= b + tolerance, axis=1)
+
+
+def system_membership_mask(
+    rows: np.ndarray, offsets: np.ndarray, codes: np.ndarray, points: np.ndarray
+) -> np.ndarray:
+    """Per-point satisfaction of a mixed ``<=``/``<``/``==``/``!=`` system."""
+    values = points @ rows.T + offsets
+    satisfied = np.empty(values.shape, dtype=bool)
+    le = codes == _REL_LE
+    lt = codes == _REL_LT
+    eq = codes == _REL_EQ
+    ne = codes == _REL_NE
+    satisfied[:, le] = values[:, le] <= 0.0
+    satisfied[:, lt] = values[:, lt] < 0.0
+    satisfied[:, eq] = values[:, eq] == 0.0
+    satisfied[:, ne] = values[:, ne] != 0.0
+    return satisfied.all(axis=1)
+
+
+def chord_bounds(
+    slopes: np.ndarray, gaps: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Chord ``(lower, upper)`` per chain from constraint slopes and slacks."""
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratios = gaps / slopes
+    upper = np.min(np.where(slopes > CHORD_SLOPE_EPSILON, ratios, np.inf), axis=1)
+    lower = np.max(np.where(slopes < -CHORD_SLOPE_EPSILON, ratios, -np.inf), axis=1)
+    return lower, upper
+
+
+def accept_indices(mask: np.ndarray, needed: int) -> tuple[np.ndarray, int, bool]:
+    """Indices of accepted proposals plus how many proposals were consumed."""
+    hits = np.flatnonzero(mask)
+    if hits.size >= needed:
+        decisive = int(hits[needed - 1])
+        return hits[:needed], decisive + 1, True
+    return hits, int(mask.shape[0]), False

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import kernels
 from repro.geometry.polytope import HPolytope
 from repro.sampling.chains import run_lockstep_chains
 from repro.sampling.rng import ensure_rng, spawn_rngs
@@ -88,8 +89,8 @@ class HitAndRunSampler:
         gaps = b - a @ current
         lower = -np.inf
         upper = np.inf
-        positive = slopes > 1e-14
-        negative = slopes < -1e-14
+        positive = slopes > kernels.CHORD_SLOPE_EPSILON
+        negative = slopes < -kernels.CHORD_SLOPE_EPSILON
         if np.any(positive):
             upper = float(np.min(gaps[positive] / slopes[positive]))
         if np.any(negative):
@@ -124,12 +125,12 @@ class HitAndRunSampler:
         norms = np.linalg.norm(directions, axis=1)
         safe = norms > 0.0
         unit = np.where(safe[:, None], directions / np.where(safe, norms, 1.0)[:, None], 0.0)
+        # The matmuls stay here (shared by every kernel backend); the masked
+        # ratio reduction dispatches to the active repro.kernels backend,
+        # which is bit-identical to the reference expression by contract.
         slopes = unit @ a.T  # (k, m)
         gaps = b - current @ a.T  # (k, m)
-        with np.errstate(divide="ignore", invalid="ignore"):
-            ratios = gaps / slopes
-        upper = np.min(np.where(slopes > 1e-14, ratios, np.inf), axis=1)
-        lower = np.max(np.where(slopes < -1e-14, ratios, -np.inf), axis=1)
+        lower, upper = kernels.chord_bounds(slopes, gaps)
         if np.any(safe & ~(np.isfinite(lower) & np.isfinite(upper))):
             raise ValueError("polytope is unbounded along a sampled direction")
         valid = safe & (upper >= lower)

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import kernels
 from repro.geometry.ball import Ball
 from repro.sampling.oracles import BatchOracle, MembershipOracle, as_batch_oracle
 from repro.sampling.rng import ensure_rng
@@ -116,13 +117,12 @@ def _accept_block(
     Returns ``(accepted_points, proposals_consumed, filled)`` where
     ``proposals_consumed`` counts every row up to and including the decisive
     acceptance — the same count the historical one-point-at-a-time loop
-    produced, so oracle-call accounting is unchanged.
+    produced, so oracle-call accounting is unchanged.  The index selection
+    dispatches to the active :mod:`repro.kernels` backend (bit-identical to
+    the ``np.flatnonzero`` reference by contract).
     """
-    hits = np.flatnonzero(mask)
-    if hits.size >= needed:
-        decisive = int(hits[needed - 1])
-        return points[hits[:needed]], decisive + 1, True
-    return points[hits], points.shape[0], False
+    indices, consumed, filled = kernels.accept_indices(mask, needed)
+    return points[indices], consumed, filled
 
 
 def _rejection_sample(

@@ -1,0 +1,239 @@
+"""Measured-throughput block-size autotuning for the batch sampling kernels.
+
+The planner's ``batch_block_size`` used to be a static ``8192``.  The right
+block size is a hardware property — it balances per-call dispatch overhead
+against cache footprint — and it shifts with the kernel backend (the numba
+epilogues amortise differently than NumPy's multi-pass reductions).  This
+module replaces the constant with measurement:
+
+* On first contact per ``(kernel, dimension, backend)``, a small geometric
+  ladder of candidate block sizes is probed against the actual membership
+  kernel on synthetic data of that dimension; the highest measured
+  samples/second wins.
+* The winner is cached **process-wide** (class-level cache: every planner in
+  the process shares it) and persisted as a relationless ``tune:`` entry in
+  the PR 7 :class:`~repro.store.ResultStore` — the same pattern as PR 9's
+  ``profile:`` entries — so a restarted server skips re-probing entirely.
+* Block size is an execution knob only: the blocked estimators are
+  block-size invariant by construction (same generator calls, same point
+  stream), so autotuning can never change a served value — only how fast it
+  is produced.
+
+``REPRO_AUTOTUNE=off`` (or constructing the planner with an explicit
+``batch_block_size``) restores the static constant.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import time
+from threading import Lock
+from typing import TYPE_CHECKING, Any, Mapping
+
+import numpy as np
+
+from repro import kernels
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.store import ResultStore
+
+logger = logging.getLogger(__name__)
+
+#: ``EntryMeta.kind`` of persisted tuning entries.
+TUNE_KIND = "tune"
+_TUNE_KEY_PREFIX = "tune:"
+
+#: The geometric ladder of candidate block sizes.
+DEFAULT_LADDER = (1024, 2048, 4096, 8192, 16384, 32768)
+
+
+class BlockSizeTuner:
+    """Probe-once, persist-forever block-size selection.
+
+    Parameters
+    ----------
+    ladder:
+        Candidate block sizes (sorted, deduplicated).
+    default_block_size:
+        Returned when tuning is disabled or a probe fails.
+    probe_seconds:
+        Measurement window per candidate size (per first contact, not per
+        plan — winners are cached process-wide and in the store).
+    enabled:
+        Defaults to the ``REPRO_AUTOTUNE`` environment gate (anything but
+        ``off``/``0``/``false`` enables).
+    """
+
+    #: Winners shared by every tuner in the process, keyed
+    #: ``(kernel, dimension, backend)`` — planning never probes twice for
+    #: the same shape, no matter how many sessions exist.
+    _process_cache: dict[tuple[str, int, str], int] = {}
+    _process_lock = Lock()
+
+    def __init__(
+        self,
+        ladder: tuple[int, ...] = DEFAULT_LADDER,
+        default_block_size: int = 8192,
+        probe_seconds: float = 0.0015,
+        enabled: bool | None = None,
+    ) -> None:
+        if enabled is None:
+            enabled = os.environ.get("REPRO_AUTOTUNE", "auto").strip().lower() not in (
+                "off",
+                "0",
+                "false",
+            )
+        self.enabled = enabled
+        self.ladder = tuple(sorted({int(size) for size in ladder}))
+        if not self.ladder or min(self.ladder) < 1:
+            raise ValueError("ladder must contain positive block sizes")
+        self.default_block_size = int(default_block_size)
+        self.probe_seconds = probe_seconds
+        self._lock = Lock()
+        self._loaded: dict[tuple[str, int, str], int] = {}
+        self._store: "ResultStore | None" = None
+
+    # ------------------------------------------------------------------
+    def block_size(self, dimension: int, kernel: str = "membership") -> int:
+        """The tuned block size for this ``(kernel, dimension)`` pair.
+
+        Resolution order: process-wide cache → store-restored winners →
+        a fresh probe (whose winner is then cached and persisted).  Any
+        probe failure falls back to :attr:`default_block_size` with a
+        logged warning — tuning is an optimisation, never a failure mode.
+        """
+        if not self.enabled or dimension < 1:
+            return self.default_block_size
+        key = (kernel, int(dimension), kernels.active_backend())
+        with self._process_lock:
+            winner = self._process_cache.get(key)
+        if winner is not None:
+            return winner
+        with self._lock:
+            winner = self._loaded.get(key)
+        if winner is None:
+            try:
+                measurement = self.probe(dimension, kernel=kernel)
+            except Exception as error:
+                logger.warning(
+                    "block-size probe failed for %s (%s: %s); using static %d",
+                    key,
+                    type(error).__name__,
+                    error,
+                    self.default_block_size,
+                )
+                return self.default_block_size
+            winner = int(measurement["block_size"])
+            self._persist(key, measurement)
+        with self._process_lock:
+            self._process_cache.setdefault(key, winner)
+        return winner
+
+    def probe(self, dimension: int, kernel: str = "membership") -> dict[str, Any]:
+        """Measure the ladder against the live kernel; returns the verdict.
+
+        The workload is the hot one the block size actually gates: batched
+        H-polytope membership of ``dimension``-dimensional points (a box
+        system, ``2 d`` rows) through the active backend.  Deterministic
+        synthetic data; only the timings — never any served value — depend
+        on the measurement.
+        """
+        d = max(int(dimension), 1)
+        rng = np.random.default_rng(0xE25 + d)
+        a = np.vstack([np.eye(d), -np.eye(d)])
+        b = np.ones(2 * d)
+        rates: dict[int, float] = {}
+        for size in self.ladder:
+            points = rng.random((size, d)) * 2.4 - 1.2
+            kernels.membership_mask(a, b, points, 1e-9)  # warm (JIT/cache)
+            iterations = 0
+            start = time.perf_counter()
+            deadline = start + self.probe_seconds
+            now = start
+            while iterations < 2 or (now < deadline and iterations < 64):
+                kernels.membership_mask(a, b, points, 1e-9)
+                iterations += 1
+                now = time.perf_counter()
+            rates[size] = size * iterations / max(now - start, 1e-9)
+        winner = max(self.ladder, key=lambda size: rates[size])
+        return {
+            "kernel": kernel,
+            "dimension": d,
+            "backend": kernels.active_backend(),
+            "block_size": int(winner),
+            "rates": {str(size): rates[size] for size in self.ladder},
+        }
+
+    # ------------------------------------------------------------------
+    # Store persistence (the PR 9 ``profile:`` pattern, relationless keys)
+    # ------------------------------------------------------------------
+    def load(self, store: "ResultStore") -> int:
+        """Restore persisted winners and attach the store for new ones."""
+        self._store = store
+        loaded = 0
+        for key, kind, _relations in store.entries():
+            if kind != TUNE_KIND or not key.startswith(_TUNE_KEY_PREFIX):
+                continue
+            stored = store.get(key)
+            if stored is None or not isinstance(stored.result, Mapping):
+                continue
+            state = stored.result
+            try:
+                entry = (
+                    str(state["kernel"]),
+                    int(state["dimension"]),
+                    str(state["backend"]),
+                )
+                size = int(state["block_size"])
+            except (KeyError, TypeError, ValueError):
+                continue
+            with self._lock:
+                self._loaded[entry] = size
+            loaded += 1
+        return loaded
+
+    def _persist(self, key: tuple[str, int, str], measurement: Mapping) -> None:
+        store = self._store
+        if store is None:
+            return
+        from repro.store import EntryMeta
+
+        kernel, dimension, backend = key
+        digest = f"{kernel}:{dimension}:{backend}"
+        try:
+            store.put(
+                f"{_TUNE_KEY_PREFIX}{digest}",
+                dict(measurement),
+                epsilon=0.0,
+                delta=0.0,
+                meta=EntryMeta(
+                    kind=TUNE_KIND, digest=digest, relations=(), fingerprint=""
+                ),
+                replace=True,
+            )
+        except Exception:  # pragma: no cover - store failures are non-fatal
+            logger.debug("persisting tune entry %s failed", digest, exc_info=True)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, Any]:
+        """Operator-facing view for ``/v1/stats`` and ``repro top``."""
+        with self._process_lock:
+            tuned = {
+                f"{kernel}:{dimension}:{backend}": size
+                for (kernel, dimension, backend), size in sorted(
+                    self._process_cache.items()
+                )
+            }
+        return {
+            "enabled": self.enabled,
+            "default_block_size": self.default_block_size,
+            "ladder": list(self.ladder),
+            "tuned": tuned,
+        }
+
+    @classmethod
+    def clear_process_cache(cls) -> None:
+        """Forget process-wide winners (tests re-probing under a new backend)."""
+        with cls._process_lock:
+            cls._process_cache.clear()

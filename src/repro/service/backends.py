@@ -22,8 +22,13 @@ spawned in the calling process or in a worker process, the draws are the
 same.  The process backend ships each worker a pickled work unit — database
 fingerprint, compiled plan, spawned seed — while the heavy immutable state
 (the database with its cached float constraint systems, the compiled
-observables with their polytope H-representations) is warmed and pickled
-**once per batch** into the pool initializer, not once per request.
+observables with their polytope H-representations) is warmed once and
+published through the session's :class:`repro.service.stateplane.StatePlane`:
+workers receive a few-hundred-byte segment manifest per batch and attach to
+the shared-memory arena zero-copy.  When the plane is unavailable (platform
+without ``shared_memory``, publish error, worker attach failure) the backend
+falls back — with a logged warning — to pickling the full setup into the
+pool initializer once per batch, the historical behaviour.
 
 Worker failures never surface as bare pool exceptions: every backend wraps
 them in :class:`BatchExecutionError`, which names the originating batch
@@ -340,13 +345,44 @@ class _SharedSetup:
         )
 
 
-_WORKER_SHARED: _SharedSetup | None = None
+class _AttachFailure:
+    """Worker-local marker: the arena attach failed during initialization.
+
+    Pool initializers cannot signal errors to the parent directly, so the
+    failure is parked here and every unit executed by this worker reports
+    an ``("attach_failed", ...)`` record; the parent then retries the batch
+    with inline shipping.
+    """
+
+    __slots__ = ("rendering",)
+
+    def __init__(self, rendering: str) -> None:
+        self.rendering = rendering
+
+
+_WORKER_SHARED: _SharedSetup | _AttachFailure | None = None
 
 
 def _worker_initialize(payload: bytes) -> None:
-    """Pool initializer: unpickle the shared setup once per worker process."""
+    """Pool initializer: materialise the shared setup once per worker process.
+
+    ``payload`` is a pickled ``("arena", SegmentManifest)`` — attach to the
+    parent's shared-memory segment and rebuild the setup zero-copy — or
+    ``("inline", _SharedSetup)``, the historical full pickle.
+    """
     global _WORKER_SHARED
-    _WORKER_SHARED = pickle.loads(payload)
+    kind, value = pickle.loads(payload)
+    if kind == "arena":
+        try:
+            from repro.service import stateplane
+
+            _WORKER_SHARED = stateplane.attach(value)
+        except Exception as error:
+            _WORKER_SHARED = _AttachFailure(
+                f"{type(error).__name__}: {error}\n{traceback.format_exc()}"
+            )
+    else:
+        _WORKER_SHARED = value
 
 
 def _worker_execute(unit_bytes: bytes) -> bytes:
@@ -366,6 +402,12 @@ def _worker_execute(unit_bytes: bytes) -> bytes:
     try:
         unit = pickle.loads(unit_bytes)
         shared = _WORKER_SHARED
+        if isinstance(shared, _AttachFailure):
+            # Not an execution error: the parent retries the whole batch
+            # with inline shipping when it sees this record.
+            return pickle.dumps(
+                ("attach_failed", unit.index, unit.key, shared.rendering)
+            )
         if shared is None:
             raise RuntimeError("worker has no shared setup (initializer did not run)")
         if shared.fingerprint != unit.fingerprint:
@@ -464,56 +506,95 @@ class ProcessBackend(ExecutionBackend):
     start_method:
         ``multiprocessing`` start method; defaults to ``"fork"`` where
         available (cheap worker startup) and ``"spawn"`` elsewhere.
+    single_core_fallback:
+        On hosts where ``os.cpu_count()`` is 1 there is no parallelism to
+        gain, so by default an explicit ``backend="process"`` logs a warning
+        and computes the units serially (same values, same bookkeeping,
+        ``backend`` still reported as ``"process"``) instead of paying pool
+        spin-up.  Pass ``False`` to force a real pool regardless (tests of
+        the worker plumbing do).
     """
 
     name = "process"
 
-    def __init__(self, start_method: str | None = None) -> None:
+    def __init__(
+        self, start_method: str | None = None, single_core_fallback: bool = True
+    ) -> None:
         if start_method is None:
             start_method = (
                 "fork" if "fork" in get_all_start_methods() else "spawn"
             )
         self.start_method = start_method
+        self.single_core_fallback = single_core_fallback
+        #: Bytes of the initializer payload actually shipped by the last
+        #: pool dispatch (manifest or inline) — the E25 shrink witness reads
+        #: this.
+        self.last_payload_bytes: int | None = None
+        self._warned_single_core = False
 
     def execute(
         self, session, units: Sequence[WorkUnit], workers: int
     ) -> list[WorkResult]:
         if not units:
             return []
-        shared = self._shared_setup(session, units)
-        try:
-            payload = pickle.dumps(shared, protocol=pickle.HIGHEST_PROTOCOL)
-            unit_blobs = [
-                pickle.dumps(unit, protocol=pickle.HIGHEST_PROTOCOL) for unit in units
+        if self.single_core_fallback and (os.cpu_count() or 1) <= 1:
+            if not self._warned_single_core:
+                logger.warning(
+                    "process backend requested on a single-core host; "
+                    "degrading to serial execution (pool spin-up would buy "
+                    "no parallelism)"
+                )
+                self._warned_single_core = True
+            batch_start = time.perf_counter()
+            return [
+                _compute_in_session(session, unit, self.name, enqueued=batch_start)
+                for unit in units
             ]
-            max_workers = max(1, min(workers, len(units), (os.cpu_count() or 1) * 4))
-            dispatch_start = time.perf_counter()
-            arrivals: list[float] = []
-            with ProcessPoolExecutor(
-                max_workers=max_workers,
-                mp_context=get_context(self.start_method),
-                initializer=_worker_initialize,
-                initargs=(payload,),
-            ) as pool:
-                raw = []
-                for blob in pool.map(_worker_execute, unit_blobs):
-                    raw.append(blob)
-                    arrivals.append(time.perf_counter() - dispatch_start)
-        except Exception as error:
-            # Pool-wide failures (a worker OOM-killed → BrokenProcessPool,
-            # an unpicklable payload, ...) have no single originating
-            # request; they are attributed to the batch's first unit so the
-            # documented "never a bare pool exception" contract holds.
-            raise BatchExecutionError(
-                units[0].index,
-                units[0].key,
-                self.name,
-                f"pool failure: {type(error).__name__}: {error}",
-            ) from error
+        shared = self._shared_setup(session, units)
+        plane = getattr(session, "state_plane", None)
         observatory = getattr(session, "observatory", None)
+        manifest = plane.publish(shared, shared.fingerprint) if plane is not None else None
+        if manifest is not None:
+            payload = pickle.dumps(("arena", manifest), protocol=pickle.HIGHEST_PROTOCOL)
+        else:
+            payload = pickle.dumps(("inline", shared), protocol=pickle.HIGHEST_PROTOCOL)
+        self.last_payload_bytes = len(payload)
+        unit_blobs = [
+            pickle.dumps(unit, protocol=pickle.HIGHEST_PROTOCOL) for unit in units
+        ]
+        max_workers = max(1, min(workers, len(units), (os.cpu_count() or 1) * 4))
+        if manifest is not None:
+            plane.lease(manifest.digest)
+        try:
+            raw, arrivals = self._run_pool(payload, unit_blobs, max_workers, units)
+            records = [pickle.loads(blob) for blob in raw]
+            if manifest is not None and any(
+                record[0] == "attach_failed" for record in records
+            ):
+                failure = next(r for r in records if r[0] == "attach_failed")
+                logger.warning(
+                    "worker failed to attach shared-memory segment %s; "
+                    "retrying batch with inline setup shipping: %s",
+                    manifest.name,
+                    failure[3].splitlines()[0] if failure[3] else "unknown",
+                )
+                plane.mark_attach_failure()
+                payload = pickle.dumps(
+                    ("inline", shared), protocol=pickle.HIGHEST_PROTOCOL
+                )
+                self.last_payload_bytes = len(payload)
+                raw, arrivals = self._run_pool(payload, unit_blobs, max_workers, units)
+                records = [pickle.loads(blob) for blob in raw]
+            elif manifest is not None and observatory is not None:
+                # Each pool worker runs the initializer (and thus the
+                # attach) exactly once; counted parent-side because worker
+                # initializers cannot reach the observatory.
+                observatory.count("arena_worker_attaches", max_workers)
+        finally:
+            if manifest is not None:
+                plane.release(manifest.digest)
         results: list[WorkResult] = []
-        for unit, blob, arrival in zip(units, raw, arrivals):
-            record = pickle.loads(blob)
+        for unit, record, arrival in zip(units, records, arrivals):
             if record[0] == "error":
                 _, index, key, rendering = record
                 raise BatchExecutionError(index, key, self.name, rendering)
@@ -548,6 +629,40 @@ class ProcessBackend(ExecutionBackend):
                 )
             )
         return results
+
+    def _run_pool(
+        self,
+        payload: bytes,
+        unit_blobs: list[bytes],
+        max_workers: int,
+        units: Sequence[WorkUnit],
+    ) -> tuple[list[bytes], list[float]]:
+        """One pool dispatch; returns raw result blobs and arrival offsets."""
+        dispatch_start = time.perf_counter()
+        arrivals: list[float] = []
+        try:
+            with ProcessPoolExecutor(
+                max_workers=max_workers,
+                mp_context=get_context(self.start_method),
+                initializer=_worker_initialize,
+                initargs=(payload,),
+            ) as pool:
+                raw = []
+                for blob in pool.map(_worker_execute, unit_blobs):
+                    raw.append(blob)
+                    arrivals.append(time.perf_counter() - dispatch_start)
+        except Exception as error:
+            # Pool-wide failures (a worker OOM-killed → BrokenProcessPool,
+            # an unpicklable payload, ...) have no single originating
+            # request; they are attributed to the batch's first unit so the
+            # documented "never a bare pool exception" contract holds.
+            raise BatchExecutionError(
+                units[0].index,
+                units[0].key,
+                self.name,
+                f"pool failure: {type(error).__name__}: {error}",
+            ) from error
+        return raw, arrivals
 
     def _shared_setup(self, session, units: Sequence[WorkUnit]) -> _SharedSetup:
         """Build (and warm) the once-per-batch payload.

@@ -42,6 +42,7 @@ from typing import Sequence
 
 from repro.constraints.database import ConstraintDatabase
 from repro.queries.ast import QAnd, QConstraint, QExists, QNot, QOr, QRelation, Query
+from repro.service.autotune import BlockSizeTuner
 from repro.volume.chernoff import chernoff_ratio_sample_size
 
 logger = logging.getLogger(__name__)
@@ -251,7 +252,8 @@ class Planner:
         adaptive: bool = False,
         adaptive_sample_cap: int = 200_000,
         time_budget_per_unit: float = 0.02,
-        batch_block_size: int = 8192,
+        batch_block_size: int | None = None,
+        tuner: BlockSizeTuner | None = None,
         batch_samples_per_second: float = 500_000.0,
         telescoping_samples_per_second: float = 2_000.0,
         adaptive_samples_per_second: float = 400_000.0,
@@ -275,7 +277,20 @@ class Planner:
         # telescoping when the cap is hit without certifying the contract.
         self.adaptive_sample_cap = adaptive_sample_cap
         self.time_budget_per_unit = time_budget_per_unit
-        self.batch_block_size = batch_block_size
+        # Block-size policy: an explicit ``batch_block_size`` pins the
+        # historical static constant (byte-stable plans for callers that
+        # asked for a specific size); leaving it ``None`` engages the
+        # measured-throughput autotuner, which probes a geometric ladder on
+        # first contact per (kernel, dimension, backend) and persists the
+        # winner in the result store.  Block size is an execution knob only,
+        # so either policy serves identical values.
+        self.batch_block_size = 8192 if batch_block_size is None else int(batch_block_size)
+        if tuner is not None:
+            self.tuner = tuner
+        elif batch_block_size is None:
+            self.tuner = BlockSizeTuner(default_block_size=self.batch_block_size)
+        else:
+            self.tuner = None
         # Throughput of the vectorized sampling kernels, in judged samples
         # per second.  The default is a deliberately conservative prior; the
         # session feeds measured throughput back through observe_throughput,
@@ -584,7 +599,7 @@ class Planner:
                         "disjuncts: box sampling beats 2^disjuncts inclusion-exclusion"
                     ),
                     min_hit_fraction=self.monte_carlo_min_fraction,
-                    block_size=self.batch_block_size,
+                    block_size=self.block_size_for(profile.dimension),
                     profile=profile,
                 ))
         samples = self._telescoping_samples(epsilon, delta)
@@ -605,7 +620,7 @@ class Planner:
             # structural term so the over-budget metric stays meaningful.
             time_budget=time_budget + samples / self.telescoping_samples_per_second,
             reason=reason,
-            block_size=self.batch_block_size,
+            block_size=self.block_size_for(profile.dimension),
             profile=profile,
         ))
 
@@ -641,10 +656,23 @@ class Planner:
             # confidence sequence certifies the contract directly and the
             # executor falls back when the cap is exhausted uncertified.
             min_hit_fraction=self.monte_carlo_min_fraction,
-            block_size=self.batch_block_size,
+            block_size=self.block_size_for(profile.dimension),
             sample_ceiling=self.adaptive_sample_cap,
             profile=profile,
         ))
+
+    def block_size_for(self, dimension: int) -> int:
+        """The execution block size for plans over ``dimension`` variables.
+
+        Consults the measured-throughput autotuner when one is attached
+        (the default); an explicitly pinned ``batch_block_size`` — or any
+        tuner failure — yields the static constant.  Either way the value
+        is an execution knob: plans differ only in wall-clock, never in
+        served results.
+        """
+        if self.tuner is None:
+            return self.batch_block_size
+        return self.tuner.block_size(max(int(dimension), 1))
 
     def _telescoping_samples(self, epsilon: float, delta: float = 0.1) -> int:
         """Per-phase sample budget for the telescoping route."""

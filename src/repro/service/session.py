@@ -47,6 +47,7 @@ from repro.service.canonical import (
 from repro.service.metrics import ServiceMetrics
 from repro.service.planner import Plan, Planner, telescoping_samples_per_phase
 from repro.service.sharing import SubplanBroker, harvest_subplans
+from repro.service.stateplane import StatePlane
 from repro.store import EntryMeta, ResultStore
 from repro.telemetry.observatory import Observatory
 from repro.telemetry.tracer import NULL_TRACER, Tracer, activate, current_tracer
@@ -319,6 +320,10 @@ class ServiceSession:
         self._compiled: dict[str, ObservableRelation] = {}
         self._compiled_capacity = compiled_capacity
         self._lock = Lock()
+        # Shared-memory arena for the process backend: heavy immutable setup
+        # is published once per session epoch and workers attach zero-copy;
+        # degrades to inline pickling when the platform lacks shared memory.
+        self.state_plane = StatePlane(observatory=self.observatory)
         if self.cache.store is not None:
             self.cache.warm_from_store()
             if self.observatory.enabled:
@@ -326,6 +331,10 @@ class ServiceSession:
                 # the planner's per-digest cost priors across restarts.
                 self.observatory.profiles.load(self.cache.store)
                 self.observatory.profiles.prime_planner(self.planner)
+            if self.planner.tuner is not None:
+                # Persisted block-size autotuning results skip re-probing
+                # after a restart.
+                self.planner.tuner.load(self.cache.store)
 
     # ------------------------------------------------------------------
     # Keys and plans
@@ -374,7 +383,20 @@ class ServiceSession:
         # their surviving subplan entries primed back from the cache.)
         with self._lock:
             self._compiled.clear()
+        # Published shared-memory segments hold the *old* float systems;
+        # retire them all so no future batch can ship a stale arena (the
+        # worker-side fingerprint check is the second belt).
+        self.state_plane.bump_epoch()
         return self._fingerprint
+
+    def close(self) -> None:
+        """Release session-owned OS resources (shared-memory segments).
+
+        Idempotent; an un-closed session's segments are also reclaimed by a
+        ``weakref.finalize`` on the state plane, but calling this at
+        shutdown makes the reclamation deterministic.
+        """
+        self.state_plane.close()
 
     def update_relation(self, name: str, relation: GeneralizedRelation) -> str:
         """Replace one stored relation and incrementally invalidate.

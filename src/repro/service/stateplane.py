@@ -1,0 +1,382 @@
+"""Zero-copy shared-memory state plane for the process backend.
+
+Historically :class:`repro.service.backends.ProcessBackend` pickled the
+warmed :class:`~repro.service.backends._SharedSetup` — database float
+systems, compiled observables with their H-representations, plan caches —
+into the pool initializer **once per batch**.  For many-worker small-batch
+traffic (exactly what the serving front end generates) that per-batch
+serialization dominates the useful work.
+
+The state plane removes it.  On first contact per session epoch, the setup
+is pickled with **protocol 5 out-of-band buffers**: the small object graph
+becomes a "head" byte string, while every NumPy array body is extracted as
+a raw buffer.  Head and buffers are packed into one
+:mod:`multiprocessing.shared_memory` segment, published under a content
+digest.  What crosses the process boundary per batch is then only a
+:class:`SegmentManifest` — segment name, head/buffer spans, epoch,
+fingerprint — a few hundred bytes regardless of database size.  Workers
+attach by name and rebuild the object graph with
+``pickle.loads(head, buffers=...)`` over **read-only views** of the mapped
+segment: array bodies are never copied (the reconstructed arrays are
+views, ``writeable=False``), and repeated batches against an unchanged
+session reuse the same published segment.
+
+Lifecycle
+---------
+* ``publish`` — pack + register a segment (or return the already-live one
+  for the same content digest).
+* ``lease`` / ``release`` — per-batch refcounts; a segment retired while
+  leased is unlinked only when the last lease drops.
+* ``bump_epoch`` — called by ``ServiceSession.refresh_fingerprint`` when a
+  relation mutates: retires every live segment so no future batch can ship
+  a stale arena (in-flight workers additionally carry the fingerprint
+  check in ``_worker_execute`` as a second belt).
+* ``close`` — retires everything; also wired to a ``weakref.finalize`` so
+  an abandoned session cannot leak segments.
+
+Failure is never fatal: platforms without ``shared_memory``, publish
+errors, and worker attach failures all degrade to the historical inline
+pickle with a logged warning (see ``ProcessBackend.execute``).
+"""
+
+from __future__ import annotations
+
+import logging
+import pickle
+import threading
+import weakref
+from dataclasses import dataclass
+
+logger = logging.getLogger(__name__)
+
+try:  # pragma: no cover - exercised by monkeypatching in tests
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - platform without shared memory
+    _shared_memory = None  # type: ignore[assignment]
+
+#: Buffer alignment inside a segment; keeps reconstructed array bodies on
+#: cache-line boundaries.
+_ALIGNMENT = 64
+
+
+def shared_memory_available() -> bool:
+    """Whether this platform can create shared-memory segments at all."""
+    return _shared_memory is not None
+
+
+@dataclass(frozen=True)
+class SegmentManifest:
+    """Everything a worker needs to attach and rebuild the shared setup.
+
+    This — not the setup itself — is what the process backend pickles into
+    the pool initializer per batch.
+    """
+
+    #: Shared-memory segment name (the attach handle).
+    name: str
+    #: ``(offset, length)`` of the pickled head inside the segment.
+    head: tuple[int, int]
+    #: ``(offset, length)`` per out-of-band buffer, in pickle order.
+    buffers: tuple[tuple[int, int], ...]
+    #: State-plane epoch the segment was published under.
+    epoch: int
+    #: Database fingerprint of the published setup.
+    fingerprint: str
+    #: Content digest (the segment registry key).
+    digest: str
+    #: Total mapped bytes.
+    total_bytes: int
+
+
+class _Segment:
+    __slots__ = ("shm", "manifest", "leases", "retired")
+
+    def __init__(self, shm, manifest: SegmentManifest) -> None:
+        self.shm = shm
+        self.manifest = manifest
+        self.leases = 0
+        self.retired = False
+
+
+def _destroy(shm) -> None:
+    """Unmap and unlink one owned segment, tolerating platform quirks."""
+    try:
+        shm.close()
+    except Exception:  # pragma: no cover - close is best-effort
+        pass
+    try:
+        shm.unlink()
+    except Exception:  # pragma: no cover - already unlinked
+        pass
+
+
+def _finalize_segments(segments: dict) -> None:
+    """``weakref.finalize`` hook: unlink whatever the plane still owns."""
+    for segment in list(segments.values()):
+        _destroy(segment.shm)
+    segments.clear()
+
+
+class StatePlane:
+    """Owner of the published shared-memory segments for one session."""
+
+    def __init__(self, observatory=None, enabled: bool = True) -> None:
+        self._enabled = enabled and shared_memory_available()
+        self._observatory = observatory
+        self._lock = threading.Lock()
+        self._epoch = 0
+        self._segments: dict[str, _Segment] = {}
+        self._publishes = 0
+        self._reuses = 0
+        self._retired = 0
+        self._failed = False
+        # The finalizer captures the dict, not the plane, so dropping the
+        # last reference to an un-closed session still unlinks everything.
+        self._finalizer = weakref.finalize(self, _finalize_segments, self._segments)
+
+    # ------------------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        """Is publishing currently possible (platform support and no prior failure)?"""
+        return self._enabled and not self._failed
+
+    @property
+    def epoch(self) -> int:
+        """Current invalidation epoch (bumped on relation mutation)."""
+        return self._epoch
+
+    def _count(self, name: str, value: int = 1) -> None:
+        if self._observatory is not None:
+            self._observatory.count(name, value)
+
+    # ------------------------------------------------------------------
+    def publish(self, setup, fingerprint: str) -> SegmentManifest | None:
+        """Publish ``setup`` into shared memory; returns its manifest.
+
+        Reuses the live segment when the content digest is unchanged (the
+        steady-state path: one publish per session epoch, zero per batch).
+        Returns ``None`` — after logging a warning and disabling itself —
+        when shared memory is unusable, in which case the caller ships the
+        inline pickle exactly as before this module existed.
+        """
+        if not self.enabled:
+            return None
+        try:
+            raw_buffers: list[pickle.PickleBuffer] = []
+            head = pickle.dumps(
+                setup, protocol=5, buffer_callback=raw_buffers.append
+            )
+            views = [buffer.raw() for buffer in raw_buffers]
+            import hashlib
+
+            hasher = hashlib.sha256(head)
+            for view in views:
+                hasher.update(view)
+            digest = hasher.hexdigest()
+            with self._lock:
+                live = self._segments.get(digest)
+                if live is not None and not live.retired:
+                    self._reuses += 1
+                    self._count("arena_reuses")
+                    return live.manifest
+            manifest, shm = self._pack(head, views, fingerprint, digest)
+            with self._lock:
+                self._segments[digest] = _Segment(shm, manifest)
+                self._publishes += 1
+            self._count("arena_publishes")
+            self._count("arena_published_bytes", manifest.total_bytes)
+            return manifest
+        except Exception as error:
+            # One warning, then permanent inline fallback for this plane:
+            # a flaky /dev/shm must cost a log line, not a failed batch.
+            logger.warning(
+                "state plane publish failed (%s: %s); process backend falls "
+                "back to inline setup pickling",
+                type(error).__name__,
+                error,
+            )
+            self._failed = True
+            self._count("arena_publish_failures")
+            return None
+
+    def _pack(
+        self,
+        head: bytes,
+        views: list,
+        fingerprint: str,
+        digest: str,
+    ) -> tuple[SegmentManifest, object]:
+        spans: list[tuple[int, int]] = []
+        offset = len(head)
+        for view in views:
+            offset += (-offset) % _ALIGNMENT
+            spans.append((offset, view.nbytes))
+            offset += view.nbytes
+        total = max(offset, 1)
+        shm = _shared_memory.SharedMemory(create=True, size=total)
+        try:
+            target = shm.buf
+            target[: len(head)] = head
+            for (start, length), view in zip(spans, views):
+                target[start : start + length] = view.cast("B")
+            manifest = SegmentManifest(
+                name=shm.name,
+                head=(0, len(head)),
+                buffers=tuple(spans),
+                epoch=self._epoch,
+                fingerprint=fingerprint,
+                digest=digest,
+                total_bytes=total,
+            )
+        except Exception:
+            _destroy(shm)
+            raise
+        return manifest, shm
+
+    # ------------------------------------------------------------------
+    def lease(self, digest: str) -> None:
+        """Pin a segment for the duration of one batch dispatch."""
+        with self._lock:
+            segment = self._segments.get(digest)
+            if segment is not None:
+                segment.leases += 1
+
+    def release(self, digest: str) -> None:
+        """Drop a batch's pin; destroys segments retired while leased."""
+        destroy = None
+        with self._lock:
+            segment = self._segments.get(digest)
+            if segment is not None:
+                segment.leases = max(0, segment.leases - 1)
+                if segment.retired and segment.leases == 0:
+                    self._segments.pop(digest, None)
+                    destroy = segment.shm
+        if destroy is not None:
+            _destroy(destroy)
+
+    def _retire_all_locked(self) -> list:
+        doomed = []
+        for digest in list(self._segments):
+            segment = self._segments[digest]
+            segment.retired = True
+            self._retired += 1
+            if segment.leases == 0:
+                self._segments.pop(digest)
+                doomed.append(segment.shm)
+        return doomed
+
+    def bump_epoch(self) -> int:
+        """Invalidate every published segment; returns the new epoch.
+
+        Wired to ``ServiceSession.refresh_fingerprint`` so a relation
+        mutation makes the next batch republish against the new data.
+        In-flight attachments keep their (already consistent) mapping; new
+        attach attempts on a retired name fail and take the inline-retry
+        fallback.
+        """
+        with self._lock:
+            self._epoch += 1
+            epoch = self._epoch
+            doomed = self._retire_all_locked()
+        for shm in doomed:
+            _destroy(shm)
+        if doomed:
+            self._count("arena_retires", len(doomed))
+        return epoch
+
+    def mark_attach_failure(self) -> None:
+        """Record a worker attach failure and disable further publishing.
+
+        The process backend calls this after a worker reported it could not
+        map a published segment; subsequent batches ship inline setups (one
+        warning, no errors — the graceful-degradation contract).
+        """
+        self._count("arena_attach_failures")
+        if not self._failed:
+            self._failed = True
+            logger.warning(
+                "state plane disabled after a worker attach failure; "
+                "subsequent process batches ship inline setup pickles"
+            )
+
+    def close(self) -> None:
+        """Retire and unlink everything (session shutdown)."""
+        with self._lock:
+            doomed = self._retire_all_locked()
+            # Anything still leased is force-destroyed too: close() means
+            # the session is over and no further dispatches exist.
+            for digest in list(self._segments):
+                doomed.append(self._segments.pop(digest).shm)
+        for shm in doomed:
+            _destroy(shm)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Operator-facing arena stats for ``/v1/stats`` and ``repro top``."""
+        with self._lock:
+            segments = len(self._segments)
+            total = sum(
+                segment.manifest.total_bytes for segment in self._segments.values()
+            )
+            return {
+                "enabled": self.enabled,
+                "epoch": self._epoch,
+                "segments": segments,
+                "bytes": total,
+                "publishes": self._publishes,
+                "reuses": self._reuses,
+                "retired": self._retired,
+            }
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+#: Segments this process has attached, kept alive for the worker's lifetime
+#: (the reconstructed arrays are views into these mappings).
+_ATTACHED: dict[str, object] = {}
+
+
+def attach(manifest: SegmentManifest):
+    """Attach to a published segment and rebuild the shared setup, zero-copy.
+
+    The reconstructed NumPy arrays are read-only views over the mapping —
+    no array body is copied.  Raises on any failure (missing segment,
+    truncated mapping, unpickling error); the process backend treats that
+    as a signal to retry the batch with inline shipping.
+    """
+    if _shared_memory is None:
+        raise RuntimeError("multiprocessing.shared_memory is unavailable")
+    shm = _ATTACHED.get(manifest.name)
+    if shm is None:
+        # The stdlib registers *attaches* with the resource tracker too
+        # (bpo-39959); left in place, a worker exit would unlink the
+        # parent's live segment, and unregister-after-attach floods the
+        # tracker with KeyErrors (its cache is a set, so N workers'
+        # registrations collapse into the parent's one entry).  Suppress
+        # the registration for the duration of the attach instead; the
+        # parent's own create-registration keeps cleanup-on-crash
+        # semantics.  Workers attach from the single-threaded pool
+        # initializer, so the patch window races nothing.
+        from multiprocessing import resource_tracker
+
+        original_register = resource_tracker.register
+        try:
+            resource_tracker.register = lambda name, rtype: None
+            shm = _shared_memory.SharedMemory(name=manifest.name)
+        finally:
+            resource_tracker.register = original_register
+        _ATTACHED[manifest.name] = shm
+    buf = shm.buf
+    head_start, head_length = manifest.head
+    if manifest.total_bytes > shm.size:
+        raise RuntimeError(
+            f"segment {manifest.name} is smaller than its manifest "
+            f"({shm.size} < {manifest.total_bytes} bytes)"
+        )
+    head = bytes(buf[head_start : head_start + head_length])
+    views = [
+        buf[start : start + length].toreadonly()
+        for start, length in manifest.buffers
+    ]
+    return pickle.loads(head, buffers=views)

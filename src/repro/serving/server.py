@@ -375,12 +375,29 @@ class ServingServer:
             writer, 200, ("\n".join(lines) + "\n").encode(), "text/plain; version=0.0.4"
         )
 
+    def _execution_stats(self) -> dict[str, Any]:
+        """Kernel backend, shared-memory arena, and autotuner status.
+
+        Surfaced on both ``/v1/stats`` and ``/v1/profile`` so ``repro top``
+        can show which compiled backend is live and how the state plane is
+        being used without a second round trip.
+        """
+        from repro import kernels
+
+        tuner = self.session.planner.tuner
+        return {
+            "kernels": kernels.kernel_stats(),
+            "arena": self.session.state_plane.stats(),
+            "autotune": None if tuner is None else tuner.stats(),
+        }
+
     async def _handle_profile(self, body: bytes, writer: asyncio.StreamWriter) -> None:
         payload: dict[str, Any] = {
             "enabled": self.observatory.enabled,
             "profiles": self.observatory.profiles.top(50),
             "slo": self.observatory.slo_status(),
             "auditor": None if self.auditor is None else self.auditor.report(),
+            "execution": self._execution_stats(),
         }
         self._json_response(writer, 200, payload)
 
@@ -397,6 +414,7 @@ class ServingServer:
                 },
                 "session": self.session.metrics.snapshot(),
                 "observatory": self.observatory.snapshot(),
+                "execution": self._execution_stats(),
             },
         )
 

@@ -1,0 +1,75 @@
+"""Containment tolerance contract: one constant, every geometry type.
+
+Historically ``HPolytope.contains`` defaulted to ``1e-9`` while
+``Ball.contains`` defaulted to ``0.0`` — a point on a shared boundary could
+be "inside" the polytope description of a body and "outside" its ball
+description.  The contract now lives in
+:data:`repro.geometry.tolerances.DEFAULT_CONTAINMENT_TOLERANCE` and every
+``contains`` / ``contains_points`` signature threads it.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+import numpy as np
+
+from repro.geometry.ball import Ball
+from repro.geometry.polytope import Halfspace, HPolytope
+from repro.geometry.tolerances import DEFAULT_CONTAINMENT_TOLERANCE
+
+
+class TestSharedConstant:
+    def test_every_signature_defaults_to_the_constant(self):
+        for method in (
+            Halfspace.contains,
+            HPolytope.contains,
+            HPolytope.contains_points,
+            Ball.contains,
+            Ball.contains_points,
+        ):
+            default = inspect.signature(method).parameters["tolerance"].default
+            assert default == DEFAULT_CONTAINMENT_TOLERANCE, method.__qualname__
+
+    def test_constant_is_small_and_positive(self):
+        assert 0.0 < DEFAULT_CONTAINMENT_TOLERANCE <= 1e-6
+
+
+class TestBoundaryAgreement:
+    def test_shared_boundary_point_is_inside_both_descriptions(self):
+        # The unit ball and its bounding box share the point (1, 0): both
+        # descriptions must agree it is contained under the defaults.
+        box = HPolytope.box([(-1.0, 1.0), (-1.0, 1.0)])
+        ball = Ball(np.zeros(2), 1.0)
+        boundary = np.array([1.0, 0.0])
+        assert box.contains(boundary)
+        assert ball.contains(boundary)
+        assert box.contains_points(boundary[None, :])[0]
+        assert ball.contains_points(boundary[None, :])[0]
+
+    def test_one_ulp_excursion_is_tolerated_by_default(self):
+        # Exact-to-float lowering can land a boundary point one ulp outside
+        # its own description; the default tolerance absorbs that.
+        box = HPolytope.box([(0.0, 1.0)])
+        ball = Ball(np.array([0.5]), 0.5)
+        nudged = np.array([np.nextafter(1.0, 2.0)])
+        assert box.contains(nudged)
+        assert ball.contains(nudged)
+
+    def test_zero_tolerance_is_the_exact_closed_set(self):
+        box = HPolytope.box([(0.0, 1.0)])
+        ball = Ball(np.array([0.5]), 0.5)
+        on_face = np.array([1.0])
+        nudged = np.array([np.nextafter(1.0, 2.0)])
+        for body in (box, ball):
+            assert body.contains(on_face, tolerance=0.0)
+            assert not body.contains(nudged, tolerance=0.0)
+            assert body.contains_points(on_face[None, :], tolerance=0.0)[0]
+            assert not body.contains_points(nudged[None, :], tolerance=0.0)[0]
+
+    def test_scalar_and_batch_membership_agree(self, rng):
+        body = HPolytope.simplex(3, scale=1.5)
+        points = rng.standard_normal((64, 3)) * 0.8
+        batch = body.contains_points(points)
+        scalar = np.array([body.contains(point) for point in points])
+        assert np.array_equal(batch, scalar)

@@ -1,0 +1,285 @@
+"""Property suite for :mod:`repro.kernels`: semantics, selection, bit-identity.
+
+Three layers of guarantees:
+
+* the dispatchers reproduce the legacy inline expressions they replaced
+  (checked against slow, obviously-correct Python loops);
+* backend selection degrades gracefully (unknown choice, numba absent);
+* when numba **is** importable, the compiled backend is **bit-identical** to
+  the NumPy reference — exactly equal outputs across dtypes, shapes,
+  degenerate systems and multi-chain lockstep walks.  Those tests skip
+  cleanly on hosts without numba (CI runs them in the dedicated numba leg).
+"""
+
+from __future__ import annotations
+
+import logging
+
+import numpy as np
+import pytest
+
+from repro import kernels
+from repro.geometry.polytope import HPolytope
+from repro.kernels import reference
+from repro.sampling.hit_and_run import HitAndRunSampler
+
+requires_numba = pytest.mark.skipif(
+    not kernels.numba_available(), reason="numba is not installed"
+)
+
+
+@pytest.fixture
+def restore_backend():
+    """Put the backend back the way the session had it, whatever a test does."""
+    requested = kernels.kernel_stats()["requested"]
+    yield
+    kernels._activate(requested)
+
+
+def _membership_case(rng, n, d, m, dtype=np.float64):
+    a = rng.standard_normal((m, d)).astype(dtype)
+    b = (rng.standard_normal(m) + 0.5).astype(dtype)
+    points = rng.standard_normal((n, d)).astype(dtype)
+    return a, b, points
+
+
+def _system_case(rng, n, d, m):
+    rows = rng.standard_normal((m, d))
+    offsets = rng.standard_normal(m)
+    codes = rng.integers(0, 4, size=m).astype(np.int8)
+    points = rng.standard_normal((n, d))
+    # Exact zeros exercise the == / != codes for real: make some points land
+    # exactly on their constraint surface.
+    if n and m:
+        rows[0] = 0.0
+        offsets[0] = 0.0
+    return rows, offsets, codes, points
+
+
+class TestMembershipSemantics:
+    def test_matches_legacy_expression(self, rng):
+        a, b, points = _membership_case(rng, 257, 5, 11)
+        expected = np.all(points @ a.T <= b + 1e-9, axis=1)
+        assert np.array_equal(kernels.membership_mask(a, b, points, 1e-9), expected)
+
+    def test_empty_system_contains_everything(self, rng):
+        a = np.empty((0, 4))
+        b = np.empty((0,))
+        points = rng.standard_normal((9, 4))
+        mask = kernels.membership_mask(a, b, points, 0.0)
+        assert mask.shape == (9,) and mask.all()
+
+    def test_no_points(self, rng):
+        a, b, _ = _membership_case(rng, 1, 3, 6)
+        mask = kernels.membership_mask(a, b, np.empty((0, 3)), 1e-9)
+        assert mask.shape == (0,) and mask.dtype == bool
+
+    def test_boundary_point_respects_tolerance(self):
+        # x = 1 on the face of the unit box: inside at the default-positive
+        # tolerance, outside at tolerance 0 after a one-ulp push.
+        a = np.array([[1.0]])
+        b = np.array([1.0])
+        on_face = np.array([[1.0]])
+        nudged = np.array([[np.nextafter(1.0, 2.0)]])
+        assert kernels.membership_mask(a, b, on_face, 0.0)[0]
+        assert not kernels.membership_mask(a, b, nudged, 0.0)[0]
+        assert kernels.membership_mask(a, b, nudged, 1e-9)[0]
+
+    def test_infeasible_system_rejects_everything(self, rng):
+        # x <= -1 and -x <= -1 has no solutions at all.
+        a = np.array([[1.0], [-1.0]])
+        b = np.array([-1.0, -1.0])
+        points = rng.standard_normal((64, 1))
+        assert not kernels.membership_mask(a, b, points, 1e-9).any()
+
+
+class TestSystemMembershipSemantics:
+    def test_matches_per_code_loop(self, rng):
+        rows, offsets, codes, points = _system_case(rng, 97, 4, 9)
+        got = kernels.system_membership_mask(rows, offsets, codes, points)
+        values = points @ rows.T + offsets
+        for i in range(points.shape[0]):
+            expected = True
+            for j, code in enumerate(codes):
+                v = values[i, j]
+                if code == 0:
+                    ok = v <= 0.0
+                elif code == 1:
+                    ok = v < 0.0
+                elif code == 2:
+                    ok = v == 0.0
+                else:
+                    ok = v != 0.0
+                expected = expected and bool(ok)
+            assert bool(got[i]) == expected
+
+    def test_empty_system_contains_everything(self, rng):
+        mask = kernels.system_membership_mask(
+            np.empty((0, 3)), np.empty((0,)), np.empty((0,), dtype=np.int8),
+            rng.standard_normal((5, 3)),
+        )
+        assert mask.shape == (5,) and mask.all()
+
+
+class TestChordSemantics:
+    def test_matches_scalar_loop(self, rng):
+        slopes = rng.standard_normal((17, 12))
+        gaps = np.abs(rng.standard_normal((17, 12))) + 1e-3
+        # Mix in exactly-parallel and near-parallel constraints.
+        slopes[:, 0] = 0.0
+        slopes[:, 1] = kernels.CHORD_SLOPE_EPSILON / 2.0
+        lower, upper = kernels.chord_bounds(slopes, gaps)
+        for c in range(slopes.shape[0]):
+            lo, hi = -np.inf, np.inf
+            for j in range(slopes.shape[1]):
+                slope = slopes[c, j]
+                if slope > kernels.CHORD_SLOPE_EPSILON:
+                    hi = min(hi, gaps[c, j] / slope)
+                elif slope < -kernels.CHORD_SLOPE_EPSILON:
+                    lo = max(lo, gaps[c, j] / slope)
+            assert lower[c] == lo and upper[c] == hi
+
+    def test_unbounded_sides_are_infinite(self):
+        slopes = np.array([[1.0, 2.0]])
+        gaps = np.array([[1.0, 1.0]])
+        lower, upper = kernels.chord_bounds(slopes, gaps)
+        assert lower[0] == -np.inf and upper[0] == 0.5
+
+
+class TestAcceptSemantics:
+    def test_fills_and_counts_to_the_decisive_proposal(self):
+        mask = np.array([False, True, False, True, True, False, True])
+        indices, consumed, filled = kernels.accept_indices(mask, 2)
+        assert list(indices) == [1, 3] and consumed == 4 and filled
+
+    def test_partial_block_consumes_everything(self):
+        mask = np.array([False, True, False])
+        indices, consumed, filled = kernels.accept_indices(mask, 5)
+        assert list(indices) == [1] and consumed == 3 and not filled
+
+    def test_all_misses(self):
+        indices, consumed, filled = kernels.accept_indices(np.zeros(8, bool), 3)
+        assert indices.size == 0 and consumed == 8 and not filled
+
+    def test_needed_zero_consumes_nothing(self):
+        indices, consumed, filled = kernels.accept_indices(np.ones(4, bool), 0)
+        assert indices.size == 0 and consumed == 0 and filled
+
+    def test_exact_fill_consumes_through_last_hit(self):
+        mask = np.array([True, False, True])
+        indices, consumed, filled = kernels.accept_indices(mask, 2)
+        assert list(indices) == [0, 2] and consumed == 3 and filled
+
+
+class TestBackendSelection:
+    def test_counters_track_block_calls(self, rng):
+        kernels.reset_counters()
+        a, b, points = _membership_case(rng, 8, 2, 3)
+        kernels.membership_mask(a, b, points, 1e-9)
+        kernels.chord_bounds(np.ones((2, 3)), np.ones((2, 3)))
+        kernels.accept_indices(np.ones(4, bool), 2)
+        stats = kernels.kernel_stats()
+        assert stats["backend"] in ("numpy", "numba")
+        assert stats["calls"]["membership"] == 1
+        assert stats["calls"]["chord"] == 1
+        assert stats["calls"]["accept"] == 1
+
+    def test_unknown_choice_warns_and_uses_auto(self, restore_backend, caplog):
+        with caplog.at_level(logging.WARNING, logger="repro.kernels"):
+            active = kernels._activate("turbo")
+        assert "unknown REPRO_KERNELS" in caplog.text
+        assert active in ("numpy", "numba")
+        assert kernels.kernel_stats()["requested"] == "auto"
+
+    def test_numba_request_without_numba_degrades(self, restore_backend, caplog):
+        if kernels.numba_available():
+            pytest.skip("numba is installed; degradation path not reachable")
+        with caplog.at_level(logging.WARNING, logger="repro.kernels"):
+            active = kernels._activate("numba")
+        assert active == "numpy"
+        assert "falling back" in caplog.text
+        # The degraded process still serves correct results.
+        assert kernels.membership_mask(
+            np.array([[1.0]]), np.array([1.0]), np.array([[0.5]]), 0.0
+        )[0]
+
+    def test_warm_jit_reports_active_backend(self):
+        assert kernels.warm_jit() == kernels.active_backend()
+
+
+@requires_numba
+class TestNumbaBitIdentity:
+    """Exact equality between the compiled and reference backends."""
+
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    @pytest.mark.parametrize("shape", [(1, 1, 1), (64, 5, 11), (257, 8, 48)])
+    def test_membership(self, dtype, shape):
+        from repro.kernels import compiled
+
+        n, d, m = shape
+        rng = np.random.default_rng(100 + n)
+        a, b, points = _membership_case(rng, n, d, m, dtype=dtype)
+        # Put some points exactly on a face so ties are part of the test.
+        if n >= 2 and m >= 1:
+            scale = b[0] / (points[1] @ a[0]) if points[1] @ a[0] != 0 else 1.0
+            points[1] = points[1] * scale
+        for tolerance in (0.0, 1e-9):
+            ref = reference.membership_mask(a, b, points, tolerance)
+            got = compiled.membership_mask(a, b, points, tolerance)
+            assert got.dtype == ref.dtype
+            assert np.array_equal(got, ref)
+
+    def test_system_membership(self):
+        from repro.kernels import compiled
+
+        rng = np.random.default_rng(7)
+        for n, d, m in ((1, 2, 3), (129, 6, 17)):
+            rows, offsets, codes, points = _system_case(rng, n, d, m)
+            ref = reference.system_membership_mask(rows, offsets, codes, points)
+            got = compiled.system_membership_mask(rows, offsets, codes, points)
+            assert np.array_equal(got, ref)
+
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    def test_chord(self, dtype):
+        from repro.kernels import compiled
+
+        rng = np.random.default_rng(11)
+        slopes = rng.standard_normal((33, 24)).astype(dtype)
+        gaps = rng.standard_normal((33, 24)).astype(dtype)
+        slopes[:, 0] = 0.0  # exactly parallel
+        slopes[3] = 0.0  # a fully unbounded chain
+        ref_lower, ref_upper = reference.chord_bounds(slopes, gaps)
+        got_lower, got_upper = compiled.chord_bounds(slopes, gaps)
+        assert got_lower.dtype == ref_lower.dtype
+        assert np.array_equal(got_lower, ref_lower)
+        assert np.array_equal(got_upper, ref_upper)
+
+    def test_accept(self):
+        from repro.kernels import compiled
+
+        rng = np.random.default_rng(13)
+        for n in (1, 17, 256):
+            mask = rng.random(n) < 0.3
+            hits = int(mask.sum())
+            for needed in {1, max(hits, 1), hits + 5, n}:
+                ref = reference.accept_indices(mask, needed)
+                got = compiled.accept_indices(mask, needed)
+                assert np.array_equal(got[0], ref[0])
+                assert got[1] == ref[1] and got[2] == ref[2]
+
+    @pytest.mark.parametrize("chains", [1, 4])
+    def test_walk_lockstep_across_backends(self, restore_backend, chains):
+        """A multi-chain hit-and-run walk is bit-identical across backends.
+
+        Chord bounds cascade through the walk — one differing ulp at step 0
+        would diverge the whole trajectory, so exact trajectory equality is
+        the strongest end-to-end witness of kernel bit-identity.
+        """
+        body = HPolytope.simplex(3, scale=2.0)
+        sampler = HitAndRunSampler(body, burn_in=20, thinning=3)
+        kernels._activate("numpy")
+        baseline = sampler.sample_chains(424242, 15, chains=chains)
+        kernels._activate("numba")
+        assert kernels.active_backend() == "numba"
+        compiled_run = sampler.sample_chains(424242, 15, chains=chains)
+        assert np.array_equal(baseline, compiled_run)

@@ -1,0 +1,216 @@
+"""Block-size autotuner: probing, process-wide caching, store persistence.
+
+The tuner is an optimisation layer, so the properties under test are
+operational: probes pick from the ladder and happen exactly once per
+(kernel, dimension, backend); winners restored from a :class:`ResultStore`
+skip probing entirely after a restart; disabling (``REPRO_AUTOTUNE=off`` or
+an explicit planner ``batch_block_size``) restores the static constant; and
+a probe failure degrades to the default instead of failing the plan.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constraints.database import ConstraintDatabase
+from repro.constraints.relations import GeneralizedRelation
+from repro.core.observable import GeneratorParams
+from repro.queries.ast import QRelation
+from repro.service import ServiceSession
+from repro.service.autotune import TUNE_KIND, BlockSizeTuner
+from repro.service.planner import Planner
+from repro.store import ResultStore
+
+LOOSE = GeneratorParams(gamma=0.3, epsilon=0.3, delta=0.2)
+LADDER = (512, 1024, 2048)
+
+
+@pytest.fixture(autouse=True)
+def isolated_process_cache():
+    """Each test sees a cold process-wide cache and leaves none behind."""
+    BlockSizeTuner.clear_process_cache()
+    yield
+    BlockSizeTuner.clear_process_cache()
+
+
+def _tuner(**kwargs) -> BlockSizeTuner:
+    kwargs.setdefault("ladder", LADDER)
+    kwargs.setdefault("probe_seconds", 0.0002)
+    kwargs.setdefault("enabled", True)
+    return BlockSizeTuner(**kwargs)
+
+
+class TestProbing:
+    def test_probe_picks_a_ladder_size_and_records_rates(self):
+        tuner = _tuner()
+        verdict = tuner.probe(4)
+        assert verdict["block_size"] in LADDER
+        assert verdict["dimension"] == 4
+        assert set(verdict["rates"]) == {str(size) for size in LADDER}
+        assert all(rate > 0 for rate in verdict["rates"].values())
+
+    def test_block_size_probes_once_per_key(self, monkeypatch):
+        tuner = _tuner()
+        calls = []
+        original = tuner.probe
+
+        def counting(dimension, kernel="membership"):
+            calls.append((kernel, dimension))
+            return original(dimension, kernel=kernel)
+
+        monkeypatch.setattr(tuner, "probe", counting)
+        first = tuner.block_size(5)
+        second = tuner.block_size(5)
+        assert first == second and first in LADDER
+        assert len(calls) == 1
+
+    def test_process_cache_is_shared_between_tuners(self, monkeypatch):
+        first = _tuner()
+        winner = first.block_size(6)
+        second = _tuner()
+
+        def must_not_probe(*args, **kwargs):  # pragma: no cover - guard
+            raise AssertionError("probe ran despite a warm process cache")
+
+        monkeypatch.setattr(second, "probe", must_not_probe)
+        assert second.block_size(6) == winner
+
+    def test_disabled_returns_the_static_default(self, monkeypatch):
+        tuner = _tuner(enabled=False, default_block_size=8192)
+
+        def must_not_probe(*args, **kwargs):  # pragma: no cover - guard
+            raise AssertionError("probe ran while disabled")
+
+        monkeypatch.setattr(tuner, "probe", must_not_probe)
+        assert tuner.block_size(5) == 8192
+
+    def test_env_gate_disables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_AUTOTUNE", "off")
+        assert not BlockSizeTuner(ladder=LADDER).enabled
+
+    def test_probe_failure_degrades_to_default(self, monkeypatch, caplog):
+        tuner = _tuner(default_block_size=4096)
+
+        def exploding(*args, **kwargs):
+            raise RuntimeError("perf counter went away")
+
+        monkeypatch.setattr(tuner, "probe", exploding)
+        assert tuner.block_size(3) == 4096
+        assert "probe failed" in caplog.text
+
+    def test_stats_lists_tuned_winners(self):
+        tuner = _tuner()
+        tuner.block_size(4)
+        stats = tuner.stats()
+        assert stats["enabled"] is True
+        assert stats["ladder"] == list(LADDER)
+        assert any(key.startswith("membership:4:") for key in stats["tuned"])
+
+
+class TestPersistence:
+    def test_winner_round_trips_through_the_store(self, tmp_path):
+        path = tmp_path / "results.db"
+        with ResultStore(path) as store:
+            tuner = _tuner()
+            tuner.load(store)  # attach
+            winner = tuner.block_size(7)
+            entries = [
+                (key, kind)
+                for key, kind, _relations in store.entries()
+                if kind == TUNE_KIND
+            ]
+            assert len(entries) == 1
+            assert entries[0][0].startswith("tune:membership:7:")
+
+        BlockSizeTuner.clear_process_cache()
+        with ResultStore(path) as store:
+            restored = _tuner()
+            assert restored.load(store) == 1
+
+            def must_not_probe(*args, **kwargs):  # pragma: no cover - guard
+                raise AssertionError("probe ran despite a persisted winner")
+
+            restored.probe = must_not_probe
+            assert restored.block_size(7) == winner
+
+    def test_tune_entries_survive_relation_invalidation(self, tmp_path):
+        path = tmp_path / "results.db"
+        with ResultStore(path) as store:
+            tuner = _tuner()
+            tuner.load(store)
+            tuner.block_size(5)
+            # Hardware truths carry an empty relation footprint: mutating
+            # data must never throw away timing measurements.
+            store.invalidate_relations(["Zone"])
+            BlockSizeTuner.clear_process_cache()
+            restored = _tuner()
+            assert restored.load(store) == 1
+
+    def test_malformed_entries_are_skipped(self, tmp_path):
+        from repro.store import EntryMeta
+
+        path = tmp_path / "results.db"
+        with ResultStore(path) as store:
+            store.put(
+                "tune:garbage",
+                {"kernel": "membership"},  # missing dimension/backend/size
+                epsilon=0.0,
+                delta=0.0,
+                meta=EntryMeta(
+                    kind=TUNE_KIND, digest="garbage", relations=(), fingerprint=""
+                ),
+                replace=True,
+            )
+            assert _tuner().load(store) == 0
+
+
+class TestPlannerIntegration:
+    def test_default_planner_owns_a_tuner(self):
+        planner = Planner()
+        assert planner.tuner is not None
+        size = planner.block_size_for(4)
+        assert size in planner.tuner.ladder
+
+    def test_explicit_block_size_pins_the_constant(self):
+        planner = Planner(batch_block_size=4096)
+        assert planner.tuner is None
+        assert planner.block_size_for(4) == 4096
+        assert planner.batch_block_size == 4096
+
+    def test_plans_carry_the_tuned_block_size(self):
+        tuner = _tuner()
+        planner = Planner(tuner=tuner)
+        db = ConstraintDatabase()
+        db.set_relation(
+            "C", GeneralizedRelation.box({f"z{i}": (0, 1) for i in range(5)})
+        )
+        plan = planner.plan(
+            QRelation("C", tuple(f"z{i}" for i in range(5))), db,
+            epsilon=0.3, delta=0.2,
+        )
+        assert plan.block_size == tuner.block_size(5)
+        assert plan.block_size in LADDER
+
+    def test_session_restores_winners_from_its_store(self, tmp_path):
+        path = tmp_path / "results.db"
+        db = ConstraintDatabase()
+        db.set_relation("C", GeneralizedRelation.box({"x": (0, 1)}))
+        tuner = _tuner()
+        session = ServiceSession(
+            db, params=LOOSE, planner=Planner(tuner=tuner), store=path
+        )
+        winner = tuner.block_size(9)
+        session.cache.store.close()
+
+        BlockSizeTuner.clear_process_cache()
+        restored_tuner = _tuner()
+
+        def must_not_probe(*args, **kwargs):  # pragma: no cover - guard
+            raise AssertionError("probe ran despite the session-warmed store")
+
+        restored = ServiceSession(
+            db, params=LOOSE, planner=Planner(tuner=restored_tuner), store=path
+        )
+        restored_tuner.probe = must_not_probe
+        assert restored_tuner.block_size(9) == winner
+        restored.cache.store.close()

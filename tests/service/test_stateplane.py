@@ -1,0 +1,280 @@
+"""Shared-memory state plane: lifecycle, zero-copy attach, backend fallback.
+
+Unit tests drive :class:`repro.service.stateplane.StatePlane` directly
+(publish/attach round trips, digest reuse, epoch retirement, lease
+refcounts, platform fallback) and integration tests run real process-backend
+batches: manifest-vs-inline payload shrink, mid-session ``update_relation``
+invalidation, worker attach failure falling back to inline shipping, and the
+single-core degrade guard.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.constraints.database import ConstraintDatabase
+from repro.constraints.relations import GeneralizedRelation
+from repro.core.observable import GeneratorParams
+from repro.queries.ast import QRelation
+from repro.service import BatchRequest, ProcessBackend, ServiceSession
+from repro.service import stateplane
+from repro.service.stateplane import StatePlane, shared_memory_available
+
+LOOSE = GeneratorParams(gamma=0.3, epsilon=0.3, delta=0.2)
+
+pytestmark = pytest.mark.skipif(
+    not shared_memory_available(), reason="platform lacks multiprocessing.shared_memory"
+)
+
+
+@pytest.fixture
+def plane():
+    plane = StatePlane()
+    yield plane
+    plane.close()
+
+
+def _setup_payload(scale: int = 512) -> dict:
+    return {
+        "weights": np.arange(float(scale * 8)),
+        "bias": np.linspace(-1.0, 1.0, scale),
+        "label": "immutable-session-state",
+    }
+
+
+@pytest.fixture
+def database() -> ConstraintDatabase:
+    db = ConstraintDatabase()
+    for index in range(3):
+        db.set_relation(
+            f"C{index}",
+            GeneralizedRelation.box(
+                {f"z{i}": (0, 1 + 0.25 * index) for i in range(5)}
+            ),
+        )
+    return db
+
+
+def _requests() -> list[BatchRequest]:
+    return [
+        BatchRequest(QRelation(f"C{index}", tuple(f"z{i}" for i in range(5))))
+        for index in range(3)
+    ]
+
+
+class TestPublishAttach:
+    def test_roundtrip_is_zero_copy_and_read_only(self, plane):
+        setup = _setup_payload()
+        manifest = plane.publish(setup, fingerprint="fp")
+        assert manifest is not None
+        rebuilt = stateplane.attach(manifest)
+        assert np.array_equal(rebuilt["weights"], setup["weights"])
+        assert rebuilt["label"] == setup["label"]
+        assert not rebuilt["weights"].flags.writeable
+        with pytest.raises((ValueError, RuntimeError)):
+            rebuilt["weights"][0] = 99.0
+        # Zero-copy proof: the attached arrays alias the published segment —
+        # mutating the owner's mapping is visible through the rebuilt view.
+        segment = plane._segments[manifest.digest].shm
+        start, _length = manifest.buffers[0]
+        before = rebuilt["weights"][0]
+        segment.buf[start] = (segment.buf[start] + 1) % 256
+        assert rebuilt["weights"][0] != before
+
+    def test_same_content_reuses_the_live_segment(self, plane):
+        setup = _setup_payload()
+        first = plane.publish(setup, fingerprint="fp")
+        second = plane.publish(setup, fingerprint="fp")
+        assert first is not None and second is not None
+        assert second.name == first.name
+        stats = plane.stats()
+        assert stats["publishes"] == 1 and stats["reuses"] == 1
+        assert stats["segments"] == 1
+
+    def test_manifest_is_tiny_next_to_the_setup(self, plane):
+        setup = _setup_payload(scale=4096)
+        manifest = plane.publish(setup, fingerprint="fp")
+        inline = len(pickle.dumps(setup, protocol=pickle.HIGHEST_PROTOCOL))
+        shipped = len(pickle.dumps(manifest, protocol=pickle.HIGHEST_PROTOCOL))
+        assert shipped * 10 <= inline
+
+    def test_attach_missing_segment_raises(self, plane):
+        manifest = plane.publish(_setup_payload(), fingerprint="fp")
+        plane.close()
+        with pytest.raises(Exception):
+            stateplane.attach(
+                manifest.__class__(**{**manifest.__dict__, "name": manifest.name + "x"})
+            )
+
+
+class TestLifecycle:
+    def test_bump_epoch_retires_unleased_segments(self, plane):
+        manifest = plane.publish(_setup_payload(), fingerprint="fp")
+        assert plane.stats()["segments"] == 1
+        epoch = plane.bump_epoch()
+        assert epoch == 1 and plane.epoch == 1
+        assert plane.stats()["segments"] == 0
+        # The next publish of the same content is a fresh segment, not a
+        # stale reuse.
+        fresh = plane.publish(_setup_payload(), fingerprint="fp2")
+        assert fresh is not None and fresh.name != manifest.name
+        assert plane.stats()["publishes"] == 2
+
+    def test_leased_segment_survives_retirement_until_release(self, plane):
+        manifest = plane.publish(_setup_payload(), fingerprint="fp")
+        plane.lease(manifest.digest)
+        plane.bump_epoch()
+        # Retired but still mapped: an in-flight batch keeps its data.
+        assert plane.stats()["segments"] == 1
+        rebuilt = stateplane.attach(manifest)
+        assert rebuilt["label"] == "immutable-session-state"
+        plane.release(manifest.digest)
+        assert plane.stats()["segments"] == 0
+
+    def test_close_is_idempotent_and_destroys_leased_segments(self, plane):
+        manifest = plane.publish(_setup_payload(), fingerprint="fp")
+        plane.lease(manifest.digest)
+        plane.close()
+        assert plane.stats()["segments"] == 0
+        plane.close()
+
+
+class TestDegradation:
+    def test_unavailable_platform_disables_publishing(self, monkeypatch):
+        monkeypatch.setattr(stateplane, "_shared_memory", None)
+        plane = StatePlane()
+        assert not plane.enabled
+        assert plane.publish(_setup_payload(), fingerprint="fp") is None
+
+    def test_publish_failure_warns_once_then_stays_inline(
+        self, plane, monkeypatch, caplog
+    ):
+        def exploding(*args, **kwargs):
+            raise OSError("no space left on /dev/shm")
+
+        monkeypatch.setattr(stateplane._shared_memory, "SharedMemory", exploding)
+        with caplog.at_level(logging.WARNING, logger="repro.service.stateplane"):
+            assert plane.publish(_setup_payload(), fingerprint="fp") is None
+            assert plane.publish(_setup_payload(), fingerprint="fp") is None
+        assert not plane.enabled
+        warnings = [r for r in caplog.records if "publish failed" in r.message]
+        assert len(warnings) == 1
+
+    def test_mark_attach_failure_disables_publishing(self, plane):
+        assert plane.enabled
+        plane.mark_attach_failure()
+        assert not plane.enabled
+        assert plane.publish(_setup_payload(), fingerprint="fp") is None
+
+
+class TestProcessBackendIntegration:
+    def _serve(self, session, backend, seed: int = 7):
+        outcomes = session.submit_batch(
+            _requests(), workers=3, rng=seed, backend=backend
+        )
+        return [outcome.result.value for outcome in outcomes]
+
+    def test_manifest_payload_shrinks_shipping(self, database):
+        session = ServiceSession(database, params=LOOSE)
+        backend = ProcessBackend(single_core_fallback=False)
+        values = self._serve(session, backend)
+        assert len(values) == 3
+        stats = session.state_plane.stats()
+        assert stats["publishes"] == 1 and stats["segments"] == 1
+        # What crossed the process boundary was the manifest, not the setup.
+        units = []  # rebuild the inline payload for comparison
+        from repro.service.backends import WorkUnit
+
+        for index, request in enumerate(_requests()):
+            units.append(
+                WorkUnit(
+                    index=index,
+                    key=session.key_for(request.query),
+                    query=request.query,
+                    plan=session.explain(request.query),
+                    seed=index,
+                    fingerprint=session.fingerprint,
+                )
+            )
+        shared = backend._shared_setup(session, units)
+        inline = len(pickle.dumps(("inline", shared), protocol=pickle.HIGHEST_PROTOCOL))
+        assert backend.last_payload_bytes is not None
+        assert backend.last_payload_bytes < inline
+        session.close()
+
+    def test_arena_and_inline_serve_identical_values(self, database):
+        arena_session = ServiceSession(database, params=LOOSE)
+        arena = self._serve(
+            arena_session, ProcessBackend(single_core_fallback=False)
+        )
+        inline_session = ServiceSession(database, params=LOOSE)
+        inline_session.state_plane._enabled = False
+        inline = self._serve(
+            inline_session, ProcessBackend(single_core_fallback=False)
+        )
+        serial_session = ServiceSession(database, params=LOOSE)
+        serial = self._serve(serial_session, "serial")
+        assert arena == inline == serial
+        arena_session.close()
+        inline_session.close()
+
+    def test_update_relation_epoch_invalidates_segments(self, database):
+        session = ServiceSession(database, params=LOOSE)
+        backend = ProcessBackend(single_core_fallback=False)
+        before = self._serve(session, backend)
+        assert session.state_plane.stats()["segments"] == 1
+        epoch_before = session.state_plane.epoch
+        session.update_relation(
+            "C0", GeneralizedRelation.box({f"z{i}": (0, 2) for i in range(5)})
+        )
+        assert session.state_plane.epoch == epoch_before + 1
+        assert session.state_plane.stats()["segments"] == 0
+        after = self._serve(session, backend)
+        # The mutated relation's volume changed and the batch republished
+        # against the new data — no stale arena served it.
+        assert after[0] != before[0]
+        stats = session.state_plane.stats()
+        assert stats["publishes"] == 2
+        session.close()
+
+    def test_worker_attach_failure_falls_back_to_inline(
+        self, database, monkeypatch, caplog
+    ):
+        def refuse(manifest):
+            raise RuntimeError("segment mapping refused for the test")
+
+        # Fork workers inherit the patched module, so every attach fails.
+        monkeypatch.setattr(stateplane, "attach", refuse)
+        session = ServiceSession(database, params=LOOSE)
+        backend = ProcessBackend(start_method="fork", single_core_fallback=False)
+        with caplog.at_level(logging.WARNING):
+            values = self._serve(session, backend)
+        serial = ServiceSession(database, params=LOOSE)
+        assert values == self._serve(serial, "serial")
+        assert any(
+            "retrying batch with inline" in record.message for record in caplog.records
+        )
+        assert not session.state_plane.enabled
+        session.close()
+
+    def test_single_core_host_degrades_to_serial_with_warning(
+        self, database, monkeypatch, caplog
+    ):
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        session = ServiceSession(database, params=LOOSE)
+        backend = ProcessBackend()
+        with caplog.at_level(logging.WARNING):
+            values = self._serve(session, backend)
+        assert any(
+            "single-core host" in record.message for record in caplog.records
+        )
+        serial = ServiceSession(database, params=LOOSE)
+        assert values == self._serve(serial, "serial")
+        # The degrade path still reports the requested backend name.
+        assert backend.name == "process"
+        session.close()

@@ -17,7 +17,7 @@ from repro.constraints.database import ConstraintDatabase
 from repro.constraints.relations import GeneralizedRelation
 from repro.core.observable import GeneratorParams
 from repro.queries.ast import QRelation
-from repro.service import BatchRequest, Planner, ServiceSession
+from repro.service import BatchRequest, Planner, ProcessBackend, ServiceSession
 from repro.service.metrics import ServiceMetrics
 from repro.telemetry.tracer import RecordingTracer, activate, validate_span_tree
 
@@ -165,7 +165,11 @@ class TestTracedBackends:
 
     def test_process_backend_ships_spans_home(self, database):
         tracer = RecordingTracer()
-        self._run(database, "process", tracer=tracer)
+        # Real worker processes even on a single-core host: the span
+        # adoption machinery is what is under test, not the degrade guard.
+        self._run(
+            database, ProcessBackend(single_core_fallback=False), tracer=tracer
+        )
         spans = tracer.finished()
         assert validate_span_tree(spans)
         adopted = [span for span in spans if span.attrs.get("adopted")]
